@@ -1,0 +1,41 @@
+//! Criterion throughput benches: every online algorithm on the three
+//! workload families (binary σ_μ, random general, cloud traces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_core::engine;
+use dbp_workloads::{cloud_trace, random_general, sigma_mu, CloudConfig, GeneralConfig};
+
+fn bench_family(c: &mut Criterion, family: &str, inst: &dbp_core::Instance) {
+    let mut group = c.benchmark_group(format!("pack/{family}"));
+    group.throughput(Throughput::Elements(inst.len() as u64));
+    for name in dbp_algos::registry_names() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), inst, |b, inst| {
+            b.iter(|| {
+                let algo = dbp_algos::by_name(name).expect("registry");
+                engine::run(inst, algo).expect("legal").cost
+            })
+        });
+    }
+    group.finish();
+}
+
+fn algorithms(c: &mut Criterion) {
+    bench_family(c, "sigma_mu_n12", &sigma_mu(12));
+    bench_family(
+        c,
+        "random_general_10k",
+        &random_general(&GeneralConfig::new(10, 10_000), 1),
+    );
+    bench_family(
+        c,
+        "cloud_10k",
+        &cloud_trace(&CloudConfig::new(10_000, 50_000), 1),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the substrate itself: engine throughput, the
+//! interactive (adversary-driving) path, the assignment auditor, and the
+//! cloudsim dispatch layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_cloudsim::{dispatch, Predictor, SessionRequest, Tier};
+use dbp_core::engine::{self, InteractiveSim};
+use dbp_core::time::{Dur, Time};
+use dbp_workloads::{random_general, GeneralConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/batch-first-fit");
+    for &items in &[1_000usize, 10_000, 100_000] {
+        let inst = random_general(&GeneralConfig::new(10, items), 1);
+        group.throughput(Throughput::Elements(items as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(items), &inst, |b, inst| {
+            b.iter(|| {
+                engine::run(inst, dbp_algos::FirstFit::new())
+                    .expect("legal")
+                    .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+fn interactive_throughput(c: &mut Criterion) {
+    c.bench_function("engine/interactive-10k", |b| {
+        b.iter(|| {
+            let mut sim = InteractiveSim::new(dbp_algos::FirstFit::new());
+            for k in 0..10_000u64 {
+                sim.arrive_at(
+                    Time(k / 4),
+                    Dur(1 + k % 32),
+                    dbp_core::Size::from_ratio(1 + k % 40, 100),
+                )
+                .expect("legal");
+            }
+            let (_, res) = sim.finish();
+            res.cost
+        })
+    });
+}
+
+fn auditor(c: &mut Criterion) {
+    let inst = random_general(&GeneralConfig::new(10, 20_000), 2);
+    let res = engine::run(&inst, dbp_algos::FirstFit::new()).expect("legal");
+    c.bench_function("audit/20k", |b| {
+        b.iter(|| dbp_core::audit(&inst, &res.assignment).expect("valid").cost)
+    });
+}
+
+fn cloud_dispatch(c: &mut Criterion) {
+    let mut sessions: Vec<SessionRequest> = (0..10_000u64)
+        .map(|k| SessionRequest::exact(k, Time(k / 8), Dur(5 + k % 200), Tier::Standard))
+        .collect();
+    Predictor::Relative { error_pct: 20 }.apply(&mut sessions, 3);
+    c.bench_function("cloudsim/dispatch-10k-noisy", |b| {
+        b.iter(|| {
+            dispatch(&sessions, dbp_algos::HybridAlgorithm::new())
+                .expect("legal")
+                .bill
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, interactive_throughput, auditor, cloud_dispatch
+}
+criterion_main!(benches);

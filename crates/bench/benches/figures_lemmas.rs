@@ -1,0 +1,64 @@
+//! Criterion benches regenerating the figure/lemma artifacts: the σ_μ
+//! structure checks (Figures 2–3 / Corollary 5.8), the binary-string
+//! enumerations (Lemma 5.9 / Corollary 5.10), and the OPT-bracket
+//! machinery (Lemma 3.1) that every table relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_algos::offline::ffd_repack_cost;
+use dbp_analysis::{expected_max_zero_run_exact, sum_max_zero_runs};
+use dbp_core::bounds::LowerBounds;
+use dbp_core::engine;
+use dbp_core::time::Time;
+use dbp_workloads::{random_general, sigma_mu, GeneralConfig};
+
+/// Figures 2–3 / Corollary 5.8: σ_μ generation + CDFF + the counter check.
+fn fig_cor58(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/cor58");
+    for &n in &[8u32, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let inst = sigma_mu(n);
+                let res = engine::run(&inst, dbp_algos::Cdff::new()).expect("legal");
+                let mut mismatches = 0u64;
+                for t in 0..(1u64 << n) {
+                    let expected = dbp_analysis::max_zero_run(t, n) as usize + 1;
+                    if res.open_at(Time(t)) != expected {
+                        mismatches += 1;
+                    }
+                }
+                assert_eq!(mismatches, 0);
+                mismatches
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Lemma 5.9 / Corollary 5.10 enumerations.
+fn lemma59(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemmas/zero-runs");
+    for &n in &[12u32, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| (sum_max_zero_runs(n), expected_max_zero_run_exact(n)))
+        });
+    }
+    group.finish();
+}
+
+/// Lemma 3.1: the analytic lower bounds and the FFD-repack upper bound.
+fn lemma31(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemmas/opt-bracket");
+    let inst = random_general(&GeneralConfig::new(8, 2_000), 7);
+    group.bench_function("lower-bounds-2k", |b| {
+        b.iter(|| LowerBounds::of(&inst).best())
+    });
+    group.bench_function("ffd-repack-2k", |b| b.iter(|| ffd_repack_cost(&inst)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig_cor58, lemma59, lemma31
+}
+criterion_main!(benches);

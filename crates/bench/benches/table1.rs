@@ -1,0 +1,65 @@
+//! Criterion benches that regenerate the Table 1 measurements: one bench
+//! per table row family, so `cargo bench` re-derives the paper's
+//! evaluation artifacts under measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_bench::bracket;
+use dbp_core::engine;
+use dbp_workloads::adversary::{run_adversary, AdversaryConfig};
+use dbp_workloads::{ff_pathology_pow2, sigma_mu};
+
+/// Row 1 of Table 1: HA under the adversary, per μ.
+fn row_clairvoyant_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/clairvoyant-general");
+    for &n in &[6u32, 9, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out =
+                    run_adversary(dbp_algos::HybridAlgorithm::new(), &AdversaryConfig::new(n))
+                        .expect("legal");
+                bracket::ratio_vs_opt_r(&out.instance, out.result.cost).0
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row 2 of Table 1: CDFF on σ_μ, per μ.
+fn row_aligned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/aligned-cdff");
+    for &n in &[8u32, 12, 16] {
+        let inst = sigma_mu(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                engine::run(inst, dbp_algos::Cdff::new())
+                    .expect("legal")
+                    .cost
+                    .as_bin_ticks()
+                    / (1u64 << n) as f64
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row 3 of Table 1: FF on the Ω(μ) pathology, per μ.
+fn row_nonclairvoyant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/nonclairvoyant-ff");
+    for &n in &[4u32, 5, 6] {
+        let inst = ff_pathology_pow2(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let res = engine::run(inst, dbp_algos::FirstFit::new()).expect("legal");
+                bracket::opt_nr(inst).ratio_bracket(res.cost).0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = row_clairvoyant_general, row_aligned, row_nonclairvoyant
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Workload generator CLI: emits instance CSVs consumable by `dbp-pack`
+//! (and the `trace_replay` example).
+//!
+//! ```text
+//! dbp-gen <family> [--seed S] [--out FILE] [family options]
+//!
+//! families:
+//!   binary    --n N                          σ_μ with μ = 2^N
+//!   aligned   --n N --items K                random aligned input
+//!   general   --n N --items K [--gap G]      Poisson/log-uniform input
+//!   cloud     --sessions K --horizon H       cloud-gaming trace
+//!   pathology --n N                          the Ω(μ) First-Fit trap
+//!   semi      --n N --slack S --items K      semi-aligned input
+//! ```
+
+use std::io::Write;
+
+use dbp_core::instance::Instance;
+use dbp_workloads::{
+    cloud_trace, ff_pathology_pow2, random_aligned, random_general, semi_aligned, sigma_mu,
+    AlignedConfig, CloudConfig, GeneralConfig, SemiAlignedConfig,
+};
+
+struct Args {
+    flags: Vec<(String, String)>,
+    family: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut argv = std::env::args().skip(1);
+        let family = argv.next().unwrap_or_default();
+        let mut flags = Vec::new();
+        while let Some(a) = argv.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.next().unwrap_or_else(|| {
+                    eprintln!("flag --{name} requires a value");
+                    std::process::exit(2);
+                });
+                flags.push((name.to_string(), value));
+            } else {
+                eprintln!("unexpected argument: {a}");
+                std::process::exit(2);
+            }
+        }
+        Args { flags, family }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, name: &str, default: u64) -> u64 {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} expects a number, got '{v}'");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.num("seed", 1);
+    let inst: Instance = match args.family.as_str() {
+        "binary" => sigma_mu(args.num("n", 8) as u32),
+        "aligned" => random_aligned(
+            &AlignedConfig::new(args.num("n", 8) as u32, args.num("items", 500) as usize),
+            seed,
+        ),
+        "general" => {
+            let mut cfg =
+                GeneralConfig::new(args.num("n", 8) as u32, args.num("items", 500) as usize);
+            cfg.mean_gap = args.num("gap", 1);
+            random_general(&cfg, seed)
+        }
+        "cloud" => cloud_trace(
+            &CloudConfig::new(
+                args.num("sessions", 1000) as usize,
+                args.num("horizon", 1440),
+            ),
+            seed,
+        ),
+        "pathology" => ff_pathology_pow2(args.num("n", 5) as u32),
+        "semi" => semi_aligned(
+            &SemiAlignedConfig::new(
+                args.num("n", 8) as u32,
+                args.num("slack", 2) as u32,
+                args.num("items", 500) as usize,
+            ),
+            seed,
+        ),
+        other => {
+            eprintln!(
+                "unknown family '{other}'; options: binary aligned general cloud pathology semi"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let csv = dbp_workloads::emit_trace(&inst);
+
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, csv).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {} items (μ = {:.1}) to {path}",
+                inst.len(),
+                inst.mu().unwrap_or(1.0)
+            );
+        }
+        None => {
+            std::io::stdout().write_all(csv.as_bytes()).expect("stdout");
+        }
+    }
+}

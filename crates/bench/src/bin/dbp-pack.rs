@@ -1,0 +1,116 @@
+//! Packing CLI: runs algorithms on an instance CSV and reports costs,
+//! certified ratios and (optionally) a packing gantt.
+//!
+//! ```text
+//! dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]
+//! ```
+//!
+//! CSV format: `arrival,duration,size_num,size_den` per line (`#` comments
+//! and a non-numeric header line are ignored) — the same format `dbp-gen`
+//! emits.
+
+use dbp_analysis::figures::packing_gantt;
+use dbp_analysis::table::{f3, Table};
+use dbp_bench::bracket;
+use dbp_core::{compare_goals, engine};
+use dbp_workloads::parse_trace;
+
+fn main() {
+    let mut path = None;
+    let mut algos: Vec<String> = Vec::new();
+    let mut gantt = false;
+    let mut momentary = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--algo" => {
+                algos.push(argv.next().unwrap_or_else(|| {
+                    eprintln!("--algo requires a name");
+                    std::process::exit(2);
+                }));
+            }
+            "--gantt" => gantt = true,
+            "--momentary" => momentary = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
+                     algorithms: {:?}",
+                    dbp_algos::registry_names()
+                );
+                return;
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: dbp-pack <trace.csv> [--algo NAME]... (see --help)");
+        std::process::exit(2);
+    };
+    if algos.is_empty() {
+        algos = dbp_algos::registry_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let inst = parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("bad trace: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{}: {} items, μ = {:.1}, span = {} ticks, aligned = {}",
+        path,
+        inst.len(),
+        inst.mu().unwrap_or(1.0),
+        inst.span_dur().ticks(),
+        inst.is_aligned()
+    );
+    let br = bracket::opt_r(&inst);
+    println!(
+        "OPT_R ∈ [{:.1}, {:.1}] bin·ticks\n",
+        br.lower.as_bin_ticks(),
+        br.upper.as_bin_ticks()
+    );
+
+    let mut header = vec!["algorithm", "cost", "bins", "peak", "ratio ≥", "ratio ≤"];
+    if momentary {
+        header.push("momentary");
+    }
+    let mut table = Table::new(header);
+    for name in &algos {
+        let Some(algo) = dbp_algos::by_name(name) else {
+            eprintln!("unknown algorithm '{name}' (see --help)");
+            std::process::exit(2);
+        };
+        let res = engine::run(&inst, algo).unwrap_or_else(|e| {
+            eprintln!("{name}: illegal move: {e}");
+            std::process::exit(1);
+        });
+        let (lo, hi) = br.ratio_bracket(res.cost);
+        let mut row = vec![
+            name.clone(),
+            format!("{:.1}", res.cost.as_bin_ticks()),
+            res.bins_opened.to_string(),
+            res.max_open.to_string(),
+            f3(lo),
+            f3(hi),
+        ];
+        if momentary {
+            row.push(f3(compare_goals(&inst, &res).momentary));
+        }
+        table.row(row);
+        if gantt {
+            if inst.end().map_or(0, |t| t.ticks()) <= 200 {
+                println!("--- {name} ---\n{}", packing_gantt(&inst, &res, 200));
+            } else {
+                eprintln!("(--gantt skipped: horizon wider than 200 ticks)");
+            }
+        }
+    }
+    println!("{}", table.render());
+}

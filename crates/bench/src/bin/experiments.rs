@@ -1,0 +1,102 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments                 # list available experiment ids
+//! experiments all             # run everything, print reports
+//! experiments all --out DIR   # also write one .txt and .csv per report
+//! experiments table1-ha fig3  # run a subset
+//! experiments all --md report.md   # also write one combined markdown report
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dbp_bench::experiments::{registry, run_by_id};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut md_path: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--md" => {
+                let p = it.next().unwrap_or_else(|| {
+                    eprintln!("--md requires a file path");
+                    std::process::exit(2);
+                });
+                md_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if ids.is_empty() {
+        print_usage();
+        return;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = registry().iter().map(|(n, _)| n.to_string()).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let mut combined = String::from(
+        "# Regenerated experiment report\n\nProduced by `experiments`; see EXPERIMENTS.md \
+         for the paper-vs-measured discussion.\n\n",
+    );
+    for id in &ids {
+        let started = Instant::now();
+        let Some(report) = run_by_id(id) else {
+            eprintln!("unknown experiment: {id} (run with no args to list)");
+            std::process::exit(2);
+        };
+        let rendered = report.render();
+        writeln!(lock, "{rendered}").expect("stdout");
+        writeln!(lock, "({} finished in {:.2?})\n", id, started.elapsed()).expect("stdout");
+        if let Some(dir) = &out_dir {
+            fs::write(dir.join(format!("{id}.txt")), &rendered).expect("write report");
+            if !report.table.is_empty() {
+                fs::write(dir.join(format!("{id}.csv")), report.table.to_csv()).expect("write csv");
+            }
+        }
+        combined.push_str("```text\n");
+        combined.push_str(&rendered);
+        combined.push_str("```\n\n");
+    }
+    if let Some(dir) = &out_dir {
+        for (name, svg) in dbp_bench::experiments::svgs::generate() {
+            fs::write(dir.join(&name), svg).expect("write svg");
+        }
+        eprintln!("svg figures written to {}", dir.display());
+    }
+    if let Some(path) = md_path {
+        fs::write(&path, combined).expect("write markdown report");
+        eprintln!("wrote combined report to {}", path.display());
+    }
+}
+
+fn print_usage() {
+    println!("usage: experiments [--out DIR] <id>... | all\n\navailable experiments:");
+    for (id, _) in registry() {
+        println!("  {id}");
+    }
+}

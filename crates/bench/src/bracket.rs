@@ -1,0 +1,72 @@
+//! Effort-aware OPT brackets for experiments.
+//!
+//! Small instances afford the tight comparators (FFD-repack, the
+//! non-repacking portfolio, even exact search); adversary-scale instances
+//! get the analytic Lemma 3.1 bracket, which is always within 2× of OPT_R.
+
+use dbp_algos::offline;
+use dbp_core::bounds::OptBracket;
+use dbp_core::cost::Area;
+use dbp_core::instance::Instance;
+
+/// Above this item count, skip the O(E·n log n) FFD-repack tightening.
+pub const FFD_TIGHTEN_LIMIT: usize = 20_000;
+/// Above this item count, skip the full portfolio for OPT_NR.
+pub const PORTFOLIO_LIMIT: usize = 50_000;
+
+/// Bracket on the repacking optimum, tightened when affordable (exact
+/// when peak concurrency permits — see [`offline::opt_r_bracket`]).
+pub fn opt_r(instance: &Instance) -> OptBracket {
+    if instance.len() <= FFD_TIGHTEN_LIMIT {
+        offline::opt_r_bracket(instance)
+    } else {
+        OptBracket::of(instance)
+    }
+}
+
+/// Bracket on the non-repacking optimum, tightened when affordable.
+pub fn opt_nr(instance: &Instance) -> OptBracket {
+    let base = OptBracket::of(instance);
+    if instance.len() <= PORTFOLIO_LIMIT {
+        base.tighten_upper(offline::best_nonrepacking(instance).cost)
+    } else {
+        base
+    }
+}
+
+/// The certified ratio interval `(at_least, at_most)` for an online cost
+/// against `OPT_R`.
+pub fn ratio_vs_opt_r(instance: &Instance, cost: Area) -> (f64, f64) {
+    opt_r(instance).ratio_bracket(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::size::Size;
+    use dbp_core::time::{Dur, Time};
+
+    #[test]
+    fn tightened_bracket_is_tighter() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(8), Size::from_ratio(1, 2)),
+            (Time(0), Dur(8), Size::from_ratio(1, 2)),
+            (Time(0), Dur(8), Size::from_ratio(1, 2)),
+        ])
+        .unwrap();
+        let plain = OptBracket::of(&inst);
+        let tight = opt_r(&inst);
+        assert!(tight.upper <= plain.upper);
+        assert!(tight.lower == plain.lower);
+        assert!(tight.looseness() <= plain.looseness());
+    }
+
+    #[test]
+    fn ratio_interval_ordered() {
+        let inst = Instance::from_triples([(Time(0), Dur(4), Size::from_ratio(1, 2))]).unwrap();
+        let cost = Area::from_bin_ticks(Dur(4));
+        let (lo, hi) = ratio_vs_opt_r(&inst, cost);
+        assert!(lo <= hi);
+        assert!((lo - 1.0).abs() < 1e-9, "single item is served optimally");
+    }
+}

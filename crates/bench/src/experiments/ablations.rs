@@ -1,0 +1,278 @@
+//! Ablations for the design choices DESIGN.md calls out: HA's threshold
+//! shape, the hybrid composition itself, and CDFF's dynamic rows.
+//!
+//! A single adversarial family cannot rank algorithms — the Theorem 4.3
+//! adversary *adapts to its victim*, so each algorithm is measured on its
+//! own personal worst input there. The ablations therefore use a stress
+//! matrix: the adaptive adversary (full μ rounds), the non-clairvoyant
+//! Ω(μ) pathology (kills anything First-Fit-shaped), and the binary input
+//! σ_μ (kills anything that dedicates bins per duration class). The
+//! paper's design choices are the ones whose *worst column* stays small.
+
+use dbp_algos::{ClassifyByDuration, HybridAlgorithm, Threshold};
+use dbp_analysis::table::{f3, Table};
+use dbp_core::engine;
+use dbp_core::instance::Instance;
+use dbp_workloads::adversary::{run_adversary, AdversaryConfig};
+use dbp_workloads::{ff_pathology_pow2, sigma_mu};
+
+use crate::bracket;
+use crate::sweep::parallel_map;
+
+use super::ExperimentReport;
+
+/// log μ used by each stress column (adversary kept small enough to run
+/// the full μ rounds its proof requires).
+const ADV_N: u32 = 12;
+const PATHOLOGY_N: u32 = 6;
+const SIGMA_N: u32 = 14;
+
+fn adversary_ratio(algo: impl dbp_core::OnlineAlgorithm, n: u32) -> f64 {
+    let out = run_adversary(algo, &AdversaryConfig::new(n)).expect("legal algorithm");
+    let (lo, _) = bracket::ratio_vs_opt_r(&out.instance, out.result.cost);
+    lo
+}
+
+fn instance_ratio(algo: impl dbp_core::OnlineAlgorithm, inst: &Instance) -> f64 {
+    let res = engine::run(inst, algo).expect("legal algorithm");
+    let (lo, _) = bracket::ratio_vs_opt_r(inst, res.cost);
+    lo
+}
+
+/// One stress-matrix row for an algorithm constructor.
+fn stress_row<F>(make: F) -> (f64, f64, f64)
+where
+    F: Fn() -> Box<dyn dbp_core::OnlineAlgorithm>,
+{
+    let adv = adversary_ratio(make(), ADV_N);
+    let path = instance_ratio(make(), &ff_pathology_pow2(PATHOLOGY_N));
+    let sig = instance_ratio(make(), &sigma_mu(SIGMA_N));
+    (adv, path, sig)
+}
+
+/// One size-1/2 item per duration class, all concurrent: each type's load
+/// (1/2) sits exactly at the flat-1/2 threshold (stays GN) but above the
+/// paper's 1/(2√i) for i ≥ 2 (goes CD) — the input where Lemma 3.3's GN
+/// accounting separates the threshold shapes.
+fn gn_stress_ladder(n: u32) -> Instance {
+    let triples = (1..=n).map(|i| {
+        (
+            dbp_core::time::Time(0),
+            dbp_core::time::Dur(1u64 << i),
+            dbp_core::size::Size::from_ratio(1, 2),
+        )
+    });
+    Instance::from_triples(triples).expect("ladder is valid")
+}
+
+/// Ablation: HA's CD threshold `1/(2√i)` against flat and faster-decaying
+/// alternatives, across the stress matrix.
+pub fn threshold() -> ExperimentReport {
+    let variants: Vec<(&str, Threshold)> = vec![
+        ("1/(2√i) (paper)", Threshold::InvSqrt),
+        ("1/2 flat", Threshold::Constant(1, 2)),
+        ("1/8 flat", Threshold::Constant(1, 8)),
+        ("1/(2i)", Threshold::InvLinear),
+        ("never (= first-fit)", Threshold::Never),
+        ("always (= classify)", Threshold::Always),
+    ];
+    let rows = parallel_map(&variants, |&(name, th)| {
+        let (adv, path, sig) = stress_row(|| Box::new(HybridAlgorithm::with_threshold(th)));
+        // GN-peak under a dense just-below-threshold ladder: the Lemma 3.3
+        // regime, where the threshold shape separates √log μ from log μ.
+        let n = 24u32;
+        let mut ha = HybridAlgorithm::with_threshold(th);
+        let inst = gn_stress_ladder(n);
+        let _ = engine::run(&inst, &mut ha).expect("legal");
+        (name, adv, path, sig, ha.gn_peak())
+    });
+    let mut table = Table::new([
+        "threshold",
+        format!("adversary n={ADV_N}").as_str(),
+        format!("Ω(μ) pathology μ={}", 1 << PATHOLOGY_N).as_str(),
+        format!("σ_μ n={SIGMA_N}").as_str(),
+        "worst ratio",
+        "GN peak (n=24 ladder)",
+    ]);
+    for &(name, adv, path, sig, gn) in &rows {
+        table.row([
+            name.to_string(),
+            f3(adv),
+            f3(path),
+            f3(sig),
+            f3(adv.max(path).max(sig)),
+            gn.to_string(),
+        ]);
+    }
+    let lemma33_bound = 2.0 + 4.0 * 24f64.sqrt();
+    ExperimentReport {
+        id: "ablation-threshold",
+        title: "Ablation: HA's CD threshold shape across the stress matrix".into(),
+        table,
+        text: format!(
+            "Expected: 'never' (pure First-Fit) blows up on the Ω(μ) pathology; 'always'\n\
+             and 1/(2i) over-classify and pay on σ_μ. Flat thresholds match the paper's\n\
+             ratios at laptop-scale μ, but the GN-peak column shows the asymptotic price:\n\
+             a just-below-threshold ladder forces flat-1/2 to hold ~log μ of GN load\n\
+             (GN peak ~log μ) while the paper's 1/(2√i) keeps it ≤ 2+4√log μ = {} at\n\
+             n = 24 (Lemma 3.3) — the quantity that drives the √log μ vs log μ ratio\n\
+             separation as μ grows beyond what we can simulate.\n",
+            f3(lemma33_bound)
+        ),
+    }
+}
+
+/// Ablation: the hybrid composition vs its two parent strategies.
+pub fn hybrid_vs_parents() -> ExperimentReport {
+    let variants: Vec<(&str, &str)> = vec![
+        ("first-fit", "first-fit"),
+        ("cbd (binary)", "cbd"),
+        ("cbd (width 3)", "cbd:3"),
+        ("hybrid (HA)", "hybrid"),
+    ];
+    let rows = parallel_map(&variants, |&(label, reg)| {
+        let (adv, path, sig) = stress_row(|| dbp_algos::by_name(reg).expect("registry name"));
+        (label, adv, path, sig)
+    });
+    let mut table = Table::new([
+        "algorithm",
+        format!("adversary n={ADV_N}").as_str(),
+        format!("Ω(μ) pathology μ={}", 1 << PATHOLOGY_N).as_str(),
+        format!("σ_μ n={SIGMA_N}").as_str(),
+        "worst column",
+    ]);
+    for &(label, adv, path, sig) in &rows {
+        table.row([
+            label.to_string(),
+            f3(adv),
+            f3(path),
+            f3(sig),
+            f3(adv.max(path).max(sig)),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation-hybrid",
+        title: "Ablation: HA vs its parent strategies across the stress matrix".into(),
+        table,
+        text: "Expected: First-Fit is killed by the Ω(μ) pathology, classify-by-duration\n\
+               by σ_μ (a bin chain per class); only the hybrid keeps every column small —\n\
+               the whole point of combining the two strategies behind a load threshold.\n"
+            .into(),
+    }
+}
+
+/// Footnote 1: any Any-Fit rule inside HA's bin groups preserves its
+/// guarantees — First/Best/Worst inner fits across the stress matrix.
+pub fn anyfit_footnote() -> ExperimentReport {
+    use dbp_algos::InnerFit;
+    let variants: Vec<(&str, InnerFit)> = vec![
+        ("first-fit inner (paper)", InnerFit::First),
+        ("best-fit inner", InnerFit::Best),
+        ("worst-fit inner", InnerFit::Worst),
+    ];
+    let rows = parallel_map(&variants, |&(name, fit)| {
+        let (adv, path, sig) = stress_row(|| Box::new(HybridAlgorithm::with_inner_fit(fit)));
+        (name, adv, path, sig)
+    });
+    let mut table = Table::new([
+        "inner rule",
+        format!("adversary n={ADV_N}").as_str(),
+        format!("Ω(μ) pathology μ={}", 1 << PATHOLOGY_N).as_str(),
+        format!("σ_μ n={SIGMA_N}").as_str(),
+        "worst column",
+    ]);
+    for &(name, adv, path, sig) in &rows {
+        table.row([
+            name.to_string(),
+            f3(adv),
+            f3(path),
+            f3(sig),
+            f3(adv.max(path).max(sig)),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation-anyfit",
+        title: "Footnote 1: HA is insensitive to the Any-Fit rule inside its bin groups".into(),
+        table,
+        text: "The paper notes (footnote 1) that any Any-Fit policy works for packing\n\
+               within the GN group or within one type's CD group — the analysis only\n\
+               uses 'a new bin in the group implies all earlier group bins are ≥ half\n\
+               full between consecutive openings'. Expected: the three columns are\n\
+               near-identical across all three rules.\n"
+            .into(),
+    }
+}
+
+/// Ablation: CDFF's dynamic rows vs static per-class bins on binary inputs.
+pub fn rows() -> ExperimentReport {
+    let ns: &[u32] = &[4, 8, 12, 16];
+    let rows = parallel_map(ns, |&n| {
+        let inst = sigma_mu(n);
+        let cdff = engine::run(&inst, dbp_algos::Cdff::new()).expect("legal");
+        let cbd = engine::run(&inst, ClassifyByDuration::binary()).expect("legal");
+        let mu = (1u64 << n) as f64;
+        (
+            n,
+            cdff.cost.as_bin_ticks() / mu,
+            cbd.cost.as_bin_ticks() / mu,
+        )
+    });
+    let mut table = Table::new([
+        "log μ",
+        "dynamic rows (CDFF) cost/μ",
+        "static classes (CBD) cost/μ",
+        "advantage",
+    ]);
+    for &(n, cdff, cbd) in &rows {
+        table.row([n.to_string(), f3(cdff), f3(cbd), f3(cbd / cdff)]);
+    }
+    ExperimentReport {
+        id: "ablation-rows",
+        title: "Ablation: CDFF's dynamic row remapping vs static duration classes".into(),
+        table,
+        text: "Expected: static classes pay ~log μ on σ_μ (one bin chain per class, each\n\
+               open ~μ), dynamic rows pay ~log log μ — the advantage column grows with μ,\n\
+               the exponential separation of Section 5.\n"
+            .into(),
+    }
+}
+
+/// Ablation of the adversary itself: sweep its per-round bin target and
+/// measure the certified ratio it forces on HA. The proof picks √log μ;
+/// the sweep shows why — smaller targets waste the ladder, larger ones
+/// feed OPT too much load.
+pub fn adversary_target() -> ExperimentReport {
+    use dbp_workloads::adversary::{run_adversary, AdversaryConfig};
+    let n = 12u32;
+    let targets: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 10, 13];
+    let rows = parallel_map(&targets, |&target| {
+        let mut cfg = AdversaryConfig::new(n);
+        cfg.bin_target = Some(target);
+        let out = run_adversary(HybridAlgorithm::new(), &cfg).expect("legal");
+        let (lo, _) = bracket::ratio_vs_opt_r(&out.instance, out.result.cost);
+        (target, out.items_released, lo)
+    });
+    let sqrt_n = (n as f64).sqrt().ceil() as usize;
+    let mut table = Table::new(["bin target", "items released", "forced certified ratio ≥"]);
+    for &(t, items, lo) in &rows {
+        let marker = if t == sqrt_n {
+            format!("{t}  ← ⌈√log μ⌉")
+        } else {
+            t.to_string()
+        };
+        table.row([marker, items.to_string(), f3(lo)]);
+    }
+    ExperimentReport {
+        id: "ablation-adversary-target",
+        title: format!(
+            "Ablation: the adversary's bin target at log μ = {n} — why the proof picks √log μ"
+        ),
+        table,
+        text: "Each round stops once the victim has `target` bins open. Tiny targets stop\n\
+               ladders immediately (cheap for the victim); huge targets force the full\n\
+               ladder whose load OPT also gets to pack densely. Expected: the forced\n\
+               ratio peaks near ⌈√log μ⌉ — the proof's balance point between starving\n\
+               OPT and spending the ladder.\n"
+            .into(),
+    }
+}

@@ -1,0 +1,302 @@
+//! Table 1 of the paper, re-created as measured competitive-ratio
+//! envelopes.
+//!
+//! The paper's Table 1 is a bounds summary; the measurable content is:
+//!
+//! * **Clairvoyant / general, upper**: HA's ratio on its worst measured
+//!   input grows like `√log μ` — `table1-ha` sweeps the Theorem 4.3
+//!   adversary and reports ratio envelopes and the `ratio / √log μ`
+//!   normalisation, which should stay bounded.
+//! * **Clairvoyant / general, lower**: every online algorithm in the suite
+//!   is forced to `Ω(√log μ)` by the same adversary — `table1-lb`.
+//! * **Clairvoyant / aligned**: CDFF on binary inputs grows like
+//!   `log log μ` — `table1-cdff` normalises by `log log μ`.
+//! * **Non-clairvoyant**: First-Fit on the Ω(μ) pathology grows linearly in
+//!   μ while clairvoyant HA does not — `table1-nonclair`.
+
+use dbp_analysis::stats::linear_fit;
+use dbp_analysis::table::{f3, Table};
+use dbp_core::engine;
+use dbp_workloads::adversary::{run_adversary, AdversaryConfig};
+use dbp_workloads::{cloud_trace, ff_pathology_pow2, random_general, CloudConfig, GeneralConfig};
+
+use crate::bracket;
+use crate::sweep::parallel_map;
+
+use super::ExperimentReport;
+
+/// Round cap keeping adversary sweeps fast at large μ without changing the
+/// per-round forcing structure.
+fn rounds_for(n: u32) -> u64 {
+    (1u64 << n).min(2048)
+}
+
+/// μ exponents swept by the Table 1 experiments.
+pub const SWEEP_NS: &[u32] = &[4, 6, 9, 12, 16, 20, 25];
+
+/// T1 row 1 (upper): HA under the adversary across μ.
+pub fn table1_ha() -> ExperimentReport {
+    let rows = parallel_map(SWEEP_NS, |&n| {
+        let cfg = AdversaryConfig::new(n).with_rounds(rounds_for(n));
+        let out = run_adversary(dbp_algos::HybridAlgorithm::new(), &cfg)
+            .expect("HA never makes illegal moves");
+        let (lo, hi) = bracket::ratio_vs_opt_r(&out.instance, out.result.cost);
+        (n, out.instance.len(), lo, hi)
+    });
+
+    let mut table = Table::new([
+        "log μ",
+        "items",
+        "ratio ≥ (vs UB)",
+        "ratio ≤ (vs LB)",
+        "ratio≥ / √log μ",
+    ]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(n, items, lo, hi) in &rows {
+        let norm = lo / (n as f64).sqrt();
+        table.row([n.to_string(), items.to_string(), f3(lo), f3(hi), f3(norm)]);
+        xs.push((n as f64).sqrt());
+        ys.push(lo);
+    }
+    let fit = linear_fit(&xs, &ys);
+    let mut text = match fit {
+        Some((a, b, r2)) => format!(
+            "Shape check: certified-lower ratio vs √log μ fits y = {} + {}·x with r² = {}.\n\
+             Expected: positive slope, good fit (the O(√log μ) upper bound is tight on this input),\n\
+             and the normalised column stays bounded as μ grows 16 orders of magnitude.\n",
+            f3(a), f3(b), f3(r2)
+        ),
+        None => String::new(),
+    };
+    text.push('\n');
+    text.push_str(&dbp_analysis::ascii_plot::plot(
+        &xs,
+        &[("HA certified ratio vs √log μ", &ys)],
+        56,
+        10,
+    ));
+    ExperimentReport {
+        id: "table1-ha",
+        title: "Table 1 / clairvoyant general UPPER: HA ratio growth under the adversary".into(),
+        table,
+        text,
+    }
+}
+
+/// T1 row 1 (lower): the adversary forces every algorithm.
+///
+/// Unlike the UPPER sweep this one runs the full μ rounds the proof
+/// requires (the `4μ` slack term of Equation (4) must be dominated), so it
+/// stops at `log μ = 12` to stay fast.
+pub fn table1_lb() -> ExperimentReport {
+    let ns: &[u32] = &[4, 6, 9, 12];
+    let algos = [
+        "first-fit",
+        "best-fit",
+        "cbd",
+        "hybrid",
+        "cdff",
+        "departure-aware",
+    ];
+    let jobs: Vec<(u32, &str)> = ns
+        .iter()
+        .flat_map(|&n| algos.iter().map(move |&a| (n, a)))
+        .collect();
+    let rows = parallel_map(&jobs, |&(n, name)| {
+        let algo = dbp_algos::by_name(name).expect("registry name");
+        let cfg = AdversaryConfig::new(n); // full μ rounds
+        let out = run_adversary(algo, &cfg).expect("suite algorithms are legal");
+        let (lo, _) = bracket::ratio_vs_opt_r(&out.instance, out.result.cost);
+        (n, name, lo)
+    });
+
+    let mut table = Table::new(["algorithm", "log μ", "certified ratio ≥", "≥ / √log μ"]);
+    for &(n, name, lo) in &rows {
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            f3(lo),
+            f3(lo / (n as f64).sqrt()),
+        ]);
+    }
+    ExperimentReport {
+        id: "table1-lb",
+        title: "Table 1 / clairvoyant general LOWER: adversary forces Ω(√log μ) on every algorithm"
+            .into(),
+        table,
+        text: "Expected: the certified ratio grows with μ for every algorithm, and the\n\
+               normalised column is bounded away from 0 — no online algorithm escapes\n\
+               the Theorem 4.3 adversary.\n"
+            .into(),
+    }
+}
+
+/// T1 row 2: CDFF on binary (worst-case aligned) inputs.
+pub fn table1_cdff() -> ExperimentReport {
+    let ns: &[u32] = &[3, 5, 8, 11, 14, 17, 20];
+    let rows = parallel_map(ns, |&n| {
+        let inst = dbp_workloads::sigma_mu(n);
+        let cdff = engine::run(&inst, dbp_algos::Cdff::new()).expect("cdff legal");
+        let cbd = engine::run(&inst, dbp_algos::ClassifyByDuration::binary()).expect("cbd legal");
+        let ha = engine::run(&inst, dbp_algos::HybridAlgorithm::new()).expect("ha legal");
+        // OPT_R(σ_μ) ≥ span = μ; an anchor item of length μ exists, so the
+        // span bound is the tight comparator the paper uses in Prop 5.3.
+        let mu = (1u64 << n) as f64;
+        (
+            n,
+            cdff.cost.as_bin_ticks() / mu,
+            cbd.cost.as_bin_ticks() / mu,
+            ha.cost.as_bin_ticks() / mu,
+        )
+    });
+
+    let mut table = Table::new([
+        "log μ",
+        "CDFF cost/μ",
+        "CBD cost/μ",
+        "HA cost/μ",
+        "CDFF / (2 lglg μ + 1)",
+    ]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(n, cdff, cbd, ha) in &rows {
+        let loglog = (n as f64).log2().max(1.0);
+        table.row([
+            n.to_string(),
+            f3(cdff),
+            f3(cbd),
+            f3(ha),
+            f3(cdff / (2.0 * loglog + 1.0)),
+        ]);
+        xs.push(loglog);
+        ys.push(cdff);
+    }
+    let mut text = match linear_fit(&xs, &ys) {
+        Some((a, b, r2)) => format!(
+            "Shape check: CDFF's cost/μ vs log log μ fits y = {} + {}·x (r² = {}).\n\
+             Expected: CDFF grows ~log log μ and stays below the Prop 5.3 envelope\n\
+             (last column ≤ 1); CBD grows ~log μ (a bin chain per class). HA degenerates\n\
+             to First-Fit on σ_μ (every type's load stays under its threshold) which is\n\
+             optimal *on this particular input* — σ_μ is CDFF's worst case, not HA's;\n\
+             the general-input guarantees are the other way around.\n",
+            f3(a),
+            f3(b),
+            f3(r2)
+        ),
+        None => String::new(),
+    };
+    text.push('\n');
+    text.push_str(&dbp_analysis::ascii_plot::plot(
+        &xs,
+        &[("CDFF cost/μ vs log log μ", &ys)],
+        56,
+        10,
+    ));
+    ExperimentReport {
+        id: "table1-cdff",
+        title: "Table 1 / aligned: CDFF is O(log log μ) on binary inputs".into(),
+        table,
+        text,
+    }
+}
+
+/// T1 row 3: First-Fit vs clairvoyant algorithms on the Ω(μ) pathology,
+/// plus the *adaptive* Li adversary that pins ANY non-clairvoyant
+/// algorithm (here Best-Fit, which dodges the fixed pathology's ordering).
+pub fn table1_nonclair() -> ExperimentReport {
+    use dbp_workloads::run_nc_adversary;
+    let ns: &[u32] = &[2, 3, 4, 5, 6];
+    let rows = parallel_map(ns, |&n| {
+        let inst = ff_pathology_pow2(n);
+        let ff = engine::run(&inst, dbp_algos::FirstFit::new()).expect("ff legal");
+        let ha = engine::run(&inst, dbp_algos::HybridAlgorithm::new()).expect("ha legal");
+        let daf = engine::run(&inst, dbp_algos::DepartureAwareFit::new()).expect("daf legal");
+        let b = bracket::opt_nr(&inst);
+        let (ff_lo, _) = b.ratio_bracket(ff.cost);
+        let (ha_lo, _) = b.ratio_bracket(ha.cost);
+        let (daf_lo, _) = b.ratio_bracket(daf.cost);
+        // Adaptive departures vs Best-Fit: the lower bound that holds for
+        // every non-clairvoyant algorithm.
+        let k = 1u64 << n;
+        let adaptive = run_nc_adversary(dbp_algos::BestFit::new(), k, k).expect("bf legal");
+        let (bf_lo, _) = bracket::opt_nr(&adaptive.instance).ratio_bracket(adaptive.result.cost);
+        (n, ff_lo, ha_lo, daf_lo, bf_lo)
+    });
+
+    let mut table = Table::new([
+        "μ",
+        "FF ratio ≥ (fixed input)",
+        "FF ratio / μ",
+        "HA ratio ≥",
+        "DAF ratio ≥",
+        "BF ratio ≥ (adaptive departures)",
+    ]);
+    for &(n, ff, ha, daf, bf) in &rows {
+        let mu = (1u64 << n) as f64;
+        table.row([
+            format!("{}", 1u64 << n),
+            f3(ff),
+            f3(ff / mu),
+            f3(ha),
+            f3(daf),
+            f3(bf),
+        ]);
+    }
+    ExperimentReport {
+        id: "table1-nonclair",
+        title: "Table 1 / non-clairvoyant: FF pays Θ(μ); clairvoyant algorithms do not".into(),
+        table,
+        text: "Expected: FF's ratio grows linearly in μ (normalised column roughly constant,\n\
+               bounded by the μ+4 guarantee) while the clairvoyant HA stays flat — the\n\
+               clairvoyance separation of Table 1. Note the departure-aware greedy matches\n\
+               FF here: on this input every arriving filler fits only the bin FF would\n\
+               pick, so *knowing* departures is not enough — it takes HA's duration types\n\
+               to sidestep the trap. The last column uses the Li et al. ADAPTIVE-departure\n\
+               adversary (placement first, lifetime second) against Best-Fit — a fixed\n\
+               input cannot trap every algorithm, but adaptive departures trap them all.\n"
+            .into(),
+    }
+}
+
+/// The benign counterpart: every algorithm on random/cloud workloads,
+/// aggregated through the evaluation-matrix API.
+pub fn benign_workloads() -> ExperimentReport {
+    let seeds: &[u64] = &[1, 2, 3, 4, 5];
+    let mut instances: Vec<(String, dbp_core::Instance)> = Vec::new();
+    for &seed in seeds {
+        instances.push((
+            format!("random-{seed}"),
+            random_general(&GeneralConfig::new(10, 2_000), seed),
+        ));
+        instances.push((
+            format!("cloud-{seed}"),
+            cloud_trace(&CloudConfig::new(2_000, 5_000), seed),
+        ));
+    }
+    let matrix = crate::matrix::evaluate(dbp_algos::registry_names(), &instances);
+
+    let mut table = Table::new(["rank", "algorithm", "geo-mean ratio ≥", "worst ratio ≤"]);
+    for (rank, (name, geo)) in matrix.leaderboard().into_iter().enumerate() {
+        let worst_hi = matrix
+            .by_algorithm(&name)
+            .iter()
+            .map(|c| c.ratio.1)
+            .fold(0.0, f64::max);
+        table.row([(rank + 1).to_string(), name, f3(geo), f3(worst_hi)]);
+    }
+    ExperimentReport {
+        id: "benign",
+        title: "Benign workloads: leaderboard over random + cloud traffic".into(),
+        table,
+        text: format!(
+            "Geometric mean of certified-lower ratios over {} instances ({} random\n\
+             log-uniform + {} cloud days). Expected: everything sits at small constants —\n\
+             the √log μ phenomenon is adversarial, not typical-case — with the greedy\n\
+             clairvoyant heuristic on top and Next-Fit at the bottom.\n",
+            instances.len(),
+            seeds.len(),
+            seeds.len()
+        ),
+    }
+}

@@ -1,0 +1,15 @@
+//! # dbp-bench
+//!
+//! Experiment harness for the reproduction: effort-aware OPT brackets
+//! ([`bracket`]), a crossbeam-based parallel sweep runner ([`sweep`]) and
+//! the registry of every regenerated table/figure/lemma ([`experiments`]).
+//! [`matrix`] offers a public algorithms × instances evaluation API. The
+//! `experiments` binary drives it; criterion benches under `benches/`
+//! measure the algorithms themselves.
+
+#![warn(missing_docs)]
+
+pub mod bracket;
+pub mod experiments;
+pub mod matrix;
+pub mod sweep;

@@ -1,0 +1,163 @@
+//! Batch evaluation matrices: algorithms × instances, in parallel, with
+//! certified ratio brackets — the workhorse behind the comparison
+//! experiments and a public API for downstream benchmarking.
+
+use dbp_analysis::stats::geo_mean;
+use dbp_analysis::table::{f3, Table};
+use dbp_core::cost::Area;
+use dbp_core::engine;
+use dbp_core::instance::Instance;
+
+use crate::bracket;
+use crate::sweep::parallel_map;
+
+/// One cell of an evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct EvalCell {
+    /// Algorithm registry name.
+    pub algorithm: String,
+    /// Instance label.
+    pub instance: String,
+    /// Measured cost.
+    pub cost: Area,
+    /// Certified ratio interval vs `OPT_R`.
+    pub ratio: (f64, f64),
+    /// Bins opened.
+    pub bins: usize,
+}
+
+/// The full matrix.
+#[derive(Debug, Clone)]
+pub struct EvalMatrix {
+    /// All cells, instance-major then algorithm order.
+    pub cells: Vec<EvalCell>,
+}
+
+/// Evaluates every registry algorithm named in `algorithms` over every
+/// `(label, instance)` pair, in parallel.
+///
+/// # Panics
+/// Panics if an algorithm name is not in the registry or makes an illegal
+/// move (registry algorithms never do; this is a harness, not a fuzzer).
+pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMatrix {
+    for name in algorithms {
+        assert!(
+            dbp_algos::by_name(name).is_some(),
+            "unknown algorithm '{name}'"
+        );
+    }
+    let jobs: Vec<(usize, usize)> = (0..instances.len())
+        .flat_map(|i| (0..algorithms.len()).map(move |a| (i, a)))
+        .collect();
+    let cells = parallel_map(&jobs, |&(i, a)| {
+        let (label, inst) = &instances[i];
+        let name = algorithms[a];
+        let algo = dbp_algos::by_name(name)
+            .unwrap_or_else(|| panic!("unknown algorithm '{name}'"));
+        let res = engine::run(inst, algo)
+            .unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+        let ratio = bracket::ratio_vs_opt_r(inst, res.cost);
+        EvalCell {
+            algorithm: name.to_string(),
+            instance: label.clone(),
+            cost: res.cost,
+            ratio,
+            bins: res.bins_opened,
+        }
+    });
+    EvalMatrix { cells }
+}
+
+impl EvalMatrix {
+    /// Cells for one algorithm.
+    pub fn by_algorithm(&self, name: &str) -> Vec<&EvalCell> {
+        self.cells.iter().filter(|c| c.algorithm == name).collect()
+    }
+
+    /// Geometric mean of the certified-lower ratios per algorithm,
+    /// `(name, geo-mean)`, sorted best first.
+    pub fn leaderboard(&self) -> Vec<(String, f64)> {
+        let mut names: Vec<String> = self.cells.iter().map(|c| c.algorithm.clone()).collect();
+        names.sort();
+        names.dedup();
+        let mut rows: Vec<(String, f64)> = names
+            .into_iter()
+            .map(|n| {
+                let ratios: Vec<f64> =
+                    self.by_algorithm(&n).iter().map(|c| c.ratio.0).collect();
+                let g = geo_mean(&ratios).unwrap_or(f64::INFINITY);
+                (n, g)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        rows
+    }
+
+    /// Renders as a table: one row per (instance, algorithm).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["instance", "algorithm", "cost", "bins", "ratio ≥", "ratio ≤"]);
+        for c in &self.cells {
+            t.row([
+                c.instance.clone(),
+                c.algorithm.clone(),
+                format!("{:.0}", c.cost.as_bin_ticks()),
+                c.bins.to_string(),
+                f3(c.ratio.0),
+                f3(c.ratio.1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_workloads::{random_general, GeneralConfig};
+
+    fn instances() -> Vec<(String, Instance)> {
+        (0..3u64)
+            .map(|seed| {
+                (
+                    format!("general-{seed}"),
+                    random_general(&GeneralConfig::new(6, 200), seed),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_covers_every_pair() {
+        let m = evaluate(&["first-fit", "hybrid"], &instances());
+        assert_eq!(m.cells.len(), 6);
+        assert_eq!(m.by_algorithm("hybrid").len(), 3);
+        for c in &m.cells {
+            assert!(c.ratio.0 <= c.ratio.1);
+            assert!(c.bins >= 1);
+        }
+    }
+
+    #[test]
+    fn leaderboard_sorted_and_finite() {
+        let m = evaluate(&["first-fit", "next-fit", "departure-aware"], &instances());
+        let lb = m.leaderboard();
+        assert_eq!(lb.len(), 3);
+        for w in lb.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Next-Fit should not win a benign leaderboard.
+        assert_ne!(lb[0].0, "next-fit");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let m = evaluate(&["first-fit"], &instances());
+        assert_eq!(m.table().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_algorithm_panics() {
+        evaluate(&["martian-fit"], &instances());
+    }
+}

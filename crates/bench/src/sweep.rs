@@ -1,0 +1,91 @@
+//! Parallel parameter sweeps over scoped threads.
+//!
+//! Experiments sweep μ (and seeds) over independent simulator runs; each
+//! run is single-threaded and deterministic, so the sweep is embarrassingly
+//! parallel. We fan out with `crossbeam::scope` (borrowing the sweep inputs
+//! without `'static` bounds) and preserve input order in the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `inputs` in parallel, preserving order.
+///
+/// Spawns at most `min(inputs.len(), available_parallelism)` workers; falls
+/// back to sequential execution for tiny inputs.
+pub fn parallel_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= inputs.len() {
+                    break;
+                }
+                let r = f(&inputs[idx]);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&inputs, |&x| x * x);
+        assert_eq!(out, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn borrows_locals_without_static() {
+        let base = 10u64;
+        let inputs = [1u64, 2, 3];
+        let out = parallel_map(&inputs, |&x| x + base);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn propagates_worker_panics() {
+        let inputs: Vec<u32> = (0..64).collect();
+        parallel_map(&inputs, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

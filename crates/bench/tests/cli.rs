@@ -1,0 +1,119 @@
+//! End-to-end tests of the command-line tools: `dbp-gen` → `dbp-pack`
+//! round trips, and the `experiments` binary's registry/output plumbing.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn gen_then_pack_round_trip() {
+    let dir = std::env::temp_dir().join("dbp_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.csv");
+    let trace_s = trace.to_string_lossy().into_owned();
+
+    let (_, err, ok) = run(
+        env!("CARGO_BIN_EXE_dbp-gen"),
+        &["binary", "--n", "4", "--out", &trace_s],
+    );
+    assert!(ok, "dbp-gen failed: {err}");
+    assert!(err.contains("31 items"), "σ_16 has 31 items: {err}");
+
+    let (out, err, ok) = run(
+        env!("CARGO_BIN_EXE_dbp-pack"),
+        &[
+            &trace_s,
+            "--algo",
+            "cdff",
+            "--algo",
+            "first-fit",
+            "--momentary",
+        ],
+    );
+    assert!(ok, "dbp-pack failed: {err}");
+    assert!(out.contains("aligned = true"));
+    assert!(out.contains("cdff"));
+    assert!(out.contains("first-fit"));
+    assert!(out.contains("momentary"));
+}
+
+#[test]
+fn gen_writes_stdout_without_out_flag() {
+    let (out, _, ok) = run(env!("CARGO_BIN_EXE_dbp-gen"), &["binary", "--n", "2"]);
+    assert!(ok);
+    assert!(out.starts_with("# arrival,duration"));
+    assert_eq!(out.lines().count(), 1 + 7, "header + 7 items of σ_4");
+}
+
+#[test]
+fn gen_rejects_unknown_family() {
+    let (_, err, ok) = run(env!("CARGO_BIN_EXE_dbp-gen"), &["martian"]);
+    assert!(!ok);
+    assert!(err.contains("unknown family"));
+}
+
+#[test]
+fn pack_rejects_unknown_algorithm_and_bad_file() {
+    let (_, err, ok) = run(env!("CARGO_BIN_EXE_dbp-pack"), &["/nonexistent.csv"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+
+    let dir = std::env::temp_dir().join("dbp_cli_test2");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("t.csv");
+    std::fs::write(&trace, "0,5,1,2\n").expect("write");
+    let (_, err, ok) = run(
+        env!("CARGO_BIN_EXE_dbp-pack"),
+        &[&trace.to_string_lossy(), "--algo", "nope"],
+    );
+    assert!(!ok);
+    assert!(err.contains("unknown algorithm"));
+}
+
+#[test]
+fn experiments_lists_registry_and_runs_one() {
+    let (out, _, ok) = run(env!("CARGO_BIN_EXE_experiments"), &[]);
+    assert!(ok);
+    assert!(out.contains("table1-ha"));
+    assert!(out.contains("shape-test"));
+
+    let (out, _, ok) = run(env!("CARGO_BIN_EXE_experiments"), &["fig2"]);
+    assert!(ok);
+    assert!(out.contains("Figure 2"));
+    assert!(out.contains("len    8"));
+}
+
+#[test]
+fn experiments_rejects_unknown_id() {
+    let (_, err, ok) = run(env!("CARGO_BIN_EXE_experiments"), &["not-an-experiment"]);
+    assert!(!ok);
+    assert!(err.contains("unknown experiment"));
+}
+
+#[test]
+fn experiments_writes_outputs() {
+    let dir = std::env::temp_dir().join("dbp_cli_out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+    let md = dir.join("report.md");
+    let (_, _, ok) = run(
+        env!("CARGO_BIN_EXE_experiments"),
+        &["fig3", "--out", &dir_s, "--md", &md.to_string_lossy()],
+    );
+    assert!(ok);
+    assert!(dir.join("fig3.txt").exists());
+    assert!(dir.join("fig3.csv").exists());
+    assert!(
+        dir.join("fig3.svg").exists(),
+        "svg companions are written with --out"
+    );
+    let report = std::fs::read_to_string(&md).expect("md written");
+    assert!(report.contains("Figure 3"));
+}

@@ -1,0 +1,224 @@
+//! The Any-Fit family: First-Fit, Best-Fit, Worst-Fit, Next-Fit.
+//!
+//! These are the classical non-clairvoyant baselines. First-Fit is the
+//! reference point of the paper's Table 1 bottom row: in the
+//! non-clairvoyant MinUsageTime setting it is `μ + 4`-competitive (Tang et
+//! al., IPDPS 2016) and no deterministic algorithm beats `μ` (Li et al.,
+//! SPAA 2014). None of them read an item's departure time, so they are
+//! oblivious to clairvoyance by construction.
+
+use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
+use dbp_core::bin_state::BinId;
+use dbp_core::item::Item;
+use dbp_core::size::{Load, Size};
+
+/// How an Any-Fit algorithm chooses among the open bins that fit.
+pub trait FitRule {
+    /// Display name.
+    const NAME: &'static str;
+
+    /// Chooses among `(bin, load)` candidates that all fit the item.
+    /// Candidates are supplied in opening order; returning `None` opens a
+    /// new bin (only Next-Fit ever does this when candidates exist).
+    fn choose(candidates: &[(BinId, Load)], size: Size) -> Option<BinId>;
+}
+
+/// Pick the earliest-opened bin that fits.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstFitRule;
+
+impl FitRule for FirstFitRule {
+    const NAME: &'static str = "first-fit";
+    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+        candidates.first().map(|&(b, _)| b)
+    }
+}
+
+/// Pick the fullest bin that fits (ties: earliest opened).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BestFitRule;
+
+impl FitRule for BestFitRule {
+    const NAME: &'static str = "best-fit";
+    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+        candidates
+            .iter()
+            .max_by_key(|&&(b, l)| (l, std::cmp::Reverse(b)))
+            .map(|&(b, _)| b)
+    }
+}
+
+/// Pick the emptiest bin that fits (ties: earliest opened).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorstFitRule;
+
+impl FitRule for WorstFitRule {
+    const NAME: &'static str = "worst-fit";
+    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+        candidates
+            .iter()
+            .min_by_key(|&&(b, l)| (l, b))
+            .map(|&(b, _)| b)
+    }
+}
+
+/// Only consider the most recently opened bin.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NextFitRule;
+
+impl FitRule for NextFitRule {
+    const NAME: &'static str = "next-fit";
+    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+        // Candidates arrive in opening order; Next-Fit looks only at the
+        // newest open bin and opens a fresh one if the item does not fit
+        // there. The newest open bin is the last candidate only when it
+        // fits, so compare against the true newest id.
+        candidates.last().map(|&(b, _)| b)
+    }
+}
+
+/// Generic Any-Fit algorithm parameterised by a [`FitRule`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnyFit<R: FitRule> {
+    _rule: std::marker::PhantomData<R>,
+}
+
+impl<R: FitRule> AnyFit<R> {
+    /// Creates the algorithm.
+    pub fn new() -> AnyFit<R> {
+        AnyFit {
+            _rule: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: FitRule> OnlineAlgorithm for AnyFit<R> {
+    fn name(&self) -> &str {
+        R::NAME
+    }
+
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        let newest = view.open_bins().map(|r| r.id).max();
+        let candidates: Vec<(BinId, Load)> = view
+            .open_bins()
+            .filter(|r| r.fits(item.size))
+            .map(|r| (r.id, r.load))
+            .collect();
+        if candidates.is_empty() {
+            return Placement::OpenNew;
+        }
+        // Next-Fit is the one rule that may refuse fitting candidates: it
+        // only ever uses the newest open bin.
+        if R::NAME == NextFitRule::NAME {
+            let last = candidates.last().map(|&(b, _)| b);
+            if last != newest {
+                return Placement::OpenNew;
+            }
+        }
+        match R::choose(&candidates, item.size) {
+            Some(b) => Placement::Existing(b),
+            None => Placement::OpenNew,
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Plain First-Fit over all open bins.
+pub type FirstFit = AnyFit<FirstFitRule>;
+/// Best-Fit (fullest bin that fits).
+pub type BestFit = AnyFit<BestFitRule>;
+/// Worst-Fit (emptiest bin that fits).
+pub type WorstFit = AnyFit<WorstFitRule>;
+/// Next-Fit (newest bin or a new one).
+pub type NextFit = AnyFit<NextFitRule>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::engine;
+    use dbp_core::instance::Instance;
+    use dbp_core::time::{Dur, Time};
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    /// Three bins with loads 0.75 / 0.25 / 0.5, then a 0.25 item arrives.
+    fn mixed_loads() -> Instance {
+        Instance::from_triples([
+            (Time(0), Dur(10), sz(3, 4)),
+            (Time(1), Dur(10), sz(3, 4)), // forced into bin 1, departs with bin load 3/4... see below
+            (Time(2), Dur(10), sz(1, 2)),
+            (Time(3), Dur(9), sz(1, 4)), // the probe item
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_fit_takes_earliest() {
+        // Probe fits bin 0 (3/4 + 1/4 = 1): FF chooses it.
+        let res = engine::run(&mixed_loads(), FirstFit::new()).unwrap();
+        assert_eq!(res.assignment[3], res.assignment[0]);
+    }
+
+    #[test]
+    fn best_fit_takes_fullest() {
+        // Loads when probe arrives: b0=3/4, b1=3/4, b2=1/2. Best-Fit tie →
+        // earliest of (b0, b1) = b0.
+        let res = engine::run(&mixed_loads(), BestFit::new()).unwrap();
+        assert_eq!(res.assignment[3], res.assignment[0]);
+    }
+
+    #[test]
+    fn worst_fit_takes_emptiest() {
+        let res = engine::run(&mixed_loads(), WorstFit::new()).unwrap();
+        assert_eq!(res.assignment[3], res.assignment[2]);
+    }
+
+    #[test]
+    fn next_fit_ignores_older_bins() {
+        // b0 holds 3/4 and would fit the 1/4 probe, but b1 (newest, full)
+        // does not fit → Next-Fit opens a new bin.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(3, 4)),
+            (Time(1), Dur(10), Size::FULL),
+            (Time(2), Dur(5), sz(1, 4)),
+        ])
+        .unwrap();
+        let res = engine::run(&inst, NextFit::new()).unwrap();
+        assert_eq!(res.bins_opened, 3);
+        // First-Fit on the same input reuses bin 0.
+        let res_ff = engine::run(&inst, FirstFit::new()).unwrap();
+        assert_eq!(res_ff.bins_opened, 2);
+    }
+
+    #[test]
+    fn best_fit_distinguishes_loads() {
+        // b0 = 1/2, b1 = 3/4; a 1/4 probe → Best-Fit picks b1, Worst-Fit b0.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(3, 4)), // does not fit with 1/2 → b1
+            (Time(1), Dur(5), sz(1, 4)),
+        ])
+        .unwrap();
+        let bf = engine::run(&inst, BestFit::new()).unwrap();
+        assert_eq!(bf.assignment[2], bf.assignment[1]);
+        let wf = engine::run(&inst, WorstFit::new()).unwrap();
+        assert_eq!(wf.assignment[2], wf.assignment[0]);
+    }
+
+    #[test]
+    fn all_rules_pack_validly() {
+        let inst = mixed_loads();
+        for res in [
+            engine::run(&inst, FirstFit::new()).unwrap(),
+            engine::run(&inst, BestFit::new()).unwrap(),
+            engine::run(&inst, WorstFit::new()).unwrap(),
+            engine::run(&inst, NextFit::new()).unwrap(),
+        ] {
+            let audit = dbp_core::assignment::audit(&inst, &res.assignment).unwrap();
+            assert_eq!(audit.cost, res.cost);
+        }
+    }
+}

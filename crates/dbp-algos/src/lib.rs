@@ -1,0 +1,102 @@
+//! # dbp-algos
+//!
+//! All packing algorithms for the MinUsageTime Clairvoyant DBP
+//! reproduction:
+//!
+//! * [`HybridAlgorithm`] — the paper's `O(√log μ)` Algorithm 1 (HA);
+//! * [`Cdff`] — the paper's `O(log log μ)` Algorithm 2 for aligned inputs;
+//! * [`FirstFit`] / [`BestFit`] / [`WorstFit`] / [`NextFit`] — the Any-Fit
+//!   non-clairvoyant baselines (First-Fit is `μ+4`-competitive here);
+//! * [`ClassifyByDuration`] — the prior-art classify-by-duration family
+//!   (binary = `Θ(log μ)`, widened = Ren & Tang's `O(log μ/log log μ)`);
+//! * [`DepartureAwareFit`] — a natural clairvoyant heuristic baseline;
+//! * [`offline`] — repacking FFD (Lemma 3.1 constructive bound), the
+//!   non-repacking portfolio, and exact branch-and-bound.
+
+#![warn(missing_docs)]
+
+pub mod any_fit;
+pub mod cdff;
+pub mod classify_duration;
+pub mod departure_fit;
+pub mod harmonic;
+pub mod hybrid;
+pub mod offline;
+pub mod random_fit;
+
+pub use any_fit::{AnyFit, BestFit, FirstFit, NextFit, WorstFit};
+pub use cdff::Cdff;
+pub use classify_duration::ClassifyByDuration;
+pub use departure_fit::DepartureAwareFit;
+pub use harmonic::Harmonic;
+pub use hybrid::{HybridAlgorithm, InnerFit, Threshold};
+pub use random_fit::RandomFit;
+
+use dbp_core::algorithm::OnlineAlgorithm;
+
+/// Constructs an algorithm by registry name. Names:
+/// `first-fit`, `best-fit`, `worst-fit`, `next-fit`, `cbd`,
+/// `cbd:<width>`, `hybrid`, `cdff`, `departure-aware`.
+pub fn by_name(name: &str) -> Option<Box<dyn OnlineAlgorithm>> {
+    Some(match name {
+        "first-fit" | "ff" => Box::new(FirstFit::new()),
+        "best-fit" | "bf" => Box::new(BestFit::new()),
+        "worst-fit" | "wf" => Box::new(WorstFit::new()),
+        "next-fit" | "nf" => Box::new(NextFit::new()),
+        "cbd" => Box::new(ClassifyByDuration::binary()),
+        "hybrid" | "ha" => Box::new(HybridAlgorithm::new()),
+        "random-fit" | "rf" => Box::new(RandomFit::default()),
+        "harmonic" => Box::new(Harmonic::new(6)),
+        "cdff" => Box::new(Cdff::new()),
+        "departure-aware" | "daf" => Box::new(DepartureAwareFit::new()),
+        other => {
+            let width = other.strip_prefix("cbd:")?.parse().ok()?;
+            Box::new(ClassifyByDuration::with_width(width))
+        }
+    })
+}
+
+/// Display names of every registered online algorithm.
+pub fn registry_names() -> &'static [&'static str] {
+    &[
+        "first-fit",
+        "best-fit",
+        "worst-fit",
+        "next-fit",
+        "cbd",
+        "hybrid",
+        "cdff",
+        "departure-aware",
+        "random-fit",
+        "harmonic",
+    ]
+}
+
+/// Fresh instances of the full online-algorithm suite (for sweep drivers).
+pub fn full_suite() -> Vec<Box<dyn OnlineAlgorithm>> {
+    registry_names()
+        .iter()
+        .map(|n| by_name(n).expect("registry names construct"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips() {
+        for name in registry_names() {
+            let algo = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!algo.name().is_empty());
+        }
+        assert!(by_name("cbd:3").is_some());
+        assert!(by_name("nope").is_none());
+        assert!(by_name("cbd:x").is_none());
+    }
+
+    #[test]
+    fn full_suite_has_all_algorithms() {
+        assert_eq!(full_suite().len(), registry_names().len());
+    }
+}

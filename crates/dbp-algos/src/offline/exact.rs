@@ -1,0 +1,250 @@
+//! Exact non-repacking optimum by branch-and-bound (small instances only).
+//!
+//! Enumerates assignments of items (in arrival order) to bins, respecting
+//! capacity over time and the closed-bins-stay-closed discipline, pruning
+//! branches whose partial cost already meets the incumbent. Exponential in
+//! `|σ|` — intended for instances of ≲ 12 items, where it supplies ground
+//! truth for validating the heuristic bracket (`lower ≤ OPT_NR ≤ best
+//! heuristic`).
+
+use dbp_core::cost::Area;
+use dbp_core::instance::Instance;
+use dbp_core::item::Item;
+use dbp_core::size::SIZE_SCALE;
+use dbp_core::time::Time;
+
+/// Result of the exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactOpt {
+    /// The optimal non-repacking cost.
+    pub cost: Area,
+    /// An optimal assignment (bin index per item, in instance order).
+    pub assignment: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct BinSketch {
+    items: Vec<Item>,
+    open_from: Time,
+    close_at: Time,
+}
+
+impl BinSketch {
+    fn span_ticks(&self) -> u64 {
+        self.close_at.since(self.open_from).ticks()
+    }
+
+    /// Whether `item` can join: the bin must still be open at the item's
+    /// arrival (some resident departs strictly later) and capacity must
+    /// hold throughout the item's interval.
+    fn can_accept(&self, item: &Item) -> bool {
+        if self.close_at <= item.arrival {
+            return false; // bin emptied (closed) before the arrival
+        }
+        // Capacity check at every arrival breakpoint within item's window.
+        let mut checkpoints: Vec<Time> = vec![item.arrival];
+        for r in &self.items {
+            if r.arrival > item.arrival && r.arrival < item.departure {
+                checkpoints.push(r.arrival);
+            }
+        }
+        for &t in &checkpoints {
+            let load: u64 = self
+                .items
+                .iter()
+                .filter(|r| r.active_at(t))
+                .map(|r| r.size.raw())
+                .sum();
+            if load + item.size.raw() > SIZE_SCALE {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+struct Search<'a> {
+    items: &'a [Item],
+    best_cost: u64, // in ticks across bins (bin spans sum)
+    best_assignment: Vec<u32>,
+    current: Vec<u32>,
+}
+
+impl Search<'_> {
+    fn partial_cost(bins: &[BinSketch]) -> u64 {
+        bins.iter().map(BinSketch::span_ticks).sum()
+    }
+
+    fn recurse(&mut self, idx: usize, bins: &mut Vec<BinSketch>) {
+        if Self::partial_cost(bins) >= self.best_cost {
+            return; // adding items never shrinks any bin's span
+        }
+        if idx == self.items.len() {
+            let cost = Self::partial_cost(bins);
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best_assignment = self.current.clone();
+            }
+            return;
+        }
+        let item = self.items[idx];
+        // Try existing bins.
+        for b in 0..bins.len() {
+            if bins[b].can_accept(&item) {
+                let saved_close = bins[b].close_at;
+                bins[b].items.push(item);
+                bins[b].close_at = saved_close.max(item.departure);
+                self.current[idx] = b as u32;
+                self.recurse(idx + 1, bins);
+                bins[b].items.pop();
+                bins[b].close_at = saved_close;
+            }
+        }
+        // Open a new bin (one canonical branch: bins are symmetric).
+        bins.push(BinSketch {
+            items: vec![item],
+            open_from: item.arrival,
+            close_at: item.departure,
+        });
+        self.current[idx] = (bins.len() - 1) as u32;
+        self.recurse(idx + 1, bins);
+        bins.pop();
+    }
+}
+
+/// Computes the exact non-repacking optimum.
+///
+/// # Panics
+/// Panics if the instance has more than `max_items` items (guard against
+/// accidental exponential blow-ups); pass the instance size to opt in.
+pub fn exact_opt_nr(instance: &Instance, max_items: usize) -> ExactOpt {
+    assert!(
+        instance.len() <= max_items,
+        "exact search limited to {max_items} items, got {}",
+        instance.len()
+    );
+    if instance.is_empty() {
+        return ExactOpt {
+            cost: Area::ZERO,
+            assignment: Vec::new(),
+        };
+    }
+    let items = instance.items();
+    let mut search = Search {
+        items,
+        best_cost: u64::MAX,
+        best_assignment: vec![0; items.len()],
+        current: vec![0; items.len()],
+    };
+    let mut bins = Vec::new();
+    search.recurse(0, &mut bins);
+    ExactOpt {
+        cost: Area::from_bin_ticks(dbp_core::time::Dur(search.best_cost)),
+        assignment: search.best_assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::bounds::LowerBounds;
+    use dbp_core::size::Size;
+    use dbp_core::time::Dur;
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn single_item() {
+        let inst = Instance::from_triples([(Time(0), Dur(5), sz(1, 2))]).unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_eq!(opt.cost.as_bin_ticks(), 5.0);
+        assert_eq!(opt.assignment, vec![0]);
+    }
+
+    #[test]
+    fn two_compatible_items_share() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), sz(1, 2)), (Time(1), Dur(4), sz(1, 2))])
+                .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_eq!(opt.cost.as_bin_ticks(), 5.0);
+        assert_eq!(opt.assignment[0], opt.assignment[1]);
+    }
+
+    #[test]
+    fn two_big_items_split() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), sz(2, 3)), (Time(1), Dur(4), sz(2, 3))])
+                .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_eq!(opt.cost.as_bin_ticks(), 9.0);
+        assert_ne!(opt.assignment[0], opt.assignment[1]);
+    }
+
+    #[test]
+    fn clairvoyant_grouping_beats_first_fit() {
+        // Classic: a short and a long item arrive together (size 1/2 each),
+        // then another long item. FF pairs short+long₁ (bin open 10), then
+        // long₂ alone (bin open 10) → cost 20. OPT pairs the two longs →
+        // cost 10 + 2 = 12.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+        ])
+        .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_eq!(opt.cost.as_bin_ticks(), 12.0);
+        let ff = dbp_core::engine::run(&inst, crate::any_fit::FirstFit::new()).unwrap();
+        assert_eq!(ff.cost.as_bin_ticks(), 20.0);
+    }
+
+    #[test]
+    fn exact_respects_bin_closure() {
+        // [0,2) then [3,5): cannot share a bin (it closes at 2) even though
+        // capacity would allow; cost is 4 either way but assignment differs.
+        let inst =
+            Instance::from_triples([(Time(0), Dur(2), sz(1, 2)), (Time(3), Dur(2), sz(1, 2))])
+                .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_eq!(opt.cost.as_bin_ticks(), 4.0);
+        assert_ne!(opt.assignment[0], opt.assignment[1]);
+    }
+
+    #[test]
+    fn touching_intervals_cannot_share() {
+        // [0,5) then [5,10): the bin empties exactly at 5 → closed.
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), sz(1, 4)), (Time(5), Dur(5), sz(1, 4))])
+                .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert_ne!(opt.assignment[0], opt.assignment[1]);
+        assert_eq!(opt.cost.as_bin_ticks(), 10.0);
+    }
+
+    #[test]
+    fn exact_at_least_certified_lower_bound() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(2, 3)),
+            (Time(1), Dur(5), sz(1, 3)),
+            (Time(2), Dur(2), sz(2, 3)),
+            (Time(3), Dur(6), sz(1, 2)),
+        ])
+        .unwrap();
+        let opt = exact_opt_nr(&inst, 8);
+        assert!(opt.cost >= LowerBounds::of(&inst).best());
+        // Exact is also at most any heuristic.
+        let ff = dbp_core::engine::run(&inst, crate::any_fit::FirstFit::new()).unwrap();
+        assert!(opt.cost <= ff.cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact search limited")]
+    fn size_guard_trips() {
+        let triples: Vec<_> = (0..5).map(|k| (Time(k), Dur(2), sz(1, 4))).collect();
+        let inst = Instance::from_triples(triples).unwrap();
+        exact_opt_nr(&inst, 4);
+    }
+}

@@ -1,0 +1,373 @@
+//! Exact repacking optimum.
+//!
+//! Because OPT_R may repack at every instant with no cost, its optimal
+//! choice at time `t` is independent of every other moment: it simply
+//! packs the active set `S_t` into the fewest bins. Hence
+//!
+//! ```text
+//! OPT_R(σ) = ∫ BP(active items at t) dt
+//! ```
+//!
+//! where `BP` is the (NP-hard, but small-instance-tractable) optimal bin
+//! packing number. This module computes `BP` exactly by branch-and-bound
+//! and integrates it over the profile segments, giving *exact* `OPT_R`
+//! for instances whose peak concurrency is modest (≲ 25 items) — which
+//! collapses the experiment bracket to a point and lets tests pin HA's
+//! and CDFF's true competitive ratios on small instances.
+
+use dbp_core::cost::Area;
+use dbp_core::instance::Instance;
+use dbp_core::size::SIZE_SCALE;
+use dbp_core::time::Time;
+
+/// Exact minimum number of unit bins for the given raw fixed-point sizes.
+///
+/// Branch-and-bound with: FFD upper bound, volume + big-item lower
+/// bounds, symmetry breaking (identical residual capacities are tried
+/// once), and first-fit ordering on sorted sizes.
+///
+/// # Panics
+/// Panics if any size exceeds the bin capacity, or if more than
+/// `MAX_EXACT_ITEMS` items are given (exponential guard).
+pub fn exact_bin_count(sizes: &[u64]) -> u64 {
+    assert!(
+        sizes.len() <= MAX_EXACT_ITEMS,
+        "exact bin packing limited to {MAX_EXACT_ITEMS} items, got {}",
+        sizes.len()
+    );
+    assert!(sizes.iter().all(|&s| s <= SIZE_SCALE), "oversized item");
+    let mut sorted: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0).collect();
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+    // Upper bound: FFD.
+    let mut ffd_scratch = sorted.clone();
+    let ub = super::ffd_repack::ffd_bin_count(&mut ffd_scratch);
+    let lb = lower_bound(&sorted);
+    if lb == ub {
+        return ub;
+    }
+
+    let mut search = BpSearch {
+        sizes: sorted,
+        best: ub,
+    };
+    let mut bins: Vec<u64> = Vec::new();
+    search.recurse(0, &mut bins, lb);
+    search.best
+}
+
+/// Hard cap on exact search size.
+pub const MAX_EXACT_ITEMS: usize = 28;
+
+fn lower_bound(sorted: &[u64]) -> u64 {
+    let total: u128 = sorted.iter().map(|&s| s as u128).sum();
+    let volume = total.div_ceil(SIZE_SCALE as u128) as u64;
+    // Items strictly larger than half a bin are pairwise incompatible.
+    let half = SIZE_SCALE / 2;
+    let big = sorted.iter().filter(|&&s| s > half).count() as u64;
+    volume.max(big).max(1)
+}
+
+struct BpSearch {
+    sizes: Vec<u64>,
+    best: u64,
+}
+
+impl BpSearch {
+    fn recurse(&mut self, idx: usize, bins: &mut Vec<u64>, lb: u64) {
+        if bins.len() as u64 >= self.best {
+            return;
+        }
+        if idx == self.sizes.len() {
+            self.best = bins.len() as u64;
+            return;
+        }
+        // Remaining-volume refinement: current bins' free space may absorb
+        // some of the remaining volume; anything left needs new bins.
+        let remaining: u128 = self.sizes[idx..].iter().map(|&s| s as u128).sum();
+        let free: u128 = bins.iter().map(|&b| (SIZE_SCALE - b) as u128).sum();
+        let overflow = remaining.saturating_sub(free);
+        let needed = bins.len() as u64 + overflow.div_ceil(SIZE_SCALE as u128) as u64;
+        if needed.max(lb) >= self.best {
+            return;
+        }
+
+        let s = self.sizes[idx];
+        // Try existing bins, skipping duplicate residual capacities
+        // (placing into two bins with equal load is symmetric).
+        let mut tried: Vec<u64> = Vec::with_capacity(bins.len());
+        for b in 0..bins.len() {
+            let load = bins[b];
+            if load + s > SIZE_SCALE || tried.contains(&load) {
+                continue;
+            }
+            tried.push(load);
+            bins[b] += s;
+            self.recurse(idx + 1, bins, lb);
+            bins[b] -= s;
+        }
+        // Open a new bin (canonical single branch).
+        bins.push(s);
+        self.recurse(idx + 1, bins, lb);
+        bins.pop();
+    }
+}
+
+/// Independent cross-check: exact bin count by bitmask dynamic
+/// programming (only for ≤ 16 items). Enumerates which subsets fit in one
+/// bin, then computes the minimum chain cover. Exponentially slower than
+/// the branch-and-bound but entirely different code — property tests
+/// assert the two agree.
+pub fn exact_bin_count_dp(sizes: &[u64]) -> u64 {
+    let n = sizes.len();
+    assert!(n <= 16, "DP cross-check limited to 16 items");
+    assert!(sizes.iter().all(|&s| s <= SIZE_SCALE), "oversized item");
+    let nonzero: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0).collect();
+    let n = nonzero.len();
+    if n == 0 {
+        return 0;
+    }
+    let full = (1usize << n) - 1;
+    // fits[m] = subset m's total ≤ capacity.
+    let mut sum = vec![0u128; full + 1];
+    for m in 1..=full {
+        let low = m.trailing_zeros() as usize;
+        sum[m] = sum[m & (m - 1)] + nonzero[low] as u128;
+    }
+    let cap = SIZE_SCALE as u128;
+    // best[m] = min bins to pack subset m.
+    let mut best = vec![u32::MAX; full + 1];
+    best[0] = 0;
+    for m in 1..=full {
+        // Iterate submasks s of m that include m's lowest item (canonical)
+        // and fit in one bin.
+        let low_bit = m & m.wrapping_neg();
+        let mut s = m;
+        while s > 0 {
+            if s & low_bit != 0 && sum[s] <= cap && best[m ^ s] != u32::MAX {
+                best[m] = best[m].min(best[m ^ s] + 1);
+            }
+            s = (s - 1) & m;
+        }
+    }
+    best[full] as u64
+}
+
+/// Exact `OPT_R(σ)`, or `None` when some moment has more than
+/// `max_active` concurrent items (to keep the search bounded). Pass at
+/// most [`MAX_EXACT_ITEMS`].
+pub fn exact_opt_r(instance: &Instance, max_active: usize) -> Option<Area> {
+    assert!(max_active <= MAX_EXACT_ITEMS);
+    let mut events: Vec<Time> = Vec::with_capacity(instance.len() * 2);
+    for it in instance.items() {
+        events.push(it.arrival);
+        events.push(it.departure);
+    }
+    events.sort_unstable();
+    events.dedup();
+
+    let mut cost = Area::ZERO;
+    let mut active: Vec<u64> = Vec::new();
+    for w in events.windows(2) {
+        let (t, next) = (w[0], w[1]);
+        active.clear();
+        active.extend(
+            instance
+                .items()
+                .iter()
+                .filter(|it| it.active_at(t))
+                .map(|it| it.size.raw()),
+        );
+        if active.len() > max_active {
+            return None;
+        }
+        let bins = exact_bin_count(&active);
+        cost += Area::from_bins_ticks(bins, next.since(t));
+    }
+    Some(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::bounds::LowerBounds;
+    use dbp_core::size::Size;
+    use dbp_core::time::Dur;
+
+    fn raw(v: &[(u64, u64)]) -> Vec<u64> {
+        v.iter()
+            .map(|&(n, d)| Size::from_ratio(n, d).raw())
+            .collect()
+    }
+
+    #[test]
+    fn exact_bin_count_basics() {
+        assert_eq!(exact_bin_count(&[]), 0);
+        assert_eq!(exact_bin_count(&raw(&[(1, 2), (1, 2)])), 1);
+        assert_eq!(exact_bin_count(&raw(&[(1, 1), (1, 1)])), 2);
+        assert_eq!(exact_bin_count(&raw(&[(2, 3), (2, 3), (1, 3), (1, 3)])), 2);
+    }
+
+    #[test]
+    fn exact_beats_ffd_on_the_classic_counterexample() {
+        // FFD needs 3 bins: {0.55,0.45}? Let's build sizes where FFD is
+        // suboptimal: {0.6, 0.5, 0.5, 0.4} — FFD packs {0.6,0.4}... that's
+        // 2 bins, optimal too. Classic FFD-suboptimal set:
+        // {0.36, 0.36, 0.36, 0.28, 0.28, 0.28, 0.22, 0.22, 0.22, 0.22}
+        // FFD: [0.36,0.36,0.28], [0.36,0.28,0.28], [0.22×4] → 3 bins.
+        // Optimal: 3 × [0.36,0.28,0.22] + ... total volume 2.8 → 3 bins
+        // either way; use the known FFD=11/9 family instead, scaled small:
+        // sizes {6,6,6,5,5,5,4,4,4,4}/15: volume 49/15 ≈ 3.27 → LB 4.
+        // FFD: [6,6]? 6+6=12≤15 +... just assert exact ≤ FFD and ≥ LB.
+        let sizes = raw(&[
+            (6, 15),
+            (6, 15),
+            (6, 15),
+            (5, 15),
+            (5, 15),
+            (5, 15),
+            (4, 15),
+            (4, 15),
+            (4, 15),
+            (4, 15),
+        ]);
+        let mut ffd_scratch = sizes.clone();
+        let ffd = super::super::ffd_repack::ffd_bin_count(&mut ffd_scratch);
+        let exact = exact_bin_count(&sizes);
+        assert!(exact <= ffd);
+        assert!(
+            exact
+                >= lower_bound(&{
+                    let mut s = sizes.clone();
+                    s.sort_unstable_by(|a, b| b.cmp(a));
+                    s
+                })
+        );
+    }
+
+    #[test]
+    fn exact_finds_perfect_packings_ffd_misses() {
+        // {0.51, 0.27, 0.26, 0.23, 0.49, 0.24}: volume = 2.0 exactly.
+        // FFD (desc: 51,49,27,26,24,23): [51,49]×? 51+49=100 ✓ → bin1
+        // holds 51+49; 27+26+24+23 = 100 ✓ bin2. FFD finds it too...
+        // Construct FFD failure: sizes 45,34,33,33,28,27 (/100):
+        // FFD: [45,34]=79+? next 33 no (112), so [45,34], [33,33,28]=94,
+        // [27] → 3 bins. Optimal: [45,28,27]=100, [34,33,33]=100 → 2 bins.
+        let sizes = raw(&[
+            (45, 100),
+            (34, 100),
+            (33, 100),
+            (33, 100),
+            (28, 100),
+            (27, 100),
+        ]);
+        let mut ffd_scratch = sizes.clone();
+        let ffd = super::super::ffd_repack::ffd_bin_count(&mut ffd_scratch);
+        assert_eq!(ffd, 3, "FFD is fooled here");
+        assert_eq!(exact_bin_count(&sizes), 2, "exact finds the perfect split");
+    }
+
+    #[test]
+    fn exact_opt_r_single_item() {
+        let inst = Instance::from_triples([(Time(0), Dur(7), Size::from_ratio(1, 2))]).unwrap();
+        assert_eq!(exact_opt_r(&inst, 10).unwrap().as_bin_ticks(), 7.0);
+    }
+
+    #[test]
+    fn exact_opt_r_beats_nonrepacking() {
+        // Repacking wins: two items that a non-repacking OPT must split
+        // can be consolidated after a departure.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), Size::from_ratio(3, 5)),
+            (Time(0), Dur(2), Size::from_ratio(3, 5)),
+            (Time(2), Dur(2), Size::from_ratio(2, 5)),
+        ])
+        .unwrap();
+        let opt_r = exact_opt_r(&inst, 10).unwrap();
+        // [0,2): {3/5,3/5} → 2 bins; [2,4): {3/5,2/5} → 1 bin. Total 6.
+        assert_eq!(opt_r.as_bin_ticks(), 6.0);
+        let opt_nr = super::super::exact::exact_opt_nr(&inst, 10);
+        assert!(opt_r <= opt_nr.cost);
+    }
+
+    #[test]
+    fn exact_opt_r_within_analytic_bracket() {
+        let mut triples = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..30 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = x % 32;
+            let d = 1 + (x >> 8) % 16;
+            let s = 1 + (x >> 16) % 60;
+            triples.push((Time(t), Dur(d), Size::from_ratio(s, 100)));
+        }
+        let inst = Instance::from_triples(triples).unwrap();
+        let exact = exact_opt_r(&inst, MAX_EXACT_ITEMS).expect("concurrency small enough");
+        let lb = LowerBounds::of(&inst);
+        assert!(exact >= lb.best());
+        assert!(exact <= lb.ceil_integral.scale(2));
+        // FFD-repack is an upper bound on the exact repacking optimum.
+        let ffd = super::super::ffd_repack::ffd_repack_cost(&inst);
+        assert!(exact <= ffd);
+    }
+
+    #[test]
+    fn exact_opt_r_bails_on_high_concurrency() {
+        let triples: Vec<_> = (0..12)
+            .map(|_| (Time(0), Dur(4), Size::from_ratio(1, 20)))
+            .collect();
+        let inst = Instance::from_triples(triples).unwrap();
+        assert!(exact_opt_r(&inst, 8).is_none());
+        assert!(exact_opt_r(&inst, 12).is_some());
+    }
+
+    #[test]
+    fn branch_and_bound_agrees_with_dp() {
+        // Random multisets: two independent exact solvers must agree.
+        let mut x = 7u64;
+        for trial in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = 1 + (x % 10) as usize;
+            let mut sizes = Vec::with_capacity(n);
+            for k in 0..n {
+                let v = 1 + ((x >> (k % 48)) % 100);
+                sizes.push(Size::from_ratio(v, 100).raw());
+            }
+            assert_eq!(
+                exact_bin_count(&sizes),
+                exact_bin_count_dp(&sizes),
+                "trial {trial}: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_base_cases() {
+        assert_eq!(exact_bin_count_dp(&[]), 0);
+        assert_eq!(exact_bin_count_dp(&raw(&[(1, 2), (1, 2)])), 1);
+        assert_eq!(exact_bin_count_dp(&raw(&[(1, 1), (1, 1)])), 2);
+        assert_eq!(
+            exact_bin_count_dp(&raw(&[
+                (45, 100),
+                (34, 100),
+                (33, 100),
+                (33, 100),
+                (28, 100),
+                (27, 100)
+            ])),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn exact_bin_count_guards_size() {
+        let sizes = vec![1u64; MAX_EXACT_ITEMS + 1];
+        exact_bin_count(&sizes);
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline non-repacking comparators.
+//!
+//! The paper transfers its lower bound from `OPT_R` to `OPT_NR` through the
+//! Dual Coloring algorithm of Ren & Tang (a non-repacking offline
+//! 4-approximation); experimentally, *any* concrete non-repacking packing
+//! upper-bounds `OPT_NR`, so we run a portfolio of algorithms over the
+//! instance and take the cheapest (see DESIGN.md §5 for the substitution
+//! rationale). The portfolio mixes non-clairvoyant, clairvoyant and
+//! parameterised strategies so at least one member is strong on each
+//! workload family.
+
+use dbp_core::algorithm::OnlineAlgorithm;
+use dbp_core::cost::Area;
+use dbp_core::engine;
+use dbp_core::instance::Instance;
+use dbp_core::item::Item;
+use dbp_core::size::SIZE_SCALE;
+use dbp_core::time::{Dur, Time};
+
+use crate::any_fit::{BestFit, FirstFit, NextFit, WorstFit};
+use crate::cdff::Cdff;
+use crate::classify_duration::ClassifyByDuration;
+use crate::departure_fit::DepartureAwareFit;
+use crate::hybrid::HybridAlgorithm;
+
+/// The cheapest portfolio member's name and cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioResult {
+    /// Winning algorithm's display name.
+    pub winner: String,
+    /// Its (feasible, non-repacking) cost — an upper bound on `OPT_NR`.
+    pub cost: Area,
+    /// Every member's `(name, cost)` for reporting.
+    pub all: Vec<(String, Area)>,
+}
+
+/// A genuinely offline non-repacking heuristic: process items sorted by
+/// (duration class descending, arrival), place each into the first
+/// existing bin that can take it — capacity respected over the item's
+/// whole interval and the bin's busy interval kept contiguous (closed
+/// bins stay closed) — else open a bin. Long items form the backbone,
+/// short items fill the gaps: the same intuition as Ren & Tang's Dual
+/// Coloring, realized greedily (see DESIGN.md §5).
+///
+/// Returns `(cost, assignment)`; the assignment is indexed by item id.
+pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
+    #[derive(Debug)]
+    struct OffBin {
+        items: Vec<Item>,
+        open_from: Time,
+        close_at: Time,
+    }
+    impl OffBin {
+        fn can_accept(&self, item: &Item) -> bool {
+            // The item must overlap the bin's busy window STRICTLY on both
+            // sides. Touching is not enough: with departures processed
+            // before arrivals, items meeting only at a junction point (one
+            // departs at t, the other arrives at t) leave the bin
+            // momentarily empty — and an emptied bin is closed forever.
+            // Strict window overlap inductively keeps every interior point
+            // of the busy window strictly spanned by some item.
+            if item.arrival >= self.close_at {
+                return false; // at/after close ⇒ closed-bin reuse
+            }
+            if item.departure <= self.open_from {
+                return false; // at/before open ⇒ gap or junction on the left
+            }
+            // Capacity at every arrival breakpoint inside the item's span.
+            let mut checkpoints = vec![item.arrival];
+            for r in &self.items {
+                if r.arrival > item.arrival && r.arrival < item.departure {
+                    checkpoints.push(r.arrival);
+                }
+            }
+            checkpoints.iter().all(|&t| {
+                let load: u64 = self
+                    .items
+                    .iter()
+                    .filter(|r| r.active_at(t))
+                    .map(|r| r.size.raw())
+                    .sum();
+                load + item.size.raw() <= SIZE_SCALE
+            })
+        }
+        fn accept(&mut self, item: Item) {
+            self.open_from = self.open_from.min(item.arrival);
+            self.close_at = self.close_at.max(item.departure);
+            self.items.push(item);
+        }
+    }
+
+    let mut order: Vec<&Item> = instance.items().iter().collect();
+    order.sort_by_key(|it| (std::cmp::Reverse(it.class_index()), it.arrival, it.id));
+
+    let mut bins: Vec<OffBin> = Vec::new();
+    let mut assignment = vec![0u32; instance.len()];
+    for it in order {
+        let slot = bins.iter().position(|b| b.can_accept(it));
+        match slot {
+            Some(idx) => {
+                bins[idx].accept(*it);
+                assignment[it.id.index()] = idx as u32;
+            }
+            None => {
+                assignment[it.id.index()] = bins.len() as u32;
+                bins.push(OffBin {
+                    items: vec![*it],
+                    open_from: it.arrival,
+                    close_at: it.departure,
+                });
+            }
+        }
+    }
+    let ticks: u64 = bins
+        .iter()
+        .map(|b| b.close_at.since(b.open_from).ticks())
+        .sum();
+    (Area::from_bin_ticks(Dur(ticks)), assignment)
+}
+
+/// Runs the standard portfolio and returns the cheapest feasible packing.
+///
+/// Members: First/Best/Worst/Next-Fit, binary CBD plus two widened CBDs,
+/// HA, CDFF, and Departure-Aware Fit.
+pub fn best_nonrepacking(instance: &Instance) -> PortfolioResult {
+    let log_mu = instance.log2_mu().max(1.0);
+    let w_opt = (log_mu / log_mu.log2().max(1.0)).ceil().max(2.0) as u32;
+
+    let mut all: Vec<(String, Area)> = Vec::new();
+    let mut push = |name: String, cost: Area| all.push((name, cost));
+
+    macro_rules! member {
+        ($algo:expr) => {{
+            let a = $algo;
+            let name = a.name().to_string();
+            let res = engine::run(instance, a).expect("portfolio member made an illegal move");
+            push(name, res.cost);
+        }};
+    }
+
+    member!(FirstFit::new());
+    member!(BestFit::new());
+    member!(WorstFit::new());
+    member!(NextFit::new());
+    member!(ClassifyByDuration::binary());
+    member!(ClassifyByDuration::with_width(w_opt));
+    member!(HybridAlgorithm::new());
+    member!(Cdff::new());
+    member!(DepartureAwareFit::new());
+
+    let (dlff_cost, _) = duration_layered_first_fit(instance);
+    push("duration-layered-ff (offline)".to_string(), dlff_cost);
+
+    let (winner, cost) = all
+        .iter()
+        .min_by_key(|(_, c)| *c)
+        .map(|(n, c)| (n.clone(), *c))
+        .expect("portfolio is non-empty");
+    PortfolioResult { winner, cost, all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::exact::exact_opt_nr;
+    use dbp_core::bounds::LowerBounds;
+    use dbp_core::size::Size;
+    use dbp_core::time::{Dur, Time};
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn portfolio_brackets_exact_optimum() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(4), Dur(4), sz(1, 4)),
+            (Time(12), Dur(2), sz(2, 3)),
+        ])
+        .unwrap();
+        let exact = exact_opt_nr(&inst, 8);
+        let portfolio = best_nonrepacking(&inst);
+        let lb = LowerBounds::of(&inst).best();
+        assert!(lb <= exact.cost);
+        assert!(exact.cost <= portfolio.cost);
+    }
+
+    #[test]
+    fn portfolio_reports_all_members() {
+        let inst = Instance::from_triples([(Time(0), Dur(4), sz(1, 2))]).unwrap();
+        let p = best_nonrepacking(&inst);
+        assert_eq!(p.all.len(), 10);
+        assert!(p.all.iter().all(|(_, c)| *c >= p.cost));
+        // Single item: every member pays exactly its duration.
+        assert_eq!(p.cost.as_bin_ticks(), 4.0);
+    }
+
+    #[test]
+    fn duration_layered_is_feasible_and_audited() {
+        let mut x = 11u64;
+        let mut triples = Vec::new();
+        for k in 0..120u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            triples.push((Time(k / 3), Dur(1 + x % 32), sz(1 + (x >> 9) % 70, 100)));
+        }
+        let inst = Instance::from_triples(triples).unwrap();
+        let (cost, assignment) = duration_layered_first_fit(&inst);
+        let bins: Vec<dbp_core::bin_state::BinId> = assignment
+            .iter()
+            .map(|&b| dbp_core::bin_state::BinId(b))
+            .collect();
+        let report = dbp_core::assignment::audit(&inst, &bins).expect("feasible");
+        assert_eq!(report.cost, cost);
+        assert!(cost >= LowerBounds::of(&inst).best());
+    }
+
+    #[test]
+    fn duration_layered_beats_ff_on_the_interleave_trap() {
+        // A short item arrives first; online FF pairs it with the first
+        // long item, stranding the second. Offline layering packs the two
+        // longs together.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(64), sz(1, 2)),
+            (Time(0), Dur(64), sz(1, 2)),
+        ])
+        .unwrap();
+        let (cost, _) = duration_layered_first_fit(&inst);
+        assert_eq!(cost.as_bin_ticks(), 66.0);
+        let ff = engine::run(&inst, FirstFit::new()).expect("legal");
+        assert_eq!(ff.cost.as_bin_ticks(), 128.0);
+    }
+
+    #[test]
+    fn departure_aware_wins_on_cograduating_items() {
+        // Two long items + decoy short: departure-aware pairs the longs.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(64), sz(1, 2)),
+            (Time(0), Dur(64), sz(1, 2)),
+        ])
+        .unwrap();
+        let p = best_nonrepacking(&inst);
+        assert_eq!(p.cost.as_bin_ticks(), 66.0);
+    }
+}

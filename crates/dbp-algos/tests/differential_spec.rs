@@ -1,0 +1,238 @@
+//! Differential testing of the headline algorithms against naive
+//! "transliterate the paper" reference implementations.
+//!
+//! The production `HybridAlgorithm` and `Cdff` keep incremental state
+//! (per-type load counters, row maps) for speed; these references
+//! recompute everything from scratch at every arrival, straight from the
+//! paper's text. Any divergence in *placements* on any input is a bug in
+//! one of them — property tests assert bit-for-bit agreement.
+
+use std::collections::HashMap;
+
+use dbp_algos::{Cdff, HybridAlgorithm};
+use dbp_core::{
+    engine, Dur, Instance, InstanceBuilder, Item, OnlineAlgorithm, Placement, SimView, Size, Time,
+    SIZE_SCALE,
+};
+use proptest::prelude::*;
+
+/// Naive HA: recomputes the type `(i, c)` and the type's total active load
+/// by scanning all currently-active items on every arrival; scans GN/CD
+/// bin lists directly. No incremental counters anywhere.
+#[derive(Default)]
+struct NaiveHa {
+    /// All items seen, with their bins (to derive active sets & bin tags).
+    placed: Vec<(Item, dbp_core::BinId)>,
+    /// Bins opened as CD bins, with their owning type.
+    cd_tag: HashMap<dbp_core::BinId, (u32, u64)>,
+    /// Bins opened as GN bins.
+    gn_tag: Vec<dbp_core::BinId>,
+}
+
+fn eff_type(item: &Item) -> (u32, u64) {
+    let i = item.class_index().max(1);
+    let w = 1u64 << i;
+    (i, item.arrival.ticks().div_ceil(w))
+}
+
+impl OnlineAlgorithm for NaiveHa {
+    fn name(&self) -> &str {
+        "naive-ha"
+    }
+
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        let ty = eff_type(item);
+        let now = item.arrival;
+
+        // Rule 1: first-fit over open CD bins of this type.
+        let open_cd: Vec<dbp_core::BinId> = self
+            .cd_tag
+            .iter()
+            .filter(|&(&b, &tag)| tag == ty && view.bin(b).is_some_and(|r| r.is_open()))
+            .map(|(&b, _)| b)
+            .collect();
+        if !open_cd.is_empty() {
+            // First-fit = smallest BinId among the type's open CD bins that
+            // fits (ids are allocated in opening order).
+            let mut ids = open_cd.clone();
+            ids.sort_unstable();
+            if let Some(&b) = ids.iter().find(|&&b| view.fits(b, item.size)) {
+                self.placed.push((*item, b));
+                return Placement::Existing(b);
+            }
+            let fresh = view.next_bin_id();
+            self.cd_tag.insert(fresh, ty);
+            self.placed.push((*item, fresh));
+            return Placement::OpenNew;
+        }
+
+        // Rule 2: total active load of this type, recomputed from scratch
+        // (paper: "including r"). Active = arrival ≤ now < departure.
+        let mut load: u128 = item.size.raw() as u128;
+        for (other, _) in &self.placed {
+            if eff_type(other) == ty && other.active_at(now) {
+                load += other.size.raw() as u128;
+            }
+        }
+        // d > 1/(2√i) ⇔ 4·i·d² > 1 (scaled).
+        let one = SIZE_SCALE as u128;
+        if 4 * (ty.0 as u128) * load * load > one * one {
+            let fresh = view.next_bin_id();
+            self.cd_tag.insert(fresh, ty);
+            self.placed.push((*item, fresh));
+            return Placement::OpenNew;
+        }
+
+        // Rule 3: first-fit over open GN bins.
+        if let Some(&b) = self
+            .gn_tag
+            .iter()
+            .find(|&&b| view.bin(b).is_some_and(|r| r.is_open()) && view.fits(b, item.size))
+        {
+            self.placed.push((*item, b));
+            return Placement::Existing(b);
+        }
+        let fresh = view.next_bin_id();
+        self.gn_tag.push(fresh);
+        self.placed.push((*item, fresh));
+        Placement::OpenNew
+    }
+
+    fn reset(&mut self) {
+        self.placed.clear();
+        self.cd_tag.clear();
+        self.gn_tag.clear();
+    }
+}
+
+/// Naive CDFF for single-segment anchored aligned inputs (an item of the
+/// top class arrives at t = 0): computes `m_t` per the paper (trailing
+/// zeros, `n` at t = 0) and scans open bins tagged with row `m_t − i`.
+#[derive(Default)]
+struct NaiveCdff {
+    n: Option<u32>,
+    /// Paper row index of every bin this algorithm opened.
+    row_tag: HashMap<dbp_core::BinId, i64>,
+}
+
+impl OnlineAlgorithm for NaiveCdff {
+    fn name(&self) -> &str {
+        "naive-cdff"
+    }
+
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        let i = item.class_index();
+        let t = item.arrival.ticks();
+        if t == 0 {
+            let n = self.n.get_or_insert(0);
+            *n = (*n).max(i);
+        }
+        let n = self.n.expect("anchored input: something arrived at 0") as i64;
+        let m_t = if t == 0 {
+            n
+        } else {
+            (t.trailing_zeros() as i64).min(n)
+        };
+        let row = m_t - i as i64;
+
+        // First-fit among open bins of this row, in id (opening) order.
+        let mut ids: Vec<dbp_core::BinId> = self
+            .row_tag
+            .iter()
+            .filter(|&(&b, &r)| r == row && view.bin(b).is_some_and(|rec| rec.is_open()))
+            .map(|(&b, _)| b)
+            .collect();
+        ids.sort_unstable();
+        if let Some(&b) = ids.iter().find(|&&b| view.fits(b, item.size)) {
+            return Placement::Existing(b);
+        }
+        let fresh = view.next_bin_id();
+        self.row_tag.insert(fresh, row);
+        Placement::OpenNew
+    }
+
+    fn reset(&mut self) {
+        self.n = None;
+        self.row_tag.clear();
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0u64..200, 1u64..=64, 1u64..=100), 1..=60).prop_map(|v| {
+        let mut b = InstanceBuilder::with_capacity(v.len());
+        for (t, d, s) in v {
+            b.push(Time(t), Dur(d), Size::from_ratio(s, 100));
+        }
+        b.build().expect("valid")
+    })
+}
+
+/// Anchored single-segment aligned instances: class-n anchor at 0, then
+/// random aligned items within the horizon.
+fn arb_anchored_aligned() -> impl Strategy<Value = Instance> {
+    (
+        2u32..=6,
+        prop::collection::vec((0u32..6, 0u64..64, 1u64..=100), 1..=60),
+    )
+        .prop_map(|(n, rows)| {
+            let mut b = InstanceBuilder::new();
+            b.push(Time(0), Dur(1u64 << n), Size::from_ratio(1, 10));
+            let horizon = 1u64 << n;
+            for (class, slot, s) in rows {
+                let class = class.min(n);
+                let w = 1u64 << class;
+                let arrival = (slot * w) % horizon;
+                b.push(Time(arrival), Dur(w), Size::from_ratio(s, 100));
+            }
+            b.build().expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimized HA and the from-the-paper reference place every item
+    /// identically on arbitrary inputs.
+    #[test]
+    fn hybrid_matches_naive_reference(inst in arb_instance()) {
+        let fast = engine::run(&inst, HybridAlgorithm::new()).expect("legal");
+        let naive = engine::run(&inst, NaiveHa::default()).expect("legal");
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.cost, naive.cost);
+    }
+
+    /// The optimized CDFF and the reference agree on anchored aligned
+    /// inputs (the paper's normalised form).
+    #[test]
+    fn cdff_matches_naive_reference(inst in arb_anchored_aligned()) {
+        prop_assert!(inst.is_aligned());
+        let fast = engine::run(&inst, Cdff::new()).expect("legal");
+        let naive = engine::run(&inst, NaiveCdff::default()).expect("legal");
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.cost, naive.cost);
+    }
+}
+
+#[test]
+fn references_agree_on_sigma_mu() {
+    for n in 1..=10u32 {
+        let inst = build_sigma(n);
+        let fast = engine::run(&inst, Cdff::new()).expect("legal");
+        let naive = engine::run(&inst, NaiveCdff::default()).expect("legal");
+        assert_eq!(fast.assignment, naive.assignment, "σ_μ n={n}");
+    }
+}
+
+fn build_sigma(n: u32) -> Instance {
+    // Local σ_μ (avoids a dev-dependency on dbp-workloads here).
+    let mu = 1u64 << n;
+    let load = Size::from_ratio(1, n as u64 + 1);
+    let mut b = InstanceBuilder::new();
+    for t in 0..mu {
+        let k = if t == 0 { n } else { t.trailing_zeros().min(n) };
+        for i in (0..=k).rev() {
+            b.push(Time(t), Dur(1u64 << i), load);
+        }
+    }
+    b.build().expect("valid")
+}

@@ -1,0 +1,112 @@
+//! Property tests across the algorithm families' parameter spaces: every
+//! configuration (thresholds, inner fits, band widths, harmonic classes,
+//! seeds) must produce valid, consistently-accounted packings on
+//! arbitrary instances.
+
+use dbp_algos::{
+    Cdff, ClassifyByDuration, DepartureAwareFit, Harmonic, HybridAlgorithm, InnerFit, RandomFit,
+    Threshold,
+};
+use dbp_core::{audit, engine, Dur, Instance, InstanceBuilder, LowerBounds, Size, Time};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0u64..200, 1u64..=64, 1u64..=100), 1..=40).prop_map(|v| {
+        let mut b = InstanceBuilder::with_capacity(v.len());
+        for (t, d, s) in v {
+            b.push(Time(t), Dur(d), Size::from_ratio(s, 100));
+        }
+        b.build().expect("valid")
+    })
+}
+
+fn check_valid(
+    inst: &Instance,
+    algo: impl dbp_core::OnlineAlgorithm,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let res = engine::run(inst, algo)
+        .map_err(|e| TestCaseError::fail(format!("{label}: illegal move: {e}")))?;
+    let report = audit(inst, &res.assignment)
+        .map_err(|e| TestCaseError::fail(format!("{label}: invalid packing: {e}")))?;
+    prop_assert_eq!(report.cost, res.cost, "{} cost mismatch", label);
+    prop_assert!(
+        res.cost >= LowerBounds::of(inst).best(),
+        "{} beat the LB",
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every HA threshold variant is valid on arbitrary inputs.
+    #[test]
+    fn hybrid_thresholds_all_valid(inst in arb_instance()) {
+        for th in [
+            Threshold::InvSqrt,
+            Threshold::Constant(1, 2),
+            Threshold::Constant(1, 7),
+            Threshold::InvLinear,
+            Threshold::Never,
+            Threshold::Always,
+        ] {
+            check_valid(&inst, HybridAlgorithm::with_threshold(th), "hybrid-threshold")?;
+        }
+    }
+
+    /// Every HA inner-fit rule is valid, and their GN peaks all respect
+    /// Lemma 3.3 (footnote 1's claim).
+    #[test]
+    fn hybrid_inner_fits_all_valid(inst in arb_instance()) {
+        let bound = 2.0 + 4.0 * inst.log2_mu().max(1.0).sqrt();
+        for fit in [InnerFit::First, InnerFit::Best, InnerFit::Worst] {
+            let mut ha = HybridAlgorithm::with_inner_fit(fit);
+            let res = engine::run(&inst, &mut ha).expect("legal");
+            let report = audit(&inst, &res.assignment).expect("valid");
+            prop_assert_eq!(report.cost, res.cost);
+            prop_assert!(
+                (ha.gn_peak() as f64) <= bound,
+                "inner fit {:?} broke Lemma 3.3: {} > {}",
+                fit, ha.gn_peak(), bound
+            );
+        }
+    }
+
+    /// CBD is valid at every band width.
+    #[test]
+    fn cbd_widths_all_valid(inst in arb_instance(), w in 1u32..=8) {
+        check_valid(&inst, ClassifyByDuration::with_width(w), "cbd-width")?;
+    }
+
+    /// Harmonic is valid at every class count.
+    #[test]
+    fn harmonic_all_valid(inst in arb_instance(), k in 1u32..=10) {
+        check_valid(&inst, Harmonic::new(k), "harmonic")?;
+    }
+
+    /// Random-Fit is valid at every seed.
+    #[test]
+    fn random_fit_all_seeds_valid(inst in arb_instance(), seed in 0u64..1000) {
+        check_valid(&inst, RandomFit::new(seed), "random-fit")?;
+    }
+
+    /// CDFF and departure-aware are valid on arbitrary (even misaligned)
+    /// inputs — the defensive path.
+    #[test]
+    fn clairvoyant_algos_valid_off_spec(inst in arb_instance()) {
+        check_valid(&inst, Cdff::new(), "cdff")?;
+        check_valid(&inst, DepartureAwareFit::new(), "departure-aware")?;
+    }
+
+    /// Degenerate thresholds really degenerate: Never == First-Fit on any
+    /// input, placement for placement.
+    #[test]
+    fn never_threshold_equals_first_fit(inst in arb_instance()) {
+        let ha = engine::run(&inst, HybridAlgorithm::with_threshold(Threshold::Never))
+            .expect("legal");
+        let ff = engine::run(&inst, dbp_algos::FirstFit::new()).expect("legal");
+        prop_assert_eq!(ha.assignment, ff.assignment);
+    }
+}

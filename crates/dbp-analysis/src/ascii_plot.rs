@@ -1,0 +1,118 @@
+//! Minimal ASCII line plots for terminal experiment reports.
+
+/// Renders one or more named series as an ASCII scatter/line chart of the
+/// given size. X positions come from the shared `xs`; each series must have
+/// the same length as `xs`.
+pub fn plot(xs: &[f64], series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3, "canvas too small");
+    assert!(!xs.is_empty(), "no data");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    let (xmin, xmax) = min_max(xs);
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        let (lo, hi) = min_max(ys);
+        ymin = ymin.min(lo);
+        ymax = ymax.max(hi);
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        // Single x: everything lands in one column.
+    }
+
+    let markers = ['*', '+', 'o', 'x', '#', '@'];
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let m = markers[si % markers.len()];
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let cx = if xmax > xmin {
+                ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = m;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>10.3} ┤"));
+    out.push_str(&canvas[0].iter().collect::<String>());
+    out.push('\n');
+    for row in canvas.iter().take(height - 1).skip(1) {
+        out.push_str(&format!("{:>10} ┤", ""));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>10.3} ┤"));
+    out.push_str(&canvas[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}└{}\n{:>12}{:<.3}{}{:>.3}\n",
+        "",
+        "─".repeat(width),
+        "",
+        xmin,
+        " ".repeat(width.saturating_sub(16)),
+        xmax
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", markers[i % markers.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let s = plot(&xs, &[("up", &a), ("down", &b)], 24, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let xs = [1.0, 2.0];
+        let ys = [5.0, 5.0];
+        let s = plot(&xs, &[("flat", &ys)], 12, 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        plot(&[1.0, 2.0], &[("bad", &[1.0])], 12, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        plot(&[1.0], &[("x", &[1.0])], 2, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Binary-string machinery behind CDFF's analysis (paper, Section 5.1).
+//!
+//! The paper reduces CDFF's cost on binary inputs to properties of the
+//! binary counter: `CDFF_{t⁺}(σ_μ) = max_0(binary(t)) + 1` (Corollary 5.8),
+//! `E[max_0(b)] ≤ 2 log n` for uniform `b ∈ {0,1}^n` (Lemma 5.9), and
+//! `Σ_{t<μ} max_0(binary(t)) ≤ 2μ log log μ` (Corollary 5.10). This module
+//! makes all three executable: exact `max_0`, exact enumeration sums, and
+//! Monte-Carlo expectation estimates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `max_0(b)`: length of the longest run of zeros in the `bits`-wide
+/// binary representation of `t` (leading zeros count — the paper's strings
+/// are fixed-width).
+///
+/// # Panics
+/// Panics if `bits` is 0 or exceeds 64.
+pub fn max_zero_run(t: u64, bits: u32) -> u32 {
+    assert!((1..=64).contains(&bits), "bit width out of range");
+    if bits < 64 {
+        debug_assert!(t < (1u64 << bits), "t does not fit in {bits} bits");
+    }
+    let mut best = 0u32;
+    let mut run = 0u32;
+    for k in 0..bits {
+        if (t >> k) & 1 == 0 {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// Number of trailing zeros of `t` in a `bits`-wide representation
+/// (`t = 0` has `bits` trailing zeros). This is Observation 3's
+/// arrivals-per-moment quantity minus one.
+pub fn trailing_zeros_width(t: u64, bits: u32) -> u32 {
+    if t == 0 {
+        bits
+    } else {
+        t.trailing_zeros().min(bits)
+    }
+}
+
+/// Exact `Σ_{t=0}^{2^n − 1} max_0(binary(t))` by enumeration.
+///
+/// Corollary 5.10 bounds this by `2·2^n·log n`; the experiments report the
+/// exact value next to the bound.
+pub fn sum_max_zero_runs(n: u32) -> u64 {
+    assert!((1..=30).contains(&n), "enumeration limited to n ≤ 30");
+    (0..(1u64 << n)).map(|t| max_zero_run(t, n) as u64).sum()
+}
+
+/// Exact `E[max_0(b)]` for uniform `b ∈ {0,1}^n`, by enumeration.
+pub fn expected_max_zero_run_exact(n: u32) -> f64 {
+    sum_max_zero_runs(n) as f64 / (1u64 << n) as f64
+}
+
+/// Monte-Carlo estimate of `E[max_0(b)]` for uniform `b ∈ {0,1}^n`
+/// (`n` may exceed the enumeration limit).
+pub fn expected_max_zero_run_mc(n: u32, samples: u32, seed: u64) -> f64 {
+    assert!((1..=64).contains(&n));
+    assert!(samples >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let b = rng.gen::<u64>() & mask;
+        total += max_zero_run(b, n) as u64;
+    }
+    total as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_zero_run_examples() {
+        assert_eq!(max_zero_run(0b000, 3), 3);
+        assert_eq!(max_zero_run(0b111, 3), 0);
+        assert_eq!(max_zero_run(0b101, 3), 1);
+        assert_eq!(max_zero_run(0b100, 3), 2);
+        assert_eq!(max_zero_run(0b001, 3), 2);
+        // The paper's example: b_t = 1001000 → the run of 3 zeros.
+        assert_eq!(max_zero_run(0b1001000, 7), 3);
+        // Width matters: leading zeros count.
+        assert_eq!(max_zero_run(0b1, 8), 7);
+    }
+
+    #[test]
+    fn trailing_zeros_examples() {
+        assert_eq!(trailing_zeros_width(0, 5), 5);
+        assert_eq!(trailing_zeros_width(1, 5), 0);
+        assert_eq!(trailing_zeros_width(4, 5), 2);
+        assert_eq!(trailing_zeros_width(16, 3), 3, "clamped to width");
+    }
+
+    #[test]
+    fn sum_matches_brute_force_small() {
+        for n in 1..=10u32 {
+            let brute: u64 = (0..(1u64 << n)).map(|t| max_zero_run(t, n) as u64).sum();
+            assert_eq!(sum_max_zero_runs(n), brute);
+        }
+    }
+
+    #[test]
+    fn corollary_5_10_bound_holds_exactly() {
+        // Σ max_0 ≤ 2μ·log log μ for n = log μ ≥ 2 (log log μ ≥ 1).
+        for n in 2..=16u32 {
+            let mu = 1u64 << n;
+            let sum = sum_max_zero_runs(n);
+            let bound = 2.0 * mu as f64 * (n as f64).log2().max(1.0);
+            assert!((sum as f64) <= bound, "n={n}: Σ={sum} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn lemma_5_9_expectation_bound() {
+        // E[max_0] ≤ 2 log n for n ≥ 2.
+        for n in 2..=16u32 {
+            let e = expected_max_zero_run_exact(n);
+            let bound = 2.0 * (n as f64).log2().max(1.0);
+            assert!(e <= bound, "n={n}: E={e} > {bound}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_close_to_exact() {
+        let exact = expected_max_zero_run_exact(12);
+        let mc = expected_max_zero_run_mc(12, 20_000, 1);
+        assert!((exact - mc).abs() < 0.1, "exact {exact} vs mc {mc}");
+    }
+
+    #[test]
+    fn expectation_grows_like_log_log() {
+        // Doubling n adds roughly 1 to E[max_0] (log₂ growth in n).
+        let e8 = expected_max_zero_run_exact(8);
+        let e16 = expected_max_zero_run_exact(16);
+        assert!(e16 > e8 + 0.5);
+        assert!(e16 < e8 + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width out of range")]
+    fn zero_width_rejected() {
+        max_zero_run(0, 0);
+    }
+}

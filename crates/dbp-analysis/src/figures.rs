@@ -1,0 +1,232 @@
+//! ASCII renderers for the paper's Figures 1–3.
+//!
+//! * Figure 2 — an instance gantt: one line per item, `[====)` over the
+//!   tick axis ([`gantt`]).
+//! * Figure 3 — a packing gantt: one line per bin showing when the bin was
+//!   open and which items it held ([`packing_gantt`]).
+//! * Figure 1 — a snapshot of CDFF's rows of bins with loads at one moment
+//!   ([`rows_snapshot`]); the caller supplies the row structure (assembled
+//!   from the algorithm state by the experiment harness, keeping this
+//!   crate independent of `dbp-algos`).
+
+use dbp_core::bin_state::BinId;
+use dbp_core::engine::PackingResult;
+use dbp_core::instance::Instance;
+use dbp_core::time::Time;
+
+/// Renders an instance as an item gantt (the paper's Figure 2 for σ_8).
+/// Items are drawn longest-duration first. Panics on horizons wider than
+/// `max_width` columns (keep figures terminal-sized).
+pub fn gantt(instance: &Instance, max_width: usize) -> String {
+    let Some(end) = instance.end() else {
+        return "(empty instance)\n".to_string();
+    };
+    let width = end.ticks() as usize;
+    assert!(
+        width <= max_width,
+        "horizon {width} exceeds {max_width} columns"
+    );
+    let mut items: Vec<_> = instance.items().to_vec();
+    items.sort_by_key(|it| (std::cmp::Reverse(it.duration().ticks()), it.arrival));
+    let mut out = String::new();
+    out.push_str(&axis_header(width));
+    for it in &items {
+        let mut line = vec![' '; width];
+        let a = it.arrival.ticks() as usize;
+        let d = it.departure.ticks() as usize;
+        line[a] = '[';
+        for c in line.iter_mut().take(d).skip(a + 1) {
+            *c = '=';
+        }
+        if d > a + 1 {
+            line[d - 1] = ')';
+        }
+        out.push_str(&format!(
+            "len {:>4} {:>5}  |{}|\n",
+            it.duration().ticks(),
+            it.id.to_string(),
+            line.iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+/// Renders a finished packing as a per-bin gantt (the paper's Figure 3):
+/// for each bin, `#` marks ticks where the bin is open, with the resident
+/// count as digits when below 10.
+pub fn packing_gantt(instance: &Instance, result: &PackingResult, max_width: usize) -> String {
+    let Some(end) = instance.end() else {
+        return "(empty instance)\n".to_string();
+    };
+    let width = end.ticks() as usize;
+    assert!(
+        width <= max_width,
+        "horizon {width} exceeds {max_width} columns"
+    );
+    let mut out = String::new();
+    out.push_str(&axis_header(width));
+    for (bin_idx, &(open, close)) in result.bin_intervals.iter().enumerate() {
+        let bin = BinId(bin_idx as u32);
+        let mut line = vec![' '; width];
+        for t in open.ticks()..close.ticks() {
+            // Resident count at t in this bin.
+            let count = instance
+                .items()
+                .iter()
+                .enumerate()
+                .filter(|(idx, it)| result.assignment[*idx] == bin && it.active_at(Time(t)))
+                .count();
+            line[t as usize] = if count < 10 {
+                char::from_digit(count as u32, 10).unwrap_or('#')
+            } else {
+                '#'
+            };
+        }
+        out.push_str(&format!(
+            "bin {:>3}  [{:>4},{:>4})  |{}|\n",
+            bin_idx,
+            open.ticks(),
+            close.ticks(),
+            line.iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+/// One bin inside a [`rows_snapshot`] row.
+#[derive(Debug, Clone)]
+pub struct SnapshotBin {
+    /// Display label, e.g. `b_2^1`.
+    pub label: String,
+    /// Load in `[0, 1]`.
+    pub load: f64,
+}
+
+/// Renders the CDFF row structure at one moment (the paper's Figure 1):
+/// each row lists its bins as load bars.
+pub fn rows_snapshot(rows: &[(String, Vec<SnapshotBin>)]) -> String {
+    let mut out = String::new();
+    out.push_str("CDFF rows (row 0 = currently-largest arrivable class)\n");
+    for (label, bins) in rows {
+        out.push_str(&format!("{label:>8}: "));
+        if bins.is_empty() {
+            out.push_str("(no open bins)");
+        }
+        for bin in bins {
+            let filled = (bin.load.clamp(0.0, 1.0) * 8.0).round() as usize;
+            out.push_str(&format!(
+                "[{}{}] {} ",
+                "█".repeat(filled),
+                "·".repeat(8 - filled),
+                bin.label
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn axis_header(width: usize) -> String {
+    let mut top = String::from("               ");
+    let mut marks = String::from("               ");
+    top.push(' ');
+    marks.push(' ');
+    for t in 0..width {
+        if t % 8 == 0 {
+            let s = t.to_string();
+            top.push_str(&s);
+            for _ in 0..(8usize.saturating_sub(s.len())) {
+                top.push(' ');
+            }
+        }
+        marks.push(if t % 8 == 0 { '|' } else { '·' });
+    }
+    // Trim top to width to avoid trailing overhang.
+    let mut line: String = top.chars().take(16 + width).collect();
+    line.push('\n');
+    line.push_str(&marks);
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::size::Size;
+    use dbp_core::time::Dur;
+
+    fn inst() -> Instance {
+        Instance::from_triples([
+            (Time(0), Dur(8), Size::from_ratio(1, 4)),
+            (Time(0), Dur(2), Size::from_ratio(1, 4)),
+            (Time(4), Dur(4), Size::from_ratio(1, 4)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gantt_draws_every_item() {
+        let s = gantt(&inst(), 120);
+        assert_eq!(s.lines().count(), 2 + 3);
+        assert!(s.contains("len    8"));
+        assert!(s.contains("len    2"));
+        assert!(s.contains('['));
+    }
+
+    #[test]
+    fn gantt_empty_instance() {
+        assert!(gantt(&Instance::empty(), 10).contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gantt_rejects_wide_horizon() {
+        gantt(&inst(), 4);
+    }
+
+    #[test]
+    fn packing_gantt_shows_bins() {
+        use dbp_core::engine;
+        struct Ff;
+        impl dbp_core::OnlineAlgorithm for Ff {
+            fn name(&self) -> &str {
+                "ff"
+            }
+            fn on_arrival(
+                &mut self,
+                view: &dbp_core::SimView<'_>,
+                item: &dbp_core::Item,
+            ) -> dbp_core::Placement {
+                match view.first_fit(item.size) {
+                    Some(b) => dbp_core::Placement::Existing(b),
+                    None => dbp_core::Placement::OpenNew,
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let instance = inst();
+        let res = engine::run(&instance, Ff).unwrap();
+        let s = packing_gantt(&instance, &res, 120);
+        assert!(s.contains("bin   0"));
+        // Resident counts appear as digits.
+        assert!(s.contains('2') || s.contains('1'));
+    }
+
+    #[test]
+    fn rows_snapshot_renders_bars() {
+        let rows = vec![
+            (
+                "row 0".to_string(),
+                vec![SnapshotBin {
+                    label: "b_0^1".into(),
+                    load: 0.5,
+                }],
+            ),
+            ("row 1".to_string(), vec![]),
+        ];
+        let s = rows_snapshot(&rows);
+        assert!(s.contains("b_0^1"));
+        assert!(s.contains("████"));
+        assert!(s.contains("(no open bins)"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Simple fixed-bin histograms with ASCII rendering, used for the
+//! distribution-shaped experiments (zero-run lengths, bin lifetimes).
+
+use std::fmt::Write as _;
+
+/// A histogram over `[min, max)` with equal-width buckets; values outside
+/// the range land in saturating edge buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets on
+    /// `[min, max)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `min >= max` or bounds are non-finite.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(min.is_finite() && max.is_finite() && min < max, "bad range");
+        Histogram {
+            min,
+            max,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite observation");
+        let b = ((v - self.min) / (self.max - self.min) * self.counts.len() as f64)
+            .floor()
+            .clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Records many observations.
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = f64>) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return self.min;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.min + (i as f64 + 0.5) * w;
+            }
+        }
+        self.max
+    }
+
+    /// Renders as ASCII bars (one line per bucket, `width` chars max).
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.min + i as f64 * w;
+            let bar = "#".repeat((c as f64 / peak as f64 * width as f64).round() as usize);
+            let _ = writeln!(out, "[{lo:>8.2}, {:>8.2}) {c:>8} |{bar}", lo + w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.0, 2.5, 9.9, 100.0, -5.0]);
+        assert_eq!(h.total(), 6);
+        // Out-of-range values clamp to edge buckets.
+        assert_eq!(h.counts[0], 3); // 0.5, 1.0, -5.0
+        assert_eq!(h.counts[4], 2); // 9.9, 100.0
+        assert_eq!(h.counts[1], 1); // 2.5
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.extend((0..100).map(|k| k as f64));
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+        let med = h.quantile(0.5);
+        assert!((45.0..55.0).contains(&med), "median {med}");
+        assert!(h.quantile(1.0) > 95.0);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn render_shapes_bars() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.extend([1.0, 1.0, 1.0, 3.0]);
+        let s = h.render(9);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("#########"));
+        assert!(lines[1].ends_with("###"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn rejects_inverted_range() {
+        Histogram::new(5.0, 1.0, 3);
+    }
+}

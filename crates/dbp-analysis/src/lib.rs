@@ -1,0 +1,32 @@
+//! # dbp-analysis
+//!
+//! Analysis and reporting layer for the Clairvoyant MinUsageTime DBP
+//! reproduction:
+//!
+//! * [`binary_strings`] — the paper's Section 5.1 machinery (`max_0`,
+//!   Lemma 5.9, Corollary 5.10) as executable functions;
+//! * [`stats`] — summaries, confidence intervals, least-squares shape fits;
+//! * [`table`] — ASCII/CSV tables for EXPERIMENTS.md;
+//! * [`ascii_plot`] — terminal line plots;
+//! * [`figures`] — ASCII renderers for the paper's Figures 1–3;
+//! * [`svg`] — dependency-free SVG gantts and ratio curves.
+
+#![warn(missing_docs)]
+
+pub mod ascii_plot;
+pub mod binary_strings;
+pub mod figures;
+pub mod histogram;
+pub mod ratio;
+pub mod stats;
+pub mod svg;
+pub mod table;
+
+pub use binary_strings::{
+    expected_max_zero_run_exact, expected_max_zero_run_mc, max_zero_run, sum_max_zero_runs,
+    trailing_zeros_width,
+};
+pub use histogram::Histogram;
+pub use ratio::{best_shape_label, classify_growth, Shape, ShapeFit};
+pub use stats::{geo_mean, linear_fit, Summary};
+pub use table::{f2, f3, Table};

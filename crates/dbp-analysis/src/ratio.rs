@@ -1,0 +1,195 @@
+//! Growth-shape classification for competitive-ratio series.
+//!
+//! The paper's landscape is a set of growth orders in `μ`: `Θ(√log μ)`
+//! (clairvoyant general), `Θ(log log μ)` (aligned), `Θ(log μ)` (naive
+//! classification), `Θ(μ)` (non-clairvoyant). Given measured
+//! `(log μ, ratio)` points, [`classify_growth`] fits `ratio ≈ a + b·f(μ)`
+//! for each candidate shape and reports the best explanation — letting the
+//! `shape-test` experiment *statistically identify* each algorithm's
+//! regime instead of eyeballing columns.
+
+use crate::stats::linear_fit;
+
+/// The candidate growth shapes, as functions of `n = log₂ μ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// `Θ(1)` — no growth.
+    Constant,
+    /// `Θ(log log μ)` — CDFF's aligned regime.
+    LogLog,
+    /// `Θ(√log μ)` — the clairvoyant general regime.
+    SqrtLog,
+    /// `Θ(log μ)` — naive classify-by-duration.
+    Log,
+    /// `Θ(μ)` — the non-clairvoyant regime.
+    Linear,
+}
+
+impl Shape {
+    /// All candidates, in complexity order.
+    pub const ALL: [Shape; 5] = [
+        Shape::Constant,
+        Shape::LogLog,
+        Shape::SqrtLog,
+        Shape::Log,
+        Shape::Linear,
+    ];
+
+    /// Evaluates the shape's feature `f(n)` for `n = log₂ μ`.
+    pub fn feature(self, n: f64) -> f64 {
+        match self {
+            Shape::Constant => 1.0,
+            Shape::LogLog => n.max(2.0).log2(),
+            Shape::SqrtLog => n.sqrt(),
+            Shape::Log => n,
+            Shape::Linear => 2f64.powf(n),
+        }
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Shape::Constant => "Θ(1)",
+            Shape::LogLog => "Θ(log log μ)",
+            Shape::SqrtLog => "Θ(√log μ)",
+            Shape::Log => "Θ(log μ)",
+            Shape::Linear => "Θ(μ)",
+        }
+    }
+}
+
+/// One candidate's fit quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeFit {
+    /// The shape.
+    pub shape: Shape,
+    /// Intercept `a` of `ratio ≈ a + b·f`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits every candidate shape to `(n = log₂ μ, ratio)` points and returns
+/// the fits sorted best-first. Shapes with negative slope are demoted (a
+/// growth claim needs growth): their r² is reported but they rank after
+/// all positive-slope fits. `Constant` is special-cased: its "fit quality"
+/// is `1 − normalized variance` so a flat series ranks it first.
+///
+/// Returns `None` with fewer than 3 points.
+pub fn classify_growth(ns: &[f64], ratios: &[f64]) -> Option<Vec<ShapeFit>> {
+    if ns.len() != ratios.len() || ns.len() < 3 {
+        return None;
+    }
+    let mut fits = Vec::with_capacity(Shape::ALL.len());
+    for shape in Shape::ALL {
+        if shape == Shape::Constant {
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / ratios.len() as f64;
+            // Relative flatness as a pseudo-r²: 1 when perfectly flat.
+            let rel = if mean.abs() < f64::EPSILON {
+                0.0
+            } else {
+                var.sqrt() / mean.abs()
+            };
+            fits.push(ShapeFit {
+                shape,
+                intercept: mean,
+                slope: 0.0,
+                r2: (1.0 - rel * 10.0).clamp(0.0, 1.0),
+            });
+            continue;
+        }
+        let xs: Vec<f64> = ns.iter().map(|&n| shape.feature(n)).collect();
+        if let Some((a, b, r2)) = linear_fit(&xs, ratios) {
+            fits.push(ShapeFit {
+                shape,
+                intercept: a,
+                slope: b,
+                r2,
+            });
+        }
+    }
+    if fits.is_empty() {
+        return None;
+    }
+    fits.sort_by(|x, y| {
+        let key = |f: &ShapeFit| (f.slope >= 0.0 || f.shape == Shape::Constant, f.r2);
+        key(y).partial_cmp(&key(x)).expect("finite fits")
+    });
+    Some(fits)
+}
+
+/// Convenience: the winning shape's label, or "inconclusive".
+pub fn best_shape_label(ns: &[f64], ratios: &[f64]) -> String {
+    match classify_growth(ns, ratios) {
+        Some(fits) if fits[0].r2 >= 0.5 => {
+            format!("{} (r²={:.3})", fits[0].shape.label(), fits[0].r2)
+        }
+        _ => "inconclusive".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> (Vec<f64>, Vec<f64>) {
+        let ns: Vec<f64> = vec![3.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0];
+        let ys = ns.iter().map(|&n| f(n)).collect();
+        (ns, ys)
+    }
+
+    #[test]
+    fn identifies_sqrt_log() {
+        let (ns, ys) = series(|n| 1.0 + 0.5 * n.sqrt());
+        let fits = classify_growth(&ns, &ys).unwrap();
+        assert_eq!(fits[0].shape, Shape::SqrtLog);
+        assert!(fits[0].r2 > 0.999);
+    }
+
+    #[test]
+    fn identifies_log_log() {
+        let (ns, ys) = series(|n| 1.0 + 0.9 * n.log2());
+        let fits = classify_growth(&ns, &ys).unwrap();
+        assert_eq!(fits[0].shape, Shape::LogLog);
+    }
+
+    #[test]
+    fn identifies_log() {
+        let (ns, ys) = series(|n| 1.0 + n);
+        let fits = classify_growth(&ns, &ys).unwrap();
+        assert_eq!(fits[0].shape, Shape::Log);
+    }
+
+    #[test]
+    fn identifies_linear_mu() {
+        let (ns, ys) = series(|n| 0.5 * 2f64.powf(n));
+        let fits = classify_growth(&ns, &ys).unwrap();
+        assert_eq!(fits[0].shape, Shape::Linear);
+    }
+
+    #[test]
+    fn identifies_flat() {
+        let (ns, ys) = series(|_| 1.37);
+        let fits = classify_growth(&ns, &ys).unwrap();
+        assert_eq!(fits[0].shape, Shape::Constant);
+        assert!(best_shape_label(&ns, &ys).contains("Θ(1)"));
+    }
+
+    #[test]
+    fn decreasing_series_never_claims_growth() {
+        let (ns, ys) = series(|n| 10.0 - n);
+        let fits = classify_growth(&ns, &ys).unwrap();
+        // Log fits perfectly but with negative slope: must not win over
+        // flat (which is also bad here, but is the only non-growth story).
+        assert_eq!(fits[0].shape, Shape::Constant);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(classify_growth(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+        assert_eq!(best_shape_label(&[1.0], &[1.0]), "inconclusive");
+    }
+}

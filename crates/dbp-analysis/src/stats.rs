@@ -1,0 +1,163 @@
+//! Small summary-statistics toolkit for experiment reporting.
+
+/// Summary of a sample of ratios/costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary; returns `None` for empty or non-finite data.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Half-width of a ~95% normal confidence interval on the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Geometric mean — the right aggregate for competitive ratios (they
+/// compose multiplicatively). Returns `None` for empty or non-positive
+/// data.
+pub fn geo_mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = data.iter().map(|x| x.ln()).sum();
+    Some((log_sum / data.len() as f64).exp())
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+///
+/// Used to check growth shapes: e.g. regressing measured ratios against
+/// `√log μ` should give slope ≫ 0 and good r² for HA on the adversary,
+/// and slope ≈ 0 against `log μ` would reject a linear-log shape.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some((a, b, r2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.stddev - 1.2909944).abs() < 1e-6);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn summary_odd_median_and_single() {
+        assert_eq!(Summary::of(&[5.0, 1.0, 3.0]).unwrap().median, 3.0);
+        let one = Summary::of(&[7.0]).unwrap();
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci95(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[1.0, 1.0]), Some(1.0));
+        let g = geo_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_none());
+        assert!(geo_mean(&[1.0, 0.0]).is_none());
+        assert!(geo_mean(&[1.0, -2.0]).is_none());
+        // Geo mean ≤ arithmetic mean (AM–GM).
+        let data = [1.3, 2.7, 1.1, 4.0];
+        let am = data.iter().sum::<f64>() / 4.0;
+        assert!(geo_mean(&data).unwrap() <= am);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let (a, b, r2) = linear_fit(&xs, &ys).unwrap();
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+        // Flat y: slope 0, r² defined as 1 (perfect fit of a constant).
+        let (_, b, _) = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(b, 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Hand-rolled SVG renderers (no dependencies): instance gantts, packing
+//! gantts and ratio curves, written next to the ASCII figures so the
+//! regenerated artifacts are publication-ready.
+
+use std::fmt::Write as _;
+
+use dbp_core::bin_state::BinId;
+use dbp_core::engine::PackingResult;
+use dbp_core::instance::Instance;
+
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn header(width: u32, height: u32, title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n\
+         <text x=\"12\" y=\"20\" font-size=\"15\" font-weight=\"bold\">{}</text>\n",
+        esc(title)
+    )
+}
+
+/// Renders an instance as an SVG item gantt (Figure 2 style): one lane per
+/// item, colour-coded by duration class.
+pub fn svg_gantt(instance: &Instance, title: &str) -> String {
+    let end = instance.end().map_or(1, |t| t.ticks().max(1));
+    let lane_h = 16u32;
+    let top = 40u32;
+    let left = 70u32;
+    let plot_w = 820u32;
+    let height = top + instance.len() as u32 * lane_h + 30;
+    let width = left + plot_w + 20;
+    let mut out = header(width, height, title);
+    let x = |t: u64| left as f64 + t as f64 / end as f64 * plot_w as f64;
+
+    // Time axis ticks at powers of two.
+    let mut tick = 1u64;
+    let _ = write!(out, "<g stroke=\"#ddd\">");
+    while tick <= end {
+        let _ = write!(
+            out,
+            "<line x1=\"{0:.1}\" y1=\"{top}\" x2=\"{0:.1}\" y2=\"{1}\"/>",
+            x(tick),
+            height - 25
+        );
+        tick *= 2;
+    }
+    let _ = writeln!(out, "</g>");
+
+    let mut items: Vec<_> = instance.items().to_vec();
+    items.sort_by_key(|it| (std::cmp::Reverse(it.duration().ticks()), it.arrival));
+    for (lane, it) in items.iter().enumerate() {
+        let y = top + lane as u32 * lane_h;
+        let colour = PALETTE[it.class_index() as usize % PALETTE.len()];
+        let x0 = x(it.arrival.ticks());
+        let w = (x(it.departure.ticks()) - x0).max(1.5);
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x0:.1}\" y=\"{}\" width=\"{w:.1}\" height=\"{}\" fill=\"{colour}\" \
+             rx=\"2\"><title>{} [{}, {}) size {}</title></rect>\
+             <text x=\"8\" y=\"{}\" fill=\"#333\">len {}</text>",
+            y + 2,
+            lane_h - 4,
+            it.id,
+            it.arrival.ticks(),
+            it.departure.ticks(),
+            it.size,
+            y + lane_h - 4,
+            it.duration().ticks(),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a finished packing as an SVG per-bin gantt (Figure 3 style):
+/// one lane per bin, the bin's open interval as a frame and its items as
+/// stacked bars.
+pub fn svg_packing(instance: &Instance, result: &PackingResult, title: &str) -> String {
+    let end = instance.end().map_or(1, |t| t.ticks().max(1));
+    let lane_h = 26u32;
+    let top = 40u32;
+    let left = 70u32;
+    let plot_w = 820u32;
+    let height = top + result.bin_intervals.len() as u32 * lane_h + 30;
+    let width = left + plot_w + 20;
+    let mut out = header(width, height, title);
+    let x = |t: u64| left as f64 + t as f64 / end as f64 * plot_w as f64;
+
+    for (bin_idx, &(open, close)) in result.bin_intervals.iter().enumerate() {
+        let y = top + bin_idx as u32 * lane_h;
+        let x0 = x(open.ticks());
+        let w = (x(close.ticks()) - x0).max(1.5);
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x0:.1}\" y=\"{}\" width=\"{w:.1}\" height=\"{}\" fill=\"none\" \
+             stroke=\"#999\"/><text x=\"8\" y=\"{}\">bin {bin_idx}</text>",
+            y + 2,
+            lane_h - 4,
+            y + lane_h - 8,
+        );
+        // Items of this bin, drawn as proportional-height bars stacked by
+        // placement order.
+        let members: Vec<_> = instance
+            .items()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| result.assignment[*idx] == BinId(bin_idx as u32))
+            .map(|(_, it)| it)
+            .collect();
+        for it in members {
+            let ix0 = x(it.arrival.ticks());
+            let iw = (x(it.departure.ticks()) - ix0).max(1.0);
+            let ih = ((lane_h - 8) as f64 * it.size.as_f64()).max(2.0);
+            let colour = PALETTE[it.class_index() as usize % PALETTE.len()];
+            let _ = writeln!(
+                out,
+                "<rect x=\"{ix0:.1}\" y=\"{:.1}\" width=\"{iw:.1}\" height=\"{ih:.1}\" \
+                 fill=\"{colour}\" fill-opacity=\"0.8\"><title>{} size {}</title></rect>",
+                y as f64 + (lane_h - 4) as f64 - ih,
+                it.id,
+                it.size,
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders named series as an SVG line chart (ratio-vs-μ figures).
+pub fn svg_series(
+    xs: &[f64],
+    series: &[(&str, &[f64])],
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    assert!(!xs.is_empty(), "no data");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    let (width, height) = (640u32, 400u32);
+    let (left, right, top, bottom) = (60.0, 20.0, 40.0, 50.0);
+    let plot_w = width as f64 - left - right;
+    let plot_h = height as f64 - top - bottom;
+
+    let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in *ys {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let sx = |v: f64| {
+        if xmax > xmin {
+            left + (v - xmin) / (xmax - xmin) * plot_w
+        } else {
+            left + plot_w / 2.0
+        }
+    };
+    let sy = |v: f64| top + plot_h - (v - ymin) / (ymax - ymin) * plot_h;
+
+    let mut out = header(width, height, title);
+    // Axes.
+    let _ = writeln!(
+        out,
+        "<g stroke=\"#333\"><line x1=\"{left}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\"/>\
+         <line x1=\"{left}\" y1=\"{top}\" x2=\"{left}\" y2=\"{0}\"/></g>\
+         <text x=\"{2}\" y=\"{3}\" text-anchor=\"middle\">{4}</text>\
+         <text x=\"14\" y=\"{5}\" transform=\"rotate(-90 14 {5})\" text-anchor=\"middle\">{6}</text>",
+        top + plot_h,
+        left + plot_w,
+        left + plot_w / 2.0,
+        height as f64 - 12.0,
+        esc(x_label),
+        top + plot_h / 2.0,
+        esc(y_label),
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{left}\" y=\"{0}\" font-size=\"10\">{xmin:.2}</text>\
+         <text x=\"{1}\" y=\"{0}\" font-size=\"10\" text-anchor=\"end\">{xmax:.2}</text>\
+         <text x=\"{2}\" y=\"{top}\" font-size=\"10\" text-anchor=\"end\">{ymax:.2}</text>\
+         <text x=\"{2}\" y=\"{3}\" font-size=\"10\" text-anchor=\"end\">{ymin:.2}</text>",
+        top + plot_h + 14.0,
+        left + plot_w,
+        left - 6.0,
+        top + plot_h,
+    );
+
+    for (si, (name, ys)) in series.iter().enumerate() {
+        let colour = PALETTE[si % PALETTE.len()];
+        let pts: Vec<String> = xs
+            .iter()
+            .zip(*ys)
+            .map(|(&vx, &vy)| format!("{:.1},{:.1}", sx(vx), sy(vy)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"2\"/>",
+            pts.join(" ")
+        );
+        for p in &pts {
+            let mut split = p.split(',');
+            let (px, py) = (split.next().unwrap_or("0"), split.next().unwrap_or("0"));
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{px}\" cy=\"{py}\" r=\"3\" fill=\"{colour}\"/>"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" fill=\"{colour}\">{}</text>",
+            left + plot_w - 150.0,
+            top + 16.0 * (si + 1) as f64,
+            esc(name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::size::Size;
+    use dbp_core::time::{Dur, Time};
+
+    fn inst() -> Instance {
+        Instance::from_triples([
+            (Time(0), Dur(8), Size::from_ratio(1, 4)),
+            (Time(0), Dur(2), Size::from_ratio(1, 2)),
+            (Time(4), Dur(4), Size::from_ratio(1, 4)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gantt_svg_well_formed() {
+        let svg = svg_gantt(&inst(), "σ test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 3, "background + 3 items");
+        assert!(svg.contains("σ test"));
+    }
+
+    #[test]
+    fn packing_svg_one_lane_per_bin() {
+        use dbp_core::{Item, OnlineAlgorithm, Placement, SimView};
+        struct Ff;
+        impl OnlineAlgorithm for Ff {
+            fn name(&self) -> &str {
+                "ff"
+            }
+            fn on_arrival(&mut self, v: &SimView<'_>, i: &Item) -> Placement {
+                v.first_fit(i.size)
+                    .map(Placement::Existing)
+                    .unwrap_or(Placement::OpenNew)
+            }
+            fn reset(&mut self) {}
+        }
+        let instance = inst();
+        let res = dbp_core::engine::run(&instance, Ff).unwrap();
+        let svg = svg_packing(&instance, &res, "packing");
+        assert!(svg.contains("bin 0"));
+        assert_eq!(svg.matches("<text x=\"8\"").count(), res.bins_opened);
+    }
+
+    #[test]
+    fn series_svg_draws_lines_and_legend() {
+        let xs = [1.0, 2.0, 3.0];
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let svg = svg_series(&xs, &[("up", &a), ("down", &b)], "t", "x", "y");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">up<"));
+        assert!(svg.contains(">down<"));
+    }
+
+    #[test]
+    fn escaping_titles() {
+        let svg = svg_series(&[1.0], &[("s", &[1.0])], "a < b & c", "x", "y");
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        svg_series(&[1.0, 2.0], &[("bad", &[1.0])], "t", "x", "y");
+    }
+}

@@ -1,0 +1,194 @@
+//! Plain-text table and CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    /// Panics if the row is longer than the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(row.len() <= self.header.len(), "row wider than header");
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let esc = |c: &str| c.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals (the standard report precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["algo", "ratio"]);
+        t.row(["first-fit", "1.25"]);
+        t.row(["ha", "1.1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].starts_with("first-fit  1.25"));
+        assert!(lines[3].starts_with("ha         1.1"));
+    }
+
+    #[test]
+    fn markdown_renders_pipes_escaped() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x|y", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("x\\|y"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["a", "x,y"]);
+        t.row(["b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).unwrap().ends_with(",,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than header")]
+    fn wide_rows_rejected() {
+        Table::new(["a"]).row(["1", "2"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+    }
+}

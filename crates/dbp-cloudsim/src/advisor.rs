@@ -1,0 +1,116 @@
+//! The migration advisor: what would live-migration buy?
+//!
+//! The gap between the repacking and non-repacking optima — `OPT_R` vs
+//! `OPT_NR` in the paper — is, operationally, the value of being able to
+//! *migrate* running sessions between servers. The advisor compares a
+//! dispatcher's realized bill with the best achievable (a) without
+//! migration by any strategy (the non-repacking portfolio), and (b) with
+//! free migration (repack-every-event FFD, the Lemma 3.1 constructive
+//! optimum), turning the paper's two adversaries into a capacity-planning
+//! report.
+
+use dbp_algos::offline::{best_nonrepacking, ffd_repack_cost};
+use dbp_core::cost::Area;
+
+use crate::dispatcher::DispatchReport;
+
+/// The advisor's findings for one dispatch run.
+#[derive(Debug, Clone)]
+pub struct MigrationAdvice {
+    /// The dispatcher's realized bill.
+    pub bill: Area,
+    /// Best known bill without migration (portfolio winner).
+    pub best_static: Area,
+    /// Name of the winning static strategy.
+    pub best_static_strategy: String,
+    /// Bill with free migration (repacking FFD).
+    pub with_migration: Area,
+    /// Headroom over the best static strategy: `bill / best_static`.
+    pub dispatch_headroom: f64,
+    /// Value of migration: `best_static / with_migration`.
+    pub migration_value: f64,
+}
+
+impl MigrationAdvice {
+    /// Analyses a dispatch report.
+    pub fn analyse(report: &DispatchReport) -> MigrationAdvice {
+        let portfolio = best_nonrepacking(&report.instance);
+        let with_migration = ffd_repack_cost(&report.instance);
+        MigrationAdvice {
+            bill: report.bill,
+            best_static: portfolio.cost,
+            best_static_strategy: portfolio.winner.clone(),
+            with_migration,
+            dispatch_headroom: report.bill.ratio_to(portfolio.cost),
+            migration_value: portfolio.cost.ratio_to(with_migration),
+        }
+    }
+
+    /// One-line summary for operators.
+    pub fn summary(&self) -> String {
+        format!(
+            "bill {:.0}; best static ({}) {:.0} ({:.1}% headroom); \
+             with migration {:.0} (migration worth {:.1}%)",
+            self.bill.as_bin_ticks(),
+            self.best_static_strategy,
+            self.best_static.as_bin_ticks(),
+            (self.dispatch_headroom - 1.0) * 100.0,
+            self.with_migration.as_bin_ticks(),
+            (self.migration_value - 1.0) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::dispatch;
+    use crate::session::{SessionRequest, Tier};
+    use dbp_algos::FirstFit;
+    use dbp_core::time::{Dur, Time};
+
+    fn staggered_sessions() -> Vec<SessionRequest> {
+        // A pattern where migration genuinely helps: pairs of sessions
+        // whose departures interleave so a static packing strands space.
+        let mut v = Vec::new();
+        for k in 0..12u64 {
+            v.push(SessionRequest::exact(
+                k,
+                Time(k * 2),
+                Dur(20),
+                Tier::Premium,
+            ));
+            v.push(SessionRequest::exact(
+                100 + k,
+                Time(k * 2),
+                Dur(3),
+                Tier::Premium,
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn advice_orders_consistently() {
+        let report = dispatch(&staggered_sessions(), FirstFit::new()).unwrap();
+        let advice = MigrationAdvice::analyse(&report);
+        // with_migration ≤ best_static ≤ bill (portfolio includes FF, and
+        // migration can only help).
+        assert!(advice.with_migration <= advice.best_static);
+        assert!(advice.best_static <= advice.bill);
+        assert!(advice.dispatch_headroom >= 1.0);
+        assert!(advice.migration_value >= 1.0);
+        let s = advice.summary();
+        assert!(s.contains("migration worth"));
+    }
+
+    #[test]
+    fn perfect_dispatch_has_no_headroom() {
+        // Single session: everything collapses.
+        let sessions = vec![SessionRequest::exact(1, Time(0), Dur(10), Tier::Low)];
+        let report = dispatch(&sessions, FirstFit::new()).unwrap();
+        let advice = MigrationAdvice::analyse(&report);
+        assert_eq!(advice.dispatch_headroom, 1.0);
+        assert_eq!(advice.migration_value, 1.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The dispatcher: sessions → servers through any DBP online algorithm.
+//!
+//! The central subtlety is *noisy clairvoyance*: the algorithm decides
+//! placements from **predicted** departures while the world runs on
+//! **actual** ones. [`PredictedLens`] wraps any
+//! [`OnlineAlgorithm`] and swaps each item's departure for its prediction
+//! on the way in — consistently in both `on_arrival` and `on_departure`,
+//! so stateful algorithms (HA's per-type loads, CDFF's rows) stay
+//! internally coherent even when reality disagrees with the forecast.
+//! Capacity can never be violated by a wrong prediction (sizes are exact);
+//! only the *cost* degrades — which is exactly what the
+//! `prediction-noise` experiment measures.
+
+use std::collections::HashMap;
+
+use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
+use dbp_core::bin_state::BinId;
+use dbp_core::cost::Area;
+use dbp_core::engine;
+use dbp_core::error::EngineError;
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::item::{Item, ItemId};
+use dbp_core::time::Time;
+
+use crate::session::{SessionRequest, Tier};
+
+/// Wraps an algorithm so it sees predicted departures instead of actual
+/// ones. `predictions[item.id]` must hold the predicted *departure time*
+/// for every item the engine will deliver.
+pub struct PredictedLens<A> {
+    inner: A,
+    predictions: Vec<Time>,
+    /// The predicted view of each in-flight item, replayed on departure.
+    in_flight: HashMap<ItemId, Item>,
+}
+
+impl<A: OnlineAlgorithm> PredictedLens<A> {
+    /// Wraps `inner`; `predictions` is indexed by item id.
+    pub fn new(inner: A, predictions: Vec<Time>) -> PredictedLens<A> {
+        PredictedLens {
+            inner,
+            predictions,
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    fn predicted_view(&self, item: &Item) -> Item {
+        let predicted_departure = self.predictions[item.id.index()];
+        Item::new(item.id, item.arrival, predicted_departure, item.size)
+    }
+}
+
+impl<A: OnlineAlgorithm> OnlineAlgorithm for PredictedLens<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        let seen = self.predicted_view(item);
+        self.in_flight.insert(item.id, seen);
+        self.inner.on_arrival(view, &seen)
+    }
+
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
+        // Forward the SAME view the algorithm saw at arrival, so its
+        // internal bookkeeping (type loads, row maps) balances.
+        let seen = self.in_flight.remove(&item.id).unwrap_or(*item);
+        self.inner.on_departure(&seen, bin, bin_closed);
+    }
+
+    fn reset(&mut self) {
+        self.in_flight.clear();
+        self.inner.reset();
+    }
+}
+
+/// The result of dispatching a batch of sessions.
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    /// Total server usage time (the bill's physical quantity).
+    pub bill: Area,
+    /// Number of servers ever powered on.
+    pub servers_used: usize,
+    /// Peak simultaneously-on servers.
+    pub peak_servers: usize,
+    /// Which server each session landed on (session order = input order
+    /// after sorting by arrival).
+    pub placements: Vec<BinId>,
+    /// The instance actually played (actual durations).
+    pub instance: Instance,
+    /// Mean relative prediction error over the batch.
+    pub mean_prediction_error: f64,
+}
+
+impl DispatchReport {
+    /// `d(σ)/bill`: how much of the paid server-time carried traffic.
+    pub fn utilisation(&self) -> f64 {
+        self.instance.demand().ratio_to(self.bill).min(1.0)
+    }
+
+    /// Per-tier traffic breakdown: `(tier, sessions, demand share of the
+    /// total d(σ))`, in tier order. Sessions are recovered from the item
+    /// sizes (tiers have distinct sizes by construction).
+    pub fn tier_breakdown(&self) -> Vec<(Tier, usize, f64)> {
+        let total = self.instance.demand().as_bin_ticks().max(f64::MIN_POSITIVE);
+        [Tier::Low, Tier::Standard, Tier::Premium]
+            .into_iter()
+            .map(|tier| {
+                let size = tier.size();
+                let mut count = 0usize;
+                let mut demand = 0.0;
+                for it in self.instance.items() {
+                    if it.size == size {
+                        count += 1;
+                        demand += it.size.as_f64() * it.duration().ticks() as f64;
+                    }
+                }
+                (tier, count, demand / total)
+            })
+            .collect()
+    }
+}
+
+/// Dispatches sessions through `algo`.
+///
+/// Sessions are served in arrival order (ties: input order). The
+/// algorithm sees predicted durations; the report reflects actual ones.
+///
+/// ```
+/// use dbp_cloudsim::{dispatch, SessionRequest, Tier};
+/// use dbp_core::{Time, Dur};
+///
+/// let sessions = vec![
+///     SessionRequest::exact(1, Time(0), Dur(30), Tier::Premium),
+///     SessionRequest::exact(2, Time(0), Dur(30), Tier::Premium),
+/// ];
+/// let report = dispatch(&sessions, dbp_algos::FirstFit::new()).unwrap();
+/// assert_eq!(report.servers_used, 1, "two premium sessions share a server");
+/// assert_eq!(report.bill.as_bin_ticks(), 30.0);
+/// ```
+pub fn dispatch<A: OnlineAlgorithm>(
+    sessions: &[SessionRequest],
+    algo: A,
+) -> Result<DispatchReport, EngineError> {
+    let mut ordered: Vec<&SessionRequest> = sessions.iter().collect();
+    ordered.sort_by_key(|s| s.arrival);
+
+    let mut builder = InstanceBuilder::with_capacity(ordered.len());
+    let mut predictions = Vec::with_capacity(ordered.len());
+    let mut err_sum = 0.0;
+    for s in &ordered {
+        builder.push(s.arrival, s.actual, s.tier.size());
+        predictions.push(s.arrival + s.predicted);
+        err_sum += s.prediction_error();
+    }
+    let instance = builder.build().expect("sessions are valid items");
+
+    let lens = PredictedLens::new(algo, predictions);
+    let result = engine::run(&instance, lens)?;
+    Ok(DispatchReport {
+        bill: result.cost,
+        servers_used: result.bins_opened,
+        peak_servers: result.max_open,
+        placements: result.assignment,
+        mean_prediction_error: if ordered.is_empty() {
+            0.0
+        } else {
+            err_sum / ordered.len() as f64
+        },
+        instance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionRequest, Tier};
+    use dbp_algos::{DepartureAwareFit, FirstFit, HybridAlgorithm};
+    use dbp_core::time::Dur;
+
+    fn sessions_exact() -> Vec<SessionRequest> {
+        vec![
+            SessionRequest::exact(1, Time(0), Dur(2), Tier::Premium),
+            SessionRequest::exact(2, Time(0), Dur(64), Tier::Premium),
+            SessionRequest::exact(3, Time(0), Dur(64), Tier::Premium),
+        ]
+    }
+
+    #[test]
+    fn oracle_dispatch_matches_plain_engine() {
+        let report = dispatch(sessions_exact(), HybridAlgorithm::new()).unwrap();
+        let plain = engine::run(&report.instance, HybridAlgorithm::new()).unwrap();
+        assert_eq!(report.bill, plain.cost);
+        assert_eq!(report.placements, plain.assignment);
+        assert_eq!(report.mean_prediction_error, 0.0);
+    }
+
+    fn dispatch(
+        s: Vec<SessionRequest>,
+        a: impl OnlineAlgorithm,
+    ) -> Result<DispatchReport, EngineError> {
+        super::dispatch(&s, a)
+    }
+
+    #[test]
+    fn wrong_predictions_change_decisions_not_validity() {
+        // The short session lies: it claims to be long. The departure-aware
+        // dispatcher now pairs it with a long session — costing more, but
+        // the packing stays valid and the bill reflects ACTUAL durations.
+        let mut sessions = sessions_exact();
+        sessions[0].predicted = Dur(64); // short session predicted long
+        let report = dispatch(sessions, DepartureAwareFit::new()).unwrap();
+        let audit = dbp_core::assignment::audit(&report.instance, &report.placements).unwrap();
+        assert_eq!(audit.cost, report.bill);
+        assert!(report.mean_prediction_error > 0.0);
+    }
+
+    #[test]
+    fn oracle_beats_lying_predictions_for_clairvoyant_algos() {
+        let truth = dispatch(sessions_exact(), DepartureAwareFit::new()).unwrap();
+        // Misleading forecast: the two LONG sessions claim to be short.
+        let mut lied = sessions_exact();
+        lied[1].predicted = Dur(2);
+        lied[2].predicted = Dur(2);
+        let fooled = dispatch(lied, DepartureAwareFit::new()).unwrap();
+        assert!(
+            truth.bill <= fooled.bill,
+            "truth {} vs fooled {}",
+            truth.bill,
+            fooled.bill
+        );
+    }
+
+    #[test]
+    fn non_clairvoyant_algorithms_ignore_predictions() {
+        let truth = dispatch(sessions_exact(), FirstFit::new()).unwrap();
+        let mut lied = sessions_exact();
+        lied[0].predicted = Dur(1000);
+        let fooled = dispatch(lied, FirstFit::new()).unwrap();
+        assert_eq!(truth.bill, fooled.bill, "FF never reads departures");
+        assert_eq!(truth.placements, fooled.placements);
+    }
+
+    #[test]
+    fn stateful_algorithms_stay_coherent_under_noise() {
+        // HA's per-type load accounting must not underflow when predicted
+        // and actual durations put an item in different classes.
+        let mut sessions = Vec::new();
+        let mut x = 5u64;
+        for k in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let actual = 1 + x % 64;
+            let predicted = 1 + (x >> 17) % 64;
+            sessions.push(SessionRequest {
+                user: k,
+                arrival: Time(k / 4),
+                actual: Dur(actual),
+                predicted: Dur(predicted),
+                tier: Tier::Standard,
+            });
+        }
+        let report = dispatch(sessions, HybridAlgorithm::new()).unwrap();
+        let audit = dbp_core::assignment::audit(&report.instance, &report.placements).unwrap();
+        assert_eq!(audit.cost, report.bill);
+        assert!(report.utilisation() > 0.0 && report.utilisation() <= 1.0);
+    }
+
+    #[test]
+    fn tier_breakdown_partitions_sessions() {
+        let sessions = vec![
+            SessionRequest::exact(1, Time(0), Dur(10), Tier::Low),
+            SessionRequest::exact(2, Time(0), Dur(10), Tier::Premium),
+            SessionRequest::exact(3, Time(0), Dur(10), Tier::Premium),
+        ];
+        let report = dispatch(sessions, FirstFit::new()).unwrap();
+        let breakdown = report.tier_breakdown();
+        let counts: Vec<usize> = breakdown.iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(counts, [1, 0, 2]);
+        let share_sum: f64 = breakdown.iter().map(|&(_, _, s)| s).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // Premium carries 8/9 of the demand (2×(1/2) vs 1×(1/8)).
+        assert!((breakdown[2].2 - 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_metrics_consistent() {
+        let report = dispatch(sessions_exact(), FirstFit::new()).unwrap();
+        assert_eq!(report.servers_used, 2);
+        assert_eq!(report.peak_servers, 2);
+        assert_eq!(report.bill.as_bin_ticks(), 64.0 + 64.0);
+        assert!(
+            (report.utilisation() - report.instance.demand().ratio_to(report.bill)).abs() < 1e-12
+        );
+    }
+}

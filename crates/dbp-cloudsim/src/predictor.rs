@@ -1,0 +1,140 @@
+//! Duration predictors: from oracle clairvoyance to realistic noise.
+//!
+//! The paper's clairvoyant model assumes departure times are known exactly
+//! on arrival, justified by cloud-gaming predictability (Li et al.). Real
+//! predictors err; this module generates predicted durations with
+//! controlled noise so the `prediction-noise` experiment can measure how
+//! fast each algorithm's advantage decays — a robustness question the
+//! paper leaves open.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::time::Dur;
+
+/// A duration predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predictor {
+    /// Perfect clairvoyance (the paper's model).
+    Oracle,
+    /// Multiplicative noise: predicted = actual · U[1−e, 1+e], clamped to
+    /// ≥ 1 tick. `e` in percent (0–100).
+    Relative {
+        /// Error half-width in percent.
+        error_pct: u32,
+    },
+    /// Systematic bias: predicted = actual · (100+b)/100, b ∈ [−99, 400].
+    Biased {
+        /// Bias in percent (negative = underestimates).
+        bias_pct: i32,
+    },
+    /// No information: always predicts `fallback` ticks (the
+    /// non-clairvoyant limit — every session looks alike).
+    Constant {
+        /// The constant prediction.
+        fallback: u64,
+    },
+}
+
+impl Predictor {
+    /// Predicts a duration for a session of true length `actual`.
+    pub fn predict(self, actual: Dur, rng: &mut StdRng) -> Dur {
+        match self {
+            Predictor::Oracle => actual,
+            Predictor::Relative { error_pct } => {
+                assert!(error_pct <= 100, "relative error capped at 100%");
+                let e = error_pct as f64 / 100.0;
+                let factor = rng.gen_range((1.0 - e)..=(1.0 + e));
+                Dur(((actual.ticks() as f64 * factor).round() as u64).max(1))
+            }
+            Predictor::Biased { bias_pct } => {
+                assert!((-99..=400).contains(&bias_pct), "bias out of range");
+                let factor = (100 + bias_pct as i64) as f64 / 100.0;
+                Dur(((actual.ticks() as f64 * factor).round() as u64).max(1))
+            }
+            Predictor::Constant { fallback } => Dur(fallback.max(1)),
+        }
+    }
+
+    /// Display label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Predictor::Oracle => "oracle".into(),
+            Predictor::Relative { error_pct } => format!("±{error_pct}%"),
+            Predictor::Biased { bias_pct } => format!("bias {bias_pct:+}%"),
+            Predictor::Constant { fallback } => format!("constant {fallback}"),
+        }
+    }
+
+    /// Applies the predictor to a batch of sessions (deterministic per
+    /// seed).
+    pub fn apply(self, sessions: &mut [crate::session::SessionRequest], seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in sessions {
+            s.predicted = self.predict(s.actual, &mut rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{SessionRequest, Tier};
+    use dbp_core::time::Time;
+
+    #[test]
+    fn oracle_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Predictor::Oracle.predict(Dur(77), &mut rng), Dur(77));
+    }
+
+    #[test]
+    fn relative_noise_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let p = Predictor::Relative { error_pct: 30 }.predict(Dur(100), &mut rng);
+            assert!(p.ticks() >= 70 && p.ticks() <= 130, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bias_is_systematic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            Predictor::Biased { bias_pct: 50 }.predict(Dur(100), &mut rng),
+            Dur(150)
+        );
+        assert_eq!(
+            Predictor::Biased { bias_pct: -50 }.predict(Dur(100), &mut rng),
+            Dur(50)
+        );
+    }
+
+    #[test]
+    fn predictions_never_hit_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let p = Predictor::Relative { error_pct: 100 }.predict(Dur(1), &mut rng);
+            assert!(p.ticks() >= 1);
+        }
+        assert_eq!(
+            Predictor::Constant { fallback: 0 }.predict(Dur(5), &mut rng),
+            Dur(1)
+        );
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let base: Vec<SessionRequest> = (0..50)
+            .map(|k| SessionRequest::exact(k, Time(k), Dur(10 + k), Tier::Low))
+            .collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        Predictor::Relative { error_pct: 20 }.apply(&mut a, 7);
+        Predictor::Relative { error_pct: 20 }.apply(&mut b, 7);
+        assert_eq!(a, b);
+        let mut c = base;
+        Predictor::Relative { error_pct: 20 }.apply(&mut c, 8);
+        assert_ne!(a, c);
+    }
+}

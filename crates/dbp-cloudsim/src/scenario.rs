@@ -1,0 +1,202 @@
+//! Multi-day fleet scenarios: generate traffic day by day, dispatch each
+//! day with a chosen algorithm and predictor, and aggregate the bills —
+//! the operator-level view the examples and capacity-planning experiments
+//! are built on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::algorithm::OnlineAlgorithm;
+use dbp_core::error::EngineError;
+use dbp_core::time::{Dur, Time};
+
+use crate::billing::{CostModel, Invoice};
+use crate::dispatcher::{dispatch, DispatchReport};
+use crate::predictor::Predictor;
+use crate::session::{SessionRequest, Tier};
+
+/// Traffic model for one scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of days simulated.
+    pub days: u32,
+    /// Ticks per day (e.g. 1440 minutes).
+    pub ticks_per_day: u64,
+    /// Mean sessions per day; actual counts vary ±20% day to day.
+    pub sessions_per_day: usize,
+    /// Fraction of long sessions, in percent.
+    pub long_pct: u32,
+    /// Mean short-session length in ticks.
+    pub short_len: u64,
+    /// Mean long-session length in ticks.
+    pub long_len: u64,
+    /// Duration predictor quality.
+    pub predictor: Predictor,
+}
+
+impl Scenario {
+    /// A default week of cloud-gaming traffic with oracle forecasts.
+    pub fn week() -> Scenario {
+        Scenario {
+            days: 7,
+            ticks_per_day: 1_440,
+            sessions_per_day: 2_000,
+            long_pct: 20,
+            short_len: 25,
+            long_len: 240,
+            predictor: Predictor::Oracle,
+        }
+    }
+
+    /// Generates day `d`'s sessions (deterministic per `(seed, d)`).
+    pub fn day_sessions(&self, d: u32, seed: u64) -> Vec<SessionRequest> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (d as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+        let count = ((self.sessions_per_day as f64) * jitter).round() as usize;
+        let mut sessions: Vec<SessionRequest> = (0..count)
+            .map(|k| {
+                let long = rng.gen_range(0..100) < self.long_pct;
+                let mean = if long { self.long_len } else { self.short_len };
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let len = ((-(mean as f64) * u.ln()).round() as u64).max(1);
+                let tier = match rng.gen_range(0..3) {
+                    0 => Tier::Low,
+                    1 => Tier::Standard,
+                    _ => Tier::Premium,
+                };
+                SessionRequest::exact(
+                    (d as u64) << 32 | k as u64,
+                    Time(rng.gen_range(0..self.ticks_per_day)),
+                    Dur(len),
+                    tier,
+                )
+            })
+            .collect();
+        self.predictor
+            .apply(&mut sessions, seed.wrapping_add(d as u64));
+        sessions
+    }
+
+    /// Runs the whole scenario with a fresh algorithm per day (fleets are
+    /// drained overnight: each day is an independent busy horizon).
+    pub fn run<A, F>(
+        &self,
+        mut make_algo: F,
+        model: &CostModel,
+        seed: u64,
+    ) -> Result<ScenarioReport, EngineError>
+    where
+        A: OnlineAlgorithm,
+        F: FnMut() -> A,
+    {
+        let mut days = Vec::with_capacity(self.days as usize);
+        for d in 0..self.days {
+            let sessions = self.day_sessions(d, seed);
+            let report = dispatch(&sessions, make_algo())?;
+            let invoice = model.invoice(&report);
+            days.push((report, invoice));
+        }
+        Ok(ScenarioReport { days })
+    }
+}
+
+/// Aggregated results across the scenario's days.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Per-day dispatch report and invoice.
+    pub days: Vec<(DispatchReport, Invoice)>,
+}
+
+impl ScenarioReport {
+    /// Total money across all days, in milli-units.
+    pub fn total_cost_milli(&self) -> u64 {
+        self.days.iter().map(|(_, i)| i.cost_milli).sum()
+    }
+
+    /// Total energy (watt-ticks).
+    pub fn total_watt_ticks(&self) -> u64 {
+        self.days.iter().map(|(_, i)| i.watt_ticks).sum()
+    }
+
+    /// Worst single-day peak server count.
+    pub fn peak_servers(&self) -> usize {
+        self.days
+            .iter()
+            .map(|(r, _)| r.peak_servers)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean utilisation across days (unweighted).
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        self.days.iter().map(|(r, _)| r.utilisation()).sum::<f64>() / self.days.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_algos::{DepartureAwareFit, FirstFit};
+
+    #[test]
+    fn week_runs_and_aggregates() {
+        let mut sc = Scenario::week();
+        sc.sessions_per_day = 300; // keep the test fast
+        let report = sc
+            .run(FirstFit::new, &CostModel::demo(), 42)
+            .expect("legal dispatch");
+        assert_eq!(report.days.len(), 7);
+        assert!(report.total_cost_milli() > 0);
+        assert!(report.peak_servers() > 0);
+        let u = report.mean_utilisation();
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut sc = Scenario::week();
+        sc.days = 2;
+        sc.sessions_per_day = 200;
+        let a = sc.run(FirstFit::new, &CostModel::demo(), 7).unwrap();
+        let b = sc.run(FirstFit::new, &CostModel::demo(), 7).unwrap();
+        assert_eq!(a.total_cost_milli(), b.total_cost_milli());
+        let c = sc.run(FirstFit::new, &CostModel::demo(), 8).unwrap();
+        assert_ne!(a.total_cost_milli(), c.total_cost_milli());
+    }
+
+    #[test]
+    fn clairvoyant_dispatcher_cheaper_over_the_week() {
+        let mut sc = Scenario::week();
+        sc.days = 3;
+        sc.sessions_per_day = 500;
+        let ff = sc.run(FirstFit::new, &CostModel::demo(), 1).unwrap();
+        let daf = sc
+            .run(DepartureAwareFit::new, &CostModel::demo(), 1)
+            .unwrap();
+        assert!(
+            daf.total_cost_milli() < ff.total_cost_milli(),
+            "daf {} vs ff {}",
+            daf.total_cost_milli(),
+            ff.total_cost_milli()
+        );
+    }
+
+    #[test]
+    fn noisy_predictor_costs_more_for_clairvoyant_algos() {
+        let mut oracle = Scenario::week();
+        oracle.days = 3;
+        oracle.sessions_per_day = 500;
+        let mut blind = oracle.clone();
+        blind.predictor = Predictor::Constant { fallback: 30 };
+        let with_oracle = oracle
+            .run(DepartureAwareFit::new, &CostModel::demo(), 2)
+            .unwrap();
+        let with_blind = blind
+            .run(DepartureAwareFit::new, &CostModel::demo(), 2)
+            .unwrap();
+        assert!(with_oracle.total_cost_milli() <= with_blind.total_cost_milli());
+    }
+}

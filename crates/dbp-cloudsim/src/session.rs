@@ -1,0 +1,101 @@
+//! Session requests: the domain vocabulary over `dbp-core` items.
+//!
+//! A session is a user's request for a slice of one server's bandwidth for
+//! a period that is predicted at arrival (the clairvoyance premise of Li
+//! et al.'s cloud-gaming studies). The dispatcher maps sessions to items
+//! and servers to bins; everything else — validation, capacity, usage
+//! accounting — is the DBP engine.
+
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Bandwidth tiers a session can request (fractions of one server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// 1/8 of a server (e.g. 720p stream).
+    Low,
+    /// 1/4 of a server (1080p).
+    Standard,
+    /// 1/2 of a server (4K).
+    Premium,
+}
+
+impl Tier {
+    /// The tier's bandwidth demand.
+    pub fn size(self) -> Size {
+        match self {
+            Tier::Low => Size::from_ratio(1, 8),
+            Tier::Standard => Size::from_ratio(1, 4),
+            Tier::Premium => Size::from_ratio(1, 2),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Low => "low",
+            Tier::Standard => "standard",
+            Tier::Premium => "premium",
+        }
+    }
+}
+
+/// One session request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// Stable user-facing id.
+    pub user: u64,
+    /// When the session starts (and must be dispatched).
+    pub arrival: Time,
+    /// The session's *actual* length, in ticks.
+    pub actual: Dur,
+    /// The length *predicted* at arrival — what a clairvoyant dispatcher
+    /// gets to see. Equal to `actual` under perfect prediction.
+    pub predicted: Dur,
+    /// Requested bandwidth tier.
+    pub tier: Tier,
+}
+
+impl SessionRequest {
+    /// A perfectly-predicted session.
+    pub fn exact(user: u64, arrival: Time, len: Dur, tier: Tier) -> SessionRequest {
+        SessionRequest {
+            user,
+            arrival,
+            actual: len,
+            predicted: len,
+            tier,
+        }
+    }
+
+    /// Relative prediction error `|predicted − actual| / actual`.
+    pub fn prediction_error(&self) -> f64 {
+        let a = self.actual.ticks() as f64;
+        let p = self.predicted.ticks() as f64;
+        (p - a).abs() / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_sizes() {
+        assert_eq!(Tier::Low.size(), Size::from_ratio(1, 8));
+        assert_eq!(Tier::Standard.size(), Size::from_ratio(1, 4));
+        assert_eq!(Tier::Premium.size(), Size::from_ratio(1, 2));
+        assert_eq!(Tier::Premium.label(), "premium");
+    }
+
+    #[test]
+    fn exact_sessions_have_zero_error() {
+        let s = SessionRequest::exact(1, Time(0), Dur(30), Tier::Low);
+        assert_eq!(s.prediction_error(), 0.0);
+        let noisy = SessionRequest {
+            predicted: Dur(45),
+            ..s
+        };
+        assert!((noisy.prediction_error() - 0.5).abs() < 1e-12);
+    }
+}

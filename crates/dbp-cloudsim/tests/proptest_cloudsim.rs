@@ -1,0 +1,77 @@
+//! Property tests for the cloud layer: dispatch must stay valid under
+//! arbitrary (even absurd) predictions, non-clairvoyant algorithms must be
+//! prediction-invariant, and the advisor's orderings must hold.
+
+use dbp_cloudsim::{dispatch, MigrationAdvice, SessionRequest, Tier};
+use dbp_core::time::{Dur, Time};
+use proptest::prelude::*;
+
+fn arb_sessions(max: usize) -> impl Strategy<Value = Vec<SessionRequest>> {
+    prop::collection::vec((0u64..128, 1u64..=64, 1u64..=64, 0u8..3), 1..=max).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(k, (arrival, actual, predicted, tier))| SessionRequest {
+                user: k as u64,
+                arrival: Time(arrival),
+                actual: Dur(actual),
+                predicted: Dur(predicted),
+                tier: match tier {
+                    0 => Tier::Low,
+                    1 => Tier::Standard,
+                    _ => Tier::Premium,
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any prediction pattern yields a valid, auditable packing for every
+    /// algorithm in the suite.
+    #[test]
+    fn dispatch_valid_under_arbitrary_predictions(sessions in arb_sessions(50)) {
+        for name in dbp_algos::registry_names() {
+            let algo = dbp_algos::by_name(name).expect("registry");
+            let report = dispatch(&sessions, algo).expect("dispatch is legal");
+            let audit = dbp_core::audit(&report.instance, &report.placements)
+                .expect("valid packing");
+            prop_assert_eq!(audit.cost, report.bill, "{} bill mismatch", name);
+        }
+    }
+
+    /// Non-clairvoyant algorithms never read predictions: the placements
+    /// are identical under any forecast.
+    #[test]
+    fn first_fit_is_prediction_invariant(sessions in arb_sessions(40)) {
+        let truth: Vec<SessionRequest> = sessions
+            .iter()
+            .map(|s| SessionRequest { predicted: s.actual, ..*s })
+            .collect();
+        let a = dispatch(&truth, dbp_algos::FirstFit::new()).expect("legal");
+        let b = dispatch(&sessions, dbp_algos::FirstFit::new()).expect("legal");
+        prop_assert_eq!(a.placements, b.placements);
+        prop_assert_eq!(a.bill, b.bill);
+    }
+
+    /// Advisor ordering: with_migration ≤ best_static ≤ realized bill.
+    #[test]
+    fn advisor_orderings(sessions in arb_sessions(30)) {
+        let report = dispatch(&sessions, dbp_algos::WorstFit::new()).expect("legal");
+        let advice = MigrationAdvice::analyse(&report);
+        prop_assert!(advice.with_migration <= advice.best_static);
+        prop_assert!(advice.best_static <= advice.bill);
+        prop_assert!(advice.dispatch_headroom >= 1.0);
+        prop_assert!(advice.migration_value >= 1.0);
+    }
+
+    /// The bill is bounded below by the certified lower bounds of the
+    /// actual-duration instance, regardless of predictions.
+    #[test]
+    fn bill_never_beats_certified_lb(sessions in arb_sessions(40)) {
+        let report = dispatch(&sessions, dbp_algos::HybridAlgorithm::new()).expect("legal");
+        let lb = dbp_core::LowerBounds::of(&report.instance);
+        prop_assert!(report.bill >= lb.best());
+    }
+}

@@ -1,0 +1,176 @@
+//! The online-algorithm interface.
+//!
+//! An [`OnlineAlgorithm`] sees items one at a time, in arrival order, and
+//! must immediately and irrevocably name a bin for each. Clairvoyance is
+//! modelled by handing the algorithm the full [`Item`] (whose `departure` is
+//! known on arrival); non-clairvoyant baselines simply never read that
+//! field.
+//!
+//! Algorithms *propose* placements; the engine validates them (bin open,
+//! capacity respected) and rejects illegal moves with a typed
+//! [`crate::error::EngineError`]. This keeps the trust boundary crisp: an
+//! algorithm cannot corrupt the accounting that the experiments depend on.
+
+use crate::bin_state::{BinId, BinRecord, BinStore};
+use crate::item::Item;
+use crate::size::Size;
+use crate::time::Time;
+
+/// An algorithm's decision for an arriving item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Put the item into an already-open bin.
+    Existing(BinId),
+    /// Open a fresh bin for the item.
+    OpenNew,
+}
+
+/// A read-only view of the simulation the algorithm may consult when
+/// placing an item.
+#[derive(Debug, Clone, Copy)]
+pub struct SimView<'a> {
+    now: Time,
+    bins: &'a BinStore,
+}
+
+impl<'a> SimView<'a> {
+    pub(crate) fn new(now: Time, bins: &'a BinStore) -> SimView<'a> {
+        SimView { now, bins }
+    }
+
+    /// The current simulation time (the arriving item's arrival time).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Currently open bins in opening order (the First-Fit scan order).
+    pub fn open_bins(&self) -> impl Iterator<Item = &'a BinRecord> + '_ {
+        let bins = self.bins;
+        bins.open_ids()
+            .iter()
+            .map(move |&b| bins.record(b).expect("open id always has a record"))
+    }
+
+    /// Number of currently open bins.
+    #[inline]
+    pub fn open_count(&self) -> usize {
+        self.bins.open_count()
+    }
+
+    /// The record of a specific bin, if it was ever opened.
+    #[inline]
+    pub fn bin(&self, id: BinId) -> Option<&'a BinRecord> {
+        self.bins.record(id)
+    }
+
+    /// Whether `id` is open and has room for `s`.
+    #[inline]
+    pub fn fits(&self, id: BinId, s: Size) -> bool {
+        self.bins
+            .record(id)
+            .is_some_and(|r| r.is_open() && r.fits(s))
+    }
+
+    /// First-Fit over *all* open bins: the earliest-opened bin with room.
+    #[inline]
+    pub fn first_fit(&self, s: Size) -> Option<BinId> {
+        self.bins.first_fit(s)
+    }
+
+    /// The id the engine will assign to the next freshly opened bin.
+    ///
+    /// Lets stateful algorithms (HA's CD bins, CDFF's rows) learn the id of
+    /// a bin they are about to open by returning [`Placement::OpenNew`]:
+    /// bin ids are allocated sequentially, so the upcoming id is simply the
+    /// number of bins ever opened.
+    #[inline]
+    pub fn next_bin_id(&self) -> BinId {
+        BinId(self.bins.total_opened() as u32)
+    }
+}
+
+/// An online MinUsageTime DBP algorithm.
+///
+/// Implementations may keep arbitrary internal state; the engine keeps them
+/// honest by validating every [`Placement`]. `on_departure` lets algorithms
+/// that tag bins (HA's CD bins, CDFF's rows) clean up their indexes.
+pub trait OnlineAlgorithm {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Decide where the arriving `item` goes. Called once per item, in
+    /// arrival order, after all departures at the same moment have been
+    /// processed (`t⁻` before `t⁺`).
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement;
+
+    /// Notification that `item` departed from `bin`; `bin_closed` is true
+    /// when the bin emptied (and is then gone forever).
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
+        let _ = (item, bin, bin_closed);
+    }
+
+    /// Reset all internal state so the value can run another instance.
+    fn reset(&mut self);
+}
+
+impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for &mut T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        (**self).on_arrival(view, item)
+    }
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
+        (**self).on_departure(item, bin, bin_closed)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        (**self).on_arrival(view, item)
+    }
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
+        (**self).on_departure(item, bin, bin_closed)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemId;
+
+    #[test]
+    fn sim_view_first_fit_and_fits() {
+        let mut store = BinStore::new();
+        let b0 = store.open(Time(0));
+        store.add(b0, ItemId(0), Size::from_ratio(3, 4));
+        let view = SimView::new(Time(1), &store);
+        assert_eq!(view.open_count(), 1);
+        assert!(view.fits(b0, Size::from_ratio(1, 4)));
+        assert!(!view.fits(b0, Size::from_ratio(1, 2)));
+        assert_eq!(view.first_fit(Size::from_ratio(1, 4)), Some(b0));
+        assert_eq!(view.first_fit(Size::from_ratio(1, 2)), None);
+        assert_eq!(view.bin(BinId(7)), None);
+        assert_eq!(view.now(), Time(1));
+    }
+
+    #[test]
+    fn open_bins_iterates_in_opening_order() {
+        let mut store = BinStore::new();
+        let _b0 = store.open(Time(0));
+        let _b1 = store.open(Time(2));
+        let view = SimView::new(Time(3), &store);
+        let opened: Vec<Time> = view.open_bins().map(|r| r.opened_at).collect();
+        assert_eq!(opened, [Time(0), Time(2)]);
+    }
+}

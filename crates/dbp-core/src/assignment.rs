@@ -1,0 +1,188 @@
+//! Independent auditing of finished assignments.
+//!
+//! The engine already refuses illegal placements online, but experiments
+//! should not have to trust the engine's incremental bookkeeping either.
+//! [`audit`] recomputes, from scratch and only from `(instance, assignment)`:
+//! capacity feasibility at every moment, the non-repacking "closed bins stay
+//! closed" discipline, and the exact MinUsageTime cost. Tests assert it
+//! agrees with the engine on every run.
+
+use std::collections::HashMap;
+
+use crate::bin_state::BinId;
+use crate::cost::Area;
+use crate::error::VerifyError;
+use crate::instance::Instance;
+use crate::item::ItemId;
+use crate::size::SIZE_SCALE;
+use crate::time::Time;
+
+/// The audited measurements of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Exact MinUsageTime cost recomputed from per-bin item intervals.
+    pub cost: Area,
+    /// Number of distinct bins used.
+    pub bins_used: usize,
+    /// Peak simultaneous open bins.
+    pub max_open: usize,
+}
+
+/// Audits `assignment` (indexed by item id) against `instance`.
+pub fn audit(instance: &Instance, assignment: &[BinId]) -> Result<AuditReport, VerifyError> {
+    if assignment.len() != instance.len() {
+        let id = ItemId(assignment.len().min(instance.len()) as u32);
+        return Err(VerifyError::MissingItem { id });
+    }
+
+    // Group item ids per bin.
+    let mut per_bin: HashMap<BinId, Vec<ItemId>> = HashMap::new();
+    for (idx, &bin) in assignment.iter().enumerate() {
+        per_bin.entry(bin).or_default().push(ItemId(idx as u32));
+    }
+
+    let mut cost = Area::ZERO;
+    let mut spans: Vec<(Time, Time)> = Vec::with_capacity(per_bin.len());
+
+    for (&bin, ids) in &per_bin {
+        // Event sweep inside one bin: departures free capacity before
+        // arrivals at the same tick (half-open intervals).
+        let mut events: Vec<(Time, bool, u64)> = Vec::with_capacity(ids.len() * 2);
+        let mut open_from = Time(u64::MAX);
+        let mut close_at = Time::ZERO;
+        for &id in ids {
+            let it = instance.item(id);
+            events.push((it.arrival, true, it.size.raw()));
+            events.push((it.departure, false, it.size.raw()));
+            open_from = open_from.min(it.arrival);
+            close_at = close_at.max(it.departure);
+        }
+        events.sort_by_key(|&(t, is_arr, _)| (t, is_arr));
+
+        let mut load: u64 = 0;
+        let mut ever_emptied_at: Option<Time> = None;
+        for &(t, is_arr, raw) in &events {
+            if is_arr {
+                // Non-repacking discipline: once a bin empties it is closed
+                // forever; a later arrival into the same BinId is a reuse.
+                if let Some(closed) = ever_emptied_at {
+                    if t >= closed && load == 0 && closed < close_at {
+                        return Err(VerifyError::BinReusedAfterClose { bin, at: t });
+                    }
+                }
+                load += raw;
+                if load > SIZE_SCALE {
+                    return Err(VerifyError::CapacityViolated { bin, at: t });
+                }
+            } else {
+                load -= raw;
+                if load == 0 {
+                    ever_emptied_at = Some(t);
+                }
+            }
+        }
+        debug_assert_eq!(load, 0);
+        cost += Area::from_bin_ticks(close_at.since(open_from));
+        spans.push((open_from, close_at));
+    }
+
+    // Peak open bins: sweep bin spans.
+    let mut events: Vec<(Time, i32)> = Vec::with_capacity(spans.len() * 2);
+    for &(s, e) in &spans {
+        events.push((s, 1));
+        events.push((e, -1));
+    }
+    events.sort_by_key(|&(t, d)| (t, d)); // closes (−1) before opens at same tick
+    let mut cur = 0i64;
+    let mut max_open = 0i64;
+    for (_, d) in events {
+        cur += d as i64;
+        max_open = max_open.max(cur);
+    }
+
+    Ok(AuditReport {
+        cost,
+        bins_used: per_bin.len(),
+        max_open: max_open as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::Size;
+    use crate::time::Dur;
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    fn inst(triples: &[(u64, u64, (u64, u64))]) -> Instance {
+        Instance::from_triples(
+            triples
+                .iter()
+                .map(|&(a, d, (n, den))| (Time(a), Dur(d), sz(n, den))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn audit_cost_single_bin() {
+        let instance = inst(&[(0, 10, (1, 2)), (2, 5, (1, 2))]);
+        let report = audit(&instance, &[BinId(0), BinId(0)]).unwrap();
+        assert_eq!(report.cost.as_bin_ticks(), 10.0);
+        assert_eq!(report.bins_used, 1);
+        assert_eq!(report.max_open, 1);
+    }
+
+    #[test]
+    fn audit_detects_capacity_violation() {
+        let instance = inst(&[(0, 10, (2, 3)), (2, 5, (2, 3))]);
+        let err = audit(&instance, &[BinId(0), BinId(0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::CapacityViolated { at: Time(2), .. }
+        ));
+    }
+
+    #[test]
+    fn audit_allows_touching_intervals_in_one_bin_only_if_never_emptied() {
+        // [0,5) and [5,10) in the same bin: the bin empties at 5, so the
+        // second item is a reuse of a closed bin.
+        let instance = inst(&[(0, 5, (1, 1)), (5, 5, (1, 1))]);
+        let err = audit(&instance, &[BinId(0), BinId(0)]).unwrap_err();
+        assert!(matches!(err, VerifyError::BinReusedAfterClose { .. }));
+    }
+
+    #[test]
+    fn audit_allows_chained_occupancy() {
+        // [0,6) and [5,10): the bin never empties in between. Cost 10.
+        let instance = inst(&[(0, 6, (1, 2)), (5, 5, (1, 2))]);
+        let report = audit(&instance, &[BinId(0), BinId(0)]).unwrap();
+        assert_eq!(report.cost.as_bin_ticks(), 10.0);
+    }
+
+    #[test]
+    fn audit_detects_missing_items() {
+        let instance = inst(&[(0, 5, (1, 2)), (1, 5, (1, 2))]);
+        let err = audit(&instance, &[BinId(0)]).unwrap_err();
+        assert!(matches!(err, VerifyError::MissingItem { .. }));
+    }
+
+    #[test]
+    fn audit_max_open_with_half_open_semantics() {
+        let instance = inst(&[(0, 5, (1, 1)), (5, 5, (1, 1))]);
+        let report = audit(&instance, &[BinId(0), BinId(1)]).unwrap();
+        assert_eq!(report.max_open, 1, "bin 0 closes before bin 1 opens");
+        assert_eq!(report.cost.as_bin_ticks(), 10.0);
+    }
+
+    #[test]
+    fn audit_two_bins_cost_adds() {
+        let instance = inst(&[(0, 4, (1, 1)), (1, 5, (1, 1))]);
+        let report = audit(&instance, &[BinId(0), BinId(1)]).unwrap();
+        assert_eq!(report.cost.as_bin_ticks(), 9.0);
+        assert_eq!(report.max_open, 2);
+        assert_eq!(report.bins_used, 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Bin bookkeeping shared by the engine and (read-only) by algorithms.
+
+use core::fmt;
+
+use crate::item::ItemId;
+use crate::size::{Load, Size};
+use crate::time::Time;
+
+/// Identifier of a bin, assigned in opening order (bin 0 opened first).
+/// Closed bins are never reused (the problem's w.l.o.g. assumption), so a
+/// `BinId` names one bin for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BinId(pub u32);
+
+impl BinId {
+    /// Index into per-bin arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The engine-side record of one bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinRecord {
+    /// This bin's id.
+    pub id: BinId,
+    /// When the bin was opened (its first item's arrival).
+    pub opened_at: Time,
+    /// When the bin closed (its last item's departure), if it has.
+    pub closed_at: Option<Time>,
+    /// Current total load of resident items.
+    pub load: Load,
+    /// Number of currently resident items.
+    pub resident: u32,
+    /// Ids of currently resident items (kept for diagnostics & figures).
+    pub items: Vec<ItemId>,
+}
+
+impl BinRecord {
+    /// Whether the bin is still open.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        self.closed_at.is_none()
+    }
+
+    /// Whether `s` fits in the remaining capacity.
+    #[inline]
+    pub fn fits(&self, s: Size) -> bool {
+        self.load.fits(s)
+    }
+}
+
+/// The set of all bins ever opened during a run, indexed by [`BinId`].
+///
+/// Open bins are additionally tracked in opening order, which is exactly the
+/// order First-Fit scans.
+#[derive(Debug, Default, Clone)]
+pub struct BinStore {
+    bins: Vec<BinRecord>,
+    /// Open bins in opening order (ascending `BinId`).
+    open: Vec<BinId>,
+}
+
+impl BinStore {
+    /// An empty store.
+    pub fn new() -> BinStore {
+        BinStore::default()
+    }
+
+    /// Opens a new bin at time `t` and returns its id.
+    pub fn open(&mut self, t: Time) -> BinId {
+        let id = BinId(u32::try_from(self.bins.len()).expect("too many bins"));
+        self.bins.push(BinRecord {
+            id,
+            opened_at: t,
+            closed_at: None,
+            load: Load::ZERO,
+            resident: 0,
+            items: Vec::new(),
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Adds an item to a bin (capacity is the caller's responsibility; the
+    /// engine validates before calling).
+    pub fn add(&mut self, bin: BinId, item: ItemId, size: Size) {
+        let rec = &mut self.bins[bin.index()];
+        debug_assert!(rec.is_open());
+        debug_assert!(rec.fits(size));
+        rec.load += size;
+        rec.resident += 1;
+        rec.items.push(item);
+    }
+
+    /// Removes an item from a bin; closes the bin (recording `t`) when it
+    /// empties. Returns `true` if the bin closed.
+    pub fn remove(&mut self, bin: BinId, item: ItemId, size: Size, t: Time) -> bool {
+        let rec = &mut self.bins[bin.index()];
+        debug_assert!(rec.is_open());
+        rec.load -= size;
+        rec.resident -= 1;
+        if let Some(pos) = rec.items.iter().position(|&i| i == item) {
+            rec.items.swap_remove(pos);
+        }
+        if rec.resident == 0 {
+            rec.closed_at = Some(t);
+            // Bins close in arbitrary order: remove from the open list while
+            // preserving the relative (opening) order of the rest.
+            if let Some(pos) = self.open.iter().position(|&b| b == bin) {
+                self.open.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The record for a bin (open or closed).
+    #[inline]
+    pub fn record(&self, bin: BinId) -> Option<&BinRecord> {
+        self.bins.get(bin.index())
+    }
+
+    /// Ids of currently open bins, in opening order.
+    #[inline]
+    pub fn open_ids(&self) -> &[BinId] {
+        &self.open
+    }
+
+    /// Number of currently open bins.
+    #[inline]
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total number of bins ever opened.
+    #[inline]
+    pub fn total_opened(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// All bin records, by id.
+    #[inline]
+    pub fn all(&self) -> &[BinRecord] {
+        &self.bins
+    }
+
+    /// First open bin (in opening order) that fits `s` — the First-Fit
+    /// choice over all open bins.
+    pub fn first_fit(&self, s: Size) -> Option<BinId> {
+        self.open
+            .iter()
+            .copied()
+            .find(|&b| self.bins[b.index()].fits(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half() -> Size {
+        Size::from_ratio(1, 2)
+    }
+
+    #[test]
+    fn open_add_remove_close_lifecycle() {
+        let mut store = BinStore::new();
+        let b0 = store.open(Time(0));
+        let b1 = store.open(Time(0));
+        assert_eq!(store.open_count(), 2);
+        store.add(b0, ItemId(0), half());
+        store.add(b0, ItemId(1), half());
+        assert!(!store.record(b0).unwrap().fits(Size::from_raw(1)));
+
+        assert!(!store.remove(b0, ItemId(0), half(), Time(5)));
+        assert!(store.remove(b0, ItemId(1), half(), Time(6)));
+        assert_eq!(store.record(b0).unwrap().closed_at, Some(Time(6)));
+        assert_eq!(store.open_ids(), &[b1]);
+        assert_eq!(store.total_opened(), 2);
+    }
+
+    #[test]
+    fn first_fit_scans_in_opening_order() {
+        let mut store = BinStore::new();
+        let b0 = store.open(Time(0));
+        let b1 = store.open(Time(0));
+        store.add(b0, ItemId(0), Size::FULL);
+        assert_eq!(store.first_fit(half()), Some(b1));
+        store.add(b1, ItemId(1), Size::FULL);
+        assert_eq!(store.first_fit(half()), None);
+        // Free space in b0 again: b0 regains First-Fit priority.
+        store.remove(b0, ItemId(0), Size::FULL, Time(1));
+        // ...but b0 CLOSED on emptying, so it must not be chosen.
+        assert_eq!(store.first_fit(half()), None);
+        let b2 = store.open(Time(2));
+        assert_eq!(store.first_fit(half()), Some(b2));
+    }
+
+    #[test]
+    fn closing_middle_bin_preserves_order() {
+        let mut store = BinStore::new();
+        let b0 = store.open(Time(0));
+        let b1 = store.open(Time(0));
+        let b2 = store.open(Time(0));
+        store.add(b0, ItemId(0), half());
+        store.add(b1, ItemId(1), half());
+        store.add(b2, ItemId(2), half());
+        store.remove(b1, ItemId(1), half(), Time(1));
+        assert_eq!(store.open_ids(), &[b0, b2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Certified bounds on the optimal cost.
+//!
+//! True `OPT_R(σ)` / `OPT_NR(σ)` are intractable at experiment scale, so
+//! competitive ratios are reported against a *certified bracket*:
+//!
+//! * **Lower bounds** (all from the paper's Section 2/3): the span bound
+//!   `OPT_R ≥ span(σ)`, the time–space bound `OPT_R ≥ d(σ)`, and the
+//!   sharper load-ceiling bound `OPT_R ≥ ∫⌈S_t⌉ dt` (which dominates both
+//!   whenever it applies pointwise; we still take the max of all three).
+//! * **Upper bound**: Lemma 3.1 gives `OPT_R ≤ 2·∫⌈S_t⌉ dt ≤ 2d + 2span`,
+//!   realized constructively by the repack-every-event FFD algorithm in
+//!   `dbp-algos`; callers can tighten the bracket with any concrete
+//!   packing's cost via [`OptBracket::tighten_upper`].
+//!
+//! Reporting `ON/upper ≤ ON/OPT ≤ ON/lower` gives sound two-sided estimates
+//! of the competitive ratio without ever solving for OPT.
+
+use crate::cost::Area;
+use crate::instance::Instance;
+
+/// A two-sided certified estimate of an optimal cost.
+///
+/// ```
+/// use dbp_core::{Instance, OptBracket, Size, Time, Dur, Area};
+///
+/// let inst = Instance::from_triples([
+///     (Time(0), Dur(8), Size::from_ratio(1, 2)),
+///     (Time(0), Dur(8), Size::from_ratio(1, 2)),
+///     (Time(0), Dur(8), Size::from_ratio(1, 2)),
+/// ]).unwrap();
+/// let bracket = OptBracket::of(&inst);      // Lemma 3.1 two-sided bound
+/// assert!(bracket.lower <= bracket.upper);
+/// // A measured online cost turns into a certified ratio interval:
+/// let (at_least, at_most) = bracket.ratio_bracket(Area::from_bins_ticks(3, Dur(8)));
+/// assert!(at_least <= at_most);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptBracket {
+    /// Certified `OPT ≥ lower`.
+    pub lower: Area,
+    /// Certified `OPT ≤ upper`.
+    pub upper: Area,
+}
+
+/// The individual lower bounds, kept separate for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBounds {
+    /// `span(σ)` — at least one bin whenever anything is active.
+    pub span: Area,
+    /// `d(σ)` — total space-time demand must fit somewhere.
+    pub demand: Area,
+    /// `∫⌈S_t⌉ dt` — at least `⌈S_t⌉` bins at each moment.
+    pub ceil_integral: Area,
+}
+
+impl LowerBounds {
+    /// Computes all three lower bounds for an instance.
+    pub fn of(instance: &Instance) -> LowerBounds {
+        let profile = instance.load_profile();
+        LowerBounds {
+            span: instance.span(),
+            demand: profile.integral(),
+            ceil_integral: profile.ceil_integral(),
+        }
+    }
+
+    /// The best (largest) of the lower bounds.
+    pub fn best(&self) -> Area {
+        self.span.max(self.demand).max(self.ceil_integral)
+    }
+}
+
+impl OptBracket {
+    /// The Lemma 3.1 bracket: `max(span, d, ∫⌈S_t⌉) ≤ OPT_R ≤ 2∫⌈S_t⌉`.
+    ///
+    /// Note the upper side only bounds the *repacking* optimum; since
+    /// `OPT_R ≤ OPT_NR`, the lower side is valid for both optima while the
+    /// upper side is an upper bound on `OPT_R` only (tighten with a concrete
+    /// non-repacking packing for `OPT_NR`).
+    pub fn of(instance: &Instance) -> OptBracket {
+        let lb = LowerBounds::of(instance);
+        let lower = lb.best();
+        let upper = lb.ceil_integral.scale(2);
+        debug_assert!(lower <= upper);
+        OptBracket { lower, upper }
+    }
+
+    /// Tightens the upper side with the measured cost of any feasible
+    /// packing (e.g. offline FFD-with-repacking for `OPT_R`, or the best
+    /// offline non-repacking heuristic for `OPT_NR`).
+    pub fn tighten_upper(self, feasible_cost: Area) -> OptBracket {
+        OptBracket {
+            lower: self.lower,
+            upper: self.upper.min(feasible_cost).max(self.lower),
+        }
+    }
+
+    /// Ratio bracket for an online cost: `(on/upper, on/lower)`.
+    ///
+    /// The true competitive ratio on this instance lies inside the returned
+    /// interval.
+    pub fn ratio_bracket(&self, online_cost: Area) -> (f64, f64) {
+        (
+            online_cost.ratio_to(self.upper),
+            online_cost.ratio_to(self.lower),
+        )
+    }
+
+    /// Width of the bracket as `upper/lower` (1.0 = exact).
+    pub fn looseness(&self) -> f64 {
+        self.upper.ratio_to(self.lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::Size;
+    use crate::time::{Dur, Time};
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn lower_bounds_simple_instance() {
+        // One full-size item for 10 ticks: span = d = ceil = 10.
+        let inst = Instance::from_triples([(Time(0), Dur(10), Size::FULL)]).unwrap();
+        let lb = LowerBounds::of(&inst);
+        assert_eq!(lb.span.as_bin_ticks(), 10.0);
+        assert_eq!(lb.demand.as_bin_ticks(), 10.0);
+        assert_eq!(lb.ceil_integral.as_bin_ticks(), 10.0);
+        assert_eq!(lb.best().as_bin_ticks(), 10.0);
+    }
+
+    #[test]
+    fn ceil_integral_dominates_span_under_load() {
+        // Three half items overlapping: S_t = 1.5 → ⌈S_t⌉ = 2 over 10 ticks.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+        ])
+        .unwrap();
+        let lb = LowerBounds::of(&inst);
+        assert_eq!(lb.span.as_bin_ticks(), 10.0);
+        assert_eq!(lb.demand.as_bin_ticks(), 15.0);
+        assert_eq!(lb.ceil_integral.as_bin_ticks(), 20.0);
+        assert_eq!(lb.best(), lb.ceil_integral);
+    }
+
+    #[test]
+    fn span_dominates_for_tiny_items() {
+        // A sparse chain of tiny items: span 30 ≫ demand.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 100)),
+            (Time(10), Dur(10), sz(1, 100)),
+            (Time(20), Dur(10), sz(1, 100)),
+        ])
+        .unwrap();
+        let lb = LowerBounds::of(&inst);
+        assert_eq!(lb.best(), lb.span);
+        assert_eq!(lb.span.as_bin_ticks(), 30.0);
+    }
+
+    #[test]
+    fn bracket_is_ordered_and_tightens() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+        ])
+        .unwrap();
+        let b = OptBracket::of(&inst);
+        assert!(b.lower <= b.upper);
+        assert_eq!(b.upper.as_bin_ticks(), 40.0);
+        // A concrete packing of cost 20 tightens the upper bound.
+        let tightened = b.tighten_upper(Area::from_bins_ticks(2, Dur(10)));
+        assert_eq!(tightened.upper.as_bin_ticks(), 20.0);
+        assert_eq!(tightened.looseness(), 1.0);
+        // A worse packing does not loosen it back.
+        let same = tightened.tighten_upper(Area::from_bins_ticks(5, Dur(10)));
+        assert_eq!(same.upper, tightened.upper);
+    }
+
+    #[test]
+    fn tighten_never_crosses_lower() {
+        let inst = Instance::from_triples([(Time(0), Dur(10), Size::FULL)]).unwrap();
+        let b = OptBracket::of(&inst);
+        // A (bogus) claimed cost below the certified lower bound is clamped.
+        let t = b.tighten_upper(Area::from_bin_ticks(Dur(1)));
+        assert_eq!(t.upper, t.lower);
+    }
+
+    #[test]
+    fn ratio_bracket_contains_truth_for_known_opt() {
+        // OPT = 10 (single bin suffices); ON = 20.
+        let inst = Instance::from_triples([(Time(0), Dur(10), sz(1, 2))]).unwrap();
+        let b = OptBracket::of(&inst).tighten_upper(Area::from_bin_ticks(Dur(10)));
+        let (lo, hi) = b.ratio_bracket(Area::from_bins_ticks(2, Dur(10)));
+        assert!(lo <= 2.0 && 2.0 <= hi);
+    }
+
+    #[test]
+    fn empty_instance_bracket() {
+        let b = OptBracket::of(&Instance::empty());
+        assert_eq!(b.lower, Area::ZERO);
+        assert_eq!(b.upper, Area::ZERO);
+        assert_eq!(b.ratio_bracket(Area::ZERO), (1.0, 1.0));
+    }
+}

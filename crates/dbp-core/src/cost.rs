@@ -1,0 +1,151 @@
+//! Exact cost / volume arithmetic.
+//!
+//! Usage time (`ON(σ)`, `OPT(σ)`) and space-time demand (`d(σ)`) are both
+//! *areas* in the time × capacity plane. We measure them exactly in units of
+//! one tick × one fixed-point size unit (`2^-32` of a bin), stored as
+//! `u128`. A bin open for `T` ticks contributes `T · 2^32`; an item of size
+//! `s` active for `T` ticks contributes `T · s.raw()`.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+use crate::size::SIZE_SCALE;
+use crate::time::Dur;
+
+/// An exact area in the time × capacity plane (tick × `2^-32` bin units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Area(u128);
+
+impl Area {
+    /// The empty area.
+    pub const ZERO: Area = Area(0);
+
+    /// Raw units (tick × 2^-32 bins).
+    #[inline]
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Area of one full bin open for `d` ticks.
+    #[inline]
+    pub fn from_bin_ticks(d: Dur) -> Area {
+        Area(d.ticks() as u128 * SIZE_SCALE as u128)
+    }
+
+    /// Area of `n` full bins open for `d` ticks.
+    #[inline]
+    pub fn from_bins_ticks(n: u64, d: Dur) -> Area {
+        Area(n as u128 * d.ticks() as u128 * SIZE_SCALE as u128)
+    }
+
+    /// Area of a raw load (fixed-point units) sustained for `d` ticks.
+    #[inline]
+    pub fn from_load_ticks(load_raw: u64, d: Dur) -> Area {
+        Area(load_raw as u128 * d.ticks() as u128)
+    }
+
+    /// Construct from raw units.
+    #[inline]
+    pub const fn from_raw(raw: u128) -> Area {
+        Area(raw)
+    }
+
+    /// Value in bin·tick units (for reporting).
+    #[inline]
+    pub fn as_bin_ticks(self) -> f64 {
+        self.0 as f64 / SIZE_SCALE as f64
+    }
+
+    /// Whether this area is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Ratio `self / other` as `f64` (for competitive-ratio reporting).
+    ///
+    /// Returns `f64::INFINITY` when `other` is zero and `self` is not, and
+    /// `1.0` when both are zero (an empty instance is served optimally).
+    #[inline]
+    pub fn ratio_to(self, other: Area) -> f64 {
+        if other.is_zero() {
+            if self.is_zero() {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+
+    /// Saturating multiplication by a small integer factor.
+    #[inline]
+    pub fn scale(self, k: u64) -> Area {
+        Area(self.0.checked_mul(k as u128).expect("area overflow"))
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    #[inline]
+    fn add(self, other: Area) -> Area {
+        Area(self.0.checked_add(other.0).expect("area overflow"))
+    }
+}
+
+impl AddAssign for Area {
+    #[inline]
+    fn add_assign(&mut self, other: Area) {
+        *self = *self + other;
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} bin·ticks", self.as_bin_ticks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_ticks_roundtrip() {
+        let a = Area::from_bin_ticks(Dur(10));
+        assert_eq!(a.as_bin_ticks(), 10.0);
+        assert_eq!(Area::from_bins_ticks(3, Dur(10)).as_bin_ticks(), 30.0);
+    }
+
+    #[test]
+    fn load_ticks_scaling() {
+        // Half a bin for 8 ticks = 4 bin·ticks.
+        let a = Area::from_load_ticks(SIZE_SCALE / 2, Dur(8));
+        assert_eq!(a.as_bin_ticks(), 4.0);
+    }
+
+    #[test]
+    fn ratio_semantics() {
+        let a = Area::from_bin_ticks(Dur(10));
+        let b = Area::from_bin_ticks(Dur(5));
+        assert_eq!(a.ratio_to(b), 2.0);
+        assert_eq!(Area::ZERO.ratio_to(Area::ZERO), 1.0);
+        assert_eq!(a.ratio_to(Area::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let parts = [Area::from_bin_ticks(Dur(1)), Area::from_bin_ticks(Dur(2))];
+        let total: Area = parts.into_iter().sum();
+        assert_eq!(total, Area::from_bin_ticks(Dur(3)));
+        assert_eq!(total.scale(4), Area::from_bin_ticks(Dur(12)));
+    }
+}

@@ -1,0 +1,607 @@
+//! The event-driven packing simulator.
+//!
+//! Two front doors share one implementation:
+//!
+//! * [`run`] — batch mode: replay a whole [`Instance`] through an algorithm.
+//! * [`InteractiveSim`] — adaptive mode: a driver (e.g. the Theorem 4.3
+//!   adversary) feeds items one at a time and may inspect the open-bin
+//!   count between arrivals before deciding what to release next.
+//!
+//! Semantics: time moves on the integer tick grid; at each moment all
+//! departures are processed before any arrival (the paper's `t⁻`/`t⁺`
+//! convention), bins close permanently when they empty, and the
+//! MinUsageTime cost of a bin is `closed_at − opened_at`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
+use crate::bin_state::{BinId, BinStore};
+use crate::cost::Area;
+use crate::error::EngineError;
+use crate::instance::{Instance, InstanceBuilder};
+use crate::item::{Item, ItemId};
+use crate::size::Size;
+use crate::time::{Dur, Time};
+
+/// Everything measured during one packing run.
+#[derive(Debug, Clone)]
+pub struct PackingResult {
+    /// `assignment[item.id.index()]` is the bin the item was placed in.
+    pub assignment: Vec<BinId>,
+    /// Total usage time `ON(σ) = Σ_bins (closed_at − opened_at)`.
+    pub cost: Area,
+    /// Peak number of simultaneously open bins.
+    pub max_open: usize,
+    /// Total number of bins ever opened.
+    pub bins_opened: usize,
+    /// Per-bin `(opened_at, closed_at)` intervals, indexed by `BinId`.
+    pub bin_intervals: Vec<(Time, Time)>,
+    /// Open-bin-count breakpoints: `(time, open_count)` at every change,
+    /// recorded *after* all events at that time. Enables `∫ ON_t dt`
+    /// recomputation and the Corollary 5.8 experiments.
+    pub timeline: Vec<(Time, usize)>,
+}
+
+impl PackingResult {
+    /// Recomputes the cost by integrating the open-bin timeline; equals
+    /// [`PackingResult::cost`] by construction and is used in tests as an
+    /// independent cross-check.
+    pub fn cost_from_timeline(&self) -> Area {
+        let mut total = Area::ZERO;
+        for w in self.timeline.windows(2) {
+            let dt = w[1].0.since(w[0].0);
+            total += Area::from_bins_ticks(w[0].1 as u64, dt);
+        }
+        total
+    }
+
+    /// The number of open bins immediately after all events at time `t`
+    /// (i.e. `ON_{t⁺}`). Times before the first breakpoint have zero bins.
+    pub fn open_at(&self, t: Time) -> usize {
+        match self.timeline.binary_search_by_key(&t, |&(s, _)| s) {
+            Ok(idx) => self.timeline[idx].1,
+            Err(0) => 0,
+            Err(idx) => self.timeline[idx - 1].1,
+        }
+    }
+}
+
+/// An in-flight simulation accepting items one at a time.
+pub struct InteractiveSim<A: OnlineAlgorithm> {
+    algo: A,
+    bins: BinStore,
+    now: Time,
+    started: bool,
+    /// Pending departures: `(departure, item index)`.
+    departures: BinaryHeap<Reverse<(Time, u32)>>,
+    items: Vec<Item>,
+    assignment: Vec<BinId>,
+    cost: Area,
+    max_open: usize,
+    timeline: Vec<(Time, usize)>,
+    undated: usize,
+}
+
+impl<A: OnlineAlgorithm> InteractiveSim<A> {
+    /// Starts a simulation driving `algo`. The algorithm is reset first.
+    pub fn new(mut algo: A) -> InteractiveSim<A> {
+        algo.reset();
+        InteractiveSim {
+            algo,
+            bins: BinStore::new(),
+            now: Time::ZERO,
+            started: false,
+            departures: BinaryHeap::new(),
+            items: Vec::new(),
+            assignment: Vec::new(),
+            cost: Area::ZERO,
+            max_open: 0,
+            timeline: Vec::new(),
+            undated: 0,
+        }
+    }
+
+    /// The current simulation clock.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of currently open bins (what the Theorem 4.3 adversary
+    /// watches).
+    #[inline]
+    pub fn open_count(&self) -> usize {
+        self.bins.open_count()
+    }
+
+    /// Total bins opened so far.
+    #[inline]
+    pub fn bins_opened(&self) -> usize {
+        self.bins.total_opened()
+    }
+
+    /// Read-only view of the bins (for drivers that render figures).
+    #[inline]
+    pub fn bins(&self) -> &BinStore {
+        &self.bins
+    }
+
+    /// The driven algorithm.
+    #[inline]
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Advances the clock to `t`, processing all departures with
+    /// `departure ≤ t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(
+            t >= self.now || !self.started,
+            "clock regression: {t} < {}",
+            self.now
+        );
+        self.process_departures_up_to(t);
+        self.now = self.now.max(t);
+        self.started = true;
+    }
+
+    /// Submits an item arriving *now* and returns the bin it was placed in.
+    pub fn arrive(&mut self, dur: Dur, size: Size) -> Result<BinId, EngineError> {
+        let arrival = self.now;
+        self.arrive_at(arrival, dur, size)
+    }
+
+    /// Submits an item arriving *now* whose departure is not yet decided —
+    /// the non-clairvoyant adaptive-adversary interface: the driver may
+    /// watch where the item lands and only then choose its departure via
+    /// [`InteractiveSim::set_departure`].
+    ///
+    /// The algorithm sees a placeholder departure in the far future
+    /// (`Time(u64::MAX)`), so this entry point is only meaningful for
+    /// algorithms that do not read departures (the non-clairvoyant
+    /// family); a clairvoyant algorithm would be reacting to the
+    /// placeholder. Every undated item must be dated before
+    /// [`InteractiveSim::finish`].
+    pub fn arrive_undated(&mut self, size: Size) -> Result<(ItemId, BinId), EngineError> {
+        let arrival = self.now;
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
+        self.advance_to(arrival);
+        let item = Item::new(id, arrival, Time(u64::MAX), size);
+        let bin = self.place(item)?;
+        self.items.push(item);
+        self.assignment.push(bin);
+        self.undated += 1;
+        // No departure queued yet: set_departure will queue it.
+        Ok((id, bin))
+    }
+
+    /// Fixes the departure time of an item submitted via
+    /// [`InteractiveSim::arrive_undated`]. `at` must not be in the past
+    /// and the item must still be undated.
+    ///
+    /// # Panics
+    /// Panics if the item is unknown, already dated, or `at ≤ arrival`.
+    pub fn set_departure(&mut self, item: ItemId, at: Time) {
+        assert!(
+            at >= self.now,
+            "departure {at} is in the past (now {})",
+            self.now
+        );
+        let it = &mut self.items[item.index()];
+        assert_eq!(it.departure, Time(u64::MAX), "{item} already dated");
+        assert!(at > it.arrival, "departure must be after arrival");
+        it.departure = at;
+        self.departures.push(Reverse((at, item.0)));
+        self.undated -= 1;
+    }
+
+    /// Submits an item arriving at `arrival ≥ now` (advancing the clock),
+    /// active for `dur`.
+    pub fn arrive_at(&mut self, arrival: Time, dur: Dur, size: Size) -> Result<BinId, EngineError> {
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
+        if self.started && arrival < self.now {
+            return Err(EngineError::TimeRegression {
+                item: id,
+                now: self.now,
+                arrival,
+            });
+        }
+        self.advance_to(arrival);
+        let item = Item::new(id, arrival, arrival + dur, size);
+        let bin = self.place(item)?;
+        self.items.push(item);
+        self.assignment.push(bin);
+        self.departures.push(Reverse((item.departure, id.0)));
+        Ok(bin)
+    }
+
+    /// Asks the algorithm for a placement and validates it.
+    fn place(&mut self, item: Item) -> Result<BinId, EngineError> {
+        let id = item.id;
+        let size = item.size;
+        let placement = {
+            let view = SimView::new(self.now, &self.bins);
+            self.algo.on_arrival(&view, &item)
+        };
+        let bin = match placement {
+            Placement::Existing(b) => {
+                let rec = self.bins.record(b);
+                match rec {
+                    None => {
+                        return Err(EngineError::BinNotOpen {
+                            item: id,
+                            bin: b,
+                            at: self.now,
+                        })
+                    }
+                    Some(r) if !r.is_open() => {
+                        return Err(EngineError::BinNotOpen {
+                            item: id,
+                            bin: b,
+                            at: self.now,
+                        })
+                    }
+                    Some(r) if !r.fits(size) => {
+                        return Err(EngineError::CapacityExceeded {
+                            item: id,
+                            bin: b,
+                            at: self.now,
+                        })
+                    }
+                    Some(_) => b,
+                }
+            }
+            Placement::OpenNew => {
+                let b = self.bins.open(self.now);
+                self.record_open_count();
+                b
+            }
+        };
+        self.bins.add(bin, id, size);
+        Ok(bin)
+    }
+
+    /// Drains all remaining departures and returns the instance that was
+    /// actually played plus the measurements.
+    pub fn finish(mut self) -> (Instance, PackingResult) {
+        assert_eq!(
+            self.undated, 0,
+            "finish() with undated items still in flight"
+        );
+        self.process_departures_up_to(Time(u64::MAX));
+        debug_assert_eq!(self.bins.open_count(), 0, "all bins close at the end");
+        let mut builder = InstanceBuilder::with_capacity(self.items.len());
+        for it in &self.items {
+            builder.push_interval(it.arrival, it.departure, it.size);
+        }
+        let instance = builder.build().expect("engine-built items are valid");
+        // Items were pushed in (arrival, submission) order, so the stable
+        // sort in `build` keeps ids aligned with our assignment vector.
+        let bin_intervals = self
+            .bins
+            .all()
+            .iter()
+            .map(|r| (r.opened_at, r.closed_at.expect("all closed")))
+            .collect();
+        let result = PackingResult {
+            assignment: self.assignment,
+            cost: self.cost,
+            max_open: self.max_open,
+            bins_opened: self.bins.total_opened(),
+            bin_intervals,
+            timeline: self.timeline,
+        };
+        (instance, result)
+    }
+
+    fn process_departures_up_to(&mut self, t: Time) {
+        while let Some(&Reverse((dep, idx))) = self.departures.peek() {
+            if dep > t {
+                break;
+            }
+            self.departures.pop();
+            self.now = self.now.max(dep);
+            let item = self.items[idx as usize];
+            let bin = self.assignment[idx as usize];
+            let closed = self.bins.remove(bin, item.id, item.size, dep);
+            if closed {
+                let rec = self.bins.record(bin).expect("bin exists");
+                self.cost += Area::from_bin_ticks(dep.since(rec.opened_at));
+                self.record_open_count_at(dep);
+            }
+            self.algo.on_departure(&item, bin, closed);
+        }
+    }
+
+    fn record_open_count(&mut self) {
+        self.record_open_count_at(self.now);
+    }
+
+    fn record_open_count_at(&mut self, t: Time) {
+        let count = self.bins.open_count();
+        self.max_open = self.max_open.max(count);
+        match self.timeline.last_mut() {
+            Some(last) if last.0 == t => last.1 = count,
+            _ => self.timeline.push((t, count)),
+        }
+    }
+}
+
+/// Replays a whole instance through `algo` and returns the measurements.
+///
+/// Items are served in the instance's canonical order (sorted by arrival,
+/// ties in builder insertion order); the returned assignment is indexed by
+/// the instance's item ids.
+///
+/// ```
+/// use dbp_core::{engine, Instance, Size, Time, Dur};
+/// use dbp_core::{OnlineAlgorithm, Placement, SimView, Item};
+///
+/// struct Ff;
+/// impl OnlineAlgorithm for Ff {
+///     fn name(&self) -> &str { "ff" }
+///     fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+///         view.first_fit(item.size).map(Placement::Existing).unwrap_or(Placement::OpenNew)
+///     }
+///     fn reset(&mut self) {}
+/// }
+///
+/// let inst = Instance::from_triples([
+///     (Time(0), Dur(10), Size::from_ratio(1, 2)),
+///     (Time(2), Dur(5),  Size::from_ratio(1, 2)),
+/// ]).unwrap();
+/// let result = engine::run(&inst, Ff).unwrap();
+/// assert_eq!(result.bins_opened, 1);
+/// assert_eq!(result.cost.as_bin_ticks(), 10.0);
+/// ```
+pub fn run<A: OnlineAlgorithm>(instance: &Instance, algo: A) -> Result<PackingResult, EngineError> {
+    let mut sim = InteractiveSim::new(algo);
+    for it in instance.items() {
+        sim.arrive_at(it.arrival, it.duration(), it.size)?;
+    }
+    let (replayed, result) = sim.finish();
+    debug_assert_eq!(replayed.items().len(), instance.items().len());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain First-Fit over all open bins (the canonical smoke-test
+    /// algorithm; the production version lives in `dbp-algos`).
+    struct Ff;
+    impl OnlineAlgorithm for Ff {
+        fn name(&self) -> &str {
+            "ff-test"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// An algorithm that cheats by stuffing everything into bin 0.
+    struct Stuffer;
+    impl OnlineAlgorithm for Stuffer {
+        fn name(&self) -> &str {
+            "stuffer"
+        }
+        fn on_arrival(&mut self, _view: &SimView<'_>, _item: &Item) -> Placement {
+            Placement::Existing(BinId(0))
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn single_item_cost_is_its_duration() {
+        let inst = Instance::from_triples([(Time(3), Dur(7), sz(1, 2))]).unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.cost.as_bin_ticks(), 7.0);
+        assert_eq!(res.bins_opened, 1);
+        assert_eq!(res.max_open, 1);
+        assert_eq!(res.bin_intervals, vec![(Time(3), Time(10))]);
+    }
+
+    #[test]
+    fn ff_shares_bins_and_reuses_nothing_after_close() {
+        // Two half items overlap → same bin; a later item gets a NEW bin
+        // because the first closed at t=10.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(2), Dur(5), sz(1, 2)),
+            (Time(10), Dur(4), sz(1, 2)),
+        ])
+        .unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.assignment[0], res.assignment[1]);
+        assert_ne!(res.assignment[0], res.assignment[2]);
+        assert_eq!(res.bins_opened, 2);
+        assert_eq!(res.cost.as_bin_ticks(), 10.0 + 4.0);
+    }
+
+    #[test]
+    fn departures_processed_before_arrivals_at_same_tick() {
+        // Item A occupies a full bin on [0,5); item B (full) arrives at 5.
+        // A's bin closed at 5⁻, so B cannot reuse it — but crucially the
+        // engine does not report max_open = 2.
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), Size::FULL), (Time(5), Dur(5), Size::FULL)])
+                .unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.max_open, 1);
+        assert_eq!(res.bins_opened, 2);
+        assert_eq!(res.cost.as_bin_ticks(), 10.0);
+    }
+
+    #[test]
+    fn engine_rejects_overflow_placement() {
+        /// Opens one bin, then stuffs everything else into it.
+        struct OverStuffer;
+        impl OnlineAlgorithm for OverStuffer {
+            fn name(&self) -> &str {
+                "overstuffer"
+            }
+            fn on_arrival(&mut self, view: &SimView<'_>, _item: &Item) -> Placement {
+                if view.open_count() == 0 {
+                    Placement::OpenNew
+                } else {
+                    Placement::Existing(BinId(0))
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), Size::FULL), (Time(1), Dur(5), sz(1, 2))])
+                .unwrap();
+        let err = run(&inst, OverStuffer).unwrap_err();
+        assert!(matches!(err, EngineError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn engine_rejects_placement_into_unknown_bin() {
+        let inst = Instance::from_triples([(Time(0), Dur(5), sz(1, 2))]).unwrap();
+        let err = run(&inst, Stuffer).unwrap_err();
+        assert!(matches!(err, EngineError::BinNotOpen { .. }));
+    }
+
+    #[test]
+    fn engine_rejects_placement_into_closed_bin() {
+        struct ReuseFirst;
+        impl OnlineAlgorithm for ReuseFirst {
+            fn name(&self) -> &str {
+                "reuse-first"
+            }
+            fn on_arrival(&mut self, view: &SimView<'_>, _item: &Item) -> Placement {
+                if view.bin(BinId(0)).is_some() {
+                    Placement::Existing(BinId(0))
+                } else {
+                    Placement::OpenNew
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(5), Dur(2), sz(1, 2)), // bin 0 closed at t=2
+        ])
+        .unwrap();
+        let err = run(&inst, ReuseFirst).unwrap_err();
+        assert!(matches!(err, EngineError::BinNotOpen { .. }));
+    }
+
+    #[test]
+    fn timeline_integrates_to_cost() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(2, 3)),
+            (Time(2), Dur(5), sz(2, 3)),
+            (Time(4), Dur(9), sz(2, 3)),
+            (Time(20), Dur(1), sz(1, 8)),
+        ])
+        .unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.cost, res.cost_from_timeline());
+    }
+
+    #[test]
+    fn open_at_queries_timeline() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(4), Size::FULL), (Time(1), Dur(1), Size::FULL)])
+                .unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.open_at(Time(0)), 1);
+        assert_eq!(res.open_at(Time(1)), 2);
+        assert_eq!(res.open_at(Time(2)), 1);
+        assert_eq!(res.open_at(Time(4)), 0);
+        assert_eq!(res.open_at(Time(100)), 0);
+    }
+
+    #[test]
+    fn interactive_time_regression_rejected() {
+        let mut sim = InteractiveSim::new(Ff);
+        sim.arrive_at(Time(5), Dur(1), sz(1, 2)).unwrap();
+        let err = sim.arrive_at(Time(3), Dur(1), sz(1, 2)).unwrap_err();
+        assert!(matches!(err, EngineError::TimeRegression { .. }));
+    }
+
+    #[test]
+    fn undated_arrivals_support_adaptive_departures() {
+        let mut sim = InteractiveSim::new(Ff);
+        sim.advance_to(Time(0));
+        let (a, bin_a) = sim.arrive_undated(sz(1, 2)).unwrap();
+        let (b, bin_b) = sim.arrive_undated(sz(1, 2)).unwrap();
+        assert_eq!(bin_a, bin_b, "FF co-locates two halves");
+        // The adversary decides AFTER seeing placements.
+        sim.set_departure(a, Time(100));
+        sim.set_departure(b, Time(1));
+        let (inst, res) = sim.finish();
+        assert_eq!(inst.item(a).departure, Time(100));
+        assert_eq!(inst.item(b).departure, Time(1));
+        assert_eq!(res.cost.as_bin_ticks(), 100.0, "survivor pins the bin");
+        let audit = crate::assignment::audit(&inst, &res.assignment).unwrap();
+        assert_eq!(audit.cost, res.cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "already dated")]
+    fn double_dating_panics() {
+        let mut sim = InteractiveSim::new(Ff);
+        let (a, _) = sim.arrive_undated(sz(1, 2)).unwrap();
+        sim.set_departure(a, Time(5));
+        sim.set_departure(a, Time(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "undated items still in flight")]
+    fn finish_with_undated_items_panics() {
+        let mut sim = InteractiveSim::new(Ff);
+        let _ = sim.arrive_undated(sz(1, 2)).unwrap();
+        let _ = sim.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn dating_in_the_past_panics() {
+        let mut sim = InteractiveSim::new(Ff);
+        let (a, _) = sim.arrive_undated(sz(1, 2)).unwrap();
+        sim.arrive_at(Time(10), Dur(1), sz(1, 4)).unwrap();
+        sim.set_departure(a, Time(5));
+    }
+
+    #[test]
+    fn undated_items_outlive_interleaved_dated_traffic() {
+        let mut sim = InteractiveSim::new(Ff);
+        let (a, _) = sim.arrive_undated(sz(1, 4)).unwrap();
+        sim.arrive_at(Time(2), Dur(3), sz(1, 4)).unwrap(); // departs at 5
+        sim.advance_to(Time(6));
+        sim.set_departure(a, Time(9));
+        let (inst, res) = sim.finish();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(res.cost_from_timeline(), res.cost);
+    }
+
+    #[test]
+    fn interactive_open_count_visible_mid_run() {
+        let mut sim = InteractiveSim::new(Ff);
+        sim.arrive_at(Time(0), Dur(10), Size::FULL).unwrap();
+        assert_eq!(sim.open_count(), 1);
+        sim.arrive_at(Time(0), Dur(10), Size::FULL).unwrap();
+        assert_eq!(sim.open_count(), 2);
+        sim.advance_to(Time(10));
+        assert_eq!(sim.open_count(), 0);
+        let (inst, res) = sim.finish();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(res.cost.as_bin_ticks(), 20.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Typed errors for instance validation, engine execution, and assignment
+//! verification.
+
+use core::fmt;
+
+use crate::bin_state::BinId;
+use crate::item::ItemId;
+use crate::time::Time;
+
+/// Instance validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// An item departs at or before its arrival.
+    EmptyInterval {
+        /// The offending item.
+        id: ItemId,
+    },
+    /// An item has zero size (it would never constrain any packing).
+    ZeroSize {
+        /// The offending item.
+        id: ItemId,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::EmptyInterval { id } => {
+                write!(f, "item {id} has an empty active interval")
+            }
+            InstanceError::ZeroSize { id } => write!(f, "item {id} has zero size"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Faults raised by the engine when an [`crate::algorithm::OnlineAlgorithm`]
+/// makes an illegal move. These indicate algorithm bugs, not input problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The algorithm placed an item into a bin that is not open.
+    BinNotOpen {
+        /// The item being placed.
+        item: ItemId,
+        /// The offending bin choice.
+        bin: BinId,
+        /// Simulation time of the placement.
+        at: Time,
+    },
+    /// The algorithm placed an item into a bin without room for it.
+    CapacityExceeded {
+        /// The item being placed.
+        item: ItemId,
+        /// The overflowing bin.
+        bin: BinId,
+        /// Simulation time of the placement.
+        at: Time,
+    },
+    /// Interactive use only: an item arrived before the current clock.
+    TimeRegression {
+        /// The late item.
+        item: ItemId,
+        /// Current simulation time.
+        now: Time,
+        /// The item's (past) arrival time.
+        arrival: Time,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BinNotOpen { item, bin, at } => {
+                write!(
+                    f,
+                    "at {at}: item {item} placed into closed/unknown bin {bin}"
+                )
+            }
+            EngineError::CapacityExceeded { item, bin, at } => {
+                write!(f, "at {at}: item {item} overflows bin {bin}")
+            }
+            EngineError::TimeRegression { item, now, arrival } => {
+                write!(
+                    f,
+                    "item {item} arrives at {arrival}, before current time {now}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Violations found when auditing a finished assignment against its
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Two co-resident items overflow their shared bin at some moment.
+    CapacityViolated {
+        /// The overfull bin.
+        bin: BinId,
+        /// First moment of violation.
+        at: Time,
+    },
+    /// The assignment does not cover every item exactly once.
+    MissingItem {
+        /// The uncovered item.
+        id: ItemId,
+    },
+    /// A non-repacking audit detected bin reuse after the bin emptied.
+    BinReusedAfterClose {
+        /// The reused bin.
+        bin: BinId,
+        /// Arrival time of the reusing item.
+        at: Time,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::CapacityViolated { bin, at } => {
+                write!(f, "bin {bin} over capacity at {at}")
+            }
+            VerifyError::MissingItem { id } => write!(f, "item {id} missing from assignment"),
+            VerifyError::BinReusedAfterClose { bin, at } => {
+                write!(f, "bin {bin} reused at {at} after it had emptied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        let e = InstanceError::EmptyInterval { id: ItemId(3) };
+        assert!(e.to_string().contains("r3"));
+        let e = EngineError::CapacityExceeded {
+            item: ItemId(1),
+            bin: BinId(2),
+            at: Time(5),
+        };
+        assert!(e.to_string().contains("b2"));
+        assert!(e.to_string().contains("t5"));
+        let e = VerifyError::BinReusedAfterClose {
+            bin: BinId(0),
+            at: Time(9),
+        };
+        assert!(e.to_string().contains("reused"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Items (requests) and their active intervals.
+
+use core::fmt;
+
+use crate::size::Size;
+use crate::time::{Dur, Time};
+
+/// Dense identifier of an item within an [`crate::instance::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Index into per-item arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A single request: active on the half-open interval `[arrival, departure)`
+/// with a fixed resource demand `size`.
+///
+/// The paper writes closed intervals `I(r) = [t_r, f_r]`; we use half-open
+/// intervals so that "departures are processed before arrivals at the same
+/// moment" (the paper's `t⁻`/`t⁺` convention for aligned inputs) falls out
+/// of interval arithmetic: an item departing at `t` does not overlap an item
+/// arriving at `t`, and their lengths are unchanged (`f_r − t_r`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Item {
+    /// Identifier, equal to the item's index in its instance.
+    pub id: ItemId,
+    /// Arrival time `t_r` (also when the online algorithm must place it).
+    pub arrival: Time,
+    /// Departure time `f_r`, strictly greater than `arrival`.
+    pub departure: Time,
+    /// Resource demand `s(r) ∈ (0, 1]`.
+    pub size: Size,
+}
+
+impl Item {
+    /// Constructs an item; invariants are validated by
+    /// [`crate::instance::InstanceBuilder`], not here.
+    #[inline]
+    pub fn new(id: ItemId, arrival: Time, departure: Time, size: Size) -> Item {
+        Item {
+            id,
+            arrival,
+            departure,
+            size,
+        }
+    }
+
+    /// Interval length `l(I(r)) = f_r − t_r`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `departure < arrival`.
+    #[inline]
+    pub fn duration(&self) -> Dur {
+        self.departure.since(self.arrival)
+    }
+
+    /// Whether the item is active at time `t` (half-open convention).
+    #[inline]
+    pub fn active_at(&self, t: Time) -> bool {
+        self.arrival <= t && t < self.departure
+    }
+
+    /// Whether two items' active intervals intersect.
+    #[inline]
+    pub fn overlaps(&self, other: &Item) -> bool {
+        self.arrival < other.departure && other.arrival < self.departure
+    }
+
+    /// The duration-class index `i` with `l(I(r)) ∈ (2^{i-1}, 2^i]`.
+    #[inline]
+    pub fn class_index(&self) -> u32 {
+        self.duration().class_index()
+    }
+
+    /// The arrival-window index `c ∈ ℕ` with
+    /// `t_r ∈ ((c−1)·2^i, c·2^i]`, where `i` is the duration class.
+    ///
+    /// `t_r = 0` maps to `c = 0` (the window `(−2^i, 0]`), matching the
+    /// paper's convention that the very first window is the one containing
+    /// time zero.
+    #[inline]
+    pub fn window_index(&self) -> u64 {
+        let i = self.class_index();
+        let w = 1u64 << i;
+        // c = ⌈t_r / 2^i⌉ (so multiples of 2^i map to their own window).
+        self.arrival.ticks().div_ceil(w)
+    }
+
+    /// The item's HA type `T = (i, c)`.
+    #[inline]
+    pub fn ha_type(&self) -> (u32, u64) {
+        (self.class_index(), self.window_index())
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{},{})×{}",
+            self.id,
+            self.arrival.ticks(),
+            self.departure.ticks(),
+            self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::Size;
+
+    fn item(a: u64, d: u64) -> Item {
+        Item::new(ItemId(0), Time(a), Time(d), Size::from_ratio(1, 2))
+    }
+
+    #[test]
+    fn duration_and_activity() {
+        let r = item(2, 7);
+        assert_eq!(r.duration(), Dur(5));
+        assert!(!r.active_at(Time(1)));
+        assert!(r.active_at(Time(2)));
+        assert!(r.active_at(Time(6)));
+        assert!(
+            !r.active_at(Time(7)),
+            "half-open: departed at its departure time"
+        );
+    }
+
+    #[test]
+    fn overlap_half_open_touching_intervals_do_not_overlap() {
+        assert!(!item(0, 5).overlaps(&item(5, 10)));
+        assert!(item(0, 6).overlaps(&item(5, 10)));
+        assert!(item(5, 10).overlaps(&item(0, 6)));
+        assert!(item(3, 4).overlaps(&item(0, 10)));
+    }
+
+    #[test]
+    fn ha_type_examples() {
+        // Length 1 at t=0: class 0, window 0.
+        assert_eq!(item(0, 1).ha_type(), (0, 0));
+        // Length 4 at t=5: class 2 (∈(2,4]), window ⌈5/4⌉ = 2, i.e. (4,8].
+        assert_eq!(item(5, 9).ha_type(), (2, 2));
+        // Length 3 at t=4: class 2, arrival exactly at window edge (0,4] → c=1.
+        assert_eq!(item(4, 7).ha_type(), (2, 1));
+        // Length 8 at t=8: class 3, window (0,8] → c=1.
+        assert_eq!(item(8, 16).ha_type(), (3, 1));
+        // Length 8 at t=9: window (8,16] → c=2.
+        assert_eq!(item(9, 17).ha_type(), (3, 2));
+    }
+
+    #[test]
+    fn window_index_zero_arrival_is_window_zero() {
+        for d in [1u64, 2, 3, 7, 64] {
+            assert_eq!(item(0, d).window_index(), 0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # dbp-core
+//!
+//! Problem model and event-driven simulation substrate for **MinUsageTime
+//! Dynamic Bin Packing**, the setting of *"Tight Bounds for Clairvoyant
+//! Dynamic Bin Packing"* (Azar & Vainstein, SPAA 2017).
+//!
+//! Items with sizes in `(0, 1]` arrive online, each revealing its departure
+//! time on arrival (clairvoyance); an online algorithm must irrevocably
+//! place each into a bin of capacity 1; the objective is the total *usage
+//! time* over all bins ever opened — equivalently `∫ (#open bins at t) dt`.
+//!
+//! This crate provides:
+//!
+//! * exact time ([`time`]), size ([`size`]) and area ([`cost`]) arithmetic;
+//! * validated instances ([`instance`]) with the paper's derived quantities
+//!   (`μ`, `span(σ)`, `d(σ)`, load profiles in [`profile`]);
+//! * the [`algorithm::OnlineAlgorithm`] trait and the validating simulator
+//!   ([`engine`]) in both batch and adaptive (adversary-driven) forms;
+//! * an independent assignment auditor ([`assignment`]);
+//! * the σ→σ′ departure-rounding reduction ([`reduction`]) and certified
+//!   OPT brackets ([`bounds`]) used by every experiment.
+//!
+//! Algorithms themselves (HA, CDFF, the First-Fit family, offline
+//! comparators) live in the `dbp-algos` crate; workload generators and the
+//! lower-bound adversary in `dbp-workloads`.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod assignment;
+pub mod bin_state;
+pub mod bounds;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod instance;
+pub mod item;
+pub mod metrics;
+pub mod profile;
+pub mod reduction;
+pub mod size;
+pub mod time;
+pub mod trace;
+
+pub use algorithm::{OnlineAlgorithm, Placement, SimView};
+pub use assignment::{audit, AuditReport};
+pub use bin_state::{BinId, BinRecord, BinStore};
+pub use bounds::{LowerBounds, OptBracket};
+pub use cost::Area;
+pub use engine::{run, InteractiveSim, PackingResult};
+pub use error::{EngineError, InstanceError, VerifyError};
+pub use instance::{Instance, InstanceBuilder};
+pub use item::{Item, ItemId};
+pub use metrics::{
+    average_open_ratio, compare_goals, momentary_ratio, utilisation, waste_breakdown,
+    GoalComparison, UtilisationStats, WasteBreakdown,
+};
+pub use profile::StepProfile;
+pub use reduction::{reduce, reduced_departure};
+pub use size::{Load, Size, SIZE_SCALE};
+pub use time::{Dur, Time};
+pub use trace::{TraceEvent, TraceRecorder};

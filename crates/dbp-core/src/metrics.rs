@@ -1,0 +1,258 @@
+//! Alternative goal functions and packing-quality metrics.
+//!
+//! The paper's introduction contrasts MinUsageTime with the older
+//! *momentary* goal function — the worst instantaneous ratio between the
+//! online algorithm's open bins and the optimum's — and argues MinUsageTime
+//! captures total performance better (a single bad moment should not
+//! dominate). This module makes both views measurable on a finished run,
+//! plus utilisation diagnostics used in reports:
+//!
+//! * [`momentary_ratio`] — `max_t ON_t / ⌈S_t⌉`, the certified momentary
+//!   competitive ratio (using the load-ceiling lower bound on `OPT_t`);
+//! * [`average_open_ratio`] — the usage-time analogue `∫ON_t / ∫⌈S_t⌉`;
+//! * [`UtilisationStats`] — how full the algorithm's bins actually were,
+//!   time-averaged.
+
+use crate::engine::PackingResult;
+use crate::instance::Instance;
+use crate::time::Time;
+
+/// The certified momentary ratio: the maximum over all moments of
+/// `ON_t / ⌈S_t(σ)⌉` (the denominator lower-bounds any algorithm's open
+/// bins). Returns 1.0 for empty instances.
+///
+/// A large momentary ratio with a small usage-time ratio is exactly the
+/// regime the introduction describes: momentarily bad, globally fine.
+pub fn momentary_ratio(instance: &Instance, result: &PackingResult) -> f64 {
+    let profile = instance.load_profile();
+    let mut worst: f64 = 1.0;
+    // Breakpoints of either step function.
+    let mut times: Vec<Time> = profile.segments().iter().map(|&(t, _)| t).collect();
+    times.extend(result.timeline.iter().map(|&(t, _)| t));
+    times.sort_unstable();
+    times.dedup();
+    for t in times {
+        let on = result.open_at(t) as f64;
+        let opt = profile.load_at(t).ceil_bins() as f64;
+        if opt > 0.0 {
+            worst = worst.max(on / opt);
+        }
+    }
+    worst
+}
+
+/// The time-integrated analogue: `∫ ON_t dt / ∫ ⌈S_t⌉ dt` — an upper
+/// estimate of the usage-time competitive ratio using the load-ceiling
+/// lower bound.
+pub fn average_open_ratio(instance: &Instance, result: &PackingResult) -> f64 {
+    let denom = instance.load_profile().ceil_integral();
+    result.cost.ratio_to(denom)
+}
+
+/// Time-averaged bin utilisation of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilisationStats {
+    /// `d(σ) / ON(σ)`: fraction of paid bin-time actually used by items.
+    pub volume_utilisation: f64,
+    /// Mean number of simultaneously open bins over the busy period.
+    pub mean_open_bins: f64,
+    /// Peak open bins.
+    pub peak_open_bins: usize,
+}
+
+/// Computes [`UtilisationStats`] for a run.
+pub fn utilisation(instance: &Instance, result: &PackingResult) -> UtilisationStats {
+    let demand = instance.demand();
+    let busy = instance.span_dur();
+    let mean = if busy.is_zero() {
+        0.0
+    } else {
+        result.cost.as_bin_ticks() / busy.ticks() as f64
+    };
+    UtilisationStats {
+        volume_utilisation: if result.cost.is_zero() {
+            1.0
+        } else {
+            demand.ratio_to(result.cost).min(1.0)
+        },
+        mean_open_bins: mean,
+        peak_open_bins: result.max_open,
+    }
+}
+
+/// Where the paid-but-unused bin time went.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WasteBreakdown {
+    /// Total paid bin·ticks (`ON(σ)`).
+    pub paid: f64,
+    /// Bin·ticks actually carrying items (`d(σ)`).
+    pub used: f64,
+    /// Unavoidable granularity waste even for a repacking optimum:
+    /// `∫(⌈S_t⌉ − S_t) dt`.
+    pub granularity: f64,
+    /// Everything else — the algorithm's own packing waste:
+    /// `ON − ∫⌈S_t⌉` (can be zero, never negative for feasible packings).
+    pub packing: f64,
+}
+
+/// Decomposes a run's cost into used volume, unavoidable granularity
+/// waste, and algorithm-attributable packing waste.
+pub fn waste_breakdown(instance: &Instance, result: &PackingResult) -> WasteBreakdown {
+    let profile = instance.load_profile();
+    let paid = result.cost.as_bin_ticks();
+    let used = profile.integral().as_bin_ticks();
+    let ceil = profile.ceil_integral().as_bin_ticks();
+    WasteBreakdown {
+        paid,
+        used,
+        granularity: (ceil - used).max(0.0),
+        packing: (paid - ceil).max(0.0),
+    }
+}
+
+/// Convenience: both ratios at once for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoalComparison {
+    /// The paper's MinUsageTime ratio estimate (vs `∫⌈S_t⌉`).
+    pub usage_time: f64,
+    /// The momentary ratio (vs `⌈S_t⌉` pointwise).
+    pub momentary: f64,
+}
+
+/// Computes the two goal functions side by side.
+pub fn compare_goals(instance: &Instance, result: &PackingResult) -> GoalComparison {
+    GoalComparison {
+        usage_time: average_open_ratio(instance, result),
+        momentary: momentary_ratio(instance, result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
+    use crate::engine;
+    use crate::item::Item;
+    use crate::size::Size;
+    use crate::time::Dur;
+
+    struct Ff;
+    impl OnlineAlgorithm for Ff {
+        fn name(&self) -> &str {
+            "ff"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// One bin per item even though loads are tiny: the "momentarily bad"
+    /// regime — intentionally wasteful packer.
+    struct Spreader;
+    impl OnlineAlgorithm for Spreader {
+        fn name(&self) -> &str {
+            "spreader"
+        }
+        fn on_arrival(&mut self, _view: &SimView<'_>, _item: &Item) -> Placement {
+            Placement::OpenNew
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn optimal_run_scores_one() {
+        let inst = Instance::from_triples([(Time(0), Dur(10), sz(1, 2))]).unwrap();
+        let res = engine::run(&inst, Ff).unwrap();
+        assert_eq!(momentary_ratio(&inst, &res), 1.0);
+        assert_eq!(average_open_ratio(&inst, &res), 1.0);
+    }
+
+    #[test]
+    fn spreader_pays_in_both_metrics() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+        ])
+        .unwrap();
+        let res = engine::run(&inst, Spreader).unwrap();
+        assert_eq!(momentary_ratio(&inst, &res), 3.0);
+        assert_eq!(average_open_ratio(&inst, &res), 3.0);
+    }
+
+    #[test]
+    fn momentary_spike_vs_flat_usage() {
+        // A brief 3-bin spike inside a long 1-bin run: momentary ratio 3,
+        // usage-time ratio stays near 1 — the introduction's motivating
+        // distinction.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(100), sz(1, 4)),
+            (Time(50), Dur(1), sz(1, 4)),
+            (Time(50), Dur(1), sz(1, 4)),
+        ])
+        .unwrap();
+        let res = engine::run(&inst, Spreader).unwrap();
+        let goals = compare_goals(&inst, &res);
+        assert_eq!(goals.momentary, 3.0);
+        assert!(goals.usage_time < 1.1, "usage ratio {}", goals.usage_time);
+    }
+
+    #[test]
+    fn utilisation_stats_sane() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(10), sz(1, 2)), (Time(0), Dur(10), sz(1, 2))])
+                .unwrap();
+        let res = engine::run(&inst, Ff).unwrap();
+        let u = utilisation(&inst, &res);
+        assert_eq!(u.volume_utilisation, 1.0, "two halves fill the bin");
+        assert_eq!(u.mean_open_bins, 1.0);
+        assert_eq!(u.peak_open_bins, 1);
+        let res = engine::run(&inst, Spreader).unwrap();
+        let u = utilisation(&inst, &res);
+        assert_eq!(u.volume_utilisation, 0.5);
+        assert_eq!(u.peak_open_bins, 2);
+    }
+
+    #[test]
+    fn waste_breakdown_partitions_cost() {
+        // Three 1/4 items spread over one bin, plus a spreader run.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(8), sz(1, 4)),
+            (Time(0), Dur(8), sz(1, 4)),
+            (Time(0), Dur(8), sz(1, 4)),
+        ])
+        .unwrap();
+        let res = engine::run(&inst, Ff).unwrap();
+        let w = waste_breakdown(&inst, &res);
+        assert_eq!(w.paid, 8.0);
+        assert_eq!(w.used, 6.0);
+        assert_eq!(w.granularity, 2.0, "ceil(0.75)=1 bin for 8 ticks");
+        assert_eq!(w.packing, 0.0, "FF is ceil-optimal here");
+        // Paid = used + granularity + packing holds when packing ≥ 0.
+        assert!((w.paid - (w.used + w.granularity + w.packing)).abs() < 1e-9);
+
+        let res = engine::run(&inst, Spreader).unwrap();
+        let w = waste_breakdown(&inst, &res);
+        assert_eq!(w.paid, 24.0);
+        assert_eq!(w.packing, 16.0, "two extra bins for 8 ticks");
+    }
+
+    #[test]
+    fn empty_instance_degenerate_values() {
+        let inst = Instance::empty();
+        let res = engine::run(&inst, Ff).unwrap();
+        assert_eq!(momentary_ratio(&inst, &res), 1.0);
+        assert_eq!(average_open_ratio(&inst, &res), 1.0);
+        let u = utilisation(&inst, &res);
+        assert_eq!(u.volume_utilisation, 1.0);
+        assert_eq!(u.mean_open_bins, 0.0);
+    }
+}

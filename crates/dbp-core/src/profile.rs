@@ -1,0 +1,188 @@
+//! Piecewise-constant load profiles `S_t(σ)` and their integrals.
+//!
+//! The paper's optimal-cost bounds are all integrals of the instantaneous
+//! total load: `d(σ) = ∫ S_t dt` (time–space bound) and `∫ ⌈S_t⌉ dt`
+//! (Lemma 3.1's two-sided bound). On the tick grid these are finite sums
+//! over the O(|σ|) breakpoints, computed exactly.
+
+use crate::cost::Area;
+use crate::item::Item;
+use crate::size::Load;
+use crate::time::{Dur, Time};
+
+/// A piecewise-constant step function of total active load over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepProfile {
+    /// `(start_time, load)` segments; each segment extends to the next
+    /// segment's start. The final segment always has zero load and marks the
+    /// end of activity.
+    segments: Vec<(Time, Load)>,
+}
+
+impl StepProfile {
+    /// Builds the profile `S_t` from a set of items.
+    pub fn from_items(items: &[Item]) -> StepProfile {
+        // Event deltas: +size at arrival, −size at departure. Departures are
+        // processed before arrivals at equal times (half-open intervals), so
+        // we sort (time, is_arrival).
+        let mut events: Vec<(Time, bool, u64)> = Vec::with_capacity(items.len() * 2);
+        for it in items {
+            events.push((it.arrival, true, it.size.raw()));
+            events.push((it.departure, false, it.size.raw()));
+        }
+        events.sort_by_key(|&(t, is_arr, _)| (t, is_arr));
+
+        let mut segments: Vec<(Time, Load)> = Vec::new();
+        let mut cur: u64 = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                let (_, is_arr, raw) = events[i];
+                if is_arr {
+                    cur = cur.checked_add(raw).expect("load overflow");
+                } else {
+                    cur -= raw;
+                }
+                i += 1;
+            }
+            match segments.last_mut() {
+                Some(&mut (_, prev)) if prev.raw() == cur => {} // merged
+                _ => segments.push((t, Load::from_raw(cur))),
+            }
+        }
+        debug_assert!(
+            segments.last().is_none_or(|&(_, l)| l.is_zero()),
+            "profile must end at zero load"
+        );
+        StepProfile { segments }
+    }
+
+    /// The segments `(start, load)`; the last segment has zero load.
+    pub fn segments(&self) -> &[(Time, Load)] {
+        &self.segments
+    }
+
+    /// The load at time `t` (`t⁺` convention: arrivals at `t` counted,
+    /// departures at `t` excluded).
+    pub fn load_at(&self, t: Time) -> Load {
+        match self.segments.binary_search_by_key(&t, |&(s, _)| s) {
+            Ok(idx) => self.segments[idx].1,
+            Err(0) => Load::ZERO,
+            Err(idx) => self.segments[idx - 1].1,
+        }
+    }
+
+    /// Exact `∫ S_t dt` — equals the instance demand `d(σ)`.
+    pub fn integral(&self) -> Area {
+        self.fold_segments(|load, dt| Area::from_load_ticks(load.raw(), dt))
+    }
+
+    /// Exact `∫ ⌈S_t⌉ dt` — the load-ceiling lower bound on `OPT_R`.
+    pub fn ceil_integral(&self) -> Area {
+        self.fold_segments(|load, dt| Area::from_bins_ticks(load.ceil_bins(), dt))
+    }
+
+    /// Peak load over all time.
+    pub fn peak(&self) -> Load {
+        self.segments
+            .iter()
+            .map(|&(_, l)| l)
+            .max()
+            .unwrap_or(Load::ZERO)
+    }
+
+    /// Measure of times with nonzero load (equals `span(σ)`).
+    pub fn busy_dur(&self) -> Dur {
+        let mut total = 0u64;
+        for w in self.segments.windows(2) {
+            if !w[0].1.is_zero() {
+                total += w[1].0.since(w[0].0).ticks();
+            }
+        }
+        Dur(total)
+    }
+
+    fn fold_segments(&self, f: impl Fn(Load, Dur) -> Area) -> Area {
+        let mut total = Area::ZERO;
+        for w in self.segments.windows(2) {
+            let dt = w[1].0.since(w[0].0);
+            total += f(w[0].1, dt);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::size::Size;
+
+    fn sz(num: u64, den: u64) -> Size {
+        Size::from_ratio(num, den)
+    }
+
+    fn profile(triples: &[(u64, u64, (u64, u64))]) -> StepProfile {
+        let inst = Instance::from_triples(
+            triples
+                .iter()
+                .map(|&(a, d, (n, den))| (Time(a), Dur(d), sz(n, den))),
+        )
+        .unwrap();
+        inst.load_profile()
+    }
+
+    #[test]
+    fn single_item_profile() {
+        let p = profile(&[(2, 3, (1, 2))]);
+        assert_eq!(p.load_at(Time(1)), Load::ZERO);
+        assert_eq!(p.load_at(Time(2)), Load::from(sz(1, 2)));
+        assert_eq!(p.load_at(Time(4)), Load::from(sz(1, 2)));
+        assert_eq!(p.load_at(Time(5)), Load::ZERO);
+        assert_eq!(p.integral().as_bin_ticks(), 1.5);
+        assert_eq!(p.ceil_integral().as_bin_ticks(), 3.0);
+        assert_eq!(p.busy_dur(), Dur(3));
+        assert_eq!(p.peak(), Load::from(sz(1, 2)));
+    }
+
+    #[test]
+    fn departures_before_arrivals_merge_seamlessly() {
+        // [0,5) then [5,10): load is a constant 1/2 over [0,10).
+        let p = profile(&[(0, 5, (1, 2)), (5, 5, (1, 2))]);
+        assert_eq!(p.segments().len(), 2, "constant-load runs are merged");
+        assert_eq!(p.load_at(Time(5)), Load::from(sz(1, 2)));
+        assert_eq!(p.busy_dur(), Dur(10));
+    }
+
+    #[test]
+    fn overlapping_items_stack() {
+        let p = profile(&[(0, 10, (1, 2)), (3, 4, (1, 2)), (4, 2, (1, 2))]);
+        assert_eq!(p.peak(), Load::from_raw(3 * sz(1, 2).raw()));
+        // ceil integral: load 1/2 on [0,3)∪[7,10) → ceil 1 each (6 ticks);
+        // load 1 on [3,4)∪[6,7) → ceil 1 (2 ticks); load 3/2 on [4,6) → ceil 2 (2 ticks).
+        assert_eq!(p.ceil_integral().as_bin_ticks(), 6.0 + 2.0 + 4.0);
+    }
+
+    #[test]
+    fn integral_equals_demand() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(7), sz(1, 3)),
+            (Time(2), Dur(9), sz(2, 5)),
+            (Time(20), Dur(1), sz(1, 1)),
+        ])
+        .unwrap();
+        assert_eq!(inst.load_profile().integral(), inst.demand());
+        assert_eq!(inst.load_profile().busy_dur(), inst.span_dur());
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = StepProfile::from_items(&[]);
+        assert_eq!(p.integral(), Area::ZERO);
+        assert_eq!(p.ceil_integral(), Area::ZERO);
+        assert_eq!(p.peak(), Load::ZERO);
+        assert_eq!(p.busy_dur(), Dur::ZERO);
+        assert_eq!(p.load_at(Time(0)), Load::ZERO);
+    }
+}

@@ -1,0 +1,141 @@
+//! The σ → σ′ departure-rounding reduction (paper, Section 3).
+//!
+//! For an item `r` with duration class `i` (length in `(2^{i-1}, 2^i]`) and
+//! arrival window `c` (arrival in `((c−1)·2^i, c·2^i]`), the reduced item
+//! `r′` keeps its arrival and size but departs at `(c+1)·2^i`. Consequences
+//! proved in the paper and asserted by our tests:
+//!
+//! * departures never move earlier, and lengths grow by at most 4×
+//!   (Observations 1–2: `span(σ′) ≤ 4·span(σ)`, `d(σ′) ≤ 4·d(σ)`);
+//! * any two items of the same HA type `(i, c)` depart together in σ′;
+//! * `OPT_R(σ′) ≤ 16·OPT_R(σ)` for busy-period inputs (Corollary 3.4).
+//!
+//! The reduction is an *analysis* device — the online algorithms never see
+//! σ′ — but it is load-bearing for the experiments that recreate Lemma 3.5
+//! and Theorem 5.1, so it is a first-class, tested operation here.
+
+use crate::instance::{Instance, InstanceBuilder};
+use crate::item::Item;
+use crate::time::Time;
+
+/// The reduced departure time of `item`: `(c+1)·2^i` for its type `(i, c)`.
+pub fn reduced_departure(item: &Item) -> Time {
+    let i = item.class_index();
+    let c = item.window_index();
+    let w = 1u64 << i;
+    Time((c + 1).checked_mul(w).expect("reduced departure overflow"))
+}
+
+/// Applies the reduction to every item, preserving order and ids.
+pub fn reduce(instance: &Instance) -> Instance {
+    let mut builder = InstanceBuilder::with_capacity(instance.len());
+    for it in instance.items() {
+        builder.push_interval(it.arrival, reduced_departure(it), it.size);
+    }
+    builder
+        .build()
+        .expect("reduction preserves validity: departures only move later")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::Size;
+    use crate::time::{Dur, Time};
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    fn single(arrival: u64, dur: u64) -> Item {
+        let inst = Instance::from_triples([(Time(arrival), Dur(dur), sz(1, 2))]).unwrap();
+        inst.items()[0]
+    }
+
+    #[test]
+    fn reduced_departure_examples() {
+        // Length 1 at t=0: i=0, window (−1,0] → c=0 → departs at 1·1 = 1.
+        assert_eq!(reduced_departure(&single(0, 1)), Time(1));
+        // Length 1 at t=3: c=3 → departs at 4.
+        assert_eq!(reduced_departure(&single(3, 1)), Time(4));
+        // Length 3 at t=5: i=2, window (4,8] → c=2 → departs at 3·4 = 12.
+        assert_eq!(reduced_departure(&single(5, 3)), Time(12));
+        // Length 4 at t=4 (aligned): c=1 → departs at 8 (next multiple).
+        assert_eq!(reduced_departure(&single(4, 4)), Time(8));
+        // Aligned case: arrival c·2^i, departure already (c+1)·2^i → unchanged.
+        assert_eq!(reduced_departure(&single(8, 2)), Time(10));
+    }
+
+    #[test]
+    fn departures_never_move_earlier() {
+        for (a, d) in [(0u64, 1u64), (1, 1), (7, 3), (16, 16), (5, 9), (1023, 1)] {
+            let it = single(a, d);
+            assert!(
+                reduced_departure(&it) >= it.departure,
+                "reduction shortened [{a},{})",
+                a + d
+            );
+        }
+    }
+
+    #[test]
+    fn length_grows_by_at_most_four() {
+        for (a, d) in [
+            (0u64, 1u64),
+            (1, 1),
+            (7, 3),
+            (16, 16),
+            (5, 9),
+            (1023, 1),
+            (9, 8),
+        ] {
+            let it = single(a, d);
+            let new_len = reduced_departure(&it).since(it.arrival).ticks();
+            assert!(
+                new_len <= 4 * d,
+                "[{a},{}): reduced length {new_len} > 4·{d}",
+                a + d
+            );
+        }
+    }
+
+    #[test]
+    fn same_type_items_depart_together() {
+        // Two items of type (i=2, c=2): lengths in (2,4], arrivals in (4,8].
+        let inst =
+            Instance::from_triples([(Time(5), Dur(3), sz(1, 2)), (Time(8), Dur(4), sz(1, 4))])
+                .unwrap();
+        let reduced = reduce(&inst);
+        assert_eq!(inst.items()[0].ha_type(), inst.items()[1].ha_type());
+        assert_eq!(reduced.items()[0].departure, reduced.items()[1].departure);
+    }
+
+    #[test]
+    fn observation_1_and_2_bounds_hold() {
+        // A mixed busy-period instance.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(16), sz(1, 2)),
+            (Time(3), Dur(1), sz(1, 4)),
+            (Time(4), Dur(6), sz(1, 8)),
+            (Time(9), Dur(2), sz(1, 2)),
+            (Time(12), Dur(5), sz(3, 4)),
+        ])
+        .unwrap();
+        let red = reduce(&inst);
+        assert!(red.span_dur().ticks() <= 4 * inst.span_dur().ticks());
+        assert!(red.demand().raw() <= inst.demand().raw() * 4);
+    }
+
+    #[test]
+    fn reduction_preserves_ids_arrivals_sizes() {
+        let inst =
+            Instance::from_triples([(Time(2), Dur(3), sz(1, 3)), (Time(0), Dur(7), sz(2, 3))])
+                .unwrap();
+        let red = reduce(&inst);
+        for (a, b) in inst.items().iter().zip(red.items()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.size, b.size);
+        }
+    }
+}

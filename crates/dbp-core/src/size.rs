@@ -1,0 +1,303 @@
+//! Exact fixed-point item sizes and bin loads.
+//!
+//! Item sizes live in `[0, 1]` and bins have capacity exactly 1. The paper's
+//! constructions use sizes such as `1/√(log μ)` and `1/log μ`; representing
+//! them as `f64` would make "does this item fit" queries drift under
+//! accumulation, which corrupts First-Fit decisions and therefore the
+//! measured competitive ratios. We instead use a `u64` fixed-point
+//! representation with `2^32` units per bin capacity: all additions are
+//! exact, and every size expressible as `n / d` is represented by the floor
+//! of `n·2^32 / d`, which can only make adversarial loads *slightly* smaller
+//! (never larger), preserving feasibility of the intended packings.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of fixed-point units in a full bin (capacity 1.0).
+pub const SIZE_SCALE: u64 = 1 << 32;
+
+/// An item size in `[0, 1]`, in units of `1 / 2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Size(u64);
+
+/// A bin load: a sum of item sizes. Unlike [`Size`] it may exceed 1 when
+/// aggregating across bins (e.g. computing `S_t(σ)`, the total active load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Load(u64);
+
+impl Size {
+    /// Full bin capacity (size 1.0).
+    pub const FULL: Size = Size(SIZE_SCALE);
+
+    /// Creates a size from raw fixed-point units.
+    ///
+    /// # Panics
+    /// Panics if `raw > SIZE_SCALE` (sizes cannot exceed bin capacity).
+    #[inline]
+    pub fn from_raw(raw: u64) -> Size {
+        assert!(raw <= SIZE_SCALE, "size {raw} exceeds bin capacity");
+        Size(raw)
+    }
+
+    /// The size `num / den`, rounded down to the grid.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or `num > den`.
+    #[inline]
+    pub fn from_ratio(num: u64, den: u64) -> Size {
+        assert!(den > 0, "zero denominator");
+        assert!(num <= den, "size {num}/{den} exceeds 1");
+        Size(((num as u128 * SIZE_SCALE as u128) / den as u128) as u64)
+    }
+
+    /// The size closest to (and not above) the given float.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in `[0, 1]` or is NaN.
+    #[inline]
+    pub fn from_f64(v: f64) -> Size {
+        assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "size {v} not in [0,1]"
+        );
+        Size((v * SIZE_SCALE as f64).floor() as u64)
+    }
+
+    /// Raw fixed-point units.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Approximate floating-point value (for reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / SIZE_SCALE as f64
+    }
+
+    /// Whether this is the degenerate zero size.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Load {
+    /// An empty load.
+    pub const ZERO: Load = Load(0);
+
+    /// Creates a load from raw fixed-point units.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Load {
+        Load(raw)
+    }
+
+    /// Raw fixed-point units.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether adding `s` would stay within a single bin's capacity.
+    #[inline]
+    pub fn fits(self, s: Size) -> bool {
+        self.0 + s.0 <= SIZE_SCALE
+    }
+
+    /// `⌈load⌉` in whole-bin units: the minimum number of unit bins that
+    /// could hold this much volume (ignoring item granularity). Used for the
+    /// `∫⌈S_t⌉ dt` bound.
+    #[inline]
+    pub fn ceil_bins(self) -> u64 {
+        self.0.div_ceil(SIZE_SCALE)
+    }
+
+    /// Approximate floating-point value (for reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / SIZE_SCALE as f64
+    }
+
+    /// Whether the load is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Strict comparison against a rational threshold: `self > num/den`.
+    ///
+    /// Exact: compares `self·den` with `num·2^32` in 128-bit arithmetic, so
+    /// thresholds like HA's `1/(2√i)` (supplied as a rational approximation)
+    /// never suffer rounding at the comparison itself.
+    #[inline]
+    pub fn exceeds_ratio(self, num: u64, den: u64) -> bool {
+        assert!(den > 0, "zero denominator");
+        (self.0 as u128) * (den as u128) > (num as u128) * (SIZE_SCALE as u128)
+    }
+}
+
+impl Add<Size> for Load {
+    type Output = Load;
+    #[inline]
+    fn add(self, s: Size) -> Load {
+        Load(self.0.checked_add(s.0).expect("load overflow"))
+    }
+}
+
+impl AddAssign<Size> for Load {
+    #[inline]
+    fn add_assign(&mut self, s: Size) {
+        *self = *self + s;
+    }
+}
+
+impl Sub<Size> for Load {
+    type Output = Load;
+    #[inline]
+    fn sub(self, s: Size) -> Load {
+        Load(
+            self.0
+                .checked_sub(s.0)
+                .expect("load underflow: removing more than present"),
+        )
+    }
+}
+
+impl SubAssign<Size> for Load {
+    #[inline]
+    fn sub_assign(&mut self, s: Size) {
+        *self = *self - s;
+    }
+}
+
+impl Add for Load {
+    type Output = Load;
+    #[inline]
+    fn add(self, other: Load) -> Load {
+        Load(self.0.checked_add(other.0).expect("load overflow"))
+    }
+}
+
+impl AddAssign for Load {
+    #[inline]
+    fn add_assign(&mut self, other: Load) {
+        *self = *self + other;
+    }
+}
+
+impl From<Size> for Load {
+    #[inline]
+    fn from(s: Size) -> Load {
+        Load(s.0)
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_f64())
+    }
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_exact_for_divisors_of_scale() {
+        assert_eq!(Size::from_ratio(1, 2).raw(), SIZE_SCALE / 2);
+        assert_eq!(Size::from_ratio(1, 4).raw(), SIZE_SCALE / 4);
+        assert_eq!(Size::from_ratio(1, 1), Size::FULL);
+        assert_eq!(Size::from_ratio(0, 7).raw(), 0);
+    }
+
+    #[test]
+    fn ratio_rounds_down() {
+        // 1/3 is not representable; floor keeps 3·(1/3) ≤ 1 exactly.
+        let third = Size::from_ratio(1, 3);
+        let sum = Load::ZERO + third + third + third;
+        assert!(sum.raw() <= SIZE_SCALE);
+        assert!(Load::from(third).fits(third));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1")]
+    fn ratio_rejects_oversize() {
+        Size::from_ratio(3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn ratio_rejects_zero_den() {
+        Size::from_ratio(1, 0);
+    }
+
+    #[test]
+    fn fits_is_exact_at_boundary() {
+        let half = Size::from_ratio(1, 2);
+        let mut load = Load::ZERO;
+        load += half;
+        assert!(load.fits(half), "two exact halves fill a bin");
+        load += half;
+        assert!(
+            !load.fits(Size::from_raw(1)),
+            "a full bin rejects even 1 unit"
+        );
+        assert_eq!(load.raw(), SIZE_SCALE);
+    }
+
+    #[test]
+    fn ceil_bins_matches_paper_ceiling() {
+        assert_eq!(Load::ZERO.ceil_bins(), 0);
+        assert_eq!(Load::from(Size::from_raw(1)).ceil_bins(), 1);
+        assert_eq!(Load::from(Size::FULL).ceil_bins(), 1);
+        assert_eq!((Load::from(Size::FULL) + Size::from_raw(1)).ceil_bins(), 2);
+    }
+
+    #[test]
+    fn exceeds_ratio_exact() {
+        let half = Load::from(Size::from_ratio(1, 2));
+        assert!(!half.exceeds_ratio(1, 2), "exactly 1/2 does not exceed 1/2");
+        assert!((half + Size::from_raw(1)).exceeds_ratio(1, 2));
+        assert!(half.exceeds_ratio(1, 3));
+        assert!(!half.exceeds_ratio(2, 3));
+    }
+
+    #[test]
+    fn from_f64_floor_behaviour() {
+        assert_eq!(Size::from_f64(0.0).raw(), 0);
+        assert_eq!(Size::from_f64(1.0), Size::FULL);
+        assert_eq!(Size::from_f64(0.5).raw(), SIZE_SCALE / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn from_f64_rejects_nan_range() {
+        Size::from_f64(1.5);
+    }
+
+    #[test]
+    fn load_subtraction_roundtrips() {
+        let a = Size::from_ratio(3, 7);
+        let b = Size::from_ratio(2, 7);
+        let mut l = Load::ZERO;
+        l += a;
+        l += b;
+        l -= a;
+        assert_eq!(l, Load::from(b));
+        l -= b;
+        assert!(l.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "load underflow")]
+    fn load_subtraction_underflow_panics() {
+        let mut l = Load::ZERO;
+        l -= Size::from_raw(1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Discrete time axis.
+//!
+//! All simulation time lives on an integer tick grid. The paper's
+//! constructions only ever use integer arrival times and power-of-two
+//! durations, so an integer grid represents them exactly; arbitrary real
+//! traces are discretised by the workload generators before they reach the
+//! simulator. Using integers (instead of `f64`) keeps every span/cost
+//! computation exact, which matters when experiments assert equalities such
+//! as Corollary 5.8 (`CDFF_{t+}(σ_μ) = max_0(binary(t)) + 1`).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point on the discrete time axis, measured in ticks since the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A non-negative span of time, measured in ticks.
+///
+/// Item durations are always strictly positive (validated by
+/// [`crate::instance::Instance`]); `Dur(0)` is still representable because
+/// differences of equal times arise naturally in span accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The origin of the simulation clock.
+    pub const ZERO: Time = Time(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `earlier > self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier <= self, "time went backwards: {earlier} > {self}");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Checked version of [`Time::since`], returning `None` when
+    /// `earlier > self`.
+    #[inline]
+    pub fn checked_since(self, earlier: Time) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+    /// One tick.
+    pub const ONE: Dur = Dur(1);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this duration is zero ticks long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `2^i` ticks.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub const fn pow2(i: u32) -> Dur {
+        Dur(1u64 << i)
+    }
+
+    /// The duration-class index `i` such that `self ∈ (2^{i-1}, 2^i]`,
+    /// i.e. `i = ⌈log2(ticks)⌉` with `class_index(1) == 0`.
+    ///
+    /// This is the classification used by both HA (item types `(i, c)`) and
+    /// CDFF (row selection).
+    ///
+    /// # Panics
+    /// Panics if the duration is zero.
+    #[inline]
+    pub fn class_index(self) -> u32 {
+        assert!(self.0 > 0, "zero-length duration has no class");
+        // ⌈log2(n)⌉ == 64 - (n-1).leading_zeros() for n >= 2; 0 for n == 1.
+        if self.0 == 1 {
+            0
+        } else {
+            64 - (self.0 - 1).leading_zeros()
+        }
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.checked_add(d.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0.checked_add(other.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, other: Dur) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, other: Dur) -> Dur {
+        Dur(self.0.checked_sub(other.0).expect("duration underflow"))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Δ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time(10) + Dur(5);
+        assert_eq!(t, Time(15));
+        assert_eq!(t.since(Time(10)), Dur(5));
+        assert_eq!(t.checked_since(Time(20)), None);
+        assert_eq!(t.checked_since(Time(15)), Some(Dur::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "time overflow")]
+    fn time_add_overflow_panics() {
+        let _ = Time(u64::MAX) + Dur(1);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        assert_eq!(Time(u64::MAX).saturating_add(Dur(5)), Time(u64::MAX));
+    }
+
+    #[test]
+    fn class_index_matches_paper_intervals() {
+        // l ∈ (2^{i-1}, 2^i] ⇒ class i.
+        assert_eq!(Dur(1).class_index(), 0);
+        assert_eq!(Dur(2).class_index(), 1);
+        assert_eq!(Dur(3).class_index(), 2);
+        assert_eq!(Dur(4).class_index(), 2);
+        assert_eq!(Dur(5).class_index(), 3);
+        assert_eq!(Dur(8).class_index(), 3);
+        assert_eq!(Dur(9).class_index(), 4);
+        assert_eq!(Dur(1 << 40).class_index(), 40);
+        assert_eq!(Dur((1 << 40) + 1).class_index(), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn class_index_rejects_zero() {
+        Dur::ZERO.class_index();
+    }
+
+    #[test]
+    fn pow2_durations() {
+        assert_eq!(Dur::pow2(0), Dur(1));
+        assert_eq!(Dur::pow2(10), Dur(1024));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time(7).to_string(), "t7");
+        assert_eq!(Dur(7).to_string(), "7Δ");
+    }
+
+    #[test]
+    fn class_index_boundary_exact_powers() {
+        for i in 1..63u32 {
+            assert_eq!(Dur(1u64 << i).class_index(), i, "2^{i} must be class {i}");
+            assert_eq!(
+                Dur((1u64 << i) + 1).class_index(),
+                i + 1,
+                "2^{i}+1 must be class {}",
+                i + 1
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Structured event traces of packing runs.
+//!
+//! A [`TraceRecorder`] wraps any [`OnlineAlgorithm`] and records every
+//! decision the wrapped algorithm makes — which bin each item went to,
+//! whether the bin was fresh, the bin's load after placement, and bin
+//! closures. Traces power the figure renderers, debugging sessions
+//! ("why did HA open bin 7?") and regression tests that pin down exact
+//! decision sequences.
+
+use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
+use crate::bin_state::BinId;
+use crate::item::{Item, ItemId};
+use crate::size::Size;
+use crate::time::Time;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An item was placed.
+    Placed {
+        /// The item.
+        item: ItemId,
+        /// Its arrival time (the decision moment).
+        at: Time,
+        /// Chosen bin.
+        bin: BinId,
+        /// Whether the placement opened the bin.
+        opened: bool,
+        /// Item size, for load reconstruction.
+        size: Size,
+    },
+    /// An item departed.
+    Departed {
+        /// The item.
+        item: ItemId,
+        /// The bin it left.
+        bin: BinId,
+        /// Whether the departure closed the bin.
+        closed: bool,
+    },
+}
+
+/// Wraps an algorithm and records its decisions.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<A> {
+    inner: A,
+    events: Vec<TraceEvent>,
+}
+
+impl<A: OnlineAlgorithm> TraceRecorder<A> {
+    /// Wraps `inner`.
+    pub fn new(inner: A) -> TraceRecorder<A> {
+        TraceRecorder {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Consumes the recorder, returning the event log.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of placements that opened a bin.
+    pub fn bins_opened(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Placed { opened: true, .. }))
+            .count()
+    }
+
+    /// Renders a compact textual transcript.
+    pub fn transcript(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Placed {
+                    item,
+                    at,
+                    bin,
+                    opened,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "{at}: {item} -> {bin}{}\n",
+                        if *opened { " (new)" } else { "" }
+                    ));
+                }
+                TraceEvent::Departed { item, bin, closed } => {
+                    out.push_str(&format!(
+                        "      {item} leaves {bin}{}\n",
+                        if *closed { " (closed)" } else { "" }
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<A: OnlineAlgorithm> OnlineAlgorithm for TraceRecorder<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        let placement = self.inner.on_arrival(view, item);
+        let (bin, opened) = match placement {
+            Placement::Existing(b) => (b, false),
+            Placement::OpenNew => (view.next_bin_id(), true),
+        };
+        self.events.push(TraceEvent::Placed {
+            item: item.id,
+            at: item.arrival,
+            bin,
+            opened,
+            size: item.size,
+        });
+        placement
+    }
+
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
+        self.events.push(TraceEvent::Departed {
+            item: item.id,
+            bin,
+            closed: bin_closed,
+        });
+        self.inner.on_departure(item, bin, bin_closed);
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::instance::Instance;
+    use crate::time::Dur;
+
+    struct Ff;
+    impl OnlineAlgorithm for Ff {
+        fn name(&self) -> &str {
+            "ff"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn records_placements_and_departures_in_order() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 2)),
+            (Time(1), Dur(1), sz(1, 2)),
+            (Time(3), Dur(2), sz(1, 1)),
+        ])
+        .unwrap();
+        let mut rec = TraceRecorder::new(Ff);
+        let res = engine::run(&inst, &mut rec).unwrap();
+        assert_eq!(rec.bins_opened(), res.bins_opened);
+        let events = rec.events();
+        assert_eq!(events.len(), 6, "3 placements + 3 departures");
+        assert!(matches!(
+            events[0],
+            TraceEvent::Placed {
+                opened: true,
+                bin: BinId(0),
+                at: Time(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            TraceEvent::Placed {
+                opened: false,
+                bin: BinId(0),
+                ..
+            }
+        ));
+        // The full-size item at t=3 needs a new bin (bin 0 still holds r0).
+        assert!(matches!(
+            events[3],
+            TraceEvent::Placed {
+                opened: true,
+                bin: BinId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn transcript_is_readable() {
+        let inst = Instance::from_triples([(Time(2), Dur(3), sz(1, 2))]).unwrap();
+        let mut rec = TraceRecorder::new(Ff);
+        let _ = engine::run(&inst, &mut rec).unwrap();
+        let t = rec.transcript();
+        assert!(t.contains("t2: r0 -> b0 (new)"));
+        assert!(t.contains("r0 leaves b0 (closed)"));
+    }
+
+    #[test]
+    fn reset_clears_the_log() {
+        let inst = Instance::from_triples([(Time(0), Dur(1), sz(1, 2))]).unwrap();
+        let mut rec = TraceRecorder::new(Ff);
+        let _ = engine::run(&inst, &mut rec).unwrap();
+        assert!(!rec.events().is_empty());
+        rec.reset();
+        assert!(rec.events().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the exact-arithmetic layer: fixed-point sizes,
+//! loads, areas and the threshold comparisons every algorithm depends on.
+
+use dbp_core::{Area, Dur, Load, Size, SIZE_SCALE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `from_ratio` is monotone and exactly bounded: n/d ≤ 1 maps into
+    /// [0, SCALE], and k·(1/k) never exceeds one bin.
+    #[test]
+    fn ratio_construction_sound(n in 0u64..=1000, d in 1u64..=1000) {
+        prop_assume!(n <= d);
+        let s = Size::from_ratio(n, d);
+        prop_assert!(s.raw() <= SIZE_SCALE);
+        // Exactness bound: raw is the floor of n·SCALE/d.
+        let exact = (n as u128 * SIZE_SCALE as u128) / d as u128;
+        prop_assert_eq!(s.raw() as u128, exact);
+    }
+
+    /// k copies of 1/k always fit one bin (floor rounding can only help).
+    #[test]
+    fn k_times_one_over_k_fits(k in 1u64..=100_000) {
+        let s = Size::from_ratio(1, k);
+        let mut load = Load::ZERO;
+        for _ in 0..k {
+            prop_assert!(load.fits(s), "overflow before k copies");
+            load += s;
+        }
+        prop_assert!(load.raw() <= SIZE_SCALE);
+    }
+
+    /// Load add/sub round-trips exactly in any order.
+    #[test]
+    fn load_addsub_roundtrip(sizes in prop::collection::vec(1u64..=SIZE_SCALE, 1..20)) {
+        let sizes: Vec<Size> = sizes.into_iter().map(Size::from_raw).collect();
+        let mut load = Load::ZERO;
+        for &s in &sizes {
+            load += s;
+        }
+        let total: u64 = sizes.iter().map(|s| s.raw()).sum();
+        prop_assert_eq!(load.raw(), total);
+        let mut rev = sizes.clone();
+        rev.reverse();
+        for &s in &rev {
+            load -= s;
+        }
+        prop_assert!(load.is_zero());
+    }
+
+    /// `exceeds_ratio` agrees with exact rational comparison.
+    #[test]
+    fn exceeds_ratio_exact(raw in 0u64..=2 * SIZE_SCALE, num in 0u64..=100, den in 1u64..=100) {
+        let load = Load::from_raw(raw);
+        let lhs = raw as u128 * den as u128;
+        let rhs = num as u128 * SIZE_SCALE as u128;
+        prop_assert_eq!(load.exceeds_ratio(num, den), lhs > rhs);
+    }
+
+    /// `ceil_bins` is the true ceiling.
+    #[test]
+    fn ceil_bins_is_ceiling(raw in 0u64..=(10 * SIZE_SCALE)) {
+        let c = Load::from_raw(raw).ceil_bins();
+        prop_assert!(c as u128 * SIZE_SCALE as u128 >= raw as u128);
+        if c > 0 {
+            prop_assert!(((c - 1) as u128 * SIZE_SCALE as u128) < raw as u128);
+        }
+    }
+
+    /// Area arithmetic: sums match independent u128 accounting; ratios are
+    /// consistent with raw division.
+    #[test]
+    fn area_sums_and_ratios(parts in prop::collection::vec((0u64..1_000, 0u64..1_000), 1..20)) {
+        let total: Area = parts
+            .iter()
+            .map(|&(bins, ticks)| Area::from_bins_ticks(bins, Dur(ticks)))
+            .sum();
+        let expected: u128 = parts
+            .iter()
+            .map(|&(bins, ticks)| bins as u128 * ticks as u128 * SIZE_SCALE as u128)
+            .sum();
+        prop_assert_eq!(total.raw(), expected);
+        if expected > 0 {
+            prop_assert!((total.ratio_to(total) - 1.0).abs() < 1e-12);
+            prop_assert_eq!(total.scale(3).raw(), expected * 3);
+        }
+    }
+
+    /// Duration class boundaries: `class_index` inverts `(2^{i-1}, 2^i]`.
+    #[test]
+    fn class_index_inverts_intervals(l in 1u64..=(1u64 << 40)) {
+        let i = Dur(l).class_index();
+        if i == 0 {
+            prop_assert_eq!(l, 1);
+        } else {
+            prop_assert!(l > (1u64 << (i - 1)));
+            prop_assert!(l <= (1u64 << i));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests on the core substrate: arithmetic, profiles, the
+//! engine's accounting, and the reduction — independent of any concrete
+//! packing algorithm (First-Fit here is just a driver).
+
+use dbp_core::{
+    audit, engine, reduce, Dur, Instance, InstanceBuilder, Item, LowerBounds, OnlineAlgorithm,
+    Placement, SimView, Size, Time, TraceEvent, TraceRecorder,
+};
+use proptest::prelude::*;
+
+struct Ff;
+impl OnlineAlgorithm for Ff {
+    fn name(&self) -> &str {
+        "ff"
+    }
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        match view.first_fit(item.size) {
+            Some(b) => Placement::Existing(b),
+            None => Placement::OpenNew,
+        }
+    }
+    fn reset(&mut self) {}
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0u64..128, 1u64..=32, 1u64..=99), 1..=50).prop_map(|v| {
+        let mut b = InstanceBuilder::with_capacity(v.len());
+        for (t, d, s) in v {
+            b.push(Time(t), Dur(d), Size::from_ratio(s, 100));
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Three independent cost accountings agree; audit validates.
+    #[test]
+    fn cost_accountings_agree(inst in arb_instance()) {
+        let res = engine::run(&inst, Ff).expect("ff legal");
+        prop_assert_eq!(res.cost_from_timeline(), res.cost);
+        let report = audit(&inst, &res.assignment).expect("valid");
+        prop_assert_eq!(report.cost, res.cost);
+        prop_assert_eq!(report.bins_used, res.bins_opened);
+        prop_assert_eq!(report.max_open, res.max_open);
+    }
+
+    /// The engine's per-bin intervals partition the cost exactly.
+    #[test]
+    fn bin_intervals_sum_to_cost(inst in arb_instance()) {
+        let res = engine::run(&inst, Ff).expect("ff legal");
+        let sum: u64 = res
+            .bin_intervals
+            .iter()
+            .map(|&(open, close)| close.since(open).ticks())
+            .sum();
+        prop_assert_eq!(
+            dbp_core::Area::from_bin_ticks(Dur(sum)),
+            res.cost
+        );
+        // Bin opening times are non-decreasing in BinId (allocation order).
+        for w in res.bin_intervals.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// Lower bounds are each ≤ any feasible cost; their max too.
+    #[test]
+    fn lower_bounds_never_exceed_feasible_cost(inst in arb_instance()) {
+        let res = engine::run(&inst, Ff).expect("ff legal");
+        let lb = LowerBounds::of(&inst);
+        prop_assert!(lb.span <= res.cost);
+        prop_assert!(lb.demand <= res.cost);
+        prop_assert!(lb.ceil_integral <= res.cost);
+    }
+
+    /// The trace recorder is a faithful observer: it never changes the
+    /// wrapped algorithm's decisions, and its log reconstructs the
+    /// assignment.
+    #[test]
+    fn trace_recorder_is_transparent(inst in arb_instance()) {
+        let plain = engine::run(&inst, Ff).expect("legal");
+        let mut rec = TraceRecorder::new(Ff);
+        let traced = engine::run(&inst, &mut rec).expect("legal");
+        prop_assert_eq!(&plain.assignment, &traced.assignment);
+        prop_assert_eq!(plain.cost, traced.cost);
+        // Reconstruct assignment from the trace.
+        for e in rec.events() {
+            if let TraceEvent::Placed { item, bin, .. } = e {
+                prop_assert_eq!(traced.assignment[item.index()], *bin);
+            }
+        }
+        prop_assert_eq!(rec.bins_opened(), traced.bins_opened);
+    }
+
+    /// Reduced departures land on the original item's class grid: for an
+    /// item of duration class `i`, the new departure is `(c+1)·2^i` — a
+    /// multiple of `2^i` strictly after the arrival window. (Note the
+    /// reduction is *not* idempotent: stretching can push an item into a
+    /// higher class, so a second application may stretch again.)
+    #[test]
+    fn reduction_lands_on_class_grid(inst in arb_instance()) {
+        let red = reduce(&inst);
+        for (orig, new) in inst.items().iter().zip(red.items()) {
+            let w = 1u64 << orig.class_index();
+            prop_assert_eq!(new.departure.ticks() % w, 0);
+            prop_assert!(new.departure.ticks() > orig.arrival.ticks());
+            prop_assert!(new.departure.ticks() <= orig.arrival.ticks() + 2 * w);
+        }
+    }
+
+    /// The momentary ratio is at least 1 and at least the average ratio is
+    /// well-defined & finite for non-empty instances.
+    #[test]
+    fn metrics_well_defined(inst in arb_instance()) {
+        let res = engine::run(&inst, Ff).expect("legal");
+        let goals = dbp_core::compare_goals(&inst, &res);
+        prop_assert!(goals.momentary >= 1.0);
+        prop_assert!(goals.usage_time.is_finite());
+        prop_assert!(goals.usage_time >= 0.99, "FF can't beat the ceil bound");
+        let u = dbp_core::utilisation(&inst, &res);
+        prop_assert!(u.volume_utilisation > 0.0 && u.volume_utilisation <= 1.0);
+        prop_assert!(u.peak_open_bins >= 1);
+        // Mediant inequality: the pointwise max ratio dominates the
+        // integral ratio (both against ⌈S_t⌉).
+        prop_assert!(goals.momentary >= goals.usage_time - 1e-9);
+    }
+
+    /// `split_busy_periods` partitions items and preserves per-item data.
+    #[test]
+    fn busy_period_partition(inst in arb_instance()) {
+        let parts = inst.split_busy_periods();
+        let total: usize = parts.iter().map(Instance::len).sum();
+        prop_assert_eq!(total, inst.len());
+        // Periods are disjoint and ordered.
+        for w in parts.windows(2) {
+            let end = w[0].end().expect("non-empty");
+            let start = w[1].start().expect("non-empty");
+            prop_assert!(end < start, "periods must be separated by a gap");
+        }
+        // Span is additive across periods.
+        let span_sum: u64 = parts.iter().map(|p| p.span_dur().ticks()).sum();
+        prop_assert_eq!(span_sum, inst.span_dur().ticks());
+    }
+}

@@ -1,0 +1,148 @@
+//! Random aligned-input generators (paper, Definition 2.1).
+//!
+//! An aligned input restricts items of duration class `i` (length in
+//! `(2^{i-1}, 2^i]`) to arrive at multiples of `2^i`. The generator fills a
+//! horizon of `μ = 2^n` ticks with random aligned items: class drawn from a
+//! configurable distribution, arrival slot uniform among legal multiples,
+//! sizes uniform in a configurable range. To exercise the exact aligned
+//! semantics we draw durations as exact powers of two by default, with an
+//! option for off-power lengths inside each class (still aligned).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Parameters for [`random_aligned`].
+#[derive(Debug, Clone)]
+pub struct AlignedConfig {
+    /// Horizon exponent: arrivals fall in `[0, 2^n)`.
+    pub n: u32,
+    /// Number of items to draw.
+    pub items: usize,
+    /// Size range `(min_num, max_num, den)`: sizes uniform in
+    /// `{min_num/den, …, max_num/den}`.
+    pub size_range: (u64, u64, u64),
+    /// Whether to draw off-power durations within each class (lengths in
+    /// `(2^{i-1}, 2^i]` rather than exactly `2^i`).
+    pub off_power_durations: bool,
+    /// Force one item of the maximal class at time 0 (the paper's
+    /// normalised form; keeps μ exact and the segment structure trivial).
+    pub anchor_at_origin: bool,
+}
+
+impl AlignedConfig {
+    /// Reasonable defaults for a horizon of `2^n` ticks.
+    pub fn new(n: u32, items: usize) -> AlignedConfig {
+        AlignedConfig {
+            n,
+            items,
+            size_range: (1, 40, 100),
+            off_power_durations: false,
+            anchor_at_origin: true,
+        }
+    }
+}
+
+/// Draws a random aligned instance.
+pub fn random_aligned(config: &AlignedConfig, seed: u64) -> Instance {
+    assert!(
+        config.n >= 1 && config.n <= 40,
+        "horizon exponent out of range"
+    );
+    assert!(config.size_range.0 >= 1, "zero sizes are invalid");
+    assert!(
+        config.size_range.0 <= config.size_range.1 && config.size_range.1 <= config.size_range.2,
+        "invalid size range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.n;
+    let mut b = InstanceBuilder::with_capacity(config.items + 1);
+
+    if config.anchor_at_origin {
+        let size = draw_size(&mut rng, config);
+        b.push(Time(0), Dur(1u64 << n), size);
+    }
+
+    for _ in 0..config.items {
+        // Class: uniform over 0..=n-1 for bulk items (class n reserved for
+        // the anchor so every item fits the horizon).
+        let i = rng.gen_range(0..n);
+        let w = 1u64 << i;
+        // Arrival: a multiple c·2^i with room for the item inside [0, 2^n).
+        let slots = (1u64 << n) / w;
+        let slot = rng.gen_range(0..slots);
+        let arrival = slot * w;
+        let dur = if config.off_power_durations && i > 0 {
+            // Any length in (2^{i-1}, 2^i].
+            rng.gen_range((w / 2 + 1)..=w)
+        } else {
+            w
+        };
+        b.push(Time(arrival), Dur(dur), draw_size(&mut rng, config));
+    }
+    b.build().expect("generated aligned items are valid")
+}
+
+fn draw_size(rng: &mut StdRng, config: &AlignedConfig) -> Size {
+    let (lo, hi, den) = config.size_range;
+    Size::from_ratio(rng.gen_range(lo..=hi), den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_inputs_are_aligned() {
+        for seed in 0..10 {
+            let inst = random_aligned(&AlignedConfig::new(8, 300), seed);
+            assert!(inst.is_aligned(), "seed {seed} produced misaligned input");
+            assert_eq!(inst.len(), 301);
+        }
+    }
+
+    #[test]
+    fn off_power_durations_stay_aligned() {
+        let mut cfg = AlignedConfig::new(8, 300);
+        cfg.off_power_durations = true;
+        for seed in 0..10 {
+            let inst = random_aligned(&cfg, seed);
+            assert!(inst.is_aligned(), "seed {seed} misaligned");
+        }
+    }
+
+    #[test]
+    fn anchor_pins_mu() {
+        let inst = random_aligned(&AlignedConfig::new(6, 100), 7);
+        assert_eq!(inst.max_duration(), Dur(64));
+        assert_eq!(inst.items()[0].arrival, Time(0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = AlignedConfig::new(7, 50);
+        let a = random_aligned(&cfg, 42);
+        let b = random_aligned(&cfg, 42);
+        assert_eq!(a, b);
+        let c = random_aligned(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn everything_fits_horizon() {
+        let inst = random_aligned(&AlignedConfig::new(7, 500), 3);
+        let horizon = Time(1 << 7);
+        assert!(inst.items().iter().all(|it| it.departure <= horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size range")]
+    fn size_range_validated() {
+        let mut cfg = AlignedConfig::new(5, 1);
+        cfg.size_range = (5, 3, 10);
+        random_aligned(&cfg, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Binary inputs σ_μ (paper, Definition 5.2).
+//!
+//! For `μ = 2^n`: for every `i ∈ {0, …, n}`, an item of duration `2^i`
+//! arrives at each of the times `0·2^i, 1·2^i, …, (μ/2^i − 1)·2^i`. Binary
+//! inputs are the *worst case* for CDFF among aligned inputs (the proof of
+//! Theorem 5.1 charges every aligned input against σ_μ), and their analysis
+//! is what connects the problem to runs of zeros in binary counters.
+//!
+//! Load convention: the paper assigns every item load `1/log μ`, but at any
+//! moment exactly `log μ + 1` items are active (one per length — see
+//! Lemma 5.5's bijection onto the bits of `1‖binary(t)`), so for the
+//! intended packing (all concurrent items fit in one bin when
+//! `binary(t) = 1…1`) the load must be at most `1/(log μ + 1)`. We default
+//! to exactly that and expose the knob for experiments that want heavier
+//! binary inputs.
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Generates σ_μ for `μ = 2^n` with the default load `1/(n+1)`.
+///
+/// ```
+/// use dbp_workloads::sigma_mu;
+/// let inst = sigma_mu(3); // the paper's σ_8 (Figures 2–3)
+/// assert_eq!(inst.len(), 15);
+/// assert!(inst.is_aligned());
+/// assert_eq!(inst.mu(), Some(8.0));
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0` or `n > 40` (tick-grid guard).
+pub fn sigma_mu(n: u32) -> Instance {
+    sigma_mu_with_load(n, Size::from_ratio(1, n as u64 + 1))
+}
+
+/// Generates σ_μ for `μ = 2^n` with a custom per-item load.
+pub fn sigma_mu_with_load(n: u32, load: Size) -> Instance {
+    assert!(n >= 1, "μ must be at least 2");
+    assert!(n <= 40, "μ = 2^{n} exceeds the supported tick range");
+    let mu = 1u64 << n;
+    // At every time t, the arriving items are lengths 2^0..2^{k} where k is
+    // the number of trailing zeros of t (all lengths at t = 0). Arrival
+    // order at a moment: longest first (matches the paper's figures; the
+    // row structure is insensitive to this order since every arriving class
+    // lands in a distinct row).
+    let mut b = InstanceBuilder::with_capacity(2 * mu as usize);
+    for t in 0..mu {
+        let k = if t == 0 { n } else { t.trailing_zeros().min(n) };
+        for i in (0..=k).rev() {
+            b.push(Time(t), Dur(1u64 << i), load);
+        }
+    }
+    b.build().expect("σ_μ is always valid")
+}
+
+/// Number of items in σ_μ without generating it: `Σ_{i=0}^{n} μ/2^i = 2μ−1`.
+pub fn sigma_mu_len(n: u32) -> u64 {
+    let mu = 1u64 << n;
+    2 * mu - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_8_shape() {
+        let inst = sigma_mu(3);
+        // 8 + 4 + 2 + 1 = 15 items.
+        assert_eq!(inst.len(), 15);
+        assert_eq!(inst.len() as u64, sigma_mu_len(3));
+        assert_eq!(inst.mu(), Some(8.0));
+        assert!(inst.is_aligned());
+        // Span is exactly μ (item of length μ at time 0; everything within).
+        assert_eq!(inst.span_dur(), Dur(8));
+    }
+
+    #[test]
+    fn arrivals_per_moment_match_observation_3() {
+        // Observation 3: #arrivals at t = 1 + (trailing zeros of binary(t)),
+        // over the n-bit counter (t=0 ⇒ all n bits zero ⇒ n+1 arrivals).
+        let n = 5u32;
+        let inst = sigma_mu(n);
+        let mut counts = vec![0u32; 1 << n];
+        for it in inst.items() {
+            counts[it.arrival.ticks() as usize] += 1;
+        }
+        for (t, &c) in counts.iter().enumerate() {
+            let expected = if t == 0 {
+                n + 1
+            } else {
+                (t as u64).trailing_zeros() + 1
+            };
+            assert_eq!(c, expected, "arrivals at t={t}");
+        }
+    }
+
+    #[test]
+    fn one_item_of_every_length_active_at_every_moment() {
+        // Lemma 5.5's bijection needs: at each t, for each i ≤ n, exactly
+        // one length-2^i item is active.
+        let n = 4u32;
+        let inst = sigma_mu(n);
+        for t in 0..(1u64 << n) {
+            for i in 0..=n {
+                let active = inst
+                    .items()
+                    .iter()
+                    .filter(|it| it.duration() == Dur(1 << i) && it.active_at(Time(t)))
+                    .count();
+                assert_eq!(active, 1, "t={t}, length 2^{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_load_fits_one_bin_at_full_counter() {
+        let n = 4u32;
+        let inst = sigma_mu(n);
+        let profile = inst.load_profile();
+        // At t = μ−1 all n+1 active items must fit one bin.
+        let l = profile.load_at(Time((1 << n) - 1));
+        assert!(l.raw() <= dbp_core::size::SIZE_SCALE);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_mu_one() {
+        sigma_mu(0);
+    }
+
+    #[test]
+    fn custom_load_respected() {
+        let inst = sigma_mu_with_load(2, Size::from_ratio(1, 2));
+        assert!(inst
+            .items()
+            .iter()
+            .all(|it| it.size == Size::from_ratio(1, 2)));
+    }
+}

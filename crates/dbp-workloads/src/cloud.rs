@@ -1,0 +1,136 @@
+//! Synthetic cloud-gaming traces.
+//!
+//! The paper motivates clairvoyance with cloud gaming: "the users'
+//! server-time requests can be accurately predicted upon their arrival"
+//! (Li et al., TCSVT 2015). Real traces are proprietary, so we synthesise
+//! sessions with the two properties every bound in the paper depends on —
+//! a controlled duration spread `μ` and a controlled load level:
+//!
+//! * arrivals follow a day/night intensity pattern (sinusoidal Poisson
+//!   thinning) — bursts exercise simultaneous-arrival packing;
+//! * durations are a mixture of short matches and long sessions
+//!   (bimodal, the worst regime for duration classification);
+//! * sizes are discrete bandwidth tiers (1/8, 1/4, 1/2), like fixed
+//!   streaming quality levels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Parameters of the cloud-gaming trace synthesiser.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Horizon in ticks over which arrivals spread.
+    pub horizon: u64,
+    /// Mean duration of a short match, in ticks.
+    pub match_len: u64,
+    /// Mean duration of a long session, in ticks.
+    pub session_len: u64,
+    /// Probability a session is a long one (in percent, 0–100).
+    pub long_pct: u32,
+}
+
+impl CloudConfig {
+    /// Defaults: 30-tick matches, 480-tick marathons, 20% long.
+    pub fn new(sessions: usize, horizon: u64) -> CloudConfig {
+        CloudConfig {
+            sessions,
+            horizon,
+            match_len: 30,
+            session_len: 480,
+            long_pct: 20,
+        }
+    }
+}
+
+/// Bandwidth tiers (fractions of a server).
+const TIERS: [(u64, u64); 3] = [(1, 8), (1, 4), (1, 2)];
+
+/// Synthesises a cloud-gaming trace.
+pub fn cloud_trace(config: &CloudConfig, seed: u64) -> Instance {
+    assert!(config.horizon >= 1, "empty horizon");
+    assert!(config.long_pct <= 100, "percentage out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        // Day/night thinning: accept arrival times with probability
+        // following 0.25 + 0.75·sin²(πt/horizon) — denser mid-horizon.
+        let t = loop {
+            let cand = rng.gen_range(0..config.horizon);
+            let phase = std::f64::consts::PI * cand as f64 / config.horizon as f64;
+            let intensity = 0.25 + 0.75 * phase.sin().powi(2);
+            if rng.gen_bool(intensity) {
+                break cand;
+            }
+        };
+        let long = rng.gen_range(0..100) < config.long_pct;
+        let mean = if long {
+            config.session_len
+        } else {
+            config.match_len
+        };
+        // Geometric around the mean, at least 1 tick.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dur = ((-(mean as f64) * u.ln()).round() as u64).max(1);
+        let (num, den) = TIERS[rng.gen_range(0..TIERS.len())];
+        b.push(Time(t), Dur(dur), Size::from_ratio(num, den));
+    }
+    b.build().expect("trace items are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_bimodal_durations() {
+        let cfg = CloudConfig::new(4000, 10_000);
+        let inst = cloud_trace(&cfg, 5);
+        let long = inst
+            .items()
+            .iter()
+            .filter(|i| i.duration().ticks() > 200)
+            .count();
+        let short = inst
+            .items()
+            .iter()
+            .filter(|i| i.duration().ticks() <= 60)
+            .count();
+        assert!(long > 200, "long sessions missing ({long})");
+        assert!(short > 1500, "short matches missing ({short})");
+    }
+
+    #[test]
+    fn sizes_are_tiered() {
+        let inst = cloud_trace(&CloudConfig::new(500, 1000), 6);
+        for it in inst.items() {
+            let s = it.size;
+            assert!(
+                TIERS.iter().any(|&(n, d)| s == Size::from_ratio(n, d)),
+                "unexpected size {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_respect_horizon_and_determinism() {
+        let cfg = CloudConfig::new(300, 2000);
+        let a = cloud_trace(&cfg, 11);
+        assert!(a.items().iter().all(|i| i.arrival.ticks() < 2000));
+        assert_eq!(a, cloud_trace(&cfg, 11));
+    }
+
+    #[test]
+    fn clairvoyant_algorithms_run_cleanly_on_traces() {
+        use dbp_core::engine;
+        let inst = cloud_trace(&CloudConfig::new(1000, 5000), 7);
+        let res = engine::run(&inst, dbp_algos::HybridAlgorithm::new()).unwrap();
+        let audit = dbp_core::assignment::audit(&inst, &res.assignment).unwrap();
+        assert_eq!(audit.cost, res.cost);
+    }
+}

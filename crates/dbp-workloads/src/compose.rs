@@ -1,0 +1,142 @@
+//! Instance composition: shift, concatenate and interleave workloads.
+//!
+//! Experiments often need structured combinations — a binary input
+//! followed by an adversarial burst, two cloud days back to back, a
+//! benign trace with a pathology spliced into its middle. These operators
+//! keep composition exact (pure tick arithmetic) and validated.
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::time::Dur;
+
+/// Returns `instance` with every arrival shifted `offset` ticks later.
+pub fn shift(instance: &Instance, offset: Dur) -> Instance {
+    let mut b = InstanceBuilder::with_capacity(instance.len());
+    for it in instance.items() {
+        b.push(it.arrival + offset, it.duration(), it.size);
+    }
+    b.build().expect("shifting preserves validity")
+}
+
+/// Merges two instances on a shared time axis (items interleave by
+/// arrival; ties keep `a`'s items first).
+pub fn overlay(a: &Instance, b: &Instance) -> Instance {
+    let mut builder = InstanceBuilder::with_capacity(a.len() + b.len());
+    for it in a.items() {
+        builder.push(it.arrival, it.duration(), it.size);
+    }
+    for it in b.items() {
+        builder.push(it.arrival, it.duration(), it.size);
+    }
+    builder.build().expect("overlay preserves validity")
+}
+
+/// Concatenates `b` after `a` with a `gap` of idle ticks between `a`'s
+/// end and `b`'s (shifted) start.
+///
+/// ```
+/// use dbp_workloads::compose::concat;
+/// use dbp_workloads::sigma_mu;
+/// use dbp_core::Dur;
+///
+/// // A binary input followed by another, separated by an idle gap.
+/// let twice = concat(&sigma_mu(3), &sigma_mu(3), Dur(4));
+/// assert_eq!(twice.len(), 30);
+/// assert_eq!(twice.split_busy_periods().len(), 2);
+/// ```
+pub fn concat(a: &Instance, b: &Instance, gap: Dur) -> Instance {
+    let offset = match (a.end(), b.start()) {
+        (Some(end), Some(start)) => {
+            let target = end + gap;
+            Dur(target.ticks().saturating_sub(start.ticks()))
+        }
+        _ => Dur::ZERO,
+    };
+    overlay(a, &shift(b, offset))
+}
+
+/// Repeats an instance `times` times, each copy separated by `gap`.
+pub fn repeat(instance: &Instance, times: usize, gap: Dur) -> Instance {
+    assert!(times >= 1, "need at least one copy");
+    let mut out = instance.clone();
+    for _ in 1..times {
+        out = concat(&out, instance, gap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::size::Size;
+    use dbp_core::time::Time;
+
+    fn inst(triples: &[(u64, u64)]) -> Instance {
+        Instance::from_triples(
+            triples
+                .iter()
+                .map(|&(a, d)| (Time(a), Dur(d), Size::from_ratio(1, 2))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shift_moves_everything() {
+        let s = shift(&inst(&[(0, 4), (2, 2)]), Dur(10));
+        assert_eq!(s.start(), Some(Time(10)));
+        assert_eq!(s.end(), Some(Time(14)));
+        assert_eq!(s.span_dur(), Dur(4));
+    }
+
+    #[test]
+    fn overlay_merges_and_sorts() {
+        let o = overlay(&inst(&[(5, 1)]), &inst(&[(0, 1), (5, 2)]));
+        assert_eq!(o.len(), 3);
+        let arrivals: Vec<u64> = o.items().iter().map(|i| i.arrival.ticks()).collect();
+        assert_eq!(arrivals, [0, 5, 5]);
+        // Tie at t=5 keeps `a`'s item (duration 1) first.
+        assert_eq!(o.items()[1].duration(), Dur(1));
+    }
+
+    #[test]
+    fn concat_separates_by_gap() {
+        let c = concat(&inst(&[(0, 4)]), &inst(&[(0, 2)]), Dur(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.items()[1].arrival, Time(7));
+        // Span = 4 + 2; the gap is not busy time.
+        assert_eq!(c.span_dur(), Dur(6));
+        let parts = c.split_busy_periods();
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn concat_never_overlaps_even_for_late_starting_b() {
+        // b starts at t=100 already: concat must not move it earlier than
+        // a.end() + gap, and with the saturating shift it stays put.
+        let c = concat(&inst(&[(0, 4)]), &inst(&[(100, 2)]), Dur(1));
+        assert_eq!(c.items()[1].arrival, Time(100));
+    }
+
+    #[test]
+    fn repeat_scales_demand_linearly() {
+        let base = inst(&[(0, 4), (1, 2)]);
+        let r = repeat(&base, 3, Dur(5));
+        assert_eq!(r.len(), 6, "3 copies × 2 items");
+        assert_eq!(r.demand().raw(), base.demand().raw() * 3);
+        assert_eq!(r.span_dur().ticks(), base.span_dur().ticks() * 3);
+        assert_eq!(r.split_busy_periods().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn repeat_zero_rejected() {
+        repeat(&inst(&[(0, 1)]), 0, Dur(1));
+    }
+
+    #[test]
+    fn composition_preserves_mu_of_union() {
+        let a = inst(&[(0, 1)]);
+        let b = inst(&[(0, 16)]);
+        assert_eq!(overlay(&a, &b).mu(), Some(16.0));
+        assert_eq!(concat(&a, &b, Dur(2)).mu(), Some(16.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Bounded-parallelism interval scheduling (Shalom et al., TCS 2014).
+//!
+//! The related problem the paper compares against: interval jobs arrive
+//! online and are assigned to machines that each run at most `g` jobs
+//! simultaneously, minimising total machine busy time. It is exactly
+//! MinUsageTime DBP restricted to uniform sizes `1/g`, so this module is a
+//! thin generator layer: any instance it produces can be fed to every
+//! algorithm in the suite, and `g`-machine busy time equals our usage-time
+//! cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Parameters for [`g_parallel_random`].
+#[derive(Debug, Clone)]
+pub struct GParallelConfig {
+    /// Machine parallelism bound (every job has size `1/g`).
+    pub g: u64,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Arrival window `[0, window)` in ticks.
+    pub window: u64,
+    /// Duration range `[min, max]` in ticks.
+    pub duration_range: (u64, u64),
+}
+
+impl GParallelConfig {
+    /// Defaults over a window of `window` ticks.
+    pub fn new(g: u64, jobs: usize, window: u64) -> GParallelConfig {
+        GParallelConfig {
+            g,
+            jobs,
+            window,
+            duration_range: (1, window.max(2) / 2),
+        }
+    }
+}
+
+/// Draws a uniform-size instance modelling `g`-bounded interval scheduling.
+pub fn g_parallel_random(config: &GParallelConfig, seed: u64) -> Instance {
+    assert!(config.g >= 1, "parallelism must be positive");
+    let (dmin, dmax) = config.duration_range;
+    assert!(dmin >= 1 && dmin <= dmax, "invalid duration range");
+    let size = Size::from_ratio(1, config.g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::with_capacity(config.jobs);
+    for _ in 0..config.jobs {
+        let t = rng.gen_range(0..config.window.max(1));
+        let d = rng.gen_range(dmin..=dmax);
+        b.push(Time(t), Dur(d), size);
+    }
+    b.build().expect("jobs are valid")
+}
+
+/// The worst-case instance from Shalom et al.'s lower bound intuition:
+/// `g` "staircase" jobs per level with nested departure times, forcing
+/// size-oblivious packers to keep machines open for stragglers.
+pub fn g_parallel_staircase(g: u64, levels: u32) -> Instance {
+    assert!(g >= 2 && levels >= 1);
+    let size = Size::from_ratio(1, g);
+    let mut b = InstanceBuilder::new();
+    let base = 1u64 << levels;
+    for level in 0..levels as u64 {
+        // g jobs arrive at `level`, one of which survives to the horizon.
+        b.push(Time(level), Dur(base * 2 - level), size);
+        for _ in 1..g {
+            b.push(Time(level), Dur(1), size);
+        }
+    }
+    b.build().expect("staircase is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_algos::FirstFit;
+    use dbp_core::engine;
+
+    #[test]
+    fn all_jobs_have_size_one_over_g() {
+        let inst = g_parallel_random(&GParallelConfig::new(4, 200, 64), 1);
+        assert!(inst
+            .items()
+            .iter()
+            .all(|i| i.size == Size::from_ratio(1, 4)));
+    }
+
+    #[test]
+    fn g_jobs_share_one_machine() {
+        // g concurrent unit jobs must all fit one machine/bin.
+        let g = 5u64;
+        let mut b = InstanceBuilder::new();
+        for _ in 0..g {
+            b.push(Time(0), Dur(10), Size::from_ratio(1, g));
+        }
+        let inst = b.build().unwrap();
+        let res = engine::run(&inst, FirstFit::new()).unwrap();
+        assert_eq!(res.bins_opened, 1);
+        // One more job overflows to a second machine.
+        let mut b = InstanceBuilder::new();
+        for _ in 0..=g {
+            b.push(Time(0), Dur(10), Size::from_ratio(1, g));
+        }
+        let inst = b.build().unwrap();
+        let res = engine::run(&inst, FirstFit::new()).unwrap();
+        assert_eq!(res.bins_opened, 2);
+    }
+
+    #[test]
+    fn staircase_packs_validly_within_bracket() {
+        let inst = g_parallel_staircase(4, 4);
+        let res = engine::run(&inst, FirstFit::new()).unwrap();
+        let audit = dbp_core::assignment::audit(&inst, &res.assignment).unwrap();
+        assert_eq!(audit.cost, res.cost);
+        let bracket = dbp_core::bounds::OptBracket::of(&inst);
+        let (_, hi) = bracket.ratio_bracket(res.cost);
+        assert!(hi >= 1.0, "feasible cost below certified lower bound");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GParallelConfig::new(3, 100, 32);
+        assert_eq!(g_parallel_random(&cfg, 2), g_parallel_random(&cfg, 2));
+    }
+}

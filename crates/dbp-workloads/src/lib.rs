@@ -1,0 +1,47 @@
+//! # dbp-workloads
+//!
+//! Workload generators and adversaries for the Clairvoyant MinUsageTime
+//! DBP reproduction:
+//!
+//! * [`binary_input`] — σ_μ, the worst-case aligned input (Definition 5.2,
+//!   Figures 2–3);
+//! * [`aligned`] — random aligned inputs (Definition 2.1);
+//! * [`adversary`] — the adaptive Ω(√log μ) adversary (Theorem 4.3),
+//!   driving any [`dbp_core::OnlineAlgorithm`] interactively;
+//! * [`nonclairvoyant_lb`] — the Ω(μ) First-Fit pathology (fixed input);
+//! * [`nonclairvoyant_adversary`] — the Li et al. *adaptive* departure
+//!   adversary forcing Ω(μ) on ANY non-clairvoyant algorithm (Table 1
+//!   bottom row);
+//! * [`mod@random_general`] — Poisson/log-uniform/Pareto benign workloads;
+//! * [`cloud`] — synthetic cloud-gaming traces (the paper's motivating
+//!   application; substitution for proprietary traces, see DESIGN.md);
+//! * [`g_parallel`] — bounded-parallelism interval scheduling (Shalom et
+//!   al.), the uniform-size special case.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod aligned;
+pub mod binary_input;
+pub mod cloud;
+pub mod compose;
+pub mod g_parallel;
+pub mod nonclairvoyant_adversary;
+pub mod nonclairvoyant_lb;
+pub mod random_general;
+pub mod semi_aligned;
+pub mod sigma_star;
+pub mod trace_io;
+
+pub use adversary::{run_adversary, AdversaryConfig, AdversaryOutcome};
+pub use aligned::{random_aligned, AlignedConfig};
+pub use binary_input::{sigma_mu, sigma_mu_len, sigma_mu_with_load};
+pub use cloud::{cloud_trace, CloudConfig};
+pub use compose::{concat, overlay, repeat, shift};
+pub use g_parallel::{g_parallel_random, g_parallel_staircase, GParallelConfig};
+pub use nonclairvoyant_adversary::{run_nc_adversary, NcAdversaryOutcome};
+pub use nonclairvoyant_lb::{ff_pathology, ff_pathology_pow2};
+pub use random_general::{random_general, DurationDist, GeneralConfig};
+pub use semi_aligned::{measured_slack, semi_aligned, SemiAlignedConfig};
+pub use sigma_star::{ladder_train, sigma_star};
+pub use trace_io::{emit_trace, parse_trace, TraceParseError};

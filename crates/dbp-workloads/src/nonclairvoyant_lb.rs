@@ -1,0 +1,116 @@
+//! The non-clairvoyant Ω(μ) pathology (Table 1, bottom row).
+//!
+//! In the non-clairvoyant setting no deterministic algorithm beats
+//! `μ`-competitiveness (Li et al., SPAA 2014) and First-Fit achieves
+//! `μ + 4` (Tang et al., IPDPS 2016). This module builds the classic fixed
+//! input realizing the lower bound *against size-oblivious sequential
+//! packers like First-Fit*: `k` groups of `k` items of size `1/k` arrive
+//! back-to-back at time 0, so FF fills bins group by group; within each
+//! group exactly the first item is long-lived (duration `μ`), the rest
+//! depart after 1 tick. FF keeps all `k` bins open for `μ` ticks
+//! (cost ≈ k·μ) while the optimum co-locates the `k` long survivors in one
+//! bin (cost ≈ μ + k). With `k = μ` the ratio is `Θ(μ)`.
+//!
+//! A clairvoyant algorithm sees the durations and sidesteps the trap —
+//! which is exactly the separation the experiments demonstrate.
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Builds the FF pathology with `k` bins of `k` items each and long
+/// duration `mu` ticks (`μ` of the instance equals `mu` since the short
+/// items last 1 tick).
+///
+/// # Panics
+/// Panics if `k < 2` or `mu < 2`.
+pub fn ff_pathology(k: u64, mu: u64) -> Instance {
+    assert!(k >= 2, "need at least two groups");
+    assert!(mu >= 2, "long duration must exceed the short one");
+    let size = Size::from_ratio(1, k);
+    let mut b = InstanceBuilder::with_capacity((k * k) as usize);
+    for _group in 0..k {
+        b.push(Time(0), Dur(mu), size); // the survivor
+        for _ in 1..k {
+            b.push(Time(0), Dur(1), size); // fillers
+        }
+    }
+    b.build().expect("pathology instance is valid")
+}
+
+/// The pathology with the canonical coupling `k = μ = 2^n`.
+pub fn ff_pathology_pow2(n: u32) -> Instance {
+    assert!(
+        (1..=12).contains(&n),
+        "instance has 4^n items; n out of range"
+    );
+    let mu = 1u64 << n;
+    ff_pathology(mu, mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_algos::offline::opt_nr_bracket;
+    use dbp_algos::{FirstFit, HybridAlgorithm};
+    use dbp_core::engine;
+
+    #[test]
+    fn shape_and_mu() {
+        let inst = ff_pathology(4, 16);
+        assert_eq!(inst.len(), 16);
+        assert_eq!(inst.mu(), Some(16.0));
+    }
+
+    #[test]
+    fn ff_pays_k_bins_for_mu_ticks() {
+        let k = 8u64;
+        let mu = 64u64;
+        let inst = ff_pathology(k, mu);
+        let res = engine::run(&inst, FirstFit::new()).unwrap();
+        assert_eq!(res.bins_opened, k as usize);
+        assert_eq!(res.cost.as_bin_ticks(), (k * mu) as f64);
+    }
+
+    #[test]
+    fn ratio_scales_linearly_with_mu_for_ff() {
+        let mut ratios = Vec::new();
+        for n in [3u32, 4, 5] {
+            let inst = ff_pathology_pow2(n);
+            let res = engine::run(&inst, FirstFit::new()).unwrap();
+            let bracket = opt_nr_bracket(&inst);
+            let (lo, _) = bracket.ratio_bracket(res.cost);
+            ratios.push(lo);
+        }
+        // Doubling μ should roughly double the certified ratio.
+        assert!(ratios[1] > ratios[0] * 1.5, "{ratios:?}");
+        assert!(ratios[2] > ratios[1] * 1.5, "{ratios:?}");
+    }
+
+    #[test]
+    fn clairvoyant_hybrid_sidesteps_the_trap() {
+        let inst = ff_pathology_pow2(5);
+        let ff = engine::run(&inst, FirstFit::new()).unwrap();
+        let ha = engine::run(&inst, HybridAlgorithm::new()).unwrap();
+        assert!(
+            ha.cost.as_bin_ticks() * 4.0 < ff.cost.as_bin_ticks(),
+            "HA {} vs FF {}",
+            ha.cost,
+            ff.cost
+        );
+    }
+
+    #[test]
+    fn ff_upper_bound_mu_plus_4_holds_against_bracket() {
+        // Tang et al.: FF ≤ (μ+4)·OPT. Against the bracket's upper side
+        // (≥ OPT) the implied inequality FF/upper ≤ μ+4 must hold.
+        for n in [2u32, 3, 4] {
+            let inst = ff_pathology_pow2(n);
+            let res = engine::run(&inst, FirstFit::new()).unwrap();
+            let bracket = opt_nr_bracket(&inst);
+            let (lo, _) = bracket.ratio_bracket(res.cost);
+            let mu = (1u64 << n) as f64;
+            assert!(lo <= mu + 4.0, "n={n}: ratio {lo} > μ+4");
+        }
+    }
+}

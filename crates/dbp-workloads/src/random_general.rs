@@ -1,0 +1,173 @@
+//! Random general (unaligned) workloads.
+//!
+//! The benign counterpart of the adversarial constructions: Poisson-like
+//! arrivals, configurable duration distributions (log-uniform across binary
+//! classes, or discretised Pareto for heavy tails) and uniform sizes. These
+//! are the workloads the paper's cloud motivation describes — on them all
+//! reasonable algorithms are near-optimal, which the experiments report as
+//! the contrast to the adversarial √log μ growth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// Duration distributions for [`random_general`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DurationDist {
+    /// Log-uniform: class uniform in `[0, n]`, duration uniform within the
+    /// class — every binary class equally represented, the regime where
+    /// classify-by-duration pays its worst overhead.
+    LogUniform {
+        /// Maximal binary class.
+        n: u32,
+    },
+    /// Discretised Pareto with shape `alpha`, clamped to `[1, 2^n]` ticks:
+    /// heavy-tailed session lengths as observed in cloud traces.
+    Pareto {
+        /// Tail exponent (smaller = heavier tail), must be positive.
+        alpha: f64,
+        /// Maximal binary class for clamping.
+        n: u32,
+    },
+    /// All durations equal (μ = 1 inputs; sanity regime).
+    Fixed {
+        /// The common duration in ticks.
+        ticks: u64,
+    },
+}
+
+/// Parameters for [`random_general`].
+#[derive(Debug, Clone)]
+pub struct GeneralConfig {
+    /// Number of items.
+    pub items: usize,
+    /// Mean arrival gap in ticks (gaps are geometric, the discrete
+    /// analogue of Poisson arrivals); 0 releases everything at t = 0.
+    pub mean_gap: u64,
+    /// Duration distribution.
+    pub durations: DurationDist,
+    /// Size range `(min_num, max_num, den)`.
+    pub size_range: (u64, u64, u64),
+}
+
+impl GeneralConfig {
+    /// A balanced default: log-uniform durations up to `2^n`, unit mean
+    /// gap, sizes in `[0.01, 0.4]`.
+    pub fn new(n: u32, items: usize) -> GeneralConfig {
+        GeneralConfig {
+            items,
+            mean_gap: 1,
+            durations: DurationDist::LogUniform { n },
+            size_range: (1, 40, 100),
+        }
+    }
+}
+
+/// Draws a random general instance.
+pub fn random_general(config: &GeneralConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi, den) = config.size_range;
+    assert!(lo >= 1 && lo <= hi && hi <= den, "invalid size range");
+    let mut b = InstanceBuilder::with_capacity(config.items);
+    let mut t = 0u64;
+    for _ in 0..config.items {
+        let dur = draw_duration(&mut rng, config.durations);
+        let size = Size::from_ratio(rng.gen_range(lo..=hi), den);
+        b.push(Time(t), Dur(dur), size);
+        if config.mean_gap > 0 {
+            // Geometric gap with mean `mean_gap` (p = 1/(mean_gap+1)).
+            let p = 1.0 / (config.mean_gap as f64 + 1.0);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap = (u.ln() / (1.0 - p).ln()).floor() as u64;
+            t = t.saturating_add(gap);
+        }
+    }
+    b.build().expect("generated items are valid")
+}
+
+fn draw_duration(rng: &mut StdRng, dist: DurationDist) -> u64 {
+    match dist {
+        DurationDist::LogUniform { n } => {
+            let class = rng.gen_range(0..=n);
+            if class == 0 {
+                1
+            } else {
+                rng.gen_range(((1u64 << class) / 2 + 1)..=(1u64 << class))
+            }
+        }
+        DurationDist::Pareto { alpha, n } => {
+            assert!(alpha > 0.0, "alpha must be positive");
+            let cap = 1u64 << n;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let v = u.powf(-1.0 / alpha);
+            (v.floor() as u64).clamp(1, cap)
+        }
+        DurationDist::Fixed { ticks } => ticks.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_uniform_spans_all_classes() {
+        let cfg = GeneralConfig::new(8, 4000);
+        let inst = random_general(&cfg, 1);
+        let mut seen = [false; 9];
+        for it in inst.items() {
+            seen[it.class_index() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "classes missing: {seen:?}");
+        assert!(inst.mu().unwrap() <= 256.0);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_but_clamped() {
+        let cfg = GeneralConfig {
+            items: 2000,
+            mean_gap: 2,
+            durations: DurationDist::Pareto { alpha: 1.1, n: 10 },
+            size_range: (1, 30, 100),
+        };
+        let inst = random_general(&cfg, 2);
+        let max = inst.max_duration().ticks();
+        assert!(max <= 1024);
+        let ones = inst
+            .items()
+            .iter()
+            .filter(|i| i.duration().ticks() == 1)
+            .count();
+        assert!(ones > inst.len() / 10, "Pareto mass should concentrate low");
+    }
+
+    #[test]
+    fn fixed_duration_gives_mu_one() {
+        let cfg = GeneralConfig {
+            items: 100,
+            mean_gap: 3,
+            durations: DurationDist::Fixed { ticks: 7 },
+            size_range: (1, 50, 100),
+        };
+        let inst = random_general(&cfg, 3);
+        assert_eq!(inst.mu(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_gap_releases_everything_at_origin() {
+        let mut cfg = GeneralConfig::new(4, 50);
+        cfg.mean_gap = 0;
+        let inst = random_general(&cfg, 4);
+        assert!(inst.items().iter().all(|it| it.arrival == Time(0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneralConfig::new(6, 100);
+        assert_eq!(random_general(&cfg, 9), random_general(&cfg, 9));
+        assert_ne!(random_general(&cfg, 9), random_general(&cfg, 10));
+    }
+}

@@ -1,0 +1,73 @@
+//! The ladder sequence σ*_t (paper, Definition 4.1).
+//!
+//! At time `t`, σ*_t releases one item of each length `1, 2, 4, …, 2^n`
+//! sequentially, shortest first, all with the same load. The Theorem 4.3
+//! adversary releases adaptive *prefixes* of these ladders (see
+//! [`crate::adversary`]); this module builds whole ladders for direct
+//! experimentation and the non-adaptive variants used in ablations.
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// One full ladder σ*_t at time `t` with lengths `2^0 … 2^n` and the given
+/// per-item load, shortest first.
+pub fn sigma_star(t: Time, n: u32, load: Size) -> Instance {
+    let mut b = InstanceBuilder::with_capacity(n as usize + 1);
+    push_ladder(&mut b, t, n, load);
+    b.build().expect("ladder items are valid")
+}
+
+/// The *oblivious* (non-adaptive) ladder train: a full σ*_t at every
+/// `t = 0 … rounds−1` with the paper's `1/√(log μ)`-style load (here
+/// `1/⌈√n⌉`, exactly as the adaptive adversary uses). Against this fixed
+/// input the online algorithm sees everything — the gap between its ratio
+/// here and under the adaptive adversary isolates the value of adaptivity.
+pub fn ladder_train(n: u32, rounds: u64) -> Instance {
+    assert!((1..=40).contains(&n));
+    let target = (n as f64).sqrt().ceil().max(1.0) as u64;
+    let load = Size::from_ratio(1, target);
+    let mut b = InstanceBuilder::with_capacity((rounds as usize) * (n as usize + 1));
+    for t in 0..rounds {
+        push_ladder(&mut b, Time(t), n, load);
+    }
+    b.build().expect("ladder items are valid")
+}
+
+fn push_ladder(b: &mut InstanceBuilder, t: Time, n: u32, load: Size) {
+    for i in 0..=n {
+        b.push(t, Dur(1u64 << i), load);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_ladder_shape() {
+        let inst = sigma_star(Time(5), 4, Size::from_ratio(1, 2));
+        assert_eq!(inst.len(), 5);
+        assert!(inst.items().iter().all(|it| it.arrival == Time(5)));
+        // Shortest first at the shared arrival time.
+        let durs: Vec<u64> = inst.items().iter().map(|i| i.duration().ticks()).collect();
+        assert_eq!(durs, [1, 2, 4, 8, 16]);
+        assert_eq!(inst.mu(), Some(16.0));
+    }
+
+    #[test]
+    fn ladder_train_total_load_forces_bins() {
+        let n = 9u32;
+        let inst = ladder_train(n, 1);
+        // One ladder carries (n+1)/⌈√n⌉ = 10/3 of load → ≥ 4 bins at t=0.
+        let peak = inst.load_profile().peak();
+        assert!(peak.ceil_bins() >= 4);
+    }
+
+    #[test]
+    fn ladder_train_is_what_the_adversary_would_release_unabridged() {
+        let inst = ladder_train(5, 8);
+        assert_eq!(inst.len(), 8 * 6);
+        assert_eq!(inst.mu(), Some(32.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Instance (de)serialization: the CSV trace format shared by the
+//! `dbp-gen` / `dbp-pack` tools and the `trace_replay` example.
+//!
+//! Format: one item per line, `arrival,duration,size_num,size_den`, all
+//! non-negative integers with `duration ≥ 1` and `0 < size_num ≤
+//! size_den`. Blank lines and `#` comments are ignored; a single leading
+//! non-numeric header line is tolerated.
+
+use std::fmt::Write as _;
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::Size;
+use dbp_core::time::{Dur, Time};
+
+/// A trace parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a CSV trace into an instance.
+pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
+    let mut b = InstanceBuilder::new();
+    let mut first_data_line = true;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        let numeric = cols.iter().all(|c| c.parse::<u64>().is_ok());
+        if !numeric {
+            if first_data_line {
+                first_data_line = false;
+                continue; // header
+            }
+            return Err(TraceParseError {
+                line: lineno,
+                message: "non-numeric field".into(),
+            });
+        }
+        first_data_line = false;
+        if cols.len() != 4 {
+            return Err(TraceParseError {
+                line: lineno,
+                message: format!("expected 4 columns, got {}", cols.len()),
+            });
+        }
+        let v: Vec<u64> = cols.iter().map(|c| c.parse().expect("checked")).collect();
+        if v[1] == 0 {
+            return Err(TraceParseError {
+                line: lineno,
+                message: "zero duration".into(),
+            });
+        }
+        if v[2] == 0 || v[3] == 0 || v[2] > v[3] {
+            return Err(TraceParseError {
+                line: lineno,
+                message: format!("size {}/{} out of (0,1]", v[2], v[3]),
+            });
+        }
+        b.push(Time(v[0]), Dur(v[1]), Size::from_ratio(v[2], v[3]));
+    }
+    b.build().map_err(|e| TraceParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Serialises an instance to the CSV trace format (sizes emitted as raw
+/// fixed-point numerators over `2^32`, which round-trips exactly).
+pub fn emit_trace(instance: &Instance) -> String {
+    let mut out = String::from("# arrival,duration,size_num,size_den\n");
+    for it in instance.items() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            it.arrival.ticks(),
+            it.duration().ticks(),
+            it.size.raw(),
+            dbp_core::size::SIZE_SCALE,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        let inst = crate::random_general(&crate::GeneralConfig::new(6, 200), 5);
+        let text = emit_trace(&inst);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn tolerates_header_and_comments() {
+        let text = "arrival,duration,num,den\n# comment\n\n0,5,1,2\n3,2,1,4\n";
+        let inst = parse_trace(text).unwrap();
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "0,5,1,2\n0,0,1,2\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("zero duration"));
+    }
+
+    #[test]
+    fn rejects_bad_sizes_and_column_counts() {
+        assert!(parse_trace("0,5,3,2\n")
+            .unwrap_err()
+            .message
+            .contains("out of (0,1]"));
+        assert!(parse_trace("0,5,0,2\n")
+            .unwrap_err()
+            .message
+            .contains("out of (0,1]"));
+        assert!(parse_trace("0,5,1\n")
+            .unwrap_err()
+            .message
+            .contains("4 columns"));
+    }
+
+    #[test]
+    fn rejects_mid_file_garbage() {
+        let text = "0,5,1,2\nhello,world\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("non-numeric"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_instance() {
+        assert!(parse_trace("# nothing\n").unwrap().is_empty());
+    }
+}

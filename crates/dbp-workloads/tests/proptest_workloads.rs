@@ -1,0 +1,90 @@
+//! Property tests for the generators: every advertised structural
+//! property must hold across the whole configuration space, not just the
+//! defaults the unit tests exercise.
+
+use dbp_workloads::{
+    random_aligned, random_general, semi_aligned, sigma_mu, AlignedConfig, DurationDist,
+    GeneralConfig, SemiAlignedConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// σ_μ: aligned, correct size, exact μ, Observation 3's arrival counts.
+    #[test]
+    fn sigma_mu_structure(n in 1u32..=10) {
+        let inst = sigma_mu(n);
+        prop_assert!(inst.is_aligned());
+        prop_assert_eq!(inst.len() as u64, dbp_workloads::sigma_mu_len(n));
+        prop_assert_eq!(inst.mu(), Some((1u64 << n) as f64));
+        // Every item fits the horizon.
+        let horizon = 1u64 << n;
+        prop_assert!(inst.items().iter().all(|it| it.departure.ticks() <= horizon));
+    }
+
+    /// Random aligned inputs are aligned for every (n, items, seed).
+    #[test]
+    fn random_aligned_always_aligned(n in 2u32..=10, items in 1usize..300, seed in 0u64..50) {
+        let mut cfg = AlignedConfig::new(n, items);
+        cfg.off_power_durations = seed % 2 == 0;
+        let inst = random_aligned(&cfg, seed);
+        prop_assert!(inst.is_aligned(), "seed {seed}");
+        prop_assert_eq!(inst.len(), items + 1, "anchor + items");
+    }
+
+    /// Semi-aligned: measured slack never exceeds the configured slack,
+    /// and slack 0 is exactly aligned.
+    #[test]
+    fn semi_aligned_slack_bounded(n in 2u32..=10, slack in 0u32..=10, seed in 0u64..30) {
+        let inst = semi_aligned(&SemiAlignedConfig::new(n, slack, 200), seed);
+        prop_assert!(dbp_workloads::measured_slack(&inst) <= slack);
+        if slack == 0 {
+            prop_assert!(inst.is_aligned());
+        }
+    }
+
+    /// General generator: durations respect the distribution's cap and
+    /// arrivals are non-decreasing (items served in generation order).
+    #[test]
+    fn random_general_respects_caps(n in 1u32..=12, items in 1usize..300, seed in 0u64..30) {
+        let cfg = GeneralConfig {
+            items,
+            mean_gap: seed % 4,
+            durations: DurationDist::LogUniform { n },
+            size_range: (1, 60, 100),
+        };
+        let inst = random_general(&cfg, seed);
+        prop_assert_eq!(inst.len(), items);
+        prop_assert!(inst.max_duration().ticks() <= 1 << n);
+        prop_assert!(inst.min_duration().ticks() >= 1);
+        for w in inst.items().windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    /// Composition algebra: demand is additive under overlay; span is
+    /// invariant under shift.
+    #[test]
+    fn composition_algebra(seed_a in 0u64..20, seed_b in 0u64..20, off in 0u64..100) {
+        use dbp_workloads::compose::{overlay, shift};
+        use dbp_core::time::Dur;
+        let a = random_general(&GeneralConfig::new(5, 50), seed_a);
+        let b = random_general(&GeneralConfig::new(5, 50), seed_b);
+        let o = overlay(&a, &b);
+        prop_assert_eq!(o.demand().raw(), a.demand().raw() + b.demand().raw());
+        let s = shift(&a, Dur(off));
+        prop_assert_eq!(s.span_dur(), a.span_dur());
+        prop_assert_eq!(s.demand(), a.demand());
+        prop_assert_eq!(s.mu(), a.mu());
+    }
+
+    /// Trace CSV round-trips every generator's output exactly.
+    #[test]
+    fn trace_round_trip(seed in 0u64..30) {
+        let inst = random_general(&GeneralConfig::new(6, 120), seed);
+        let back = dbp_workloads::parse_trace(&dbp_workloads::emit_trace(&inst))
+            .expect("round trip parses");
+        prop_assert_eq!(inst, back);
+    }
+}

@@ -1,0 +1,71 @@
+//! Cloud-gaming server allocation — the paper's motivating application.
+//!
+//! Users request game servers for sessions whose lengths are predictable
+//! on arrival (clairvoyance); each server has unit bandwidth and sessions
+//! demand a fixed tier of it. Total server-hours is the bill: exactly the
+//! MinUsageTime objective. This example synthesises a day of traffic and
+//! compares the full algorithm suite on the bill.
+//!
+//! ```text
+//! cargo run --release --example cloud_gaming
+//! ```
+
+use clairvoyant_dbp::algos;
+use clairvoyant_dbp::algos::offline::opt_r_bracket;
+use clairvoyant_dbp::core::engine;
+use clairvoyant_dbp::workloads::{cloud_trace, CloudConfig};
+
+fn main() {
+    // One tick = one minute; a 1440-tick horizon = one day.
+    let cfg = CloudConfig {
+        sessions: 5_000,
+        horizon: 1_440,
+        match_len: 25,    // quick matches: ~25 minutes
+        session_len: 240, // marathon sessions: ~4 hours
+        long_pct: 15,
+    };
+    let trace = cloud_trace(&cfg, 2024);
+    println!(
+        "trace: {} sessions over {} minutes, μ = {:.0}, peak demand {:.1} servers",
+        trace.len(),
+        cfg.horizon,
+        trace.mu().unwrap_or(1.0),
+        trace.load_profile().peak().as_f64(),
+    );
+
+    let bracket = opt_r_bracket(&trace);
+    println!(
+        "optimal bill is between {:.0} and {:.0} server-minutes\n",
+        bracket.lower.as_bin_ticks(),
+        bracket.upper.as_bin_ticks()
+    );
+
+    println!(
+        "{:<18} {:>14} {:>8} {:>16}",
+        "algorithm", "server-minutes", "servers", "ratio ≥ (cert.)"
+    );
+    let mut results: Vec<(String, f64, usize, f64)> = Vec::new();
+    for name in algos::registry_names() {
+        let algo = algos::by_name(name).expect("registry");
+        let res = engine::run(&trace, algo).expect("legal");
+        let (lo, _) = bracket.ratio_bracket(res.cost);
+        results.push((
+            name.to_string(),
+            res.cost.as_bin_ticks(),
+            res.bins_opened,
+            lo,
+        ));
+    }
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (name, bill, servers, lo) in &results {
+        println!("{name:<18} {bill:>14.0} {servers:>8} {lo:>16.3}");
+    }
+
+    println!(
+        "\nOn benign traffic the greedy clairvoyant heuristic (departure-aware) wins:\n\
+         it co-locates sessions that end together instead of pinning servers open\n\
+         for stragglers. The hybrid algorithm pays a small premium here — its CD\n\
+         bins exist to survive adversarial ladders (see the adversarial_lower_bound\n\
+         example), the classic worst-case-vs-average tradeoff."
+    );
+}

@@ -1,0 +1,52 @@
+//! A week of fleet operations: scenario runner, invoices and the
+//! migration advisor, end to end.
+//!
+//! ```text
+//! cargo run --release --example fleet_week
+//! ```
+
+use clairvoyant_dbp::algos;
+use clairvoyant_dbp::cloudsim::{CostModel, MigrationAdvice, Predictor, Scenario};
+
+fn main() {
+    let model = CostModel::demo();
+    let mut scenario = Scenario::week();
+    scenario.sessions_per_day = 1_500;
+    scenario.predictor = Predictor::Relative { error_pct: 15 };
+
+    println!(
+        "One simulated week: ~{} sessions/day, ±15% duration forecasts, 250 W servers.\n",
+        scenario.sessions_per_day
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>8} {:>12}",
+        "dispatcher", "cost (units)", "energy kWt", "peak", "utilisation"
+    );
+
+    for name in ["departure-aware", "first-fit", "best-fit", "hybrid", "cbd"] {
+        let report = scenario
+            .run(|| algos::by_name(name).expect("registry"), &model, 2026)
+            .expect("legal dispatch");
+        println!(
+            "{name:<18} {:>12.1} {:>12.1} {:>8} {:>11.1}%",
+            report.total_cost_milli() as f64 / 1000.0,
+            report.total_watt_ticks() as f64 / 1_000_000.0,
+            report.peak_servers(),
+            report.mean_utilisation() * 100.0,
+        );
+    }
+
+    // What would live migration buy on the busiest day?
+    let day = scenario.day_sessions(2, 2026);
+    let report =
+        clairvoyant_dbp::cloudsim::dispatch(&day, algos::DepartureAwareFit::new()).expect("legal");
+    let advice = MigrationAdvice::analyse(&report);
+    println!(
+        "\nmigration advisor (day 3, departure-aware dispatcher):\n  {}",
+        advice.summary()
+    );
+    println!(
+        "\nThe OPT_R/OPT_NR gap the paper treats as free is, operationally, the value\n\
+         of live migration — and the certified brackets make it measurable per day."
+    );
+}

@@ -1,0 +1,66 @@
+//! How good do duration forecasts need to be? (cloudsim walkthrough)
+//!
+//! The paper's clairvoyant model assumes departure times are known exactly
+//! on arrival — justified by cloud-gaming predictability. This example
+//! dispatches the same day of sessions under predictors of decreasing
+//! quality and prints the bill each algorithm runs up, in money and
+//! energy.
+//!
+//! ```text
+//! cargo run --release --example prediction_noise
+//! ```
+
+use clairvoyant_dbp::cloudsim::{dispatch, CostModel, Predictor, SessionRequest, Tier};
+use clairvoyant_dbp::core::{Dur, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn day_of_sessions(seed: u64) -> Vec<SessionRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..3_000u64)
+        .map(|k| {
+            let long = rng.gen_range(0..100) < 25;
+            let len = if long {
+                rng.gen_range(180..420)
+            } else {
+                rng.gen_range(10..40)
+            };
+            let tier = match rng.gen_range(0..3) {
+                0 => Tier::Low,
+                1 => Tier::Standard,
+                _ => Tier::Premium,
+            };
+            SessionRequest::exact(k, Time(rng.gen_range(0..1_440)), Dur(len), tier)
+        })
+        .collect()
+}
+
+fn main() {
+    let model = CostModel::demo();
+    let predictors = [
+        Predictor::Oracle,
+        Predictor::Relative { error_pct: 10 },
+        Predictor::Relative { error_pct: 50 },
+        Predictor::Constant { fallback: 60 },
+    ];
+
+    println!("3000 sessions over one day; 250 W servers, 0.01 units per server-minute.\n");
+    for predictor in predictors {
+        println!("== forecasts: {} ==", predictor.label());
+        for algo_name in ["departure-aware", "hybrid", "first-fit"] {
+            let mut sessions = day_of_sessions(7);
+            predictor.apply(&mut sessions, 99);
+            let algo = clairvoyant_dbp::algos::by_name(algo_name).expect("registry");
+            let report = dispatch(&sessions, algo).expect("legal dispatch");
+            let invoice = model.invoice(&report);
+            println!("  {algo_name:<16} {invoice}");
+        }
+        println!();
+    }
+    println!(
+        "Watch the departure-aware dispatcher: with oracle forecasts it runs the\n\
+         cheapest fleet; as forecasts blur it slides toward First-Fit, which never\n\
+         looked at them. Clairvoyance is the entire edge — exactly the paper's model\n\
+         separation, priced in server-hours."
+    );
+}

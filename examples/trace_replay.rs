@@ -1,0 +1,76 @@
+//! Replay an external trace through the algorithm suite.
+//!
+//! Reads a CSV of `arrival_tick,duration_ticks,size_num,size_den` rows
+//! (header optional, `#` comments ignored — the format `dbp-gen` emits)
+//! and reports each algorithm's usage-time bill against the certified
+//! optimal bracket. If no path is given, a small demo trace is written to
+//! a temp file and replayed, so the example is runnable out of the box:
+//!
+//! ```text
+//! cargo run --release --example trace_replay [trace.csv]
+//! ```
+
+use std::io::Write as _;
+
+use clairvoyant_dbp::algos;
+use clairvoyant_dbp::algos::offline::opt_r_bracket;
+use clairvoyant_dbp::core::engine;
+use clairvoyant_dbp::workloads::parse_trace;
+
+const DEMO: &str = "\
+# arrival,duration,size_num,size_den
+0,120,1,4
+0,30,1,2
+5,115,1,4
+10,20,1,2
+30,90,1,2
+60,60,1,4
+60,10,3,4
+90,30,1,2
+";
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        let p = std::env::temp_dir().join("dbp_demo_trace.csv");
+        let mut f = std::fs::File::create(&p).expect("temp file");
+        f.write_all(DEMO.as_bytes()).expect("write demo");
+        println!(
+            "(no trace given — replaying built-in demo at {})\n",
+            p.display()
+        );
+        p.to_string_lossy().into_owned()
+    });
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("bad trace: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "replaying {} items (μ = {:.1}, span = {} ticks)\n",
+        trace.len(),
+        trace.mu().unwrap_or(1.0),
+        trace.span_dur().ticks()
+    );
+    let bracket = opt_r_bracket(&trace);
+    println!(
+        "{:<18} {:>12} {:>8} {:>18}",
+        "algorithm", "usage time", "bins", "ratio ∈ [lo, hi]"
+    );
+    for name in algos::registry_names() {
+        let algo = algos::by_name(name).expect("registry");
+        let res = engine::run(&trace, algo).expect("legal");
+        let (lo, hi) = bracket.ratio_bracket(res.cost);
+        println!(
+            "{name:<18} {:>12.0} {:>8} {:>10.3} – {:.3}",
+            res.cost.as_bin_ticks(),
+            res.bins_opened,
+            lo,
+            hi
+        );
+    }
+}

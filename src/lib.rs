@@ -1,0 +1,39 @@
+//! # clairvoyant-dbp
+//!
+//! Façade crate for the reproduction of *"Tight Bounds for Clairvoyant
+//! Dynamic Bin Packing"* (Azar & Vainstein, SPAA 2017).
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — problem model, simulator, reduction, OPT brackets;
+//! * [`algos`] — HA, CDFF, the Any-Fit family, classify-by-duration, and
+//!   offline comparators;
+//! * [`workloads`] — binary/aligned/random/cloud generators and the
+//!   Theorem 4.3 adaptive adversary;
+//! * [`analysis`] — binary-string lemmas, statistics and reporting;
+//! * [`cloudsim`] — the cloud-allocation application layer (sessions,
+//!   dispatchers, noisy duration prediction, billing).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clairvoyant_dbp::core::{engine, Instance, OptBracket, Size, Time, Dur};
+//! use clairvoyant_dbp::algos::HybridAlgorithm;
+//!
+//! let instance = Instance::from_triples([
+//!     (Time(0), Dur(8), Size::from_ratio(1, 2)),
+//!     (Time(0), Dur(1), Size::from_ratio(1, 2)),
+//!     (Time(4), Dur(4), Size::from_ratio(1, 4)),
+//! ]).unwrap();
+//!
+//! let result = engine::run(&instance, HybridAlgorithm::new()).unwrap();
+//! let bracket = OptBracket::of(&instance);
+//! let (lo, hi) = bracket.ratio_bracket(result.cost);
+//! assert!(lo <= hi);
+//! ```
+
+pub use dbp_algos as algos;
+pub use dbp_analysis as analysis;
+pub use dbp_cloudsim as cloudsim;
+pub use dbp_core as core;
+pub use dbp_workloads as workloads;

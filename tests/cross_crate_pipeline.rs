@@ -1,0 +1,156 @@
+//! End-to-end integration: generators → engine → audit → brackets, for
+//! every algorithm × workload family. The invariants here are the ones
+//! every experiment relies on: the engine's incremental accounting, the
+//! independent audit and the timeline integral must all agree, and no
+//! feasible packing may beat the certified lower bound.
+
+use clairvoyant_dbp::algos;
+use clairvoyant_dbp::core::{audit, engine, Instance, OptBracket};
+use clairvoyant_dbp::workloads::{
+    cloud_trace, ff_pathology, g_parallel_random, random_aligned, random_general, sigma_mu,
+    AlignedConfig, CloudConfig, GParallelConfig, GeneralConfig,
+};
+
+fn workload_zoo() -> Vec<(&'static str, Instance)> {
+    vec![
+        ("sigma_mu_8", sigma_mu(8)),
+        ("aligned", random_aligned(&AlignedConfig::new(8, 400), 1)),
+        ("general", random_general(&GeneralConfig::new(9, 800), 2)),
+        ("cloud", cloud_trace(&CloudConfig::new(600, 2_000), 3)),
+        (
+            "gparallel",
+            g_parallel_random(&GParallelConfig::new(5, 300, 128), 4),
+        ),
+        ("pathology", ff_pathology(8, 64)),
+    ]
+}
+
+#[test]
+fn every_algorithm_packs_every_workload_consistently() {
+    for (wname, inst) in workload_zoo() {
+        let bracket = OptBracket::of(&inst);
+        for name in algos::registry_names() {
+            let algo = algos::by_name(name).expect("registry");
+            let res = engine::run(&inst, algo)
+                .unwrap_or_else(|e| panic!("{name} on {wname}: illegal move: {e}"));
+            // Engine vs audit vs timeline: three independent accountings.
+            let report = audit(&inst, &res.assignment)
+                .unwrap_or_else(|e| panic!("{name} on {wname}: invalid packing: {e}"));
+            assert_eq!(report.cost, res.cost, "{name} on {wname}: audit mismatch");
+            assert_eq!(
+                res.cost_from_timeline(),
+                res.cost,
+                "{name} on {wname}: timeline mismatch"
+            );
+            assert_eq!(report.bins_used, res.bins_opened, "{name} on {wname}");
+            assert_eq!(report.max_open, res.max_open, "{name} on {wname}");
+            // Nothing beats the certified lower bound.
+            assert!(
+                res.cost >= bracket.lower,
+                "{name} on {wname}: cost {} below certified LB {}",
+                res.cost,
+                bracket.lower
+            );
+        }
+    }
+}
+
+#[test]
+fn offline_brackets_nest_across_the_zoo() {
+    for (wname, inst) in workload_zoo() {
+        let r = algos::offline::opt_r_bracket(&inst);
+        let nr = algos::offline::opt_nr_bracket(&inst);
+        assert!(r.lower <= r.upper, "{wname}: OPT_R bracket inverted");
+        assert!(nr.lower <= nr.upper, "{wname}: OPT_NR bracket inverted");
+        // OPT_R ≤ OPT_NR, so R's lower bound applies to NR's upper side.
+        assert!(r.lower <= nr.upper, "{wname}: brackets inconsistent");
+    }
+}
+
+#[test]
+fn engine_is_deterministic() {
+    let inst = random_general(&GeneralConfig::new(8, 500), 7);
+    for name in algos::registry_names() {
+        let a = engine::run(&inst, algos::by_name(name).expect("registry")).expect("legal");
+        let b = engine::run(&inst, algos::by_name(name).expect("registry")).expect("legal");
+        assert_eq!(a.assignment, b.assignment, "{name} not deterministic");
+        assert_eq!(a.cost, b.cost);
+    }
+}
+
+#[test]
+fn busy_period_split_costs_sum() {
+    // Splitting an instance into busy periods and packing each separately
+    // gives exactly the same First-Fit cost as packing the whole thing
+    // (bins never span a gap because they close when empty).
+    let inst = random_general(
+        &GeneralConfig {
+            items: 300,
+            mean_gap: 30, // force gaps
+            durations: clairvoyant_dbp::workloads::DurationDist::LogUniform { n: 4 },
+            size_range: (10, 50, 100),
+        },
+        11,
+    );
+    let whole = engine::run(&inst, algos::FirstFit::new()).expect("legal");
+    let parts = inst.split_busy_periods();
+    assert!(
+        parts.len() > 1,
+        "want a multi-period instance for this test"
+    );
+    let sum: f64 = parts
+        .iter()
+        .map(|p| {
+            engine::run(p, algos::FirstFit::new())
+                .expect("legal")
+                .cost
+                .as_bin_ticks()
+        })
+        .sum();
+    assert_eq!(sum, whole.cost.as_bin_ticks());
+}
+
+#[test]
+fn mu_one_inputs_are_easy_for_everyone() {
+    // All durations equal (μ = 1): every algorithm should be within the
+    // Lemma 3.1 looseness of optimal.
+    let inst = random_general(
+        &GeneralConfig {
+            items: 400,
+            mean_gap: 1,
+            durations: clairvoyant_dbp::workloads::DurationDist::Fixed { ticks: 16 },
+            size_range: (5, 45, 100),
+        },
+        13,
+    );
+    let bracket = algos::offline::opt_r_bracket(&inst);
+    for name in algos::registry_names() {
+        let res = engine::run(&inst, algos::by_name(name).expect("registry")).expect("legal");
+        let (lo, _) = bracket.ratio_bracket(res.cost);
+        assert!(lo < 4.0, "{name} ratio {lo} suspiciously high at μ = 1");
+    }
+}
+
+/// Scale smoke test: σ_μ at μ = 2^20 (2M items) through CDFF with the
+/// Corollary 5.8 identity checked at every tick. Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "multi-second release-mode scale test"]
+fn scale_sigma_mu_two_million_items() {
+    use clairvoyant_dbp::analysis::max_zero_run;
+    use clairvoyant_dbp::core::Time;
+    let n = 20u32;
+    let inst = clairvoyant_dbp::workloads::sigma_mu(n);
+    assert_eq!(
+        inst.len() as u64,
+        clairvoyant_dbp::workloads::sigma_mu_len(n)
+    );
+    let res = engine::run(&inst, algos::Cdff::new()).expect("legal");
+    for t in 0..(1u64 << n) {
+        assert_eq!(
+            res.open_at(Time(t)),
+            max_zero_run(t, n) as usize + 1,
+            "t={t}"
+        );
+    }
+}
