@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dbp_cloudsim::{dispatch, Predictor, SessionRequest, Tier};
 use dbp_core::engine::{self, InteractiveSim};
 use dbp_core::time::{Dur, Time};
+use dbp_core::{Instance, Item, OnlineAlgorithm, Placement, SimView, Size};
 use dbp_workloads::{random_general, GeneralConfig};
 
 fn engine_throughput(c: &mut Criterion) {
@@ -19,6 +20,63 @@ fn engine_throughput(c: &mut Criterion) {
                     .expect("legal")
                     .cost
             })
+        });
+    }
+    group.finish();
+}
+
+/// First-Fit answered by the seed's retained O(B) linear scan — the
+/// before-side of the placement-kernel comparison.
+struct LinearFf;
+impl OnlineAlgorithm for LinearFf {
+    fn name(&self) -> &str {
+        "ff-linear"
+    }
+    fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        match view.first_fit_linear(item.size) {
+            Some(b) => Placement::Existing(b),
+            None => Placement::OpenNew,
+        }
+    }
+    fn reset(&mut self) {}
+}
+
+/// The placement kernel's worst case: `fillers` bins pinned open and
+/// exactly full (4 quarter-size long items each), then a stream of
+/// half-size probes that fit nowhere — every probe forces a full First-Fit
+/// query across all open bins before opening (and immediately closing) its
+/// own bin. The linear scan pays O(probes × fillers); the tournament tree
+/// pays O(probes × log fillers).
+fn adversarial_instance(fillers: usize, probes: u64) -> Instance {
+    let long = Dur(probes + 2);
+    let mut triples = Vec::with_capacity(4 * fillers + probes as usize);
+    for _ in 0..fillers {
+        for _ in 0..4 {
+            triples.push((Time(0), long, Size::from_ratio(1, 4)));
+        }
+    }
+    for t in 1..=probes {
+        triples.push((Time(t), Dur(1), Size::from_ratio(1, 2)));
+    }
+    Instance::from_triples(triples).expect("valid")
+}
+
+fn adversarial_open_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/adversarial-open-bins");
+    group.sample_size(10);
+    let probes = 6_000u64;
+    for &fillers in &[1_000usize, 4_000] {
+        let inst = adversarial_instance(fillers, probes);
+        group.throughput(Throughput::Elements(probes));
+        group.bench_with_input(BenchmarkId::new("tree", fillers), &inst, |b, inst| {
+            b.iter(|| {
+                engine::run(inst, dbp_algos::FirstFit::new())
+                    .expect("legal")
+                    .cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", fillers), &inst, |b, inst| {
+            b.iter(|| engine::run(inst, LinearFf).expect("legal").cost)
         });
     }
     group.finish();
@@ -67,6 +125,6 @@ fn cloud_dispatch(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, interactive_throughput, auditor, cloud_dispatch
+    targets = engine_throughput, adversarial_open_bins, interactive_throughput, auditor, cloud_dispatch
 }
 criterion_main!(benches);

@@ -28,8 +28,8 @@ pub fn summary() -> ExperimentReport {
         let mut last = 0.0;
         let mut norms = Vec::new();
         for n in [4u32, 9, 12] {
-            let out = run_adversary(HybridAlgorithm::new(), &AdversaryConfig::new(n))
-                .expect("legal");
+            let out =
+                run_adversary(HybridAlgorithm::new(), &AdversaryConfig::new(n)).expect("legal");
             let (lo, _) = bracket::ratio_vs_opt_r(&out.instance, out.result.cost);
             ok &= lo >= last; // non-decreasing growth
             last = lo;
@@ -38,7 +38,13 @@ pub fn summary() -> ExperimentReport {
         let bounded = norms.iter().all(|&x| x <= 1.2);
         checks.push(Check {
             claim: "Thm 3.2: HA grows, ratio/√log μ bounded",
-            evidence: format!("norms {:?}", norms.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()),
+            evidence: format!(
+                "norms {:?}",
+                norms
+                    .iter()
+                    .map(|x| (x * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            ),
             pass: ok && bounded,
         });
     }
@@ -51,7 +57,10 @@ pub fn summary() -> ExperimentReport {
         let pass = a.rounds_forced == 512 && b.rounds_forced == 512;
         checks.push(Check {
             claim: "Thm 4.3: adversary forces √log μ bins every round",
-            evidence: format!("{}+{} of 512+512 rounds forced", a.rounds_forced, b.rounds_forced),
+            evidence: format!(
+                "{}+{} of 512+512 rounds forced",
+                a.rounds_forced, b.rounds_forced
+            ),
             pass,
         });
     }
@@ -62,9 +71,7 @@ pub fn summary() -> ExperimentReport {
         let inst = sigma_mu(n);
         let res = engine::run(&inst, Cdff::new()).expect("legal");
         let mismatches = (0..(1u64 << n))
-            .filter(|&t| {
-                res.open_at(Time(t)) != dbp_analysis::max_zero_run(t, n) as usize + 1
-            })
+            .filter(|&t| res.open_at(Time(t)) != dbp_analysis::max_zero_run(t, n) as usize + 1)
             .count();
         checks.push(Check {
             claim: "Cor 5.8: CDFF bins = max_0(binary(t)) + 1, exactly",
@@ -123,7 +130,9 @@ pub fn summary() -> ExperimentReport {
     {
         let inst = ff_pathology_pow2(6);
         let ff = engine::run(&inst, FirstFit::new()).expect("legal").cost;
-        let ha = engine::run(&inst, HybridAlgorithm::new()).expect("legal").cost;
+        let ha = engine::run(&inst, HybridAlgorithm::new())
+            .expect("legal")
+            .cost;
         checks.push(Check {
             claim: "Clairvoyant HA sidesteps the Ω(μ) trap",
             evidence: format!("FF {:.0} vs HA {:.0}", ff.as_bin_ticks(), ha.as_bin_ticks()),
@@ -138,7 +147,11 @@ pub fn summary() -> ExperimentReport {
         table.row([
             c.claim.to_string(),
             c.evidence.clone(),
-            if c.pass { "PASS".into() } else { "FAIL".to_string() },
+            if c.pass {
+                "PASS".into()
+            } else {
+                "FAIL".to_string()
+            },
         ]);
     }
     ExperimentReport {

@@ -52,10 +52,8 @@ pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMa
     let cells = parallel_map(&jobs, |&(i, a)| {
         let (label, inst) = &instances[i];
         let name = algorithms[a];
-        let algo = dbp_algos::by_name(name)
-            .unwrap_or_else(|| panic!("unknown algorithm '{name}'"));
-        let res = engine::run(inst, algo)
-            .unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+        let algo = dbp_algos::by_name(name).unwrap_or_else(|| panic!("unknown algorithm '{name}'"));
+        let res = engine::run(inst, algo).unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
         let ratio = bracket::ratio_vs_opt_r(inst, res.cost);
         EvalCell {
             algorithm: name.to_string(),
@@ -83,8 +81,7 @@ impl EvalMatrix {
         let mut rows: Vec<(String, f64)> = names
             .into_iter()
             .map(|n| {
-                let ratios: Vec<f64> =
-                    self.by_algorithm(&n).iter().map(|c| c.ratio.0).collect();
+                let ratios: Vec<f64> = self.by_algorithm(&n).iter().map(|c| c.ratio.0).collect();
                 let g = geo_mean(&ratios).unwrap_or(f64::INFINITY);
                 (n, g)
             })
@@ -95,7 +92,14 @@ impl EvalMatrix {
 
     /// Renders as a table: one row per (instance, algorithm).
     pub fn table(&self) -> Table {
-        let mut t = Table::new(["instance", "algorithm", "cost", "bins", "ratio ≥", "ratio ≤"]);
+        let mut t = Table::new([
+            "instance",
+            "algorithm",
+            "cost",
+            "bins",
+            "ratio ≥",
+            "ratio ≤",
+        ]);
         for c in &self.cells {
             t.row([
                 c.instance.clone(),

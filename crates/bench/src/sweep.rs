@@ -2,17 +2,25 @@
 //!
 //! Experiments sweep μ (and seeds) over independent simulator runs; each
 //! run is single-threaded and deterministic, so the sweep is embarrassingly
-//! parallel. We fan out with `crossbeam::scope` (borrowing the sweep inputs
-//! without `'static` bounds) and preserve input order in the output.
+//! parallel. We fan out with `std::thread::scope` (borrowing the sweep
+//! inputs without `'static` bounds) and preserve input order in the output.
+//!
+//! Results are collected without any shared lock: each worker accumulates
+//! `(index, result)` pairs in a thread-local vector that travels back
+//! through its join handle, and the caller scatters them into place once.
+//! The previous design funnelled every result through a single
+//! `Mutex<Vec<Option<R>>>`, which serialised workers exactly when sweeps
+//! have many cheap cells; now the only shared state is the atomic work
+//! counter.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 /// Maps `f` over `inputs` in parallel, preserving order.
 ///
 /// Spawns at most `min(inputs.len(), available_parallelism)` workers; falls
-/// back to sequential execution for tiny inputs.
+/// back to sequential execution for tiny inputs. Work is handed out through
+/// a single atomic counter (dynamic load balancing — sweep cells vary
+/// wildly in cost across μ), and result collection is lock-free.
 pub fn parallel_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -24,28 +32,54 @@ where
         .unwrap_or(1)
         .min(inputs.len().max(1));
     if threads <= 1 || inputs.len() <= 1 {
-        return inputs.iter().map(&f).collect();
+        // Keep the panic contract identical to the threaded path (a cell
+        // panic surfaces as "sweep worker panicked") so callers and tests
+        // behave the same on single-core hosts.
+        return inputs
+            .iter()
+            .map(|x| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(x))).unwrap_or_else(
+                    |payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panic!("sweep worker panicked: {msg}");
+                    },
+                )
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+    let mut results: Vec<Option<R>> = (0..inputs.len()).map(|_| None).collect();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= inputs.len() {
-                    break;
-                }
-                let r = f(&inputs[idx]);
-                results.lock()[idx] = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= inputs.len() {
+                            break;
+                        }
+                        local.push((idx, f(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle.join().expect("sweep worker panicked");
+            for (idx, r) in local {
+                results[idx] = Some(r);
+            }
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every index visited"))
         .collect()
@@ -87,5 +121,17 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn heavy_fanout_returns_every_slot() {
+        // More inputs than threads by a wide margin: exercises the
+        // per-worker local buffers and the final scatter.
+        let inputs: Vec<usize> = (0..4096).collect();
+        let out = parallel_map(&inputs, |&x| x + 1);
+        assert_eq!(out.len(), inputs.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i + 1);
+        }
     }
 }

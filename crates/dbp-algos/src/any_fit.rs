@@ -21,6 +21,15 @@ pub trait FitRule {
     /// Candidates are supplied in opening order; returning `None` opens a
     /// new bin (only Next-Fit ever does this when candidates exist).
     fn choose(candidates: &[(BinId, Load)], size: Size) -> Option<BinId>;
+
+    /// Sub-linear placement shortcut. `Some(placement)` skips the O(B)
+    /// candidate scan entirely; `None` (the default) falls back to it.
+    /// A rule's fast path MUST pick the same bin the scan + `choose`
+    /// combination would (checked by the differential test below).
+    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+        let _ = (view, size);
+        None
+    }
 }
 
 /// Pick the earliest-opened bin that fits.
@@ -31,6 +40,15 @@ impl FitRule for FirstFitRule {
     const NAME: &'static str = "first-fit";
     fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
         candidates.first().map(|&(b, _)| b)
+    }
+
+    /// First-Fit is answered directly by the store's capacity tournament
+    /// tree in O(log B); the tree selects the identical bin as the scan.
+    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+        Some(match view.first_fit(size) {
+            Some(b) => Placement::Existing(b),
+            None => Placement::OpenNew,
+        })
     }
 }
 
@@ -75,6 +93,15 @@ impl FitRule for NextFitRule {
         // fits, so compare against the true newest id.
         candidates.last().map(|&(b, _)| b)
     }
+
+    /// Next-Fit only ever considers the most recently opened bin, which the
+    /// store tracks in O(1): use it when the item fits, else open fresh.
+    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+        Some(match view.newest_open() {
+            Some(b) if view.fits(b, size) => Placement::Existing(b),
+            _ => Placement::OpenNew,
+        })
+    }
 }
 
 /// Generic Any-Fit algorithm parameterised by a [`FitRule`].
@@ -98,6 +125,10 @@ impl<R: FitRule> OnlineAlgorithm for AnyFit<R> {
     }
 
     fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+        if let Some(placement) = R::fast_path(view, item.size) {
+            return placement;
+        }
+        // Generic path (Best/Worst need every candidate's load anyway).
         let newest = view.open_bins().map(|r| r.id).max();
         let candidates: Vec<(BinId, Load)> = view
             .open_bins()
@@ -206,6 +237,51 @@ mod tests {
         assert_eq!(bf.assignment[2], bf.assignment[1]);
         let wf = engine::run(&inst, WorstFit::new()).unwrap();
         assert_eq!(wf.assignment[2], wf.assignment[0]);
+    }
+
+    /// First-Fit's `choose` without the tree fast path: the seed's scan.
+    struct SlowFirstFitRule;
+    impl FitRule for SlowFirstFitRule {
+        const NAME: &'static str = "first-fit";
+        fn choose(candidates: &[(BinId, Load)], s: Size) -> Option<BinId> {
+            FirstFitRule::choose(candidates, s)
+        }
+    }
+
+    /// Next-Fit's `choose` without the O(1) fast path.
+    struct SlowNextFitRule;
+    impl FitRule for SlowNextFitRule {
+        const NAME: &'static str = "next-fit";
+        fn choose(candidates: &[(BinId, Load)], s: Size) -> Option<BinId> {
+            NextFitRule::choose(candidates, s)
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_the_generic_scan() {
+        // Pseudo-random churny instance: many arrivals, staggered
+        // departures, sizes across the whole range (including exact fits).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut triples = Vec::new();
+        for k in 0..400u64 {
+            let t = k / 4;
+            let d = 1 + step() % 24;
+            let s = 1 + step() % 64;
+            triples.push((Time(t), Dur(d), sz(s, 64)));
+        }
+        let inst = Instance::from_triples(triples).unwrap();
+        let fast_ff = engine::run(&inst, AnyFit::<FirstFitRule>::new()).unwrap();
+        let slow_ff = engine::run(&inst, AnyFit::<SlowFirstFitRule>::new()).unwrap();
+        assert_eq!(fast_ff.assignment, slow_ff.assignment);
+        let fast_nf = engine::run(&inst, AnyFit::<NextFitRule>::new()).unwrap();
+        let slow_nf = engine::run(&inst, AnyFit::<SlowNextFitRule>::new()).unwrap();
+        assert_eq!(fast_nf.assignment, slow_nf.assignment);
     }
 
     #[test]

@@ -38,7 +38,9 @@ use std::collections::HashMap;
 
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
+use dbp_core::fit_tree::SubsetFitTree;
 use dbp_core::item::Item;
+use dbp_core::size::SIZE_SCALE;
 use dbp_core::time::Time;
 
 /// The CDFF algorithm with inline aligned-input segmentation.
@@ -67,9 +69,9 @@ pub struct Cdff {
     top_class: u32,
     /// End of the current segment: `t_0 + 2^n`.
     segment_end: Time,
-    /// Rows keyed by virtual index; each row holds open bins in opening
-    /// order.
-    rows: HashMap<u32, Vec<BinId>>,
+    /// Rows keyed by virtual index; each row mirrors its open bins (with
+    /// remaining capacity) in a First-Fit tree, in opening order.
+    rows: HashMap<u32, SubsetFitTree>,
     /// Reverse index: bin → virtual row key.
     bin_row: HashMap<BinId, u32>,
     /// Count of currently open bins (for debug assertions on segmentation).
@@ -103,7 +105,7 @@ impl Cdff {
         let mut v: Vec<(u32, Vec<BinId>)> = self
             .rows
             .iter()
-            .map(|(&k, bins)| (k, bins.clone()))
+            .map(|(&k, row)| (k, row.iter().map(|(b, _)| b).collect()))
             .collect();
         v.sort_by_key(|e| std::cmp::Reverse(e.0));
         v
@@ -174,28 +176,35 @@ impl OnlineAlgorithm for Cdff {
         self.maybe_start_new_segment(item.arrival);
         let key = self.virtual_key(item.arrival, item.class_index());
         let row = self.rows.entry(key).or_default();
-        for &b in row.iter() {
-            if view.fits(b, item.size) {
-                return Placement::Existing(b);
-            }
+        // First-Fit within the row: one O(log row) tree descent.
+        if let Some(b) = row.first_fit(item.size) {
+            debug_assert!(view.fits(b, item.size), "row mirror diverged");
+            row.place(b, item.size);
+            return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        row.push(fresh);
+        row.insert(fresh, SIZE_SCALE - item.size.raw());
         self.bin_row.insert(fresh, key);
         self.open_bins += 1;
         Placement::OpenNew
     }
 
-    fn on_departure(&mut self, _item: &Item, bin: BinId, bin_closed: bool) {
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
         if bin_closed {
             if let Some(key) = self.bin_row.remove(&bin) {
                 if let Some(row) = self.rows.get_mut(&key) {
-                    row.retain(|&b| b != bin);
+                    row.remove(bin);
                     if row.is_empty() {
                         self.rows.remove(&key);
                     }
                 }
                 self.open_bins -= 1;
+            }
+        } else if let Some(&key) = self.bin_row.get(&bin) {
+            if let Some(row) = self.rows.get_mut(&key) {
+                if row.contains(bin) {
+                    row.free(bin, item.size);
+                }
             }
         }
     }

@@ -16,7 +16,9 @@ use std::collections::HashMap;
 
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
+use dbp_core::fit_tree::SubsetFitTree;
 use dbp_core::item::Item;
+use dbp_core::size::SIZE_SCALE;
 
 /// Classify-by-duration with configurable band width (in binary duration
 /// classes per band).
@@ -24,8 +26,9 @@ use dbp_core::item::Item;
 pub struct ClassifyByDuration {
     /// Number of binary duration classes per band (≥ 1).
     width: u32,
-    /// Open bins of each band, in opening order.
-    band_bins: HashMap<u32, Vec<BinId>>,
+    /// Open bins of each band, mirrored (with remaining capacity) in a
+    /// First-Fit tree, in opening order.
+    band_bins: HashMap<u32, SubsetFitTree>,
     /// Reverse index for departures.
     bin_band: HashMap<BinId, u32>,
     name: String,
@@ -65,26 +68,32 @@ impl OnlineAlgorithm for ClassifyByDuration {
     fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
         let band = self.band(item);
         let bins = self.band_bins.entry(band).or_default();
-        // First-Fit restricted to this band's bins (kept in opening order).
-        for &b in bins.iter() {
-            if view.fits(b, item.size) {
-                return Placement::Existing(b);
-            }
+        // First-Fit restricted to this band's bins: one O(log band) query.
+        if let Some(b) = bins.first_fit(item.size) {
+            debug_assert!(view.fits(b, item.size), "band mirror diverged");
+            bins.place(b, item.size);
+            return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        bins.push(fresh);
+        bins.insert(fresh, SIZE_SCALE - item.size.raw());
         self.bin_band.insert(fresh, band);
         Placement::OpenNew
     }
 
-    fn on_departure(&mut self, _item: &Item, bin: BinId, bin_closed: bool) {
+    fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
         if bin_closed {
             if let Some(band) = self.bin_band.remove(&bin) {
                 if let Some(bins) = self.band_bins.get_mut(&band) {
-                    bins.retain(|&b| b != bin);
+                    bins.remove(bin);
                     if bins.is_empty() {
                         self.band_bins.remove(&band);
                     }
+                }
+            }
+        } else if let Some(&band) = self.bin_band.get(&bin) {
+            if let Some(bins) = self.band_bins.get_mut(&band) {
+                if bins.contains(bin) {
+                    bins.free(bin, item.size);
                 }
             }
         }

@@ -10,8 +10,6 @@
 //! benign traces, but the Section 4 adversary still forces `Ω(√log μ)` on
 //! it like on every online algorithm.
 
-use std::collections::HashMap;
-
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::item::Item;
@@ -20,14 +18,28 @@ use dbp_core::time::Time;
 /// Departure-aware best-match fit.
 #[derive(Debug, Clone, Default)]
 pub struct DepartureAwareFit {
-    /// Latest departure among residents, per open bin.
-    bin_close: HashMap<BinId, Time>,
+    /// Latest departure among residents, indexed densely by [`BinId`]
+    /// (ids are allocated sequentially and never reused, so a flat vector
+    /// gives O(1) lookups on the per-arrival scan without hashing).
+    /// `None` = closed, or a bin this algorithm never tracked.
+    bin_close: Vec<Option<Time>>,
 }
 
 impl DepartureAwareFit {
     /// Creates the algorithm.
     pub fn new() -> DepartureAwareFit {
         DepartureAwareFit::default()
+    }
+
+    fn close_of(&self, bin: BinId) -> Option<Time> {
+        self.bin_close.get(bin.index()).copied().flatten()
+    }
+
+    fn set_close(&mut self, bin: BinId, at: Option<Time>) {
+        if self.bin_close.len() <= bin.index() {
+            self.bin_close.resize(bin.index() + 1, None);
+        }
+        self.bin_close[bin.index()] = at;
     }
 }
 
@@ -44,11 +56,7 @@ impl OnlineAlgorithm for DepartureAwareFit {
             if !rec.fits(item.size) {
                 continue;
             }
-            let close = self
-                .bin_close
-                .get(&rec.id)
-                .copied()
-                .unwrap_or(rec.opened_at);
+            let close = self.close_of(rec.id).unwrap_or(rec.opened_at);
             let (dist, extends) = if close >= item.departure {
                 (close.ticks() - item.departure.ticks(), 0u8)
             } else {
@@ -67,21 +75,21 @@ impl OnlineAlgorithm for DepartureAwareFit {
         }
         match best {
             Some((_, _, b)) => {
-                let e = self.bin_close.entry(b).or_insert(item.departure);
-                *e = (*e).max(item.departure);
+                let close = self.close_of(b).unwrap_or(item.departure);
+                self.set_close(b, Some(close.max(item.departure)));
                 Placement::Existing(b)
             }
             None => {
                 let fresh = view.next_bin_id();
-                self.bin_close.insert(fresh, item.departure);
+                self.set_close(fresh, Some(item.departure));
                 Placement::OpenNew
             }
         }
     }
 
     fn on_departure(&mut self, _item: &Item, bin: BinId, bin_closed: bool) {
-        if bin_closed {
-            self.bin_close.remove(&bin);
+        if bin_closed && bin.index() < self.bin_close.len() {
+            self.bin_close[bin.index()] = None;
         }
     }
 

@@ -38,6 +38,7 @@ use std::collections::HashMap;
 
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
+use dbp_core::fit_tree::SubsetFitTree;
 use dbp_core::item::Item;
 use dbp_core::size::SIZE_SCALE;
 use dbp_core::time::Time;
@@ -110,13 +111,21 @@ pub enum InnerFit {
 }
 
 impl InnerFit {
-    /// Chooses among `bins` (in opening order) for an item of size `s`.
-    fn choose(self, view: &SimView<'_>, bins: &[BinId], s: dbp_core::size::Size) -> Option<BinId> {
+    /// Chooses among a group's bins (mirrored in a [`SubsetFitTree`], in
+    /// opening order) for an item of size `s`. First-Fit is a single
+    /// O(log k) tree descent — the hot path for the paper's presentation;
+    /// Best/Worst genuinely need every candidate's load and iterate.
+    fn choose(
+        self,
+        view: &SimView<'_>,
+        bins: &SubsetFitTree,
+        s: dbp_core::size::Size,
+    ) -> Option<BinId> {
         match self {
-            InnerFit::First => bins.iter().copied().find(|&b| view.fits(b, s)),
+            InnerFit::First => bins.first_fit(s),
             InnerFit::Best => bins
                 .iter()
-                .copied()
+                .map(|(b, _)| b)
                 .filter(|&b| view.fits(b, s))
                 .max_by_key(|&b| {
                     (
@@ -126,7 +135,7 @@ impl InnerFit {
                 }),
             InnerFit::Worst => bins
                 .iter()
-                .copied()
+                .map(|(b, _)| b)
                 .filter(|&b| view.fits(b, s))
                 .min_by_key(|&b| (view.bin(b).map(|r| r.load).unwrap_or_default(), b)),
         }
@@ -147,8 +156,9 @@ struct TypeState {
     /// Total fixed-point load of currently active items of this type
     /// (whether they sit in GN or CD bins).
     active_load_raw: u64,
-    /// Open CD bins dedicated to this type, in opening order.
-    cd_bins: Vec<BinId>,
+    /// Open CD bins dedicated to this type, mirrored (with remaining
+    /// capacity) in insertion = opening order.
+    cd_bins: SubsetFitTree,
     /// Number of active items of this type (for garbage collection).
     active_items: u32,
 }
@@ -184,8 +194,8 @@ pub struct HybridAlgorithm {
     threshold: Threshold,
     inner_fit: InnerFit,
     types: HashMap<HaType, TypeState>,
-    /// Open GN bins in opening order.
-    gn_bins: Vec<BinId>,
+    /// Open GN bins, mirrored (with remaining capacity) in opening order.
+    gn_bins: SubsetFitTree,
     /// Kind and (for CD) owning type of every bin HA ever opened.
     bin_info: HashMap<BinId, (BinKind, Option<HaType>)>,
     /// Running count of open GN bins (observable for Lemma 3.3).
@@ -232,7 +242,7 @@ impl HybridAlgorithm {
             threshold,
             inner_fit,
             types: HashMap::new(),
-            gn_bins: Vec::new(),
+            gn_bins: SubsetFitTree::new(),
             bin_info: HashMap::new(),
             gn_open: 0,
             cd_open: 0,
@@ -295,10 +305,11 @@ impl OnlineAlgorithm for HybridAlgorithm {
         // type's CD bins, opening another CD bin if none fits.
         if !state.cd_bins.is_empty() {
             if let Some(b) = self.inner_fit.choose(view, &state.cd_bins, item.size) {
+                state.cd_bins.place(b, item.size);
                 return Placement::Existing(b);
             }
             let fresh = view.next_bin_id();
-            state.cd_bins.push(fresh);
+            state.cd_bins.insert(fresh, SIZE_SCALE - item.size.raw());
             self.bin_info.insert(fresh, (BinKind::Cd, Some(ty)));
             self.cd_open += 1;
             return Placement::OpenNew;
@@ -308,7 +319,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
         // CD bin for this type.
         if self.threshold.exceeded(state.active_load_raw, ty.i) {
             let fresh = view.next_bin_id();
-            state.cd_bins.push(fresh);
+            state.cd_bins.insert(fresh, SIZE_SCALE - item.size.raw());
             self.bin_info.insert(fresh, (BinKind::Cd, Some(ty)));
             self.cd_open += 1;
             return Placement::OpenNew;
@@ -316,10 +327,11 @@ impl OnlineAlgorithm for HybridAlgorithm {
 
         // Rule 3: Any-Fit over the GN bins (First-Fit by default).
         if let Some(b) = self.inner_fit.choose(view, &self.gn_bins, item.size) {
+            self.gn_bins.place(b, item.size);
             return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        self.gn_bins.push(fresh);
+        self.gn_bins.insert(fresh, SIZE_SCALE - item.size.raw());
         self.bin_info.insert(fresh, (BinKind::Gn, None));
         self.gn_open += 1;
         self.gn_peak = self.gn_peak.max(self.gn_open);
@@ -332,20 +344,32 @@ impl OnlineAlgorithm for HybridAlgorithm {
             state.active_load_raw -= item.size.raw();
             state.active_items -= 1;
         }
-        if bin_closed {
-            match self.bin_info.remove(&bin) {
-                Some((BinKind::Gn, _)) => {
-                    self.gn_bins.retain(|&b| b != bin);
+        // Keep the capacity mirrors in sync: a surviving bin regains the
+        // departed size; an emptied bin leaves its group's index.
+        match self.bin_info.get(&bin) {
+            Some(&(BinKind::Gn, _)) => {
+                if bin_closed {
+                    self.gn_bins.remove(bin);
+                    self.bin_info.remove(&bin);
                     self.gn_open -= 1;
+                } else if self.gn_bins.contains(bin) {
+                    self.gn_bins.free(bin, item.size);
                 }
-                Some((BinKind::Cd, Some(owner))) => {
-                    if let Some(state) = self.types.get_mut(&owner) {
-                        state.cd_bins.retain(|&b| b != bin);
+            }
+            Some(&(BinKind::Cd, Some(owner))) => {
+                if let Some(state) = self.types.get_mut(&owner) {
+                    if bin_closed {
+                        state.cd_bins.remove(bin);
+                    } else if state.cd_bins.contains(bin) {
+                        state.cd_bins.free(bin, item.size);
                     }
+                }
+                if bin_closed {
+                    self.bin_info.remove(&bin);
                     self.cd_open -= 1;
                 }
-                _ => {}
             }
+            _ => {}
         }
         // Garbage-collect exhausted types.
         if let Some(state) = self.types.get(&ty) {

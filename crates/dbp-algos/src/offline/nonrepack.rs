@@ -12,6 +12,7 @@
 use dbp_core::algorithm::OnlineAlgorithm;
 use dbp_core::cost::Area;
 use dbp_core::engine;
+use dbp_core::fit_tree::FitTree;
 use dbp_core::instance::Instance;
 use dbp_core::item::Item;
 use dbp_core::size::SIZE_SCALE;
@@ -43,6 +44,15 @@ pub struct PortfolioResult {
 /// Coloring, realized greedily (see DESIGN.md §5).
 ///
 /// Returns `(cost, assignment)`; the assignment is indexed by item id.
+///
+/// The per-item bin search is guided by a [`FitTree`] keyed on each bin's
+/// *free floor* — `1 − (peak load over the bin's busy window)`. A floor
+/// ≥ the item's size guarantees the per-checkpoint capacity check passes
+/// (the load never exceeds its window peak), so the tree's first
+/// floor-qualifying, window-overlapping bin is accepted with no checkpoint
+/// scan at all, and the exact scan is confined to the prefix before it.
+/// The selected bin is identical to the seed's full linear scan (verified
+/// by a differential test against an independent oracle).
 pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
     #[derive(Debug)]
     struct OffBin {
@@ -51,19 +61,19 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
         close_at: Time,
     }
     impl OffBin {
+        /// The item must overlap the bin's busy window STRICTLY on both
+        /// sides. Touching is not enough: with departures processed
+        /// before arrivals, items meeting only at a junction point (one
+        /// departs at t, the other arrives at t) leave the bin
+        /// momentarily empty — and an emptied bin is closed forever.
+        /// Strict window overlap inductively keeps every interior point
+        /// of the busy window strictly spanned by some item.
+        fn window_overlaps(&self, item: &Item) -> bool {
+            item.arrival < self.close_at && item.departure > self.open_from
+        }
         fn can_accept(&self, item: &Item) -> bool {
-            // The item must overlap the bin's busy window STRICTLY on both
-            // sides. Touching is not enough: with departures processed
-            // before arrivals, items meeting only at a junction point (one
-            // departs at t, the other arrives at t) leave the bin
-            // momentarily empty — and an emptied bin is closed forever.
-            // Strict window overlap inductively keeps every interior point
-            // of the busy window strictly spanned by some item.
-            if item.arrival >= self.close_at {
-                return false; // at/after close ⇒ closed-bin reuse
-            }
-            if item.departure <= self.open_from {
-                return false; // at/before open ⇒ gap or junction on the left
+            if !self.window_overlaps(item) {
+                return false;
             }
             // Capacity at every arrival breakpoint inside the item's span.
             let mut checkpoints = vec![item.arrival];
@@ -87,19 +97,58 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
             self.close_at = self.close_at.max(item.departure);
             self.items.push(item);
         }
+        /// True maximum of the bin's load step-function over time, by an
+        /// event sweep (departures before arrivals at equal times, matching
+        /// the engine's `t⁻`/`t⁺` convention).
+        fn peak_load(&self) -> u64 {
+            let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * self.items.len());
+            for r in &self.items {
+                events.push((r.arrival, r.size.raw() as i64));
+                events.push((r.departure, -(r.size.raw() as i64)));
+            }
+            events.sort_unstable_by_key(|&(t, d)| (t, d));
+            let mut load = 0i64;
+            let mut peak = 0i64;
+            for (_, d) in events {
+                load += d;
+                peak = peak.max(load);
+            }
+            peak as u64
+        }
     }
 
     let mut order: Vec<&Item> = instance.items().iter().collect();
     order.sort_by_key(|it| (std::cmp::Reverse(it.class_index()), it.arrival, it.id));
 
     let mut bins: Vec<OffBin> = Vec::new();
+    // Slot k mirrors bins[k]; key = free floor (capacity minus window peak).
+    let mut floors = FitTree::new();
     let mut assignment = vec![0u32; instance.len()];
     for it in order {
-        let slot = bins.iter().position(|b| b.can_accept(it));
+        let size = it.size.raw();
+        // First bin whose floor admits the item AND whose window overlaps:
+        // guaranteed acceptable, no checkpoint scan needed.
+        let mut guaranteed = floors.first_fit(size);
+        while let Some(idx) = guaranteed {
+            if bins[idx].window_overlaps(it) {
+                break;
+            }
+            guaranteed = floors.first_fit_from(idx + 1, size);
+        }
+        // Bins before it all have floor < size (or a disjoint window); only
+        // the window-overlapping ones can still accept — via a peak that
+        // lies outside the item's span — and need the exact check.
+        let limit = guaranteed.unwrap_or(bins.len());
+        let slot = bins[..limit]
+            .iter()
+            .position(|b| b.can_accept(it))
+            .or(guaranteed);
         match slot {
             Some(idx) => {
+                debug_assert!(bins[idx].can_accept(it), "floor jump overshot");
                 bins[idx].accept(*it);
                 assignment[it.id.index()] = idx as u32;
+                floors.set_remaining(idx, SIZE_SCALE - bins[idx].peak_load());
             }
             None => {
                 assignment[it.id.index()] = bins.len() as u32;
@@ -108,6 +157,8 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
                     open_from: it.arrival,
                     close_at: it.departure,
                 });
+                let s = floors.push(SIZE_SCALE - size);
+                debug_assert_eq!(s, bins.len() - 1);
             }
         }
     }
@@ -215,6 +266,94 @@ mod tests {
         let report = dbp_core::assignment::audit(&inst, &bins).expect("feasible");
         assert_eq!(report.cost, cost);
         assert!(cost >= LowerBounds::of(&inst).best());
+    }
+
+    /// The seed's plain O(bins) scan, reimplemented independently as an
+    /// oracle: first bin (in opening order) whose busy window strictly
+    /// overlaps the item and whose load at every arrival breakpoint inside
+    /// the item's span leaves room.
+    fn dlff_naive(instance: &Instance) -> (Area, Vec<u32>) {
+        struct NaiveBin {
+            items: Vec<dbp_core::item::Item>,
+            open_from: Time,
+            close_at: Time,
+        }
+        let accepts = |b: &NaiveBin, it: &dbp_core::item::Item| {
+            if it.arrival >= b.close_at || it.departure <= b.open_from {
+                return false;
+            }
+            let mut checkpoints = vec![it.arrival];
+            for r in &b.items {
+                if r.arrival > it.arrival && r.arrival < it.departure {
+                    checkpoints.push(r.arrival);
+                }
+            }
+            checkpoints.iter().all(|&t| {
+                let load: u64 = b
+                    .items
+                    .iter()
+                    .filter(|r| r.active_at(t))
+                    .map(|r| r.size.raw())
+                    .sum();
+                load + it.size.raw() <= dbp_core::size::SIZE_SCALE
+            })
+        };
+        let mut order: Vec<&dbp_core::item::Item> = instance.items().iter().collect();
+        order.sort_by_key(|it| (std::cmp::Reverse(it.class_index()), it.arrival, it.id));
+        let mut bins: Vec<NaiveBin> = Vec::new();
+        let mut assignment = vec![0u32; instance.len()];
+        for it in order {
+            match bins.iter().position(|b| accepts(b, it)) {
+                Some(idx) => {
+                    bins[idx].open_from = bins[idx].open_from.min(it.arrival);
+                    bins[idx].close_at = bins[idx].close_at.max(it.departure);
+                    bins[idx].items.push(*it);
+                    assignment[it.id.index()] = idx as u32;
+                }
+                None => {
+                    assignment[it.id.index()] = bins.len() as u32;
+                    bins.push(NaiveBin {
+                        items: vec![*it],
+                        open_from: it.arrival,
+                        close_at: it.departure,
+                    });
+                }
+            }
+        }
+        let ticks: u64 = bins
+            .iter()
+            .map(|b| b.close_at.since(b.open_from).ticks())
+            .sum();
+        (Area::from_bin_ticks(Dur(ticks)), assignment)
+    }
+
+    #[test]
+    fn tree_guided_dlff_matches_the_naive_scan() {
+        // Several deterministic pseudo-random instances with heavy window
+        // churn: bins close and never reopen, floors rise and fall, and the
+        // ambiguous prefix (floor < size but local capacity available) is
+        // exercised by the size mix.
+        for seed in [3u64, 77, 2024] {
+            let mut x = seed | 1;
+            let mut step = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut triples = Vec::new();
+            for k in 0..260u64 {
+                let t = (step() % 40).min(k);
+                let d = 1 + step() % 48;
+                let s = 1 + step() % 80;
+                triples.push((Time(t), Dur(d), sz(s, 80)));
+            }
+            let inst = Instance::from_triples(triples).unwrap();
+            let (cost, assignment) = duration_layered_first_fit(&inst);
+            let (naive_cost, naive_assignment) = dlff_naive(&inst);
+            assert_eq!(assignment, naive_assignment, "seed {seed}");
+            assert_eq!(cost, naive_cost, "seed {seed}");
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Scenario {
         let count = ((self.sessions_per_day as f64) * jitter).round() as usize;
         let mut sessions: Vec<SessionRequest> = (0..count)
             .map(|k| {
-                let long = rng.gen_range(0..100) < self.long_pct;
+                let long = rng.gen_range(0u32..100) < self.long_pct;
                 let mean = if long { self.long_len } else { self.short_len };
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let len = ((-(mean as f64) * u.ln()).round() as u64).max(1);

@@ -48,8 +48,7 @@ impl<'a> SimView<'a> {
     pub fn open_bins(&self) -> impl Iterator<Item = &'a BinRecord> + '_ {
         let bins = self.bins;
         bins.open_ids()
-            .iter()
-            .map(move |&b| bins.record(b).expect("open id always has a record"))
+            .map(move |b| bins.record(b).expect("open id always has a record"))
     }
 
     /// Number of currently open bins.
@@ -73,9 +72,38 @@ impl<'a> SimView<'a> {
     }
 
     /// First-Fit over *all* open bins: the earliest-opened bin with room.
+    /// Answered by the capacity tournament tree in O(log B); selects the
+    /// identical bin as the linear scan ([`SimView::first_fit_linear`]).
     #[inline]
     pub fn first_fit(&self, s: Size) -> Option<BinId> {
         self.bins.first_fit(s)
+    }
+
+    /// The seed's naive O(B) First-Fit scan, retained as a differential
+    /// oracle for [`SimView::first_fit`] (and for before/after benchmarks).
+    #[inline]
+    pub fn first_fit_linear(&self, s: Size) -> Option<BinId> {
+        self.bins.first_fit_linear(s)
+    }
+
+    /// First-Fit restricted to an explicit candidate list: the first bin
+    /// *in slice order* that is open and fits `s`.
+    ///
+    /// This is the drop-in upgrade for algorithms that keep small candidate
+    /// sets as `Vec<BinId>`; each membership test is O(1), so the query is
+    /// O(candidates) instead of O(candidates · open-bins). Classes with
+    /// *large* candidate sets should mirror them in a
+    /// [`crate::fit_tree::SubsetFitTree`] instead, which answers the same
+    /// query in O(log candidates).
+    pub fn first_fit_among(&self, candidates: &[BinId], s: Size) -> Option<BinId> {
+        candidates.iter().copied().find(|&b| self.fits(b, s))
+    }
+
+    /// The most recently opened bin still open (Next-Fit's candidate), in
+    /// O(1).
+    #[inline]
+    pub fn newest_open(&self) -> Option<BinId> {
+        self.bins.newest_open()
     }
 
     /// The id the engine will assign to the next freshly opened bin.

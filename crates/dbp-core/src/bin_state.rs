@@ -1,9 +1,27 @@
 //! Bin bookkeeping shared by the engine and (read-only) by algorithms.
+//!
+//! This is the simulator's hot path: every arrival queries First-Fit over
+//! the open bins and every departure updates one bin. The store therefore
+//! keeps three indexes alongside the flat record table:
+//!
+//! * a capacity tournament tree ([`crate::fit_tree::FitTree`], slot =
+//!   [`BinId`]) answering First-Fit in O(log B) instead of O(B);
+//! * a per-bin position index into the opening-order open list, so closing
+//!   a bin is O(1) (tombstone + amortized compaction) instead of an O(B)
+//!   order-preserving `Vec::remove`;
+//! * a per-item slot index into its bin's resident list, so a departure's
+//!   item removal is O(1) instead of an O(items) scan.
+//!
+//! All three are pure indexes: the observable behaviour (which bin
+//! First-Fit picks, the iteration order of open bins) is bit-for-bit the
+//! linear-scan semantics, and [`BinStore::first_fit_linear`] retains the
+//! naive scan as a differential-testing oracle.
 
 use core::fmt;
 
+use crate::fit_tree::FitTree;
 use crate::item::ItemId;
-use crate::size::{Load, Size};
+use crate::size::{Load, Size, SIZE_SCALE};
 use crate::time::Time;
 
 /// Identifier of a bin, assigned in opening order (bin 0 opened first).
@@ -26,6 +44,14 @@ impl fmt::Display for BinId {
     }
 }
 
+/// Tombstone marking a closed bin's slot in the open list until the next
+/// compaction. `u32::MAX` can never collide with a real id: `BinStore::open`
+/// rejects that many bins first.
+const TOMBSTONE: BinId = BinId(u32::MAX);
+
+/// Sentinel for "no position" in the `u32` position indexes.
+const NO_POS: u32 = u32::MAX;
+
 /// The engine-side record of one bin.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinRecord {
@@ -40,6 +66,7 @@ pub struct BinRecord {
     /// Number of currently resident items.
     pub resident: u32,
     /// Ids of currently resident items (kept for diagnostics & figures).
+    /// Order is not meaningful (removals swap).
     pub items: Vec<ItemId>,
 }
 
@@ -59,13 +86,25 @@ impl BinRecord {
 
 /// The set of all bins ever opened during a run, indexed by [`BinId`].
 ///
-/// Open bins are additionally tracked in opening order, which is exactly the
-/// order First-Fit scans.
+/// Open bins are additionally tracked in opening order, which is exactly
+/// the order First-Fit scans, plus a capacity tournament tree that answers
+/// First-Fit queries in O(log B) (see the module docs for the invariants).
 #[derive(Debug, Default, Clone)]
 pub struct BinStore {
     bins: Vec<BinRecord>,
-    /// Open bins in opening order (ascending `BinId`).
+    /// Open bins in opening order (ascending `BinId`), with [`TOMBSTONE`]
+    /// holes for recently closed bins. Trailing tombstones are trimmed
+    /// eagerly (so `open.last()` is always live) and interior ones are
+    /// compacted away once they outnumber live entries.
     open: Vec<BinId>,
+    /// `open_pos[bin] == i` ⇔ `open[i] == bin`; [`NO_POS`] once closed.
+    open_pos: Vec<u32>,
+    /// Number of tombstones currently in `open`.
+    dead: usize,
+    /// Capacity tournament tree; slot = `BinId` index, closed bins keyed 0.
+    tree: FitTree,
+    /// `item_pos[item] == i` ⇔ the item sits at `items[i]` of its bin.
+    item_pos: Vec<u32>,
 }
 
 impl BinStore {
@@ -74,9 +113,26 @@ impl BinStore {
         BinStore::default()
     }
 
+    /// An empty store pre-sized for `bins` bins and `items` items: every
+    /// index (records, open list, position maps, tournament tree) reserves
+    /// up front, so a run that stays within the estimate never reallocates
+    /// or rebuilds the tree.
+    pub fn with_capacity(bins: usize, items: usize) -> BinStore {
+        BinStore {
+            bins: Vec::with_capacity(bins),
+            open: Vec::with_capacity(bins),
+            open_pos: Vec::with_capacity(bins),
+            dead: 0,
+            tree: FitTree::with_capacity(bins),
+            item_pos: Vec::with_capacity(items),
+        }
+    }
+
     /// Opens a new bin at time `t` and returns its id.
     pub fn open(&mut self, t: Time) -> BinId {
-        let id = BinId(u32::try_from(self.bins.len()).expect("too many bins"));
+        let raw = u32::try_from(self.bins.len()).expect("too many bins");
+        assert!(raw != TOMBSTONE.0, "too many bins");
+        let id = BinId(raw);
         self.bins.push(BinRecord {
             id,
             opened_at: t,
@@ -85,7 +141,10 @@ impl BinStore {
             resident: 0,
             items: Vec::new(),
         });
+        self.open_pos.push(self.open.len() as u32);
         self.open.push(id);
+        let slot = self.tree.push(SIZE_SCALE);
+        debug_assert_eq!(slot, id.index());
         id
     }
 
@@ -97,7 +156,14 @@ impl BinStore {
         debug_assert!(rec.fits(size));
         rec.load += size;
         rec.resident += 1;
+        let idx = item.index();
+        if idx >= self.item_pos.len() {
+            self.item_pos.resize(idx + 1, NO_POS);
+        }
+        self.item_pos[idx] = rec.items.len() as u32;
         rec.items.push(item);
+        self.tree
+            .set_remaining(bin.index(), SIZE_SCALE - rec.load.raw());
     }
 
     /// Removes an item from a bin; closes the bin (recording `t`) when it
@@ -107,19 +173,53 @@ impl BinStore {
         debug_assert!(rec.is_open());
         rec.load -= size;
         rec.resident -= 1;
-        if let Some(pos) = rec.items.iter().position(|&i| i == item) {
+        // O(1) removal through the position index, with the seed's tolerant
+        // linear scan as a fallback for items the index never saw.
+        let indexed = self
+            .item_pos
+            .get(item.index())
+            .map(|&p| p as usize)
+            .filter(|&p| p < rec.items.len() && rec.items[p] == item);
+        let pos = indexed.or_else(|| rec.items.iter().position(|&i| i == item));
+        if let Some(pos) = pos {
             rec.items.swap_remove(pos);
+            self.item_pos[item.index()] = NO_POS;
+            if let Some(&moved) = rec.items.get(pos) {
+                self.item_pos[moved.index()] = pos as u32;
+            }
         }
         if rec.resident == 0 {
             rec.closed_at = Some(t);
-            // Bins close in arbitrary order: remove from the open list while
-            // preserving the relative (opening) order of the rest.
-            if let Some(pos) = self.open.iter().position(|&b| b == bin) {
-                self.open.remove(pos);
+            self.tree.close(bin.index());
+            // O(1) open-list removal: tombstone the slot; opening order of
+            // the survivors is untouched.
+            let pos = self.open_pos[bin.index()] as usize;
+            debug_assert_eq!(self.open[pos], bin);
+            self.open[pos] = TOMBSTONE;
+            self.open_pos[bin.index()] = NO_POS;
+            self.dead += 1;
+            while self.open.last() == Some(&TOMBSTONE) {
+                self.open.pop();
+                self.dead -= 1;
+            }
+            if self.dead * 2 > self.open.len() {
+                self.compact_open();
             }
             true
         } else {
+            self.tree
+                .set_remaining(bin.index(), SIZE_SCALE - rec.load.raw());
             false
+        }
+    }
+
+    /// Rebuilds the open list without tombstones. Runs when tombstones
+    /// outnumber live bins, so its O(B) cost amortizes to O(1) per close.
+    fn compact_open(&mut self) {
+        self.open.retain(|&b| b != TOMBSTONE);
+        self.dead = 0;
+        for (i, &b) in self.open.iter().enumerate() {
+            self.open_pos[b.index()] = i as u32;
         }
     }
 
@@ -131,14 +231,22 @@ impl BinStore {
 
     /// Ids of currently open bins, in opening order.
     #[inline]
-    pub fn open_ids(&self) -> &[BinId] {
-        &self.open
+    pub fn open_ids(&self) -> impl Iterator<Item = BinId> + '_ {
+        self.open.iter().copied().filter(|&b| b != TOMBSTONE)
     }
 
     /// Number of currently open bins.
     #[inline]
     pub fn open_count(&self) -> usize {
-        self.open.len()
+        self.open.len() - self.dead
+    }
+
+    /// The most recently opened bin that is still open (Next-Fit's
+    /// candidate), in O(1).
+    #[inline]
+    pub fn newest_open(&self) -> Option<BinId> {
+        // Trailing tombstones are trimmed on close, so `last` is live.
+        self.open.last().copied()
     }
 
     /// Total number of bins ever opened.
@@ -154,12 +262,21 @@ impl BinStore {
     }
 
     /// First open bin (in opening order) that fits `s` — the First-Fit
-    /// choice over all open bins.
+    /// choice over all open bins, answered by the tournament tree in
+    /// O(log B). Selects the identical bin as [`BinStore::first_fit_linear`]
+    /// (the key encoding makes the predicates equal; see
+    /// [`crate::fit_tree`]).
     pub fn first_fit(&self, s: Size) -> Option<BinId> {
-        self.open
-            .iter()
-            .copied()
-            .find(|&b| self.bins[b.index()].fits(s))
+        let slot = self.tree.first_fit(s.raw())?;
+        let id = self.bins[slot].id;
+        debug_assert!(self.bins[slot].is_open() && self.bins[slot].fits(s));
+        Some(id)
+    }
+
+    /// The seed's naive O(B) First-Fit scan, retained verbatim as the
+    /// differential-testing oracle for [`BinStore::first_fit`].
+    pub fn first_fit_linear(&self, s: Size) -> Option<BinId> {
+        self.open_ids().find(|&b| self.bins[b.index()].fits(s))
     }
 }
 
@@ -184,7 +301,7 @@ mod tests {
         assert!(!store.remove(b0, ItemId(0), half(), Time(5)));
         assert!(store.remove(b0, ItemId(1), half(), Time(6)));
         assert_eq!(store.record(b0).unwrap().closed_at, Some(Time(6)));
-        assert_eq!(store.open_ids(), &[b1]);
+        assert_eq!(store.open_ids().collect::<Vec<_>>(), [b1]);
         assert_eq!(store.total_opened(), 2);
     }
 
@@ -215,6 +332,95 @@ mod tests {
         store.add(b1, ItemId(1), half());
         store.add(b2, ItemId(2), half());
         store.remove(b1, ItemId(1), half(), Time(1));
-        assert_eq!(store.open_ids(), &[b0, b2]);
+        assert_eq!(store.open_ids().collect::<Vec<_>>(), [b0, b2]);
+    }
+
+    #[test]
+    fn tree_and_linear_first_fit_agree_through_churn() {
+        let mut store = BinStore::new();
+        let sizes = [
+            Size::from_ratio(1, 3),
+            Size::from_ratio(2, 3),
+            Size::from_ratio(1, 7),
+            Size::from_raw(0),
+            Size::FULL,
+        ];
+        let mut resident: Vec<(BinId, ItemId, Size)> = Vec::new();
+        let mut state = 0xdead_beefu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..2_000 {
+            let s = sizes[(rand() % sizes.len() as u64) as usize];
+            for &probe in &sizes {
+                assert_eq!(
+                    store.first_fit(probe),
+                    store.first_fit_linear(probe),
+                    "divergence at step {step}"
+                );
+            }
+            let item = ItemId(step as u32);
+            let bin = match store.first_fit(s) {
+                Some(b) => b,
+                None => store.open(Time(step)),
+            };
+            store.add(bin, item, s);
+            resident.push((bin, item, s));
+            // Randomly depart ~half the arrivals to churn closes.
+            while rand() % 2 == 0 && !resident.is_empty() {
+                let k = (rand() % resident.len() as u64) as usize;
+                let (b, i, sz) = resident.swap_remove(k);
+                store.remove(b, i, sz, Time(step));
+            }
+        }
+        assert!(store.open_count() <= store.total_opened());
+    }
+
+    #[test]
+    fn newest_open_tracks_closes() {
+        let mut store = BinStore::new();
+        assert_eq!(store.newest_open(), None);
+        let b0 = store.open(Time(0));
+        let b1 = store.open(Time(0));
+        let b2 = store.open(Time(0));
+        store.add(b0, ItemId(0), half());
+        store.add(b1, ItemId(1), half());
+        store.add(b2, ItemId(2), half());
+        assert_eq!(store.newest_open(), Some(b2));
+        store.remove(b2, ItemId(2), half(), Time(1));
+        assert_eq!(store.newest_open(), Some(b1));
+        store.remove(b0, ItemId(0), half(), Time(1));
+        assert_eq!(store.newest_open(), Some(b1));
+        store.remove(b1, ItemId(1), half(), Time(2));
+        assert_eq!(store.newest_open(), None);
+        assert_eq!(store.open_count(), 0);
+    }
+
+    #[test]
+    fn heavy_interior_closes_stay_consistent() {
+        // Open many bins, close every other one from the middle out: the
+        // tombstone compaction must preserve opening order and counts.
+        let mut store = BinStore::new();
+        let mut ids = Vec::new();
+        for i in 0..1_000u32 {
+            let b = store.open(Time(0));
+            store.add(b, ItemId(i), Size::FULL);
+            ids.push(b);
+        }
+        for (k, &b) in ids.iter().enumerate() {
+            if k % 2 == 0 {
+                store.remove(b, ItemId(k as u32), Size::FULL, Time(1));
+            }
+        }
+        assert_eq!(store.open_count(), 500);
+        let survivors: Vec<BinId> = store.open_ids().collect();
+        assert_eq!(survivors.len(), 500);
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        assert_eq!(store.first_fit(half()), None, "all survivors full");
+        store.remove(ids[1], ItemId(1), Size::FULL, Time(2));
+        assert_eq!(store.open_count(), 499);
     }
 }

@@ -11,6 +11,12 @@
 //! departures are processed before any arrival (the paper's `t⁻`/`t⁺`
 //! convention), bins close permanently when they empty, and the
 //! MinUsageTime cost of a bin is `closed_at − opened_at`.
+//!
+//! Per-event cost: an arrival is O(log B) when the algorithm answers
+//! through the store's capacity tournament tree (placement validation is
+//! O(1)); a departure is O(1) amortized ([`BinStore`]'s position indexes).
+//! [`run`] pre-reserves every per-item and per-bin table from the
+//! instance size, so batch replays allocate O(1) times.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -85,16 +91,24 @@ pub struct InteractiveSim<A: OnlineAlgorithm> {
 
 impl<A: OnlineAlgorithm> InteractiveSim<A> {
     /// Starts a simulation driving `algo`. The algorithm is reset first.
-    pub fn new(mut algo: A) -> InteractiveSim<A> {
+    pub fn new(algo: A) -> InteractiveSim<A> {
+        InteractiveSim::with_capacity(algo, 0)
+    }
+
+    /// Starts a simulation pre-reserving space for `items` items (and as
+    /// many bins — the worst case opens one per item). Behaviour is
+    /// identical to [`InteractiveSim::new`]; runs within the estimate just
+    /// never reallocate their bookkeeping or rebuild the placement tree.
+    pub fn with_capacity(mut algo: A, items: usize) -> InteractiveSim<A> {
         algo.reset();
         InteractiveSim {
             algo,
-            bins: BinStore::new(),
+            bins: BinStore::with_capacity(items, items),
             now: Time::ZERO,
             started: false,
-            departures: BinaryHeap::new(),
-            items: Vec::new(),
-            assignment: Vec::new(),
+            departures: BinaryHeap::with_capacity(items),
+            items: Vec::with_capacity(items),
+            assignment: Vec::with_capacity(items),
             cost: Area::ZERO,
             max_open: 0,
             timeline: Vec::new(),
@@ -359,7 +373,7 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
 /// assert_eq!(result.cost.as_bin_ticks(), 10.0);
 /// ```
 pub fn run<A: OnlineAlgorithm>(instance: &Instance, algo: A) -> Result<PackingResult, EngineError> {
-    let mut sim = InteractiveSim::new(algo);
+    let mut sim = InteractiveSim::with_capacity(algo, instance.len());
     for it in instance.items() {
         sim.arrive_at(it.arrival, it.duration(), it.size)?;
     }

@@ -1,0 +1,481 @@
+//! The O(log B) placement kernel: a capacity-indexed tournament tree.
+//!
+//! First-Fit — and every restricted variant the paper's algorithms build on
+//! it (HA's per-type CD chains, CDFF's rows, CBD's bands) — asks one query
+//! per arrival: *the earliest-opened bin with at least `s` remaining
+//! capacity*. A linear scan pays O(open bins), and the paper's own
+//! instances (adversary ladders, σ_μ, the Ω(√log μ) families) are exactly
+//! the ones that drive the open-bin count into the thousands.
+//!
+//! [`FitTree`] answers the query in O(log B): a complete binary tournament
+//! tree (segment tree) over *bin slots* in opening order, where each leaf
+//! holds a key derived from the bin's remaining capacity and each internal
+//! node holds the maximum key of its subtree. The First-Fit bin is found by
+//! descending from the root, always preferring the left child whose max
+//! still qualifies — the leftmost qualifying leaf, i.e. the
+//! earliest-opened fitting bin.
+//!
+//! **Key encoding.** A leaf stores `remaining + 1` for an open slot and `0`
+//! for a closed (or never-used) slot. An item of raw size `s` fits iff
+//! `remaining ≥ s` iff `key ≥ s + 1`. Because `s + 1 ≥ 1 > 0`, closed
+//! slots never qualify — including for zero-size items, which (exactly like
+//! the linear scan) match the first *open* bin. Since sizes are exact
+//! fixed-point integers ([`crate::size::SIZE_SCALE`]), the tree's
+//! comparison is bit-for-bit the same predicate as
+//! [`crate::size::Load::fits`]; the tree and the scan cannot disagree.
+//!
+//! **Tie-breaking invariant.** Slots are allocated in opening order and
+//! never reused, so "leftmost qualifying leaf" and "First-Fit over open
+//! bins in opening order" are the same bin by construction. [`BinStore`]
+//! (crate::bin_state::BinStore) uses slot = [`BinId`] index; per-class
+//! [`SubsetFitTree`]s rely on classes inserting their bins in ascending
+//! `BinId` order (asserted in debug builds).
+
+use std::collections::HashMap;
+
+use crate::bin_state::BinId;
+use crate::size::Size;
+
+/// Max-tournament tree over capacity keys, indexed by slot (leaf) number.
+///
+/// Slots are append-only (`push`); capacity doubles as needed, so `push` is
+/// amortized O(1) and point updates / queries are O(log slots).
+#[derive(Debug, Default, Clone)]
+pub struct FitTree {
+    /// Heap-shaped max tree: `keys[1]` is the root, children of `i` are
+    /// `2i` and `2i+1`, leaves are `keys[cap..cap + cap]`. Key = remaining
+    /// capacity + 1 for open slots, 0 for closed/unused slots.
+    keys: Vec<u64>,
+    /// Number of leaves (a power of two, or 0 before the first push).
+    cap: usize,
+    /// Number of slots ever allocated.
+    len: usize,
+}
+
+impl FitTree {
+    /// An empty tree.
+    pub fn new() -> FitTree {
+        FitTree::default()
+    }
+
+    /// An empty tree pre-sized for `n` slots.
+    pub fn with_capacity(n: usize) -> FitTree {
+        let mut t = FitTree::new();
+        if n > 0 {
+            t.cap = n.next_power_of_two();
+            t.keys = vec![0; 2 * t.cap];
+        }
+        t
+    }
+
+    /// Number of slots ever allocated (closed slots included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot was ever allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates the next slot with `remaining` capacity and returns it.
+    /// Slots are numbered sequentially from 0 — opening order.
+    pub fn push(&mut self, remaining: u64) -> usize {
+        if self.len == self.cap {
+            self.grow();
+        }
+        let slot = self.len;
+        self.len += 1;
+        self.set_key(slot, remaining + 1);
+        slot
+    }
+
+    /// Sets a slot's remaining capacity (the slot stays open).
+    #[inline]
+    pub fn set_remaining(&mut self, slot: usize, remaining: u64) {
+        self.set_key(slot, remaining + 1);
+    }
+
+    /// Closes a slot: it will never qualify for any query again.
+    #[inline]
+    pub fn close(&mut self, slot: usize) {
+        self.set_key(slot, 0);
+    }
+
+    /// The remaining capacity of an open slot, or `None` if closed/unused.
+    #[inline]
+    pub fn remaining(&self, slot: usize) -> Option<u64> {
+        assert!(slot < self.len, "slot {slot} out of range {}", self.len);
+        let k = self.keys[self.cap + slot];
+        k.checked_sub(1)
+    }
+
+    /// The lowest-numbered open slot with remaining capacity ≥ `size`, in
+    /// O(log len) — the First-Fit choice.
+    pub fn first_fit(&self, size: u64) -> Option<usize> {
+        let needed = size + 1;
+        if self.cap == 0 || self.keys[1] < needed {
+            return None;
+        }
+        let mut i = 1;
+        while i < self.cap {
+            i <<= 1;
+            if self.keys[i] < needed {
+                i |= 1; // left subtree cannot serve; the right one must.
+            }
+        }
+        let slot = i - self.cap;
+        debug_assert!(slot < self.len);
+        Some(slot)
+    }
+
+    /// The lowest-numbered open slot `≥ start` with remaining capacity
+    /// ≥ `size`, in O(log len). `first_fit(s) == first_fit_from(0, s)`.
+    pub fn first_fit_from(&self, start: usize, size: u64) -> Option<usize> {
+        if start >= self.len {
+            return None;
+        }
+        let needed = size + 1;
+        let mut i = self.cap + start;
+        if self.keys[i] >= needed {
+            return Some(start);
+        }
+        // Climb to the first ancestor reached from a left child whose right
+        // sibling's subtree holds a qualifying leaf...
+        while i > 1 && ((i & 1) == 1 || self.keys[i ^ 1] < needed) {
+            i >>= 1;
+        }
+        if i <= 1 {
+            return None;
+        }
+        // ...then descend to the leftmost qualifying leaf of that sibling.
+        i ^= 1;
+        while i < self.cap {
+            i <<= 1;
+            if self.keys[i] < needed {
+                i |= 1;
+            }
+        }
+        let slot = i - self.cap;
+        debug_assert!(slot > start && slot < self.len);
+        Some(slot)
+    }
+
+    fn set_key(&mut self, slot: usize, key: u64) {
+        assert!(slot < self.len, "slot {slot} out of range {}", self.len);
+        let mut i = self.cap + slot;
+        self.keys[i] = key;
+        while i > 1 {
+            i >>= 1;
+            let m = self.keys[2 * i].max(self.keys[2 * i + 1]);
+            if self.keys[i] == m {
+                break;
+            }
+            self.keys[i] = m;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = if self.cap == 0 { 1 } else { self.cap * 2 };
+        let mut keys = vec![0u64; 2 * new_cap];
+        keys[new_cap..new_cap + self.len]
+            .copy_from_slice(&self.keys[self.cap..self.cap + self.len]);
+        for i in (1..new_cap).rev() {
+            keys[i] = keys[2 * i].max(keys[2 * i + 1]);
+        }
+        self.cap = new_cap;
+        self.keys = keys;
+    }
+}
+
+/// A First-Fit index over a *subset* of bins (one HA type chain, one CDFF
+/// row, one CBD band): the per-class analogue of the store-wide tree.
+///
+/// The owning algorithm mirrors engine state through `insert` / `place` /
+/// `free` / `remove` (driven by its `on_arrival` decisions and
+/// `on_departure` notifications), and queries `first_fit` in O(log k) where
+/// `k` is the number of bins the class ever held between compactions.
+///
+/// Slots are assigned in insertion order; inserting bins in ascending
+/// [`BinId`] order (every class opens its bins through sequentially
+/// allocated engine ids, so this holds naturally) makes the leftmost
+/// qualifying slot the earliest-opened bin — identical to the linear scan
+/// over the class's bin list. Removed slots are tombstoned in the tree and
+/// compacted away once they outnumber live bins.
+#[derive(Debug, Default, Clone)]
+pub struct SubsetFitTree {
+    tree: FitTree,
+    /// Slot → bin (parallel to the tree's leaves, including closed slots).
+    bins: Vec<BinId>,
+    /// Bin → slot, for point updates.
+    slot_of: HashMap<BinId, usize>,
+}
+
+impl SubsetFitTree {
+    /// An empty subset index.
+    pub fn new() -> SubsetFitTree {
+        SubsetFitTree::default()
+    }
+
+    /// Number of live (not removed) bins in the subset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Whether the subset has no live bins.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// Whether `bin` is currently in the subset.
+    #[inline]
+    pub fn contains(&self, bin: BinId) -> bool {
+        self.slot_of.contains_key(&bin)
+    }
+
+    /// Adds a bin with `remaining` raw capacity. Bins must be inserted in
+    /// ascending id order (the order the engine allocates them), which is
+    /// what makes tree queries agree with an opening-order linear scan.
+    pub fn insert(&mut self, bin: BinId, remaining: u64) {
+        debug_assert!(
+            self.bins.last().is_none_or(|&last| last < bin),
+            "subset insertions must follow opening order: {bin} after {:?}",
+            self.bins.last()
+        );
+        debug_assert!(!self.contains(bin), "{bin} inserted twice");
+        let slot = self.tree.push(remaining);
+        debug_assert_eq!(slot, self.bins.len());
+        self.bins.push(bin);
+        self.slot_of.insert(bin, slot);
+    }
+
+    /// Records an item of `size` placed into `bin`.
+    ///
+    /// # Panics
+    /// Panics if `bin` is not in the subset or `size` exceeds its tracked
+    /// remaining capacity (the mirror would have diverged from the engine).
+    pub fn place(&mut self, bin: BinId, size: Size) {
+        let slot = self.slot_of[&bin];
+        let rem = self.tree.remaining(slot).expect("live slot");
+        let rem = rem
+            .checked_sub(size.raw())
+            .expect("subset mirror overfilled a bin");
+        self.tree.set_remaining(slot, rem);
+    }
+
+    /// Records an item of `size` departing from `bin` (which stays open).
+    ///
+    /// # Panics
+    /// Panics if `bin` is not in the subset.
+    pub fn free(&mut self, bin: BinId, size: Size) {
+        let slot = self.slot_of[&bin];
+        let rem = self.tree.remaining(slot).expect("live slot");
+        self.tree.set_remaining(slot, rem + size.raw());
+    }
+
+    /// Removes a bin (closed, or reclassified by the algorithm). Unknown
+    /// bins are ignored, mirroring the tolerant `Vec::retain` bookkeeping
+    /// this replaces.
+    pub fn remove(&mut self, bin: BinId) {
+        let Some(slot) = self.slot_of.remove(&bin) else {
+            return;
+        };
+        self.tree.close(slot);
+        // Compact once tombstones dominate: amortized O(1) per removal.
+        if self.slot_of.len() * 2 < self.tree.len() && self.tree.len() > 64 {
+            self.compact();
+        }
+    }
+
+    /// Earliest-inserted live bin with remaining capacity ≥ `size`.
+    #[inline]
+    pub fn first_fit(&self, size: Size) -> Option<BinId> {
+        self.tree.first_fit(size.raw()).map(|slot| self.bins[slot])
+    }
+
+    /// Live bins in insertion (= opening) order, with remaining capacity.
+    pub fn iter(&self) -> impl Iterator<Item = (BinId, u64)> + '_ {
+        (0..self.tree.len())
+            .filter_map(move |slot| self.tree.remaining(slot).map(|rem| (self.bins[slot], rem)))
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.tree = FitTree::new();
+        self.bins.clear();
+        self.slot_of.clear();
+    }
+
+    fn compact(&mut self) {
+        let live: Vec<(BinId, u64)> = self.iter().collect();
+        let mut tree = FitTree::with_capacity(live.len());
+        let mut bins = Vec::with_capacity(live.len());
+        self.slot_of.clear();
+        for (bin, rem) in live {
+            let slot = tree.push(rem);
+            bins.push(bin);
+            self.slot_of.insert(bin, slot);
+        }
+        self.tree = tree;
+        self.bins = bins;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::SIZE_SCALE;
+
+    #[test]
+    fn empty_tree_answers_none() {
+        let t = FitTree::new();
+        assert_eq!(t.first_fit(0), None);
+        assert_eq!(t.first_fit_from(0, 0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn leftmost_qualifying_slot_wins() {
+        let mut t = FitTree::new();
+        for rem in [10, 50, 30, 50] {
+            t.push(rem);
+        }
+        assert_eq!(t.first_fit(5), Some(0));
+        assert_eq!(t.first_fit(11), Some(1));
+        assert_eq!(t.first_fit(31), Some(1));
+        assert_eq!(t.first_fit(51), None);
+        assert_eq!(t.first_fit_from(2, 11), Some(2));
+        assert_eq!(t.first_fit_from(2, 31), Some(3));
+        assert_eq!(t.first_fit_from(3, 11), Some(3));
+        assert_eq!(t.first_fit_from(3, 51), None);
+    }
+
+    #[test]
+    fn closed_slots_never_match_even_zero_size() {
+        let mut t = FitTree::new();
+        t.push(0); // open, zero remaining
+        t.push(7);
+        assert_eq!(t.first_fit(0), Some(0), "zero-size fits a full open bin");
+        t.close(0);
+        assert_eq!(t.first_fit(0), Some(1), "closed slot skipped");
+        t.close(1);
+        assert_eq!(t.first_fit(0), None);
+    }
+
+    #[test]
+    fn updates_propagate_and_growth_preserves_keys() {
+        let mut t = FitTree::new();
+        for i in 0..100u64 {
+            t.push(i);
+        }
+        assert_eq!(t.first_fit(99), Some(99));
+        t.set_remaining(4, 1_000);
+        assert_eq!(t.first_fit(100), Some(4));
+        t.close(4);
+        assert_eq!(t.first_fit(100), None);
+        assert_eq!(t.remaining(4), None);
+        assert_eq!(t.remaining(5), Some(5));
+    }
+
+    #[test]
+    fn matches_linear_oracle_on_random_ops() {
+        // Deterministic xorshift; mirrors slots in a plain Vec<Option<u64>>.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = FitTree::new();
+        let mut oracle: Vec<Option<u64>> = Vec::new();
+        for _ in 0..4_000 {
+            match rand() % 4 {
+                0 => {
+                    let rem = rand() % SIZE_SCALE;
+                    t.push(rem);
+                    oracle.push(Some(rem));
+                }
+                1 if !oracle.is_empty() => {
+                    let slot = (rand() % oracle.len() as u64) as usize;
+                    let rem = rand() % SIZE_SCALE;
+                    if oracle[slot].is_some() {
+                        t.set_remaining(slot, rem);
+                        oracle[slot] = Some(rem);
+                    }
+                }
+                2 if !oracle.is_empty() => {
+                    let slot = (rand() % oracle.len() as u64) as usize;
+                    t.close(slot);
+                    oracle[slot] = None;
+                }
+                _ => {
+                    let size = rand() % SIZE_SCALE;
+                    let want = oracle.iter().position(|r| r.is_some_and(|rem| rem >= size));
+                    assert_eq!(t.first_fit(size), want);
+                    if !oracle.is_empty() {
+                        let start = (rand() % oracle.len() as u64) as usize;
+                        let want_from = oracle
+                            .iter()
+                            .enumerate()
+                            .skip(start)
+                            .find(|(_, r)| r.is_some_and(|rem| rem >= size))
+                            .map(|(i, _)| i);
+                        assert_eq!(t.first_fit_from(start, size), want_from);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_tracks_place_free_remove() {
+        let mut s = SubsetFitTree::new();
+        let half = Size::from_ratio(1, 2);
+        s.insert(BinId(3), SIZE_SCALE);
+        s.insert(BinId(7), SIZE_SCALE);
+        assert_eq!(s.first_fit(half), Some(BinId(3)));
+        s.place(BinId(3), Size::from_ratio(2, 3));
+        assert_eq!(s.first_fit(half), Some(BinId(7)));
+        s.free(BinId(3), Size::from_ratio(2, 3));
+        assert_eq!(s.first_fit(half), Some(BinId(3)));
+        s.remove(BinId(3));
+        assert_eq!(s.first_fit(half), Some(BinId(7)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(BinId(7)) && !s.contains(BinId(3)));
+        s.remove(BinId(99)); // unknown: ignored
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(BinId(7), SIZE_SCALE)]);
+    }
+
+    #[test]
+    fn subset_compaction_preserves_order_and_capacities() {
+        let mut s = SubsetFitTree::new();
+        for i in 0..200u32 {
+            s.insert(BinId(i), u64::from(i));
+        }
+        for i in 0..180u32 {
+            s.remove(BinId(i));
+        }
+        assert_eq!(s.len(), 20);
+        let live: Vec<(BinId, u64)> = s.iter().collect();
+        assert_eq!(live.len(), 20);
+        for (k, &(bin, rem)) in live.iter().enumerate() {
+            assert_eq!(bin, BinId(180 + k as u32));
+            assert_eq!(rem, u64::from(180 + k as u32));
+        }
+        // Queries still answer the earliest live bin after compaction.
+        assert_eq!(s.first_fit(Size::from_raw(185)), Some(BinId(185)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overfilled")]
+    fn subset_place_overflow_panics() {
+        let mut s = SubsetFitTree::new();
+        s.insert(BinId(0), 10);
+        s.place(BinId(0), Size::from_raw(11));
+    }
+}

@@ -33,6 +33,7 @@ pub mod bounds;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod fit_tree;
 pub mod instance;
 pub mod item;
 pub mod metrics;
@@ -49,6 +50,7 @@ pub use bounds::{LowerBounds, OptBracket};
 pub use cost::Area;
 pub use engine::{run, InteractiveSim, PackingResult};
 pub use error::{EngineError, InstanceError, VerifyError};
+pub use fit_tree::{FitTree, SubsetFitTree};
 pub use instance::{Instance, InstanceBuilder};
 pub use item::{Item, ItemId};
 pub use metrics::{

@@ -68,7 +68,7 @@ pub fn cloud_trace(config: &CloudConfig, seed: u64) -> Instance {
                 break cand;
             }
         };
-        let long = rng.gen_range(0..100) < config.long_pct;
+        let long = rng.gen_range(0u32..100) < config.long_pct;
         let mean = if long {
             config.session_len
         } else {

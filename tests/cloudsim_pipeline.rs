@@ -34,10 +34,13 @@ fn dispatch_agrees_with_engine_for_every_algorithm() {
     for name in algos::registry_names() {
         let report = dispatch(&sessions, algos::by_name(name).expect("registry"))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let recheck = audit(&report.instance, &report.placements)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let recheck =
+            audit(&report.instance, &report.placements).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(recheck.cost, report.bill, "{name}");
-        assert!(report.bill >= LowerBounds::of(&report.instance).best(), "{name}");
+        assert!(
+            report.bill >= LowerBounds::of(&report.instance).best(),
+            "{name}"
+        );
     }
 }
 
@@ -53,8 +56,7 @@ fn predictor_noise_monotonicity_on_average() {
             if error_pct > 0 {
                 Predictor::Relative { error_pct }.apply(&mut sessions, seed + 99);
             }
-            let report =
-                dispatch(&sessions, algos::DepartureAwareFit::new()).expect("legal");
+            let report = dispatch(&sessions, algos::DepartureAwareFit::new()).expect("legal");
             total += report.bill.as_bin_ticks();
         }
         totals.push(total);
@@ -79,7 +81,11 @@ fn scenario_invoices_scale_with_boot_cost() {
         .run(algos::FirstFit::new, &CostModel::demo().with_boot(10), 3)
         .expect("legal");
     assert!(booted.total_cost_milli() > flat.total_cost_milli());
-    assert_eq!(flat.peak_servers(), booted.peak_servers(), "placement unchanged");
+    assert_eq!(
+        flat.peak_servers(),
+        booted.peak_servers(),
+        "placement unchanged"
+    );
 }
 
 #[test]
