@@ -77,7 +77,16 @@ fn main() {
         br.upper.as_bin_ticks()
     );
 
-    let mut header = vec!["algorithm", "cost", "bins", "peak", "ratio ≥", "ratio ≤"];
+    let mut header = vec![
+        "algorithm",
+        "cost",
+        "bins",
+        "peak",
+        "ratio ≥",
+        "ratio ≤",
+        "fast%",
+        "scans",
+    ];
     if momentary {
         header.push("momentary");
     }
@@ -99,6 +108,8 @@ fn main() {
             res.max_open.to_string(),
             f3(lo),
             f3(hi),
+            format!("{:.0}", 100.0 * res.metrics.fast_path_share()),
+            res.metrics.linear_scans.to_string(),
         ];
         if momentary {
             row.push(f3(compare_goals(&inst, &res).momentary));

@@ -5,7 +5,7 @@
 use dbp_analysis::stats::geo_mean;
 use dbp_analysis::table::{f3, Table};
 use dbp_core::cost::Area;
-use dbp_core::engine;
+use dbp_core::engine::{self, RunMetrics};
 use dbp_core::instance::Instance;
 
 use crate::bracket;
@@ -24,6 +24,9 @@ pub struct EvalCell {
     pub ratio: (f64, f64),
     /// Bins opened.
     pub bins: usize,
+    /// Engine execution counters for this run (placement paths, tree and
+    /// heap work).
+    pub metrics: RunMetrics,
 }
 
 /// The full matrix.
@@ -61,6 +64,7 @@ pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMa
             cost: res.cost,
             ratio,
             bins: res.bins_opened,
+            metrics: res.metrics,
         }
     });
     EvalMatrix { cells }
@@ -99,6 +103,7 @@ impl EvalMatrix {
             "bins",
             "ratio ≥",
             "ratio ≤",
+            "fast%",
         ]);
         for c in &self.cells {
             t.row([
@@ -108,6 +113,7 @@ impl EvalMatrix {
                 c.bins.to_string(),
                 f3(c.ratio.0),
                 f3(c.ratio.1),
+                format!("{:.0}", 100.0 * c.metrics.fast_path_share()),
             ]);
         }
         t
@@ -138,6 +144,11 @@ mod tests {
         for c in &m.cells {
             assert!(c.ratio.0 <= c.ratio.1);
             assert!(c.bins >= 1);
+            // Every arrival is attributed to exactly one placement path.
+            assert_eq!(
+                c.metrics.fast_path_placements + c.metrics.scan_placements,
+                c.metrics.arrivals
+            );
         }
     }
 

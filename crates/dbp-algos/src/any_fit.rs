@@ -285,6 +285,33 @@ mod tests {
     }
 
     #[test]
+    fn metrics_classify_fast_paths_versus_scans() {
+        // FF and NF answer every placement from the tree / O(1) shortcut;
+        // Best/Worst-Fit walk the open bins. The engine's run metrics must
+        // attribute each placement to the path that actually served it.
+        let inst = mixed_loads();
+        let n = inst.len() as u64;
+        for (res, fast) in [
+            (engine::run(&inst, FirstFit::new()).unwrap(), true),
+            (engine::run(&inst, NextFit::new()).unwrap(), true),
+            (engine::run(&inst, BestFit::new()).unwrap(), false),
+            (engine::run(&inst, WorstFit::new()).unwrap(), false),
+        ] {
+            let m = res.metrics;
+            assert_eq!(m.arrivals, n);
+            assert_eq!(m.fast_path_placements + m.scan_placements, n);
+            if fast {
+                assert_eq!(m.scan_placements, 0, "{m:?}");
+                assert_eq!(m.linear_scans, 0, "{m:?}");
+                assert_eq!(m.fast_path_share(), 1.0);
+            } else {
+                assert_eq!(m.fast_path_placements, 0, "{m:?}");
+                assert!(m.linear_scans >= n, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
     fn all_rules_pack_validly() {
         let inst = mixed_loads();
         for res in [

@@ -15,22 +15,29 @@ pub struct Summary {
     pub max: f64,
     /// Median (average of middle two for even n).
     pub median: f64,
+    /// Non-finite observations excluded from the statistics (e.g. infinite
+    /// competitive ratios when an OPT bracket is zero).
+    pub dropped: usize,
 }
 
 impl Summary {
-    /// Computes the summary; returns `None` for empty or non-finite data.
+    /// Computes the summary over the *finite* observations, recording how
+    /// many non-finite values (NaN, ±∞) were dropped in
+    /// [`Summary::dropped`]. Returns `None` only when no finite value
+    /// remains — one infinite ratio no longer nulls a whole sweep.
     pub fn of(data: &[f64]) -> Option<Summary> {
-        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        let dropped = data.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let n = data.len();
-        let mean = data.iter().sum::<f64>() / n as f64;
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n >= 2 {
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         } else {
             0.0
         };
-        let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = if n % 2 == 1 {
             sorted[n / 2]
@@ -44,6 +51,7 @@ impl Summary {
             min: sorted[0],
             max: sorted[n - 1],
             median,
+            dropped,
         })
     }
 
@@ -121,10 +129,24 @@ mod tests {
     }
 
     #[test]
-    fn summary_rejects_bad_input() {
+    fn summary_rejects_all_bad_input() {
         assert!(Summary::of(&[]).is_none());
-        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
-        assert!(Summary::of(&[1.0, f64::INFINITY]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY, f64::NEG_INFINITY]).is_none());
+    }
+
+    #[test]
+    fn summary_drops_non_finite_values_and_counts_them() {
+        // One infinite ratio must not null the whole sweep.
+        let s = Summary::of(&[1.0, f64::INFINITY, 3.0, f64::NAN]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        // Fully finite data drops nothing.
+        assert_eq!(Summary::of(&[1.0, 2.0]).unwrap().dropped, 0);
     }
 
     #[test]

@@ -16,11 +16,12 @@ use std::collections::HashMap;
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::cost::Area;
-use dbp_core::engine;
+use dbp_core::engine::{self, RunMetrics};
 use dbp_core::error::EngineError;
 use dbp_core::instance::{Instance, InstanceBuilder};
 use dbp_core::item::{Item, ItemId};
 use dbp_core::time::Time;
+use dbp_core::trace::{EventSink, NoopSink};
 
 use crate::session::{SessionRequest, Tier};
 
@@ -95,6 +96,9 @@ pub struct DispatchReport {
     pub instance: Instance,
     /// Mean relative prediction error over the batch.
     pub mean_prediction_error: f64,
+    /// Engine execution counters for the dispatch run (placement paths,
+    /// tree/heap work, events emitted).
+    pub metrics: RunMetrics,
 }
 
 impl DispatchReport {
@@ -147,6 +151,19 @@ pub fn dispatch<A: OnlineAlgorithm>(
     sessions: &[SessionRequest],
     algo: A,
 ) -> Result<DispatchReport, EngineError> {
+    dispatch_with_sink(sessions, algo, NoopSink)
+}
+
+/// [`dispatch`] with an [`EventSink`] attached to the underlying engine
+/// run: every session arrival, server power-on/off, and placement comes
+/// out as a structured engine event (attach a JSONL sink for offline
+/// diffing, or `dbp_core::audit::InvariantAuditor` to cross-check the
+/// dispatch).
+pub fn dispatch_with_sink<A: OnlineAlgorithm, S: EventSink>(
+    sessions: &[SessionRequest],
+    algo: A,
+    sink: S,
+) -> Result<DispatchReport, EngineError> {
     let mut ordered: Vec<&SessionRequest> = sessions.iter().collect();
     ordered.sort_by_key(|s| s.arrival);
 
@@ -161,7 +178,7 @@ pub fn dispatch<A: OnlineAlgorithm>(
     let instance = builder.build().expect("sessions are valid items");
 
     let lens = PredictedLens::new(algo, predictions);
-    let result = engine::run(&instance, lens)?;
+    let result = engine::run_with_sink(&instance, lens, sink)?;
     Ok(DispatchReport {
         bill: result.cost,
         servers_used: result.bins_opened,
@@ -173,6 +190,7 @@ pub fn dispatch<A: OnlineAlgorithm>(
             err_sum / ordered.len() as f64
         },
         instance,
+        metrics: result.metrics,
     })
 }
 
@@ -198,6 +216,30 @@ mod tests {
         assert_eq!(report.bill, plain.cost);
         assert_eq!(report.placements, plain.assignment);
         assert_eq!(report.mean_prediction_error, 0.0);
+    }
+
+    #[test]
+    fn dispatch_traces_sessions_and_surfaces_metrics() {
+        use dbp_core::audit::InvariantAuditor;
+        use dbp_core::trace::VecSink;
+
+        let sessions = sessions_exact();
+        let mut sink = VecSink::new();
+        let report = dispatch_with_sink(&sessions, FirstFit::new(), &mut sink).unwrap();
+
+        // Every session arrival shows up in both the counters and the trace.
+        assert_eq!(report.metrics.arrivals, sessions.len() as u64);
+        assert_eq!(
+            report.metrics.fast_path_placements + report.metrics.scan_placements,
+            sessions.len() as u64
+        );
+        assert_eq!(report.metrics.events, sink.events.len() as u64);
+
+        // The session trace replays cleanly through the invariant auditor.
+        let mut auditor = InvariantAuditor::new();
+        let audited = dispatch_with_sink(&sessions, FirstFit::new(), &mut auditor).unwrap();
+        assert!(auditor.violation().is_none(), "{:?}", auditor.violation());
+        assert_eq!(audited.bill, report.bill);
     }
 
     fn dispatch(

@@ -45,8 +45,11 @@ impl<'a> SimView<'a> {
     }
 
     /// Currently open bins in opening order (the First-Fit scan order).
+    /// Counted as one linear scan for run metrics: any algorithm that walks
+    /// this iterator is paying O(open bins) for the decision.
     pub fn open_bins(&self) -> impl Iterator<Item = &'a BinRecord> + '_ {
         let bins = self.bins;
+        bins.note_linear_scan();
         bins.open_ids()
             .map(move |b| bins.record(b).expect("open id always has a record"))
     }

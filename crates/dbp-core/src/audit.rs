@@ -1,0 +1,545 @@
+//! Streaming invariant auditor for engine runs.
+//!
+//! [`InvariantAuditor`] is an [`EventSink`] that mirrors the simulation
+//! from the event stream alone and cross-checks, event by event:
+//!
+//! * **Load conservation** — every bin's mirrored load matches the
+//!   `load_after` the engine reports, never exceeds capacity, and returns
+//!   to exactly zero when the bin closes;
+//! * **Lifecycle discipline** — bins open before they are used, close only
+//!   when empty, and are never touched again after closing;
+//! * **Timeline monotonicity** — event timestamps never regress, and
+//!   departures precede arrivals within a tick by emission order;
+//! * **First-Fit agreement** — at every arrival, the capacity tournament
+//!   tree and the naive linear scan name the same bin (the live
+//!   [`BinStore`] is probed *at the decision point*, so a divergence is
+//!   caught on the exact event where it first matters);
+//! * **Cost triple-entry** — after the run, the incremental engine cost,
+//!   the sum of per-bin `closed − opened` intervals, and the integral of
+//!   the mirrored open-bin count over time must all agree
+//!   ([`InvariantAuditor::verify_result`]).
+//!
+//! The auditor latches the **first** violation with its event index and
+//! full context, then stops mirroring — later checks would only cascade
+//! from the first divergence. [`run_audited`] is the test-friendly
+//! wrapper: a batch run with the auditor attached that panics on any
+//! violation.
+
+use core::fmt;
+
+use crate::algorithm::OnlineAlgorithm;
+use crate::bin_state::BinStore;
+use crate::cost::Area;
+use crate::engine::{run_with_sink, PackingResult};
+use crate::error::EngineError;
+use crate::instance::Instance;
+use crate::item::ItemId;
+use crate::size::{Size, SIZE_SCALE};
+use crate::time::Time;
+use crate::trace::{EngineEvent, EventSink};
+
+/// The first invariant violation an auditor observed, with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// 0-based index of the divergent event in the run's event stream
+    /// (`u64::MAX` for violations found post-run by `verify_result`).
+    pub index: u64,
+    /// The divergent event, when the violation is tied to one.
+    pub event: Option<EngineEvent>,
+    /// What went wrong, with the values that disagreed.
+    pub message: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.event {
+            Some(ev) => write!(
+                f,
+                "audit violation at event #{} ({:?}): {}",
+                self.index, ev, self.message
+            ),
+            None => write!(f, "audit violation (post-run): {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+/// Mirror of one bin, rebuilt purely from the event stream.
+#[derive(Debug, Clone)]
+struct MirrorBin {
+    opened_at: Time,
+    load: u64,
+    residents: u32,
+    open: bool,
+}
+
+/// An [`EventSink`] that re-derives the simulation state from events and
+/// flags the first inconsistency (see the module docs for the invariant
+/// list). Cheap enough to stay attached in every test run.
+#[derive(Debug, Default, Clone)]
+pub struct InvariantAuditor {
+    bins: Vec<MirrorBin>,
+    open_count: usize,
+    /// Time up to which `integral_cost` has been accumulated.
+    cur: Time,
+    /// `∫ (mirrored open-bin count) dt`, exact.
+    integral_cost: Area,
+    /// `Σ (closed_at − opened_at)` over closed bins, exact.
+    interval_cost: Area,
+    /// Arrival awaiting its `Placed` event: `(item, at, size)`.
+    pending_arrival: Option<(ItemId, Time, Size)>,
+    events_seen: u64,
+    violation: Option<AuditViolation>,
+}
+
+impl InvariantAuditor {
+    /// A fresh auditor.
+    pub fn new() -> InvariantAuditor {
+        InvariantAuditor::default()
+    }
+
+    /// The first violation observed during streaming, if any.
+    pub fn violation(&self) -> Option<&AuditViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Number of events received (including any after a latched
+    /// violation).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Exact `∫ (open bins) dt` accumulated from the event stream so far.
+    pub fn integral_cost(&self) -> Area {
+        self.integral_cost
+    }
+
+    /// Exact `Σ (closed − opened)` over bins the stream has closed.
+    pub fn interval_cost(&self) -> Area {
+        self.interval_cost
+    }
+
+    fn fail(&mut self, event: &EngineEvent, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(AuditViolation {
+                index: self.events_seen - 1,
+                event: Some(*event),
+                message,
+            });
+        }
+    }
+
+    fn fail_post(&mut self, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(AuditViolation {
+                index: u64::MAX,
+                event: None,
+                message,
+            });
+        }
+    }
+
+    /// Advances the cost integral to `t` using the current open count.
+    fn integrate_to(&mut self, t: Time) {
+        if t > self.cur {
+            self.integral_cost += Area::from_bins_ticks(self.open_count as u64, t.since(self.cur));
+            self.cur = t;
+        }
+    }
+
+    /// Post-run check: every bin closed, and the three cost ledgers —
+    /// engine-incremental ([`PackingResult::cost`]), per-bin intervals,
+    /// and the open-count integral (both mirrored here, plus the result's
+    /// own timeline integral) — agree exactly.
+    ///
+    /// Returns the streaming violation if one was latched mid-run.
+    pub fn verify_result(&mut self, result: &PackingResult) -> Result<(), AuditViolation> {
+        if self.violation.is_none() {
+            if self.open_count != 0 {
+                self.fail_post(format!(
+                    "{} bin(s) still open after the run",
+                    self.open_count
+                ));
+            } else if result.bins_opened != self.bins.len() {
+                self.fail_post(format!(
+                    "result says {} bins opened, event stream saw {}",
+                    result.bins_opened,
+                    self.bins.len()
+                ));
+            } else if self.interval_cost != result.cost {
+                self.fail_post(format!(
+                    "cost mismatch: per-bin intervals give {}, engine accumulated {}",
+                    self.interval_cost, result.cost
+                ));
+            } else if self.integral_cost != result.cost {
+                self.fail_post(format!(
+                    "cost mismatch: open-count integral gives {}, engine accumulated {}",
+                    self.integral_cost, result.cost
+                ));
+            } else if result.cost_from_timeline() != result.cost {
+                self.fail_post(format!(
+                    "cost mismatch: result timeline integrates to {}, engine accumulated {}",
+                    result.cost_from_timeline(),
+                    result.cost
+                ));
+            }
+        }
+        match &self.violation {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl EventSink for InvariantAuditor {
+    fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+        self.events_seen += 1;
+        if self.violation.is_some() {
+            return;
+        }
+        // Monotonicity first: no event may be stamped before the integral
+        // frontier (the latest time already seen).
+        let t = event.time();
+        if t < self.cur {
+            self.fail(
+                event,
+                format!("time regressed: {t} < frontier {}", self.cur),
+            );
+            return;
+        }
+        self.integrate_to(t);
+        match *event {
+            EngineEvent::Arrival { item, at, size, .. } => {
+                if let Some((prev, _, _)) = self.pending_arrival {
+                    self.fail(
+                        event,
+                        format!("arrival of {item} while {prev} still awaits placement"),
+                    );
+                    return;
+                }
+                // The store is pre-placement here: the exact state both
+                // First-Fit implementations answer from.
+                let tree = bins.first_fit(size);
+                let linear = bins.first_fit_linear(size);
+                if tree != linear {
+                    self.fail(
+                        event,
+                        format!(
+                            "First-Fit divergence for {item} (size {}): tree says {:?}, linear scan says {:?}",
+                            size.raw(),
+                            tree,
+                            linear
+                        ),
+                    );
+                    return;
+                }
+                self.pending_arrival = Some((item, at, size));
+            }
+            EngineEvent::BinOpened { bin, at } => {
+                if bin.index() != self.bins.len() {
+                    self.fail(
+                        event,
+                        format!("{bin} opened out of order (expected b{})", self.bins.len()),
+                    );
+                    return;
+                }
+                self.bins.push(MirrorBin {
+                    opened_at: at,
+                    load: 0,
+                    residents: 0,
+                    open: true,
+                });
+                self.open_count += 1;
+                if bins.open_count() != self.open_count {
+                    self.fail(
+                        event,
+                        format!(
+                            "open-count mismatch: store has {}, mirror has {}",
+                            bins.open_count(),
+                            self.open_count
+                        ),
+                    );
+                }
+            }
+            EngineEvent::Placed {
+                item,
+                at,
+                bin,
+                opened,
+                load_after,
+                ..
+            } => {
+                let (p_item, p_at, p_size) = match self.pending_arrival.take() {
+                    Some(p) => p,
+                    None => {
+                        self.fail(event, format!("{item} placed without a pending arrival"));
+                        return;
+                    }
+                };
+                if p_item != item || p_at != at {
+                    self.fail(
+                        event,
+                        format!("placement of {item}@{at} does not match pending arrival {p_item}@{p_at}"),
+                    );
+                    return;
+                }
+                let Some(m) = self.bins.get_mut(bin.index()) else {
+                    self.fail(event, format!("{item} placed into never-opened {bin}"));
+                    return;
+                };
+                if !m.open {
+                    self.fail(event, format!("{item} placed into closed {bin}"));
+                    return;
+                }
+                if opened != (m.residents == 0) {
+                    let residents = m.residents;
+                    self.fail(
+                        event,
+                        format!(
+                            "opened={opened} disagrees with mirror ({residents} resident(s) in {bin})"
+                        ),
+                    );
+                    return;
+                }
+                m.load += p_size.raw();
+                m.residents += 1;
+                if m.load > SIZE_SCALE {
+                    let load = m.load;
+                    self.fail(
+                        event,
+                        format!("{bin} over capacity: mirrored load {load} > {SIZE_SCALE}"),
+                    );
+                    return;
+                }
+                if m.load != load_after.raw() {
+                    let load = m.load;
+                    self.fail(
+                        event,
+                        format!(
+                            "load conservation broken in {bin}: mirror says {load}, engine reports {}",
+                            load_after.raw()
+                        ),
+                    );
+                }
+            }
+            EngineEvent::Departure {
+                item, bin, size, ..
+            } => {
+                let Some(m) = self.bins.get_mut(bin.index()) else {
+                    self.fail(event, format!("{item} departs never-opened {bin}"));
+                    return;
+                };
+                if !m.open {
+                    self.fail(event, format!("{item} departs closed {bin}"));
+                    return;
+                }
+                if m.residents == 0 || m.load < size.raw() {
+                    let (load, residents) = (m.load, m.residents);
+                    self.fail(
+                        event,
+                        format!(
+                            "{item} (size {}) departs {bin} holding load {load} with {residents} resident(s)",
+                            size.raw()
+                        ),
+                    );
+                    return;
+                }
+                m.load -= size.raw();
+                m.residents -= 1;
+            }
+            EngineEvent::BinClosed { bin, at, opened_at } => {
+                let Some(m) = self.bins.get_mut(bin.index()) else {
+                    self.fail(event, format!("never-opened {bin} closed"));
+                    return;
+                };
+                if !m.open {
+                    self.fail(event, format!("{bin} closed twice"));
+                    return;
+                }
+                if m.residents != 0 || m.load != 0 {
+                    let (load, residents) = (m.load, m.residents);
+                    self.fail(
+                        event,
+                        format!("{bin} closed while holding load {load} ({residents} resident(s))"),
+                    );
+                    return;
+                }
+                if m.opened_at != opened_at {
+                    let mirror_opened = m.opened_at;
+                    self.fail(
+                        event,
+                        format!(
+                            "{bin} opened_at mismatch: mirror {mirror_opened}, event {opened_at}"
+                        ),
+                    );
+                    return;
+                }
+                m.open = false;
+                self.open_count -= 1;
+                self.interval_cost += Area::from_bin_ticks(at.since(opened_at));
+            }
+            EngineEvent::ClockAdvanced { from, to } => {
+                if from > to {
+                    self.fail(event, format!("clock moved backwards: {from} -> {to}"));
+                }
+            }
+        }
+    }
+}
+
+/// Batch-runs `instance` through `algo` with an [`InvariantAuditor`]
+/// attached and the full post-run cost cross-check applied.
+///
+/// # Panics
+/// Panics with the first [`AuditViolation`] if any engine invariant is
+/// broken — the intended always-on harness for tests.
+pub fn run_audited<A: OnlineAlgorithm>(
+    instance: &Instance,
+    algo: A,
+) -> Result<PackingResult, EngineError> {
+    let mut auditor = InvariantAuditor::new();
+    let result = run_with_sink(instance, algo, &mut auditor)?;
+    if let Err(v) = auditor.verify_result(&result) {
+        panic!("{v}");
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Placement, SimView};
+    use crate::item::Item;
+    use crate::size::Load;
+    use crate::time::Dur;
+
+    struct Ff;
+    impl OnlineAlgorithm for Ff {
+        fn name(&self) -> &str {
+            "ff"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    #[test]
+    fn clean_run_passes_the_full_audit() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(2), Dur(5), sz(1, 2)),
+            (Time(4), Dur(9), sz(2, 3)),
+            (Time(20), Dur(1), sz(1, 8)),
+        ])
+        .unwrap();
+        let res = run_audited(&inst, Ff).unwrap();
+        assert_eq!(res.cost, res.cost_from_timeline());
+    }
+
+    #[test]
+    fn auditor_costs_match_engine_on_interactive_runs() {
+        use crate::engine::InteractiveSim;
+        let mut auditor = InvariantAuditor::new();
+        let mut sim = InteractiveSim::with_sink(Ff, &mut auditor);
+        sim.advance_to(Time(0));
+        let (a, _) = sim.arrive_undated(sz(1, 2)).unwrap();
+        sim.arrive_at(Time(3), Dur(4), sz(1, 3)).unwrap();
+        sim.set_departure(a, Time(10));
+        let (_, res) = sim.finish();
+        auditor.verify_result(&res).unwrap();
+        assert_eq!(auditor.integral_cost(), res.cost);
+        assert_eq!(auditor.interval_cost(), res.cost);
+    }
+
+    /// Forwards a live run's events to an auditor, letting the test doctor
+    /// (or drop) events in flight — the engine's own stream is truthful,
+    /// so this is how the "auditor catches the bug" path gets exercised.
+    struct TamperSink<'a, F: FnMut(EngineEvent) -> Option<EngineEvent>> {
+        inner: &'a mut InvariantAuditor,
+        tweak: F,
+    }
+
+    impl<F: FnMut(EngineEvent) -> Option<EngineEvent>> EventSink for TamperSink<'_, F> {
+        fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+            if let Some(ev) = (self.tweak)(*event) {
+                self.inner.on_event(&ev, bins);
+            }
+        }
+    }
+
+    #[test]
+    fn auditor_names_the_first_corrupted_event() {
+        use crate::engine::run_with_sink;
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), sz(1, 2)), (Time(1), Dur(3), sz(1, 4))])
+                .unwrap();
+        let mut auditor = InvariantAuditor::new();
+        let mut seen = 0u64;
+        let mut corrupted_at = None;
+        let sink = TamperSink {
+            inner: &mut auditor,
+            tweak: |mut ev| {
+                let idx = seen;
+                seen += 1;
+                if let EngineEvent::Placed {
+                    item, load_after, ..
+                } = &mut ev
+                {
+                    // Corrupt r1's reported post-placement load by one raw
+                    // unit.
+                    if item.index() == 1 {
+                        *load_after = Load::from_raw(load_after.raw() + 1);
+                        corrupted_at = Some(idx);
+                    }
+                }
+                Some(ev)
+            },
+        };
+        run_with_sink(&inst, Ff, sink).unwrap();
+        let v = auditor.violation().expect("corruption detected");
+        assert_eq!(Some(v.index), corrupted_at, "first divergent event named");
+        assert!(v.message.contains("load conservation"), "{}", v.message);
+        assert!(v.event.is_some());
+    }
+
+    #[test]
+    fn auditor_flags_a_suppressed_bin_close() {
+        use crate::engine::run_with_sink;
+        let inst = Instance::from_triples([(Time(0), Dur(5), sz(1, 2))]).unwrap();
+        let mut auditor = InvariantAuditor::new();
+        let sink = TamperSink {
+            inner: &mut auditor,
+            tweak: |ev| match ev {
+                EngineEvent::BinClosed { .. } => None,
+                other => Some(other),
+            },
+        };
+        let res = run_with_sink(&inst, Ff, sink).unwrap();
+        let err = auditor.verify_result(&res).unwrap_err();
+        assert_eq!(err.index, u64::MAX, "post-run violation");
+        assert!(err.message.contains("still open"), "{}", err.message);
+    }
+
+    #[test]
+    fn placement_paths_are_classified() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(5), sz(1, 2)), (Time(1), Dur(3), sz(1, 4))])
+                .unwrap();
+        let res = crate::engine::run(&inst, Ff).unwrap();
+        // Ff answers through the tree only: every placement is fast-path.
+        assert_eq!(res.metrics.fast_path_placements, 2);
+        assert_eq!(res.metrics.scan_placements, 0);
+        assert_eq!(res.metrics.arrivals, 2);
+        assert!(res.metrics.tree_queries >= 2);
+        assert_eq!(res.metrics.linear_scans, 0);
+    }
+}

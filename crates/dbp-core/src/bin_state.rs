@@ -17,6 +17,7 @@
 //! linear-scan semantics, and [`BinStore::first_fit_linear`] retains the
 //! naive scan as a differential-testing oracle.
 
+use core::cell::Cell;
 use core::fmt;
 
 use crate::fit_tree::FitTree;
@@ -105,6 +106,14 @@ pub struct BinStore {
     tree: FitTree,
     /// `item_pos[item] == i` ⇔ the item sits at `items[i]` of its bin.
     item_pos: Vec<u32>,
+    /// Tournament-tree First-Fit queries answered (observability counter;
+    /// `Cell` because queries go through `&self` views).
+    tree_queries: Cell<u64>,
+    /// Linear enumerations of the open list (naive First-Fit scans and
+    /// algorithm-visible `open_bins` walks).
+    linear_scans: Cell<u64>,
+    /// Open-list tombstone compactions performed.
+    compactions: u64,
 }
 
 impl BinStore {
@@ -125,6 +134,9 @@ impl BinStore {
             dead: 0,
             tree: FitTree::with_capacity(bins),
             item_pos: Vec::with_capacity(items),
+            tree_queries: Cell::new(0),
+            linear_scans: Cell::new(0),
+            compactions: 0,
         }
     }
 
@@ -216,6 +228,7 @@ impl BinStore {
     /// Rebuilds the open list without tombstones. Runs when tombstones
     /// outnumber live bins, so its O(B) cost amortizes to O(1) per close.
     fn compact_open(&mut self) {
+        self.compactions += 1;
         self.open.retain(|&b| b != TOMBSTONE);
         self.dead = 0;
         for (i, &b) in self.open.iter().enumerate() {
@@ -267,6 +280,7 @@ impl BinStore {
     /// (the key encoding makes the predicates equal; see
     /// [`crate::fit_tree`]).
     pub fn first_fit(&self, s: Size) -> Option<BinId> {
+        self.tree_queries.set(self.tree_queries.get() + 1);
         let slot = self.tree.first_fit(s.raw())?;
         let id = self.bins[slot].id;
         debug_assert!(self.bins[slot].is_open() && self.bins[slot].fits(s));
@@ -276,7 +290,32 @@ impl BinStore {
     /// The seed's naive O(B) First-Fit scan, retained verbatim as the
     /// differential-testing oracle for [`BinStore::first_fit`].
     pub fn first_fit_linear(&self, s: Size) -> Option<BinId> {
+        self.note_linear_scan();
         self.open_ids().find(|&b| self.bins[b.index()].fits(s))
+    }
+
+    /// Records one linear enumeration of the open list (used by
+    /// [`BinStore::first_fit_linear`] and by algorithm-visible `open_bins`
+    /// walks in [`crate::algorithm::SimView`]).
+    #[inline]
+    pub(crate) fn note_linear_scan(&self) {
+        self.linear_scans.set(self.linear_scans.get() + 1);
+    }
+
+    /// Observability counters: `(tree_queries, linear_scans)` answered so
+    /// far. Interior mutability means these tick even through `&self`
+    /// views, so auditing sinks that probe First-Fit inflate the raw
+    /// totals — consumers wanting per-placement attribution should snapshot
+    /// deltas around the call of interest (the engine does).
+    #[inline]
+    pub fn query_counters(&self) -> (u64, u64) {
+        (self.tree_queries.get(), self.linear_scans.get())
+    }
+
+    /// Number of open-list tombstone compactions performed so far.
+    #[inline]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 

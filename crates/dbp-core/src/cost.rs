@@ -80,7 +80,13 @@ impl Area {
         }
     }
 
-    /// Saturating multiplication by a small integer factor.
+    /// Checked multiplication by a small integer factor, consistent with
+    /// the crate's exact-arithmetic policy (like [`Area::add`], which also
+    /// refuses to wrap or saturate).
+    ///
+    /// # Panics
+    /// Panics on `u128` overflow — silent saturation would corrupt the
+    /// cost ledgers the experiments compare.
     #[inline]
     pub fn scale(self, k: u64) -> Area {
         Area(self.0.checked_mul(k as u128).expect("area overflow"))
@@ -147,5 +153,11 @@ mod tests {
         let total: Area = parts.into_iter().sum();
         assert_eq!(total, Area::from_bin_ticks(Dur(3)));
         assert_eq!(total.scale(4), Area::from_bin_ticks(Dur(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "area overflow")]
+    fn scale_panics_on_overflow_instead_of_saturating() {
+        let _ = Area::from_raw(u128::MAX / 2).scale(3);
     }
 }

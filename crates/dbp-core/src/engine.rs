@@ -17,6 +17,13 @@
 //! O(1)); a departure is O(1) amortized ([`BinStore`]'s position indexes).
 //! [`run`] pre-reserves every per-item and per-bin table from the
 //! instance size, so batch replays allocate O(1) times.
+//!
+//! Observability: the simulator emits a structured [`EngineEvent`] stream
+//! through an [`EventSink`] type parameter (default [`NoopSink`], whose
+//! empty callback compiles away) and tallies [`RunMetrics`] — arrival
+//! counts, fast-path vs. scan placements, tree/heap work — returned on
+//! every [`PackingResult`]. Attach [`crate::audit::InvariantAuditor`] (or
+//! any sink) via [`run_with_sink`] / [`InteractiveSim::with_sink`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,6 +36,49 @@ use crate::instance::{Instance, InstanceBuilder};
 use crate::item::{Item, ItemId};
 use crate::size::Size;
 use crate::time::{Dur, Time};
+use crate::trace::{EngineEvent, EventSink, NoopSink, PlacementPath};
+
+/// Engine-side execution counters for one run.
+///
+/// All counters are engine-attributed: sink callbacks that probe the bin
+/// store (e.g. the invariant auditor re-running both First-Fit paths) do
+/// not inflate them, because the engine accounts store queries as deltas
+/// snapshotted around each algorithm decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Items submitted (each produces exactly one placement on success).
+    pub arrivals: u64,
+    /// Placements decided without enumerating the open list (tournament
+    /// tree, O(1) rules, or unconditional `OpenNew`).
+    pub fast_path_placements: u64,
+    /// Placements that walked the open list at least once.
+    pub scan_placements: u64,
+    /// Capacity-tree First-Fit queries issued by algorithm decisions.
+    pub tree_queries: u64,
+    /// Linear open-list enumerations issued by algorithm decisions.
+    pub linear_scans: u64,
+    /// Open-list tombstone compactions over the whole run.
+    pub tree_compactions: u64,
+    /// Departure-heap pushes.
+    pub heap_pushes: u64,
+    /// Departure-heap pops.
+    pub heap_pops: u64,
+    /// Engine events emitted to the sink.
+    pub events: u64,
+}
+
+impl RunMetrics {
+    /// Fraction of placements that avoided a linear scan (1.0 when no
+    /// items were placed).
+    pub fn fast_path_share(&self) -> f64 {
+        let placed = self.fast_path_placements + self.scan_placements;
+        if placed == 0 {
+            1.0
+        } else {
+            self.fast_path_placements as f64 / placed as f64
+        }
+    }
+}
 
 /// Everything measured during one packing run.
 #[derive(Debug, Clone)]
@@ -47,6 +97,8 @@ pub struct PackingResult {
     /// recorded *after* all events at that time. Enables `∫ ON_t dt`
     /// recomputation and the Corollary 5.8 experiments.
     pub timeline: Vec<(Time, usize)>,
+    /// Engine execution counters for this run.
+    pub metrics: RunMetrics,
 }
 
 impl PackingResult {
@@ -74,7 +126,13 @@ impl PackingResult {
 }
 
 /// An in-flight simulation accepting items one at a time.
-pub struct InteractiveSim<A: OnlineAlgorithm> {
+///
+/// The second type parameter is the attached [`EventSink`]; it defaults to
+/// [`NoopSink`], so plain `InteractiveSim<A>` is the silent (zero-cost)
+/// simulator. To inspect a sink after [`InteractiveSim::finish`] consumes
+/// the sim, attach it by mutable reference (`&mut S` implements
+/// [`EventSink`]).
+pub struct InteractiveSim<A: OnlineAlgorithm, S: EventSink = NoopSink> {
     algo: A,
     bins: BinStore,
     now: Time,
@@ -87,6 +145,8 @@ pub struct InteractiveSim<A: OnlineAlgorithm> {
     max_open: usize,
     timeline: Vec<(Time, usize)>,
     undated: usize,
+    sink: S,
+    metrics: RunMetrics,
 }
 
 impl<A: OnlineAlgorithm> InteractiveSim<A> {
@@ -99,7 +159,20 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
     /// many bins — the worst case opens one per item). Behaviour is
     /// identical to [`InteractiveSim::new`]; runs within the estimate just
     /// never reallocate their bookkeeping or rebuild the placement tree.
-    pub fn with_capacity(mut algo: A, items: usize) -> InteractiveSim<A> {
+    pub fn with_capacity(algo: A, items: usize) -> InteractiveSim<A> {
+        InteractiveSim::with_capacity_and_sink(algo, items, NoopSink)
+    }
+}
+
+impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
+    /// Starts a simulation driving `algo` with `sink` attached to the
+    /// engine event stream.
+    pub fn with_sink(algo: A, sink: S) -> InteractiveSim<A, S> {
+        InteractiveSim::with_capacity_and_sink(algo, 0, sink)
+    }
+
+    /// [`InteractiveSim::with_capacity`] plus an attached sink.
+    pub fn with_capacity_and_sink(mut algo: A, items: usize, sink: S) -> InteractiveSim<A, S> {
         algo.reset();
         InteractiveSim {
             algo,
@@ -113,6 +186,8 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
             max_open: 0,
             timeline: Vec::new(),
             undated: 0,
+            sink,
+            metrics: RunMetrics::default(),
         }
     }
 
@@ -147,20 +222,51 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
         &self.algo
     }
 
+    /// The execution counters accumulated so far (finalized copies land on
+    /// [`PackingResult::metrics`]).
+    #[inline]
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Emits an engine event to the attached sink.
+    fn emit(&mut self, event: EngineEvent) {
+        self.metrics.events += 1;
+        self.sink.on_event(&event, &self.bins);
+    }
+
     /// Advances the clock to `t`, processing all departures with
     /// `departure ≤ t`.
     ///
     /// # Panics
-    /// Panics if `t` is in the past.
+    /// Panics if `t` is in the past; [`InteractiveSim::try_advance_to`] is
+    /// the fallible equivalent.
     pub fn advance_to(&mut self, t: Time) {
-        assert!(
-            t >= self.now || !self.started,
-            "clock regression: {t} < {}",
-            self.now
-        );
+        if let Err(e) = self.try_advance_to(t) {
+            panic!("{e}");
+        }
+    }
+
+    /// Advances the clock to `t`, processing all departures with
+    /// `departure ≤ t`; rejects a past `t` with
+    /// [`EngineError::ClockRegression`] instead of panicking (the
+    /// `Result`-based twin of [`InteractiveSim::advance_to`], matching how
+    /// [`InteractiveSim::arrive_at`] reports regressions).
+    pub fn try_advance_to(&mut self, t: Time) -> Result<(), EngineError> {
+        if self.started && t < self.now {
+            return Err(EngineError::ClockRegression {
+                now: self.now,
+                to: t,
+            });
+        }
+        let from = self.now;
         self.process_departures_up_to(t);
         self.now = self.now.max(t);
         self.started = true;
+        if self.now > from {
+            self.emit(EngineEvent::ClockAdvanced { from, to: self.now });
+        }
+        Ok(())
     }
 
     /// Submits an item arriving *now* and returns the bin it was placed in.
@@ -183,7 +289,14 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
     pub fn arrive_undated(&mut self, size: Size) -> Result<(ItemId, BinId), EngineError> {
         let arrival = self.now;
         let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
-        self.advance_to(arrival);
+        self.try_advance_to(arrival)?;
+        self.metrics.arrivals += 1;
+        self.emit(EngineEvent::Arrival {
+            item: id,
+            at: arrival,
+            size,
+            departure: None,
+        });
         let item = Item::new(id, arrival, Time(u64::MAX), size);
         let bin = self.place(item)?;
         self.items.push(item);
@@ -198,19 +311,37 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
     /// and the item must still be undated.
     ///
     /// # Panics
-    /// Panics if the item is unknown, already dated, or `at ≤ arrival`.
+    /// Panics if the item is unknown, already dated, or `at` is in the past
+    /// or `≤ arrival`; [`InteractiveSim::try_set_departure`] is the
+    /// fallible equivalent.
     pub fn set_departure(&mut self, item: ItemId, at: Time) {
-        assert!(
-            at >= self.now,
-            "departure {at} is in the past (now {})",
-            self.now
-        );
-        let it = &mut self.items[item.index()];
-        assert_eq!(it.departure, Time(u64::MAX), "{item} already dated");
-        assert!(at > it.arrival, "departure must be after arrival");
+        if let Err(e) = self.try_set_departure(item, at) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fixes the departure time of an undated item, rejecting illegal
+    /// requests with a typed error instead of panicking: unknown or
+    /// already-dated items yield [`EngineError::NotUndated`]; a time in the
+    /// past or not strictly after the arrival yields
+    /// [`EngineError::BadDeparture`].
+    pub fn try_set_departure(&mut self, item: ItemId, at: Time) -> Result<(), EngineError> {
+        let now = self.now;
+        let it = self
+            .items
+            .get_mut(item.index())
+            .ok_or(EngineError::NotUndated { item })?;
+        if it.departure != Time(u64::MAX) {
+            return Err(EngineError::NotUndated { item });
+        }
+        if at < now || at <= it.arrival {
+            return Err(EngineError::BadDeparture { item, at, now });
+        }
         it.departure = at;
         self.departures.push(Reverse((at, item.0)));
+        self.metrics.heap_pushes += 1;
         self.undated -= 1;
+        Ok(())
     }
 
     /// Submits an item arriving at `arrival ≥ now` (advancing the clock),
@@ -224,12 +355,20 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
                 arrival,
             });
         }
-        self.advance_to(arrival);
+        self.try_advance_to(arrival)?;
         let item = Item::new(id, arrival, arrival + dur, size);
+        self.metrics.arrivals += 1;
+        self.emit(EngineEvent::Arrival {
+            item: id,
+            at: arrival,
+            size,
+            departure: Some(item.departure),
+        });
         let bin = self.place(item)?;
         self.items.push(item);
         self.assignment.push(bin);
         self.departures.push(Reverse((item.departure, id.0)));
+        self.metrics.heap_pushes += 1;
         Ok(bin)
     }
 
@@ -237,9 +376,23 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
     fn place(&mut self, item: Item) -> Result<BinId, EngineError> {
         let id = item.id;
         let size = item.size;
+        // Snapshot the store's query counters around the decision so the
+        // deltas attribute exactly this algorithm call — sink probes after
+        // emission (e.g. the auditor re-running First-Fit) stay excluded.
+        let (tree_before, linear_before) = self.bins.query_counters();
         let placement = {
             let view = SimView::new(self.now, &self.bins);
             self.algo.on_arrival(&view, &item)
+        };
+        let (tree_after, linear_after) = self.bins.query_counters();
+        let tree_delta = tree_after - tree_before;
+        let linear_delta = linear_after - linear_before;
+        self.metrics.tree_queries += tree_delta;
+        self.metrics.linear_scans += linear_delta;
+        let via = if linear_delta > 0 {
+            PlacementPath::Scan
+        } else {
+            PlacementPath::FastPath
         };
         let bin = match placement {
             Placement::Existing(b) => {
@@ -272,10 +425,28 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
             Placement::OpenNew => {
                 let b = self.bins.open(self.now);
                 self.record_open_count();
+                self.emit(EngineEvent::BinOpened {
+                    bin: b,
+                    at: self.now,
+                });
                 b
             }
         };
+        let opened = matches!(placement, Placement::OpenNew);
         self.bins.add(bin, id, size);
+        match via {
+            PlacementPath::FastPath => self.metrics.fast_path_placements += 1,
+            PlacementPath::Scan => self.metrics.scan_placements += 1,
+        }
+        let load_after = self.bins.record(bin).expect("bin just used").load;
+        self.emit(EngineEvent::Placed {
+            item: id,
+            at: self.now,
+            bin,
+            opened,
+            via,
+            load_after,
+        });
         Ok(bin)
     }
 
@@ -301,6 +472,7 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
             .iter()
             .map(|r| (r.opened_at, r.closed_at.expect("all closed")))
             .collect();
+        self.metrics.tree_compactions = self.bins.compactions();
         let result = PackingResult {
             assignment: self.assignment,
             cost: self.cost,
@@ -308,6 +480,7 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
             bins_opened: self.bins.total_opened(),
             bin_intervals,
             timeline: self.timeline,
+            metrics: self.metrics,
         };
         (instance, result)
     }
@@ -318,14 +491,27 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
                 break;
             }
             self.departures.pop();
+            self.metrics.heap_pops += 1;
             self.now = self.now.max(dep);
             let item = self.items[idx as usize];
             let bin = self.assignment[idx as usize];
             let closed = self.bins.remove(bin, item.id, item.size, dep);
+            self.emit(EngineEvent::Departure {
+                item: item.id,
+                at: dep,
+                bin,
+                size: item.size,
+            });
             if closed {
                 let rec = self.bins.record(bin).expect("bin exists");
-                self.cost += Area::from_bin_ticks(dep.since(rec.opened_at));
+                let opened_at = rec.opened_at;
+                self.cost += Area::from_bin_ticks(dep.since(opened_at));
                 self.record_open_count_at(dep);
+                self.emit(EngineEvent::BinClosed {
+                    bin,
+                    at: dep,
+                    opened_at,
+                });
             }
             self.algo.on_departure(&item, bin, closed);
         }
@@ -373,7 +559,38 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
 /// assert_eq!(result.cost.as_bin_ticks(), 10.0);
 /// ```
 pub fn run<A: OnlineAlgorithm>(instance: &Instance, algo: A) -> Result<PackingResult, EngineError> {
-    let mut sim = InteractiveSim::with_capacity(algo, instance.len());
+    run_with_sink(instance, algo, NoopSink)
+}
+
+/// [`run`] with an [`EventSink`] attached to the engine event stream.
+///
+/// Pass the sink by mutable reference (`&mut S` implements [`EventSink`])
+/// to inspect it after the run:
+///
+/// ```
+/// use dbp_core::{engine, Instance, Size, Time, Dur, VecSink};
+/// use dbp_core::{OnlineAlgorithm, Placement, SimView, Item};
+///
+/// struct Ff;
+/// impl OnlineAlgorithm for Ff {
+///     fn name(&self) -> &str { "ff" }
+///     fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+///         view.first_fit(item.size).map(Placement::Existing).unwrap_or(Placement::OpenNew)
+///     }
+///     fn reset(&mut self) {}
+/// }
+///
+/// let inst = Instance::from_triples([(Time(0), Dur(3), Size::FULL)]).unwrap();
+/// let mut sink = VecSink::new();
+/// let result = engine::run_with_sink(&inst, Ff, &mut sink).unwrap();
+/// assert_eq!(result.metrics.events as usize, sink.events.len());
+/// ```
+pub fn run_with_sink<A: OnlineAlgorithm, S: EventSink>(
+    instance: &Instance,
+    algo: A,
+    sink: S,
+) -> Result<PackingResult, EngineError> {
+    let mut sim = InteractiveSim::with_capacity_and_sink(algo, instance.len(), sink);
     for it in instance.items() {
         sim.arrive_at(it.arrival, it.duration(), it.size)?;
     }
@@ -603,6 +820,76 @@ mod tests {
         let (inst, res) = sim.finish();
         assert_eq!(inst.len(), 2);
         assert_eq!(res.cost_from_timeline(), res.cost);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let mut sim = InteractiveSim::new(Ff);
+        sim.try_advance_to(Time(5)).unwrap();
+        let err = sim.try_advance_to(Time(3)).unwrap_err();
+        assert!(matches!(err, EngineError::ClockRegression { .. }));
+        // Unknown item: not an undated in-flight arrival.
+        let err = sim.try_set_departure(ItemId(9), Time(10)).unwrap_err();
+        assert!(matches!(err, EngineError::NotUndated { .. }));
+        let (a, _) = sim.arrive_undated(sz(1, 2)).unwrap();
+        // `at == arrival` is not strictly after the arrival.
+        let err = sim.try_set_departure(a, Time(5)).unwrap_err();
+        assert!(matches!(err, EngineError::BadDeparture { .. }));
+        sim.try_set_departure(a, Time(6)).unwrap();
+        let err = sim.try_set_departure(a, Time(7)).unwrap_err();
+        assert!(matches!(err, EngineError::NotUndated { .. }));
+        let (_, res) = sim.finish();
+        assert_eq!(res.cost.as_bin_ticks(), 1.0);
+    }
+
+    #[test]
+    fn event_stream_matches_run_shape() {
+        use crate::trace::{EngineEvent, VecSink};
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(2), Dur(5), sz(1, 2)),
+            (Time(10), Dur(4), sz(1, 2)),
+        ])
+        .unwrap();
+        let mut sink = VecSink::new();
+        let res = run_with_sink(&inst, Ff, &mut sink).unwrap();
+        let events = &sink.events;
+        assert_eq!(res.metrics.events as usize, events.len());
+        let count = |f: fn(&EngineEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, EngineEvent::Arrival { .. })), 3);
+        assert_eq!(count(|e| matches!(e, EngineEvent::Placed { .. })), 3);
+        assert_eq!(count(|e| matches!(e, EngineEvent::Departure { .. })), 3);
+        assert_eq!(
+            count(|e| matches!(e, EngineEvent::BinOpened { .. })),
+            res.bins_opened
+        );
+        assert_eq!(
+            count(|e| matches!(e, EngineEvent::BinClosed { .. })),
+            res.bins_opened
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "event timestamps never regress"
+        );
+        assert_eq!(res.metrics.arrivals, 3);
+        assert_eq!(res.metrics.heap_pushes, 3);
+        assert_eq!(res.metrics.heap_pops, 3);
+        assert_eq!(
+            res.metrics.fast_path_placements + res.metrics.scan_placements,
+            3
+        );
+    }
+
+    #[test]
+    fn noop_run_reports_metrics_too() {
+        let inst = Instance::from_triples([(Time(0), Dur(3), Size::FULL)]).unwrap();
+        let res = run(&inst, Ff).unwrap();
+        assert_eq!(res.metrics.arrivals, 1);
+        assert_eq!(
+            res.metrics.events, 5,
+            "arrival+opened+placed+departure+closed"
+        );
+        assert_eq!(res.metrics.fast_path_share(), 1.0);
     }
 
     #[test]

@@ -66,6 +66,29 @@ pub enum EngineError {
         /// The item's (past) arrival time.
         arrival: Time,
     },
+    /// Interactive use only: `advance_to` asked to move the clock backwards.
+    ClockRegression {
+        /// Current simulation time.
+        now: Time,
+        /// The requested (past) time.
+        to: Time,
+    },
+    /// Interactive use only: `set_departure` on an item that is not an
+    /// undated in-flight arrival (unknown id, or already dated).
+    NotUndated {
+        /// The offending item.
+        item: ItemId,
+    },
+    /// Interactive use only: a departure scheduled in the past or not
+    /// strictly after the item's arrival.
+    BadDeparture {
+        /// The item being dated.
+        item: ItemId,
+        /// The rejected departure time.
+        at: Time,
+        /// Current simulation time.
+        now: Time,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -84,6 +107,18 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "item {item} arrives at {arrival}, before current time {now}"
+                )
+            }
+            EngineError::ClockRegression { now, to } => {
+                write!(f, "clock regression: {to} < {now}")
+            }
+            EngineError::NotUndated { item } => {
+                write!(f, "item {item} is not undated (unknown or already dated)")
+            }
+            EngineError::BadDeparture { item, at, now } => {
+                write!(
+                    f,
+                    "departure {at} for item {item} is in the past or not after arrival (now {now})"
                 )
             }
         }

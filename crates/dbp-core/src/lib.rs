@@ -17,6 +17,10 @@
 //! * the [`algorithm::OnlineAlgorithm`] trait and the validating simulator
 //!   ([`engine`]) in both batch and adaptive (adversary-driven) forms;
 //! * an independent assignment auditor ([`assignment`]);
+//! * structured engine-event tracing with pluggable sinks and JSONL
+//!   serialization ([`trace`]), run-level execution metrics
+//!   ([`engine::RunMetrics`]), and a streaming invariant auditor
+//!   ([`audit`]) that cross-checks every run event-by-event;
 //! * the σ→σ′ departure-rounding reduction ([`reduction`]) and certified
 //!   OPT brackets ([`bounds`]) used by every experiment.
 //!
@@ -28,6 +32,7 @@
 
 pub mod algorithm;
 pub mod assignment;
+pub mod audit;
 pub mod bin_state;
 pub mod bounds;
 pub mod cost;
@@ -45,10 +50,11 @@ pub mod trace;
 
 pub use algorithm::{OnlineAlgorithm, Placement, SimView};
 pub use assignment::{audit, AuditReport};
+pub use audit::{AuditViolation, InvariantAuditor};
 pub use bin_state::{BinId, BinRecord, BinStore};
 pub use bounds::{LowerBounds, OptBracket};
 pub use cost::Area;
-pub use engine::{run, InteractiveSim, PackingResult};
+pub use engine::{run, run_with_sink, InteractiveSim, PackingResult, RunMetrics};
 pub use error::{EngineError, InstanceError, VerifyError};
 pub use fit_tree::{FitTree, SubsetFitTree};
 pub use instance::{Instance, InstanceBuilder};
@@ -61,4 +67,7 @@ pub use profile::StepProfile;
 pub use reduction::{reduce, reduced_departure};
 pub use size::{Load, Size, SIZE_SCALE};
 pub use time::{Dur, Time};
-pub use trace::{TraceEvent, TraceRecorder};
+pub use trace::{
+    event_from_json, event_to_json, parse_jsonl, EngineEvent, EventSink, JsonlSink, NoopSink,
+    PlacementPath, TraceEvent, TraceParseError, TraceRecorder, VecSink,
+};

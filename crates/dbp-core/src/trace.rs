@@ -1,17 +1,445 @@
 //! Structured event traces of packing runs.
 //!
-//! A [`TraceRecorder`] wraps any [`OnlineAlgorithm`] and records every
-//! decision the wrapped algorithm makes — which bin each item went to,
-//! whether the bin was fresh, the bin's load after placement, and bin
-//! closures. Traces power the figure renderers, debugging sessions
-//! ("why did HA open bin 7?") and regression tests that pin down exact
-//! decision sequences.
+//! Two complementary layers live here:
+//!
+//! * **Engine events** ([`EngineEvent`]) are emitted by the simulator
+//!   itself through an [`EventSink`] — the ground truth of what happened:
+//!   arrivals, placements (with their search-path classification),
+//!   bin lifecycle, departures, and clock motion. The default sink is
+//!   [`NoopSink`], a zero-sized type whose callback compiles away, so the
+//!   hot path pays nothing when nobody listens. Sinks receive a borrow of
+//!   the live [`BinStore`] alongside each event, which is what lets the
+//!   invariant auditor ([`crate::audit`]) cross-check the tree-backed
+//!   First-Fit against the linear oracle *at the moment of divergence*.
+//!   [`JsonlSink`] streams events as JSON lines (schema in DESIGN.md §9);
+//!   [`parse_jsonl`] reads them back for replay and diffing.
+//!
+//! * **Algorithm traces** ([`TraceRecorder`]) wrap an
+//!   [`OnlineAlgorithm`] and record every decision the wrapped algorithm
+//!   makes. They power the figure renderers and regression tests that pin
+//!   down exact decision sequences.
+
+use std::io::{self, Write};
 
 use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
-use crate::bin_state::BinId;
+use crate::bin_state::{BinId, BinStore};
 use crate::item::{Item, ItemId};
-use crate::size::Size;
+use crate::size::{Load, Size};
 use crate::time::Time;
+
+/// How the engine classified a placement's search cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPath {
+    /// Answered without enumerating the open list: a tournament-tree query,
+    /// an O(1) rule (Next-Fit's newest bin), or a stateless `OpenNew`.
+    FastPath,
+    /// The algorithm walked the open list (`open_bins`) or ran the naive
+    /// linear First-Fit to decide.
+    Scan,
+}
+
+/// One event emitted by the engine during a run, in simulation order.
+///
+/// Departure events at a time `t` precede arrival events at `t` (the
+/// model's `t⁻`/`t⁺` convention), and every `Placed { opened: true, .. }`
+/// is immediately preceded by the matching [`EngineEvent::BinOpened`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// An item arrived and is about to be placed.
+    Arrival {
+        /// The arriving item.
+        item: ItemId,
+        /// Arrival time (the current clock).
+        at: Time,
+        /// Item size.
+        size: Size,
+        /// Known departure, or `None` for a not-yet-dated interactive
+        /// arrival.
+        departure: Option<Time>,
+    },
+    /// A validated placement took effect.
+    Placed {
+        /// The placed item.
+        item: ItemId,
+        /// Placement time.
+        at: Time,
+        /// The bin it went to.
+        bin: BinId,
+        /// Whether this placement opened the bin.
+        opened: bool,
+        /// Search-path classification of the decision.
+        via: PlacementPath,
+        /// The bin's total load after the placement.
+        load_after: Load,
+    },
+    /// A fresh bin opened.
+    BinOpened {
+        /// The new bin.
+        bin: BinId,
+        /// Opening time.
+        at: Time,
+    },
+    /// An item departed its bin.
+    Departure {
+        /// The departing item.
+        item: ItemId,
+        /// Departure time.
+        at: Time,
+        /// The bin it left.
+        bin: BinId,
+        /// Item size (for load reconstruction).
+        size: Size,
+    },
+    /// A bin emptied and closed forever.
+    BinClosed {
+        /// The closed bin.
+        bin: BinId,
+        /// Closing time.
+        at: Time,
+        /// When the bin had opened (so a sink can account its interval
+        /// without keeping its own per-bin state).
+        opened_at: Time,
+    },
+    /// The simulation clock moved forward.
+    ClockAdvanced {
+        /// Previous clock value.
+        from: Time,
+        /// New clock value.
+        to: Time,
+    },
+}
+
+impl EngineEvent {
+    /// The simulation time this event is stamped with (`to` for clock
+    /// motion).
+    #[inline]
+    pub fn time(&self) -> Time {
+        match *self {
+            EngineEvent::Arrival { at, .. }
+            | EngineEvent::Placed { at, .. }
+            | EngineEvent::BinOpened { at, .. }
+            | EngineEvent::Departure { at, .. }
+            | EngineEvent::BinClosed { at, .. } => at,
+            EngineEvent::ClockAdvanced { to, .. } => to,
+        }
+    }
+
+    /// Short tag naming the event kind (the JSONL `"e"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::Arrival { .. } => "arrival",
+            EngineEvent::Placed { .. } => "placed",
+            EngineEvent::BinOpened { .. } => "bin_opened",
+            EngineEvent::Departure { .. } => "departure",
+            EngineEvent::BinClosed { .. } => "bin_closed",
+            EngineEvent::ClockAdvanced { .. } => "clock",
+        }
+    }
+}
+
+/// Receiver of engine events.
+///
+/// `bins` is the live store *after* the event took effect; sinks may run
+/// read-only queries against it (the auditor probes both First-Fit paths),
+/// but such probes tick the store's observability counters — the engine's
+/// per-placement metrics are delta-based and immune to this.
+pub trait EventSink {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &EngineEvent, bins: &BinStore);
+}
+
+/// The default sink: listens to nothing, costs nothing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline(always)]
+    fn on_event(&mut self, _event: &EngineEvent, _bins: &BinStore) {}
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+        (**self).on_event(event, bins)
+    }
+}
+
+/// Buffers every event in memory.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// The events received so far, in order.
+    pub events: Vec<EngineEvent>,
+}
+
+impl VecSink {
+    /// An empty buffer.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_event(&mut self, event: &EngineEvent, _bins: &BinStore) {
+        self.events.push(*event);
+    }
+}
+
+/// Streams events as JSON lines into any writer.
+///
+/// I/O errors are latched (subsequent events are dropped) and surfaced by
+/// [`JsonlSink::finish`], since the sink callback itself is infallible.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `out`.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &EngineEvent, _bins: &BinStore) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event_to_json(event);
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Serializes one event as a single flat JSON object (no trailing newline).
+///
+/// The schema is documented in DESIGN.md §9; [`event_from_json`] is the
+/// exact inverse.
+pub fn event_to_json(event: &EngineEvent) -> String {
+    match *event {
+        EngineEvent::Arrival {
+            item,
+            at,
+            size,
+            departure,
+        } => match departure {
+            Some(dep) => format!(
+                "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{},\"dep\":{}}}",
+                at.0,
+                item.0,
+                size.raw(),
+                dep.0
+            ),
+            None => format!(
+                "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{}}}",
+                at.0,
+                item.0,
+                size.raw()
+            ),
+        },
+        EngineEvent::Placed {
+            item,
+            at,
+            bin,
+            opened,
+            via,
+            load_after,
+        } => format!(
+            "{{\"e\":\"placed\",\"t\":{},\"item\":{},\"bin\":{},\"opened\":{},\"via\":\"{}\",\"load\":{}}}",
+            at.0,
+            item.0,
+            bin.0,
+            opened,
+            match via {
+                PlacementPath::FastPath => "fast",
+                PlacementPath::Scan => "scan",
+            },
+            load_after.raw()
+        ),
+        EngineEvent::BinOpened { bin, at } => {
+            format!("{{\"e\":\"bin_opened\",\"t\":{},\"bin\":{}}}", at.0, bin.0)
+        }
+        EngineEvent::Departure { item, at, bin, size } => format!(
+            "{{\"e\":\"departure\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
+            at.0,
+            item.0,
+            bin.0,
+            size.raw()
+        ),
+        EngineEvent::BinClosed { bin, at, opened_at } => format!(
+            "{{\"e\":\"bin_closed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
+            at.0, bin.0, opened_at.0
+        ),
+        EngineEvent::ClockAdvanced { from, to } => {
+            format!("{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
+        }
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number within the parsed text (0 for single-line
+    /// parses).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace parse error: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn bad(message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Splits a flat JSON object into raw `(key, value)` token pairs. Values
+/// stay unparsed (`"fast"` keeps its quotes). Only the flat schema emitted
+/// by [`event_to_json`] is supported — no nesting, no escapes.
+fn json_pairs(s: &str) -> Result<Vec<(&str, &str)>, TraceParseError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| bad("expected a {...} object"))?;
+    let mut pairs = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| bad(format!("expected key:value, got `{part}`")))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| bad(format!("unquoted key `{}`", k.trim())))?;
+        pairs.push((key, v.trim()));
+    }
+    Ok(pairs)
+}
+
+fn field<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, TraceParseError> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| bad(format!("missing field `{key}`")))
+}
+
+fn num(pairs: &[(&str, &str)], key: &str) -> Result<u64, TraceParseError> {
+    let v = field(pairs, key)?;
+    v.parse::<u64>()
+        .map_err(|_| bad(format!("field `{key}`: `{v}` is not an unsigned integer")))
+}
+
+/// Parses one JSON line back into an [`EngineEvent`] (inverse of
+/// [`event_to_json`]).
+pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
+    let pairs = json_pairs(line)?;
+    let kind = field(&pairs, "e")?;
+    match kind {
+        "\"arrival\"" => Ok(EngineEvent::Arrival {
+            item: ItemId(num(&pairs, "item")? as u32),
+            at: Time(num(&pairs, "t")?),
+            size: Size::from_raw(num(&pairs, "size")?),
+            departure: match pairs.iter().find(|(k, _)| *k == "dep") {
+                Some(_) => Some(Time(num(&pairs, "dep")?)),
+                None => None,
+            },
+        }),
+        "\"placed\"" => Ok(EngineEvent::Placed {
+            item: ItemId(num(&pairs, "item")? as u32),
+            at: Time(num(&pairs, "t")?),
+            bin: BinId(num(&pairs, "bin")? as u32),
+            opened: match field(&pairs, "opened")? {
+                "true" => true,
+                "false" => false,
+                other => return Err(bad(format!("field `opened`: `{other}` is not a bool"))),
+            },
+            via: match field(&pairs, "via")? {
+                "\"fast\"" => PlacementPath::FastPath,
+                "\"scan\"" => PlacementPath::Scan,
+                other => return Err(bad(format!("field `via`: unknown path `{other}`"))),
+            },
+            load_after: Load::from_raw(num(&pairs, "load")?),
+        }),
+        "\"bin_opened\"" => Ok(EngineEvent::BinOpened {
+            bin: BinId(num(&pairs, "bin")? as u32),
+            at: Time(num(&pairs, "t")?),
+        }),
+        "\"departure\"" => Ok(EngineEvent::Departure {
+            item: ItemId(num(&pairs, "item")? as u32),
+            at: Time(num(&pairs, "t")?),
+            bin: BinId(num(&pairs, "bin")? as u32),
+            size: Size::from_raw(num(&pairs, "size")?),
+        }),
+        "\"bin_closed\"" => Ok(EngineEvent::BinClosed {
+            bin: BinId(num(&pairs, "bin")? as u32),
+            at: Time(num(&pairs, "t")?),
+            opened_at: Time(num(&pairs, "opened_at")?),
+        }),
+        "\"clock\"" => Ok(EngineEvent::ClockAdvanced {
+            from: Time(num(&pairs, "from")?),
+            to: Time(num(&pairs, "to")?),
+        }),
+        other => Err(bad(format!("unknown event kind {other}"))),
+    }
+}
+
+/// Parses a whole JSONL trace (blank lines ignored); errors carry 1-based
+/// line numbers.
+pub fn parse_jsonl(text: &str) -> Result<Vec<EngineEvent>, TraceParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = event_from_json(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +646,89 @@ mod tests {
         let t = rec.transcript();
         assert!(t.contains("t2: r0 -> b0 (new)"));
         assert!(t.contains("r0 leaves b0 (closed)"));
+    }
+
+    #[test]
+    fn engine_events_roundtrip_through_json() {
+        let events = [
+            EngineEvent::Arrival {
+                item: ItemId(3),
+                at: Time(7),
+                size: sz(1, 2),
+                departure: Some(Time(12)),
+            },
+            EngineEvent::Arrival {
+                item: ItemId(4),
+                at: Time(7),
+                size: sz(1, 3),
+                departure: None,
+            },
+            EngineEvent::Placed {
+                item: ItemId(3),
+                at: Time(7),
+                bin: BinId(1),
+                opened: true,
+                via: PlacementPath::FastPath,
+                load_after: Load::from_raw(sz(1, 2).raw()),
+            },
+            EngineEvent::BinOpened {
+                bin: BinId(1),
+                at: Time(7),
+            },
+            EngineEvent::Departure {
+                item: ItemId(3),
+                at: Time(12),
+                bin: BinId(1),
+                size: sz(1, 2),
+            },
+            EngineEvent::BinClosed {
+                bin: BinId(1),
+                at: Time(12),
+                opened_at: Time(7),
+            },
+            EngineEvent::ClockAdvanced {
+                from: Time(7),
+                to: Time(12),
+            },
+        ];
+        let text: String = events.iter().map(|e| event_to_json(e) + "\n").collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn jsonl_parse_errors_carry_line_numbers() {
+        let text = "{\"e\":\"clock\",\"from\":0,\"to\":1}\nnot json\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err = event_from_json("{\"e\":\"clock\",\"from\":0}").unwrap_err();
+        assert!(err.message.contains("missing field `to`"));
+        let err = event_from_json("{\"e\":\"warp\"}").unwrap_err();
+        assert!(err.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn jsonl_sink_streams_events() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let store = BinStore::new();
+        sink.on_event(
+            &EngineEvent::ClockAdvanced {
+                from: Time(0),
+                to: Time(4),
+            },
+            &store,
+        );
+        assert_eq!(sink.written(), 1);
+        let bytes = sink.finish().unwrap();
+        let parsed = parse_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(
+            parsed,
+            [EngineEvent::ClockAdvanced {
+                from: Time(0),
+                to: Time(4),
+            }]
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn run_adversary<A: OnlineAlgorithm>(
     let mut last_lengths = Vec::with_capacity(rounds as usize);
 
     for t in 0..rounds {
-        sim.advance_to(Time(t));
+        sim.try_advance_to(Time(t))?;
         let mut last_len = 0u64;
         let mut forced = false;
         for i in 0..=n {

@@ -51,7 +51,7 @@ pub fn run_nc_adversary<A: OnlineAlgorithm>(
     assert!(k >= 2 && mu >= 2);
     let size = Size::from_ratio(1, k);
     let mut sim = InteractiveSim::new(algo);
-    sim.advance_to(Time(0));
+    sim.try_advance_to(Time(0))?;
 
     // Phase 1: release k·k tiny undated items; remember bin membership.
     let mut per_bin: HashMap<BinId, Vec<ItemId>> = HashMap::new();
@@ -65,9 +65,9 @@ pub fn run_nc_adversary<A: OnlineAlgorithm>(
     // at time 1.
     for items in per_bin.values() {
         let (&survivor, rest) = items.split_first().expect("non-empty bin group");
-        sim.set_departure(survivor, Time(mu));
+        sim.try_set_departure(survivor, Time(mu))?;
         for &short in rest {
-            sim.set_departure(short, Time(1));
+            sim.try_set_departure(short, Time(1))?;
         }
     }
 

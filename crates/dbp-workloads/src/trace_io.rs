@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use dbp_core::error::InstanceError;
 use dbp_core::instance::{Instance, InstanceBuilder};
 use dbp_core::size::Size;
 use dbp_core::time::{Dur, Time};
@@ -32,6 +33,10 @@ impl std::error::Error for TraceParseError {}
 /// Parses a CSV trace into an instance.
 pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
     let mut b = InstanceBuilder::new();
+    // Source line of each pushed row, in push order. `InstanceBuilder`
+    // validates *before* its canonical sort, so a build error's item id is
+    // exactly a push-order index into this table.
+    let mut lines_of: Vec<usize> = Vec::new();
     let mut first_data_line = true;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -42,9 +47,12 @@ pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
         let numeric = cols.iter().all(|c| c.parse::<u64>().is_ok());
         if !numeric {
-            if first_data_line {
+            // A header is only a header when it has the format's exact
+            // column count: a malformed first data row must not silently
+            // vanish.
+            if first_data_line && cols.len() == 4 {
                 first_data_line = false;
-                continue; // header
+                continue;
             }
             return Err(TraceParseError {
                 line: lineno,
@@ -72,10 +80,16 @@ pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
             });
         }
         b.push(Time(v[0]), Dur(v[1]), Size::from_ratio(v[2], v[3]));
+        lines_of.push(lineno);
     }
-    b.build().map_err(|e| TraceParseError {
-        line: 0,
-        message: e.to_string(),
+    b.build().map_err(|e| {
+        let idx = match &e {
+            InstanceError::EmptyInterval { id } | InstanceError::ZeroSize { id } => id.index(),
+        };
+        TraceParseError {
+            line: lines_of.get(idx).copied().unwrap_or(0),
+            message: e.to_string(),
+        }
     })
 }
 
@@ -137,6 +151,32 @@ mod tests {
             .unwrap_err()
             .message
             .contains("4 columns"));
+    }
+
+    #[test]
+    fn malformed_first_row_is_not_swallowed_as_header() {
+        // Three columns, non-numeric: before the fix this row vanished as a
+        // "header" and the file parsed as empty.
+        let err = parse_trace("0,5,x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("non-numeric"));
+        // A genuine 4-column header is still tolerated.
+        assert_eq!(
+            parse_trace("arrival,duration,num,den\n0,5,1,2\n")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn build_errors_carry_the_offending_line() {
+        // 1/(2^32+1) rounds to a raw size of zero: the builder rejects it,
+        // and the error must point at line 3 (the pushed row), not line 0.
+        let text = "# comment\n0,5,1,2\n7,5,1,4294967297\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("zero size"), "{}", err.message);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property-based checks for the engine observability layer: every
+//! registered algorithm must survive a full run with the invariant
+//! auditor attached on arbitrary inputs, the run metrics must account for
+//! every arrival, and a deliberately corrupted event stream must be
+//! flagged at — and only at — the first divergent event.
+
+use clairvoyant_dbp::algos;
+use clairvoyant_dbp::core::audit::run_audited;
+use clairvoyant_dbp::core::trace::{EngineEvent, EventSink, VecSink};
+use clairvoyant_dbp::core::{
+    engine, BinStore, Dur, Instance, InstanceBuilder, InvariantAuditor, Load, Size, Time,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary instance of up to `max_items` items with tick
+/// arrivals < 256, durations ≤ 64 and sizes in (0, 1].
+fn arb_instance(max_items: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0u64..256, 1u64..=64, 1u64..=100), 1..=max_items).prop_map(|triples| {
+        let mut b = InstanceBuilder::with_capacity(triples.len());
+        for (t, d, s) in triples {
+            b.push(Time(t), Dur(d), Size::from_ratio(s, 100));
+        }
+        b.build().expect("strategy items are valid")
+    })
+}
+
+/// Forwards a live run's events into an [`InvariantAuditor`] through a
+/// tweak closure — the engine's own stream is truthful, so seeded bugs
+/// must be injected between the engine and the auditor.
+struct TamperSink<F: FnMut(EngineEvent) -> Option<EngineEvent>> {
+    auditor: InvariantAuditor,
+    tweak: F,
+}
+
+impl<F: FnMut(EngineEvent) -> Option<EngineEvent>> EventSink for TamperSink<F> {
+    fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+        if let Some(ev) = (self.tweak)(*event) {
+            self.auditor.on_event(&ev, bins);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every registry algorithm passes the full always-on audit (event
+    /// mirror, load conservation, cost triple-entry, first-fit agreement)
+    /// on arbitrary inputs, and the metrics attribute each arrival to
+    /// exactly one placement path.
+    #[test]
+    fn every_algorithm_survives_the_auditor(inst in arb_instance(60)) {
+        for name in algos::registry_names() {
+            let algo = algos::by_name(name).expect("registry");
+            // `run_audited` panics (failing this test) on any violation.
+            let res = run_audited(&inst, algo)
+                .unwrap_or_else(|e| panic!("{name}: illegal move: {e}"));
+            let m = res.metrics;
+            prop_assert_eq!(m.arrivals, inst.len() as u64, "{} arrivals", name);
+            prop_assert_eq!(
+                m.fast_path_placements + m.scan_placements,
+                m.arrivals,
+                "{} placement paths don't partition arrivals",
+                name
+            );
+            prop_assert_eq!(res.cost_from_timeline(), res.cost, "{} timeline", name);
+        }
+    }
+
+    /// The event stream is deterministic: two runs of the same algorithm
+    /// on the same instance emit identical streams (what `dbp-trace diff`
+    /// relies on for its zero-divergence guarantee).
+    #[test]
+    fn event_streams_are_deterministic(inst in arb_instance(40)) {
+        for name in algos::registry_names() {
+            let mut a = VecSink::new();
+            let mut b = VecSink::new();
+            engine::run_with_sink(&inst, algos::by_name(name).expect("registry"), &mut a)
+                .expect("legal");
+            engine::run_with_sink(&inst, algos::by_name(name).expect("registry"), &mut b)
+                .expect("legal");
+            prop_assert_eq!(&a.events, &b.events, "{} stream diverged", name);
+        }
+    }
+
+    /// Seeded bug: corrupting the load of one arbitrary `Placed` event
+    /// makes the auditor flag exactly that event — the first divergence —
+    /// with a load-conservation message.
+    #[test]
+    fn auditor_names_the_first_seeded_corruption(
+        inst in arb_instance(40),
+        victim in 0u64..40,
+    ) {
+        use std::cell::Cell;
+        let victim = victim % inst.len() as u64;
+        let placed_seen = Cell::new(0u64);
+        let corrupted_at: Cell<Option<u64>> = Cell::new(None);
+        let index = Cell::new(0u64);
+        let mut sink = TamperSink {
+            auditor: InvariantAuditor::new(),
+            tweak: |ev| {
+                let ev = match ev {
+                    EngineEvent::Placed {
+                        item,
+                        at,
+                        bin,
+                        opened,
+                        via,
+                        load_after,
+                    } => {
+                        let hit = placed_seen.get() == victim;
+                        placed_seen.set(placed_seen.get() + 1);
+                        if hit {
+                            corrupted_at.set(Some(index.get()));
+                            EngineEvent::Placed {
+                                item,
+                                at,
+                                bin,
+                                opened,
+                                via,
+                                load_after: Load::from_raw(load_after.raw() + 1),
+                            }
+                        } else {
+                            ev
+                        }
+                    }
+                    _ => ev,
+                };
+                index.set(index.get() + 1);
+                Some(ev)
+            },
+        };
+        engine::run_with_sink(&inst, algos::FirstFit::new(), &mut sink).expect("legal");
+        let violation = sink.auditor.violation().expect("corruption must be caught");
+        prop_assert_eq!(Some(violation.index), corrupted_at.get(), "wrong event flagged");
+        prop_assert!(
+            violation.message.contains("load conservation"),
+            "unexpected message: {}",
+            violation.message
+        );
+    }
+}
+
+/// Non-proptest fixture: suppressing a `BinClosed` event passes the
+/// per-event checks but fails the post-run reconciliation, which reports
+/// the still-open mirror bin.
+#[test]
+fn suppressed_close_is_caught_post_run() {
+    let inst = Instance::from_triples([(Time(0), Dur(4), Size::from_ratio(1, 2))]).unwrap();
+    let mut sink = TamperSink {
+        auditor: InvariantAuditor::new(),
+        tweak: |ev| match ev {
+            EngineEvent::BinClosed { .. } => None,
+            other => Some(other),
+        },
+    };
+    let res = engine::run_with_sink(&inst, algos::FirstFit::new(), &mut sink).expect("legal");
+    assert!(sink.auditor.violation().is_none(), "per-event checks pass");
+    assert!(sink.auditor.verify_result(&res).is_err());
+    let v = sink.auditor.violation().expect("reconciliation failure");
+    assert_eq!(v.index, u64::MAX, "post-run violations carry index MAX");
+    assert!(v.message.contains("still open"), "{}", v.message);
+}
