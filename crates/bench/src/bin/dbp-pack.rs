@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]
+//!          [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]
 //! ```
 //!
 //! CSV format: `arrival,duration,size_num,size_den` per line (`#` comments
@@ -20,6 +21,8 @@ fn main() {
     let mut algos: Vec<String> = Vec::new();
     let mut gantt = false;
     let mut momentary = false;
+    let mut effort = bracket::Effort::Cached;
+    let mut cache_dir: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -31,9 +34,27 @@ fn main() {
             }
             "--gantt" => gantt = true,
             "--momentary" => momentary = true,
+            "--bracket-effort" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--bracket-effort requires analytic|cached|budget=<ms>");
+                    std::process::exit(2);
+                });
+                effort = bracket::Effort::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad bracket effort '{raw}' (analytic|cached|budget=<ms>)");
+                    std::process::exit(2);
+                });
+            }
+            "--bracket-cache" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--bracket-cache requires a directory (or 'off')");
+                    std::process::exit(2);
+                });
+                cache_dir = (raw != "off").then_some(raw);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
+                     \x20              [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]\n\
                      algorithms: {:?}",
                     dbp_algos::registry_names()
                 );
@@ -42,6 +63,7 @@ fn main() {
             other => path = Some(other.to_string()),
         }
     }
+    let svc = bracket::configure(effort, cache_dir.as_deref().map(std::path::Path::new));
     let Some(path) = path else {
         eprintln!("usage: dbp-pack <trace.csv> [--algo NAME]... (see --help)");
         std::process::exit(2);
@@ -70,11 +92,14 @@ fn main() {
         inst.span_dur().ticks(),
         inst.is_aligned()
     );
-    let br = bracket::opt_r(&inst);
+    let certified = svc.opt_r(&inst);
+    let br = certified.bracket;
     println!(
-        "OPT_R ∈ [{:.1}, {:.1}] bin·ticks\n",
+        "OPT_R ∈ [{:.1}, {:.1}] bin·ticks (rung {}, {})\n",
         br.lower.as_bin_ticks(),
-        br.upper.as_bin_ticks()
+        br.upper.as_bin_ticks(),
+        certified.rung,
+        certified.source
     );
 
     let mut header = vec![
@@ -124,4 +149,13 @@ fn main() {
         }
     }
     println!("{}", table.render());
+    let stats = svc.stats();
+    println!(
+        "bracket service: effort {}, {} cold, {} warm ({} mem / {} disk)",
+        effort,
+        stats.computed,
+        stats.warm(),
+        stats.mem_hits,
+        stats.disk_hits
+    );
 }

@@ -7,22 +7,45 @@
 //! experiments table1-ha fig3  # run a subset
 //! experiments all --md report.md   # also write one combined markdown report
 //! ```
+//!
+//! `--bracket-effort analytic|cached|budget=<ms>` and `--bracket-cache
+//! DIR|off` configure the certified-bracket service the experiments query.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use dbp_bench::bracket;
 use dbp_bench::experiments::{registry, run_by_id};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<PathBuf> = None;
     let mut md_path: Option<PathBuf> = None;
+    let mut effort = bracket::Effort::Cached;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--bracket-effort" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--bracket-effort requires analytic|cached|budget=<ms>");
+                    std::process::exit(2);
+                });
+                effort = bracket::Effort::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad bracket effort '{raw}' (analytic|cached|budget=<ms>)");
+                    std::process::exit(2);
+                });
+            }
+            "--bracket-cache" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--bracket-cache requires a directory (or 'off')");
+                    std::process::exit(2);
+                });
+                cache_dir = (raw != "off").then(|| PathBuf::from(raw));
+            }
             "--out" => {
                 let dir = it.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory");
@@ -44,6 +67,8 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+
+    let svc = bracket::configure(effort, cache_dir.as_deref());
 
     if ids.is_empty() {
         print_usage();
@@ -92,10 +117,22 @@ fn main() {
         fs::write(&path, combined).expect("write markdown report");
         eprintln!("wrote combined report to {}", path.display());
     }
+    let stats = svc.stats();
+    eprintln!(
+        "bracket service: effort {}, {} cold, {} warm ({} mem / {} disk)",
+        effort,
+        stats.computed,
+        stats.warm(),
+        stats.mem_hits,
+        stats.disk_hits
+    );
 }
 
 fn print_usage() {
-    println!("usage: experiments [--out DIR] <id>... | all\n\navailable experiments:");
+    println!(
+        "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
+         [--bracket-cache DIR|off] <id>... | all\n\navailable experiments:"
+    );
     for (id, _) in registry() {
         println!("  {id}");
     }

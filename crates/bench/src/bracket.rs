@@ -1,43 +1,575 @@
-//! Effort-aware OPT brackets for experiments.
+//! Certified-bracket service: content-addressed OPT cache plus an anytime
+//! refinement ladder.
 //!
-//! Small instances afford the tight comparators (FFD-repack, the
-//! non-repacking portfolio, even exact search); adversary-scale instances
-//! get the analytic Lemma 3.1 bracket, which is always within 2× of OPT_R.
+//! Experiments used to call free functions that recomputed a fresh bracket
+//! for every (algorithm × instance) cell and fell off a hard size cliff
+//! ([`FFD_TIGHTEN_LIMIT`]) above which adversary-scale instances got only
+//! the analytic Lemma 3.1 sandwich. The [`BracketService`] replaces both
+//! behaviours:
+//!
+//! * **Content-addressed cache** — brackets are keyed by
+//!   [`dbp_core::InstanceDigest`] (order-independent over the item triples)
+//!   and the goal (`OPT_R` / `OPT_NR`). An in-memory layer serves repeat
+//!   lookups within a process; an optional JSONL spill re-serves them
+//!   across processes. Every hit is bit-identical to the stored bracket.
+//! * **Anytime refinement ladder** — analytic Lemma 3.1 → FFD-repack
+//!   tightening → non-repacking portfolio → budgeted exact search, each
+//!   rung intersected into the previous bracket (so the ladder is
+//!   monotone) and driven by a [`RefineBudget`] instead of hard cutoffs.
+//!   Which rung certified the final bracket is recorded for reports.
+//!
+//! The legacy free functions ([`opt_r`], [`opt_nr`], [`ratio_vs_opt_r`])
+//! remain as thin wrappers over a process-global service so existing
+//! callers keep working; CLIs configure the global with
+//! `--bracket-effort` / `--bracket-cache`.
 
-use dbp_algos::offline;
-use dbp_core::bounds::OptBracket;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dbp_algos::offline::{self, RefineBudget};
+use dbp_core::bounds::{BracketRung, BracketSource, CertifiedBracket, OptBracket};
 use dbp_core::cost::Area;
 use dbp_core::instance::Instance;
 
-/// Above this item count, skip the O(E·n log n) FFD-repack tightening.
-pub const FFD_TIGHTEN_LIMIT: usize = 20_000;
-/// Above this item count, skip the full portfolio for OPT_NR.
-pub const PORTFOLIO_LIMIT: usize = 50_000;
+use crate::sweep::parallel_map;
 
-/// Bracket on the repacking optimum, tightened when affordable (exact
-/// when peak concurrency permits — see [`offline::opt_r_bracket`]).
-pub fn opt_r(instance: &Instance) -> OptBracket {
-    if instance.len() <= FFD_TIGHTEN_LIMIT {
-        offline::opt_r_bracket(instance)
-    } else {
-        OptBracket::of(instance)
+/// Up to this item count the FFD-repack rung runs to completion under
+/// [`Effort::Cached`] (above it, the same rung runs under the node
+/// budget — tightening a prefix instead of being skipped entirely).
+pub const FFD_TIGHTEN_LIMIT: usize = 20_000;
+/// Above this item count, skip the non-repacking portfolio rung.
+pub const PORTFOLIO_LIMIT: usize = 50_000;
+/// Up to this item count the exact non-repacking branch-and-bound rung is
+/// attempted for `OPT_NR` (exponential in `|σ|`).
+pub const EXACT_NR_LIMIT: usize = 12;
+/// Deterministic node allowance for [`Effort::Cached`] refinement: enough
+/// to collapse every experiment-scale instance with small concurrency and
+/// to tighten a meaningful prefix of adversary-scale ones.
+pub const CACHED_NODE_BUDGET: u64 = 40_000_000;
+
+/// How hard the service works on a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Closed-form Lemma 3.1 bounds only; never consults the cache.
+    Analytic,
+    /// The default: deterministic ladder under [`CACHED_NODE_BUDGET`],
+    /// with cache lookups and stores.
+    Cached,
+    /// Ladder under a wall-clock deadline (milliseconds) — latency is
+    /// controlled, determinism is explicitly traded away.
+    Budget(u64),
+}
+
+impl Effort {
+    /// Parses `analytic`, `cached` or `budget=<ms>`.
+    pub fn parse(s: &str) -> Option<Effort> {
+        match s {
+            "analytic" => Some(Effort::Analytic),
+            "cached" => Some(Effort::Cached),
+            _ => s
+                .strip_prefix("budget=")
+                .and_then(|ms| ms.parse::<u64>().ok())
+                .map(Effort::Budget),
+        }
     }
 }
 
-/// Bracket on the non-repacking optimum, tightened when affordable.
-pub fn opt_nr(instance: &Instance) -> OptBracket {
-    let base = OptBracket::of(instance);
-    if instance.len() <= PORTFOLIO_LIMIT {
-        base.tighten_upper(offline::best_nonrepacking(instance).cost)
-    } else {
-        base
+impl core::fmt::Display for Effort {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Effort::Analytic => f.write_str("analytic"),
+            Effort::Cached => f.write_str("cached"),
+            Effort::Budget(ms) => write!(f, "budget={ms}"),
+        }
     }
+}
+
+/// Which optimum a bracket certifies (part of the cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Goal {
+    /// The repacking optimum `OPT_R`.
+    OptR,
+    /// The non-repacking optimum `OPT_NR`.
+    OptNr,
+}
+
+impl Goal {
+    fn as_str(self) -> &'static str {
+        match self {
+            Goal::OptR => "opt_r",
+            Goal::OptNr => "opt_nr",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Goal> {
+        match s {
+            "opt_r" => Some(Goal::OptR),
+            "opt_nr" => Some(Goal::OptNr),
+            _ => None,
+        }
+    }
+}
+
+/// Monotone hit/miss counters, readable at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Brackets computed cold (ladder actually ran).
+    pub computed: u64,
+    /// Lookups served by the in-memory layer.
+    pub mem_hits: u64,
+    /// Lookups served by entries loaded from the JSONL spill.
+    pub disk_hits: u64,
+}
+
+impl StatsSnapshot {
+    /// Total warm lookups.
+    pub fn warm(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            computed: self.computed - earlier.computed,
+            mem_hits: self.mem_hits - earlier.mem_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    bracket: OptBracket,
+    rung: BracketRung,
+    from_disk: bool,
+}
+
+/// The certified-bracket service. See the module docs.
+#[derive(Debug)]
+pub struct BracketService {
+    effort: Effort,
+    memory: Mutex<HashMap<(u128, Goal), CacheEntry>>,
+    spill: Option<PathBuf>,
+    computed: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl BracketService {
+    /// A service with an in-memory cache only.
+    pub fn new(effort: Effort) -> BracketService {
+        BracketService {
+            effort,
+            memory: Mutex::new(HashMap::new()),
+            spill: None,
+            computed: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A service whose cache additionally spills to (and warm-loads from)
+    /// `dir/brackets.jsonl`. A missing or partially corrupt spill is not
+    /// an error — unreadable lines are skipped.
+    pub fn with_spill(effort: Effort, dir: impl Into<PathBuf>) -> BracketService {
+        let dir = dir.into();
+        let mut svc = BracketService::new(effort);
+        let file = dir.join("brackets.jsonl");
+        if let Ok(text) = fs::read_to_string(&file) {
+            let mut map = svc.memory.lock().expect("bracket cache poisoned");
+            for line in text.lines() {
+                if let Some((key, entry)) = parse_spill_line(line) {
+                    map.entry(key)
+                        .and_modify(|e| {
+                            // Later lines re-certify the same instance;
+                            // keep the tightest of both.
+                            e.bracket = e.bracket.intersect(entry.bracket);
+                            e.rung = e.rung.max(entry.rung);
+                        })
+                        .or_insert(entry);
+                }
+            }
+        }
+        svc.spill = Some(dir);
+        svc
+    }
+
+    /// The effort this service was configured with.
+    pub fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            computed: self.computed.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Certified bracket on the repacking optimum.
+    pub fn opt_r(&self, instance: &Instance) -> CertifiedBracket {
+        self.certified(instance, Goal::OptR)
+    }
+
+    /// Certified bracket on the non-repacking optimum.
+    pub fn opt_nr(&self, instance: &Instance) -> CertifiedBracket {
+        self.certified(instance, Goal::OptNr)
+    }
+
+    /// The certified ratio interval `(at_least, at_most)` for an online
+    /// cost against `OPT_R`.
+    pub fn ratio_vs_opt_r(&self, instance: &Instance, cost: Area) -> (f64, f64) {
+        self.opt_r(instance).ratio_bracket(cost)
+    }
+
+    /// Looks up or computes the bracket for `(instance, goal)`.
+    pub fn certified(&self, instance: &Instance, goal: Goal) -> CertifiedBracket {
+        if self.effort == Effort::Analytic {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            return CertifiedBracket {
+                bracket: OptBracket::of(instance),
+                rung: BracketRung::Analytic,
+                source: BracketSource::Computed,
+            };
+        }
+        let key = (instance.digest().0, goal);
+        if let Some(hit) = self.lookup(key) {
+            return hit;
+        }
+        let (bracket, rung) = compute_ladder(instance, goal, self.effort);
+        self.store(key, bracket, rung)
+    }
+
+    fn lookup(&self, key: (u128, Goal)) -> Option<CertifiedBracket> {
+        let map = self.memory.lock().expect("bracket cache poisoned");
+        let entry = map.get(&key)?;
+        let source = if entry.from_disk {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            BracketSource::WarmDisk
+        } else {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            BracketSource::WarmMemory
+        };
+        Some(CertifiedBracket {
+            bracket: entry.bracket,
+            rung: entry.rung,
+            source,
+        })
+    }
+
+    /// Inserts a freshly computed bracket. If another thread raced us to
+    /// the same key, its entry wins (both are certified; keeping one makes
+    /// the hit counters deterministic for a fixed workload).
+    fn store(&self, key: (u128, Goal), bracket: OptBracket, rung: BracketRung) -> CertifiedBracket {
+        let mut map = self.memory.lock().expect("bracket cache poisoned");
+        if let Some(entry) = map.get(&key) {
+            let source = if entry.from_disk {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                BracketSource::WarmDisk
+            } else {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                BracketSource::WarmMemory
+            };
+            return CertifiedBracket {
+                bracket: entry.bracket,
+                rung: entry.rung,
+                source,
+            };
+        }
+        map.insert(
+            key,
+            CacheEntry {
+                bracket,
+                rung,
+                from_disk: false,
+            },
+        );
+        drop(map);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.append_spill(key, bracket, rung);
+        CertifiedBracket {
+            bracket,
+            rung,
+            source: BracketSource::Computed,
+        }
+    }
+
+    fn append_spill(&self, key: (u128, Goal), bracket: OptBracket, rung: BracketRung) {
+        let Some(dir) = &self.spill else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return; // spill is best-effort; the memory layer still works
+        }
+        let line = spill_line(key, bracket, rung);
+        // Serialise appends through the cache lock so concurrent writers
+        // cannot interleave partial lines.
+        let _guard = self.memory.lock().expect("bracket cache poisoned");
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("brackets.jsonl"))
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// Spends `total_nodes` of extra exact-search refinement across a
+    /// sweep's instances, loosest brackets first, in parallel. Returns how
+    /// many brackets were strictly tightened. Cached entries are updated
+    /// (and re-spilled) in place, so subsequent [`BracketService::opt_r`]
+    /// calls see the refined brackets.
+    pub fn refine_batch(&self, instances: &[&Instance], total_nodes: u64) -> usize {
+        // Current looseness per instance (computing on demand warms the
+        // cache, so the batch always starts from the ladder's result).
+        let mut order: Vec<(usize, f64)> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (i, self.opt_r(inst).looseness()))
+            .collect();
+        order.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("looseness is finite")
+                .then(a.0.cmp(&b.0))
+        });
+        let loose: Vec<usize> = order
+            .into_iter()
+            .filter(|&(_, l)| l > 1.0 + 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        if loose.is_empty() {
+            return 0;
+        }
+        // Loosest-first allocation: equal shares, but when the pool is too
+        // small for everyone only the loosest prefix gets a share.
+        const MIN_SHARE: u64 = 1 << 20;
+        let share = (total_nodes / loose.len() as u64).max(MIN_SHARE);
+        let funded: Vec<usize> = loose
+            .iter()
+            .take((total_nodes / share).max(1) as usize)
+            .copied()
+            .collect();
+        let refined: Vec<(usize, OptBracket, BracketRung)> = parallel_map(&funded, |&i| {
+            let mut budget = RefineBudget::nodes(share);
+            let (swept, stats) = offline::refine_opt_r(instances[i], true, &mut budget);
+            let rung = if stats.exact_segments > 0 {
+                BracketRung::Exact
+            } else {
+                BracketRung::FfdRepack
+            };
+            (i, swept, rung)
+        });
+        let mut tightened = 0usize;
+        for (i, swept, rung) in refined {
+            let key = (instances[i].digest().0, Goal::OptR);
+            let mut map = self.memory.lock().expect("bracket cache poisoned");
+            let entry = map.get_mut(&key).expect("warmed above");
+            let next = entry.bracket.intersect(swept);
+            if next != entry.bracket {
+                entry.bracket = next;
+                entry.rung = entry.rung.max(rung);
+                let (bracket, rung) = (entry.bracket, entry.rung);
+                drop(map);
+                tightened += 1;
+                self.append_spill(key, bracket, rung);
+            }
+        }
+        tightened
+    }
+}
+
+/// Runs the refinement ladder cold. Returns the final bracket and the
+/// deepest rung that strictly tightened it.
+fn compute_ladder(instance: &Instance, goal: Goal, effort: Effort) -> (OptBracket, BracketRung) {
+    let mut bracket = OptBracket::of(instance);
+    let mut rung = BracketRung::Analytic;
+    let mut budget = match effort {
+        Effort::Analytic => return (bracket, rung),
+        Effort::Cached => RefineBudget::nodes(CACHED_NODE_BUDGET),
+        Effort::Budget(ms) => RefineBudget::unlimited().with_deadline(Duration::from_millis(ms)),
+    };
+    match goal {
+        Goal::OptR => {
+            // Small peak concurrency: OPT_R decomposes per-moment and the
+            // branch-and-bound collapses the bracket outright (the legacy
+            // fast path — kept unbudgeted so small instances stay exact).
+            if instance.max_concurrency() <= offline::EXACT_OPT_R_CONCURRENCY {
+                if let Some(x) = offline::exact_opt_r(instance, offline::EXACT_OPT_R_CONCURRENCY) {
+                    return (OptBracket { lower: x, upper: x }, BracketRung::Exact);
+                }
+            }
+            // Rung 2: FFD-repack sweep. Under Cached effort instances at
+            // or below the legacy limit still get the full sweep (no
+            // regression vs the old cliff); larger ones get a budgeted
+            // prefix instead of nothing.
+            let full_ffd = effort == Effort::Cached && instance.len() <= FFD_TIGHTEN_LIMIT;
+            let (swept, _) = if full_ffd {
+                offline::refine_opt_r(instance, false, &mut RefineBudget::unlimited())
+            } else {
+                offline::refine_opt_r(instance, false, &mut budget)
+            };
+            let next = bracket.intersect(swept);
+            if next != bracket {
+                rung = BracketRung::FfdRepack;
+                bracket = next;
+            }
+            // Rung 3: any feasible non-repacking schedule also upper-
+            // bounds OPT_R (it just never exercises the repacks).
+            if !budget.exhausted() && instance.len() <= PORTFOLIO_LIMIT {
+                if let Some(p) = offline::best_nonrepacking_budgeted(instance, &mut budget) {
+                    let next = bracket.tighten_upper(p.cost);
+                    if next != bracket {
+                        rung = BracketRung::Portfolio;
+                        bracket = next;
+                    }
+                }
+            }
+            // Rung 4: budgeted exact search per profile segment.
+            if !budget.exhausted() {
+                let (swept, stats) = offline::refine_opt_r(instance, true, &mut budget);
+                let next = bracket.intersect(swept);
+                if next != bracket {
+                    bracket = next;
+                    if stats.exact_segments > 0 {
+                        rung = BracketRung::Exact;
+                    } else {
+                        rung = rung.max(BracketRung::FfdRepack);
+                    }
+                }
+            }
+        }
+        Goal::OptNr => {
+            // Rung 3 (FFD-repack certifies nothing for OPT_NR): the
+            // non-repacking portfolio. Cached keeps the legacy unbudgeted
+            // run below the limit.
+            if instance.len() <= PORTFOLIO_LIMIT {
+                let cost = if effort == Effort::Cached {
+                    Some(offline::best_nonrepacking(instance).cost)
+                } else {
+                    offline::best_nonrepacking_budgeted(instance, &mut budget).map(|p| p.cost)
+                };
+                if let Some(cost) = cost {
+                    let next = bracket.tighten_upper(cost);
+                    if next != bracket {
+                        rung = BracketRung::Portfolio;
+                        bracket = next;
+                    }
+                }
+            }
+            // Rung 4: exact OPT_NR on tiny instances collapses both sides.
+            if instance.len() <= EXACT_NR_LIMIT && !budget.exhausted() {
+                if let Some(exact) =
+                    offline::exact_opt_nr_budgeted(instance, EXACT_NR_LIMIT, &mut budget)
+                {
+                    let point = OptBracket {
+                        lower: exact.cost,
+                        upper: exact.cost,
+                    };
+                    let next = bracket.intersect(point);
+                    if next != bracket {
+                        rung = BracketRung::Exact;
+                        bracket = next;
+                    }
+                }
+            }
+        }
+    }
+    (bracket, rung)
+}
+
+fn spill_line(key: (u128, Goal), bracket: OptBracket, rung: BracketRung) -> String {
+    format!(
+        "{{\"digest\":\"{:032x}\",\"goal\":\"{}\",\"lower\":\"{}\",\"upper\":\"{}\",\"rung\":\"{}\"}}\n",
+        key.0,
+        key.1.as_str(),
+        bracket.lower.raw(),
+        bracket.upper.raw(),
+        rung.as_str()
+    )
+}
+
+/// Extracts `"key":"value"` from our own single-line JSON (values are hex
+/// digests, decimal integers or rung names — never escaped strings).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn parse_spill_line(line: &str) -> Option<((u128, Goal), CacheEntry)> {
+    let digest = u128::from_str_radix(json_field(line, "digest")?, 16).ok()?;
+    let goal = Goal::parse(json_field(line, "goal")?)?;
+    let lower = Area::from_raw(json_field(line, "lower")?.parse().ok()?);
+    let upper = Area::from_raw(json_field(line, "upper")?.parse().ok()?);
+    let rung = BracketRung::parse(json_field(line, "rung")?)?;
+    if lower > upper {
+        return None; // corrupt: refuse rather than certify nonsense
+    }
+    Some((
+        (digest, goal),
+        CacheEntry {
+            bracket: OptBracket { lower, upper },
+            rung,
+            from_disk: true,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Process-global service + legacy free-function API.
+
+static GLOBAL: Mutex<Option<Arc<BracketService>>> = Mutex::new(None);
+
+/// The process-global service (created at [`Effort::Cached`], memory-only,
+/// on first use). CLIs replace it via [`configure`].
+pub fn service() -> Arc<BracketService> {
+    let mut slot = GLOBAL.lock().expect("bracket service poisoned");
+    slot.get_or_insert_with(|| Arc::new(BracketService::new(Effort::Cached)))
+        .clone()
+}
+
+/// Replaces the process-global service (e.g. from CLI flags). Returns the
+/// new service.
+pub fn configure(effort: Effort, spill: Option<&Path>) -> Arc<BracketService> {
+    let svc = Arc::new(match spill {
+        Some(dir) => BracketService::with_spill(effort, dir),
+        None => BracketService::new(effort),
+    });
+    *GLOBAL.lock().expect("bracket service poisoned") = Some(svc.clone());
+    svc
+}
+
+/// Bracket on the repacking optimum via the global service.
+pub fn opt_r(instance: &Instance) -> OptBracket {
+    service().opt_r(instance).bracket
+}
+
+/// Bracket on the repacking optimum, with provenance.
+pub fn opt_r_certified(instance: &Instance) -> CertifiedBracket {
+    service().opt_r(instance)
+}
+
+/// Bracket on the non-repacking optimum via the global service.
+pub fn opt_nr(instance: &Instance) -> OptBracket {
+    service().opt_nr(instance).bracket
+}
+
+/// Bracket on the non-repacking optimum, with provenance.
+pub fn opt_nr_certified(instance: &Instance) -> CertifiedBracket {
+    service().opt_nr(instance)
 }
 
 /// The certified ratio interval `(at_least, at_most)` for an online cost
-/// against `OPT_R`.
+/// against `OPT_R`, via the global service.
 pub fn ratio_vs_opt_r(instance: &Instance, cost: Area) -> (f64, f64) {
-    opt_r(instance).ratio_bracket(cost)
+    service().ratio_vs_opt_r(instance, cost)
 }
 
 #[cfg(test)]
@@ -46,14 +578,18 @@ mod tests {
     use dbp_core::size::Size;
     use dbp_core::time::{Dur, Time};
 
-    #[test]
-    fn tightened_bracket_is_tighter() {
-        let inst = Instance::from_triples([
+    fn small() -> Instance {
+        Instance::from_triples([
             (Time(0), Dur(8), Size::from_ratio(1, 2)),
             (Time(0), Dur(8), Size::from_ratio(1, 2)),
             (Time(0), Dur(8), Size::from_ratio(1, 2)),
         ])
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn tightened_bracket_is_tighter() {
+        let inst = small();
         let plain = OptBracket::of(&inst);
         let tight = opt_r(&inst);
         assert!(tight.upper <= plain.upper);
@@ -68,5 +604,101 @@ mod tests {
         let (lo, hi) = ratio_vs_opt_r(&inst, cost);
         assert!(lo <= hi);
         assert!((lo - 1.0).abs() < 1e-9, "single item is served optimally");
+    }
+
+    #[test]
+    fn second_lookup_is_a_warm_memory_hit() {
+        let svc = BracketService::new(Effort::Cached);
+        let inst = small();
+        let cold = svc.opt_r(&inst);
+        assert_eq!(cold.source, BracketSource::Computed);
+        let warm = svc.opt_r(&inst);
+        assert_eq!(warm.source, BracketSource::WarmMemory);
+        assert_eq!(warm.bracket, cold.bracket);
+        assert_eq!(warm.rung, cold.rung);
+        let s = svc.stats();
+        assert_eq!((s.computed, s.mem_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn goals_are_cached_separately() {
+        let svc = BracketService::new(Effort::Cached);
+        let inst = small();
+        let r = svc.opt_r(&inst);
+        let nr = svc.opt_nr(&inst);
+        assert_eq!(r.source, BracketSource::Computed);
+        assert_eq!(nr.source, BracketSource::Computed);
+        // OPT_R ≤ OPT_NR: the NR upper can never undercut the R lower.
+        assert!(r.bracket.lower <= nr.bracket.upper);
+    }
+
+    #[test]
+    fn analytic_effort_skips_cache_and_ladder() {
+        let svc = BracketService::new(Effort::Analytic);
+        let inst = small();
+        let a = svc.opt_r(&inst);
+        let b = svc.opt_r(&inst);
+        assert_eq!(a.rung, BracketRung::Analytic);
+        assert_eq!(a.source, BracketSource::Computed);
+        assert_eq!(b.source, BracketSource::Computed, "no cache at analytic");
+        assert_eq!(a.bracket, OptBracket::of(&inst));
+    }
+
+    #[test]
+    fn cached_never_looser_than_analytic() {
+        let svc = BracketService::new(Effort::Cached);
+        for seed in 0..4u64 {
+            let inst =
+                dbp_workloads::random_general(&dbp_workloads::GeneralConfig::new(6, 150), seed);
+            let analytic = OptBracket::of(&inst);
+            let cached = svc.opt_r(&inst);
+            assert!(cached.bracket.lower >= analytic.lower);
+            assert!(cached.bracket.upper <= analytic.upper);
+            assert!(cached.rung >= BracketRung::Analytic);
+        }
+    }
+
+    #[test]
+    fn effort_parses_and_displays() {
+        assert_eq!(Effort::parse("analytic"), Some(Effort::Analytic));
+        assert_eq!(Effort::parse("cached"), Some(Effort::Cached));
+        assert_eq!(Effort::parse("budget=250"), Some(Effort::Budget(250)));
+        assert_eq!(Effort::parse("budget=x"), None);
+        assert_eq!(Effort::parse("martian"), None);
+        assert_eq!(Effort::Budget(250).to_string(), "budget=250");
+    }
+
+    #[test]
+    fn spill_line_round_trips() {
+        let key = (0xdeadbeef_u128, Goal::OptNr);
+        let bracket = OptBracket {
+            lower: Area::from_raw(12345678901234567890),
+            upper: Area::from_raw(340282366920938463463374607431768211455),
+        };
+        let line = spill_line(key, bracket, BracketRung::Portfolio);
+        let (k, e) = parse_spill_line(&line).expect("round trip");
+        assert_eq!(k, key);
+        assert_eq!(e.bracket, bracket);
+        assert_eq!(e.rung, BracketRung::Portfolio);
+        assert!(e.from_disk);
+        // Corrupt lines are refused, not misparsed.
+        assert!(parse_spill_line("{\"digest\":\"zz\"}").is_none());
+        assert!(parse_spill_line("").is_none());
+    }
+
+    #[test]
+    fn refine_batch_tightens_loose_brackets() {
+        let inst = dbp_workloads::random_general(&dbp_workloads::GeneralConfig::new(8, 600), 3);
+        let svc = BracketService::new(Effort::Cached);
+        let before = svc.opt_r(&inst);
+        let refs = [&inst];
+        let tightened = svc.refine_batch(&refs, 1 << 24);
+        let after = svc.opt_r(&inst);
+        assert!(after.bracket.lower >= before.bracket.lower);
+        assert!(after.bracket.upper <= before.bracket.upper);
+        if tightened > 0 {
+            assert!(after.looseness() < before.looseness());
+            assert_eq!(after.source, BracketSource::WarmMemory);
+        }
     }
 }

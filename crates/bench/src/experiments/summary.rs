@@ -167,6 +167,37 @@ pub fn summary() -> ExperimentReport {
         });
     }
 
+    // 9. Bracket service: the refinement ladder never loosens the
+    //    analytic bracket, warm hits are bit-identical to the cold
+    //    compute, and provenance is recorded.
+    {
+        use dbp_core::bounds::{BracketRung, BracketSource, OptBracket};
+        let svc = bracket::BracketService::new(bracket::Effort::Cached);
+        let inst = dbp_workloads::random_general(&dbp_workloads::GeneralConfig::new(6, 300), 11);
+        let analytic = OptBracket::of(&inst);
+        let cold = svc.opt_r(&inst);
+        let warm = svc.opt_r(&inst);
+        let pass = cold.bracket.lower >= analytic.lower
+            && cold.bracket.upper <= analytic.upper
+            && cold.rung > BracketRung::Analytic
+            && cold.source == BracketSource::Computed
+            && warm.source == BracketSource::WarmMemory
+            && warm.bracket == cold.bracket
+            && warm.rung == cold.rung;
+        checks.push(Check {
+            claim: "Bracket service: ladder tightens, warm hits bit-identical",
+            evidence: format!(
+                "rung {}, looseness {:.3} (analytic {:.3}), sources {}/{}",
+                cold.rung,
+                cold.looseness(),
+                analytic.looseness(),
+                cold.source,
+                warm.source
+            ),
+            pass,
+        });
+    }
+
     let mut table = Table::new(["paper claim", "evidence", "verdict"]);
     let mut all = true;
     for c in &checks {

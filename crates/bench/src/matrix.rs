@@ -4,6 +4,7 @@
 
 use dbp_analysis::stats::geo_mean;
 use dbp_analysis::table::{f3, Table};
+use dbp_core::bounds::BracketRung;
 use dbp_core::cost::Area;
 use dbp_core::engine::{self, RunMetrics};
 use dbp_core::instance::Instance;
@@ -22,6 +23,8 @@ pub struct EvalCell {
     pub cost: Area,
     /// Certified ratio interval vs `OPT_R`.
     pub ratio: (f64, f64),
+    /// Ladder rung that certified the instance's `OPT_R` bracket.
+    pub rung: BracketRung,
     /// Bins opened.
     pub bins: usize,
     /// Engine execution counters for this run (placement paths, tree and
@@ -49,6 +52,10 @@ pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMa
             "unknown algorithm '{name}'"
         );
     }
+    // One bracket per instance, computed (or served warm) up front: every
+    // algorithm's row shares it, instead of re-deriving it per cell.
+    let idx: Vec<usize> = (0..instances.len()).collect();
+    let brackets = parallel_map(&idx, |&i| bracket::opt_r_certified(&instances[i].1));
     let jobs: Vec<(usize, usize)> = (0..instances.len())
         .flat_map(|i| (0..algorithms.len()).map(move |a| (i, a)))
         .collect();
@@ -57,12 +64,13 @@ pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMa
         let name = algorithms[a];
         let algo = dbp_algos::by_name(name).unwrap_or_else(|| panic!("unknown algorithm '{name}'"));
         let res = engine::run(inst, algo).unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
-        let ratio = bracket::ratio_vs_opt_r(inst, res.cost);
+        let ratio = brackets[i].ratio_bracket(res.cost);
         EvalCell {
             algorithm: name.to_string(),
             instance: label.clone(),
             cost: res.cost,
             ratio,
+            rung: brackets[i].rung,
             bins: res.bins_opened,
             metrics: res.metrics,
         }
@@ -103,6 +111,7 @@ impl EvalMatrix {
             "bins",
             "ratio ≥",
             "ratio ≤",
+            "rung",
             "fast%",
         ]);
         for c in &self.cells {
@@ -113,6 +122,7 @@ impl EvalMatrix {
                 c.bins.to_string(),
                 f3(c.ratio.0),
                 f3(c.ratio.1),
+                c.rung.as_str().to_string(),
                 format!("{:.0}", 100.0 * c.metrics.fast_path_share()),
             ]);
         }

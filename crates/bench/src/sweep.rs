@@ -15,6 +15,19 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Renders a worker's panic payload as the sweep's stable panic contract:
+/// `sweep worker panicked: <original message>`. Both the threaded and the
+/// sequential fallback path funnel through this, so callers (and tests)
+/// see one message shape regardless of host parallelism.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("sweep worker panicked: {msg}")
+}
+
 /// Maps `f` over `inputs` in parallel, preserving order.
 ///
 /// Spawns at most `min(inputs.len(), available_parallelism)` workers; falls
@@ -38,16 +51,8 @@ where
         return inputs
             .iter()
             .map(|x| {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(x))).unwrap_or_else(
-                    |payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        panic!("sweep worker panicked: {msg}");
-                    },
-                )
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(x)))
+                    .unwrap_or_else(|payload| panic!("{}", panic_message(payload.as_ref())))
             })
             .collect();
     }
@@ -72,7 +77,9 @@ where
             })
             .collect();
         for handle in handles {
-            let local = handle.join().expect("sweep worker panicked");
+            let local = handle
+                .join()
+                .unwrap_or_else(|payload| panic!("{}", panic_message(payload.as_ref())));
             for (idx, r) in local {
                 results[idx] = Some(r);
             }
@@ -121,6 +128,46 @@ mod tests {
             }
             x
         });
+    }
+
+    /// The panic contract on the threaded path: the rethrown message
+    /// carries BOTH the stable prefix and the worker's original text.
+    #[test]
+    #[should_panic(expected = "sweep worker panicked: boom at cell 13")]
+    fn threaded_panic_carries_original_message() {
+        let inputs: Vec<u32> = (0..64).collect();
+        parallel_map(&inputs, |&x| {
+            if x == 13 {
+                panic!("boom at cell {x}");
+            }
+            x
+        });
+    }
+
+    /// Same contract on the sequential fallback (single-element input
+    /// forces it, whatever the host's core count).
+    #[test]
+    #[should_panic(expected = "sweep worker panicked: lone boom")]
+    fn sequential_panic_carries_original_message() {
+        parallel_map(&[0u32], |_| -> u32 { panic!("lone boom") });
+    }
+
+    #[test]
+    fn panic_message_handles_all_payload_shapes() {
+        assert_eq!(
+            panic_message(&"static" as &(dyn std::any::Any + Send)),
+            "sweep worker panicked: static"
+        );
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(
+            panic_message(owned.as_ref()),
+            "sweep worker panicked: owned"
+        );
+        let other: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(
+            panic_message(other.as_ref()),
+            "sweep worker panicked: non-string panic payload"
+        );
     }
 
     #[test]

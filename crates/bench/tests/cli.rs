@@ -77,6 +77,73 @@ fn pack_rejects_unknown_algorithm_and_bad_file() {
     assert!(err.contains("unknown algorithm"));
 }
 
+/// Warm-vs-cold cache round trip: two `dbp-pack` runs sharing a spill
+/// directory must report bit-identical brackets, with the second run
+/// served from disk.
+#[test]
+fn pack_bracket_cache_round_trip() {
+    let dir = std::env::temp_dir().join(format!("dbp_cli_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.csv");
+    let trace_s = trace.to_string_lossy().into_owned();
+    let cache = dir.join("bracket-cache");
+    let cache_s = cache.to_string_lossy().into_owned();
+
+    let (_, err, ok) = run(
+        env!("CARGO_BIN_EXE_dbp-gen"),
+        &["general", "--n", "8", "--items", "300", "--out", &trace_s],
+    );
+    assert!(ok, "dbp-gen failed: {err}");
+
+    let pack = |extra: &[&str]| {
+        let mut args = vec![trace_s.as_str(), "--algo", "first-fit"];
+        args.extend_from_slice(extra);
+        run(env!("CARGO_BIN_EXE_dbp-pack"), &args)
+    };
+    let bracket_line = |out: &str| -> String {
+        out.lines()
+            .find(|l| l.starts_with("OPT_R ∈"))
+            .expect("bracket line printed")
+            .to_string()
+    };
+
+    let (cold, err, ok) = pack(&["--bracket-cache", &cache_s]);
+    assert!(ok, "cold dbp-pack failed: {err}");
+    assert!(
+        bracket_line(&cold).contains("cold"),
+        "first run computes: {cold}"
+    );
+    assert!(cache.join("brackets.jsonl").exists(), "spill written");
+
+    let (warm, err, ok) = pack(&["--bracket-cache", &cache_s]);
+    assert!(ok, "warm dbp-pack failed: {err}");
+    let warm_line = bracket_line(&warm);
+    assert!(warm_line.contains("disk"), "second run is warm: {warm}");
+    assert!(warm.contains("1 warm (0 mem / 1 disk)"), "counters: {warm}");
+    // Bit-identical interval (and rung) either side of the spill.
+    let strip = |l: &str| l.split(" (").next().unwrap().to_string();
+    assert_eq!(strip(&bracket_line(&cold)), strip(&warm_line));
+
+    // `--bracket-cache off` and `--bracket-effort analytic` both bypass it.
+    let (off, err, ok) = pack(&["--bracket-cache", "off"]);
+    assert!(ok, "{err}");
+    assert!(bracket_line(&off).contains("cold"));
+    let (analytic, err, ok) = pack(&["--bracket-effort", "analytic", "--bracket-cache", &cache_s]);
+    assert!(ok, "{err}");
+    assert!(bracket_line(&analytic).contains("analytic"));
+}
+
+#[test]
+fn pack_rejects_bad_bracket_effort() {
+    let (_, err, ok) = run(
+        env!("CARGO_BIN_EXE_dbp-pack"),
+        &["whatever.csv", "--bracket-effort", "martian"],
+    );
+    assert!(!ok);
+    assert!(err.contains("bad bracket effort"));
+}
+
 #[test]
 fn experiments_lists_registry_and_runs_one() {
     let (out, _, ok) = run(env!("CARGO_BIN_EXE_experiments"), &[]);

@@ -1,0 +1,140 @@
+//! Differential tests: the bracket service against ground-truth exact
+//! optima, rung by rung, and across the JSONL spill round-trip — plus the
+//! adversary-scale check that the budgeted ladder beats the old
+//! all-or-nothing cutoff.
+
+use dbp_algos::offline::{self, RefineBudget};
+use dbp_bench::bracket::{BracketService, Effort, FFD_TIGHTEN_LIMIT};
+use dbp_core::bounds::{BracketRung, BracketSource, OptBracket};
+use dbp_core::Instance;
+use dbp_workloads::{random_general, GeneralConfig};
+
+fn small_instances() -> Vec<Instance> {
+    (0..6u64)
+        .map(|seed| random_general(&GeneralConfig::new(5, 60), seed))
+        .collect()
+}
+
+/// Every rung of the OPT_R ladder, applied cumulatively by hand, must
+/// contain the true repacking optimum — the bracket only ever tightens
+/// *around* the answer, never past it.
+#[test]
+fn exact_opt_r_inside_every_ladder_rung() {
+    let mut checked = 0;
+    for inst in small_instances() {
+        let Some(exact) = offline::exact_opt_r(&inst, 28) else {
+            continue; // concurrency too high for ground truth; skip
+        };
+        let contains = |b: OptBracket, rung: &str| {
+            assert!(
+                b.lower <= exact && exact <= b.upper,
+                "{rung} bracket [{}, {}] excludes exact OPT_R {}",
+                b.lower.as_bin_ticks(),
+                b.upper.as_bin_ticks(),
+                exact.as_bin_ticks()
+            );
+        };
+        // Rung 1: analytic Lemma 3.1.
+        let analytic = OptBracket::of(&inst);
+        contains(analytic, "analytic");
+        // Rung 2: FFD-repack sweep.
+        let (ffd, _) = offline::refine_opt_r(&inst, false, &mut RefineBudget::unlimited());
+        let after_ffd = analytic.intersect(ffd);
+        contains(after_ffd, "ffd-repack");
+        // Rung 3: non-repacking portfolio (any NR schedule bounds OPT_R).
+        let after_portfolio = after_ffd.tighten_upper(offline::best_nonrepacking(&inst).cost);
+        contains(after_portfolio, "portfolio");
+        // Rung 4: exact per-segment search.
+        let (swept, _) = offline::refine_opt_r(&inst, true, &mut RefineBudget::unlimited());
+        let after_exact = after_portfolio.intersect(swept);
+        contains(after_exact, "exact");
+        // Monotone: each rung is contained in the previous one.
+        assert!(after_ffd.lower >= analytic.lower && after_ffd.upper <= analytic.upper);
+        assert!(after_exact.lower >= after_portfolio.lower);
+        assert!(after_exact.upper <= after_portfolio.upper);
+        // And the service's own ladder agrees with the hand-rolled one.
+        let cb = BracketService::new(Effort::Cached).opt_r(&inst);
+        contains(cb.bracket, "service");
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few instances had exact ground truth");
+}
+
+/// OPT_NR ground truth (branch-and-bound over all placements) sits inside
+/// the service's OPT_NR bracket on instances just above the ladder's own
+/// exact-rung cutoff — i.e. where the bracket is genuinely an interval.
+#[test]
+fn exact_opt_nr_inside_cached_bracket() {
+    for seed in 0..4u64 {
+        let inst = random_general(&GeneralConfig::new(4, 14), seed);
+        let truth = offline::exact_opt_nr(&inst, 14).cost;
+        let cb = BracketService::new(Effort::Cached).opt_nr(&inst);
+        assert!(
+            cb.bracket.lower <= truth && truth <= cb.bracket.upper,
+            "seed {seed}: OPT_NR {} outside [{}, {}] (rung {})",
+            truth.as_bin_ticks(),
+            cb.bracket.lower.as_bin_ticks(),
+            cb.bracket.upper.as_bin_ticks(),
+            cb.rung
+        );
+    }
+}
+
+/// Spill round-trip: brackets written by one service and re-served by a
+/// fresh one are bit-identical, flagged as disk hits, and still contain
+/// the exact optimum.
+#[test]
+fn spill_round_trip_preserves_brackets_and_truth() {
+    let dir = std::env::temp_dir().join(format!("dbp_diff_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let instances = small_instances();
+    let writer = BracketService::with_spill(Effort::Cached, &dir);
+    let cold: Vec<_> = instances.iter().map(|i| writer.opt_r(i)).collect();
+    let cold_nr: Vec<_> = instances.iter().map(|i| writer.opt_nr(i)).collect();
+    drop(writer);
+
+    let reader = BracketService::with_spill(Effort::Cached, &dir);
+    for (i, inst) in instances.iter().enumerate() {
+        let warm = reader.opt_r(inst);
+        assert_eq!(warm.source, BracketSource::WarmDisk, "instance {i}");
+        assert_eq!(warm.bracket, cold[i].bracket, "instance {i} drifted");
+        assert_eq!(warm.rung, cold[i].rung, "instance {i} rung drifted");
+        let warm_nr = reader.opt_nr(inst);
+        assert_eq!(warm_nr.source, BracketSource::WarmDisk);
+        assert_eq!(warm_nr.bracket, cold_nr[i].bracket);
+        if let Some(exact) = offline::exact_opt_r(inst, 28) {
+            assert!(warm.bracket.lower <= exact && exact <= warm.bracket.upper);
+        }
+    }
+    let s = reader.stats();
+    assert_eq!(s.computed, 0, "everything re-served from disk");
+    assert_eq!(s.disk_hits, 2 * instances.len() as u64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance check for retiring the hard cutoff: above the old
+/// `FFD_TIGHTEN_LIMIT` the legacy path returned the bare analytic
+/// sandwich; the budgeted ladder must certify a strictly smaller
+/// looseness on the same instance (a tightened prefix is still progress).
+#[test]
+fn budgeted_ladder_beats_analytic_above_the_old_cutoff() {
+    let inst = random_general(&GeneralConfig::new(10, 25_000), 1);
+    assert!(
+        inst.len() > FFD_TIGHTEN_LIMIT,
+        "fixture must exceed the legacy cutoff ({} items)",
+        inst.len()
+    );
+    let analytic = OptBracket::of(&inst);
+    let cb = BracketService::new(Effort::Cached).opt_r(&inst);
+    assert!(cb.bracket.lower >= analytic.lower);
+    assert!(cb.bracket.upper <= analytic.upper);
+    assert!(cb.rung > BracketRung::Analytic, "ladder never ran");
+    assert!(
+        cb.looseness() < analytic.looseness(),
+        "budgeted ladder did not tighten: {} vs analytic {}",
+        cb.looseness(),
+        analytic.looseness()
+    );
+}

@@ -1,0 +1,116 @@
+//! Golden snapshot tests: pin rendered reports byte-for-byte against
+//! committed `.golden` files.
+//!
+//! Every renderer the paper-facing artifacts flow through (the evaluation
+//! matrix, the Table-1 rows, the summary verdict sheet, the `dbp-pack`
+//! CLI) is exercised on small committed fixtures and compared to a
+//! committed snapshot. Any drift — a float formatting change, a bracket
+//! that tightened, a column reorder — fails loudly with a diff pointer.
+//!
+//! To bless intentional changes:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p dbp-bench --test goldens
+//! git diff crates/bench/tests/goldens/   # review before committing
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use dbp_bench::experiments::{summary, table1};
+use dbp_bench::matrix;
+use dbp_core::Instance;
+use dbp_workloads::parse_trace;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Compares `actual` to the committed golden, or rewrites the golden when
+/// `UPDATE_GOLDENS=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n\
+             run `UPDATE_GOLDENS=1 cargo test -p dbp-bench --test goldens` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden '{name}' drifted.\n\
+         If the change is intentional, bless it with\n\
+         `UPDATE_GOLDENS=1 cargo test -p dbp-bench --test goldens` and review the diff."
+    );
+}
+
+fn fixture(name: &str) -> Instance {
+    let path = goldens_dir().join(name);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    parse_trace(&text).expect("fixture parses")
+}
+
+/// The evaluation-matrix renderer over two committed traces: pins costs,
+/// certified ratio brackets, the ladder rung column and the fast-path
+/// shares for three representative algorithms.
+#[test]
+fn matrix_table_matches_golden() {
+    let instances = vec![
+        ("general".to_string(), fixture("fixture_general.csv")),
+        ("aligned".to_string(), fixture("fixture_aligned.csv")),
+    ];
+    let m = matrix::evaluate(&["first-fit", "cdff", "hybrid"], &instances);
+    assert_golden("matrix_small.golden", &m.table().render());
+}
+
+/// A cheap two-row rendering of the Table-1 non-clairvoyant sweep: pins
+/// the Θ(μ) separation numbers (FF vs HA vs DAF vs the adaptive Best-Fit
+/// lower bound) byte-for-byte.
+#[test]
+fn table1_nonclair_mini_matches_golden() {
+    let report = table1::table1_nonclair_rows(&[2, 3]);
+    assert_golden("table1_nonclair_mini.golden", &report.render());
+}
+
+/// The whole summary verdict sheet. Every headline claim's evidence string
+/// is deterministic (fixed seeds, deterministic node budgets), so the
+/// sheet renders identically run over run — including the bracket-service
+/// rung and looseness figures of check 9.
+#[test]
+fn summary_sheet_matches_golden() {
+    let report = summary::summary();
+    assert_golden("summary.golden", &report.render());
+}
+
+/// End-to-end CLI snapshot: `dbp-pack` on the committed general fixture,
+/// run from the goldens directory so the echoed path is stable. A fresh
+/// process means a cold bracket service — the provenance line is pinned
+/// too ("rung ..., cold" plus the `1 cold, 0 warm` counter line).
+#[test]
+fn pack_cli_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dbp-pack"))
+        .current_dir(goldens_dir())
+        .args([
+            "fixture_general.csv",
+            "--algo",
+            "first-fit",
+            "--algo",
+            "cdff",
+        ])
+        .output()
+        .expect("dbp-pack runs");
+    assert!(
+        out.status.success(),
+        "dbp-pack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_golden("pack_cli.golden", &stdout);
+}

@@ -1,0 +1,161 @@
+//! Property tests for the certified-bracket service: the refinement
+//! ladder's soundness invariants, warm-cache bit-identity, and the
+//! order-independence of the content-addressed digest — all over
+//! arbitrary instances.
+
+use dbp_bench::bracket::{BracketService, Effort};
+use dbp_core::bounds::{BracketRung, BracketSource, OptBracket};
+use dbp_core::{Dur, Instance, Size, Time};
+use proptest::prelude::*;
+
+type Triple = (u64, u64, u64); // (arrival, duration, size as n/100)
+
+fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec((0u64..120, 1u64..=48, 1u64..=100), 1..=32)
+}
+
+fn build(triples: &[Triple]) -> Instance {
+    Instance::from_triples(
+        triples
+            .iter()
+            .map(|&(t, d, s)| (Time(t), Dur(d), Size::from_ratio(s, 100))),
+    )
+    .expect("valid instance")
+}
+
+/// Deterministic Fisher–Yates driven by a SplitMix64 stream: the permuted
+/// copy exercises the digest's order-independence claim.
+fn shuffled(triples: &[Triple], seed: u64) -> Vec<Triple> {
+    let mut v = triples.to_vec();
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        v.swap(i, next() as usize % (i + 1));
+    }
+    v
+}
+
+/// `inner` is contained in `outer` (never looser on either side).
+fn within(inner: OptBracket, outer: OptBracket) -> bool {
+    inner.lower >= outer.lower && inner.upper <= outer.upper
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ladder soundness at every effort level: the bracket is ordered
+    /// (lower ≤ upper), each effort's result is contained in the analytic
+    /// Lemma 3.1 sandwich (the ladder only ever tightens), and the
+    /// certifying rung is recorded consistently.
+    #[test]
+    fn ladder_is_ordered_and_monotone(triples in arb_triples()) {
+        let inst = build(&triples);
+        let analytic = OptBracket::of(&inst);
+        prop_assert!(analytic.lower <= analytic.upper);
+        for effort in [Effort::Analytic, Effort::Cached, Effort::Budget(50)] {
+            let svc = BracketService::new(effort);
+            for cb in [svc.opt_r(&inst), svc.opt_nr(&inst)] {
+                prop_assert!(cb.bracket.lower <= cb.bracket.upper,
+                    "inverted bracket at effort {effort}");
+                prop_assert!(within(cb.bracket, analytic),
+                    "effort {effort} loosened the analytic bracket");
+                prop_assert!(
+                    (cb.rung == BracketRung::Analytic) == (cb.bracket == analytic)
+                        || cb.rung > BracketRung::Analytic,
+                    "rung/bracket provenance mismatch at effort {effort}"
+                );
+            }
+        }
+    }
+
+    /// Rung monotonicity across goals: OPT_R ≤ OPT_NR, so the certified
+    /// OPT_R lower bound can never exceed the certified OPT_NR upper bound
+    /// — whatever rungs certified each side.
+    #[test]
+    fn opt_r_never_exceeds_opt_nr(triples in arb_triples()) {
+        let svc = BracketService::new(Effort::Cached);
+        let r = svc.opt_r(&build(&triples));
+        let nr = svc.opt_nr(&build(&triples));
+        prop_assert!(r.bracket.lower <= nr.bracket.upper,
+            "OPT_R lower {} > OPT_NR upper {}",
+            r.bracket.lower.as_bin_ticks(), nr.bracket.upper.as_bin_ticks());
+    }
+
+    /// Warm hits are bit-identical to the cold compute, for both goals,
+    /// with the provenance flipping Computed → WarmMemory.
+    #[test]
+    fn warm_hits_are_bit_identical(triples in arb_triples()) {
+        let svc = BracketService::new(Effort::Cached);
+        let inst = build(&triples);
+        for goal in 0..2 {
+            let get = |s: &BracketService| if goal == 0 { s.opt_r(&inst) } else { s.opt_nr(&inst) };
+            let cold = get(&svc);
+            let warm = get(&svc);
+            prop_assert_eq!(cold.source, BracketSource::Computed);
+            prop_assert_eq!(warm.source, BracketSource::WarmMemory);
+            prop_assert_eq!(warm.bracket, cold.bracket, "warm bracket drifted");
+            prop_assert_eq!(warm.rung, cold.rung, "warm rung drifted");
+        }
+    }
+
+    /// A cold recompute on a fresh service reproduces the first service's
+    /// bracket exactly: Cached effort is deterministic by construction
+    /// (node budgets, no wall clock).
+    #[test]
+    fn cold_recompute_is_deterministic(triples in arb_triples()) {
+        let inst = build(&triples);
+        let a = BracketService::new(Effort::Cached).opt_r(&inst);
+        let b = BracketService::new(Effort::Cached).opt_r(&inst);
+        prop_assert_eq!(a.bracket, b.bracket);
+        prop_assert_eq!(a.rung, b.rung);
+    }
+
+    /// The content digest is invariant under permutation of the item
+    /// list — and therefore a permuted copy of an instance is served from
+    /// cache, bit-identical to the original's bracket.
+    #[test]
+    fn digest_invariant_under_permutation(triples in arb_triples(), seed in 0u64..u64::MAX) {
+        let inst = build(&triples);
+        let perm = build(&shuffled(&triples, seed));
+        prop_assert_eq!(inst.digest().0, perm.digest().0,
+            "permuting the items changed the digest");
+
+        let svc = BracketService::new(Effort::Cached);
+        let cold = svc.opt_r(&inst);
+        let warm = svc.opt_r(&perm);
+        prop_assert_eq!(cold.source, BracketSource::Computed);
+        prop_assert_eq!(warm.source, BracketSource::WarmMemory,
+            "permuted instance missed the cache");
+        prop_assert_eq!(warm.bracket, cold.bracket);
+        prop_assert_eq!(warm.rung, cold.rung);
+    }
+
+    /// Distinct instances get distinct digests (no accidental collisions
+    /// on perturbed inputs: nudging one item's arrival changes the key).
+    #[test]
+    fn digest_separates_perturbed_instances(triples in arb_triples()) {
+        let inst = build(&triples);
+        let mut nudged = triples.clone();
+        nudged[0].0 += 1_000; // outside arb_triples' arrival range
+        let other = build(&nudged);
+        prop_assert_ne!(inst.digest().0, other.digest().0);
+    }
+}
+
+/// The rung ladder is totally ordered: deeper certification methods
+/// compare strictly greater, so `max` over rungs picks the deepest.
+#[test]
+fn rung_order_is_the_ladder_order() {
+    use BracketRung::*;
+    let ladder = [Analytic, FfdRepack, Portfolio, Exact];
+    for w in ladder.windows(2) {
+        assert!(w[0] < w[1], "{:?} should precede {:?}", w[0], w[1]);
+    }
+    assert_eq!(ladder.iter().copied().max(), Some(Exact));
+}

@@ -1,0 +1,262 @@
+//! Anytime per-segment refinement of the `OPT_R` bracket.
+//!
+//! `OPT_R` decomposes per moment (see [`super::exact_repack`]): over every
+//! profile segment the optimum uses exactly `BP(active sizes)` bins. The
+//! analytic Lemma 3.1 bracket sandwiches each segment's bin count in
+//! `[⌈S_t⌉, 2⌈S_t⌉]`; this module sweeps the segments once and spends a
+//! [`RefineBudget`] tightening each of them:
+//!
+//! * **lower**: `⌈S_t⌉` is raised to the count of items larger than half a
+//!   bin (pairwise incompatible — maintained incrementally, free), and to
+//!   the exact `BP` when the budgeted branch-and-bound completes;
+//! * **upper**: `2⌈S_t⌉` is lowered to the segment's FFD count (feasible,
+//!   and ≤ `2⌈S_t⌉` by the Lemma 3.1 argument) and further to the exact or
+//!   incumbent branch-and-bound count.
+//!
+//! When the budget runs dry mid-sweep the remaining segments keep their
+//! analytic sandwich — the result is *always* a certified bracket, just
+//! tighter wherever the budget reached. This is what replaces the old
+//! hard `FFD_TIGHTEN_LIMIT` cliff: an adversary-scale instance gets its
+//! earliest segments tightened instead of nothing at all.
+
+use dbp_core::bounds::OptBracket;
+use dbp_core::cost::Area;
+use dbp_core::instance::Instance;
+use dbp_core::size::SIZE_SCALE;
+use dbp_core::time::Time;
+
+use super::budget::RefineBudget;
+use super::exact_repack::{exact_bin_count_budgeted, MAX_EXACT_ITEMS};
+use super::ffd_repack::ffd_bin_count;
+
+/// How much of the sweep each refinement layer reached, for rung
+/// reporting ("which rung certified this bound").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineStats {
+    /// Profile segments swept (including empty ones).
+    pub segments: usize,
+    /// Segments the FFD repack reached within budget.
+    pub ffd_segments: usize,
+    /// Segments certified *exactly* by the budgeted branch-and-bound.
+    pub exact_segments: usize,
+}
+
+/// Sweeps the load profile once, tightening every segment's bin-count
+/// sandwich within `budget`. With `enable_exact`, segments of at most
+/// [`MAX_EXACT_ITEMS`] concurrent items also get the budgeted exact
+/// search after FFD.
+///
+/// The returned bracket is certified for `OPT_R` and never looser than
+/// the analytic Lemma 3.1 bracket on either side, whatever the budget.
+pub fn refine_opt_r(
+    instance: &Instance,
+    enable_exact: bool,
+    budget: &mut RefineBudget,
+) -> (OptBracket, RefineStats) {
+    let items = instance.items();
+    let mut stats = RefineStats::default();
+    if items.is_empty() {
+        return (
+            OptBracket {
+                lower: Area::ZERO,
+                upper: Area::ZERO,
+            },
+            stats,
+        );
+    }
+
+    // Event times, deduplicated; arrivals are already sorted (instance
+    // order), departures get their own sorted index.
+    let mut times: Vec<Time> = Vec::with_capacity(items.len() * 2);
+    for it in items {
+        times.push(it.arrival);
+        times.push(it.departure);
+    }
+    times.sort_unstable();
+    times.dedup();
+    let mut by_departure: Vec<u32> = (0..items.len() as u32).collect();
+    by_departure.sort_unstable_by_key(|&i| items[i as usize].departure);
+
+    // Active multiset with O(1) swap-removal: parallel size/id vectors
+    // plus an id → slot map, and incremental load / big-item counters.
+    let mut active_sizes: Vec<u64> = Vec::new();
+    let mut active_ids: Vec<u32> = Vec::new();
+    let mut slot_of: Vec<usize> = vec![usize::MAX; items.len()];
+    let mut load: u128 = 0;
+    let mut bigs: u64 = 0;
+    let half = SIZE_SCALE / 2;
+
+    let (mut next_arrival, mut next_departure) = (0usize, 0usize);
+    let mut lower = Area::ZERO;
+    let mut upper = Area::ZERO;
+    let mut scratch: Vec<u64> = Vec::new();
+
+    for w in times.windows(2) {
+        let (t, next) = (w[0], w[1]);
+        // Departures first (half-open intervals), then arrivals at `t`.
+        while next_departure < by_departure.len()
+            && items[by_departure[next_departure] as usize].departure == t
+        {
+            let id = by_departure[next_departure] as usize;
+            let slot = slot_of[id];
+            let size = active_sizes[slot];
+            let last = active_sizes.len() - 1;
+            active_sizes.swap_remove(slot);
+            active_ids.swap_remove(slot);
+            if slot <= last && slot < active_ids.len() {
+                slot_of[active_ids[slot] as usize] = slot;
+            }
+            slot_of[id] = usize::MAX;
+            load -= size as u128;
+            if size > half {
+                bigs -= 1;
+            }
+            next_departure += 1;
+        }
+        while next_arrival < items.len() && items[next_arrival].arrival == t {
+            let size = items[next_arrival].size.raw();
+            slot_of[next_arrival] = active_sizes.len();
+            active_sizes.push(size);
+            active_ids.push(next_arrival as u32);
+            load += size as u128;
+            if size > half {
+                bigs += 1;
+            }
+            next_arrival += 1;
+        }
+
+        stats.segments += 1;
+        let len = next.since(t);
+        let ceil = load.div_ceil(SIZE_SCALE as u128) as u64;
+        let mut lower_bins = ceil.max(bigs);
+        let mut upper_bins = 2 * ceil;
+        let a = active_sizes.len();
+        // FFD is sort + first-fit scan: ~a·bins ≈ a²/2 comparisons. The
+        // charge must track that real cost or a large-concurrency segment
+        // would burn seconds against a one-node fee.
+        let ffd_fee = a as u64 * (a as u64 / 8 + 2) + 4;
+        if a > 0 && budget.try_charge(ffd_fee) {
+            stats.ffd_segments += 1;
+            scratch.clear();
+            scratch.extend_from_slice(&active_sizes);
+            let ffd = ffd_bin_count(&mut scratch);
+            upper_bins = upper_bins.min(ffd);
+            if enable_exact && a <= MAX_EXACT_ITEMS && !budget.exhausted() {
+                let out = exact_bin_count_budgeted(&scratch, budget);
+                upper_bins = upper_bins.min(out.bins);
+                if out.complete {
+                    stats.exact_segments += 1;
+                    lower_bins = lower_bins.max(out.bins);
+                }
+            }
+        }
+        debug_assert!(lower_bins <= upper_bins || load == 0);
+        lower += Area::from_bins_ticks(lower_bins, len);
+        upper += Area::from_bins_ticks(upper_bins, len);
+    }
+
+    debug_assert!(lower <= upper);
+    (OptBracket { lower, upper }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{exact_opt_r, ffd_repack_cost};
+    use dbp_core::size::Size;
+    use dbp_core::time::Dur;
+
+    fn sz(n: u64, d: u64) -> Size {
+        Size::from_ratio(n, d)
+    }
+
+    /// Deterministic pseudo-random churny instance: `n` items arriving
+    /// in `[0, slots)` with durations in `[1, maxdur]`.
+    fn churny(seed: u64, n: u64, slots: u64, maxdur: u64) -> Instance {
+        let mut x = seed | 1;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut triples = Vec::new();
+        for _ in 0..n {
+            let t = step() % slots;
+            let d = 1 + step() % maxdur;
+            let s = 1 + step() % 90;
+            triples.push((Time(t), Dur(d), sz(s, 90)));
+        }
+        Instance::from_triples(triples).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_reduces_to_analytic_with_big_item_lower() {
+        let inst = churny(5, 80, 60, 40);
+        let base = OptBracket::of(&inst);
+        let (refined, stats) = refine_opt_r(&inst, true, &mut RefineBudget::nodes(0));
+        assert!(refined.lower >= base.lower);
+        assert_eq!(refined.upper, base.upper, "no budget: upper stays 2∫⌈S⌉");
+        assert_eq!(stats.ffd_segments + stats.exact_segments, 0);
+        assert!(stats.segments > 0);
+    }
+
+    #[test]
+    fn big_items_raise_the_lower_bound_for_free() {
+        // Three 0.6-items overlap: ⌈S⌉ = 2 but they are pairwise
+        // incompatible, so the true per-moment count is 3.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(3, 5)),
+            (Time(0), Dur(10), sz(3, 5)),
+            (Time(0), Dur(10), sz(3, 5)),
+        ])
+        .unwrap();
+        let (refined, _) = refine_opt_r(&inst, false, &mut RefineBudget::nodes(0));
+        assert_eq!(refined.lower.as_bin_ticks(), 30.0);
+        assert!(refined.lower > OptBracket::of(&inst).lower);
+    }
+
+    #[test]
+    fn unlimited_exact_refinement_collapses_to_opt_r() {
+        let inst = churny(9, 40, 40, 6);
+        let exact = exact_opt_r(&inst, MAX_EXACT_ITEMS).expect("small concurrency");
+        let (refined, stats) = refine_opt_r(&inst, true, &mut RefineBudget::unlimited());
+        assert_eq!(refined.lower, exact);
+        assert_eq!(refined.upper, exact);
+        assert!(stats.exact_segments > 0);
+    }
+
+    #[test]
+    fn ffd_only_refinement_matches_the_ffd_repack_cost() {
+        let inst = churny(31, 120, 60, 40);
+        let base = OptBracket::of(&inst);
+        let (refined, stats) = refine_opt_r(&inst, false, &mut RefineBudget::unlimited());
+        assert!(refined.upper <= base.upper);
+        assert!(refined.lower >= base.lower);
+        // FFD ≤ 2⌈S⌉ per segment, so the swept upper IS the repack cost.
+        assert_eq!(refined.upper, ffd_repack_cost(&inst));
+        assert!(stats.ffd_segments > 0);
+    }
+
+    #[test]
+    fn partial_budget_tightens_a_prefix_only() {
+        let inst = churny(77, 200, 60, 40);
+        let base = OptBracket::of(&inst);
+        let (full, _) = refine_opt_r(&inst, false, &mut RefineBudget::unlimited());
+        let (partial, stats) = refine_opt_r(&inst, false, &mut RefineBudget::nodes(20_000));
+        assert!(stats.ffd_segments > 0, "some segments refined");
+        assert!(stats.ffd_segments < stats.segments, "budget ran out");
+        // Sandwiched between the analytic and the fully refined bracket.
+        assert!(partial.upper <= base.upper);
+        assert!(partial.upper >= full.upper);
+        assert!(partial.lower >= base.lower);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let (b, s) = refine_opt_r(&Instance::empty(), true, &mut RefineBudget::unlimited());
+        assert_eq!(b.lower, Area::ZERO);
+        assert_eq!(b.upper, Area::ZERO);
+        assert_eq!(s.segments, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Refinement budgets for the anytime offline comparators.
+//!
+//! The bracket-refinement ladder must hand adversary-scale instances
+//! *some* tightening instead of falling off a size cliff, so every
+//! expensive comparator in this module tree accepts a [`RefineBudget`]:
+//! a node allowance (deterministic — the unit is "elementary search
+//! steps", charged by each comparator as it works) plus an optional
+//! wall-clock deadline (for interactive `--bracket-effort budget=<ms>`
+//! runs, where determinism is traded for latency control).
+//!
+//! A budget is *monotone*: once exhausted it stays exhausted, and every
+//! charge is all-or-nothing, so callers can simply stop refining when a
+//! charge is refused and keep whatever certified bound they already hold.
+
+use std::time::{Duration, Instant};
+
+/// How often (in accepted charges) the wall-clock deadline is polled;
+/// `Instant::now` per node would dominate the search itself.
+const DEADLINE_POLL_MASK: u64 = 0x3ff; // every 1024 charges
+
+/// A node allowance with an optional wall-clock deadline.
+#[derive(Debug, Clone)]
+pub struct RefineBudget {
+    nodes_left: u64,
+    deadline: Option<Instant>,
+    charges: u64,
+}
+
+impl RefineBudget {
+    /// A deterministic budget of `n` nodes, no deadline.
+    pub fn nodes(n: u64) -> RefineBudget {
+        RefineBudget {
+            nodes_left: n,
+            deadline: None,
+            charges: 0,
+        }
+    }
+
+    /// An effectively unlimited budget (useful in tests and for the
+    /// legacy full-effort paths).
+    pub fn unlimited() -> RefineBudget {
+        RefineBudget::nodes(u64::MAX)
+    }
+
+    /// Adds a wall-clock deadline `d` from now; the budget exhausts
+    /// itself when the deadline passes, whatever nodes remain.
+    pub fn with_deadline(mut self, d: Duration) -> RefineBudget {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Attempts to spend `cost` nodes. Returns `false` — leaving the
+    /// budget exhausted — when fewer than `cost` nodes remain or the
+    /// deadline has passed; the caller must then skip the work.
+    #[inline]
+    pub fn try_charge(&mut self, cost: u64) -> bool {
+        if self.nodes_left < cost {
+            self.nodes_left = 0;
+            return false;
+        }
+        self.nodes_left -= cost;
+        self.charges += 1;
+        if let Some(deadline) = self.deadline {
+            if self.charges & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
+                self.nodes_left = 0;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether no work can be charged any more.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.nodes_left == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted() {
+        let mut b = RefineBudget::nodes(10);
+        assert!(b.try_charge(4));
+        assert!(b.try_charge(6));
+        assert!(b.exhausted());
+        assert!(!b.try_charge(1));
+    }
+
+    #[test]
+    fn refused_charge_exhausts() {
+        let mut b = RefineBudget::nodes(5);
+        assert!(!b.try_charge(6), "overdraft refused");
+        assert!(b.exhausted(), "refusal is sticky");
+        assert!(!b.try_charge(1));
+    }
+
+    #[test]
+    fn unlimited_keeps_going() {
+        let mut b = RefineBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.try_charge(1_000_000));
+        }
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts_on_poll() {
+        let mut b = RefineBudget::unlimited().with_deadline(Duration::ZERO);
+        // The deadline is already past; within at most 1024 charges the
+        // poll fires and the budget dies.
+        let mut accepted = 0u64;
+        for _ in 0..4096 {
+            if b.try_charge(1) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(accepted <= 1024);
+        assert!(b.exhausted());
+    }
+}

@@ -13,6 +13,8 @@ use dbp_core::item::Item;
 use dbp_core::size::SIZE_SCALE;
 use dbp_core::time::Time;
 
+use super::budget::RefineBudget;
+
 /// Result of the exact search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExactOpt {
@@ -63,19 +65,28 @@ impl BinSketch {
     }
 }
 
-struct Search<'a> {
+struct Search<'a, 'b> {
     items: &'a [Item],
     best_cost: u64, // in ticks across bins (bin spans sum)
     best_assignment: Vec<u32>,
     current: Vec<u32>,
+    budget: &'b mut RefineBudget,
+    aborted: bool,
 }
 
-impl Search<'_> {
+impl Search<'_, '_> {
     fn partial_cost(bins: &[BinSketch]) -> u64 {
         bins.iter().map(BinSketch::span_ticks).sum()
     }
 
     fn recurse(&mut self, idx: usize, bins: &mut Vec<BinSketch>) {
+        if self.aborted {
+            return;
+        }
+        if !self.budget.try_charge(1) {
+            self.aborted = true;
+            return;
+        }
         if Self::partial_cost(bins) >= self.best_cost {
             return; // adding items never shrinks any bin's span
         }
@@ -118,16 +129,32 @@ impl Search<'_> {
 /// Panics if the instance has more than `max_items` items (guard against
 /// accidental exponential blow-ups); pass the instance size to opt in.
 pub fn exact_opt_nr(instance: &Instance, max_items: usize) -> ExactOpt {
+    exact_opt_nr_budgeted(instance, max_items, &mut RefineBudget::unlimited())
+        .expect("unlimited budget always completes")
+}
+
+/// [`exact_opt_nr`] under a node budget (one node per branch-and-bound
+/// call). Returns `None` when the budget runs out before the search
+/// completes — a partial enumeration certifies nothing for OPT_NR, so
+/// callers keep whatever bracket they already hold.
+///
+/// # Panics
+/// As [`exact_opt_nr`].
+pub fn exact_opt_nr_budgeted(
+    instance: &Instance,
+    max_items: usize,
+    budget: &mut RefineBudget,
+) -> Option<ExactOpt> {
     assert!(
         instance.len() <= max_items,
         "exact search limited to {max_items} items, got {}",
         instance.len()
     );
     if instance.is_empty() {
-        return ExactOpt {
+        return Some(ExactOpt {
             cost: Area::ZERO,
             assignment: Vec::new(),
-        };
+        });
     }
     let items = instance.items();
     let mut search = Search {
@@ -135,13 +162,18 @@ pub fn exact_opt_nr(instance: &Instance, max_items: usize) -> ExactOpt {
         best_cost: u64::MAX,
         best_assignment: vec![0; items.len()],
         current: vec![0; items.len()],
+        budget,
+        aborted: false,
     };
     let mut bins = Vec::new();
     search.recurse(0, &mut bins);
-    ExactOpt {
+    if search.aborted {
+        return None;
+    }
+    Some(ExactOpt {
         cost: Area::from_bin_ticks(dbp_core::time::Dur(search.best_cost)),
         assignment: search.best_assignment,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -238,6 +270,24 @@ mod tests {
         // Exact is also at most any heuristic.
         let ff = dbp_core::engine::run(&inst, crate::any_fit::FirstFit::new()).unwrap();
         assert!(opt.cost <= ff.cost);
+    }
+
+    #[test]
+    fn budgeted_search_gives_up_cleanly() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(4), Dur(4), sz(1, 4)),
+        ])
+        .unwrap();
+        assert!(
+            exact_opt_nr_budgeted(&inst, 8, &mut RefineBudget::nodes(2)).is_none(),
+            "starved search certifies nothing"
+        );
+        let full =
+            exact_opt_nr_budgeted(&inst, 8, &mut RefineBudget::unlimited()).expect("completes");
+        assert_eq!(full.cost, exact_opt_nr(&inst, 8).cost);
     }
 
     #[test]

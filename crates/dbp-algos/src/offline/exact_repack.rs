@@ -20,6 +20,19 @@ use dbp_core::instance::Instance;
 use dbp_core::size::SIZE_SCALE;
 use dbp_core::time::Time;
 
+use super::budget::RefineBudget;
+
+/// Outcome of a budgeted exact bin-packing search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetedCount {
+    /// A *feasible* bin count: the incumbent when the budget ran out
+    /// (seeded with FFD, so always a certified upper bound), the optimum
+    /// when `complete`.
+    pub bins: u64,
+    /// Whether the search proved optimality before exhausting the budget.
+    pub complete: bool,
+}
+
 /// Exact minimum number of unit bins for the given raw fixed-point sizes.
 ///
 /// Branch-and-bound with: FFD upper bound, volume + big-item lower
@@ -30,6 +43,16 @@ use dbp_core::time::Time;
 /// Panics if any size exceeds the bin capacity, or if more than
 /// `MAX_EXACT_ITEMS` items are given (exponential guard).
 pub fn exact_bin_count(sizes: &[u64]) -> u64 {
+    let out = exact_bin_count_budgeted(sizes, &mut RefineBudget::unlimited());
+    debug_assert!(out.complete, "unlimited budget always completes");
+    out.bins
+}
+
+/// [`exact_bin_count`] under a node budget (one node per branch-and-bound
+/// call). The returned count is always feasible; `complete` distinguishes
+/// "this is the optimum" from "this is the best found before the budget
+/// ran out".
+pub fn exact_bin_count_budgeted(sizes: &[u64], budget: &mut RefineBudget) -> BudgetedCount {
     assert!(
         sizes.len() <= MAX_EXACT_ITEMS,
         "exact bin packing limited to {MAX_EXACT_ITEMS} items, got {}",
@@ -38,7 +61,10 @@ pub fn exact_bin_count(sizes: &[u64]) -> u64 {
     assert!(sizes.iter().all(|&s| s <= SIZE_SCALE), "oversized item");
     let mut sorted: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0).collect();
     if sorted.is_empty() {
-        return 0;
+        return BudgetedCount {
+            bins: 0,
+            complete: true,
+        };
     }
     sorted.sort_unstable_by(|a, b| b.cmp(a));
 
@@ -47,16 +73,24 @@ pub fn exact_bin_count(sizes: &[u64]) -> u64 {
     let ub = super::ffd_repack::ffd_bin_count(&mut ffd_scratch);
     let lb = lower_bound(&sorted);
     if lb == ub {
-        return ub;
+        return BudgetedCount {
+            bins: ub,
+            complete: true,
+        };
     }
 
     let mut search = BpSearch {
         sizes: sorted,
         best: ub,
+        budget,
+        aborted: false,
     };
     let mut bins: Vec<u64> = Vec::new();
     search.recurse(0, &mut bins, lb);
-    search.best
+    BudgetedCount {
+        bins: search.best,
+        complete: !search.aborted,
+    }
 }
 
 /// Hard cap on exact search size.
@@ -71,13 +105,22 @@ fn lower_bound(sorted: &[u64]) -> u64 {
     volume.max(big).max(1)
 }
 
-struct BpSearch {
+struct BpSearch<'b> {
     sizes: Vec<u64>,
     best: u64,
+    budget: &'b mut RefineBudget,
+    aborted: bool,
 }
 
-impl BpSearch {
+impl BpSearch<'_> {
     fn recurse(&mut self, idx: usize, bins: &mut Vec<u64>, lb: u64) {
+        if self.aborted {
+            return;
+        }
+        if !self.budget.try_charge(1) {
+            self.aborted = true;
+            return;
+        }
         if bins.len() as u64 >= self.best {
             return;
         }
@@ -362,6 +405,32 @@ mod tests {
             ])),
             2
         );
+    }
+
+    #[test]
+    fn budgeted_count_stays_feasible_and_degrades_to_ffd() {
+        // A multiset where FFD is fooled (see the test above): under a
+        // starvation budget the incumbent equals FFD and is not `complete`;
+        // with room to search it finds the optimum and proves it.
+        let sizes = raw(&[
+            (45, 100),
+            (34, 100),
+            (33, 100),
+            (33, 100),
+            (28, 100),
+            (27, 100),
+        ]);
+        let starved = exact_bin_count_budgeted(&sizes, &mut RefineBudget::nodes(1));
+        assert_eq!(starved.bins, 3, "incumbent = FFD");
+        assert!(!starved.complete);
+        let full = exact_bin_count_budgeted(&sizes, &mut RefineBudget::unlimited());
+        assert_eq!(full.bins, 2);
+        assert!(full.complete);
+        // The budgeted count is always sandwiched between them.
+        for nodes in [4, 16, 64, 256] {
+            let out = exact_bin_count_budgeted(&sizes, &mut RefineBudget::nodes(nodes));
+            assert!(out.bins >= 2 && out.bins <= 3, "nodes={nodes}");
+        }
     }
 
     #[test]

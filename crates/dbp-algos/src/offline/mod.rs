@@ -2,15 +2,22 @@
 //! non-repacking portfolio (OPT_NR upper proxy), and exact branch-and-bound
 //! (ground truth on tiny instances).
 
+pub mod anytime;
+pub mod budget;
 pub mod exact;
 pub mod exact_repack;
 pub mod ffd_repack;
 pub mod nonrepack;
 
-pub use exact::{exact_opt_nr, ExactOpt};
-pub use exact_repack::{exact_bin_count, exact_bin_count_dp, exact_opt_r, MAX_EXACT_ITEMS};
+pub use anytime::{refine_opt_r, RefineStats};
+pub use budget::RefineBudget;
+pub use exact::{exact_opt_nr, exact_opt_nr_budgeted, ExactOpt};
+pub use exact_repack::{
+    exact_bin_count, exact_bin_count_budgeted, exact_bin_count_dp, exact_opt_r, BudgetedCount,
+    MAX_EXACT_ITEMS,
+};
 pub use ffd_repack::{ffd_bin_count, ffd_repack_cost};
-pub use nonrepack::{best_nonrepacking, PortfolioResult};
+pub use nonrepack::{best_nonrepacking, best_nonrepacking_budgeted, PortfolioResult};
 
 use dbp_core::bounds::OptBracket;
 use dbp_core::instance::Instance;

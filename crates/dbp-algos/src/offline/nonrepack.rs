@@ -174,18 +174,33 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
 /// Members: First/Best/Worst/Next-Fit, binary CBD plus two widened CBDs,
 /// HA, CDFF, and Departure-Aware Fit.
 pub fn best_nonrepacking(instance: &Instance) -> PortfolioResult {
+    best_nonrepacking_budgeted(instance, &mut super::budget::RefineBudget::unlimited())
+        .expect("unlimited budget runs every member")
+}
+
+/// [`best_nonrepacking`] under a budget: members run in the fixed
+/// portfolio order, each charged `|σ| + 1` nodes up front, and the sweep
+/// stops at the first refused charge. Whatever members ran still yield a
+/// sound upper bound (any feasible packing does); `None` means the budget
+/// could not afford even the first member, so nothing was certified.
+pub fn best_nonrepacking_budgeted(
+    instance: &Instance,
+    budget: &mut super::budget::RefineBudget,
+) -> Option<PortfolioResult> {
     let log_mu = instance.log2_mu().max(1.0);
     let w_opt = (log_mu / log_mu.log2().max(1.0)).ceil().max(2.0) as u32;
+    let member_cost = instance.len() as u64 + 1;
 
     let mut all: Vec<(String, Area)> = Vec::new();
-    let mut push = |name: String, cost: Area| all.push((name, cost));
 
     macro_rules! member {
         ($algo:expr) => {{
-            let a = $algo;
-            let name = a.name().to_string();
-            let res = engine::run(instance, a).expect("portfolio member made an illegal move");
-            push(name, res.cost);
+            if budget.try_charge(member_cost) {
+                let a = $algo;
+                let name = a.name().to_string();
+                let res = engine::run(instance, a).expect("portfolio member made an illegal move");
+                all.push((name, res.cost));
+            }
         }};
     }
 
@@ -199,15 +214,17 @@ pub fn best_nonrepacking(instance: &Instance) -> PortfolioResult {
     member!(Cdff::new());
     member!(DepartureAwareFit::new());
 
-    let (dlff_cost, _) = duration_layered_first_fit(instance);
-    push("duration-layered-ff (offline)".to_string(), dlff_cost);
+    // The offline member does an extra sort pass over the items.
+    if budget.try_charge(member_cost) {
+        let (dlff_cost, _) = duration_layered_first_fit(instance);
+        all.push(("duration-layered-ff (offline)".to_string(), dlff_cost));
+    }
 
     let (winner, cost) = all
         .iter()
         .min_by_key(|(_, c)| *c)
-        .map(|(n, c)| (n.clone(), *c))
-        .expect("portfolio is non-empty");
-    PortfolioResult { winner, cost, all }
+        .map(|(n, c)| (n.clone(), *c))?;
+    Some(PortfolioResult { winner, cost, all })
 }
 
 #[cfg(test)]
@@ -247,6 +264,24 @@ mod tests {
         assert!(p.all.iter().all(|(_, c)| *c >= p.cost));
         // Single item: every member pays exactly its duration.
         assert_eq!(p.cost.as_bin_ticks(), 4.0);
+    }
+
+    #[test]
+    fn budgeted_portfolio_truncates_but_stays_sound() {
+        use crate::offline::budget::RefineBudget;
+        let inst = Instance::from_triples([
+            (Time(0), Dur(2), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+        ])
+        .unwrap();
+        // Budget for exactly two members (|σ| + 1 = 4 nodes each).
+        let two = best_nonrepacking_budgeted(&inst, &mut RefineBudget::nodes(8)).expect("ran");
+        assert_eq!(two.all.len(), 2);
+        let full = best_nonrepacking(&inst);
+        assert!(full.cost <= two.cost, "more members can only tighten");
+        // A starved budget certifies nothing at all.
+        assert!(best_nonrepacking_budgeted(&inst, &mut RefineBudget::nodes(0)).is_none());
     }
 
     #[test]

@@ -95,6 +95,17 @@ impl OptBracket {
         }
     }
 
+    /// Intersects two sound brackets on the same optimum: the tighter of
+    /// each side. If rounding or an unsound input would cross the sides,
+    /// the upper is clamped to the lower (as in [`OptBracket::tighten_upper`]).
+    pub fn intersect(self, other: OptBracket) -> OptBracket {
+        let lower = self.lower.max(other.lower);
+        OptBracket {
+            lower,
+            upper: self.upper.min(other.upper).max(lower),
+        }
+    }
+
     /// Ratio bracket for an online cost: `(on/upper, on/lower)`.
     ///
     /// The true competitive ratio on this instance lies inside the returned
@@ -109,6 +120,111 @@ impl OptBracket {
     /// Width of the bracket as `upper/lower` (1.0 = exact).
     pub fn looseness(&self) -> f64 {
         self.upper.ratio_to(self.lower)
+    }
+}
+
+/// The rung of the bracket-refinement ladder that certified a bound.
+///
+/// The experiment harness refines brackets through a fixed ladder — the
+/// analytic Lemma 3.1 bracket, FFD-repack tightening, the non-repacking
+/// portfolio, and (budgeted) exact search. The ordering is refinement
+/// depth: a higher rung never certifies a looser bracket than a lower one
+/// on the same instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BracketRung {
+    /// The closed-form Lemma 3.1 / Section 2 bounds alone.
+    Analytic,
+    /// Tightened by (possibly budget-truncated) FFD-repack.
+    FfdRepack,
+    /// Tightened by the best non-repacking portfolio member.
+    Portfolio,
+    /// Tightened (often collapsed) by exact search.
+    Exact,
+}
+
+impl BracketRung {
+    /// Stable lowercase name, used in reports and the cache spill format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BracketRung::Analytic => "analytic",
+            BracketRung::FfdRepack => "ffd-repack",
+            BracketRung::Portfolio => "portfolio",
+            BracketRung::Exact => "exact",
+        }
+    }
+
+    /// Inverse of [`BracketRung::as_str`].
+    pub fn parse(s: &str) -> Option<BracketRung> {
+        Some(match s {
+            "analytic" => BracketRung::Analytic,
+            "ffd-repack" => BracketRung::FfdRepack,
+            "portfolio" => BracketRung::Portfolio,
+            "exact" => BracketRung::Exact,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for BracketRung {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a certified bracket came from, for cache-hit accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BracketSource {
+    /// Computed cold in this process.
+    Computed,
+    /// Served from the in-memory cache layer.
+    WarmMemory,
+    /// Served from the JSONL spill of an earlier process.
+    WarmDisk,
+}
+
+impl BracketSource {
+    /// Short stable label for report columns.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BracketSource::Computed => "cold",
+            BracketSource::WarmMemory => "mem",
+            BracketSource::WarmDisk => "disk",
+        }
+    }
+
+    /// Whether the bracket was served from either cache layer.
+    pub fn is_warm(self) -> bool {
+        !matches!(self, BracketSource::Computed)
+    }
+}
+
+impl core::fmt::Display for BracketSource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An [`OptBracket`] together with its provenance: the ladder rung that
+/// certified it and the cache layer (if any) that served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedBracket {
+    /// The certified two-sided bound.
+    pub bracket: OptBracket,
+    /// Deepest ladder rung that tightened the bracket.
+    pub rung: BracketRung,
+    /// Cold computation or warm cache layer.
+    pub source: BracketSource,
+}
+
+impl CertifiedBracket {
+    /// Delegates to [`OptBracket::ratio_bracket`].
+    pub fn ratio_bracket(&self, online_cost: Area) -> (f64, f64) {
+        self.bracket.ratio_bracket(online_cost)
+    }
+
+    /// Delegates to [`OptBracket::looseness`].
+    pub fn looseness(&self) -> f64 {
+        self.bracket.looseness()
     }
 }
 
@@ -199,6 +315,44 @@ mod tests {
         let b = OptBracket::of(&inst).tighten_upper(Area::from_bin_ticks(Dur(10)));
         let (lo, hi) = b.ratio_bracket(Area::from_bins_ticks(2, Dur(10)));
         assert!(lo <= 2.0 && 2.0 <= hi);
+    }
+
+    #[test]
+    fn intersect_takes_the_tighter_side_and_clamps() {
+        let a = OptBracket {
+            lower: Area::from_bin_ticks(Dur(5)),
+            upper: Area::from_bin_ticks(Dur(20)),
+        };
+        let b = OptBracket {
+            lower: Area::from_bin_ticks(Dur(8)),
+            upper: Area::from_bin_ticks(Dur(30)),
+        };
+        let i = a.intersect(b);
+        assert_eq!(i.lower.as_bin_ticks(), 8.0);
+        assert_eq!(i.upper.as_bin_ticks(), 20.0);
+        // Disjoint (unsound) inputs clamp instead of inverting.
+        let c = OptBracket {
+            lower: Area::from_bin_ticks(Dur(25)),
+            upper: Area::from_bin_ticks(Dur(30)),
+        };
+        let clamped = a.intersect(c);
+        assert_eq!(clamped.lower, clamped.upper);
+    }
+
+    #[test]
+    fn rung_and_source_round_trip() {
+        for rung in [
+            BracketRung::Analytic,
+            BracketRung::FfdRepack,
+            BracketRung::Portfolio,
+            BracketRung::Exact,
+        ] {
+            assert_eq!(BracketRung::parse(rung.as_str()), Some(rung));
+        }
+        assert_eq!(BracketRung::parse("martian"), None);
+        assert!(BracketRung::Analytic < BracketRung::Exact);
+        assert!(BracketSource::WarmDisk.is_warm());
+        assert!(!BracketSource::Computed.is_warm());
     }
 
     #[test]

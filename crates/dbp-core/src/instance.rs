@@ -266,6 +266,45 @@ impl Instance {
         })
     }
 
+    /// Content-addressed digest of the instance: a 128-bit FNV-1a hash over
+    /// the *sorted* multiset of `(arrival, departure, size)` triples.
+    ///
+    /// The digest is order-independent: two instances built by pushing the
+    /// same triples in any order (including different intra-arrival
+    /// insertion orders) share a digest, and any change to a single field of
+    /// a single item changes it. Item ids are deliberately excluded — they
+    /// are an artifact of builder order, not content.
+    ///
+    /// Used as the key of the experiment-harness bracket cache: certified
+    /// OPT brackets depend only on the triple multiset, never on
+    /// presentation order.
+    pub fn digest(&self) -> InstanceDigest {
+        let mut triples: Vec<(u64, u64, u64)> = self
+            .items
+            .iter()
+            .map(|it| (it.arrival.ticks(), it.departure.ticks(), it.size.raw()))
+            .collect();
+        triples.sort_unstable();
+
+        // FNV-1a, 128-bit variant (offset basis / prime per the FNV spec).
+        const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+        const PRIME: u128 = 0x0000000001000000000000000000013b;
+        let mut h = OFFSET;
+        let mut absorb = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u128;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        absorb(self.items.len() as u64);
+        for (a, d, s) in triples {
+            absorb(a);
+            absorb(d);
+            absorb(s);
+        }
+        InstanceDigest(h)
+    }
+
     /// Maximum number of simultaneously active items.
     pub fn max_concurrency(&self) -> usize {
         let mut events: Vec<(Time, i32)> = Vec::with_capacity(self.items.len() * 2);
@@ -281,6 +320,29 @@ impl Instance {
             max = max.max(cur);
         }
         max as usize
+    }
+}
+
+/// A 128-bit content digest of an [`Instance`] (see [`Instance::digest`]).
+///
+/// Displays as 32 lowercase hex digits; [`InstanceDigest::parse`] inverts
+/// that rendering (for cache-spill round trips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceDigest(pub u128);
+
+impl InstanceDigest {
+    /// Parses the 32-hex-digit rendering produced by `Display`.
+    pub fn parse(s: &str) -> Option<InstanceDigest> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(InstanceDigest)
+    }
+}
+
+impl fmt::Display for InstanceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
     }
 }
 
@@ -401,6 +463,60 @@ mod tests {
         // Length 3 is class 2, so must arrive at multiples of 4.
         let bad2 = Instance::from_triples([(Time(2), Dur(3), sz(1, 2))]).unwrap();
         assert!(!bad2.is_aligned());
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        // Same triples, three presentation orders — including two items
+        // sharing an arrival, whose insertion order changes item ids.
+        let t1 = [
+            (Time(0), Dur(4), sz(1, 2)),
+            (Time(0), Dur(7), sz(1, 3)),
+            (Time(5), Dur(2), sz(1, 2)),
+        ];
+        let t2 = [t1[1], t1[0], t1[2]];
+        let t3 = [t1[2], t1[1], t1[0]];
+        let d1 = Instance::from_triples(t1).unwrap().digest();
+        let d2 = Instance::from_triples(t2).unwrap().digest();
+        let d3 = Instance::from_triples(t3).unwrap().digest();
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn digest_distinguishes_every_field() {
+        let base = Instance::from_triples([(Time(0), Dur(4), sz(1, 2))])
+            .unwrap()
+            .digest();
+        let arrival = Instance::from_triples([(Time(1), Dur(4), sz(1, 2))])
+            .unwrap()
+            .digest();
+        let duration = Instance::from_triples([(Time(0), Dur(5), sz(1, 2))])
+            .unwrap()
+            .digest();
+        let size = Instance::from_triples([(Time(0), Dur(4), sz(1, 3))])
+            .unwrap()
+            .digest();
+        let duplicated =
+            Instance::from_triples([(Time(0), Dur(4), sz(1, 2)), (Time(0), Dur(4), sz(1, 2))])
+                .unwrap()
+                .digest();
+        for other in [arrival, duration, size, duplicated] {
+            assert_ne!(base, other);
+        }
+        assert_ne!(Instance::empty().digest(), base);
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d = Instance::from_triples([(Time(3), Dur(9), sz(2, 3))])
+            .unwrap()
+            .digest();
+        let hex = d.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(InstanceDigest::parse(&hex), Some(d));
+        assert_eq!(InstanceDigest::parse("xyz"), None);
+        assert_eq!(InstanceDigest::parse(&hex[1..]), None);
     }
 
     #[test]

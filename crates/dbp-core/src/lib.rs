@@ -52,12 +52,12 @@ pub use algorithm::{OnlineAlgorithm, Placement, SimView};
 pub use assignment::{audit, AuditReport};
 pub use audit::{AuditViolation, InvariantAuditor};
 pub use bin_state::{BinId, BinRecord, BinStore};
-pub use bounds::{LowerBounds, OptBracket};
+pub use bounds::{BracketRung, BracketSource, CertifiedBracket, LowerBounds, OptBracket};
 pub use cost::Area;
 pub use engine::{run, run_with_sink, InteractiveSim, PackingResult, RunMetrics};
 pub use error::{EngineError, InstanceError, VerifyError};
 pub use fit_tree::{FitTree, SubsetFitTree};
-pub use instance::{Instance, InstanceBuilder};
+pub use instance::{Instance, InstanceBuilder, InstanceDigest};
 pub use item::{Item, ItemId};
 pub use metrics::{
     average_open_ratio, compare_goals, momentary_ratio, utilisation, waste_breakdown,

@@ -114,8 +114,18 @@ impl SampleRange<f64> for Range<f64> {
         let u = f64::sample(rng); // [0, 1)
         let v = self.start + u * (self.end - self.start);
         // Guard the half-open bound against rounding at the top end.
+        // (Bit-level next-down: `f64::next_down` needs Rust 1.86, above
+        // the workspace MSRV. `start < end` rules out NaN; the magnitude
+        // step is exact for any finite positive or negative `end`.)
         if v >= self.end {
-            self.end.next_down()
+            let down = if self.end > 0.0 {
+                f64::from_bits(self.end.to_bits() - 1)
+            } else if self.end < 0.0 {
+                f64::from_bits(self.end.to_bits() + 1)
+            } else {
+                -f64::from_bits(1) // next_down(±0.0): smallest negative subnormal
+            };
+            down.max(self.start)
         } else {
             v
         }
