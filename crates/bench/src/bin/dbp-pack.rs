@@ -4,7 +4,14 @@
 //! ```text
 //! dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]
 //!          [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]
+//!          [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]
 //! ```
+//!
+//! A nonzero `--fail-rate` runs every algorithm under a seeded crash plan
+//! (each opened bin is doomed with probability F): displaced items re-enter
+//! through the algorithm after the `--retry` backoff, the invariant auditor
+//! checks the failure ledger, and the table gains resilience columns. At
+//! the default rate 0 the output is bit-identical to a failure-free build.
 //!
 //! CSV format: `arrival,duration,size_num,size_den` per line (`#` comments
 //! and a non-numeric header line are ignored) — the same format `dbp-gen`
@@ -13,7 +20,9 @@
 use dbp_analysis::figures::packing_gantt;
 use dbp_analysis::table::{f3, Table};
 use dbp_bench::bracket;
-use dbp_core::{compare_goals, engine};
+use dbp_core::audit::InvariantAuditor;
+use dbp_core::time::Dur;
+use dbp_core::{compare_goals, engine, FailurePlan, RetryPolicy};
 use dbp_workloads::parse_trace;
 
 fn main() {
@@ -23,6 +32,9 @@ fn main() {
     let mut momentary = false;
     let mut effort = bracket::Effort::Cached;
     let mut cache_dir: Option<String> = None;
+    let mut fail_rate = 0.0f64;
+    let mut fail_seed = 4242u64;
+    let mut retry = RetryPolicy::default();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -51,10 +63,45 @@ fn main() {
                 });
                 cache_dir = (raw != "off").then_some(raw);
             }
+            "--fail-rate" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--fail-rate requires a probability in [0, 1]");
+                    std::process::exit(2);
+                });
+                fail_rate = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| {
+                        eprintln!("bad fail rate '{raw}' (expected a probability in [0, 1])");
+                        std::process::exit(2);
+                    });
+            }
+            "--fail-seed" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--fail-seed requires an integer");
+                    std::process::exit(2);
+                });
+                fail_seed = raw.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("bad fail seed '{raw}' (expected u64)");
+                    std::process::exit(2);
+                });
+            }
+            "--retry" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--retry requires immediate|fixed=<ticks>|exp=<ticks>");
+                    std::process::exit(2);
+                });
+                retry = RetryPolicy::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad retry policy '{raw}' (immediate|fixed=<ticks>|exp=<ticks>)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
                      \x20              [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]\n\
+                     \x20              [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]\n\
                      algorithms: {:?}",
                     dbp_algos::registry_names()
                 );
@@ -112,6 +159,17 @@ fn main() {
         "fast%",
         "scans",
     ];
+    let failing = fail_rate > 0.0;
+    // Doom delays are uniform in [1, mtbf]; tying mtbf to the trace span
+    // keeps the storm landing inside the run for any input scale.
+    let mtbf = Dur(inst.span_dur().ticks().max(1));
+    if failing {
+        println!(
+            "failure plan: per-bin rate {fail_rate}, seed {fail_seed}, mtbf {} ticks, retry {retry}\n",
+            mtbf.ticks()
+        );
+        header.extend(["failures", "migrations", "drops", "degraded"]);
+    }
     if momentary {
         header.push("momentary");
     }
@@ -121,10 +179,25 @@ fn main() {
             eprintln!("unknown algorithm '{name}' (see --help)");
             std::process::exit(2);
         };
-        let res = engine::run(&inst, algo).unwrap_or_else(|e| {
-            eprintln!("{name}: illegal move: {e}");
-            std::process::exit(1);
-        });
+        let res = if failing {
+            let plan = FailurePlan::seeded(fail_rate, fail_seed, mtbf);
+            let mut auditor = InvariantAuditor::new();
+            let res = engine::run_with_failures(&inst, algo, plan, retry, &mut auditor)
+                .unwrap_or_else(|e| {
+                    eprintln!("{name}: illegal move: {e}");
+                    std::process::exit(1);
+                });
+            if let Err(v) = auditor.verify_result(&res) {
+                eprintln!("{name}: invariant violation under failures: {v}");
+                std::process::exit(1);
+            }
+            res
+        } else {
+            engine::run(&inst, algo).unwrap_or_else(|e| {
+                eprintln!("{name}: illegal move: {e}");
+                std::process::exit(1);
+            })
+        };
         let (lo, hi) = br.ratio_bracket(res.cost);
         let mut row = vec![
             name.clone(),
@@ -136,6 +209,15 @@ fn main() {
             format!("{:.0}", 100.0 * res.metrics.fast_path_share()),
             res.metrics.linear_scans.to_string(),
         ];
+        if failing {
+            let r = &res.resilience;
+            row.extend([
+                r.bin_failures.to_string(),
+                r.readmissions.to_string(),
+                r.dropped.to_string(),
+                f3(r.degraded_area.as_bin_ticks()),
+            ]);
+        }
         if momentary {
             row.push(f3(compare_goals(&inst, &res).momentary));
         }

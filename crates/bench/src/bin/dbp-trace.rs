@@ -148,7 +148,27 @@ fn replay(path: &str) -> ExitCode {
                 store.remove(bin, item, size, at);
                 auditor.on_event(ev, &store);
             }
-            EngineEvent::BinClosed { .. } | EngineEvent::ClockAdvanced { .. } => {
+            EngineEvent::ItemDisplaced {
+                item,
+                at,
+                bin,
+                size,
+            } => {
+                // A displacement drains the store exactly like a departure
+                // (the final one closes the failed bin), mirroring the live
+                // engine's remove-then-emit order.
+                store.remove(bin, item, size, at);
+                auditor.on_event(ev, &store);
+            }
+            EngineEvent::ItemReadmitted { item, size, .. } => {
+                // Like an arrival: the auditor probes First-Fit against the
+                // pre-placement store, then the next Placed consumes this.
+                auditor.on_event(ev, &store);
+                pending = Some((item, size));
+            }
+            EngineEvent::BinFailed { .. }
+            | EngineEvent::BinClosed { .. }
+            | EngineEvent::ClockAdvanced { .. } => {
                 auditor.on_event(ev, &store);
             }
         }

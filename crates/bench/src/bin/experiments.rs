@@ -17,7 +17,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use dbp_bench::bracket;
-use dbp_bench::experiments::{registry, run_by_id};
+use dbp_bench::experiments::{registry, resilience, run_by_id};
+use dbp_core::failure::RetryPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +26,8 @@ fn main() {
     let mut md_path: Option<PathBuf> = None;
     let mut effort = bracket::Effort::Cached;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut fail_seed: Option<u64> = None;
+    let mut retry: Option<RetryPolicy> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -60,6 +63,26 @@ fn main() {
                 });
                 md_path = Some(PathBuf::from(p));
             }
+            "--fail-seed" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--fail-seed requires an integer");
+                    std::process::exit(2);
+                });
+                fail_seed = Some(raw.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("bad fail seed '{raw}' (expected u64)");
+                    std::process::exit(2);
+                }));
+            }
+            "--retry" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--retry requires immediate|fixed=<ticks>|exp=<ticks>");
+                    std::process::exit(2);
+                });
+                retry = Some(RetryPolicy::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad retry policy '{raw}' (immediate|fixed=<ticks>|exp=<ticks>)");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -69,6 +92,10 @@ fn main() {
     }
 
     let svc = bracket::configure(effort, cache_dir.as_deref());
+    if fail_seed.is_some() || retry.is_some() {
+        let base = resilience::config();
+        resilience::configure(fail_seed.unwrap_or(base.seed), retry.unwrap_or(base.retry));
+    }
 
     if ids.is_empty() {
         print_usage();
@@ -131,7 +158,9 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
-         [--bracket-cache DIR|off] <id>... | all\n\navailable experiments:"
+         [--bracket-cache DIR|off] [--fail-seed N] [--retry POLICY] <id>... | all\n\n\
+         --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
+         `resilience` experiment's crash stream and re-admission backoff.\n\navailable experiments:"
     );
     for (id, _) in registry() {
         println!("  {id}");

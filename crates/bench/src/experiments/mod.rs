@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod lemmas;
+pub mod resilience;
 pub mod summary;
 pub mod svgs;
 pub mod table1;
@@ -75,6 +76,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("bin-lifetimes", extensions::bin_lifetimes),
         ("shape-test", extensions::shape_test),
         ("migration-value", extensions::migration_value),
+        ("resilience", resilience::resilience),
         ("waste", extensions::waste),
         ("boot-overhead", extensions::boot_overhead),
         ("ablation-threshold", ablations::threshold),

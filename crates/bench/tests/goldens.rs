@@ -18,7 +18,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::Command;
 
-use dbp_bench::experiments::{summary, table1};
+use dbp_bench::experiments::{resilience, summary, table1};
 use dbp_bench::matrix;
 use dbp_core::Instance;
 use dbp_workloads::parse_trace;
@@ -89,6 +89,18 @@ fn summary_sheet_matches_golden() {
     assert_golden("summary.golden", &report.render());
 }
 
+/// The failure-aware serving sweep at its default seed and retry policy:
+/// pins costs, ratio brackets and the whole resilience ledger (failures,
+/// migrations, drops, degraded bin·ticks) per rate × algorithm cell. The
+/// experiment itself asserts the zero-rate rows bit-identical to plain
+/// runs and passes every cell through the invariant auditor, so a clean
+/// regeneration of this golden is also a chaos smoke test.
+#[test]
+fn resilience_experiment_matches_golden() {
+    let report = resilience::resilience();
+    assert_golden("resilience.golden", &report.render());
+}
+
 /// End-to-end CLI snapshot: `dbp-pack` on the committed general fixture,
 /// run from the goldens directory so the echoed path is stable. A fresh
 /// process means a cold bracket service — the provenance line is pinned
@@ -113,4 +125,36 @@ fn pack_cli_output_matches_golden() {
     );
     let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
     assert_golden("pack_cli.golden", &stdout);
+}
+
+/// The same CLI under a seeded crash plan: the table gains the resilience
+/// columns and the run stays deterministic (the snapshot IS the
+/// determinism check — a second process must reproduce it byte-for-byte,
+/// which CI's chaos job exercises on every push).
+#[test]
+fn pack_cli_chaos_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dbp-pack"))
+        .current_dir(goldens_dir())
+        .args([
+            "fixture_general.csv",
+            "--algo",
+            "first-fit",
+            "--algo",
+            "cdff",
+            "--fail-rate",
+            "0.4",
+            "--fail-seed",
+            "7",
+            "--retry",
+            "fixed=2",
+        ])
+        .output()
+        .expect("dbp-pack runs");
+    assert!(
+        out.status.success(),
+        "dbp-pack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_golden("pack_cli_chaos.golden", &stdout);
 }

@@ -36,13 +36,25 @@ pub struct PredictedLens<A> {
 }
 
 impl<A: OnlineAlgorithm> PredictedLens<A> {
-    /// Wraps `inner`; `predictions` is indexed by item id.
-    pub fn new(inner: A, predictions: Vec<Time>) -> PredictedLens<A> {
-        PredictedLens {
+    /// Wraps `inner`; `predictions` is indexed by item id and must cover
+    /// all `expected_items` ids the engine will deliver. A short table is
+    /// rejected up front with [`EngineError::MissingPrediction`] naming
+    /// the first uncovered item — instead of an index panic mid-run.
+    pub fn new(
+        inner: A,
+        predictions: Vec<Time>,
+        expected_items: usize,
+    ) -> Result<PredictedLens<A>, EngineError> {
+        if predictions.len() < expected_items {
+            return Err(EngineError::MissingPrediction {
+                item: ItemId(predictions.len() as u32),
+            });
+        }
+        Ok(PredictedLens {
             inner,
             predictions,
             in_flight: HashMap::new(),
-        }
+        })
     }
 
     /// The wrapped algorithm.
@@ -51,7 +63,14 @@ impl<A: OnlineAlgorithm> PredictedLens<A> {
     }
 
     fn predicted_view(&self, item: &Item) -> Item {
-        let predicted_departure = self.predictions[item.id.index()];
+        // Ids past the table are engine-synthesized (re-admission clones
+        // under fault injection carry fresh ids); for those the engine's
+        // own departure is the best available forecast.
+        let predicted_departure = self
+            .predictions
+            .get(item.id.index())
+            .copied()
+            .unwrap_or(item.departure);
         Item::new(item.id, item.arrival, predicted_departure, item.size)
     }
 }
@@ -89,11 +108,21 @@ pub struct DispatchReport {
     pub servers_used: usize,
     /// Peak simultaneously-on servers.
     pub peak_servers: usize,
-    /// Which server each session landed on (session order = input order
-    /// after sorting by arrival).
+    /// Which server each session landed on, indexed by the **caller's
+    /// input order** (`placements[i]` answers for `sessions[i]`, however
+    /// arrivals were interleaved).
     pub placements: Vec<BinId>,
-    /// The instance actually played (actual durations).
+    /// The instance actually played (actual durations), in the engine's
+    /// arrival-sorted item order.
     pub instance: Instance,
+    /// For each instance item id, the caller's input index it came from —
+    /// the permutation connecting [`DispatchReport::instance`] to
+    /// [`DispatchReport::placements`].
+    pub arrival_order: Vec<usize>,
+    /// The tier each instance item was requested at, in instance order
+    /// (recorded, not recovered from sizes — custom tiers may collide with
+    /// named ones).
+    pub tiers: Vec<Tier>,
     /// Mean relative prediction error over the batch.
     pub mean_prediction_error: f64,
     /// Engine execution counters for the dispatch run (placement paths,
@@ -103,23 +132,45 @@ pub struct DispatchReport {
 
 impl DispatchReport {
     /// `d(σ)/bill`: how much of the paid server-time carried traffic.
+    /// Always `≤ 1` for a correct engine — an over-unity value means the
+    /// accounting double-served demand, which the invariant auditor flags
+    /// (and a debug build asserts) rather than clamping out of sight.
     pub fn utilisation(&self) -> f64 {
-        self.instance.demand().ratio_to(self.bill).min(1.0)
+        let u = self.instance.demand().ratio_to(self.bill);
+        debug_assert!(u <= 1.0, "served demand exceeds the bill: {u}");
+        u
+    }
+
+    /// The assignment in the instance's item order (what
+    /// [`dbp_core::assignment::audit`] expects), reconstructed from the
+    /// input-ordered [`DispatchReport::placements`].
+    pub fn engine_assignment(&self) -> Vec<BinId> {
+        self.arrival_order
+            .iter()
+            .map(|&idx| self.placements[idx])
+            .collect()
     }
 
     /// Per-tier traffic breakdown: `(tier, sessions, demand share of the
-    /// total d(σ))`, in tier order. Sessions are recovered from the item
-    /// sizes (tiers have distinct sizes by construction).
+    /// total d(σ))` — the named tiers in order, then custom tiers in
+    /// first-appearance order. Keyed on each session's **recorded** tier,
+    /// so a custom size colliding with a named tier's stays attributed to
+    /// the custom tier.
     pub fn tier_breakdown(&self) -> Vec<(Tier, usize, f64)> {
         let total = self.instance.demand().as_bin_ticks().max(f64::MIN_POSITIVE);
-        [Tier::Low, Tier::Standard, Tier::Premium]
+        let mut order = vec![Tier::Low, Tier::Standard, Tier::Premium];
+        for t in &self.tiers {
+            if matches!(t, Tier::Custom(_)) && !order.contains(t) {
+                order.push(*t);
+            }
+        }
+        order
             .into_iter()
             .map(|tier| {
-                let size = tier.size();
                 let mut count = 0usize;
                 let mut demand = 0.0;
-                for it in self.instance.items() {
-                    if it.size == size {
+                for (it, &t) in self.instance.items().iter().zip(&self.tiers) {
+                    if t == tier {
                         count += 1;
                         demand += it.size.as_f64() * it.duration().ticks() as f64;
                     }
@@ -164,32 +215,44 @@ pub fn dispatch_with_sink<A: OnlineAlgorithm, S: EventSink>(
     algo: A,
     sink: S,
 ) -> Result<DispatchReport, EngineError> {
-    let mut ordered: Vec<&SessionRequest> = sessions.iter().collect();
-    ordered.sort_by_key(|s| s.arrival);
+    let mut ordered: Vec<(usize, &SessionRequest)> = sessions.iter().enumerate().collect();
+    ordered.sort_by_key(|&(_, s)| s.arrival);
 
     let mut builder = InstanceBuilder::with_capacity(ordered.len());
     let mut predictions = Vec::with_capacity(ordered.len());
+    let mut arrival_order = Vec::with_capacity(ordered.len());
+    let mut tiers = Vec::with_capacity(ordered.len());
     let mut err_sum = 0.0;
-    for s in &ordered {
+    for &(idx, s) in &ordered {
         builder.push(s.arrival, s.actual, s.tier.size());
         predictions.push(s.arrival + s.predicted);
+        arrival_order.push(idx);
+        tiers.push(s.tier);
         err_sum += s.prediction_error();
     }
     let instance = builder.build().expect("sessions are valid items");
 
-    let lens = PredictedLens::new(algo, predictions);
+    let lens = PredictedLens::new(algo, predictions, instance.len())?;
     let result = engine::run_with_sink(&instance, lens, sink)?;
+    // Back-permute the arrival-ordered engine assignment to the caller's
+    // input order: placements[i] answers for sessions[i].
+    let mut placements = vec![BinId(0); sessions.len()];
+    for (pos, &idx) in arrival_order.iter().enumerate() {
+        placements[idx] = result.assignment[pos];
+    }
     Ok(DispatchReport {
         bill: result.cost,
         servers_used: result.bins_opened,
         peak_servers: result.max_open,
-        placements: result.assignment,
+        placements,
         mean_prediction_error: if ordered.is_empty() {
             0.0
         } else {
             err_sum / ordered.len() as f64
         },
         instance,
+        arrival_order,
+        tiers,
         metrics: result.metrics,
     })
 }
@@ -214,8 +277,43 @@ mod tests {
         let report = dispatch(sessions_exact(), HybridAlgorithm::new()).unwrap();
         let plain = engine::run(&report.instance, HybridAlgorithm::new()).unwrap();
         assert_eq!(report.bill, plain.cost);
+        assert_eq!(report.engine_assignment(), plain.assignment);
+        // Input already sorted by arrival: both orders coincide here.
         assert_eq!(report.placements, plain.assignment);
         assert_eq!(report.mean_prediction_error, 0.0);
+    }
+
+    #[test]
+    fn placements_follow_caller_input_order_with_tied_arrivals() {
+        // Input deliberately NOT in arrival order, with a tie at t=0
+        // across tiers: the report used to return arrival-sorted
+        // placements, silently permuting the caller's indices.
+        let sessions = vec![
+            SessionRequest::exact(1, Time(5), Dur(10), Tier::Premium),
+            SessionRequest::exact(2, Time(0), Dur(10), Tier::Low),
+            SessionRequest::exact(3, Time(0), Dur(10), Tier::Premium),
+        ];
+        let report = dispatch(sessions, FirstFit::new()).unwrap();
+        let plain = engine::run(&report.instance, FirstFit::new()).unwrap();
+        // Arrival-sorted (stable on the t=0 tie) instance order is
+        // [input 1, input 2, input 0].
+        assert_eq!(report.arrival_order, vec![1, 2, 0]);
+        assert_eq!(report.engine_assignment(), plain.assignment);
+        assert_eq!(report.placements[1], plain.assignment[0]);
+        assert_eq!(report.placements[2], plain.assignment[1]);
+        assert_eq!(report.placements[0], plain.assignment[2]);
+        let audit =
+            dbp_core::assignment::audit(&report.instance, &report.engine_assignment()).unwrap();
+        assert_eq!(audit.cost, report.bill);
+    }
+
+    #[test]
+    fn short_prediction_table_is_a_typed_error() {
+        match PredictedLens::new(FirstFit::new(), vec![Time(5)], 3) {
+            Err(EngineError::MissingPrediction { item }) => assert_eq!(item, ItemId(1)),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("short prediction table accepted"),
+        }
     }
 
     #[test]
@@ -257,7 +355,8 @@ mod tests {
         let mut sessions = sessions_exact();
         sessions[0].predicted = Dur(64); // short session predicted long
         let report = dispatch(sessions, DepartureAwareFit::new()).unwrap();
-        let audit = dbp_core::assignment::audit(&report.instance, &report.placements).unwrap();
+        let audit =
+            dbp_core::assignment::audit(&report.instance, &report.engine_assignment()).unwrap();
         assert_eq!(audit.cost, report.bill);
         assert!(report.mean_prediction_error > 0.0);
     }
@@ -307,7 +406,8 @@ mod tests {
             });
         }
         let report = dispatch(sessions, HybridAlgorithm::new()).unwrap();
-        let audit = dbp_core::assignment::audit(&report.instance, &report.placements).unwrap();
+        let audit =
+            dbp_core::assignment::audit(&report.instance, &report.engine_assignment()).unwrap();
         assert_eq!(audit.cost, report.bill);
         assert!(report.utilisation() > 0.0 && report.utilisation() <= 1.0);
     }
@@ -327,6 +427,39 @@ mod tests {
         assert!((share_sum - 1.0).abs() < 1e-9);
         // Premium carries 8/9 of the demand (2×(1/2) vs 1×(1/8)).
         assert!((breakdown[2].2 - 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_tier_colliding_with_a_named_size_stays_attributed() {
+        use dbp_core::size::Size;
+        // Two custom sessions share Standard's exact size (1/4): a
+        // size-keyed breakdown would absorb them into Standard.
+        let custom = Tier::Custom(Size::from_ratio(1, 4));
+        let sessions = vec![
+            SessionRequest::exact(1, Time(0), Dur(10), Tier::Standard),
+            SessionRequest::exact(2, Time(0), Dur(10), custom),
+            SessionRequest::exact(3, Time(0), Dur(10), custom),
+            SessionRequest::exact(4, Time(0), Dur(10), Tier::Premium),
+        ];
+        let report = dispatch(sessions, FirstFit::new()).unwrap();
+        let breakdown = report.tier_breakdown();
+        assert_eq!(
+            breakdown
+                .iter()
+                .map(|&(t, c, _)| (t, c))
+                .collect::<Vec<_>>(),
+            vec![
+                (Tier::Low, 0),
+                (Tier::Standard, 1),
+                (Tier::Premium, 1),
+                (custom, 2),
+            ]
+        );
+        let share_sum: f64 = breakdown.iter().map(|&(_, _, s)| s).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // The colliding sessions carry Standard-sized demand under the
+        // custom label: 2×(1/4) vs 1×(1/4).
+        assert!((breakdown[3].2 - 2.0 * breakdown[1].2).abs() < 1e-9);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum Tier {
     Standard,
     /// 1/2 of a server (4K).
     Premium,
+    /// A bespoke bandwidth demand (enterprise SKUs). A custom size may
+    /// coincide with a named tier's — the dispatcher still attributes the
+    /// session to *this* tier, not the named one.
+    Custom(Size),
 }
 
 impl Tier {
@@ -27,6 +31,7 @@ impl Tier {
             Tier::Low => Size::from_ratio(1, 8),
             Tier::Standard => Size::from_ratio(1, 4),
             Tier::Premium => Size::from_ratio(1, 2),
+            Tier::Custom(s) => s,
         }
     }
 
@@ -36,6 +41,7 @@ impl Tier {
             Tier::Low => "low",
             Tier::Standard => "standard",
             Tier::Premium => "premium",
+            Tier::Custom(_) => "custom",
         }
     }
 }

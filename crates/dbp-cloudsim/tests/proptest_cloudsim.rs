@@ -35,7 +35,7 @@ proptest! {
         for name in dbp_algos::registry_names() {
             let algo = dbp_algos::by_name(name).expect("registry");
             let report = dispatch(&sessions, algo).expect("dispatch is legal");
-            let audit = dbp_core::audit(&report.instance, &report.placements)
+            let audit = dbp_core::audit(&report.instance, &report.engine_assignment())
                 .expect("valid packing");
             prop_assert_eq!(audit.cost, report.bill, "{} bill mismatch", name);
         }

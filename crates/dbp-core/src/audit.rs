@@ -17,7 +17,16 @@
 //! * **Cost triple-entry** — after the run, the incremental engine cost,
 //!   the sum of per-bin `closed − opened` intervals, and the integral of
 //!   the mirrored open-bin count over time must all agree
-//!   ([`InvariantAuditor::verify_result`]).
+//!   ([`InvariantAuditor::verify_result`]);
+//! * **Failure bookkeeping** — a failed bin must be drained (every
+//!   resident displaced) before its `BinFailed`, every re-admission must
+//!   name an item that was actually displaced and not yet re-admitted,
+//!   and the [`crate::failure::ResilienceReport`] totals must match the
+//!   event stream exactly (displacements = re-admissions + drops);
+//! * **Demand ≤ bill** — the integral of the mirrored total load never
+//!   exceeds the integral of the open-bin count (`d(σ) ≤ cost`); an
+//!   over-unity utilisation is reported as a violation instead of being
+//!   clamped away.
 //!
 //! The auditor latches the **first** violation with its event index and
 //! full context, then stops mirroring — later checks would only cascade
@@ -89,6 +98,17 @@ pub struct InvariantAuditor {
     interval_cost: Area,
     /// Arrival awaiting its `Placed` event: `(item, at, size)`.
     pending_arrival: Option<(ItemId, Time, Size)>,
+    /// Sum of all mirrored bin loads (raw units) right now.
+    total_load: u64,
+    /// `∫ (mirrored total load) dt` — the served-demand area, which may
+    /// never exceed `integral_cost` (utilisation ≤ 1).
+    load_area: Area,
+    /// Items displaced by a crash and not yet re-admitted. Whatever is
+    /// left after the run must equal the report's `dropped` count.
+    displaced_outstanding: std::collections::HashSet<u32>,
+    failures_seen: u64,
+    displacements_seen: u64,
+    readmissions_seen: u64,
     events_seen: u64,
     violation: Option<AuditViolation>,
 }
@@ -140,10 +160,13 @@ impl InvariantAuditor {
         }
     }
 
-    /// Advances the cost integral to `t` using the current open count.
+    /// Advances the cost and served-demand integrals to `t` using the
+    /// current open count and total load.
     fn integrate_to(&mut self, t: Time) {
         if t > self.cur {
-            self.integral_cost += Area::from_bins_ticks(self.open_count as u64, t.since(self.cur));
+            let dt = t.since(self.cur);
+            self.integral_cost += Area::from_bins_ticks(self.open_count as u64, dt);
+            self.load_area += Area::from_load_ticks(self.total_load, dt);
             self.cur = t;
         }
     }
@@ -182,6 +205,41 @@ impl InvariantAuditor {
                     "cost mismatch: result timeline integrates to {}, engine accumulated {}",
                     result.cost_from_timeline(),
                     result.cost
+                ));
+            } else if self.load_area > self.integral_cost {
+                self.fail_post(format!(
+                    "over-unity utilisation: served demand {} exceeds bill {}",
+                    self.load_area, self.integral_cost
+                ));
+            } else if self.failures_seen != result.resilience.bin_failures {
+                self.fail_post(format!(
+                    "resilience mismatch: stream saw {} bin failure(s), report says {}",
+                    self.failures_seen, result.resilience.bin_failures
+                ));
+            } else if self.displacements_seen != result.resilience.displacements {
+                self.fail_post(format!(
+                    "resilience mismatch: stream saw {} displacement(s), report says {}",
+                    self.displacements_seen, result.resilience.displacements
+                ));
+            } else if self.readmissions_seen != result.resilience.readmissions {
+                self.fail_post(format!(
+                    "resilience mismatch: stream saw {} re-admission(s), report says {}",
+                    self.readmissions_seen, result.resilience.readmissions
+                ));
+            } else if result.resilience.displacements
+                != result.resilience.readmissions + result.resilience.dropped
+            {
+                self.fail_post(format!(
+                    "resilience ledger broken: {} displaced ≠ {} re-admitted + {} dropped",
+                    result.resilience.displacements,
+                    result.resilience.readmissions,
+                    result.resilience.dropped
+                ));
+            } else if self.displaced_outstanding.len() as u64 != result.resilience.dropped {
+                self.fail_post(format!(
+                    "{} displaced item(s) never re-admitted, report counts {} dropped",
+                    self.displaced_outstanding.len(),
+                    result.resilience.dropped
                 ));
             }
         }
@@ -321,7 +379,9 @@ impl EventSink for InvariantAuditor {
                             load_after.raw()
                         ),
                     );
+                    return;
                 }
+                self.total_load += p_size.raw();
             }
             EngineEvent::Departure {
                 item, bin, size, ..
@@ -347,6 +407,117 @@ impl EventSink for InvariantAuditor {
                 }
                 m.load -= size.raw();
                 m.residents -= 1;
+                self.total_load -= size.raw();
+            }
+            EngineEvent::ItemDisplaced {
+                item, bin, size, ..
+            } => {
+                // A displacement drains the bin exactly like a departure —
+                // same conservation checks — but additionally opens a
+                // re-admission obligation that `ItemReadmitted` (or the
+                // report's `dropped` count) must later discharge.
+                let Some(m) = self.bins.get_mut(bin.index()) else {
+                    self.fail(event, format!("{item} displaced from never-opened {bin}"));
+                    return;
+                };
+                if !m.open {
+                    self.fail(event, format!("{item} displaced from closed {bin}"));
+                    return;
+                }
+                if m.residents == 0 || m.load < size.raw() {
+                    let (load, residents) = (m.load, m.residents);
+                    self.fail(
+                        event,
+                        format!(
+                            "{item} (size {}) displaced from {bin} holding load {load} with {residents} resident(s)",
+                            size.raw()
+                        ),
+                    );
+                    return;
+                }
+                m.load -= size.raw();
+                m.residents -= 1;
+                self.total_load -= size.raw();
+                self.displacements_seen += 1;
+                if !self.displaced_outstanding.insert(item.0) {
+                    self.fail(event, format!("{item} displaced twice"));
+                }
+            }
+            EngineEvent::ItemReadmitted {
+                item,
+                original,
+                at,
+                size,
+                ..
+            } => {
+                if let Some((prev, _, _)) = self.pending_arrival {
+                    self.fail(
+                        event,
+                        format!("re-admission of {item} while {prev} still awaits placement"),
+                    );
+                    return;
+                }
+                if !self.displaced_outstanding.remove(&original.0) {
+                    self.fail(
+                        event,
+                        format!("{item} re-admits {original}, which was never displaced (or already re-admitted)"),
+                    );
+                    return;
+                }
+                // Same pre-placement First-Fit probe as a fresh arrival.
+                let tree = bins.first_fit(size);
+                let linear = bins.first_fit_linear(size);
+                if tree != linear {
+                    self.fail(
+                        event,
+                        format!(
+                            "First-Fit divergence for re-admitted {item} (size {}): tree says {:?}, linear scan says {:?}",
+                            size.raw(),
+                            tree,
+                            linear
+                        ),
+                    );
+                    return;
+                }
+                self.readmissions_seen += 1;
+                self.pending_arrival = Some((item, at, size));
+            }
+            EngineEvent::BinFailed { bin, at, opened_at } => {
+                // A failed bin is a closed bin whose residents were forced
+                // out: by the time `BinFailed` fires the mirror must be
+                // fully drained, exactly as for a voluntary close.
+                let Some(m) = self.bins.get_mut(bin.index()) else {
+                    self.fail(event, format!("never-opened {bin} failed"));
+                    return;
+                };
+                if !m.open {
+                    self.fail(event, format!("{bin} failed after closing"));
+                    return;
+                }
+                if m.residents != 0 || m.load != 0 {
+                    let (load, residents) = (m.load, m.residents);
+                    self.fail(
+                        event,
+                        format!(
+                            "{bin} failed while still holding load {load} ({residents} resident(s) not displaced)"
+                        ),
+                    );
+                    return;
+                }
+                if m.opened_at != opened_at {
+                    let mirror_opened = m.opened_at;
+                    self.fail(
+                        event,
+                        format!(
+                            "{bin} opened_at mismatch: mirror {mirror_opened}, event {opened_at}"
+                        ),
+                    );
+                    return;
+                }
+                m.open = false;
+                self.open_count -= 1;
+                self.interval_cost += Area::from_bin_ticks(at.since(opened_at));
+                self.failures_seen += 1;
             }
             EngineEvent::BinClosed { bin, at, opened_at } => {
                 let Some(m) = self.bins.get_mut(bin.index()) else {

@@ -25,13 +25,14 @@
 //! every [`PackingResult`]. Attach [`crate::audit::InvariantAuditor`] (or
 //! any sink) via [`run_with_sink`] / [`InteractiveSim::with_sink`].
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
 use crate::bin_state::{BinId, BinStore};
 use crate::cost::Area;
 use crate::error::EngineError;
+use crate::failure::{FailurePlan, ResilienceReport, RetryPolicy};
 use crate::instance::{Instance, InstanceBuilder};
 use crate::item::{Item, ItemId};
 use crate::size::Size;
@@ -99,6 +100,10 @@ pub struct PackingResult {
     pub timeline: Vec<(Time, usize)>,
     /// Engine execution counters for this run.
     pub metrics: RunMetrics,
+    /// Failure-side ledger: crash, displacement, re-admission and drop
+    /// counts plus the degraded demand-area. All-zero (the `Default`)
+    /// whenever the run used the empty [`FailurePlan`].
+    pub resilience: ResilienceReport,
 }
 
 impl PackingResult {
@@ -125,6 +130,70 @@ impl PackingResult {
     }
 }
 
+/// A re-admission waiting out its backoff, ordered by `(at, parent)` so
+/// the retry queue drains deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingReadmit {
+    /// When the item re-enters.
+    at: Time,
+    /// The displaced item (raw id) this retry continues.
+    parent: u32,
+    /// Displacement count of the logical request (1 on first retry).
+    attempt: u32,
+    /// The original departure the retry still targets.
+    departure: Time,
+    /// Item size.
+    size: Size,
+}
+
+impl Ord for PendingReadmit {
+    fn cmp(&self, other: &PendingReadmit) -> Ordering {
+        (self.at, self.parent).cmp(&(other.at, other.parent))
+    }
+}
+
+impl PartialOrd for PendingReadmit {
+    fn partial_cmp(&self, other: &PendingReadmit) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The failure layer of one simulation: the plan, the retry policy, the
+/// scheduled-crash and pending-re-admission queues, and the ledger. With
+/// the empty plan every queue stays empty and the layer is inert — the
+/// engine's output is bit-identical to a failure-free build.
+struct FailureCtl {
+    plan: FailurePlan,
+    retry: RetryPolicy,
+    /// Scheduled crashes: `(crash time, bin id)`.
+    crashes: BinaryHeap<Reverse<(Time, u32)>>,
+    /// Displaced items waiting out their backoff.
+    readmits: BinaryHeap<Reverse<PendingReadmit>>,
+    /// Displacement count per item id (absent = never displaced; clones
+    /// inherit their creation attempt so backoff compounds).
+    attempts: HashMap<u32, u32>,
+    report: ResilienceReport,
+}
+
+impl FailureCtl {
+    fn new(plan: FailurePlan, retry: RetryPolicy) -> FailureCtl {
+        let mut crashes = BinaryHeap::new();
+        if let FailurePlan::Scripted(schedule) = &plan {
+            for &(at, bin) in schedule {
+                crashes.push(Reverse((at, bin.0)));
+            }
+        }
+        FailureCtl {
+            plan,
+            retry,
+            crashes,
+            readmits: BinaryHeap::new(),
+            attempts: HashMap::new(),
+            report: ResilienceReport::default(),
+        }
+    }
+}
+
 /// An in-flight simulation accepting items one at a time.
 ///
 /// The second type parameter is the attached [`EventSink`]; it defaults to
@@ -147,6 +216,7 @@ pub struct InteractiveSim<A: OnlineAlgorithm, S: EventSink = NoopSink> {
     undated: usize,
     sink: S,
     metrics: RunMetrics,
+    failures: FailureCtl,
 }
 
 impl<A: OnlineAlgorithm> InteractiveSim<A> {
@@ -162,6 +232,14 @@ impl<A: OnlineAlgorithm> InteractiveSim<A> {
     pub fn with_capacity(algo: A, items: usize) -> InteractiveSim<A> {
         InteractiveSim::with_capacity_and_sink(algo, items, NoopSink)
     }
+
+    /// Starts a simulation with fault injection: bins crash per `plan`,
+    /// and displaced items are re-admitted under `retry` (see
+    /// [`crate::failure`]). With [`FailurePlan::none`] this is exactly
+    /// [`InteractiveSim::new`].
+    pub fn with_failures(algo: A, plan: FailurePlan, retry: RetryPolicy) -> InteractiveSim<A> {
+        InteractiveSim::with_capacity_failures_and_sink(algo, 0, plan, retry, NoopSink)
+    }
 }
 
 impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
@@ -172,7 +250,25 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     }
 
     /// [`InteractiveSim::with_capacity`] plus an attached sink.
-    pub fn with_capacity_and_sink(mut algo: A, items: usize, sink: S) -> InteractiveSim<A, S> {
+    pub fn with_capacity_and_sink(algo: A, items: usize, sink: S) -> InteractiveSim<A, S> {
+        InteractiveSim::with_capacity_failures_and_sink(
+            algo,
+            items,
+            FailurePlan::None,
+            RetryPolicy::Immediate,
+            sink,
+        )
+    }
+
+    /// The fully-general constructor: capacity hint, failure plan, retry
+    /// policy and event sink.
+    pub fn with_capacity_failures_and_sink(
+        mut algo: A,
+        items: usize,
+        plan: FailurePlan,
+        retry: RetryPolicy,
+        sink: S,
+    ) -> InteractiveSim<A, S> {
         algo.reset();
         InteractiveSim {
             algo,
@@ -188,6 +284,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             undated: 0,
             sink,
             metrics: RunMetrics::default(),
+            failures: FailureCtl::new(plan, retry),
         }
     }
 
@@ -260,7 +357,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             });
         }
         let from = self.now;
-        self.process_departures_up_to(t);
+        self.process_departures_up_to(t)?;
         self.now = self.now.max(t);
         self.started = true;
         if self.now > from {
@@ -288,8 +385,9 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     /// [`InteractiveSim::finish`].
     pub fn arrive_undated(&mut self, size: Size) -> Result<(ItemId, BinId), EngineError> {
         let arrival = self.now;
-        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         self.try_advance_to(arrival)?;
+        // Allocated after the drain: re-admission clones take slots too.
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         self.metrics.arrivals += 1;
         self.emit(EngineEvent::Arrival {
             item: id,
@@ -347,15 +445,17 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     /// Submits an item arriving at `arrival ≥ now` (advancing the clock),
     /// active for `dur`.
     pub fn arrive_at(&mut self, arrival: Time, dur: Dur, size: Size) -> Result<BinId, EngineError> {
-        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         if self.started && arrival < self.now {
             return Err(EngineError::TimeRegression {
-                item: id,
+                item: ItemId(u32::try_from(self.items.len()).expect("too many items")),
                 now: self.now,
                 arrival,
             });
         }
         self.try_advance_to(arrival)?;
+        // The id is allocated only after the drain: advancing the clock can
+        // re-admit displaced items, and each clone takes the next slot.
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         let item = Item::new(id, arrival, arrival + dur, size);
         self.metrics.arrivals += 1;
         self.emit(EngineEvent::Arrival {
@@ -424,6 +524,11 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             }
             Placement::OpenNew => {
                 let b = self.bins.open(self.now);
+                // Seeded fault injection: a freshly-opened bin draws its
+                // fate here (a no-op match for the empty plan).
+                if let Some(crash) = self.failures.plan.crash_time(b, self.now) {
+                    self.failures.crashes.push(Reverse((crash, b.0)));
+                }
                 self.record_open_count();
                 self.emit(EngineEvent::BinOpened {
                     bin: b,
@@ -457,15 +562,19 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             self.undated, 0,
             "finish() with undated items still in flight"
         );
-        self.process_departures_up_to(Time(u64::MAX));
+        if let Err(e) = self.process_departures_up_to(Time(u64::MAX)) {
+            panic!("illegal re-admission placement while draining: {e}");
+        }
         debug_assert_eq!(self.bins.open_count(), 0, "all bins close at the end");
         let mut builder = InstanceBuilder::with_capacity(self.items.len());
         for it in &self.items {
             builder.push_interval(it.arrival, it.departure, it.size);
         }
         let instance = builder.build().expect("engine-built items are valid");
-        // Items were pushed in (arrival, submission) order, so the stable
-        // sort in `build` keeps ids aligned with our assignment vector.
+        // Items were pushed in (arrival, submission) order — re-admission
+        // clones included, since they are created while the clock advances
+        // toward the next arrival — so the stable sort in `build` keeps
+        // ids aligned with our assignment vector.
         let bin_intervals = self
             .bins
             .all()
@@ -481,40 +590,175 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             bin_intervals,
             timeline: self.timeline,
             metrics: self.metrics,
+            resilience: self.failures.report,
         };
         (instance, result)
     }
 
-    fn process_departures_up_to(&mut self, t: Time) {
-        while let Some(&Reverse((dep, idx))) = self.departures.peek() {
-            if dep > t {
+    /// Drains, in time order, every pending departure, scheduled bin
+    /// crash, and backoff-expired re-admission stamped `≤ t`. Ties at one
+    /// moment resolve departures → crashes → re-admissions: a crash at `t`
+    /// sees the post-departure state (the `t⁻`/`t⁺` convention extended),
+    /// and a re-admission lands at `t⁺` like any fresh arrival.
+    ///
+    /// With the empty [`FailurePlan`] both failure queues stay empty and
+    /// this loop is exactly the classic departure drain — bit-identical
+    /// output, the §11 safety net.
+    fn process_departures_up_to(&mut self, t: Time) -> Result<(), EngineError> {
+        loop {
+            let dep_t = self.departures.peek().map(|&Reverse((d, _))| d);
+            let crash_t = self.failures.crashes.peek().map(|&Reverse((d, _))| d);
+            let re_t = self.failures.readmits.peek().map(|Reverse(p)| p.at);
+            let Some(next) = [dep_t, crash_t, re_t].into_iter().flatten().min() else {
+                break;
+            };
+            if next > t {
                 break;
             }
-            self.departures.pop();
-            self.metrics.heap_pops += 1;
-            self.now = self.now.max(dep);
-            let item = self.items[idx as usize];
-            let bin = self.assignment[idx as usize];
-            let closed = self.bins.remove(bin, item.id, item.size, dep);
-            self.emit(EngineEvent::Departure {
-                item: item.id,
+            if dep_t == Some(next) {
+                self.pop_departure();
+            } else if crash_t == Some(next) {
+                self.pop_crash();
+            } else {
+                self.pop_readmit()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the earliest pending departure (stale entries for items
+    /// displaced after queuing are skipped).
+    fn pop_departure(&mut self) {
+        let Reverse((dep, idx)) = self.departures.pop().expect("peeked before pop");
+        self.metrics.heap_pops += 1;
+        let item = self.items[idx as usize];
+        if item.departure != dep {
+            // The item was displaced by a bin failure after this entry
+            // was queued; its re-admission (if any) carries its own entry.
+            return;
+        }
+        self.now = self.now.max(dep);
+        let bin = self.assignment[idx as usize];
+        let closed = self.bins.remove(bin, item.id, item.size, dep);
+        self.emit(EngineEvent::Departure {
+            item: item.id,
+            at: dep,
+            bin,
+            size: item.size,
+        });
+        if closed {
+            let rec = self.bins.record(bin).expect("bin exists");
+            let opened_at = rec.opened_at;
+            self.cost += Area::from_bin_ticks(dep.since(opened_at));
+            self.record_open_count_at(dep);
+            self.emit(EngineEvent::BinClosed {
+                bin,
                 at: dep,
+                opened_at,
+            });
+        }
+        self.algo.on_departure(&item, bin, closed);
+    }
+
+    /// Fires the earliest scheduled bin crash: displaces every resident
+    /// (emitting `ItemDisplaced` per item, then `BinFailed`), bills the
+    /// bin's interval exactly like a clean close, and queues each
+    /// displaced item's re-admission per the retry policy (or drops it
+    /// when the backoff outlives the item's remaining interval). Crashes
+    /// naming a bin that already closed are no-ops.
+    fn pop_crash(&mut self) {
+        let Reverse((at, bin_raw)) = self.failures.crashes.pop().expect("peeked before pop");
+        let bin = BinId(bin_raw);
+        let opened_at = match self.bins.record(bin) {
+            Some(rec) if rec.is_open() => rec.opened_at,
+            // The scheduled victim closed (or never existed): nothing to
+            // crash. Seeded dooms whose bin drained first land here too.
+            _ => return,
+        };
+        self.now = self.now.max(at);
+        self.failures.report.bin_failures += 1;
+        // Residents, in ascending item id for a deterministic event order:
+        // assignment is final and bins are never reused, so "assigned here
+        // and not yet departed" is exactly the current population.
+        let residents: Vec<u32> = (0..self.items.len() as u32)
+            .filter(|&i| {
+                self.assignment[i as usize] == bin && self.items[i as usize].departure > at
+            })
+            .collect();
+        debug_assert!(!residents.is_empty(), "open bins always hold an item");
+        for &i in &residents {
+            let item = self.items[i as usize];
+            assert!(
+                item.departure != Time(u64::MAX),
+                "cannot displace undated item {} (date it before injecting failures)",
+                item.id
+            );
+            let closed = self.bins.remove(bin, item.id, item.size, at);
+            self.emit(EngineEvent::ItemDisplaced {
+                item: item.id,
+                at,
                 bin,
                 size: item.size,
             });
-            if closed {
-                let rec = self.bins.record(bin).expect("bin exists");
-                let opened_at = rec.opened_at;
-                self.cost += Area::from_bin_ticks(dep.since(opened_at));
-                self.record_open_count_at(dep);
-                self.emit(EngineEvent::BinClosed {
-                    bin,
-                    at: dep,
-                    opened_at,
-                });
-            }
             self.algo.on_departure(&item, bin, closed);
+            self.failures.report.displacements += 1;
+            // Truncate the played interval at the displacement; this also
+            // marks the departure-heap entry stale.
+            self.items[i as usize].departure = at;
+            let attempt = self.failures.attempts.get(&i).copied().unwrap_or(0) + 1;
+            self.failures.report.max_attempts = self.failures.report.max_attempts.max(attempt);
+            let readmit_at = at.saturating_add(self.failures.retry.delay(attempt));
+            if readmit_at >= item.departure {
+                // Backoff outlives the request: the rest of its service
+                // area is lost.
+                self.failures.report.dropped += 1;
+                self.failures.report.degraded_area +=
+                    Area::from_load_ticks(item.size.raw(), item.departure.since(at));
+            } else {
+                self.failures.report.degraded_area +=
+                    Area::from_load_ticks(item.size.raw(), readmit_at.since(at));
+                self.failures.readmits.push(Reverse(PendingReadmit {
+                    at: readmit_at,
+                    parent: i,
+                    attempt,
+                    departure: item.departure,
+                    size: item.size,
+                }));
+            }
         }
+        debug_assert!(
+            self.bins.record(bin).is_some_and(|r| !r.is_open()),
+            "draining every resident closes the failed bin"
+        );
+        self.cost += Area::from_bin_ticks(at.since(opened_at));
+        self.record_open_count_at(at);
+        self.emit(EngineEvent::BinFailed { bin, at, opened_at });
+    }
+
+    /// Re-admits the earliest backoff-expired displaced item as a fresh
+    /// arrival: a new item id, placed through the algorithm like any
+    /// other, keeping the original departure target.
+    fn pop_readmit(&mut self) -> Result<(), EngineError> {
+        let Reverse(p) = self.failures.readmits.pop().expect("peeked before pop");
+        self.now = self.now.max(p.at);
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
+        self.failures.report.readmissions += 1;
+        self.emit(EngineEvent::ItemReadmitted {
+            item: id,
+            original: ItemId(p.parent),
+            at: p.at,
+            size: p.size,
+            departure: p.departure,
+            attempt: p.attempt,
+        });
+        let item = Item::new(id, p.at, p.departure, p.size);
+        let bin = self.place(item)?;
+        self.items.push(item);
+        self.assignment.push(bin);
+        self.failures.attempts.insert(id.0, p.attempt);
+        self.departures.push(Reverse((p.departure, id.0)));
+        self.metrics.heap_pushes += 1;
+        Ok(())
     }
 
     fn record_open_count(&mut self) {
@@ -596,6 +840,35 @@ pub fn run_with_sink<A: OnlineAlgorithm, S: EventSink>(
     }
     let (replayed, result) = sim.finish();
     debug_assert_eq!(replayed.items().len(), instance.items().len());
+    Ok(result)
+}
+
+/// [`run_with_sink`] under fault injection: bins crash per `plan` and
+/// displaced items are re-admitted under `retry` (see [`crate::failure`]
+/// for the model, DESIGN.md §11 for the semantics).
+///
+/// With [`FailurePlan::none`] the output — cost, assignment, event
+/// stream, metrics — is bit-identical to [`run_with_sink`]. With a seeded
+/// plan the run is a pure function of `(instance, algorithm, seed)`:
+/// replays are deterministic.
+///
+/// The returned assignment covers the items *actually played*, i.e. the
+/// original items (truncated at their displacement when a bin failed
+/// under them) plus one fresh item per re-admission; the failure tallies
+/// land on [`PackingResult::resilience`].
+pub fn run_with_failures<A: OnlineAlgorithm, S: EventSink>(
+    instance: &Instance,
+    algo: A,
+    plan: FailurePlan,
+    retry: RetryPolicy,
+    sink: S,
+) -> Result<PackingResult, EngineError> {
+    let mut sim =
+        InteractiveSim::with_capacity_failures_and_sink(algo, instance.len(), plan, retry, sink);
+    for it in instance.items() {
+        sim.arrive_at(it.arrival, it.duration(), it.size)?;
+    }
+    let (_played, result) = sim.finish();
     Ok(result)
 }
 
@@ -890,6 +1163,165 @@ mod tests {
             "arrival+opened+placed+departure+closed"
         );
         assert_eq!(res.metrics.fast_path_share(), 1.0);
+    }
+
+    #[test]
+    fn scripted_crash_displaces_and_readmits_immediately() {
+        use crate::trace::VecSink;
+        // Two halves share bin 0 on [0, 10); the server dies at t=4.
+        let inst =
+            Instance::from_triples([(Time(0), Dur(10), sz(1, 2)), (Time(0), Dur(10), sz(1, 2))])
+                .unwrap();
+        let plan = FailurePlan::scripted(vec![(Time(4), BinId(0))]);
+        let mut sink = VecSink::new();
+        let res = run_with_failures(&inst, Ff, plan, RetryPolicy::Immediate, &mut sink).unwrap();
+        // Bin 0 billed [0,4), the replacement bin [4,10).
+        assert_eq!(res.cost.as_bin_ticks(), 4.0 + 6.0);
+        assert_eq!(res.bins_opened, 2);
+        assert_eq!(res.assignment.len(), 4, "two originals + two re-admissions");
+        let r = &res.resilience;
+        assert_eq!(r.bin_failures, 1);
+        assert_eq!(r.displacements, 2);
+        assert_eq!(r.readmissions, 2);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.max_attempts, 1);
+        assert!(r.degraded_area.is_zero(), "immediate retry loses nothing");
+        let count = |f: fn(&EngineEvent) -> bool| sink.events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, EngineEvent::BinFailed { .. })), 1);
+        assert_eq!(count(|e| matches!(e, EngineEvent::ItemDisplaced { .. })), 2);
+        assert_eq!(
+            count(|e| matches!(e, EngineEvent::ItemReadmitted { .. })),
+            2
+        );
+        assert_eq!(count(|e| matches!(e, EngineEvent::BinClosed { .. })), 1);
+        // Displacements precede the BinFailed at the same moment.
+        let fail_pos = sink
+            .events
+            .iter()
+            .position(|e| matches!(e, EngineEvent::BinFailed { .. }))
+            .unwrap();
+        assert!(
+            sink.events[..fail_pos]
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::ItemDisplaced { .. }))
+                .count()
+                == 2
+        );
+        assert_eq!(res.cost, res.cost_from_timeline());
+    }
+
+    #[test]
+    fn fixed_backoff_delays_readmission_and_accrues_degraded_area() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(10), sz(1, 2)), (Time(0), Dur(10), sz(1, 2))])
+                .unwrap();
+        let plan = FailurePlan::scripted(vec![(Time(4), BinId(0))]);
+        let res = run_with_failures(&inst, Ff, plan, RetryPolicy::Fixed(Dur(2)), NoopSink).unwrap();
+        // Bin 0 billed [0,4); the replacement opens at 6 and runs to 10.
+        assert_eq!(res.cost.as_bin_ticks(), 4.0 + 4.0);
+        assert_eq!(res.resilience.readmissions, 2);
+        // Two halves idle for 2 ticks each: 2 × (1/2 × 2) = 2 bin·ticks.
+        assert_eq!(res.resilience.degraded_area.as_bin_ticks(), 2.0);
+    }
+
+    #[test]
+    fn backoff_past_the_departure_drops_the_item() {
+        let inst =
+            Instance::from_triples([(Time(0), Dur(10), sz(1, 2)), (Time(0), Dur(10), sz(1, 2))])
+                .unwrap();
+        let plan = FailurePlan::scripted(vec![(Time(4), BinId(0))]);
+        let res =
+            run_with_failures(&inst, Ff, plan, RetryPolicy::Fixed(Dur(100)), NoopSink).unwrap();
+        assert_eq!(res.cost.as_bin_ticks(), 4.0, "nothing re-enters");
+        assert_eq!(res.resilience.dropped, 2);
+        assert_eq!(res.resilience.readmissions, 0);
+        // The whole remaining service is lost: 2 × (1/2 × 6).
+        assert_eq!(res.resilience.degraded_area.as_bin_ticks(), 6.0);
+        assert_eq!(res.assignment.len(), 2, "no clones were created");
+    }
+
+    #[test]
+    fn crash_of_a_closed_bin_is_a_noop() {
+        let inst = Instance::from_triples([(Time(0), Dur(3), sz(1, 2))]).unwrap();
+        // Bin 0 closes at t=3; the scheduled crash at t=5 finds it gone.
+        let plan = FailurePlan::scripted(vec![(Time(5), BinId(0)), (Time(1), BinId(7))]);
+        let res = run_with_failures(&inst, Ff, plan, RetryPolicy::Immediate, NoopSink).unwrap();
+        assert_eq!(res.cost.as_bin_ticks(), 3.0);
+        assert!(!res.resilience.any());
+    }
+
+    #[test]
+    fn zero_failure_plan_is_bit_identical_to_a_plain_run() {
+        use crate::trace::VecSink;
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(2), Dur(5), sz(1, 2)),
+            (Time(4), Dur(9), sz(2, 3)),
+            (Time(20), Dur(1), sz(1, 8)),
+        ])
+        .unwrap();
+        let mut plain_sink = VecSink::new();
+        let plain = run_with_sink(&inst, Ff, &mut plain_sink).unwrap();
+        let mut fail_sink = VecSink::new();
+        let failed = run_with_failures(
+            &inst,
+            Ff,
+            FailurePlan::none(),
+            RetryPolicy::Exponential { base: Dur(3) },
+            &mut fail_sink,
+        )
+        .unwrap();
+        assert_eq!(plain.cost, failed.cost);
+        assert_eq!(plain.assignment, failed.assignment);
+        assert_eq!(plain.timeline, failed.timeline);
+        assert_eq!(plain.metrics, failed.metrics);
+        assert_eq!(
+            plain_sink.events, fail_sink.events,
+            "event streams identical"
+        );
+        assert!(!failed.resilience.any());
+    }
+
+    #[test]
+    fn seeded_failures_replay_deterministically() {
+        use crate::trace::VecSink;
+        let inst = Instance::from_triples(
+            (0..40u64).map(|k| (Time(k / 2), Dur(6 + k % 9), sz(1 + k % 3, 4))),
+        )
+        .unwrap();
+        let plan = || FailurePlan::seeded(0.6, 11, Dur(4));
+        let retry = RetryPolicy::Exponential { base: Dur(1) };
+        let mut a_sink = VecSink::new();
+        let a = run_with_failures(&inst, Ff, plan(), retry, &mut a_sink).unwrap();
+        let mut b_sink = VecSink::new();
+        let b = run_with_failures(&inst, Ff, plan(), retry, &mut b_sink).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.resilience, b.resilience);
+        assert_eq!(a_sink.events, b_sink.events);
+        assert!(
+            a.resilience.bin_failures > 0,
+            "rate 0.6 fires on this input"
+        );
+        assert_eq!(a.cost, a.cost_from_timeline());
+        assert_eq!(
+            a.resilience.displacements,
+            a.resilience.readmissions + a.resilience.dropped,
+            "every displacement either re-enters or is dropped"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_compound_the_attempt_counter() {
+        // The item's first bin dies at t=2, its re-admission bin at t=4.
+        let inst = Instance::from_triples([(Time(0), Dur(20), sz(1, 2))]).unwrap();
+        let plan = FailurePlan::scripted(vec![(Time(2), BinId(0)), (Time(4), BinId(1))]);
+        let res = run_with_failures(&inst, Ff, plan, RetryPolicy::Immediate, NoopSink).unwrap();
+        assert_eq!(res.resilience.bin_failures, 2);
+        assert_eq!(res.resilience.displacements, 2);
+        assert_eq!(res.resilience.max_attempts, 2, "same request bounced twice");
+        assert_eq!(res.bins_opened, 3);
+        assert_eq!(res.cost.as_bin_ticks(), 2.0 + 2.0 + 16.0);
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub enum EngineError {
         /// Current simulation time.
         now: Time,
     },
+    /// A prediction-backed wrapper (e.g. the cloudsim `PredictedLens`) was
+    /// handed fewer predictions than items: `item` is the first id with no
+    /// predicted departure.
+    MissingPrediction {
+        /// The first item without a prediction.
+        item: ItemId,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -120,6 +127,9 @@ impl fmt::Display for EngineError {
                     f,
                     "departure {at} for item {item} is in the past or not after arrival (now {now})"
                 )
+            }
+            EngineError::MissingPrediction { item } => {
+                write!(f, "no predicted departure for item {item}")
             }
         }
     }

@@ -21,6 +21,8 @@
 //!   serialization ([`trace`]), run-level execution metrics
 //!   ([`engine::RunMetrics`]), and a streaming invariant auditor
 //!   ([`audit`]) that cross-checks every run event-by-event;
+//! * fault injection ([`failure`]): crash schedules, re-admission backoff
+//!   policies, and the per-run [`failure::ResilienceReport`];
 //! * the σ→σ′ departure-rounding reduction ([`reduction`]) and certified
 //!   OPT brackets ([`bounds`]) used by every experiment.
 //!
@@ -38,6 +40,7 @@ pub mod bounds;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod failure;
 pub mod fit_tree;
 pub mod instance;
 pub mod item;
@@ -54,8 +57,11 @@ pub use audit::{AuditViolation, InvariantAuditor};
 pub use bin_state::{BinId, BinRecord, BinStore};
 pub use bounds::{BracketRung, BracketSource, CertifiedBracket, LowerBounds, OptBracket};
 pub use cost::Area;
-pub use engine::{run, run_with_sink, InteractiveSim, PackingResult, RunMetrics};
+pub use engine::{
+    run, run_with_failures, run_with_sink, InteractiveSim, PackingResult, RunMetrics,
+};
 pub use error::{EngineError, InstanceError, VerifyError};
+pub use failure::{FailurePlan, ResilienceReport, RetryPolicy};
 pub use fit_tree::{FitTree, SubsetFitTree};
 pub use instance::{Instance, InstanceBuilder, InstanceDigest};
 pub use item::{Item, ItemId};

@@ -100,6 +100,48 @@ pub enum EngineEvent {
         /// without keeping its own per-bin state).
         opened_at: Time,
     },
+    /// A bin crashed (failure injection): its interval still counts toward
+    /// the bill, but its residents were displaced rather than departing.
+    /// Every `ItemDisplaced` of the crash precedes this event.
+    BinFailed {
+        /// The failed bin.
+        bin: BinId,
+        /// Crash time.
+        at: Time,
+        /// When the bin had opened (its billed interval is
+        /// `at − opened_at`, same as a clean close).
+        opened_at: Time,
+    },
+    /// An in-flight item was evicted by its bin crashing. Load-wise this
+    /// is a departure; the item's remaining service re-enters later as an
+    /// [`EngineEvent::ItemReadmitted`] (or is dropped).
+    ItemDisplaced {
+        /// The displaced item.
+        item: ItemId,
+        /// Displacement time (the crash time).
+        at: Time,
+        /// The bin that failed under it.
+        bin: BinId,
+        /// Item size (for load reconstruction).
+        size: Size,
+    },
+    /// A displaced item re-entered the system as a fresh arrival (a new
+    /// item id) and is about to be placed — the failure-side twin of
+    /// [`EngineEvent::Arrival`]: exactly one `Placed` follows.
+    ItemReadmitted {
+        /// The fresh item id of the re-admission.
+        item: ItemId,
+        /// The displaced item this re-admission continues.
+        original: ItemId,
+        /// Re-admission time.
+        at: Time,
+        /// Item size (unchanged by displacement).
+        size: Size,
+        /// The original departure the re-admission still targets.
+        departure: Time,
+        /// How many times this logical request has been displaced so far.
+        attempt: u32,
+    },
     /// The simulation clock moved forward.
     ClockAdvanced {
         /// Previous clock value.
@@ -119,7 +161,10 @@ impl EngineEvent {
             | EngineEvent::Placed { at, .. }
             | EngineEvent::BinOpened { at, .. }
             | EngineEvent::Departure { at, .. }
-            | EngineEvent::BinClosed { at, .. } => at,
+            | EngineEvent::BinClosed { at, .. }
+            | EngineEvent::BinFailed { at, .. }
+            | EngineEvent::ItemDisplaced { at, .. }
+            | EngineEvent::ItemReadmitted { at, .. } => at,
             EngineEvent::ClockAdvanced { to, .. } => to,
         }
     }
@@ -132,6 +177,9 @@ impl EngineEvent {
             EngineEvent::BinOpened { .. } => "bin_opened",
             EngineEvent::Departure { .. } => "departure",
             EngineEvent::BinClosed { .. } => "bin_closed",
+            EngineEvent::BinFailed { .. } => "bin_failed",
+            EngineEvent::ItemDisplaced { .. } => "displaced",
+            EngineEvent::ItemReadmitted { .. } => "readmitted",
             EngineEvent::ClockAdvanced { .. } => "clock",
         }
     }
@@ -293,6 +341,33 @@ pub fn event_to_json(event: &EngineEvent) -> String {
             "{{\"e\":\"bin_closed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
             at.0, bin.0, opened_at.0
         ),
+        EngineEvent::BinFailed { bin, at, opened_at } => format!(
+            "{{\"e\":\"bin_failed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
+            at.0, bin.0, opened_at.0
+        ),
+        EngineEvent::ItemDisplaced { item, at, bin, size } => format!(
+            "{{\"e\":\"displaced\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
+            at.0,
+            item.0,
+            bin.0,
+            size.raw()
+        ),
+        EngineEvent::ItemReadmitted {
+            item,
+            original,
+            at,
+            size,
+            departure,
+            attempt,
+        } => format!(
+            "{{\"e\":\"readmitted\",\"t\":{},\"item\":{},\"orig\":{},\"size\":{},\"dep\":{},\"attempt\":{}}}",
+            at.0,
+            item.0,
+            original.0,
+            size.raw(),
+            departure.0,
+            attempt
+        ),
         EngineEvent::ClockAdvanced { from, to } => {
             format!("{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
         }
@@ -415,6 +490,25 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
             bin: BinId(num(&pairs, "bin")? as u32),
             at: Time(num(&pairs, "t")?),
             opened_at: Time(num(&pairs, "opened_at")?),
+        }),
+        "\"bin_failed\"" => Ok(EngineEvent::BinFailed {
+            bin: BinId(num(&pairs, "bin")? as u32),
+            at: Time(num(&pairs, "t")?),
+            opened_at: Time(num(&pairs, "opened_at")?),
+        }),
+        "\"displaced\"" => Ok(EngineEvent::ItemDisplaced {
+            item: ItemId(num(&pairs, "item")? as u32),
+            at: Time(num(&pairs, "t")?),
+            bin: BinId(num(&pairs, "bin")? as u32),
+            size: Size::from_raw(num(&pairs, "size")?),
+        }),
+        "\"readmitted\"" => Ok(EngineEvent::ItemReadmitted {
+            item: ItemId(num(&pairs, "item")? as u32),
+            original: ItemId(num(&pairs, "orig")? as u32),
+            at: Time(num(&pairs, "t")?),
+            size: Size::from_raw(num(&pairs, "size")?),
+            departure: Time(num(&pairs, "dep")?),
+            attempt: num(&pairs, "attempt")? as u32,
         }),
         "\"clock\"" => Ok(EngineEvent::ClockAdvanced {
             from: Time(num(&pairs, "from")?),
@@ -689,6 +783,25 @@ mod tests {
             EngineEvent::ClockAdvanced {
                 from: Time(7),
                 to: Time(12),
+            },
+            EngineEvent::ItemDisplaced {
+                item: ItemId(5),
+                at: Time(13),
+                bin: BinId(2),
+                size: sz(1, 4),
+            },
+            EngineEvent::BinFailed {
+                bin: BinId(2),
+                at: Time(13),
+                opened_at: Time(9),
+            },
+            EngineEvent::ItemReadmitted {
+                item: ItemId(6),
+                original: ItemId(5),
+                at: Time(15),
+                size: sz(1, 4),
+                departure: Time(30),
+                attempt: 2,
             },
         ];
         let text: String = events.iter().map(|e| event_to_json(e) + "\n").collect();

@@ -15,6 +15,9 @@
 //! * [`mod@random_general`] — Poisson/log-uniform/Pareto benign workloads;
 //! * [`cloud`] — synthetic cloud-gaming traces (the paper's motivating
 //!   application; substitution for proprietary traces, see DESIGN.md);
+//! * [`chaos`] — scripted server-crash storms for fault-injection runs
+//!   (pairs with [`dbp_core::FailurePlan`] and the `resilience`
+//!   experiment);
 //! * [`g_parallel`] — bounded-parallelism interval scheduling (Shalom et
 //!   al.), the uniform-size special case.
 
@@ -23,6 +26,7 @@
 pub mod adversary;
 pub mod aligned;
 pub mod binary_input;
+pub mod chaos;
 pub mod cloud;
 pub mod compose;
 pub mod g_parallel;
@@ -36,6 +40,7 @@ pub mod trace_io;
 pub use adversary::{run_adversary, AdversaryConfig, AdversaryOutcome};
 pub use aligned::{random_aligned, AlignedConfig};
 pub use binary_input::{sigma_mu, sigma_mu_len, sigma_mu_with_load};
+pub use chaos::{chaos_schedule, ChaosConfig};
 pub use cloud::{cloud_trace, CloudConfig};
 pub use compose::{concat, overlay, repeat, shift};
 pub use g_parallel::{g_parallel_random, g_parallel_staircase, GParallelConfig};

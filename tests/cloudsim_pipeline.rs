@@ -34,8 +34,8 @@ fn dispatch_agrees_with_engine_for_every_algorithm() {
     for name in algos::registry_names() {
         let report = dispatch(&sessions, algos::by_name(name).expect("registry"))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let recheck =
-            audit(&report.instance, &report.placements).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let recheck = audit(&report.instance, &report.engine_assignment())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(recheck.cost, report.bill, "{name}");
         assert!(
             report.bill >= LowerBounds::of(&report.instance).best(),
