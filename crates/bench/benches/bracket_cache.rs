@@ -1,0 +1,186 @@
+//! Contention benches for the sharded single-flight bracket cache.
+//!
+//! Two groups, both against an inline single-`Mutex<HashMap>` baseline —
+//! the pre-shard design:
+//!
+//! * `warm_lookup` — N threads hammer a repeated-key workload with every
+//!   key pre-warmed, isolating pure lock traffic. On a multi-core host
+//!   the stripes pull ahead as threads grow; on a single core both designs
+//!   are bound by the per-lookup digest hash and should tie.
+//! * `blocked_writer` — the lock-scope fix itself: a writer holds its
+//!   lock for a simulated slow disk append while the measured thread does
+//!   warm lookups. The old design routed spill I/O through the map lock,
+//!   so the baseline stalls for the whole hold; the sharded service's
+//!   dedicated spill lock leaves readers unblocked — a gap of several
+//!   orders of magnitude even on one core.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_bench::bracket::{BracketService, Effort, Goal};
+use dbp_core::bounds::OptBracket;
+use dbp_core::Instance;
+use dbp_workloads::{random_general, GeneralConfig};
+
+const DISTINCT: usize = 32;
+const LOOKUPS_PER_THREAD: usize = 2_000;
+
+/// The pre-shard design, reconstructed as a baseline: one mutex in front
+/// of the whole map, taken for every lookup.
+struct SingleMutexCache {
+    map: Mutex<HashMap<(u128, Goal), OptBracket>>,
+}
+
+impl SingleMutexCache {
+    fn warmed(svc: &BracketService, instances: &[Instance]) -> SingleMutexCache {
+        let mut map = HashMap::new();
+        for inst in instances {
+            map.insert((inst.digest().0, Goal::OptR), svc.opt_r(inst).bracket);
+        }
+        SingleMutexCache {
+            map: Mutex::new(map),
+        }
+    }
+
+    fn get(&self, inst: &Instance) -> OptBracket {
+        *self
+            .map
+            .lock()
+            .unwrap()
+            .get(&(inst.digest().0, Goal::OptR))
+            .expect("warmed")
+    }
+}
+
+fn hammer<F: Fn(&Instance) -> OptBracket + Sync>(threads: usize, instances: &[Instance], get: F) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let get = &get;
+            scope.spawn(move || {
+                for i in 0..LOOKUPS_PER_THREAD {
+                    // Stagger thread start offsets so stripes are hit in
+                    // different orders; repeats guarantee contention.
+                    let inst = &instances[(i + t * 7) % instances.len()];
+                    std::hint::black_box(get(inst));
+                }
+            });
+        }
+    });
+}
+
+/// Times `LOOKUPS` warm gets while a holder thread keeps `take_lock`'s
+/// lock for `HOLD` (a simulated slow disk append). Only the lookup loop is
+/// on the clock — the holder's sleep and the join are not. Lookups that go
+/// through the held lock cost ~`HOLD`; independent ones cost microseconds.
+fn timed_lookups_during_hold<F, G>(take_lock_and_hold: F, get: G) -> Duration
+where
+    F: FnOnce(&AtomicBool) + Send,
+    G: Fn(),
+{
+    const LOOKUPS: usize = 100;
+    let holding = AtomicBool::new(false);
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        scope.spawn(|| take_lock_and_hold(&holding));
+        while !holding.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        let t0 = std::time::Instant::now();
+        for _ in 0..LOOKUPS {
+            get();
+        }
+        elapsed = t0.elapsed();
+    });
+    elapsed
+}
+
+fn bench_blocked_writer(c: &mut Criterion) {
+    const HOLD: Duration = Duration::from_millis(2);
+    let dir = std::env::temp_dir().join(format!("dbp_bench_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sharded = BracketService::with_spill(Effort::Cached, &dir);
+    let inst = random_general(&GeneralConfig::new(4, 30), 0);
+    sharded.opt_r(&inst); // warm (and open the spill writer)
+    let single = SingleMutexCache::warmed(&sharded, std::slice::from_ref(&inst));
+    let mut group = c.benchmark_group("bracket_cache/blocked_writer");
+    group.bench_function("sharded_dedicated_spill_lock", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| {
+                    timed_lookups_during_hold(
+                        |holding| {
+                            // `block_spill_for` takes the spill writer
+                            // lock internally; lookups never touch it, so
+                            // signalling just before is race-free here.
+                            holding.store(true, Ordering::Release);
+                            sharded.block_spill_for(HOLD);
+                        },
+                        || {
+                            std::hint::black_box(sharded.opt_r(&inst).bracket);
+                        },
+                    )
+                })
+                .sum()
+        })
+    });
+    group.bench_function("single_mutex_spill_through_map_lock", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| {
+                    timed_lookups_during_hold(
+                        |holding| {
+                            // The old design: the append held the one
+                            // cache lock for the whole disk write.
+                            let _guard = single.map.lock().unwrap();
+                            holding.store(true, Ordering::Release);
+                            std::thread::sleep(HOLD);
+                        },
+                        || {
+                            std::hint::black_box(single.get(&inst));
+                        },
+                    )
+                })
+                .sum()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bracket_cache(c: &mut Criterion) {
+    let instances: Vec<Instance> = (0..DISTINCT as u64)
+        .map(|seed| random_general(&GeneralConfig::new(4, 30), seed))
+        .collect();
+    let sharded = BracketService::new(Effort::Cached);
+    for inst in &instances {
+        sharded.opt_r(inst); // warm: the bench measures lookups only
+    }
+    let single = SingleMutexCache::warmed(&sharded, &instances);
+
+    let mut group = c.benchmark_group("bracket_cache/warm_lookup");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * LOOKUPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| b.iter(|| hammer(threads, &instances, |i| sharded.opt_r(i).bracket)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_mutex", threads),
+            &threads,
+            |b, &threads| b.iter(|| hammer(threads, &instances, |i| single.get(i))),
+        );
+    }
+    group.finish();
+    bench_blocked_writer(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bracket_cache
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! ```text
 //! dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]
 //!          [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]
+//!          [--threads N]
 //!          [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]
 //! ```
 //!
@@ -19,7 +20,7 @@
 
 use dbp_analysis::figures::packing_gantt;
 use dbp_analysis::table::{f3, Table};
-use dbp_bench::bracket;
+use dbp_bench::{bracket, sweep};
 use dbp_core::audit::InvariantAuditor;
 use dbp_core::time::Dur;
 use dbp_core::{compare_goals, engine, FailurePlan, RetryPolicy};
@@ -63,6 +64,21 @@ fn main() {
                 });
                 cache_dir = (raw != "off").then_some(raw);
             }
+            "--threads" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a positive worker count");
+                    std::process::exit(2);
+                });
+                let n = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad thread count '{raw}' (expected an integer ≥ 1)");
+                        std::process::exit(2);
+                    });
+                sweep::set_threads(n);
+            }
             "--fail-rate" => {
                 let raw = argv.next().unwrap_or_else(|| {
                     eprintln!("--fail-rate requires a probability in [0, 1]");
@@ -101,6 +117,7 @@ fn main() {
                 println!(
                     "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
                      \x20              [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]\n\
+                     \x20              [--threads N]\n\
                      \x20              [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]\n\
                      algorithms: {:?}",
                     dbp_algos::registry_names()

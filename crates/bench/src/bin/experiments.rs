@@ -10,14 +10,16 @@
 //!
 //! `--bracket-effort analytic|cached|budget=<ms>` and `--bracket-cache
 //! DIR|off` configure the certified-bracket service the experiments query.
+//! `--threads N` pins the sweep worker count (reports are byte-identical
+//! across thread counts; `1` forces fully sequential sweeps).
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use dbp_bench::bracket;
 use dbp_bench::experiments::{registry, resilience, run_by_id};
+use dbp_bench::{bracket, sweep};
 use dbp_core::failure::RetryPolicy;
 
 fn main() {
@@ -72,6 +74,21 @@ fn main() {
                     eprintln!("bad fail seed '{raw}' (expected u64)");
                     std::process::exit(2);
                 }));
+            }
+            "--threads" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a positive worker count");
+                    std::process::exit(2);
+                });
+                let n = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad thread count '{raw}' (expected an integer ≥ 1)");
+                        std::process::exit(2);
+                    });
+                sweep::set_threads(n);
             }
             "--retry" => {
                 let raw = it.next().unwrap_or_else(|| {
@@ -158,9 +175,11 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
-         [--bracket-cache DIR|off] [--fail-seed N] [--retry POLICY] <id>... | all\n\n\
+         [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] <id>... | all\n\n\
          --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
-         `resilience` experiment's crash stream and re-admission backoff.\n\navailable experiments:"
+         `resilience` experiment's crash stream and re-admission backoff.\n\
+         --threads pins the sweep worker count; reports are byte-identical across\n\
+         thread counts (single-flight bracket cache + seeded chunking).\n\navailable experiments:"
     );
     for (id, _) in registry() {
         println!("  {id}");

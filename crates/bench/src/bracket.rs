@@ -18,6 +18,18 @@
 //!   monotone) and driven by a [`RefineBudget`] instead of hard cutoffs.
 //!   Which rung certified the final bracket is recorded for reports.
 //!
+//! **Concurrency.** The cache is lock-striped across [`SHARD_COUNT`]
+//! shards keyed by digest bits, so parallel sweep workers asking for
+//! *different* instances never contend on one mutex. Workers asking for
+//! the *same* key are collapsed by **single-flight** compute: the first
+//! requester installs an in-flight slot and runs the ladder once; later
+//! requesters block on that slot and are served the leader's entry as a
+//! warm-memory hit. For a fixed workload, `computed` therefore equals the
+//! number of distinct `(digest, goal)` keys regardless of thread count or
+//! interleaving — the counters are deterministic by construction, not by
+//! racing luck. Spill appends go through a dedicated writer lock (never
+//! any shard lock), so a slow disk cannot stall readers.
+//!
 //! The legacy free functions ([`opt_r`], [`opt_nr`], [`ratio_vs_opt_r`])
 //! remain as thin wrappers over a process-global service so existing
 //! callers keep working; CLIs configure the global with
@@ -25,10 +37,10 @@
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use dbp_algos::offline::{self, RefineBudget};
@@ -51,6 +63,9 @@ pub const EXACT_NR_LIMIT: usize = 12;
 /// to collapse every experiment-scale instance with small concurrency and
 /// to tighten a meaningful prefix of adversary-scale ones.
 pub const CACHED_NODE_BUDGET: u64 = 40_000_000;
+/// Lock stripes in the memory cache (a power of two; entries are dealt by
+/// the low bits of the instance digest).
+pub const SHARD_COUNT: usize = 16;
 
 /// How hard the service works on a cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,9 +133,15 @@ impl Goal {
 /// Monotone hit/miss counters, readable at any time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
-    /// Brackets computed cold (ladder actually ran).
+    /// Brackets computed cold (one per distinct cold key — single-flight
+    /// collapses concurrent requests).
     pub computed: u64,
-    /// Lookups served by the in-memory layer.
+    /// Refinement ladders actually executed. Always equal to `computed`:
+    /// the single-flight slot guarantees no duplicate ladder ever runs
+    /// (the pre-shard cache could compute twice and discard one).
+    pub ladder_runs: u64,
+    /// Lookups served by the in-memory layer (including single-flight
+    /// waiters served the leader's entry).
     pub mem_hits: u64,
     /// Lookups served by entries loaded from the JSONL spill.
     pub disk_hits: u64,
@@ -132,15 +153,25 @@ impl StatsSnapshot {
         self.mem_hits + self.disk_hits
     }
 
+    /// Total lookups: `computed + mem_hits + disk_hits`. For a fixed
+    /// workload this is invariant across thread counts, and `computed`
+    /// alone equals the number of distinct cold keys.
+    pub fn lookups(&self) -> u64 {
+        self.computed + self.mem_hits + self.disk_hits
+    }
+
     /// Counter deltas since an earlier snapshot.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             computed: self.computed - earlier.computed,
+            ladder_runs: self.ladder_runs - earlier.ladder_runs,
             mem_hits: self.mem_hits - earlier.mem_hits,
             disk_hits: self.disk_hits - earlier.disk_hits,
         }
     }
 }
+
+type Key = (u128, Goal);
 
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
@@ -149,13 +180,139 @@ struct CacheEntry {
     from_disk: bool,
 }
 
+/// A per-key in-flight compute slot: the single-flight leader publishes
+/// its entry here; waiters block on the condvar instead of burning a
+/// duplicate ladder.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlightState {
+    Pending,
+    Done(CacheEntry),
+    /// The leader unwound without publishing (its ladder panicked);
+    /// waiters retry the lookup and one of them becomes the new leader.
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, entry: CacheEntry) {
+        *recover(self.state.lock()) = FlightState::Done(entry);
+        self.done.notify_all();
+    }
+
+    fn abandon(&self) {
+        let mut state = recover(self.state.lock());
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Abandoned;
+        }
+        drop(state);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Option<CacheEntry> {
+        let mut state = recover(self.state.lock());
+        loop {
+            match *state {
+                FlightState::Pending => state = recover(self.done.wait(state)),
+                FlightState::Done(entry) => return Some(entry),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// Unwraps a lock result, recovering the guard from poisoning: every
+/// cache mutation here is a single whole-value write, so a panicking
+/// holder cannot leave a half-updated state behind.
+fn recover<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+#[derive(Debug)]
+enum Slot {
+    Ready(CacheEntry),
+    InFlight(Arc<Flight>),
+}
+
+/// The JSONL spill: its writer lock is dedicated — disk appends never
+/// hold (or wait on) any shard lock, so readers proceed during a slow
+/// write. The `BufWriter` is flushed after every whole-line append so
+/// concurrent processes warm-loading the file only ever see complete
+/// lines.
+#[derive(Debug)]
+struct Spill {
+    dir: PathBuf,
+    writer: Mutex<Option<BufWriter<fs::File>>>,
+}
+
+impl Spill {
+    fn append(&self, line: &str) {
+        let mut guard = recover(self.writer.lock());
+        if guard.is_none() {
+            if fs::create_dir_all(&self.dir).is_err() {
+                return; // spill is best-effort; the memory layer still works
+            }
+            match fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join("brackets.jsonl"))
+            {
+                Ok(f) => *guard = Some(BufWriter::new(f)),
+                Err(_) => return,
+            }
+        }
+        let w = guard.as_mut().expect("opened above");
+        if w.write_all(line.as_bytes())
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            *guard = None; // drop a broken writer; retry opening next time
+        }
+    }
+}
+
+/// Removes a leader's in-flight slot if its ladder unwinds before
+/// publishing, and flips the flight to `Abandoned` so waiters retry.
+struct FlightGuard<'a> {
+    svc: &'a BracketService,
+    key: Key,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut map = recover(self.svc.shard(self.key).lock());
+        if matches!(map.get(&self.key), Some(Slot::InFlight(f)) if Arc::ptr_eq(f, self.flight)) {
+            map.remove(&self.key);
+        }
+        drop(map);
+        self.flight.abandon();
+    }
+}
+
 /// The certified-bracket service. See the module docs.
 #[derive(Debug)]
 pub struct BracketService {
     effort: Effort,
-    memory: Mutex<HashMap<(u128, Goal), CacheEntry>>,
-    spill: Option<PathBuf>,
+    shards: [Mutex<HashMap<Key, Slot>>; SHARD_COUNT],
+    spill: Option<Spill>,
     computed: AtomicU64,
+    ladder_runs: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
 }
@@ -165,9 +322,10 @@ impl BracketService {
     pub fn new(effort: Effort) -> BracketService {
         BracketService {
             effort,
-            memory: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             spill: None,
             computed: AtomicU64::new(0),
+            ladder_runs: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
         }
@@ -181,21 +339,28 @@ impl BracketService {
         let mut svc = BracketService::new(effort);
         let file = dir.join("brackets.jsonl");
         if let Ok(text) = fs::read_to_string(&file) {
-            let mut map = svc.memory.lock().expect("bracket cache poisoned");
             for line in text.lines() {
                 if let Some((key, entry)) = parse_spill_line(line) {
-                    map.entry(key)
-                        .and_modify(|e| {
+                    let mut map = recover(svc.shard(key).lock());
+                    match map.get_mut(&key) {
+                        Some(Slot::Ready(e)) => {
                             // Later lines re-certify the same instance;
                             // keep the tightest of both.
                             e.bracket = e.bracket.intersect(entry.bracket);
                             e.rung = e.rung.max(entry.rung);
-                        })
-                        .or_insert(entry);
+                        }
+                        Some(Slot::InFlight(_)) => unreachable!("no computes during warm load"),
+                        None => {
+                            map.insert(key, Slot::Ready(entry));
+                        }
+                    }
                 }
             }
         }
-        svc.spill = Some(dir);
+        svc.spill = Some(Spill {
+            dir,
+            writer: Mutex::new(None),
+        });
         svc
     }
 
@@ -208,6 +373,7 @@ impl BracketService {
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
             computed: self.computed.load(Ordering::Relaxed),
+            ladder_runs: self.ladder_runs.load(Ordering::Relaxed),
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
@@ -229,27 +395,12 @@ impl BracketService {
         self.opt_r(instance).ratio_bracket(cost)
     }
 
-    /// Looks up or computes the bracket for `(instance, goal)`.
-    pub fn certified(&self, instance: &Instance, goal: Goal) -> CertifiedBracket {
-        if self.effort == Effort::Analytic {
-            self.computed.fetch_add(1, Ordering::Relaxed);
-            return CertifiedBracket {
-                bracket: OptBracket::of(instance),
-                rung: BracketRung::Analytic,
-                source: BracketSource::Computed,
-            };
-        }
-        let key = (instance.digest().0, goal);
-        if let Some(hit) = self.lookup(key) {
-            return hit;
-        }
-        let (bracket, rung) = compute_ladder(instance, goal, self.effort);
-        self.store(key, bracket, rung)
+    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, Slot>> {
+        &self.shards[(key.0 as usize) & (SHARD_COUNT - 1)]
     }
 
-    fn lookup(&self, key: (u128, Goal)) -> Option<CertifiedBracket> {
-        let map = self.memory.lock().expect("bracket cache poisoned");
-        let entry = map.get(&key)?;
+    /// Counts and wraps a warm hit on a stored entry.
+    fn warm_hit(&self, entry: CacheEntry) -> CertifiedBracket {
         let source = if entry.from_disk {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             BracketSource::WarmDisk
@@ -257,65 +408,98 @@ impl BracketService {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             BracketSource::WarmMemory
         };
-        Some(CertifiedBracket {
+        CertifiedBracket {
             bracket: entry.bracket,
             rung: entry.rung,
             source,
-        })
+        }
     }
 
-    /// Inserts a freshly computed bracket. If another thread raced us to
-    /// the same key, its entry wins (both are certified; keeping one makes
-    /// the hit counters deterministic for a fixed workload).
-    fn store(&self, key: (u128, Goal), bracket: OptBracket, rung: BracketRung) -> CertifiedBracket {
-        let mut map = self.memory.lock().expect("bracket cache poisoned");
-        if let Some(entry) = map.get(&key) {
-            let source = if entry.from_disk {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                BracketSource::WarmDisk
-            } else {
-                self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                BracketSource::WarmMemory
-            };
+    /// Looks up or computes the bracket for `(instance, goal)`.
+    pub fn certified(&self, instance: &Instance, goal: Goal) -> CertifiedBracket {
+        if self.effort == Effort::Analytic {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            self.ladder_runs.fetch_add(1, Ordering::Relaxed);
             return CertifiedBracket {
-                bracket: entry.bracket,
-                rung: entry.rung,
-                source,
+                bracket: OptBracket::of(instance),
+                rung: BracketRung::Analytic,
+                source: BracketSource::Computed,
             };
         }
-        map.insert(
-            key,
-            CacheEntry {
-                bracket,
-                rung,
-                from_disk: false,
-            },
-        );
-        drop(map);
-        self.computed.fetch_add(1, Ordering::Relaxed);
-        self.append_spill(key, bracket, rung);
-        CertifiedBracket {
-            bracket,
-            rung,
-            source: BracketSource::Computed,
+        let key = (instance.digest().0, goal);
+        loop {
+            enum Claim {
+                Hit(CertifiedBracket),
+                Wait(Arc<Flight>),
+                Lead(Arc<Flight>),
+            }
+            let claim = {
+                let mut map = recover(self.shard(key).lock());
+                match map.get(&key) {
+                    Some(Slot::Ready(entry)) => Claim::Hit(self.warm_hit(*entry)),
+                    Some(Slot::InFlight(flight)) => Claim::Wait(flight.clone()),
+                    None => {
+                        let flight = Flight::new();
+                        map.insert(key, Slot::InFlight(flight.clone()));
+                        Claim::Lead(flight)
+                    }
+                }
+            };
+            match claim {
+                Claim::Hit(cb) => return cb,
+                Claim::Wait(flight) => match flight.wait() {
+                    // Single-flight: the waiter is served the leader's
+                    // fresh entry as a warm-memory hit — the counter
+                    // semantics the racy pre-shard cache only promised
+                    // ("loser wins") are now structural.
+                    Some(entry) => return self.warm_hit(entry),
+                    None => continue, // leader unwound; retry (maybe lead)
+                },
+                Claim::Lead(flight) => {
+                    let mut guard = FlightGuard {
+                        svc: self,
+                        key,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    self.ladder_runs.fetch_add(1, Ordering::Relaxed);
+                    let (bracket, rung) = compute_ladder(instance, goal, self.effort);
+                    let entry = CacheEntry {
+                        bracket,
+                        rung,
+                        from_disk: false,
+                    };
+                    *recover(self.shard(key).lock())
+                        .get_mut(&key)
+                        .expect("in-flight slot present") = Slot::Ready(entry);
+                    flight.complete(entry);
+                    guard.armed = false;
+                    self.computed.fetch_add(1, Ordering::Relaxed);
+                    self.append_spill(key, bracket, rung);
+                    return CertifiedBracket {
+                        bracket,
+                        rung,
+                        source: BracketSource::Computed,
+                    };
+                }
+            }
         }
     }
 
-    fn append_spill(&self, key: (u128, Goal), bracket: OptBracket, rung: BracketRung) {
-        let Some(dir) = &self.spill else { return };
-        if fs::create_dir_all(dir).is_err() {
-            return; // spill is best-effort; the memory layer still works
+    fn append_spill(&self, key: Key, bracket: OptBracket, rung: BracketRung) {
+        if let Some(spill) = &self.spill {
+            spill.append(&spill_line(key, bracket, rung));
         }
-        let line = spill_line(key, bracket, rung);
-        // Serialise appends through the cache lock so concurrent writers
-        // cannot interleave partial lines.
-        let _guard = self.memory.lock().expect("bracket cache poisoned");
-        if let Ok(mut f) = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join("brackets.jsonl"))
-        {
-            let _ = f.write_all(line.as_bytes());
+    }
+
+    /// Test support: holds the spill writer lock for `hold`, simulating a
+    /// slow disk. Lookups must keep being served meanwhile — the whole
+    /// point of the dedicated spill lock.
+    #[doc(hidden)]
+    pub fn block_spill_for(&self, hold: Duration) {
+        if let Some(spill) = &self.spill {
+            let _guard = recover(spill.writer.lock());
+            std::thread::sleep(hold);
         }
     }
 
@@ -327,14 +511,18 @@ impl BracketService {
     pub fn refine_batch(&self, instances: &[&Instance], total_nodes: u64) -> usize {
         // Current looseness per instance (computing on demand warms the
         // cache, so the batch always starts from the ladder's result).
+        // Non-finite looseness — a degenerate zero-lower bracket divides
+        // by zero — is dropped the same way `Summary::of` drops
+        // non-finite observations, instead of panicking the sort.
         let mut order: Vec<(usize, f64)> = instances
             .iter()
             .enumerate()
             .map(|(i, inst)| (i, self.opt_r(inst).looseness()))
+            .filter(|&(_, l)| l.is_finite())
             .collect();
         order.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
-                .expect("looseness is finite")
+                .expect("looseness is finite after the filter")
                 .then(a.0.cmp(&b.0))
         });
         let loose: Vec<usize> = order
@@ -367,14 +555,25 @@ impl BracketService {
         let mut tightened = 0usize;
         for (i, swept, rung) in refined {
             let key = (instances[i].digest().0, Goal::OptR);
-            let mut map = self.memory.lock().expect("bracket cache poisoned");
-            let entry = map.get_mut(&key).expect("warmed above");
-            let next = entry.bracket.intersect(swept);
-            if next != entry.bracket {
-                entry.bracket = next;
-                entry.rung = entry.rung.max(rung);
-                let (bracket, rung) = (entry.bracket, entry.rung);
-                drop(map);
+            // Intersect under the key's shard lock only; the spill append
+            // afterwards holds no shard lock at all.
+            let update = {
+                let mut map = recover(self.shard(key).lock());
+                match map.get_mut(&key) {
+                    Some(Slot::Ready(entry)) => {
+                        let next = entry.bracket.intersect(swept);
+                        if next != entry.bracket {
+                            entry.bracket = next;
+                            entry.rung = entry.rung.max(rung);
+                            Some((entry.bracket, entry.rung))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => unreachable!("warmed above and never evicted"),
+                }
+            };
+            if let Some((bracket, rung)) = update {
                 tightened += 1;
                 self.append_spill(key, bracket, rung);
             }
@@ -482,7 +681,7 @@ fn compute_ladder(instance: &Instance, goal: Goal, effort: Effort) -> (OptBracke
     (bracket, rung)
 }
 
-fn spill_line(key: (u128, Goal), bracket: OptBracket, rung: BracketRung) -> String {
+fn spill_line(key: Key, bracket: OptBracket, rung: BracketRung) -> String {
     format!(
         "{{\"digest\":\"{:032x}\",\"goal\":\"{}\",\"lower\":\"{}\",\"upper\":\"{}\",\"rung\":\"{}\"}}\n",
         key.0,
@@ -503,7 +702,7 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-fn parse_spill_line(line: &str) -> Option<((u128, Goal), CacheEntry)> {
+fn parse_spill_line(line: &str) -> Option<(Key, CacheEntry)> {
     let digest = u128::from_str_radix(json_field(line, "digest")?, 16).ok()?;
     let goal = Goal::parse(json_field(line, "goal")?)?;
     let lower = Area::from_raw(json_field(line, "lower")?.parse().ok()?);
@@ -527,11 +726,15 @@ fn parse_spill_line(line: &str) -> Option<((u128, Goal), CacheEntry)> {
 
 static GLOBAL: Mutex<Option<Arc<BracketService>>> = Mutex::new(None);
 
+fn global_slot() -> MutexGuard<'static, Option<Arc<BracketService>>> {
+    recover(GLOBAL.lock())
+}
+
 /// The process-global service (created at [`Effort::Cached`], memory-only,
 /// on first use). CLIs replace it via [`configure`].
 pub fn service() -> Arc<BracketService> {
-    let mut slot = GLOBAL.lock().expect("bracket service poisoned");
-    slot.get_or_insert_with(|| Arc::new(BracketService::new(Effort::Cached)))
+    global_slot()
+        .get_or_insert_with(|| Arc::new(BracketService::new(Effort::Cached)))
         .clone()
 }
 
@@ -542,7 +745,7 @@ pub fn configure(effort: Effort, spill: Option<&Path>) -> Arc<BracketService> {
         Some(dir) => BracketService::with_spill(effort, dir),
         None => BracketService::new(effort),
     });
-    *GLOBAL.lock().expect("bracket service poisoned") = Some(svc.clone());
+    *global_slot() = Some(svc.clone());
     svc
 }
 
@@ -618,6 +821,8 @@ mod tests {
         assert_eq!(warm.rung, cold.rung);
         let s = svc.stats();
         assert_eq!((s.computed, s.mem_hits, s.disk_hits), (1, 1, 0));
+        assert_eq!(s.ladder_runs, s.computed);
+        assert_eq!(s.lookups(), 2);
     }
 
     #[test]
@@ -700,5 +905,59 @@ mod tests {
             assert!(after.looseness() < before.looseness());
             assert_eq!(after.source, BracketSource::WarmMemory);
         }
+    }
+
+    /// Regression for the `partial_cmp(..).expect("looseness is finite")`
+    /// sort key: a degenerate zero-lower bracket (planted through the
+    /// spill, as a corrupted-but-wellformed cache could) has infinite
+    /// looseness; the batch must drop it like `Summary::of` drops
+    /// non-finite observations — neither panicking the sort nor funding a
+    /// corrupt entry as "loosest".
+    #[test]
+    fn refine_batch_skips_non_finite_looseness() {
+        let dir = std::env::temp_dir().join(format!("dbp_nan_loose_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = small();
+        let degenerate = OptBracket {
+            lower: Area::from_raw(0),
+            upper: Area::from_raw(1 << 20),
+        };
+        let line = spill_line(
+            (inst.digest().0, Goal::OptR),
+            degenerate,
+            BracketRung::Exact,
+        );
+        std::fs::write(dir.join("brackets.jsonl"), line).unwrap();
+
+        let svc = BracketService::with_spill(Effort::Cached, &dir);
+        let warmed = svc.opt_r(&inst);
+        assert!(
+            warmed.bracket.looseness().is_infinite(),
+            "fixture must reproduce the non-finite looseness"
+        );
+        let tightened = svc.refine_batch(&[&inst], 1 << 22);
+        assert_eq!(tightened, 0, "non-finite entries are skipped, not funded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Entries land on the shard selected by the digest's low bits, and
+    /// distinct digests spread across stripes.
+    #[test]
+    fn shards_spread_by_digest_bits() {
+        let svc = BracketService::new(Effort::Cached);
+        for seed in 0..6u64 {
+            let inst =
+                dbp_workloads::random_general(&dbp_workloads::GeneralConfig::new(4, 20), seed);
+            svc.opt_r(&inst);
+        }
+        let occupied = svc
+            .shards
+            .iter()
+            .filter(|s| !recover(s.lock()).is_empty())
+            .count();
+        assert!(occupied >= 2, "6 digests all hashed to one stripe");
+        let total: usize = svc.shards.iter().map(|s| recover(s.lock()).len()).sum();
+        assert_eq!(total, 6);
     }
 }

@@ -22,7 +22,7 @@ use dbp_core::time::Dur;
 use dbp_workloads::{cloud_trace, CloudConfig};
 
 use crate::bracket;
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_seeded;
 
 use super::ExperimentReport;
 
@@ -58,7 +58,7 @@ pub fn resilience() -> ExperimentReport {
     let b0 = bracket::opt_r(&inst);
     let rates: &[f64] = &[0.0, 0.02, 0.05, 0.10];
     let algos = ["first-fit", "hybrid", "cdff"];
-    let rows = parallel_map(rates, |&rate| {
+    let rows = parallel_map_seeded(rates, 0x4E51_11E4, |&rate| {
         algos
             .iter()
             .map(|&name| {

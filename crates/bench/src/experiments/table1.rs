@@ -21,7 +21,7 @@ use dbp_workloads::adversary::{run_adversary, AdversaryConfig};
 use dbp_workloads::{cloud_trace, ff_pathology_pow2, random_general, CloudConfig, GeneralConfig};
 
 use crate::bracket;
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_seeded;
 
 use super::ExperimentReport;
 
@@ -42,7 +42,7 @@ const BATCH_REFINE_NODES: u64 = 1 << 26;
 pub fn table1_ha() -> ExperimentReport {
     let svc = bracket::service();
     let before = svc.stats();
-    let outs = parallel_map(SWEEP_NS, |&n| {
+    let outs = parallel_map_seeded(SWEEP_NS, 0x7AB1_E001, |&n| {
         let cfg = AdversaryConfig::new(n).with_rounds(rounds_for(n));
         run_adversary(dbp_algos::HybridAlgorithm::new(), &cfg)
             .expect("HA never makes illegal moves")
@@ -140,7 +140,7 @@ pub fn table1_lb() -> ExperimentReport {
         .iter()
         .flat_map(|&n| algos.iter().map(move |&a| (n, a)))
         .collect();
-    let rows = parallel_map(&jobs, |&(n, name)| {
+    let rows = parallel_map_seeded(&jobs, 0x7AB1_E002, |&(n, name)| {
         let algo = dbp_algos::by_name(name).expect("registry name");
         let cfg = AdversaryConfig::new(n); // full μ rounds
         let out = run_adversary(algo, &cfg).expect("suite algorithms are legal");
@@ -172,7 +172,7 @@ pub fn table1_lb() -> ExperimentReport {
 /// T1 row 2: CDFF on binary (worst-case aligned) inputs.
 pub fn table1_cdff() -> ExperimentReport {
     let ns: &[u32] = &[3, 5, 8, 11, 14, 17, 20];
-    let rows = parallel_map(ns, |&n| {
+    let rows = parallel_map_seeded(ns, 0x7AB1_E003, |&n| {
         let inst = dbp_workloads::sigma_mu(n);
         let cdff = engine::run(&inst, dbp_algos::Cdff::new()).expect("cdff legal");
         let cbd = engine::run(&inst, dbp_algos::ClassifyByDuration::binary()).expect("cbd legal");
@@ -249,7 +249,7 @@ pub fn table1_nonclair() -> ExperimentReport {
 /// cheap two-row rendering of this table byte-for-byte.
 pub fn table1_nonclair_rows(ns: &[u32]) -> ExperimentReport {
     use dbp_workloads::run_nc_adversary;
-    let rows = parallel_map(ns, |&n| {
+    let rows = parallel_map_seeded(ns, 0x7AB1_E004, |&n| {
         let inst = ff_pathology_pow2(n);
         let ff = engine::run(&inst, dbp_algos::FirstFit::new()).expect("ff legal");
         let ha = engine::run(&inst, dbp_algos::HybridAlgorithm::new()).expect("ha legal");

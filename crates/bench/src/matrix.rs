@@ -10,7 +10,7 @@ use dbp_core::engine::{self, RunMetrics};
 use dbp_core::instance::Instance;
 
 use crate::bracket;
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_seeded;
 
 /// One cell of an evaluation matrix.
 #[derive(Debug, Clone)]
@@ -54,12 +54,17 @@ pub fn evaluate(algorithms: &[&str], instances: &[(String, Instance)]) -> EvalMa
     }
     // One bracket per instance, computed (or served warm) up front: every
     // algorithm's row shares it, instead of re-deriving it per cell.
+    // Seeded chunking keeps the cell→worker assignment a pure function of
+    // the job list; single-flight in the bracket service makes the hit
+    // counters thread-count-independent on top.
     let idx: Vec<usize> = (0..instances.len()).collect();
-    let brackets = parallel_map(&idx, |&i| bracket::opt_r_certified(&instances[i].1));
+    let brackets = parallel_map_seeded(&idx, 0xB7AC_4E71, |&i| {
+        bracket::opt_r_certified(&instances[i].1)
+    });
     let jobs: Vec<(usize, usize)> = (0..instances.len())
         .flat_map(|i| (0..algorithms.len()).map(move |a| (i, a)))
         .collect();
-    let cells = parallel_map(&jobs, |&(i, a)| {
+    let cells = parallel_map_seeded(&jobs, 0xB7AC_4E72, |&(i, a)| {
         let (label, inst) = &instances[i];
         let name = algorithms[a];
         let algo = dbp_algos::by_name(name).unwrap_or_else(|| panic!("unknown algorithm '{name}'"));

@@ -8,12 +8,104 @@
 //! Results are collected without any shared lock: each worker accumulates
 //! `(index, result)` pairs in a thread-local vector that travels back
 //! through its join handle, and the caller scatters them into place once.
-//! The previous design funnelled every result through a single
-//! `Mutex<Vec<Option<R>>>`, which serialised workers exactly when sweeps
-//! have many cheap cells; now the only shared state is the atomic work
-//! counter.
+//! The only shared state is the atomic work counter.
+//!
+//! **Fail-fast cancellation.** A panicking cell poisons the work counter,
+//! so sibling workers stop pulling cells after at most the one they are
+//! currently running — a 4096-cell sweep that dies at cell 0 no longer
+//! finishes the other 4095 before rethrowing. The panic still surfaces to
+//! the caller with the stable `sweep worker panicked: <message>` contract.
+//!
+//! **Chunking modes.** [`parallel_map`] hands cells out dynamically through
+//! the atomic counter (cells vary wildly in cost across μ, so dynamic load
+//! balancing wins wall-clock). [`parallel_map_seeded`] instead deals a
+//! seeded deterministic permutation of the cells into per-worker chunks —
+//! the experiment battery uses it so the *assignment* of cells to worker
+//! slots is a pure function of `(len, threads, seed)`. Either way the
+//! output is input-ordered and per-cell results are identical; combined
+//! with the bracket service's single-flight cache, sweep-level counters
+//! (`computed + mem_hits + disk_hits`) are reproducible for a fixed
+//! workload regardless of thread count.
+//!
+//! **Worker count.** Defaults to `available_parallelism`, clamped to the
+//! input size. CLIs pin it process-wide via [`set_threads`] (`--threads`);
+//! individual calls can override it through [`SweepOptions::with_threads`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Poison value for the shared work counter: far above any real input
+/// length, and far enough below `usize::MAX` that one post-poison
+/// `fetch_add` per worker cannot wrap.
+const POISON: usize = usize::MAX / 2;
+
+/// Process-wide worker-count override; 0 means "one per available core".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the sweep worker count process-wide (the CLIs' `--threads` flag).
+/// `0` restores the default (one worker per available core).
+pub fn set_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide worker-count override (0 = automatic).
+pub fn configured_threads() -> usize {
+    CONFIGURED_THREADS.load(Ordering::Relaxed)
+}
+
+fn default_threads() -> usize {
+    match configured_threads() {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// How a sweep hands cells to workers.
+#[derive(Debug, Clone, Copy)]
+pub enum Chunking {
+    /// Cells are claimed dynamically through an atomic counter (best
+    /// wall-clock when cell costs vary).
+    Dynamic,
+    /// Cells are dealt up front: a Fisher–Yates permutation driven by the
+    /// seed, split into one contiguous chunk per worker, each processed in
+    /// permutation order. The assignment is a pure function of
+    /// `(len, threads, seed)`.
+    Seeded(u64),
+}
+
+/// Per-call sweep configuration; see [`parallel_map_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker count; `None` uses [`set_threads`]' value or the core count.
+    pub threads: Option<usize>,
+    /// Work-distribution mode.
+    pub chunking: Chunking,
+}
+
+impl SweepOptions {
+    /// Dynamic chunking at the configured worker count.
+    pub fn dynamic() -> SweepOptions {
+        SweepOptions {
+            threads: None,
+            chunking: Chunking::Dynamic,
+        }
+    }
+
+    /// Deterministic seeded chunking at the configured worker count.
+    pub fn seeded(seed: u64) -> SweepOptions {
+        SweepOptions {
+            threads: None,
+            chunking: Chunking::Seeded(seed),
+        }
+    }
+
+    /// Overrides the worker count for this call only.
+    pub fn with_threads(mut self, n: usize) -> SweepOptions {
+        self.threads = Some(n);
+        self
+    }
+}
 
 /// Renders a worker's panic payload as the sweep's stable panic contract:
 /// `sweep worker panicked: <original message>`. Both the threaded and the
@@ -28,21 +120,65 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     format!("sweep worker panicked: {msg}")
 }
 
-/// Maps `f` over `inputs` in parallel, preserving order.
-///
-/// Spawns at most `min(inputs.len(), available_parallelism)` workers; falls
-/// back to sequential execution for tiny inputs. Work is handed out through
-/// a single atomic counter (dynamic load balancing — sweep cells vary
-/// wildly in cost across μ), and result collection is lock-free.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic cell→worker assignment: a seeded Fisher–Yates permutation
+/// of `0..len`, dealt into `threads` contiguous chunks.
+fn seeded_chunks(len: usize, threads: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed ^ (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for i in (1..len).rev() {
+        state = splitmix64(state);
+        order.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    (0..threads)
+        .map(|w| order[w * len / threads..(w + 1) * len / threads].to_vec())
+        .collect()
+}
+
+/// Maps `f` over `inputs` in parallel with dynamic load balancing,
+/// preserving input order in the output. See [`parallel_map_with`].
 pub fn parallel_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    parallel_map_with(inputs, SweepOptions::dynamic(), f)
+}
+
+/// Maps `f` over `inputs` in parallel with deterministic seeded chunking,
+/// preserving input order in the output. See [`parallel_map_with`].
+pub fn parallel_map_seeded<T, R, F>(inputs: &[T], seed: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(inputs, SweepOptions::seeded(seed), f)
+}
+
+/// Maps `f` over `inputs` in parallel, preserving order.
+///
+/// Spawns at most `min(inputs.len(), threads)` workers; falls back to
+/// sequential execution for tiny inputs. A panicking cell poisons the
+/// shared work counter (fail-fast: siblings stop pulling cells) and the
+/// panic is rethrown as `sweep worker panicked: <message>`.
+pub fn parallel_map_with<T, R, F>(inputs: &[T], opts: SweepOptions, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = opts
+        .threads
+        .unwrap_or_else(default_threads)
+        .max(1)
         .min(inputs.len().max(1));
     if threads <= 1 || inputs.len() <= 1 {
         // Keep the panic contract identical to the threaded path (a cell
@@ -58,19 +194,50 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let chunks: Option<Vec<Vec<usize>>> = match opts.chunking {
+        Chunking::Dynamic => None,
+        Chunking::Seeded(seed) => Some(seeded_chunks(inputs.len(), threads, seed)),
+    };
     let mut results: Vec<Option<R>> = (0..inputs.len()).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                let f = &f;
+                let chunk = chunks.as_ref().map(|c| c[w].as_slice());
+                scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= inputs.len() {
-                            break;
+                    let run = |idx: usize, local: &mut Vec<(usize, R)>| {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&inputs[idx])
+                        })) {
+                            Ok(v) => local.push((idx, v)),
+                            Err(payload) => {
+                                // Fail fast: poison the counter so sibling
+                                // workers stop pulling cells, then let the
+                                // panic continue out to the join below.
+                                next.store(POISON, Ordering::Relaxed);
+                                std::panic::resume_unwind(payload);
+                            }
                         }
-                        local.push((idx, f(&inputs[idx])));
+                    };
+                    match chunk {
+                        Some(cells) => {
+                            for &idx in cells {
+                                if next.load(Ordering::Relaxed) >= POISON {
+                                    break;
+                                }
+                                run(idx, &mut local);
+                            }
+                        }
+                        None => loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= inputs.len() {
+                                break;
+                            }
+                            run(idx, &mut local);
+                        },
                     }
                     local
                 })
@@ -95,6 +262,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     #[test]
     fn preserves_order_and_values() {
@@ -180,5 +349,81 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i + 1);
         }
+    }
+
+    /// Fail-fast: a panic at cell 0 of 4096 must stop sibling workers from
+    /// draining the whole sweep — only the cells already in flight when the
+    /// counter is poisoned may still run.
+    #[test]
+    fn panicking_cell_cancels_remaining_work() {
+        let executed = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..4096).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_with(&inputs, SweepOptions::dynamic().with_threads(8), |&x| {
+                if x == 0 {
+                    panic!("die at cell 0");
+                }
+                // Make surviving cells slow enough that the poison lands
+                // before any worker can drain a meaningful share.
+                std::thread::sleep(Duration::from_micros(200));
+                executed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(result.is_err(), "the sweep must rethrow the cell panic");
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(
+            ran < 1024,
+            "fail-fast failed: {ran} of 4096 cells still executed"
+        );
+    }
+
+    /// Seeded chunking is a pure function of (len, threads, seed): same
+    /// inputs, same chunks; every index dealt exactly once; and the mapped
+    /// output is identical to the dynamic mode's.
+    #[test]
+    fn seeded_chunking_is_deterministic_and_complete() {
+        let a = seeded_chunks(103, 7, 42);
+        let b = seeded_chunks(103, 7, 42);
+        assert_eq!(a, b);
+        let mut all: Vec<usize> = a.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        assert_ne!(
+            seeded_chunks(103, 7, 42),
+            seeded_chunks(103, 7, 43),
+            "different seeds should shuffle differently"
+        );
+
+        let inputs: Vec<u64> = (0..257).collect();
+        let dynamic = parallel_map(&inputs, |&x| x * 3);
+        for threads in [1usize, 2, 8] {
+            let seeded = parallel_map_with(
+                &inputs,
+                SweepOptions::seeded(7).with_threads(threads),
+                |&x| x * 3,
+            );
+            assert_eq!(seeded, dynamic, "threads={threads}");
+        }
+    }
+
+    /// Seeded mode honours fail-fast too: the poisoned counter stops
+    /// workers walking their pre-dealt chunks.
+    #[test]
+    fn seeded_mode_cancels_on_panic() {
+        let executed = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..2048).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_with(&inputs, SweepOptions::seeded(3).with_threads(8), |&x| {
+                if executed.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("first executed cell dies");
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                x
+            })
+        }));
+        assert!(result.is_err());
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < 1024, "fail-fast failed: {ran} of 2048 cells executed");
     }
 }

@@ -1,0 +1,244 @@
+//! Concurrency battery for the sharded single-flight bracket service.
+//!
+//! The service's contract under parallel sweeps, spelled out as tests:
+//!
+//! * **Single-flight** — concurrent requests for one `(digest, goal)` key
+//!   run the refinement ladder exactly once (`ladder_runs` counts actual
+//!   executions, not just winners), and waiters are served the leader's
+//!   entry bit-identically.
+//! * **Shard correctness** — an N-thread hammer over a repeated-key
+//!   workload produces exactly the brackets a sequential oracle computes.
+//! * **Counter determinism** — `computed + mem_hits + disk_hits` (and each
+//!   term individually) is a pure function of the workload, not of the
+//!   thread count or interleaving.
+//! * **Spill independence** — disk appends hold a dedicated lock, so
+//!   lookups proceed while a slow spill write is in flight, and concurrent
+//!   appends never corrupt the JSONL (a fresh service re-serves every
+//!   entry).
+
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use dbp_bench::bracket::{BracketService, Effort};
+use dbp_bench::sweep::{parallel_map_with, SweepOptions};
+use dbp_core::bounds::BracketSource;
+use dbp_core::Instance;
+use dbp_workloads::{random_general, GeneralConfig};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbp_conc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn distinct_instances(count: u64, items: usize) -> Vec<Instance> {
+    (0..count)
+        .map(|seed| random_general(&GeneralConfig::new(5, items), seed))
+        .collect()
+}
+
+/// A job list where every key appears `repeats` times (≥ 50% repeated
+/// lookups for any `repeats ≥ 2`), shuffled enough that repeats of one key
+/// land on different workers.
+fn repeated_jobs(distinct: usize, repeats: usize) -> Vec<usize> {
+    let mut jobs: Vec<usize> = Vec::with_capacity(distinct * repeats);
+    for round in 0..repeats {
+        for i in 0..distinct {
+            // Rotate each round so adjacent cells hit different keys.
+            jobs.push((i + round * 3) % distinct);
+        }
+    }
+    jobs
+}
+
+/// The counting-compute check: 8 threads released by a barrier onto ONE
+/// key must run the ladder exactly once; the other seven are served the
+/// leader's entry as warm-memory hits. (The pre-shard cache ran the
+/// ladder once per racer and discarded the losers' work — the "loser
+/// wins" comment only made the *counters* deterministic, not the work.)
+#[test]
+fn concurrent_requests_for_one_key_run_the_ladder_once() {
+    let svc = BracketService::new(Effort::Cached);
+    let inst = random_general(&GeneralConfig::new(6, 300), 42);
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    svc.opt_r(&inst)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let s = svc.stats();
+    assert_eq!(s.ladder_runs, 1, "duplicate ladder executed");
+    assert_eq!(s.computed, 1);
+    assert_eq!(s.mem_hits, threads as u64 - 1);
+    assert_eq!(s.disk_hits, 0);
+    let computed_count = results
+        .iter()
+        .filter(|cb| cb.source == BracketSource::Computed)
+        .count();
+    assert_eq!(computed_count, 1, "exactly one requester is the leader");
+    for cb in &results {
+        assert_eq!(
+            cb.bracket, results[0].bracket,
+            "waiters got a different bracket"
+        );
+        assert_eq!(cb.rung, results[0].rung);
+    }
+}
+
+/// N-thread hammer over a ≥50%-repeated workload vs a sequential oracle:
+/// identical brackets, and `computed` equals the number of DISTINCT keys.
+#[test]
+fn hammer_matches_sequential_oracle() {
+    let distinct = 12usize;
+    let instances = distinct_instances(distinct as u64, 60);
+    let jobs = repeated_jobs(distinct, 4);
+
+    let oracle = BracketService::new(Effort::Cached);
+    let expected: Vec<_> = instances.iter().map(|i| oracle.opt_r(i).bracket).collect();
+
+    let svc = BracketService::new(Effort::Cached);
+    let got = parallel_map_with(&jobs, SweepOptions::dynamic().with_threads(8), |&i| {
+        svc.opt_r(&instances[i]).bracket
+    });
+    for (cell, &i) in got.iter().zip(&jobs) {
+        assert_eq!(
+            *cell, expected[i],
+            "instance {i} bracket drifted under the hammer"
+        );
+    }
+
+    let s = svc.stats();
+    assert_eq!(
+        s.computed, distinct as u64,
+        "single-flight must collapse repeats to one compute per distinct key"
+    );
+    assert_eq!(s.ladder_runs, s.computed);
+    assert_eq!(s.lookups(), jobs.len() as u64);
+}
+
+/// The determinism contract behind `--threads`: for a fixed workload the
+/// full stats snapshot is identical at 1, 2 and 8 workers.
+#[test]
+fn stats_totals_invariant_across_thread_counts() {
+    let distinct = 10usize;
+    let instances = distinct_instances(distinct as u64, 50);
+    let jobs = repeated_jobs(distinct, 3);
+
+    let mut snapshots = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let svc = BracketService::new(Effort::Cached);
+        parallel_map_with(&jobs, SweepOptions::seeded(9).with_threads(threads), |&i| {
+            svc.opt_r(&instances[i]).bracket
+        });
+        snapshots.push((threads, svc.stats()));
+    }
+    let (_, first) = snapshots[0];
+    for (threads, snap) in &snapshots {
+        assert_eq!(
+            *snap, first,
+            "stats at --threads {threads} diverged from --threads 1"
+        );
+    }
+    assert_eq!(first.computed, distinct as u64);
+    assert_eq!(first.lookups(), jobs.len() as u64);
+}
+
+/// The dedicated spill lock: readers must be served while a (simulated)
+/// slow disk write holds the writer lock. Under the old design the spill
+/// serialized through the memory-cache mutex, so this test deadlocked the
+/// full hold duration.
+#[test]
+fn lookups_proceed_while_spill_is_held() {
+    let dir = scratch_dir("spill_hold");
+    let svc = BracketService::with_spill(Effort::Cached, &dir);
+    let inst = random_general(&GeneralConfig::new(5, 40), 7);
+    svc.opt_r(&inst); // warm (and open the spill writer)
+
+    let hold = Duration::from_millis(800);
+    std::thread::scope(|scope| {
+        let holder = scope.spawn(|| svc.block_spill_for(hold));
+        // Give the holder time to take the writer lock.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            let warm = svc.opt_r(&inst);
+            assert_eq!(warm.source, BracketSource::WarmMemory);
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < hold / 2,
+            "warm lookups stalled {elapsed:?} behind a spill write"
+        );
+        holder.join().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent cold computes append to one spill file; a fresh service
+/// must re-serve every bracket bit-identically from disk (whole-line
+/// writes under the dedicated lock — no interleaved partial lines).
+#[test]
+fn spill_round_trip_under_concurrent_appends() {
+    let dir = scratch_dir("spill_rt");
+    let instances = distinct_instances(16, 50);
+    let writer = BracketService::with_spill(Effort::Cached, &dir);
+    let cold = parallel_map_with(
+        &instances,
+        SweepOptions::dynamic().with_threads(8),
+        |inst| writer.opt_r(inst).bracket,
+    );
+    assert_eq!(writer.stats().computed, 16);
+    drop(writer);
+
+    let text = std::fs::read_to_string(dir.join("brackets.jsonl")).expect("spill written");
+    assert_eq!(text.lines().count(), 16, "one complete line per compute");
+
+    let reader = BracketService::with_spill(Effort::Cached, &dir);
+    for (inst, &bracket) in instances.iter().zip(&cold) {
+        let warm = reader.opt_r(inst);
+        assert_eq!(warm.source, BracketSource::WarmDisk);
+        assert_eq!(warm.bracket, bracket, "spill round trip drifted");
+    }
+    assert_eq!(reader.stats().computed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disk hits count deterministically under the hammer too: warm-loading a
+/// spill then hammering repeats yields computed = 0 and one disk hit per
+/// first touch, memory hits for the rest — regardless of thread count.
+#[test]
+fn warm_spill_hammer_counts_deterministically() {
+    let dir = scratch_dir("warm_hammer");
+    let distinct = 8usize;
+    let instances = distinct_instances(distinct as u64, 40);
+    let writer = BracketService::with_spill(Effort::Cached, &dir);
+    for inst in &instances {
+        writer.opt_r(inst);
+    }
+    drop(writer);
+
+    let jobs = repeated_jobs(distinct, 4);
+    for threads in [1usize, 8] {
+        let reader = BracketService::with_spill(Effort::Cached, &dir);
+        parallel_map_with(&jobs, SweepOptions::dynamic().with_threads(threads), |&i| {
+            reader.opt_r(&instances[i]).bracket
+        });
+        let s = reader.stats();
+        assert_eq!(s.computed, 0, "threads={threads}: nothing should compute");
+        assert_eq!(
+            s.disk_hits,
+            jobs.len() as u64,
+            "threads={threads}: every hit re-serves the disk entry"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -173,6 +173,19 @@ impl Bencher {
             self.times.push(start.elapsed());
         }
     }
+
+    /// Times `f` with caller-controlled measurement (upstream
+    /// `iter_custom`): `f` receives an iteration count and returns the
+    /// measured duration for exactly that many iterations, letting the
+    /// benchmark exclude setup/teardown it must perform per sample. The
+    /// shim requests one iteration per sample after one untimed warm-up.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1));
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            self.times.push(f(1));
+        }
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
