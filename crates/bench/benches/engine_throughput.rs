@@ -1,0 +1,40 @@
+//! The engine-throughput bench: the pinned harness workload
+//! (`throughput::Workload`) at 1M items, driven end-to-end through
+//! `InteractiveSim` under each harness configuration.
+//!
+//! Uses `iter_custom` so each sample times exactly one full drive
+//! (arrivals + departure/crash drains + `finish`) and excludes instance
+//! generation. The same measurement is scriptable (and appendable to
+//! `BENCH_engine.json`) via `experiments throughput`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_bench::throughput::{drive, Config, Workload};
+
+const ITEMS: usize = 1_000_000;
+
+fn engine_throughput(c: &mut Criterion) {
+    let workload = Workload::pinned(ITEMS);
+    let inst = workload.instance();
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(ITEMS as u64));
+    for config in Config::ALL {
+        group.bench_function(BenchmarkId::from_parameter(config.id()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let started = Instant::now();
+                    criterion::black_box(drive(&inst, config));
+                    total += started.elapsed();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

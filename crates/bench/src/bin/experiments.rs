@@ -19,11 +19,16 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use dbp_bench::experiments::{registry, resilience, run_by_id};
-use dbp_bench::{bracket, sweep};
+use dbp_bench::{bracket, sweep, throughput};
 use dbp_core::failure::RetryPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("throughput") => return run_throughput(&args[1..]),
+        Some("bench-validate") => return run_bench_validate(&args[1..]),
+        _ => {}
+    }
     let mut out_dir: Option<PathBuf> = None;
     let mut md_path: Option<PathBuf> = None;
     let mut effort = bracket::Effort::Cached;
@@ -175,13 +180,136 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
-         [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] <id>... | all\n\n\
+         [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] <id>... | all\n\
+       experiments throughput [--items N] [--samples K] [--label L] \
+         [--configs a,b,..] [--bench-out FILE]\n\
+       experiments bench-validate FILE\n\n\
          --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
          `resilience` experiment's crash stream and re-admission backoff.\n\
          --threads pins the sweep worker count; reports are byte-identical across\n\
-         thread counts (single-flight bracket cache + seeded chunking).\n\navailable experiments:"
+         thread counts (single-flight bracket cache + seeded chunking).\n\
+         `throughput` runs the engine-throughput harness (items/sec through the\n\
+         full InteractiveSim on the pinned seeded workload); with --bench-out it\n\
+         upserts entries into a BENCH_engine.json-style file. `bench-validate`\n\
+         parses and schema-checks such a file, failing on drift.\n\navailable experiments:"
     );
     for (id, _) in registry() {
         println!("  {id}");
+    }
+}
+
+/// `experiments throughput`: run the engine harness, print one line per
+/// configuration, and optionally upsert the results into a bench file.
+fn run_throughput(args: &[String]) {
+    let mut items = 1_000_000usize;
+    let mut samples = 5usize;
+    let mut label = String::from("local");
+    let mut configs: Vec<throughput::Config> = throughput::Config::ALL.to_vec();
+    let mut bench_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} requires {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--items" => {
+                let raw = take("an item count");
+                items = raw.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("bad item count '{raw}'");
+                    std::process::exit(2);
+                });
+            }
+            "--samples" => {
+                let raw = take("a sample count");
+                samples = raw.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("bad sample count '{raw}'");
+                    std::process::exit(2);
+                });
+            }
+            "--label" => label = take("a label"),
+            "--configs" => {
+                let raw = take("a comma-separated config list");
+                configs = raw
+                    .split(',')
+                    .map(|s| {
+                        throughput::Config::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!(
+                                "unknown config '{s}' (expected one of: {})",
+                                throughput::Config::ALL.map(|c| c.id()).join(", ")
+                            );
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--bench-out" => bench_out = Some(PathBuf::from(take("a file path"))),
+            other => {
+                eprintln!("unknown throughput flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut file = match &bench_out {
+        Some(path) if path.exists() => {
+            let text = fs::read_to_string(path).expect("read bench file");
+            throughput::BenchFile::parse(&text).unwrap_or_else(|e| {
+                eprintln!("existing {} is invalid: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+        _ => throughput::BenchFile::new(),
+    };
+
+    println!(
+        "engine throughput: {items} items, {samples} samples, workload seed {}",
+        throughput::WORKLOAD_SEED
+    );
+    for config in configs {
+        let started = Instant::now();
+        let m = throughput::measure(throughput::Workload::pinned(items), config, samples);
+        println!(
+            "  {:<12} median {:>12.0} items/s  best {:>12.0} items/s  ({:.2?} median/run, {} placed, {:.2?} total)",
+            config.id(),
+            m.median_items_per_sec(),
+            m.best_items_per_sec(),
+            m.median(),
+            m.placed,
+            started.elapsed()
+        );
+        file.upsert(throughput::BenchEntry::from_measurement(&label, &m));
+    }
+    if let Some(path) = bench_out {
+        throughput::validate(&file).expect("freshly measured entries validate");
+        fs::write(&path, file.render()).expect("write bench file");
+        eprintln!("bench entries written to {}", path.display());
+    }
+}
+
+/// `experiments bench-validate FILE`: parse + schema-check a bench file.
+fn run_bench_validate(args: &[String]) {
+    let [path] = args else {
+        eprintln!("usage: experiments bench-validate FILE");
+        std::process::exit(2);
+    };
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match throughput::BenchFile::parse(&text) {
+        Ok(file) => {
+            println!(
+                "{path}: valid ({} entries, workload seed {})",
+                file.entries.len(),
+                file.seed
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            std::process::exit(1);
+        }
     }
 }

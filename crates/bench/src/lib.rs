@@ -1,11 +1,12 @@
 //! # dbp-bench
 //!
 //! Experiment harness for the reproduction: effort-aware OPT brackets
-//! ([`bracket`]), a crossbeam-based parallel sweep runner ([`sweep`]) and
-//! the registry of every regenerated table/figure/lemma ([`experiments`]).
-//! [`matrix`] offers a public algorithms × instances evaluation API. The
-//! `experiments` binary drives it; criterion benches under `benches/`
-//! measure the algorithms themselves.
+//! ([`bracket`]), a crossbeam-based parallel sweep runner ([`sweep`]), the
+//! registry of every regenerated table/figure/lemma ([`experiments`]) and
+//! the engine-throughput program ([`throughput`], which maintains
+//! `BENCH_engine.json`). [`matrix`] offers a public algorithms × instances
+//! evaluation API. The `experiments` binary drives it; criterion benches
+//! under `benches/` measure the algorithms themselves.
 
 #![warn(missing_docs)]
 
@@ -13,3 +14,4 @@ pub mod bracket;
 pub mod experiments;
 pub mod matrix;
 pub mod sweep;
+pub mod throughput;

@@ -114,6 +114,11 @@ pub struct BinStore {
     linear_scans: Cell<u64>,
     /// Open-list tombstone compactions performed.
     compactions: u64,
+    /// Recycled resident-list buffers from closed bins. A close donates its
+    /// (empty, capacity-bearing) `items` vector here and the next open
+    /// takes one back, so steady-state bin churn stops allocating once
+    /// capacities have warmed up.
+    spare_lists: Vec<Vec<ItemId>>,
 }
 
 impl BinStore {
@@ -137,6 +142,7 @@ impl BinStore {
             tree_queries: Cell::new(0),
             linear_scans: Cell::new(0),
             compactions: 0,
+            spare_lists: Vec::new(),
         }
     }
 
@@ -151,7 +157,7 @@ impl BinStore {
             closed_at: None,
             load: Load::ZERO,
             resident: 0,
-            items: Vec::new(),
+            items: self.spare_lists.pop().unwrap_or_default(),
         });
         self.open_pos.push(self.open.len() as u32);
         self.open.push(id);
@@ -202,6 +208,9 @@ impl BinStore {
         }
         if rec.resident == 0 {
             rec.closed_at = Some(t);
+            // Donate the (now empty) resident buffer to the recycling pool.
+            let spare = core::mem::take(&mut rec.items);
+            self.spare_lists.push(spare);
             self.tree.close(bin.index());
             // O(1) open-list removal: tombstone the slot; opening order of
             // the survivors is untouched.

@@ -26,7 +26,7 @@
 //! any sink) via [`run_with_sink`] / [`InteractiveSim::with_sink`].
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
 use crate::bin_state::{BinId, BinStore};
@@ -169,9 +169,14 @@ struct FailureCtl {
     crashes: BinaryHeap<Reverse<(Time, u32)>>,
     /// Displaced items waiting out their backoff.
     readmits: BinaryHeap<Reverse<PendingReadmit>>,
-    /// Displacement count per item id (absent = never displaced; clones
-    /// inherit their creation attempt so backoff compounds).
-    attempts: HashMap<u32, u32>,
+    /// Displacement count per item id, indexed by raw id (ids are dense;
+    /// the vector is grown lazily, so failure-free runs never touch it).
+    /// Zero = never displaced; clones inherit their creation attempt so
+    /// backoff compounds.
+    attempts: Vec<u32>,
+    /// Reusable buffer for the residents of a crashing bin, so repeated
+    /// crashes drain through one warm allocation.
+    crash_scratch: Vec<u32>,
     report: ResilienceReport,
 }
 
@@ -188,9 +193,69 @@ impl FailureCtl {
             retry,
             crashes,
             readmits: BinaryHeap::new(),
-            attempts: HashMap::new(),
+            attempts: Vec::new(),
+            crash_scratch: Vec::new(),
             report: ResilienceReport::default(),
         }
+    }
+
+    /// The displacement count recorded for raw item id `i`.
+    #[inline]
+    fn attempts_of(&self, i: u32) -> u32 {
+        self.attempts.get(i as usize).copied().unwrap_or(0)
+    }
+
+    /// Records `attempt` as raw item id `i`'s displacement count.
+    fn set_attempts(&mut self, i: u32, attempt: u32) {
+        let idx = i as usize;
+        if self.attempts.len() <= idx {
+            self.attempts.resize(idx + 1, 0);
+        }
+        self.attempts[idx] = attempt;
+    }
+}
+
+/// Struct-of-arrays item state: the engine's per-item columns, parallel to
+/// the assignment vector. The drain loops touch exactly one column per
+/// check (a departure-staleness test reads only `departures`), so the hot
+/// path streams over dense `u64`s instead of striding across whole
+/// [`Item`] records.
+struct ItemTable {
+    arrivals: Vec<Time>,
+    departures: Vec<Time>,
+    sizes: Vec<Size>,
+}
+
+impl ItemTable {
+    fn with_capacity(n: usize) -> ItemTable {
+        ItemTable {
+            arrivals: Vec::with_capacity(n),
+            departures: Vec::with_capacity(n),
+            sizes: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    fn push(&mut self, item: Item) {
+        self.arrivals.push(item.arrival);
+        self.departures.push(item.departure);
+        self.sizes.push(item.size);
+    }
+
+    /// Materializes the row as an [`Item`] (for algorithm callbacks).
+    #[inline]
+    fn get(&self, i: u32) -> Item {
+        let idx = i as usize;
+        Item::new(
+            ItemId(i),
+            self.arrivals[idx],
+            self.departures[idx],
+            self.sizes[idx],
+        )
     }
 }
 
@@ -206,9 +271,12 @@ pub struct InteractiveSim<A: OnlineAlgorithm, S: EventSink = NoopSink> {
     bins: BinStore,
     now: Time,
     started: bool,
-    /// Pending departures: `(departure, item index)`.
+    /// Pending departures: `(departure, item index)`. An entry is *stale*
+    /// (and skipped on pop) when the item's departure column no longer
+    /// matches its queued time — displacement truncates the column, which
+    /// acts as the entry's generation check.
     departures: BinaryHeap<Reverse<(Time, u32)>>,
-    items: Vec<Item>,
+    items: ItemTable,
     assignment: Vec<BinId>,
     cost: Area,
     max_open: usize,
@@ -276,11 +344,14 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             now: Time::ZERO,
             started: false,
             departures: BinaryHeap::with_capacity(items),
-            items: Vec::with_capacity(items),
+            items: ItemTable::with_capacity(items),
             assignment: Vec::with_capacity(items),
             cost: Area::ZERO,
             max_open: 0,
-            timeline: Vec::new(),
+            // One breakpoint per open plus one per close bounds the
+            // timeline at 2·items + 1 entries; reserving it up front keeps
+            // the steady-state loop free of growth reallocations.
+            timeline: Vec::with_capacity(if items > 0 { 2 * items + 1 } else { 0 }),
             undated: 0,
             sink,
             metrics: RunMetrics::default(),
@@ -425,17 +496,14 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     /// [`EngineError::BadDeparture`].
     pub fn try_set_departure(&mut self, item: ItemId, at: Time) -> Result<(), EngineError> {
         let now = self.now;
-        let it = self
-            .items
-            .get_mut(item.index())
-            .ok_or(EngineError::NotUndated { item })?;
-        if it.departure != Time(u64::MAX) {
+        let idx = item.index();
+        if idx >= self.items.len() || self.items.departures[idx] != Time(u64::MAX) {
             return Err(EngineError::NotUndated { item });
         }
-        if at < now || at <= it.arrival {
+        if at < now || at <= self.items.arrivals[idx] {
             return Err(EngineError::BadDeparture { item, at, now });
         }
-        it.departure = at;
+        self.items.departures[idx] = at;
         self.departures.push(Reverse((at, item.0)));
         self.metrics.heap_pushes += 1;
         self.undated -= 1;
@@ -567,8 +635,12 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         }
         debug_assert_eq!(self.bins.open_count(), 0, "all bins close at the end");
         let mut builder = InstanceBuilder::with_capacity(self.items.len());
-        for it in &self.items {
-            builder.push_interval(it.arrival, it.departure, it.size);
+        for i in 0..self.items.len() {
+            builder.push_interval(
+                self.items.arrivals[i],
+                self.items.departures[i],
+                self.items.sizes[i],
+            );
         }
         let instance = builder.build().expect("engine-built items are valid");
         // Items were pushed in (arrival, submission) order — re-admission
@@ -631,12 +703,14 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     fn pop_departure(&mut self) {
         let Reverse((dep, idx)) = self.departures.pop().expect("peeked before pop");
         self.metrics.heap_pops += 1;
-        let item = self.items[idx as usize];
-        if item.departure != dep {
-            // The item was displaced by a bin failure after this entry
-            // was queued; its re-admission (if any) carries its own entry.
+        if self.items.departures[idx as usize] != dep {
+            // Generation check: displacement truncated the departure
+            // column after this entry was queued, marking it stale. One
+            // column load decides — the full record is never touched; the
+            // re-admission (if any) carries its own entry.
             return;
         }
+        let item = self.items.get(idx);
         self.now = self.now.max(dep);
         let bin = self.assignment[idx as usize];
         let closed = self.bins.remove(bin, item.id, item.size, dep);
@@ -677,17 +751,27 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         };
         self.now = self.now.max(at);
         self.failures.report.bin_failures += 1;
-        // Residents, in ascending item id for a deterministic event order:
-        // assignment is final and bins are never reused, so "assigned here
-        // and not yet departed" is exactly the current population.
-        let residents: Vec<u32> = (0..self.items.len() as u32)
-            .filter(|&i| {
-                self.assignment[i as usize] == bin && self.items[i as usize].departure > at
-            })
-            .collect();
+        // Residents come straight off the bin's own resident list —
+        // O(residents), not a scan of every item ever admitted. Sorting
+        // ascending restores the deterministic event order of the old
+        // full-table scan (the list itself is swap_remove-shuffled).
+        // The list is exactly the population the scan found: departures
+        // `≤ at` drained before this crash (tie order), displaced items
+        // were removed at displacement, and bins never readmit.
+        let mut residents = std::mem::take(&mut self.failures.crash_scratch);
+        residents.clear();
+        residents.extend(
+            self.bins
+                .record(bin)
+                .expect("bin checked open above")
+                .items
+                .iter()
+                .map(|id| id.0),
+        );
+        residents.sort_unstable();
         debug_assert!(!residents.is_empty(), "open bins always hold an item");
         for &i in &residents {
-            let item = self.items[i as usize];
+            let item = self.items.get(i);
             assert!(
                 item.departure != Time(u64::MAX),
                 "cannot displace undated item {} (date it before injecting failures)",
@@ -703,9 +787,10 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             self.algo.on_departure(&item, bin, closed);
             self.failures.report.displacements += 1;
             // Truncate the played interval at the displacement; this also
-            // marks the departure-heap entry stale.
-            self.items[i as usize].departure = at;
-            let attempt = self.failures.attempts.get(&i).copied().unwrap_or(0) + 1;
+            // marks the departure-heap entry stale (the generation check
+            // in pop_departure).
+            self.items.departures[i as usize] = at;
+            let attempt = self.failures.attempts_of(i) + 1;
             self.failures.report.max_attempts = self.failures.report.max_attempts.max(attempt);
             let readmit_at = at.saturating_add(self.failures.retry.delay(attempt));
             if readmit_at >= item.departure {
@@ -726,6 +811,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
                 }));
             }
         }
+        self.failures.crash_scratch = residents;
         debug_assert!(
             self.bins.record(bin).is_some_and(|r| !r.is_open()),
             "draining every resident closes the failed bin"
@@ -755,7 +841,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         let bin = self.place(item)?;
         self.items.push(item);
         self.assignment.push(bin);
-        self.failures.attempts.insert(id.0, p.attempt);
+        self.failures.set_attempts(id.0, p.attempt);
         self.departures.push(Reverse((p.departure, id.0)));
         self.metrics.heap_pushes += 1;
         Ok(())

@@ -212,6 +212,17 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     }
 }
 
+/// A tee: every event goes to `.0`, then to `.1`. Compose with nesting
+/// (`(a, (b, c))`) for wider fan-out — e.g. recording a trace while the
+/// invariant auditor watches the same run.
+impl<A: EventSink, B: EventSink> EventSink for (A, B) {
+    #[inline]
+    fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+        self.0.on_event(event, bins);
+        self.1.on_event(event, bins);
+    }
+}
+
 /// Buffers every event in memory.
 #[derive(Debug, Default, Clone)]
 pub struct VecSink {
@@ -234,32 +245,53 @@ impl EventSink for VecSink {
 
 /// Streams events as JSON lines into any writer.
 ///
+/// Lines are serialized into an internal buffer (no per-event `String`)
+/// and handed to the writer in ~32 KiB batches, so tracing a long run
+/// costs one `write` syscall per few hundred events instead of one each.
+/// Call [`JsonlSink::finish`] to flush the tail.
+///
 /// I/O errors are latched (subsequent events are dropped) and surfaced by
 /// [`JsonlSink::finish`], since the sink callback itself is infallible.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,
+    buf: String,
     written: u64,
     error: Option<io::Error>,
 }
+
+/// Buffered bytes that trigger a batch write in [`JsonlSink`].
+const JSONL_FLUSH_BYTES: usize = 32 * 1024;
 
 impl<W: Write> JsonlSink<W> {
     /// Wraps `out`.
     pub fn new(out: W) -> JsonlSink<W> {
         JsonlSink {
             out,
+            buf: String::new(),
             written: 0,
             error: None,
         }
     }
 
-    /// Number of lines successfully written.
+    /// Number of lines serialized so far (buffered lines included).
     pub fn written(&self) -> u64 {
         self.written
     }
 
+    fn flush_buf(&mut self) {
+        if self.error.is_some() || self.buf.is_empty() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+        }
+        self.buf.clear();
+    }
+
     /// Flushes and returns the writer, or the first latched I/O error.
     pub fn finish(mut self) -> io::Result<W> {
+        self.flush_buf();
         if let Some(e) = self.error {
             return Err(e);
         }
@@ -273,11 +305,11 @@ impl<W: Write> EventSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        let mut line = event_to_json(event);
-        line.push('\n');
-        match self.out.write_all(line.as_bytes()) {
-            Ok(()) => self.written += 1,
-            Err(e) => self.error = Some(e),
+        write_event_json(&mut self.buf, event);
+        self.buf.push('\n');
+        self.written += 1;
+        if self.buf.len() >= JSONL_FLUSH_BYTES {
+            self.flush_buf();
         }
     }
 }
@@ -285,23 +317,37 @@ impl<W: Write> EventSink for JsonlSink<W> {
 /// Serializes one event as a single flat JSON object (no trailing newline).
 ///
 /// The schema is documented in DESIGN.md §9; [`event_from_json`] is the
-/// exact inverse.
+/// exact inverse. This is [`write_event_json`] into a fresh `String`;
+/// callers serializing many events should append into a reused buffer
+/// instead (as [`JsonlSink`] does).
 pub fn event_to_json(event: &EngineEvent) -> String {
-    match *event {
+    let mut out = String::new();
+    write_event_json(&mut out, event);
+    out
+}
+
+/// Appends one event's flat JSON object (no trailing newline) to `out` —
+/// the allocation-free form of [`event_to_json`].
+pub fn write_event_json(out: &mut String, event: &EngineEvent) {
+    use std::fmt::Write as _;
+    // Writing to a String is infallible; the results are discarded.
+    let _ = match *event {
         EngineEvent::Arrival {
             item,
             at,
             size,
             departure,
         } => match departure {
-            Some(dep) => format!(
+            Some(dep) => write!(
+                out,
                 "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{},\"dep\":{}}}",
                 at.0,
                 item.0,
                 size.raw(),
                 dep.0
             ),
-            None => format!(
+            None => write!(
+                out,
                 "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{}}}",
                 at.0,
                 item.0,
@@ -315,7 +361,8 @@ pub fn event_to_json(event: &EngineEvent) -> String {
             opened,
             via,
             load_after,
-        } => format!(
+        } => write!(
+            out,
             "{{\"e\":\"placed\",\"t\":{},\"item\":{},\"bin\":{},\"opened\":{},\"via\":\"{}\",\"load\":{}}}",
             at.0,
             item.0,
@@ -328,24 +375,28 @@ pub fn event_to_json(event: &EngineEvent) -> String {
             load_after.raw()
         ),
         EngineEvent::BinOpened { bin, at } => {
-            format!("{{\"e\":\"bin_opened\",\"t\":{},\"bin\":{}}}", at.0, bin.0)
+            write!(out, "{{\"e\":\"bin_opened\",\"t\":{},\"bin\":{}}}", at.0, bin.0)
         }
-        EngineEvent::Departure { item, at, bin, size } => format!(
+        EngineEvent::Departure { item, at, bin, size } => write!(
+            out,
             "{{\"e\":\"departure\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
             at.0,
             item.0,
             bin.0,
             size.raw()
         ),
-        EngineEvent::BinClosed { bin, at, opened_at } => format!(
+        EngineEvent::BinClosed { bin, at, opened_at } => write!(
+            out,
             "{{\"e\":\"bin_closed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
             at.0, bin.0, opened_at.0
         ),
-        EngineEvent::BinFailed { bin, at, opened_at } => format!(
+        EngineEvent::BinFailed { bin, at, opened_at } => write!(
+            out,
             "{{\"e\":\"bin_failed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
             at.0, bin.0, opened_at.0
         ),
-        EngineEvent::ItemDisplaced { item, at, bin, size } => format!(
+        EngineEvent::ItemDisplaced { item, at, bin, size } => write!(
+            out,
             "{{\"e\":\"displaced\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
             at.0,
             item.0,
@@ -359,7 +410,8 @@ pub fn event_to_json(event: &EngineEvent) -> String {
             size,
             departure,
             attempt,
-        } => format!(
+        } => write!(
+            out,
             "{{\"e\":\"readmitted\",\"t\":{},\"item\":{},\"orig\":{},\"size\":{},\"dep\":{},\"attempt\":{}}}",
             at.0,
             item.0,
@@ -369,9 +421,9 @@ pub fn event_to_json(event: &EngineEvent) -> String {
             attempt
         ),
         EngineEvent::ClockAdvanced { from, to } => {
-            format!("{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
+            write!(out, "{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
         }
-    }
+    };
 }
 
 /// A malformed trace line.
