@@ -66,6 +66,7 @@ impl Args {
 }
 
 fn main() {
+    dbp_bench::pipe::install();
     let args = Args::parse();
     let seed = args.num("seed", 1);
     let inst: Instance = match args.family.as_str() {

@@ -27,6 +27,7 @@ use dbp_core::{compare_goals, engine, FailurePlan, RetryPolicy};
 use dbp_workloads::parse_trace;
 
 fn main() {
+    dbp_bench::pipe::install();
     let mut path = None;
     let mut algos: Vec<String> = Vec::new();
     let mut gantt = false;

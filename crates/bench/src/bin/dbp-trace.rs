@@ -19,12 +19,14 @@
 use std::process::ExitCode;
 
 use dbp_core::trace::{parse_jsonl, EngineEvent, EventSink, JsonlSink};
-use dbp_core::{engine, BinStore, InvariantAuditor, ItemId, Size};
+use dbp_core::{engine, BinStore, Dur, FailurePlan, InvariantAuditor, ItemId, RetryPolicy, Size};
 use dbp_workloads::parse_trace;
 
 fn usage() -> ! {
     eprintln!(
         "usage: dbp-trace record <trace.csv> --algo NAME [-o out.jsonl]\n\
+         \u{20}             [--fail-rate F] [--fail-seed N] [--fail-mtbf T]\n\
+         \u{20}             [--retry immediate|fixed=<t>|exp=<t>]\n\
          \u{20}      dbp-trace replay <run.jsonl>\n\
          \u{20}      dbp-trace diff <a.jsonl> <b.jsonl>\n\
          algorithms: {:?}",
@@ -51,11 +53,26 @@ fn record(args: &[String]) -> ExitCode {
     let mut input = None;
     let mut algo_name = None;
     let mut out_path = None;
+    let mut fail_rate = 0.0f64;
+    let mut fail_seed = 0u64;
+    let mut fail_mtbf = 1000u64;
+    let mut retry = RetryPolicy::Immediate;
+    let next = |it: &mut std::slice::Iter<String>| it.next().cloned().unwrap_or_else(|| usage());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--algo" => algo_name = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "-o" | "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--algo" => algo_name = Some(next(&mut it)),
+            "-o" | "--out" => out_path = Some(next(&mut it)),
+            "--fail-rate" => fail_rate = next(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--fail-seed" => fail_seed = next(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--fail-mtbf" => fail_mtbf = next(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--retry" => {
+                let raw = next(&mut it);
+                retry = RetryPolicy::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad retry policy '{raw}' (immediate|fixed=<ticks>|exp=<ticks>)");
+                    std::process::exit(2);
+                });
+            }
             other => input = Some(other.to_string()),
         }
     }
@@ -78,13 +95,21 @@ fn record(args: &[String]) -> ExitCode {
         })),
         None => Box::new(std::io::stdout().lock()),
     };
+    let plan = if fail_rate > 0.0 {
+        FailurePlan::seeded(fail_rate, fail_seed, Dur(fail_mtbf))
+    } else {
+        FailurePlan::None
+    };
     let mut sink = JsonlSink::new(std::io::BufWriter::new(out));
-    let res = engine::run_with_sink(&inst, algo, &mut sink).unwrap_or_else(|e| {
+    let res = engine::run_with_failures(&inst, algo, plan, retry, &mut sink).unwrap_or_else(|e| {
         eprintln!("{algo_name}: illegal move: {e}");
         std::process::exit(1);
     });
     let written = sink.written();
     if let Err(e) = sink.finish() {
+        if dbp_bench::pipe::is_broken_pipe(&e) {
+            return ExitCode::SUCCESS; // consumer closed the pipe — done
+        }
         eprintln!("write failed: {e}");
         return ExitCode::FAILURE;
     }
@@ -103,6 +128,13 @@ fn record(args: &[String]) -> ExitCode {
         m.linear_scans,
         m.tree_compactions,
     );
+    let r = &res.resilience;
+    if r.bin_failures > 0 {
+        eprintln!(
+            "{algo_name}: {} bin failures, {} displaced, {} readmitted, {} dropped",
+            r.bin_failures, r.displacements, r.readmissions, r.dropped,
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -212,6 +244,7 @@ fn diff(path_a: &str, path_b: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    dbp_bench::pipe::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),

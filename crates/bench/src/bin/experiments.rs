@@ -23,10 +23,12 @@ use dbp_bench::{bracket, sweep, throughput};
 use dbp_core::failure::RetryPolicy;
 
 fn main() {
+    dbp_bench::pipe::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("throughput") => return run_throughput(&args[1..]),
         Some("bench-validate") => return run_bench_validate(&args[1..]),
+        Some("serve-soak") => return run_serve_soak(&args[1..]),
         _ => {}
     }
     let mut out_dir: Option<PathBuf> = None;
@@ -183,7 +185,8 @@ fn print_usage() {
          [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] <id>... | all\n\
        experiments throughput [--items N] [--samples K] [--label L] \
          [--configs a,b,..] [--bench-out FILE]\n\
-       experiments bench-validate FILE\n\n\
+       experiments bench-validate FILE\n\
+       experiments serve-soak [--items N] [--slack N] [--algo NAME] [--seed S]\n\n\
          --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
          `resilience` experiment's crash stream and re-admission backoff.\n\
          --threads pins the sweep worker count; reports are byte-identical across\n\
@@ -195,6 +198,135 @@ fn print_usage() {
     );
     for (id, _) in registry() {
         println!("  {id}");
+    }
+}
+
+/// `experiments serve-soak`: a long churn stream through one daemon
+/// session — exercises the compaction policy for real and fails (exit 1)
+/// if the item table ever exceeds its bound, so CI can assert that
+/// steady-state memory tracks the live set, not the item count.
+fn run_serve_soak(args: &[String]) {
+    use dbp_core::EngineEvent;
+    use dbp_serve::protocol::{Op, Request};
+    use dbp_serve::{ServeConfig, Session};
+    use dbp_workloads::{random_general, DurationDist, GeneralConfig};
+
+    let mut items = 200_000usize;
+    let mut slack = 64usize;
+    let mut algo = String::from("first-fit");
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} requires {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--items" => {
+                items = take("an item count")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad item count");
+                        std::process::exit(2);
+                    })
+            }
+            "--slack" => {
+                slack = take("a slack").parse().unwrap_or_else(|_| {
+                    eprintln!("bad slack");
+                    std::process::exit(2);
+                })
+            }
+            "--algo" => algo = take("an algorithm name"),
+            "--seed" => {
+                seed = take("a seed").parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown serve-soak flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Short-lived items trickling in: the live set stays small while the
+    // total item count — what an uncompacted table would hold — grows
+    // without bound.
+    let wl = GeneralConfig {
+        items,
+        mean_gap: 2,
+        durations: DurationDist::Fixed { ticks: 8 },
+        size_range: (5, 30, 100),
+    };
+    let inst = random_general(&wl, seed);
+    let cfg = ServeConfig {
+        algo,
+        compact_slack: slack,
+        ..ServeConfig::default()
+    };
+    let mut session = Session::new("soak", &cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let bound_slack = slack.max(1);
+    let started = Instant::now();
+    let mut peak_live = 0usize;
+    let mut peak_table = 0usize;
+    let mut response_bytes = 0usize;
+    let mut violations = 0usize;
+    for item in inst.items() {
+        session.handle(&Request::Event {
+            tenant: None,
+            event: EngineEvent::Arrival {
+                item: dbp_core::ItemId(0),
+                at: item.arrival,
+                size: item.size,
+                departure: Some(item.departure),
+            },
+        });
+        response_bytes += session.take_output().len();
+        let (live, table) = (session.live_items(), session.table_len());
+        peak_live = peak_live.max(live);
+        peak_table = peak_table.max(table);
+        if table >= 2 * live + bound_slack {
+            violations += 1;
+        }
+    }
+    session.handle(&Request::Control {
+        tenant: None,
+        op: Op::Drain,
+    });
+    response_bytes += session.take_output().len();
+    let elapsed = started.elapsed();
+
+    let m = session.effective_metrics();
+    println!(
+        "serve-soak: {items} items in {:.2}s ({:.0} items/s), {} response bytes",
+        elapsed.as_secs_f64(),
+        items as f64 / elapsed.as_secs_f64().max(1e-9),
+        response_bytes,
+    );
+    println!(
+        "serve-soak: peak live {peak_live}, peak table {peak_table} \
+         (bound 2*live+{bound_slack}), final cost {}",
+        session.effective_cost(),
+    );
+    assert_eq!(m.arrivals, items as u64, "every arrival must be played");
+    if violations > 0 {
+        eprintln!("serve-soak: table bound violated after {violations} events");
+        std::process::exit(1);
+    }
+    if items >= 10 * peak_live.max(1) {
+        println!(
+            "serve-soak: churn factor {}x — steady-state memory is bounded",
+            items / peak_live.max(1)
+        );
     }
 }
 

@@ -13,5 +13,6 @@
 pub mod bracket;
 pub mod experiments;
 pub mod matrix;
+pub mod pipe;
 pub mod sweep;
 pub mod throughput;

@@ -1,0 +1,77 @@
+//! Quiet exits when the consumer closes our stdout early.
+//!
+//! `dbp-gen … | head`, `dbp-trace record … | head -5`, and friends used
+//! to die noisily: Rust ignores `SIGPIPE`, so writes to the closed pipe
+//! return `ErrorKind::BrokenPipe`, `println!` turns that into a panic,
+//! and the user sees a backtrace plus exit code 101 for what is a
+//! perfectly normal way to sample a long output stream.
+//!
+//! Every CLI main calls [`install`] first. It wraps the panic hook so a
+//! broken-pipe write panic becomes a silent `exit(0)` (the Unix
+//! convention: the pipeline decided it had enough); any other panic goes
+//! to the previous hook untouched. Paths that handle `io::Error`
+//! explicitly (sink flushes, file copies to stdout) should consult
+//! [`is_broken_pipe`] and exit 0 themselves rather than report failure.
+
+use std::io;
+
+/// Whether an I/O error chain is a broken pipe (direct, or wrapped by a
+/// formatter/buffer layer that stored it as a custom payload or source).
+///
+/// `io::Error::source()` skips the custom payload itself (it forwards to
+/// the *payload's* source), so a wrapped `io::Error` is only reachable
+/// through `get_ref()` — check both.
+pub fn is_broken_pipe(err: &io::Error) -> bool {
+    fn walk(e: &(dyn std::error::Error + 'static)) -> bool {
+        if let Some(io_err) = e.downcast_ref::<io::Error>() {
+            if io_err.kind() == io::ErrorKind::BrokenPipe {
+                return true;
+            }
+            if io_err.get_ref().is_some_and(|inner| walk(inner)) {
+                return true;
+            }
+        }
+        e.source().is_some_and(walk)
+    }
+    if err.kind() == io::ErrorKind::BrokenPipe {
+        return true;
+    }
+    err.get_ref().is_some_and(|inner| walk(inner))
+        || std::error::Error::source(err).is_some_and(walk)
+}
+
+/// Installs the broken-pipe panic hook (idempotent enough for a CLI:
+/// call once at the top of `main`).
+pub fn install() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        // `println!` panics with "failed printing to stdout: Broken pipe
+        // (os error 32)"; `write_all(..).expect(..)` stringifies the
+        // io::Error the same way.
+        if msg.contains("Broken pipe") || msg.contains("BrokenPipe") {
+            std::process::exit(0);
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_direct_and_wrapped_broken_pipes() {
+        let direct = io::Error::from(io::ErrorKind::BrokenPipe);
+        assert!(is_broken_pipe(&direct));
+        let wrapped = io::Error::other(io::Error::from(io::ErrorKind::BrokenPipe));
+        assert!(is_broken_pipe(&wrapped));
+        let other = io::Error::from(io::ErrorKind::NotFound);
+        assert!(!is_broken_pipe(&other));
+    }
+}

@@ -1,0 +1,59 @@
+//! `tool … | head` must exit 0, quietly.
+//!
+//! Rust ignores `SIGPIPE`, so when the consumer closes stdout early the
+//! CLIs used to panic out of `write_all`/`println!` with a backtrace and
+//! exit code 101. These tests spawn the real binaries with a piped
+//! stdout, read a little, slam the pipe shut, and require a clean exit.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+
+/// Spawns `cmd`, reads a few bytes of stdout (proving the tool was
+/// mid-stream), closes the read end, and returns the exit status.
+fn close_pipe_early(mut cmd: Command) -> std::process::ExitStatus {
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let mut out = child.stdout.take().expect("stdout piped");
+    let mut first = [0u8; 256];
+    let n = out.read(&mut first).expect("first read");
+    assert!(n > 0, "tool produced no output before the pipe closed");
+    drop(out); // EPIPE for every write past the kernel buffer
+    child.wait().expect("wait")
+}
+
+#[test]
+fn dbp_gen_exits_cleanly_when_stdout_closes() {
+    // ~200k items of CSV — far beyond any pipe buffer.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dbp-gen"));
+    cmd.args(["general", "--n", "6", "--items", "200000"]);
+    let status = close_pipe_early(cmd);
+    assert!(
+        status.success(),
+        "dbp-gen should treat a closed pipe as success, got {status:?}"
+    );
+}
+
+#[test]
+fn dbp_trace_record_exits_cleanly_when_stdout_closes() {
+    let dir = std::env::temp_dir().join(format!("dbp-pipe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("trace.csv");
+    let gen = Command::new(env!("CARGO_BIN_EXE_dbp-gen"))
+        .args(["general", "--n", "6", "--items", "100000", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("dbp-gen runs");
+    assert!(gen.success());
+
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dbp-trace"));
+    cmd.arg("record").arg(&csv).args(["--algo", "first-fit"]);
+    let status = close_pipe_early(cmd);
+    assert!(
+        status.success(),
+        "dbp-trace record should treat a closed pipe as success, got {status:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

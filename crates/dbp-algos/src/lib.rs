@@ -37,7 +37,11 @@ use dbp_core::algorithm::OnlineAlgorithm;
 /// Constructs an algorithm by registry name. Names:
 /// `first-fit`, `best-fit`, `worst-fit`, `next-fit`, `cbd`,
 /// `cbd:<width>`, `hybrid`, `cdff`, `departure-aware`.
-pub fn by_name(name: &str) -> Option<Box<dyn OnlineAlgorithm>> {
+///
+/// The box is `Send` so drivers that host an algorithm per worker
+/// thread (the serve daemon's tenant sessions) can move it; it coerces
+/// to a plain `Box<dyn OnlineAlgorithm>` where the bound is unneeded.
+pub fn by_name(name: &str) -> Option<Box<dyn OnlineAlgorithm + Send>> {
     Some(match name {
         "first-fit" | "ff" => Box::new(FirstFit::new()),
         "best-fit" | "bf" => Box::new(BestFit::new()),
@@ -73,7 +77,7 @@ pub fn registry_names() -> &'static [&'static str] {
 }
 
 /// Fresh instances of the full online-algorithm suite (for sweep drivers).
-pub fn full_suite() -> Vec<Box<dyn OnlineAlgorithm>> {
+pub fn full_suite() -> Vec<Box<dyn OnlineAlgorithm + Send>> {
     registry_names()
         .iter()
         .map(|n| by_name(n).expect("registry names construct"))

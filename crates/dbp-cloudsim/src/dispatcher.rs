@@ -93,6 +93,42 @@ impl<A: OnlineAlgorithm> OnlineAlgorithm for PredictedLens<A> {
         self.inner.on_departure(&seen, bin, bin_closed);
     }
 
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        // Re-key the in-flight views to the new dense id space so the
+        // matching `on_departure` still finds them.
+        let mut in_flight = HashMap::with_capacity(self.in_flight.len());
+        for (new, &old) in retained.iter().enumerate() {
+            if let Some(seen) = self.in_flight.remove(&old) {
+                let id = ItemId(new as u32);
+                in_flight.insert(id, Item::new(id, seen.arrival, seen.departure, seen.size));
+            }
+        }
+        self.in_flight = in_flight;
+        // Re-index the prediction table: retained rows already arrived (a
+        // placeholder suffices — only arrivals read the table), while
+        // forecasts for items yet to arrive shift from `old_len..` down to
+        // `retained.len()..`, keeping future ids aligned.
+        if !self.predictions.is_empty() {
+            let tail: Vec<Time> = self
+                .predictions
+                .get(old_len..)
+                .map(|t| t.to_vec())
+                .unwrap_or_default();
+            let mut predictions = Vec::with_capacity(retained.len() + tail.len());
+            for &old in retained {
+                predictions.push(
+                    self.predictions
+                        .get(old.index())
+                        .copied()
+                        .unwrap_or(Time(u64::MAX)),
+                );
+            }
+            predictions.extend(tail);
+            self.predictions = predictions;
+        }
+        self.inner.on_compact(retained, old_len);
+    }
+
     fn reset(&mut self) {
         self.in_flight.clear();
         self.inner.reset();

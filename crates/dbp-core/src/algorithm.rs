@@ -12,7 +12,7 @@
 //! algorithm cannot corrupt the accounting that the experiments depend on.
 
 use crate::bin_state::{BinId, BinRecord, BinStore};
-use crate::item::Item;
+use crate::item::{Item, ItemId};
 use crate::size::Size;
 use crate::time::Time;
 
@@ -141,6 +141,16 @@ pub trait OnlineAlgorithm {
         let _ = (item, bin, bin_closed);
     }
 
+    /// Notification that the engine compacted its item table (see
+    /// [`crate::engine::InteractiveSim::compact`]). `retained[new]` is the
+    /// *old* id of the row now living at index `new`; `old_len` was the
+    /// table length before compaction, so ids `old_len..` are unassigned in
+    /// both numberings. Algorithms keeping [`ItemId`]-keyed state must
+    /// rewrite it here; id-oblivious algorithms (the default) ignore it.
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        let _ = (retained, old_len);
+    }
+
     /// Reset all internal state so the value can run another instance.
     fn reset(&mut self);
 }
@@ -154,6 +164,9 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for &mut T {
     }
     fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
         (**self).on_departure(item, bin, bin_closed)
+    }
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        (**self).on_compact(retained, old_len)
     }
     fn reset(&mut self) {
         (**self).reset()
@@ -169,6 +182,9 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
     }
     fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
         (**self).on_departure(item, bin, bin_closed)
+    }
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        (**self).on_compact(retained, old_len)
     }
     fn reset(&mut self) {
         (**self).reset()

@@ -326,6 +326,26 @@ impl BinStore {
     pub fn compactions(&self) -> u64 {
         self.compactions
     }
+
+    /// Renumbers resident item ids after an engine item-table compaction:
+    /// `old_to_new[old] == new` (or `u32::MAX` for dropped rows — never a
+    /// resident). Rewrites every open bin's resident list and rebuilds the
+    /// item position index for the dense new id space of `new_len` rows.
+    pub(crate) fn remap_items(&mut self, old_to_new: &[u32], new_len: usize) {
+        self.item_pos.clear();
+        self.item_pos.resize(new_len, NO_POS);
+        for rec in &mut self.bins {
+            if !rec.is_open() {
+                continue;
+            }
+            for (pos, item) in rec.items.iter_mut().enumerate() {
+                let new = old_to_new[item.index()];
+                debug_assert!(new != u32::MAX, "resident items survive compaction");
+                *item = ItemId(new);
+                self.item_pos[new as usize] = pos as u32;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

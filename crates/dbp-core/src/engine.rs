@@ -282,6 +282,9 @@ pub struct InteractiveSim<A: OnlineAlgorithm, S: EventSink = NoopSink> {
     max_open: usize,
     timeline: Vec<(Time, usize)>,
     undated: usize,
+    /// Items currently resident in a bin (arrived, not yet departed or
+    /// displaced). Drives the daemon's compaction policy.
+    resident: usize,
     sink: S,
     metrics: RunMetrics,
     failures: FailureCtl,
@@ -353,6 +356,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             // the steady-state loop free of growth reallocations.
             timeline: Vec::with_capacity(if items > 0 { 2 * items + 1 } else { 0 }),
             undated: 0,
+            resident: 0,
             sink,
             metrics: RunMetrics::default(),
             failures: FailureCtl::new(plan, retry),
@@ -395,6 +399,181 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     #[inline]
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
+    }
+
+    /// The failure-side ledger accumulated so far.
+    #[inline]
+    pub fn resilience(&self) -> &ResilienceReport {
+        &self.failures.report
+    }
+
+    /// Usage cost of all bins *closed* so far (open bins bill on close).
+    #[inline]
+    pub fn cost_so_far(&self) -> Area {
+        self.cost
+    }
+
+    /// Items currently resident in a bin (arrived, not departed/displaced).
+    #[inline]
+    pub fn resident_items(&self) -> usize {
+        self.resident
+    }
+
+    /// Peak simultaneously-open bin count so far (the quantity
+    /// [`PackingResult::max_open`] reports at the end of a batch run).
+    #[inline]
+    pub fn max_open(&self) -> usize {
+        self.max_open
+    }
+
+    /// Rows in the item table — the quantity [`InteractiveSim::compact`]
+    /// bounds. Grows by one per arrival/re-admission, shrinks on compaction.
+    #[inline]
+    pub fn table_len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Mutable access to the attached sink (e.g. to drain a buffer the
+    /// sink filled during the last call).
+    #[inline]
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Read-only access to the attached sink.
+    #[inline]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Displaced items currently waiting out their re-admission backoff.
+    /// Serializers (the serve daemon's snapshot) use this to detect
+    /// in-flight failure state a snapshot cannot carry.
+    #[inline]
+    pub fn pending_readmissions(&self) -> usize {
+        self.failures.readmits.len()
+    }
+
+    /// The live items: `(id, item, bin)` for every resident row, in id
+    /// order. Undated items report the `Time(u64::MAX)` placeholder.
+    pub fn live_items(&self) -> impl Iterator<Item = (ItemId, Item, BinId)> + '_ {
+        (0..self.items.len() as u32).filter_map(move |i| {
+            let dep = self.items.departures[i as usize];
+            (dep > self.now).then(|| (ItemId(i), self.items.get(i), self.assignment[i as usize]))
+        })
+    }
+
+    /// Drains every remaining departure (and scheduled crash /
+    /// re-admission) without consuming the simulator or emitting a
+    /// `ClockAdvanced` — exactly the terminal drain [`InteractiveSim::finish`]
+    /// performs, exposed for drivers (the serve daemon) that need the final
+    /// counters but not the replayed [`Instance`].
+    pub fn drain_remaining(&mut self) -> Result<(), EngineError> {
+        self.process_departures_up_to(Time(u64::MAX))
+    }
+
+    /// Compacts the item table: drops every row that is neither resident
+    /// (departure in the future, or undated) nor referenced as the parent
+    /// of a pending re-admission, renumbering the survivors densely in
+    /// their original order. Returns `retained`, where `retained[new]` is
+    /// the old id of the row now at index `new`; the same mapping is pushed
+    /// to the algorithm and the sink via their `on_compact` hooks before
+    /// this returns.
+    ///
+    /// All engine state is rewritten consistently (departure/re-admission
+    /// queues, per-bin resident lists, attempt counters); stale
+    /// departure-heap entries discarded here are accounted as heap pops, so
+    /// final [`RunMetrics`] match an uncompacted run bit-for-bit. The
+    /// open-bin timeline is truncated to its last breakpoint — long-running
+    /// daemons cannot afford one entry per event — so
+    /// [`PackingResult::cost_from_timeline`] only covers the tail after the
+    /// last compaction. Outstanding [`ItemId`]s held by the caller are
+    /// invalidated (translate them through `retained`); whole-run mirrors
+    /// like the invariant auditor are incompatible with compaction.
+    pub fn compact(&mut self) -> Vec<ItemId> {
+        let old_len = self.items.len();
+        let mut keep = vec![false; old_len];
+        for (i, k) in keep.iter_mut().enumerate() {
+            *k = self.items.departures[i] > self.now;
+        }
+        // Parent rows of pending re-admissions stay, so the forthcoming
+        // `ItemReadmitted { original }` still names a translatable row.
+        for Reverse(p) in self.failures.readmits.iter() {
+            keep[p.parent as usize] = true;
+        }
+        let mut old_to_new = vec![u32::MAX; old_len];
+        let mut retained = Vec::new();
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                old_to_new[i] = retained.len() as u32;
+                retained.push(ItemId(i as u32));
+            }
+        }
+        if retained.len() == old_len {
+            // Nothing to drop; skip the rewrite (hooks still fire so
+            // callers can treat every compact() uniformly).
+            self.algo.on_compact(&retained, old_len);
+            self.sink.on_compact(&retained, old_len);
+            return retained;
+        }
+        // Columns + assignment: in-place dense retain, preserving order
+        // (ids must stay in (arrival, submission) order).
+        for (new, &ItemId(old)) in retained.iter().enumerate() {
+            let old = old as usize;
+            self.items.arrivals[new] = self.items.arrivals[old];
+            self.items.departures[new] = self.items.departures[old];
+            self.items.sizes[new] = self.items.sizes[old];
+            self.assignment[new] = self.assignment[old];
+        }
+        self.items.arrivals.truncate(retained.len());
+        self.items.departures.truncate(retained.len());
+        self.items.sizes.truncate(retained.len());
+        self.assignment.truncate(retained.len());
+        // Departure heap: re-key live entries, discard the rest. A stale
+        // entry (queued departure no longer matching its row's column, or
+        // a dead row) would have been popped-and-skipped eventually; count
+        // it as popped now so final metrics match the lazy path.
+        let old_heap = std::mem::take(&mut self.departures);
+        let mut rebuilt = BinaryHeap::with_capacity(old_heap.len());
+        for Reverse((dep, idx)) in old_heap.into_iter() {
+            let new = old_to_new[idx as usize];
+            if new != u32::MAX && self.items.departures[new as usize] == dep {
+                rebuilt.push(Reverse((dep, new)));
+            } else {
+                self.metrics.heap_pops += 1;
+            }
+        }
+        self.departures = rebuilt;
+        // Re-admission queue: re-key parents. The remap is monotone, so
+        // the (at, parent) drain order is unchanged.
+        let old_readmits = std::mem::take(&mut self.failures.readmits);
+        let mut readmits = BinaryHeap::with_capacity(old_readmits.len());
+        for Reverse(mut p) in old_readmits.into_iter() {
+            p.parent = old_to_new[p.parent as usize];
+            debug_assert!(p.parent != u32::MAX, "parents were kept above");
+            readmits.push(Reverse(p));
+        }
+        self.failures.readmits = readmits;
+        // Attempt counters follow their rows.
+        if !self.failures.attempts.is_empty() {
+            let old_attempts = std::mem::take(&mut self.failures.attempts);
+            self.failures.attempts = retained
+                .iter()
+                .map(|&ItemId(old)| old_attempts.get(old as usize).copied().unwrap_or(0))
+                .collect();
+        }
+        // Per-bin resident lists and the item position index.
+        self.bins.remap_items(&old_to_new, retained.len());
+        // Timeline: keep only the last breakpoint so the
+        // `record_open_count_at` dedup still sees it.
+        if self.timeline.len() > 1 {
+            let last = *self.timeline.last().expect("checked non-empty");
+            self.timeline.clear();
+            self.timeline.push(last);
+        }
+        self.algo.on_compact(&retained, old_len);
+        self.sink.on_compact(&retained, old_len);
+        retained
     }
 
     /// Emits an engine event to the attached sink.
@@ -612,6 +791,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             PlacementPath::Scan => self.metrics.scan_placements += 1,
         }
         let load_after = self.bins.record(bin).expect("bin just used").load;
+        self.resident += 1;
         self.emit(EngineEvent::Placed {
             item: id,
             at: self.now,
@@ -713,6 +893,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         let item = self.items.get(idx);
         self.now = self.now.max(dep);
         let bin = self.assignment[idx as usize];
+        self.resident -= 1;
         let closed = self.bins.remove(bin, item.id, item.size, dep);
         self.emit(EngineEvent::Departure {
             item: item.id,
@@ -777,6 +958,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
                 "cannot displace undated item {} (date it before injecting failures)",
                 item.id
             );
+            self.resident -= 1;
             let closed = self.bins.remove(bin, item.id, item.size, at);
             self.emit(EngineEvent::ItemDisplaced {
                 item: item.id,
@@ -1408,6 +1590,145 @@ mod tests {
         assert_eq!(res.resilience.max_attempts, 2, "same request bounced twice");
         assert_eq!(res.bins_opened, 3);
         assert_eq!(res.cost.as_bin_ticks(), 2.0 + 2.0 + 16.0);
+    }
+
+    #[test]
+    fn compaction_preserves_cost_and_metrics() {
+        let items: Vec<(Time, Dur, Size)> = (0..400u64)
+            .map(|k| (Time(k / 2), Dur(3 + k % 7), sz(1 + k % 3, 4)))
+            .collect();
+        let mut plain = InteractiveSim::new(Ff);
+        for &(t, d, s) in &items {
+            plain.arrive_at(t, d, s).unwrap();
+        }
+        plain.drain_remaining().unwrap();
+        let mut compacted = InteractiveSim::new(Ff);
+        for (k, &(t, d, s)) in items.iter().enumerate() {
+            compacted.arrive_at(t, d, s).unwrap();
+            if k % 50 == 49 {
+                compacted.compact();
+            }
+        }
+        compacted.drain_remaining().unwrap();
+        assert_eq!(plain.cost_so_far(), compacted.cost_so_far());
+        assert_eq!(plain.metrics(), compacted.metrics());
+        assert_eq!(plain.bins_opened(), compacted.bins_opened());
+        assert_eq!(compacted.resident_items(), 0);
+        assert!(
+            compacted.table_len() < items.len(),
+            "compaction dropped departed rows ({} of {})",
+            compacted.table_len(),
+            items.len()
+        );
+    }
+
+    #[test]
+    fn compaction_with_failures_matches_uncompacted_run() {
+        // Displacements truncate departure columns, so the compacted run
+        // must discard stale heap entries AND bill them as pops; pending
+        // re-admission parents must survive the row drop.
+        let items: Vec<(Time, Dur, Size)> = (0..200u64)
+            .map(|k| (Time(k / 2), Dur(6 + k % 9), sz(1 + k % 3, 4)))
+            .collect();
+        let plan = || FailurePlan::seeded(0.6, 11, Dur(4));
+        let retry = RetryPolicy::Fixed(Dur(2));
+        let mut plain =
+            InteractiveSim::with_capacity_failures_and_sink(Ff, 0, plan(), retry, NoopSink);
+        for &(t, d, s) in &items {
+            plain.arrive_at(t, d, s).unwrap();
+        }
+        plain.drain_remaining().unwrap();
+        let mut compacted =
+            InteractiveSim::with_capacity_failures_and_sink(Ff, 0, plan(), retry, NoopSink);
+        for (k, &(t, d, s)) in items.iter().enumerate() {
+            compacted.arrive_at(t, d, s).unwrap();
+            if k % 17 == 16 {
+                compacted.compact();
+            }
+        }
+        compacted.drain_remaining().unwrap();
+        assert!(plain.resilience().bin_failures > 0, "plan fires");
+        assert_eq!(plain.cost_so_far(), compacted.cost_so_far());
+        assert_eq!(plain.metrics(), compacted.metrics());
+        assert_eq!(plain.resilience(), compacted.resilience());
+        assert_eq!(plain.bins_opened(), compacted.bins_opened());
+    }
+
+    #[test]
+    fn compaction_bounds_the_table_under_churn() {
+        // 2000 sequential short items, never more than ~2 live at once: the
+        // compacted table must stay within a constant of the live count.
+        let mut sim = InteractiveSim::new(Ff);
+        let mut peak_live = 0;
+        for k in 0..2000u64 {
+            sim.arrive_at(Time(k), Dur(2), sz(1, 2)).unwrap();
+            peak_live = peak_live.max(sim.resident_items());
+            if sim.table_len() >= 2 * sim.resident_items() + 16 {
+                sim.compact();
+            }
+        }
+        assert!(peak_live <= 3);
+        assert!(
+            sim.table_len() <= 2 * peak_live + 16,
+            "table {} vs peak live {}",
+            sim.table_len(),
+            peak_live
+        );
+        sim.drain_remaining().unwrap();
+        assert_eq!(sim.resident_items(), 0);
+    }
+
+    #[test]
+    fn on_compact_reports_the_retained_mapping() {
+        use std::collections::HashMap;
+        /// First-Fit that checks every departure against what it recorded
+        /// at arrival, following compaction remaps.
+        #[derive(Default)]
+        struct Tracking {
+            sizes: HashMap<u32, Size>,
+            compactions: usize,
+        }
+        impl OnlineAlgorithm for Tracking {
+            fn name(&self) -> &str {
+                "tracking"
+            }
+            fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+                self.sizes.insert(item.id.0, item.size);
+                match view.first_fit(item.size) {
+                    Some(b) => Placement::Existing(b),
+                    None => Placement::OpenNew,
+                }
+            }
+            fn on_departure(&mut self, item: &Item, _bin: BinId, _closed: bool) {
+                let recorded = self.sizes.remove(&item.id.0);
+                assert_eq!(recorded, Some(item.size), "id {} remapped wrong", item.id);
+            }
+            fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+                self.compactions += 1;
+                let mut next = HashMap::with_capacity(retained.len());
+                for (new, &old) in retained.iter().enumerate() {
+                    assert!((old.0 as usize) < old_len);
+                    if let Some(s) = self.sizes.remove(&old.0) {
+                        next.insert(new as u32, s);
+                    }
+                }
+                assert!(self.sizes.is_empty(), "live state beyond the mapping");
+                self.sizes = next;
+            }
+            fn reset(&mut self) {
+                self.sizes.clear();
+            }
+        }
+        let mut sim = InteractiveSim::new(Tracking::default());
+        for k in 0..300u64 {
+            sim.arrive_at(Time(k), Dur(4), sz(1, 3)).unwrap();
+            if k % 25 == 24 {
+                sim.compact();
+            }
+        }
+        sim.drain_remaining().unwrap();
+        assert!(sim.algorithm().compactions >= 10);
+        assert!(sim.algorithm().sizes.is_empty(), "all departures matched");
     }
 
     #[test]

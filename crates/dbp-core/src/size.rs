@@ -39,6 +39,14 @@ impl Size {
         Size(raw)
     }
 
+    /// Checked [`Size::from_raw`]: `None` when `raw > SIZE_SCALE`. Use this
+    /// on untrusted inputs (wire decoders) where an oversized raw value
+    /// must become a typed error, not a panic.
+    #[inline]
+    pub fn try_from_raw(raw: u64) -> Option<Size> {
+        (raw <= SIZE_SCALE).then_some(Size(raw))
+    }
+
     /// The size `num / den`, rounded down to the grid.
     ///
     /// # Panics

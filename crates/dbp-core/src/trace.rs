@@ -194,6 +194,18 @@ impl EngineEvent {
 pub trait EventSink {
     /// Called once per event, in emission order.
     fn on_event(&mut self, event: &EngineEvent, bins: &BinStore);
+
+    /// Called when the engine compacts its item table: `retained[new]` is
+    /// the *old* [`ItemId`] of the row now at index `new`, `old_len` the
+    /// pre-compaction table length. Item ids in *subsequent* events use the
+    /// new numbering; sinks keeping id-keyed state (or translating ids for
+    /// an external consumer) must rewrite it here. The default ignores it —
+    /// correct for sinks that only ever see each id between its arrival and
+    /// departure, wrong for whole-run mirrors like the invariant auditor
+    /// (which is documented as incompatible with compaction).
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        let _ = (retained, old_len);
+    }
 }
 
 /// The default sink: listens to nothing, costs nothing.
@@ -210,6 +222,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
         (**self).on_event(event, bins)
     }
+    #[inline]
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        (**self).on_compact(retained, old_len)
+    }
 }
 
 /// A tee: every event goes to `.0`, then to `.1`. Compose with nesting
@@ -220,6 +236,11 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
         self.0.on_event(event, bins);
         self.1.on_event(event, bins);
+    }
+    #[inline]
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        self.0.on_compact(retained, old_len);
+        self.1.on_compact(retained, old_len);
     }
 }
 
@@ -252,9 +273,15 @@ impl EventSink for VecSink {
 ///
 /// I/O errors are latched (subsequent events are dropped) and surfaced by
 /// [`JsonlSink::finish`], since the sink callback itself is infallible.
+///
+/// Dropping the sink without calling `finish` (a panic, an early return)
+/// still flushes the buffered tail on a best-effort basis — already-
+/// rendered events are never silently discarded — but only `finish` can
+/// report whether the flush succeeded.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `None` only after `finish` moved the writer out.
+    out: Option<W>,
     buf: String,
     written: u64,
     error: Option<io::Error>,
@@ -267,7 +294,7 @@ impl<W: Write> JsonlSink<W> {
     /// Wraps `out`.
     pub fn new(out: W) -> JsonlSink<W> {
         JsonlSink {
-            out,
+            out: Some(out),
             buf: String::new(),
             written: 0,
             error: None,
@@ -283,7 +310,8 @@ impl<W: Write> JsonlSink<W> {
         if self.error.is_some() || self.buf.is_empty() {
             return;
         }
-        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+        let out = self.out.as_mut().expect("writer present until finish");
+        if let Err(e) = out.write_all(self.buf.as_bytes()) {
             self.error = Some(e);
         }
         self.buf.clear();
@@ -292,11 +320,27 @@ impl<W: Write> JsonlSink<W> {
     /// Flushes and returns the writer, or the first latched I/O error.
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_buf();
-        if let Some(e) = self.error {
+        if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("finish called once");
+        out.flush()?;
+        Ok(out)
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    /// Best-effort flush of the buffered tail when the sink is dropped
+    /// without [`JsonlSink::finish`] — panic and early-return paths must
+    /// not lose up to a batch of already-rendered events. Errors here are
+    /// unreportable and ignored.
+    fn drop(&mut self) {
+        if self.out.is_some() {
+            self.flush_buf();
+            if let Some(out) = self.out.as_mut() {
+                let _ = out.flush();
+            }
+        }
     }
 }
 
@@ -457,14 +501,21 @@ fn bad(message: impl Into<String>) -> TraceParseError {
 
 /// Splits a flat JSON object into raw `(key, value)` token pairs. Values
 /// stay unparsed (`"fast"` keeps its quotes). Only the flat schema emitted
-/// by [`event_to_json`] is supported — no nesting, no escapes.
-fn json_pairs(s: &str) -> Result<Vec<(&str, &str)>, TraceParseError> {
+/// by [`event_to_json`] is supported — no nesting, no escapes (values
+/// containing `,` or `:` inside strings are out of grammar). Duplicate
+/// keys are rejected: this codec is a wire format, and a line whose
+/// meaning depends on which copy of a key wins must not parse.
+///
+/// Public so protocol layers (the serve daemon) can peel envelope keys
+/// (`tenant`, `op`) off a line before handing the rest to
+/// [`event_from_json`], without duplicating this fuzz-hardened splitter.
+pub fn json_pairs(s: &str) -> Result<Vec<(&str, &str)>, TraceParseError> {
     let s = s.trim();
     let inner = s
         .strip_prefix('{')
         .and_then(|s| s.strip_suffix('}'))
         .ok_or_else(|| bad("expected a {...} object"))?;
-    let mut pairs = Vec::new();
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
     for part in inner.split(',') {
         let part = part.trim();
         if part.is_empty() {
@@ -478,6 +529,9 @@ fn json_pairs(s: &str) -> Result<Vec<(&str, &str)>, TraceParseError> {
             .strip_prefix('"')
             .and_then(|k| k.strip_suffix('"'))
             .ok_or_else(|| bad(format!("unquoted key `{}`", k.trim())))?;
+        if pairs.iter().any(|&(seen, _)| seen == key) {
+            return Err(bad(format!("duplicate key `{key}`")));
+        }
         pairs.push((key, v.trim()));
     }
     Ok(pairs)
@@ -497,6 +551,21 @@ fn num(pairs: &[(&str, &str)], key: &str) -> Result<u64, TraceParseError> {
         .map_err(|_| bad(format!("field `{key}`: `{v}` is not an unsigned integer")))
 }
 
+/// A `u64` field that must also fit an id-sized `u32` (item/bin ids,
+/// attempt counters). Out-of-range values are typed errors — silently
+/// truncating an id would make two distinct wire items collide.
+fn num_u32(pairs: &[(&str, &str)], key: &str) -> Result<u32, TraceParseError> {
+    let v = num(pairs, key)?;
+    u32::try_from(v).map_err(|_| bad(format!("field `{key}`: `{v}` exceeds u32 range")))
+}
+
+/// A `size` field in raw fixed-point units, bounded by bin capacity.
+fn size_field(pairs: &[(&str, &str)], key: &str) -> Result<Size, TraceParseError> {
+    let raw = num(pairs, key)?;
+    Size::try_from_raw(raw)
+        .ok_or_else(|| bad(format!("field `{key}`: `{raw}` exceeds bin capacity")))
+}
+
 /// Parses one JSON line back into an [`EngineEvent`] (inverse of
 /// [`event_to_json`]).
 pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
@@ -504,18 +573,18 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
     let kind = field(&pairs, "e")?;
     match kind {
         "\"arrival\"" => Ok(EngineEvent::Arrival {
-            item: ItemId(num(&pairs, "item")? as u32),
+            item: ItemId(num_u32(&pairs, "item")?),
             at: Time(num(&pairs, "t")?),
-            size: Size::from_raw(num(&pairs, "size")?),
+            size: size_field(&pairs, "size")?,
             departure: match pairs.iter().find(|(k, _)| *k == "dep") {
                 Some(_) => Some(Time(num(&pairs, "dep")?)),
                 None => None,
             },
         }),
         "\"placed\"" => Ok(EngineEvent::Placed {
-            item: ItemId(num(&pairs, "item")? as u32),
+            item: ItemId(num_u32(&pairs, "item")?),
             at: Time(num(&pairs, "t")?),
-            bin: BinId(num(&pairs, "bin")? as u32),
+            bin: BinId(num_u32(&pairs, "bin")?),
             opened: match field(&pairs, "opened")? {
                 "true" => true,
                 "false" => false,
@@ -529,38 +598,38 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
             load_after: Load::from_raw(num(&pairs, "load")?),
         }),
         "\"bin_opened\"" => Ok(EngineEvent::BinOpened {
-            bin: BinId(num(&pairs, "bin")? as u32),
+            bin: BinId(num_u32(&pairs, "bin")?),
             at: Time(num(&pairs, "t")?),
         }),
         "\"departure\"" => Ok(EngineEvent::Departure {
-            item: ItemId(num(&pairs, "item")? as u32),
+            item: ItemId(num_u32(&pairs, "item")?),
             at: Time(num(&pairs, "t")?),
-            bin: BinId(num(&pairs, "bin")? as u32),
-            size: Size::from_raw(num(&pairs, "size")?),
+            bin: BinId(num_u32(&pairs, "bin")?),
+            size: size_field(&pairs, "size")?,
         }),
         "\"bin_closed\"" => Ok(EngineEvent::BinClosed {
-            bin: BinId(num(&pairs, "bin")? as u32),
+            bin: BinId(num_u32(&pairs, "bin")?),
             at: Time(num(&pairs, "t")?),
             opened_at: Time(num(&pairs, "opened_at")?),
         }),
         "\"bin_failed\"" => Ok(EngineEvent::BinFailed {
-            bin: BinId(num(&pairs, "bin")? as u32),
+            bin: BinId(num_u32(&pairs, "bin")?),
             at: Time(num(&pairs, "t")?),
             opened_at: Time(num(&pairs, "opened_at")?),
         }),
         "\"displaced\"" => Ok(EngineEvent::ItemDisplaced {
-            item: ItemId(num(&pairs, "item")? as u32),
+            item: ItemId(num_u32(&pairs, "item")?),
             at: Time(num(&pairs, "t")?),
-            bin: BinId(num(&pairs, "bin")? as u32),
-            size: Size::from_raw(num(&pairs, "size")?),
+            bin: BinId(num_u32(&pairs, "bin")?),
+            size: size_field(&pairs, "size")?,
         }),
         "\"readmitted\"" => Ok(EngineEvent::ItemReadmitted {
-            item: ItemId(num(&pairs, "item")? as u32),
-            original: ItemId(num(&pairs, "orig")? as u32),
+            item: ItemId(num_u32(&pairs, "item")?),
+            original: ItemId(num_u32(&pairs, "orig")?),
             at: Time(num(&pairs, "t")?),
-            size: Size::from_raw(num(&pairs, "size")?),
+            size: size_field(&pairs, "size")?,
             departure: Time(num(&pairs, "dep")?),
-            attempt: num(&pairs, "attempt")? as u32,
+            attempt: num_u32(&pairs, "attempt")?,
         }),
         "\"clock\"" => Ok(EngineEvent::ClockAdvanced {
             from: Time(num(&pairs, "from")?),
@@ -710,6 +779,13 @@ impl<A: OnlineAlgorithm> OnlineAlgorithm for TraceRecorder<A> {
             closed: bin_closed,
         });
         self.inner.on_departure(item, bin, bin_closed);
+    }
+
+    fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
+        // Recorded events keep the ids that were current when they fired
+        // (the log is a transcript, not a live index); only the wrapped
+        // algorithm needs the remap.
+        self.inner.on_compact(retained, old_len);
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,253 @@
+//! Fuzz-style battery for the JSONL event codec — the daemon's wire
+//! format. Adversarial input (truncations, bit flips, duplicate keys,
+//! stray escapes, trailing garbage) must yield `Ok` or a typed
+//! [`TraceParseError`], never a panic; anything that parses must
+//! render-then-parse back to the identical event.
+
+use dbp_core::trace::{event_from_json, event_to_json, parse_jsonl, EngineEvent, PlacementPath};
+use dbp_core::{BinId, ItemId, Load, Size, Time, SIZE_SCALE};
+use proptest::prelude::*;
+
+/// Builds one of the nine event kinds from raw integers. Sizes are kept
+/// in range (`≤ SIZE_SCALE`) so the event is renderable.
+fn event_from_raw(kind: u64, a: u64, b: u64, c: u64, d: u64, e: u64) -> EngineEvent {
+    let item = ItemId((a % u32::MAX as u64) as u32);
+    let bin = BinId((b % u32::MAX as u64) as u32);
+    let size = Size::from_raw(c % (SIZE_SCALE + 1));
+    match kind % 9 {
+        0 => EngineEvent::Arrival {
+            item,
+            at: Time(d),
+            size,
+            departure: (e % 2 == 0).then_some(Time(e)),
+        },
+        1 => EngineEvent::Placed {
+            item,
+            at: Time(d),
+            bin,
+            opened: e % 2 == 0,
+            via: if e % 4 < 2 {
+                PlacementPath::FastPath
+            } else {
+                PlacementPath::Scan
+            },
+            load_after: Load::from_raw(c),
+        },
+        2 => EngineEvent::BinOpened { bin, at: Time(d) },
+        3 => EngineEvent::Departure {
+            item,
+            at: Time(d),
+            bin,
+            size,
+        },
+        4 => EngineEvent::BinClosed {
+            bin,
+            at: Time(d),
+            opened_at: Time(e),
+        },
+        5 => EngineEvent::BinFailed {
+            bin,
+            at: Time(d),
+            opened_at: Time(e),
+        },
+        6 => EngineEvent::ItemDisplaced {
+            item,
+            at: Time(d),
+            bin,
+            size,
+        },
+        7 => EngineEvent::ItemReadmitted {
+            item,
+            original: ItemId((e % u32::MAX as u64) as u32),
+            at: Time(d),
+            size,
+            departure: Time(e),
+            attempt: (c % 1000) as u32,
+        },
+        _ => EngineEvent::ClockAdvanced {
+            from: Time(d.min(e)),
+            to: Time(d.max(e)),
+        },
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = EngineEvent> {
+    (
+        0u64..9,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+    )
+        .prop_map(|(k, a, b, c, d, e)| event_from_raw(k, a, b, c, d, e))
+}
+
+/// `parse` must return without panicking; when it succeeds, the parsed
+/// event must survive a render → parse round-trip unchanged.
+fn assert_parse_total(line: &str) -> Result<(), TestCaseError> {
+    if let Ok(ev) = event_from_json(line) {
+        let rendered = event_to_json(&ev);
+        let again = event_from_json(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{rendered}` failed: {e}")))?;
+        prop_assert_eq!(ev, again, "render/parse round-trip drifted");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every renderable event round-trips exactly; rendering is stable
+    /// under parse ∘ render.
+    #[test]
+    fn valid_events_round_trip(ev in arb_event()) {
+        let line = event_to_json(&ev);
+        let parsed = event_from_json(&line).expect("own output parses");
+        prop_assert_eq!(ev, parsed);
+        prop_assert_eq!(event_to_json(&parsed), line);
+    }
+
+    /// Truncating a valid line anywhere never panics the parser (the
+    /// rendered form is pure ASCII, so every byte offset is a char
+    /// boundary).
+    #[test]
+    fn truncated_lines_never_panic(ev in arb_event(), cut in 0usize..=400) {
+        let line = event_to_json(&ev);
+        prop_assert!(line.is_ascii());
+        let cut = cut.min(line.len());
+        assert_parse_total(&line[..cut])?;
+    }
+
+    /// Byte-level mutations (bit flips to arbitrary ASCII, including `"`
+    /// and `\`), trailing garbage, and duplicated fragments never panic;
+    /// surviving parses round-trip.
+    #[test]
+    fn mutated_lines_never_panic(
+        ev in arb_event(),
+        pos in 0usize..=400,
+        byte in 0x20u8..0x7f,
+        suffix in prop::collection::vec(0x20u8..0x7f, 0..12),
+    ) {
+        let line = event_to_json(&ev);
+        let mut bytes = line.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        bytes.extend_from_slice(&suffix);
+        // Mutations are drawn from printable ASCII, so this stays UTF-8.
+        let mutated = String::from_utf8(bytes).expect("ascii mutation");
+        assert_parse_total(&mutated)?;
+        // Duplicate the whole object on one line (trailing garbage).
+        assert_parse_total(&format!("{line}{line}"))?;
+    }
+
+    /// Out-of-range numerics are typed errors, not truncations or panics:
+    /// ids beyond u32, sizes beyond a bin, and u64 overflow digits.
+    #[test]
+    fn out_of_range_fields_are_typed_errors(t in 0u64..=u64::MAX) {
+        let e = event_from_json(&format!("{{\"e\":\"arrival\",\"t\":{t},\"item\":4294967296,\"size\":1}}"))
+            .expect_err("item beyond u32");
+        prop_assert!(e.message.contains("exceeds u32 range"), "{}", e.message);
+        let e = event_from_json(&format!("{{\"e\":\"arrival\",\"t\":{t},\"item\":1,\"size\":4294967297}}"))
+            .expect_err("size beyond capacity");
+        prop_assert!(e.message.contains("exceeds bin capacity"), "{}", e.message);
+        let e = event_from_json(&format!("{{\"e\":\"arrival\",\"t\":{t},\"item\":1,\"size\":99999999999999999999999999}}"))
+            .expect_err("u64 overflow");
+        prop_assert!(!e.message.is_empty());
+    }
+}
+
+#[test]
+fn duplicate_keys_are_rejected() {
+    let err = event_from_json("{\"e\":\"clock\",\"from\":1,\"from\":2,\"to\":3}")
+        .expect_err("ambiguous line must not parse");
+    assert!(err.message.contains("duplicate key"), "{}", err.message);
+    let err = event_from_json("{\"e\":\"arrival\",\"e\":\"clock\",\"t\":0,\"item\":0,\"size\":1}")
+        .expect_err("duplicated discriminant");
+    assert!(err.message.contains("duplicate key"), "{}", err.message);
+}
+
+#[test]
+fn hand_rolled_adversarial_lines_are_typed_errors() {
+    for line in [
+        "",
+        "{",
+        "}",
+        "{}",
+        "not json at all",
+        "{\"e\":\"arrival\"}",
+        "{\"e\":\"arrival\",\"t\":-1,\"item\":0,\"size\":1}",
+        "{\"e\":\"arrival\",\"t\":1.5,\"item\":0,\"size\":1}",
+        "{\"e\":\"unknown_kind\",\"t\":0}",
+        "{\"e\":\"placed\",\"t\":0,\"item\":0,\"bin\":0,\"opened\":maybe,\"via\":\"fast\",\"load\":0}",
+        "{\"e\":\"placed\",\"t\":0,\"item\":0,\"bin\":0,\"opened\":true,\"via\":\"warp\",\"load\":0}",
+        "{\"e\":\"clock\",\"from\":\"\\u0030\",\"to\":3}",
+        "{\"e\":\"clock\",\"from\":1,\"to\":3",
+        "{e:\"clock\",\"from\":1,\"to\":3}",
+        "{\"e\":\"clock\" \"from\":1 \"to\":3}",
+        "{\"e\":\"clock\",\"from\":1,\"to\":3}}",
+        "{\"e\":\"clock\",\"from\":1,,\"to\":3}",
+        "\u{7f}{\"e\":\"clock\",\"from\":1,\"to\":3}\\",
+    ] {
+        match event_from_json(line) {
+            Ok(ev) => {
+                // Anything accepted must round-trip through its render.
+                let again = event_from_json(&event_to_json(&ev)).unwrap();
+                assert_eq!(ev, again, "line `{line}` parsed but drifted");
+            }
+            Err(e) => assert!(!e.message.is_empty(), "empty error for `{line}`"),
+        }
+    }
+}
+
+/// A writer whose sink-owned half and test-owned half share one buffer,
+/// so the test can inspect what a *dropped* sink managed to write.
+#[derive(Clone, Default)]
+struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn dropped_sink_flushes_already_rendered_events() {
+    use dbp_core::trace::{EventSink, JsonlSink};
+    use dbp_core::BinStore;
+    let buf = SharedBuf::default();
+    let bins = BinStore::new();
+    let mut sink = JsonlSink::new(buf.clone());
+    // Enough to cross the 32 KiB batch boundary at least once, plus an
+    // unflushed tail — the bytes a finish()-less drop used to discard.
+    let n = 2000u64;
+    for k in 0..n {
+        sink.on_event(
+            &EngineEvent::ClockAdvanced {
+                from: Time(k),
+                to: Time(k + 1),
+            },
+            &bins,
+        );
+    }
+    assert_eq!(sink.written(), n);
+    drop(sink); // mid-run drop: panic / early-return path, no finish()
+    let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+    let events = parse_jsonl(&text).unwrap();
+    assert_eq!(events.len() as u64, n, "mid-run drop lost rendered events");
+}
+
+#[test]
+fn parse_jsonl_reports_line_numbers_and_skips_blanks() {
+    let text = "{\"e\":\"clock\",\"from\":0,\"to\":1}\n\n# not json\n";
+    let err = parse_jsonl(text).expect_err("comment line is not an object");
+    assert_eq!(err.line, 3);
+    let ok = parse_jsonl(
+        "{\"e\":\"clock\",\"from\":0,\"to\":1}\n\n{\"e\":\"bin_opened\",\"t\":1,\"bin\":0}\n",
+    );
+    assert_eq!(ok.map(|v| v.len()), Ok(2));
+}

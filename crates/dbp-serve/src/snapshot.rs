@@ -1,0 +1,322 @@
+//! Session snapshot / restore: a warm-restart format in the same flat
+//! JSONL dialect as the wire protocol.
+//!
+//! A snapshot is a header line (identity, clock, external-id watermark,
+//! accumulated cost/metrics/resilience totals), one line per open bin,
+//! one line per live item, and a footer. Restore rebuilds a fresh engine
+//! by replaying the live items *at the snapshot clock* through a
+//! placement script that reproduces the recorded bin assignment exactly,
+//! with the session sink muted and pre-loaded with the historical
+//! external ids — so the restored session's response stream continues
+//! with the ids and counters a client was already tracking.
+//!
+//! Cost continuity: the engine bills a bin on close as `close − opened`.
+//! A restored bin reopens at the snapshot clock `S`, so its eventual
+//! bill misses `S − opened`; restore adds exactly that span per open bin
+//! to the session's cost offset. The correction telescopes across
+//! restart chains (each link pays only the span its own engine instance
+//! observed), so the *final* cost after any number of snapshot/restore
+//! cycles equals the uninterrupted run's.
+//!
+//! Known loss: displaced items still waiting out a re-admission backoff
+//! are not carried (the header records how many were dropped that way),
+//! and a seeded failure plan re-draws crash fates for reopened bins —
+//! under chaos a restored run is a legal trajectory, not a bit-identical
+//! one.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use dbp_core::trace::json_pairs;
+use dbp_core::{Area, BinId, InteractiveSim, Placement, ResilienceReport, RunMetrics, Size, Time};
+
+use crate::session::{ServeAlgo, ServeConfig, Session, SessionSink};
+
+/// Format tag in the header line; bump on schema changes.
+const MAGIC: &str = "dbp1";
+
+/// Serializes a session. The text round-trips through [`restore`].
+pub fn write_snapshot(session: &Session) -> String {
+    let engine = &session.engine;
+    let m = session.effective_metrics();
+    let r = session.effective_resilience();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{{\"snap\":\"{MAGIC}\",\"tenant\":\"{}\",\"algo\":\"{}\",\"now\":{},\"next_ext\":{},\
+         \"cost\":{},\"bins_opened\":{},\"max_open\":{},\"events_in\":{},\"rejected\":{},\
+         \"compactions\":{},\"pending_readmits\":{},\"arrivals\":{},\"fast\":{},\"scan\":{},\
+         \"tree_queries\":{},\"linear_scans\":{},\"tree_compactions\":{},\"heap_pushes\":{},\
+         \"heap_pops\":{},\"events\":{},\"bin_failures\":{},\"displacements\":{},\
+         \"readmissions\":{},\"dropped\":{},\"degraded_area\":{},\"max_attempts\":{}}}",
+        session.tenant,
+        session.algo_name,
+        engine.now().0,
+        engine.sink().next_ext(),
+        session.effective_cost().raw(),
+        session.effective_bins_opened(),
+        session.effective_max_open(),
+        session.events_in,
+        session.rejected,
+        session.compactions,
+        engine.pending_readmissions(),
+        m.arrivals,
+        m.fast_path_placements,
+        m.scan_placements,
+        m.tree_queries,
+        m.linear_scans,
+        m.tree_compactions,
+        m.heap_pushes,
+        m.heap_pops,
+        m.events,
+        r.bin_failures,
+        r.displacements,
+        r.readmissions,
+        r.dropped,
+        r.degraded_area.raw(),
+        r.max_attempts,
+    );
+    let mut bins = 0usize;
+    for rec in engine.bins().all().iter().filter(|r| r.is_open()) {
+        let orig = session
+            .orig_opened
+            .get(&rec.id)
+            .copied()
+            .unwrap_or(rec.opened_at);
+        let _ = writeln!(
+            s,
+            "{{\"snap_bin\":{},\"opened_at\":{},\"orig_opened\":{}}}",
+            rec.id.0, rec.opened_at.0, orig.0
+        );
+        bins += 1;
+    }
+    // Items are grouped by bin, bins in id (= opening) order: restore
+    // replays them in file order, so the rebuilt engine opens its bins
+    // in the same relative order the original did — scan-order-sensitive
+    // algorithms (first-fit over the open list, next-fit's newest bin)
+    // resume with an equivalent view.
+    let live: HashMap<u32, dbp_core::Item> = engine
+        .live_items()
+        .map(|(row, item, _)| (row.0, item))
+        .collect();
+    let mut items = 0usize;
+    for rec in engine.bins().all().iter().filter(|r| r.is_open()) {
+        for &row in &rec.items {
+            let item = live
+                .get(&row.0)
+                .expect("every resident of an open bin is live");
+            let ext = engine.sink().ext_of(row);
+            if item.departure == Time(u64::MAX) {
+                let _ = writeln!(
+                    s,
+                    "{{\"snap_item\":{ext},\"size\":{},\"bin\":{}}}",
+                    item.size.raw(),
+                    rec.id.0
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "{{\"snap_item\":{ext},\"dep\":{},\"size\":{},\"bin\":{}}}",
+                    item.departure.0,
+                    item.size.raw(),
+                    rec.id.0
+                );
+            }
+            items += 1;
+        }
+    }
+    let _ = writeln!(s, "{{\"snap_end\":true,\"bins\":{bins},\"items\":{items}}}");
+    s
+}
+
+fn get<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn num(pairs: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    get(pairs, key)
+        .ok_or_else(|| format!("snapshot: missing `{key}`"))?
+        .parse::<u64>()
+        .map_err(|_| format!("snapshot: `{key}` is not a u64"))
+}
+
+fn num128(pairs: &[(&str, &str)], key: &str) -> Result<u128, String> {
+    get(pairs, key)
+        .ok_or_else(|| format!("snapshot: missing `{key}`"))?
+        .parse::<u128>()
+        .map_err(|_| format!("snapshot: `{key}` is not a u128"))
+}
+
+fn string(pairs: &[(&str, &str)], key: &str) -> Result<String, String> {
+    let raw = get(pairs, key).ok_or_else(|| format!("snapshot: missing `{key}`"))?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("snapshot: `{key}` is not a string"))
+}
+
+/// Rebuilds a warm session from snapshot text. Session limits (window,
+/// slack, failure plan…) come from `cfg`; identity, clock, ids and
+/// totals come from the snapshot.
+pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
+    let mut header: Option<Vec<(&str, &str)>> = None;
+    let mut bin_lines: Vec<(u32, Time, Time)> = Vec::new(); // (old id, opened, orig)
+    let mut item_lines: Vec<(u32, Option<Time>, u64, u32)> = Vec::new(); // (ext, dep, size, old bin)
+    let mut sealed = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = json_pairs(line).map_err(|e| format!("snapshot line {}: {e}", lineno + 1))?;
+        if get(&pairs, "r").is_some() {
+            continue; // response-stream framing interleaved by `op:snapshot`
+        }
+        if get(&pairs, "snap").is_some() {
+            let magic = string(&pairs, "snap")?;
+            if magic != MAGIC {
+                return Err(format!("snapshot: unsupported format `{magic}`"));
+            }
+            header = Some(pairs);
+        } else if get(&pairs, "snap_bin").is_some() {
+            bin_lines.push((
+                u32::try_from(num(&pairs, "snap_bin")?).map_err(|_| "bin id overflow")?,
+                Time(num(&pairs, "opened_at")?),
+                Time(num(&pairs, "orig_opened")?),
+            ));
+        } else if get(&pairs, "snap_item").is_some() {
+            let dep = match get(&pairs, "dep") {
+                Some(_) => Some(Time(num(&pairs, "dep")?)),
+                None => None,
+            };
+            item_lines.push((
+                u32::try_from(num(&pairs, "snap_item")?).map_err(|_| "item id overflow")?,
+                dep,
+                num(&pairs, "size")?,
+                u32::try_from(num(&pairs, "bin")?).map_err(|_| "bin id overflow")?,
+            ));
+        } else if get(&pairs, "snap_end").is_some() {
+            if num(&pairs, "bins")? as usize != bin_lines.len()
+                || num(&pairs, "items")? as usize != item_lines.len()
+            {
+                return Err("snapshot: footer counts disagree with body".to_string());
+            }
+            sealed = true;
+        } else {
+            return Err(format!("snapshot line {}: unrecognized line", lineno + 1));
+        }
+    }
+    let header = header.ok_or("snapshot: no header line")?;
+    if !sealed {
+        return Err("snapshot: truncated (no footer)".to_string());
+    }
+    let tenant = string(&header, "tenant")?;
+    let algo_name = string(&header, "algo")?;
+    let now = Time(num(&header, "now")?);
+    let next_ext = u32::try_from(num(&header, "next_ext")?).map_err(|_| "next_ext overflow")?;
+
+    // Placement script: each old bin's first item opens its successor;
+    // later items join it. Bin ids are assigned by the engine in open
+    // order, which is exactly first-appearance order here.
+    let opened_of_old: HashMap<u32, (Time, Time)> = bin_lines
+        .iter()
+        .map(|&(id, opened, orig)| (id, (opened, orig)))
+        .collect();
+    let mut new_of_old: HashMap<u32, u32> = HashMap::new();
+    let mut script = VecDeque::with_capacity(item_lines.len());
+    let mut orig_opened = HashMap::new();
+    let mut corrections = Area::ZERO;
+    let mut exts = VecDeque::with_capacity(item_lines.len());
+    for &(ext, dep, _, old_bin) in &item_lines {
+        let &(opened, orig) = opened_of_old
+            .get(&old_bin)
+            .ok_or_else(|| format!("snapshot: item {ext} names unknown bin {old_bin}"))?;
+        match new_of_old.get(&old_bin) {
+            Some(&new) => script.push_back(Placement::Existing(BinId(new))),
+            None => {
+                let new = new_of_old.len() as u32;
+                new_of_old.insert(old_bin, new);
+                script.push_back(Placement::OpenNew);
+                orig_opened.insert(BinId(new), orig);
+                // The span this engine instance will not bill: from the
+                // previous instance's opening to the snapshot clock.
+                corrections += Area::from_bin_ticks(now.since(opened));
+            }
+        }
+        if let Some(dep) = dep {
+            if dep <= now {
+                return Err(format!("snapshot: item {ext} is not live (dep {})", dep.0));
+            }
+        }
+        exts.push_back(ext);
+    }
+    if new_of_old.len() != bin_lines.len() {
+        return Err("snapshot: open bin without resident items".to_string());
+    }
+
+    let inner = dbp_algos::by_name(&algo_name)
+        .ok_or_else(|| format!("snapshot: unknown algorithm `{algo_name}`"))?;
+    let sink = SessionSink::replaying(exts, next_ext);
+    let mut engine = InteractiveSim::with_capacity_failures_and_sink(
+        ServeAlgo { script, inner },
+        item_lines.len(),
+        cfg.plan.clone(),
+        cfg.retry,
+        sink,
+    );
+    engine
+        .try_advance_to(now)
+        .map_err(|e| format!("snapshot: clock: {e}"))?;
+    for &(ext, dep, size_raw, _) in &item_lines {
+        let size = Size::try_from_raw(size_raw)
+            .ok_or_else(|| format!("snapshot: item {ext} size {size_raw} exceeds capacity"))?;
+        let res = match dep {
+            Some(dep) => engine.arrive_at(now, dep.since(now), size).map(|_| ()),
+            None => engine.arrive_undated(size).map(|_| ()),
+        };
+        res.map_err(|e| format!("snapshot: replaying item {ext}: {e}"))?;
+    }
+    debug_assert_eq!(
+        engine.cost_so_far(),
+        Area::ZERO,
+        "no bin closes during a replay of live items"
+    );
+    engine.sink_mut().unmute();
+    engine.sink_mut().out.clear();
+
+    let restored_cfg = ServeConfig {
+        algo: algo_name,
+        ..cfg.clone()
+    };
+    let mut session = Session::from_engine(engine, &tenant, &restored_cfg);
+    session.events_in = num(&header, "events_in")?;
+    session.rejected = num(&header, "rejected")?;
+    session.compactions = num(&header, "compactions")?;
+    session.cost_offset = Area::from_raw(num128(&header, "cost")?) + corrections;
+    session.bins_opened_offset = num(&header, "bins_opened")?;
+    session.bins_opened_base = session.engine.bins_opened() as u64;
+    session.max_open_offset = num(&header, "max_open")? as usize;
+    session.metrics_offset = RunMetrics {
+        arrivals: num(&header, "arrivals")?,
+        fast_path_placements: num(&header, "fast")?,
+        scan_placements: num(&header, "scan")?,
+        tree_queries: num(&header, "tree_queries")?,
+        linear_scans: num(&header, "linear_scans")?,
+        tree_compactions: num(&header, "tree_compactions")?,
+        heap_pushes: num(&header, "heap_pushes")?,
+        heap_pops: num(&header, "heap_pops")?,
+        events: num(&header, "events")?,
+    };
+    let mut base = *session.engine.metrics();
+    base.tree_compactions = session.engine.bins().compactions();
+    session.metrics_base = base;
+    session.resilience_offset = ResilienceReport {
+        bin_failures: num(&header, "bin_failures")?,
+        displacements: num(&header, "displacements")?,
+        readmissions: num(&header, "readmissions")?,
+        dropped: num(&header, "dropped")?,
+        degraded_area: Area::from_raw(num128(&header, "degraded_area")?),
+        max_attempts: num(&header, "max_attempts")? as u32,
+    };
+    session.orig_opened = orig_opened;
+    Ok(session)
+}

@@ -1,0 +1,102 @@
+//! Multi-tenant session registry: a 16-way lock-striped map, the same
+//! sharded single-flight idiom as the bracket cache — the stripe lock is
+//! held only to look up or insert the session handle, never while the
+//! session itself is serving, so connections driving different tenants
+//! proceed in parallel and two racing first requests for one tenant
+//! still create exactly one engine.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::session::{ServeConfig, Session};
+
+/// Number of lock stripes (power of two; low hash bits select one).
+const SHARDS: usize = 16;
+
+/// The daemon's tenant → session map.
+pub struct SessionMap {
+    shards: Vec<Mutex<HashMap<String, Arc<Mutex<Session>>>>>,
+    cfg: ServeConfig,
+}
+
+impl SessionMap {
+    /// An empty map; sessions are created on first touch with `cfg`.
+    pub fn new(cfg: ServeConfig) -> SessionMap {
+        SessionMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            cfg,
+        }
+    }
+
+    fn shard(&self, tenant: &str) -> &Mutex<HashMap<String, Arc<Mutex<Session>>>> {
+        let mut h = DefaultHasher::new();
+        tenant.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The session for `tenant`, created under the stripe lock on first
+    /// use (single-flight: concurrent first touches agree on one
+    /// engine). Fails only if the configured algorithm is unknown.
+    pub fn session(&self, tenant: &str) -> Result<Arc<Mutex<Session>>, String> {
+        let mut shard = self.shard(tenant).lock().expect("shard lock poisoned");
+        if let Some(s) = shard.get(tenant) {
+            return Ok(Arc::clone(s));
+        }
+        let fresh = Arc::new(Mutex::new(Session::new(tenant, &self.cfg)?));
+        shard.insert(tenant.to_string(), Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Installs a pre-built session (snapshot restore), replacing any
+    /// existing one for the tenant.
+    pub fn install(&self, tenant: &str, session: Session) -> Arc<Mutex<Session>> {
+        let handle = Arc::new(Mutex::new(session));
+        let mut shard = self.shard(tenant).lock().expect("shard lock poisoned");
+        shard.insert(tenant.to_string(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Every tenant with a live session, sorted (stable EOF drain order).
+    pub fn tenants(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard lock poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_creates_one_session_per_tenant() {
+        let map = SessionMap::new(ServeConfig::default());
+        let a1 = map.session("a").unwrap();
+        let a2 = map.session("a").unwrap();
+        let b = map.session("b").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "same tenant shares one session");
+        assert!(!Arc::ptr_eq(&a1, &b), "tenants are isolated");
+        assert_eq!(map.tenants(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_algorithms_fail_at_session_creation() {
+        let map = SessionMap::new(ServeConfig {
+            algo: "no_such_rule".to_string(),
+            ..ServeConfig::default()
+        });
+        assert!(map.session("a").is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! End-to-end session tests: the daemon's core contract is that feeding
+//! a recorded batch trace through a [`Session`] reproduces the recording
+//! byte-for-byte (placements, bin lifecycle, clock motion) and lands on
+//! the same final metrics — stream/batch equivalence — while compaction
+//! keeps the item table bounded, backpressure sheds load with a typed
+//! rejection, and a snapshot/restore cycle is cost- and count-continuous.
+
+use dbp_core::engine::run_with_failures;
+use dbp_core::{Area, Dur, EngineEvent, FailurePlan, ItemId, JsonlSink, RetryPolicy, Size, Time};
+use dbp_serve::protocol::{Op, Request};
+use dbp_serve::{parse_request, snapshot, ServeConfig, Session, SessionMap};
+use dbp_workloads::{random_general, DurationDist, GeneralConfig};
+
+/// Records a batch run as JSONL text.
+fn record_batch(
+    inst: &dbp_core::Instance,
+    algo: &str,
+    plan: FailurePlan,
+    retry: RetryPolicy,
+) -> (String, dbp_core::PackingResult) {
+    let mut sink = JsonlSink::new(Vec::new());
+    let result = run_with_failures(
+        inst,
+        dbp_algos::by_name(algo).expect("known algorithm"),
+        plan,
+        retry,
+        &mut sink,
+    )
+    .expect("batch run succeeds");
+    let bytes = sink.finish().expect("in-memory sink");
+    (String::from_utf8(bytes).expect("codec emits utf-8"), result)
+}
+
+/// Feeds every line of `input` through a session, returning the full
+/// response stream, then drains.
+fn replay(session: &mut Session, input: &str) -> String {
+    let mut out = String::new();
+    for line in input.lines() {
+        let req = parse_request(line).expect("recorded lines parse");
+        session.handle(&req);
+        out.push_str(&session.take_output());
+    }
+    session.handle(&Request::Control {
+        tenant: None,
+        op: Op::Drain,
+    });
+    out.push_str(&session.take_output());
+    out
+}
+
+/// Strips the daemon's own `"r"`-keyed response lines, leaving the
+/// engine-event echo that must match the recording.
+fn event_lines(stream: &str) -> String {
+    let mut s = String::new();
+    for line in stream.lines() {
+        if !line.starts_with("{\"r\":") {
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    s
+}
+
+#[test]
+fn stream_replay_matches_batch_recording() {
+    let inst = random_general(&GeneralConfig::new(6, 800), 11);
+    let (recording, batch) = record_batch(
+        &inst,
+        "first-fit",
+        FailurePlan::None,
+        RetryPolicy::Immediate,
+    );
+
+    let cfg = ServeConfig::default();
+    let mut session = Session::new("t", &cfg).unwrap();
+    let stream = replay(&mut session, &recording);
+
+    assert_eq!(event_lines(&stream), recording, "event echo diverged");
+    assert_eq!(session.effective_metrics(), batch.metrics);
+    assert_eq!(session.effective_cost(), batch.cost);
+    assert_eq!(session.effective_bins_opened(), batch.bins_opened as u64);
+    assert_eq!(session.effective_max_open(), batch.max_open);
+}
+
+#[test]
+fn stream_replay_matches_batch_under_chaos() {
+    let inst = random_general(&GeneralConfig::new(7, 600), 23);
+    let plan = FailurePlan::seeded(0.25, 7, Dur(64));
+    let retry = RetryPolicy::Immediate;
+    let (recording, batch) = record_batch(&inst, "first-fit", plan.clone(), retry);
+    assert!(
+        batch.resilience.bin_failures > 0,
+        "chaos plan should actually crash bins"
+    );
+
+    let cfg = ServeConfig {
+        plan,
+        retry,
+        ..ServeConfig::default()
+    };
+    let mut session = Session::new("t", &cfg).unwrap();
+    let stream = replay(&mut session, &recording);
+
+    assert_eq!(event_lines(&stream), recording, "chaos echo diverged");
+    assert_eq!(session.effective_metrics(), batch.metrics);
+    assert_eq!(session.effective_resilience(), batch.resilience);
+    assert_eq!(session.effective_cost(), batch.cost);
+}
+
+#[test]
+fn other_algorithms_replay_byte_identically_too() {
+    let inst = random_general(&GeneralConfig::new(5, 300), 31);
+    for algo in ["best-fit", "next-fit", "cdff", "hybrid"] {
+        let (recording, batch) =
+            record_batch(&inst, algo, FailurePlan::None, RetryPolicy::Immediate);
+        let cfg = ServeConfig {
+            algo: algo.to_string(),
+            ..ServeConfig::default()
+        };
+        let mut session = Session::new("t", &cfg).unwrap();
+        let stream = replay(&mut session, &recording);
+        assert_eq!(event_lines(&stream), recording, "{algo} echo diverged");
+        assert_eq!(session.effective_cost(), batch.cost, "{algo} cost diverged");
+    }
+}
+
+/// A long churn trace: short-lived items trickling in, so the live set
+/// stays tiny while the item table would grow without bound.
+fn churn_instance(items: usize, seed: u64) -> dbp_core::Instance {
+    let cfg = GeneralConfig {
+        items,
+        mean_gap: 2,
+        durations: DurationDist::Fixed { ticks: 6 },
+        size_range: (5, 30, 100),
+    };
+    random_general(&cfg, seed)
+}
+
+#[test]
+fn compaction_bounds_steady_state_memory_without_changing_output() {
+    let items = 4000;
+    let inst = churn_instance(items, 5);
+
+    let tight = ServeConfig {
+        compact_slack: 8,
+        ..ServeConfig::default()
+    };
+    let loose = ServeConfig {
+        compact_slack: usize::MAX / 4, // effectively never compact
+        ..ServeConfig::default()
+    };
+    let mut compacted = Session::new("t", &tight).unwrap();
+    let mut unbounded = Session::new("t", &loose).unwrap();
+
+    let mut out_c = String::new();
+    let mut out_u = String::new();
+    let mut peak_live = 0usize;
+    let mut peak_table = 0usize;
+    for it in inst.items() {
+        let ev = EngineEvent::Arrival {
+            item: ItemId(0), // input ids are engine-assigned; ignored
+            at: it.arrival,
+            size: it.size,
+            departure: Some(it.departure),
+        };
+        for (sess, out) in [(&mut compacted, &mut out_c), (&mut unbounded, &mut out_u)] {
+            sess.handle(&Request::Event {
+                tenant: None,
+                event: ev,
+            });
+            out.push_str(&sess.take_output());
+        }
+        peak_live = peak_live.max(compacted.live_items());
+        peak_table = peak_table.max(compacted.table_len());
+        // The compaction policy's invariant, re-established after every
+        // event: the table never holds more dead rows than live + slack.
+        assert!(
+            compacted.table_len() < 2 * compacted.live_items() + 8,
+            "table {} exceeds bound at live {}",
+            compacted.table_len(),
+            compacted.live_items()
+        );
+    }
+    for (sess, out) in [(&mut compacted, &mut out_c), (&mut unbounded, &mut out_u)] {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        out.push_str(&sess.take_output());
+    }
+
+    assert!(
+        items >= 10 * peak_live,
+        "churn factor too low for a soak: {items} items, peak live {peak_live}"
+    );
+    assert!(
+        peak_table <= 2 * peak_live + 8,
+        "peak table {peak_table} not within constant factor of peak live {peak_live}"
+    );
+    assert!(
+        unbounded.table_len() == items,
+        "loose session should have kept every row"
+    );
+    assert_eq!(
+        event_lines(&out_c),
+        event_lines(&out_u),
+        "compaction changed the observable stream"
+    );
+    assert_eq!(compacted.effective_cost(), unbounded.effective_cost());
+    assert_eq!(compacted.effective_metrics().arrivals, items as u64);
+}
+
+#[test]
+fn backpressure_rejects_with_typed_response() {
+    let cfg = ServeConfig {
+        max_live: 4,
+        ..ServeConfig::default()
+    };
+    let mut session = Session::new("t", &cfg).unwrap();
+    let mut out = String::new();
+    for _ in 0..10 {
+        session.handle(&Request::Event {
+            tenant: None,
+            event: EngineEvent::Arrival {
+                item: ItemId(0),
+                at: Time(0),
+                size: Size::from_ratio(1, 10),
+                departure: Some(Time(10)),
+            },
+        });
+        out.push_str(&session.take_output());
+    }
+    let overloaded = out
+        .lines()
+        .filter(|l| l.starts_with("{\"r\":\"overloaded\""))
+        .count();
+    assert_eq!(overloaded, 6, "4 admitted, 6 shed");
+    assert_eq!(session.effective_metrics().arrivals, 4);
+    assert_eq!(session.live_items(), 4);
+}
+
+#[test]
+fn snapshot_restore_is_cost_and_count_continuous() {
+    let inst = random_general(&GeneralConfig::new(6, 600), 42);
+    let cfg = ServeConfig::default();
+
+    let feed = |sess: &mut Session, items: &[dbp_core::Item]| {
+        for it in items {
+            sess.handle(&Request::Event {
+                tenant: None,
+                event: EngineEvent::Arrival {
+                    item: ItemId(0),
+                    at: it.arrival,
+                    size: it.size,
+                    departure: Some(it.departure),
+                },
+            });
+            sess.take_output();
+        }
+    };
+    let drain = |sess: &mut Session| {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        sess.take_output();
+    };
+
+    // Control: one uninterrupted session over the whole instance.
+    let mut control = Session::new("t", &cfg).unwrap();
+    feed(&mut control, inst.items());
+    drain(&mut control);
+
+    // Split: half, snapshot, restore into a fresh session, other half.
+    let mut first = Session::new("t", &cfg).unwrap();
+    feed(&mut first, &inst.items()[..300]);
+    let snap = snapshot::write_snapshot(&first);
+    let mut restored = snapshot::restore(&snap, &cfg).expect("snapshot restores");
+    assert_eq!(restored.tenant(), "t");
+    assert_eq!(restored.live_items(), first.live_items());
+    feed(&mut restored, &inst.items()[300..]);
+    drain(&mut restored);
+
+    assert_eq!(restored.effective_cost(), control.effective_cost());
+    assert_eq!(
+        restored.effective_metrics().arrivals,
+        control.effective_metrics().arrivals
+    );
+    assert_eq!(
+        restored.effective_bins_opened(),
+        control.effective_bins_opened()
+    );
+    assert_eq!(restored.effective_max_open(), control.effective_max_open());
+}
+
+#[test]
+fn snapshot_restore_chains_across_restarts() {
+    // Two restarts: corrections must telescope, not double-count.
+    let inst = random_general(&GeneralConfig::new(5, 450), 77);
+    let cfg = ServeConfig::default();
+    let mut control = Session::new("t", &cfg).unwrap();
+    let mut live = Session::new("t", &cfg).unwrap();
+    for (i, it) in inst.items().iter().enumerate() {
+        let ev = EngineEvent::Arrival {
+            item: ItemId(0),
+            at: it.arrival,
+            size: it.size,
+            departure: Some(it.departure),
+        };
+        for sess in [&mut control, &mut live] {
+            sess.handle(&Request::Event {
+                tenant: None,
+                event: ev,
+            });
+            sess.take_output();
+        }
+        if i == 150 || i == 300 {
+            let snap = snapshot::write_snapshot(&live);
+            live = snapshot::restore(&snap, &cfg).expect("restart restores");
+        }
+    }
+    for sess in [&mut control, &mut live] {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        sess.take_output();
+    }
+    assert_eq!(live.effective_cost(), control.effective_cost());
+    assert_eq!(
+        live.effective_bins_opened(),
+        control.effective_bins_opened()
+    );
+}
+
+#[test]
+fn tenants_are_isolated_in_the_session_map() {
+    let inst_a = random_general(&GeneralConfig::new(5, 200), 1);
+    let inst_b = random_general(&GeneralConfig::new(5, 200), 2);
+    let cfg = ServeConfig::default();
+
+    // Solo baselines.
+    let run_solo = |inst: &dbp_core::Instance| {
+        let mut s = Session::new("solo", &cfg).unwrap();
+        for it in inst.items() {
+            s.handle(&Request::Event {
+                tenant: None,
+                event: EngineEvent::Arrival {
+                    item: ItemId(0),
+                    at: it.arrival,
+                    size: it.size,
+                    departure: Some(it.departure),
+                },
+            });
+        }
+        s.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        let out = s.take_output();
+        (event_lines(&out), s.effective_cost())
+    };
+    let (solo_a, cost_a) = run_solo(&inst_a);
+    let (solo_b, cost_b) = run_solo(&inst_b);
+
+    // Interleaved through the map: a, b, a, b, …
+    let map = SessionMap::new(cfg.clone());
+    let mut outs = std::collections::HashMap::new();
+    for i in 0..200 {
+        for (tenant, inst) in [("a", &inst_a), ("b", &inst_b)] {
+            let it = &inst.items()[i];
+            let session = map.session(tenant).unwrap();
+            let mut s = session.lock().unwrap();
+            s.handle(&Request::Event {
+                tenant: Some(tenant.to_string()),
+                event: EngineEvent::Arrival {
+                    item: ItemId(0),
+                    at: it.arrival,
+                    size: it.size,
+                    departure: Some(it.departure),
+                },
+            });
+            *outs.entry(tenant).or_insert_with(String::new) += &s.take_output();
+        }
+    }
+    for tenant in map.tenants() {
+        let session = map.session(&tenant).unwrap();
+        let mut s = session.lock().unwrap();
+        s.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        *outs
+            .entry(if tenant == "a" { "a" } else { "b" })
+            .or_insert_with(String::new) += &s.take_output();
+        let want = if tenant == "a" { cost_a } else { cost_b };
+        assert_eq!(s.effective_cost(), want, "tenant {tenant} cost diverged");
+    }
+    assert_eq!(event_lines(&outs["a"]), solo_a);
+    assert_eq!(event_lines(&outs["b"]), solo_b);
+}
+
+#[test]
+fn departure_lines_date_undated_arrivals() {
+    let cfg = ServeConfig::default();
+    let mut session = Session::new("t", &cfg).unwrap();
+    // Undated arrival at t=0 (non-clairvoyant interface)…
+    session.handle(&Request::Event {
+        tenant: None,
+        event: EngineEvent::Arrival {
+            item: ItemId(0),
+            at: Time(0),
+            size: Size::from_ratio(1, 2),
+            departure: None,
+        },
+    });
+    // …clock moves on…
+    session.handle(&Request::Event {
+        tenant: None,
+        event: EngineEvent::ClockAdvanced {
+            from: Time(0),
+            to: Time(5),
+        },
+    });
+    // …and a departure line for the same external id dates it now.
+    session.handle(&Request::Event {
+        tenant: None,
+        event: EngineEvent::Departure {
+            item: ItemId(0),
+            at: Time(5),
+            bin: dbp_core::BinId(0),
+            size: Size::from_ratio(1, 2),
+        },
+    });
+    session.handle(&Request::Control {
+        tenant: None,
+        op: Op::Drain,
+    });
+    let out = session.take_output();
+    assert!(
+        !out.contains("\"r\":\"error\""),
+        "unexpected error in: {out}"
+    );
+    // One bin, open exactly [0, 5).
+    assert_eq!(session.effective_cost(), Area::from_bin_ticks(Dur(5)));
+    assert_eq!(session.live_items(), 0);
+}

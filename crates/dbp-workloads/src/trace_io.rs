@@ -45,7 +45,12 @@ pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
             continue;
         }
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
-        let numeric = cols.iter().all(|c| c.parse::<u64>().is_ok());
+        // Shape check uses digits-only so an all-digit row that merely
+        // overflows u64 is still recognised as data (and reported as out of
+        // range below), not mistaken for a header or "non-numeric".
+        let numeric = cols
+            .iter()
+            .all(|c| !c.is_empty() && c.bytes().all(|b| b.is_ascii_digit()));
         if !numeric {
             // A header is only a header when it has the format's exact
             // column count: a malformed first data row must not silently
@@ -66,7 +71,13 @@ pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
                 message: format!("expected 4 columns, got {}", cols.len()),
             });
         }
-        let v: Vec<u64> = cols.iter().map(|c| c.parse().expect("checked")).collect();
+        let mut v: Vec<u64> = Vec::with_capacity(4);
+        for c in &cols {
+            v.push(c.parse().map_err(|_| TraceParseError {
+                line: lineno,
+                message: format!("value `{c}` out of u64 range"),
+            })?);
+        }
         if v[1] == 0 {
             return Err(TraceParseError {
                 line: lineno,
@@ -177,6 +188,21 @@ mod tests {
         let err = parse_trace(text).unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.message.contains("zero size"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_column_is_a_typed_error_not_a_panic() {
+        // All-digit but wider than u64: the old digit pre-check classified
+        // this as "non-numeric" (or silently ate it as a header when it was
+        // the first 4-column row); the checked parse now reports the value
+        // and the offending line.
+        let err = parse_trace("0,5,1,2\n99999999999999999999999999,5,1,2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("out of u64 range"), "{}", err.message);
+        // As the first row it must also not vanish as a header.
+        let err = parse_trace("99999999999999999999999999,5,1,2\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("out of u64 range"), "{}", err.message);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   Theorem 4.3 adaptive adversary;
 //! * [`analysis`] — binary-string lemmas, statistics and reporting;
 //! * [`cloudsim`] — the cloud-allocation application layer (sessions,
-//!   dispatchers, noisy duration prediction, billing).
+//!   dispatchers, noisy duration prediction, billing);
+//! * [`serve`] — the streaming placement daemon (long-running sessions,
+//!   bounded memory, snapshot/restore; see DESIGN.md §14).
 //!
 //! ## Quickstart
 //!
@@ -36,4 +38,5 @@ pub use dbp_algos as algos;
 pub use dbp_analysis as analysis;
 pub use dbp_cloudsim as cloudsim;
 pub use dbp_core as core;
+pub use dbp_serve as serve;
 pub use dbp_workloads as workloads;
