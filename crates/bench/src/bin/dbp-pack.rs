@@ -6,6 +6,7 @@
 //!          [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]
 //!          [--threads N]
 //!          [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]
+//!          [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]
 //! ```
 //!
 //! A nonzero `--fail-rate` runs every algorithm under a seeded crash plan
@@ -13,6 +14,12 @@
 //! through the algorithm after the `--retry` backoff, the invariant auditor
 //! checks the failure ledger, and the table gains resilience columns. At
 //! the default rate 0 the output is bit-identical to a failure-free build.
+//!
+//! A non-`none` `--recourse` budget lets algorithms that implement
+//! `propose_migration` (the `rod:`/`amortized:` wrappers) move resident
+//! items at arrival/departure epochs; the run is audited with the budget
+//! replayed from the event stream, and the table gains recourse columns.
+//! The default `none` never consults the hook and stays bit-identical.
 //!
 //! CSV format: `arrival,duration,size_num,size_den` per line (`#` comments
 //! and a non-numeric header line are ignored) — the same format `dbp-gen`
@@ -23,7 +30,7 @@ use dbp_analysis::table::{f3, Table};
 use dbp_bench::{bracket, sweep};
 use dbp_core::audit::InvariantAuditor;
 use dbp_core::time::Dur;
-use dbp_core::{compare_goals, engine, FailurePlan, RetryPolicy};
+use dbp_core::{compare_goals, engine, FailurePlan, RecourseBudget, RetryPolicy};
 use dbp_workloads::parse_trace;
 
 fn main() {
@@ -37,6 +44,7 @@ fn main() {
     let mut fail_rate = 0.0f64;
     let mut fail_seed = 4242u64;
     let mut retry = RetryPolicy::default();
+    let mut recourse = RecourseBudget::None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -114,12 +122,27 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--recourse" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--recourse requires none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited"
+                    );
+                    std::process::exit(2);
+                });
+                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
                      \x20              [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]\n\
                      \x20              [--threads N]\n\
                      \x20              [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]\n\
+                     \x20              [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]\n\
                      algorithms: {:?}",
                     dbp_algos::registry_names()
                 );
@@ -178,6 +201,7 @@ fn main() {
         "scans",
     ];
     let failing = fail_rate > 0.0;
+    let repacking = !recourse.is_none();
     // Doom delays are uniform in [1, mtbf]; tying mtbf to the trace span
     // keeps the storm landing inside the run for any input scale.
     let mtbf = Dur(inst.span_dur().ticks().max(1));
@@ -188,6 +212,10 @@ fn main() {
         );
         header.extend(["failures", "migrations", "drops", "degraded"]);
     }
+    if repacking {
+        println!("recourse budget: {recourse}\n");
+        header.extend(["moves", "closures", "epochs"]);
+    }
     if momentary {
         header.push("momentary");
     }
@@ -197,16 +225,28 @@ fn main() {
             eprintln!("unknown algorithm '{name}' (see --help)");
             std::process::exit(2);
         };
-        let res = if failing {
-            let plan = FailurePlan::seeded(fail_rate, fail_seed, mtbf);
+        let res = if failing || repacking {
+            let plan = if failing {
+                FailurePlan::seeded(fail_rate, fail_seed, mtbf)
+            } else {
+                FailurePlan::None
+            };
             let mut auditor = InvariantAuditor::new();
-            let res = engine::run_with_failures(&inst, algo, plan, retry, &mut auditor)
-                .unwrap_or_else(|e| {
-                    eprintln!("{name}: illegal move: {e}");
-                    std::process::exit(1);
-                });
+            auditor.expect_budget(recourse);
+            let res = engine::run_with_failures_recourse(
+                &inst,
+                algo,
+                plan,
+                retry,
+                recourse,
+                &mut auditor,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{name}: illegal move: {e}");
+                std::process::exit(1);
+            });
             if let Err(v) = auditor.verify_result(&res) {
-                eprintln!("{name}: invariant violation under failures: {v}");
+                eprintln!("{name}: invariant violation: {v}");
                 std::process::exit(1);
             }
             res
@@ -234,6 +274,14 @@ fn main() {
                 r.readmissions.to_string(),
                 r.dropped.to_string(),
                 f3(r.degraded_area.as_bin_ticks()),
+            ]);
+        }
+        if repacking {
+            let r = &res.recourse;
+            row.extend([
+                r.migrations.to_string(),
+                r.migration_closures.to_string(),
+                r.epochs.to_string(),
             ]);
         }
         if momentary {

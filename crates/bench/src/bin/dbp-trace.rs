@@ -19,7 +19,9 @@
 use std::process::ExitCode;
 
 use dbp_core::trace::{parse_jsonl, EngineEvent, EventSink, JsonlSink};
-use dbp_core::{engine, BinStore, Dur, FailurePlan, InvariantAuditor, ItemId, RetryPolicy, Size};
+use dbp_core::{
+    engine, BinStore, Dur, FailurePlan, InvariantAuditor, ItemId, RecourseBudget, RetryPolicy, Size,
+};
 use dbp_workloads::parse_trace;
 
 fn usage() -> ! {
@@ -27,6 +29,7 @@ fn usage() -> ! {
         "usage: dbp-trace record <trace.csv> --algo NAME [-o out.jsonl]\n\
          \u{20}             [--fail-rate F] [--fail-seed N] [--fail-mtbf T]\n\
          \u{20}             [--retry immediate|fixed=<t>|exp=<t>]\n\
+         \u{20}             [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]\n\
          \u{20}      dbp-trace replay <run.jsonl>\n\
          \u{20}      dbp-trace diff <a.jsonl> <b.jsonl>\n\
          algorithms: {:?}",
@@ -57,6 +60,7 @@ fn record(args: &[String]) -> ExitCode {
     let mut fail_seed = 0u64;
     let mut fail_mtbf = 1000u64;
     let mut retry = RetryPolicy::Immediate;
+    let mut recourse = RecourseBudget::None;
     let next = |it: &mut std::slice::Iter<String>| it.next().cloned().unwrap_or_else(|| usage());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +70,15 @@ fn record(args: &[String]) -> ExitCode {
             "--fail-rate" => fail_rate = next(&mut it).parse().unwrap_or_else(|_| usage()),
             "--fail-seed" => fail_seed = next(&mut it).parse().unwrap_or_else(|_| usage()),
             "--fail-mtbf" => fail_mtbf = next(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--recourse" => {
+                let raw = next(&mut it);
+                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--retry" => {
                 let raw = next(&mut it);
                 retry = RetryPolicy::parse(&raw).unwrap_or_else(|| {
@@ -101,10 +114,11 @@ fn record(args: &[String]) -> ExitCode {
         FailurePlan::None
     };
     let mut sink = JsonlSink::new(std::io::BufWriter::new(out));
-    let res = engine::run_with_failures(&inst, algo, plan, retry, &mut sink).unwrap_or_else(|e| {
-        eprintln!("{algo_name}: illegal move: {e}");
-        std::process::exit(1);
-    });
+    let res = engine::run_with_failures_recourse(&inst, algo, plan, retry, recourse, &mut sink)
+        .unwrap_or_else(|e| {
+            eprintln!("{algo_name}: illegal move: {e}");
+            std::process::exit(1);
+        });
     let written = sink.written();
     if let Err(e) = sink.finish() {
         if dbp_bench::pipe::is_broken_pipe(&e) {
@@ -133,6 +147,13 @@ fn record(args: &[String]) -> ExitCode {
         eprintln!(
             "{algo_name}: {} bin failures, {} displaced, {} readmitted, {} dropped",
             r.bin_failures, r.displacements, r.readmissions, r.dropped,
+        );
+    }
+    let rc = &res.recourse;
+    if rc.any() {
+        eprintln!(
+            "{algo_name}: {} migrations ({} closures) over {} epochs under {recourse}",
+            rc.migrations, rc.migration_closures, rc.epochs,
         );
     }
     ExitCode::SUCCESS
@@ -197,6 +218,21 @@ fn replay(path: &str) -> ExitCode {
                 // pre-placement store, then the next Placed consumes this.
                 auditor.on_event(ev, &store);
                 pending = Some((item, size));
+            }
+            EngineEvent::ItemMigrated {
+                item,
+                at,
+                from,
+                to,
+                size,
+                ..
+            } => {
+                // Mirror the live engine's remove-then-add order so the
+                // auditor sees the same store state at the event: the final
+                // removal closes the source, then the item re-books.
+                store.remove(from, item, size, at);
+                store.add(to, item, size);
+                auditor.on_event(ev, &store);
             }
             EngineEvent::BinFailed { .. }
             | EngineEvent::BinClosed { .. }

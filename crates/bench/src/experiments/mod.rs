@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod lemmas;
+pub mod recourse;
 pub mod resilience;
 pub mod summary;
 pub mod svgs;
@@ -77,6 +78,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("shape-test", extensions::shape_test),
         ("migration-value", extensions::migration_value),
         ("resilience", resilience::resilience),
+        ("recourse", recourse::recourse),
         ("waste", extensions::waste),
         ("boot-overhead", extensions::boot_overhead),
         ("ablation-threshold", ablations::threshold),

@@ -10,6 +10,8 @@
 //! * [`ClassifyByDuration`] — the prior-art classify-by-duration family
 //!   (binary = `Θ(log μ)`, widened = Ren & Tang's `O(log μ/log log μ)`);
 //! * [`DepartureAwareFit`] — a natural clairvoyant heuristic baseline;
+//! * [`RepackOnDeparture`] / [`AmortizedRepack`] — bounded-recourse
+//!   wrappers layering budgeted item migration over any base algorithm;
 //! * [`offline`] — repacking FFD (Lemma 3.1 constructive bound), the
 //!   non-repacking portfolio, and exact branch-and-bound.
 
@@ -23,6 +25,7 @@ pub mod harmonic;
 pub mod hybrid;
 pub mod offline;
 pub mod random_fit;
+pub mod recourse;
 
 pub use any_fit::{AnyFit, BestFit, FirstFit, NextFit, WorstFit};
 pub use cdff::Cdff;
@@ -31,12 +34,15 @@ pub use departure_fit::DepartureAwareFit;
 pub use harmonic::Harmonic;
 pub use hybrid::{HybridAlgorithm, InnerFit, Threshold};
 pub use random_fit::RandomFit;
+pub use recourse::{AmortizedRepack, RepackOnDeparture};
 
 use dbp_core::algorithm::OnlineAlgorithm;
 
 /// Constructs an algorithm by registry name. Names:
 /// `first-fit`, `best-fit`, `worst-fit`, `next-fit`, `cbd`,
-/// `cbd:<width>`, `hybrid`, `cdff`, `departure-aware`.
+/// `cbd:<width>`, `hybrid`, `cdff`, `departure-aware`, plus the
+/// bounded-recourse wrappers `rod:<base>` and `amortized:<base>`
+/// (recursive: any registry name may serve as `<base>`).
 ///
 /// The box is `Send` so drivers that host an algorithm per worker
 /// thread (the serve daemon's tenant sessions) can move it; it coerces
@@ -54,6 +60,15 @@ pub fn by_name(name: &str) -> Option<Box<dyn OnlineAlgorithm + Send>> {
         "cdff" => Box::new(Cdff::new()),
         "departure-aware" | "daf" => Box::new(DepartureAwareFit::new()),
         other => {
+            if let Some(base) = other.strip_prefix("rod:") {
+                return by_name(base).map(|b| {
+                    Box::new(RepackOnDeparture::new(b)) as Box<dyn OnlineAlgorithm + Send>
+                });
+            }
+            if let Some(base) = other.strip_prefix("amortized:") {
+                return by_name(base)
+                    .map(|b| Box::new(AmortizedRepack::new(b)) as Box<dyn OnlineAlgorithm + Send>);
+            }
             let width = other.strip_prefix("cbd:")?.parse().ok()?;
             Box::new(ClassifyByDuration::with_width(width))
         }
@@ -73,6 +88,8 @@ pub fn registry_names() -> &'static [&'static str] {
         "departure-aware",
         "random-fit",
         "harmonic",
+        "rod:first-fit",
+        "amortized:first-fit",
     ]
 }
 
@@ -97,6 +114,13 @@ mod tests {
         assert!(by_name("cbd:3").is_some());
         assert!(by_name("nope").is_none());
         assert!(by_name("cbd:x").is_none());
+        assert_eq!(by_name("rod:best-fit").unwrap().name(), "rod:best-fit");
+        // Wrapper names compose from the base's *display* name.
+        assert_eq!(
+            by_name("amortized:cbd:3").unwrap().name(),
+            "amortized:classify-duration(w=3)"
+        );
+        assert!(by_name("rod:nope").is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::bin_state::{BinId, BinRecord, BinStore};
 use crate::item::{Item, ItemId};
+use crate::recourse::{Migration, RecourseEpoch, RecourseView};
 use crate::size::Size;
 use crate::time::Time;
 
@@ -151,6 +152,23 @@ pub trait OnlineAlgorithm {
         let _ = (retained, old_len);
     }
 
+    /// Offer to move a resident item at a recourse epoch (see
+    /// [`crate::recourse`]). Called only when the run carries a non-`None`
+    /// [`crate::recourse::RecourseBudget`], and repeatedly within one epoch
+    /// while allowance remains: return `Some` to execute one migration (the
+    /// engine validates and applies it, then asks again with a decremented
+    /// `moves_left`), or `None` to end the epoch early. The default never
+    /// migrates, so every existing algorithm stays recourse-free.
+    fn propose_migration(
+        &mut self,
+        view: &RecourseView<'_>,
+        epoch: RecourseEpoch,
+        moves_left: u32,
+    ) -> Option<Migration> {
+        let _ = (view, epoch, moves_left);
+        None
+    }
+
     /// Reset all internal state so the value can run another instance.
     fn reset(&mut self);
 }
@@ -167,6 +185,14 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for &mut T {
     }
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         (**self).on_compact(retained, old_len)
+    }
+    fn propose_migration(
+        &mut self,
+        view: &RecourseView<'_>,
+        epoch: RecourseEpoch,
+        moves_left: u32,
+    ) -> Option<Migration> {
+        (**self).propose_migration(view, epoch, moves_left)
     }
     fn reset(&mut self) {
         (**self).reset()
@@ -185,6 +211,14 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
     }
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         (**self).on_compact(retained, old_len)
+    }
+    fn propose_migration(
+        &mut self,
+        view: &RecourseView<'_>,
+        epoch: RecourseEpoch,
+        moves_left: u32,
+    ) -> Option<Migration> {
+        (**self).propose_migration(view, epoch, moves_left)
     }
     fn reset(&mut self) {
         (**self).reset()

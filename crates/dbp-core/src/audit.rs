@@ -26,7 +26,15 @@
 //! * **Demand ≤ bill** — the integral of the mirrored total load never
 //!   exceeds the integral of the open-bin count (`d(σ) ≤ cost`); an
 //!   over-unity utilisation is reported as a violation instead of being
-//!   clamped away.
+//!   clamped away;
+//! * **Recourse bookkeeping** — a migration must move a genuinely resident
+//!   item between two distinct open bins, conserve total load across the
+//!   move, respect the target's capacity and reported `load_after`, and —
+//!   when the expected [`RecourseBudget`] is declared via
+//!   [`InvariantAuditor::expect_budget`] — never exceed the allowance a
+//!   faithful budget replay grants its epoch. Post-run, the stream's
+//!   migration/closure counts must match the
+//!   [`crate::recourse::RecourseReport`].
 //!
 //! The auditor latches the **first** violation with its event index and
 //! full context, then stops mirroring — later checks would only cascade
@@ -43,6 +51,7 @@ use crate::engine::{run_with_sink, PackingResult};
 use crate::error::EngineError;
 use crate::instance::Instance;
 use crate::item::ItemId;
+use crate::recourse::{RecourseBudget, RecourseCtl};
 use crate::size::{Size, SIZE_SCALE};
 use crate::time::Time;
 use crate::trace::{EngineEvent, EventSink};
@@ -109,6 +118,12 @@ pub struct InvariantAuditor {
     failures_seen: u64,
     displacements_seen: u64,
     readmissions_seen: u64,
+    migrations_seen: u64,
+    migration_closures_seen: u64,
+    /// Independent budget replay, armed by [`InvariantAuditor::expect_budget`]:
+    /// every `Placed`/`Departure` event opens an epoch exactly as the engine
+    /// does, and each `ItemMigrated` must fit the replayed allowance.
+    budget_replay: Option<RecourseCtl>,
     events_seen: u64,
     violation: Option<AuditViolation>,
 }
@@ -128,6 +143,21 @@ impl InvariantAuditor {
     /// violation).
     pub fn events_seen(&self) -> u64 {
         self.events_seen
+    }
+
+    /// Declares the [`RecourseBudget`] the audited run was configured with
+    /// and arms the budget replay: the auditor then re-derives the per-epoch
+    /// move allowance from the event stream alone (every `Placed` and
+    /// `Departure` opens an epoch, exactly mirroring the engine) and flags
+    /// any `ItemMigrated` the declared budget could not have afforded.
+    /// Call before the run starts.
+    pub fn expect_budget(&mut self, budget: RecourseBudget) {
+        self.budget_replay = Some(RecourseCtl::new(budget));
+    }
+
+    /// Voluntary migrations observed in the stream so far.
+    pub fn migrations_seen(&self) -> u64 {
+        self.migrations_seen
     }
 
     /// Exact `∫ (open bins) dt` accumulated from the event stream so far.
@@ -241,6 +271,28 @@ impl InvariantAuditor {
                     self.displaced_outstanding.len(),
                     result.resilience.dropped
                 ));
+            } else if self.migrations_seen != result.recourse.migrations {
+                self.fail_post(format!(
+                    "recourse mismatch: stream saw {} migration(s), report says {}",
+                    self.migrations_seen, result.recourse.migrations
+                ));
+            } else if self.migration_closures_seen != result.recourse.migration_closures {
+                self.fail_post(format!(
+                    "recourse mismatch: stream saw {} migration closure(s), report says {}",
+                    self.migration_closures_seen, result.recourse.migration_closures
+                ));
+            } else if let Some(replayed) = self
+                .budget_replay
+                .as_ref()
+                .filter(|ctl| !ctl.budget.is_none())
+                .map(|ctl| ctl.report.epochs)
+            {
+                if replayed != result.recourse.epochs {
+                    self.fail_post(format!(
+                        "recourse mismatch: budget replay opened {} epoch(s), report says {}",
+                        replayed, result.recourse.epochs
+                    ));
+                }
             }
         }
         match &self.violation {
@@ -382,6 +434,13 @@ impl EventSink for InvariantAuditor {
                     return;
                 }
                 self.total_load += p_size.raw();
+                // The engine opens an arrival recourse epoch right after a
+                // placement settles (fresh arrival or re-admission alike).
+                if let Some(ctl) = &mut self.budget_replay {
+                    if !ctl.budget.is_none() {
+                        ctl.begin_epoch();
+                    }
+                }
             }
             EngineEvent::Departure {
                 item, bin, size, ..
@@ -408,6 +467,14 @@ impl EventSink for InvariantAuditor {
                 m.load -= size.raw();
                 m.residents -= 1;
                 self.total_load -= size.raw();
+                // A (non-stale) departure opens a departure recourse epoch;
+                // any closure event for the emptied bin follows *before*
+                // migrations, but closures never touch the allowance.
+                if let Some(ctl) = &mut self.budget_replay {
+                    if !ctl.budget.is_none() {
+                        ctl.begin_epoch();
+                    }
+                }
             }
             EngineEvent::ItemDisplaced {
                 item, bin, size, ..
@@ -481,6 +548,111 @@ impl EventSink for InvariantAuditor {
                 }
                 self.readmissions_seen += 1;
                 self.pending_arrival = Some((item, at, size));
+            }
+            EngineEvent::ItemMigrated {
+                item,
+                from,
+                to,
+                size,
+                load_after,
+                ..
+            } => {
+                if let Some((prev, _, _)) = self.pending_arrival {
+                    self.fail(
+                        event,
+                        format!("migration of {item} while {prev} still awaits placement"),
+                    );
+                    return;
+                }
+                if from == to {
+                    self.fail(event, format!("{item} \"migrated\" within {from}"));
+                    return;
+                }
+                // Validate both endpoints before mutating either mirror, so
+                // a latched violation leaves the divergent state intact.
+                let (src_open, src_load, src_residents) = match self.bins.get(from.index()) {
+                    Some(m) => (m.open, m.load, m.residents),
+                    None => {
+                        self.fail(event, format!("{item} migrated out of never-opened {from}"));
+                        return;
+                    }
+                };
+                if !src_open {
+                    self.fail(event, format!("{item} migrated out of closed {from}"));
+                    return;
+                }
+                if src_residents == 0 || src_load < size.raw() {
+                    self.fail(
+                        event,
+                        format!(
+                            "{item} (size {}) migrated out of {from} holding load {src_load} with {src_residents} resident(s)",
+                            size.raw()
+                        ),
+                    );
+                    return;
+                }
+                let dst_open = match self.bins.get(to.index()) {
+                    Some(m) => m.open,
+                    None => {
+                        self.fail(event, format!("{item} migrated into never-opened {to}"));
+                        return;
+                    }
+                };
+                if !dst_open {
+                    self.fail(event, format!("{item} migrated into closed {to}"));
+                    return;
+                }
+                let src = &mut self.bins[from.index()];
+                src.load -= size.raw();
+                src.residents -= 1;
+                let emptied = src.residents == 0;
+                let dst = &mut self.bins[to.index()];
+                dst.load += size.raw();
+                dst.residents += 1;
+                let dst_load = dst.load;
+                if dst_load > SIZE_SCALE {
+                    self.fail(
+                        event,
+                        format!(
+                            "{to} over capacity after migration: mirrored load {dst_load} > {SIZE_SCALE}"
+                        ),
+                    );
+                    return;
+                }
+                if dst_load != load_after.raw() {
+                    self.fail(
+                        event,
+                        format!(
+                            "load conservation broken by migration into {to}: mirror says {dst_load}, engine reports {}",
+                            load_after.raw()
+                        ),
+                    );
+                    return;
+                }
+                // `total_load` is deliberately untouched: a migration moves
+                // load between bins, it never creates or destroys any.
+                self.migrations_seen += 1;
+                if emptied {
+                    self.migration_closures_seen += 1;
+                }
+                let over_budget = match &mut self.budget_replay {
+                    Some(ctl) => {
+                        if ctl.allowance() == 0 {
+                            true
+                        } else {
+                            ctl.spend();
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if over_budget {
+                    let budget = self.budget_replay.as_ref().expect("just matched").budget;
+                    self.fail(
+                        event,
+                        format!("migration of {item} exceeds the declared budget ({budget})"),
+                    );
+                }
             }
             EngineEvent::BinFailed { bin, at, opened_at } => {
                 // A failed bin is a closed bin whose residents were forced
@@ -698,6 +870,130 @@ mod tests {
         let err = auditor.verify_result(&res).unwrap_err();
         assert_eq!(err.index, u64::MAX, "post-run violation");
         assert!(err.message.contains("still open"), "{}", err.message);
+    }
+
+    #[test]
+    fn budget_replay_accepts_a_faithful_recourse_run() {
+        use crate::engine::run_with_recourse;
+        use crate::recourse::{Migration, RecourseEpoch, RecourseView};
+
+        /// First-Fit that, at every departure epoch, tries to empty the
+        /// lightest open bin into any other bin with room.
+        struct Consolidator;
+        impl OnlineAlgorithm for Consolidator {
+            fn name(&self) -> &str {
+                "consolidator-audit"
+            }
+            fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+                match view.first_fit(item.size) {
+                    Some(b) => Placement::Existing(b),
+                    None => Placement::OpenNew,
+                }
+            }
+            fn propose_migration(
+                &mut self,
+                view: &RecourseView<'_>,
+                epoch: RecourseEpoch,
+                _moves_left: u32,
+            ) -> Option<Migration> {
+                if !matches!(epoch, RecourseEpoch::Departure) {
+                    return None;
+                }
+                let sim = view.sim();
+                let source = sim
+                    .open_bins()
+                    .min_by_key(|r| (r.load, r.id.0))
+                    .map(|r| r.id)?;
+                let (item, size, _) = view.residents(source).into_iter().next()?;
+                let to = sim
+                    .open_bins()
+                    .find(|r| r.id != source && r.fits(size))
+                    .map(|r| r.id)?;
+                Some(Migration { item, to })
+            }
+            fn reset(&mut self) {}
+        }
+
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(20), sz(3, 4)),
+        ])
+        .unwrap();
+        let budget = RecourseBudget::per_epoch(1);
+        let mut auditor = InvariantAuditor::new();
+        auditor.expect_budget(budget);
+        let res = run_with_recourse(&inst, Consolidator, budget, &mut auditor).unwrap();
+        auditor.verify_result(&res).unwrap();
+        assert_eq!(auditor.migrations_seen(), 1);
+        assert_eq!(res.recourse.migrations, 1);
+        assert_eq!(res.recourse.migration_closures, 1);
+        assert_eq!(res.cost.as_bin_ticks(), 4.0 + 20.0);
+    }
+
+    /// Satellite fixture: an event stream forging a migration the declared
+    /// budget could never afford must latch a violation at that event, even
+    /// when the forged move itself is perfectly load-conserving.
+    #[test]
+    fn auditor_flags_a_forged_migration() {
+        use crate::bin_state::BinId;
+        use crate::engine::run_with_sink;
+        use crate::size::Load;
+
+        /// Forwards the truthful stream and injects one forged event right
+        /// after the first `Departure`.
+        struct InjectSink<'a> {
+            inner: &'a mut InvariantAuditor,
+            forged: Option<EngineEvent>,
+        }
+        impl EventSink for InjectSink<'_> {
+            fn on_event(&mut self, event: &EngineEvent, bins: &BinStore) {
+                self.inner.on_event(event, bins);
+                if matches!(event, EngineEvent::Departure { .. }) {
+                    if let Some(f) = self.forged.take() {
+                        self.inner.on_event(&f, bins);
+                    }
+                }
+            }
+        }
+
+        // r0 [0,4) and r1 [0,10) share bin 0; r2 [0,20) pins bin 1. After
+        // r0 departs, "moving" r1 into bin 1 conserves load exactly — only
+        // the budget replay can tell it was never allowed.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(20), sz(3, 4)),
+        ])
+        .unwrap();
+        let mut auditor = InvariantAuditor::new();
+        auditor.expect_budget(RecourseBudget::None);
+        let forged = EngineEvent::ItemMigrated {
+            item: ItemId(1),
+            at: Time(4),
+            from: BinId(0),
+            to: BinId(1),
+            size: sz(1, 4),
+            load_after: Load::from_raw(sz(3, 4).raw() + sz(1, 4).raw()),
+        };
+        let sink = InjectSink {
+            inner: &mut auditor,
+            forged: Some(forged),
+        };
+        run_with_sink(&inst, Ff, sink).unwrap();
+        let v = auditor.violation().expect("forged migration detected");
+        assert!(
+            v.message.contains("exceeds the declared budget"),
+            "{}",
+            v.message
+        );
+        assert!(matches!(
+            v.event,
+            Some(EngineEvent::ItemMigrated {
+                item: ItemId(1),
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -35,6 +35,9 @@ use crate::error::EngineError;
 use crate::failure::{FailurePlan, ResilienceReport, RetryPolicy};
 use crate::instance::{Instance, InstanceBuilder};
 use crate::item::{Item, ItemId};
+use crate::recourse::{
+    Migration, RecourseBudget, RecourseCtl, RecourseEpoch, RecourseReport, RecourseView,
+};
 use crate::size::Size;
 use crate::time::{Dur, Time};
 use crate::trace::{EngineEvent, EventSink, NoopSink, PlacementPath};
@@ -104,6 +107,10 @@ pub struct PackingResult {
     /// counts plus the degraded demand-area. All-zero (the `Default`)
     /// whenever the run used the empty [`FailurePlan`].
     pub resilience: ResilienceReport,
+    /// Recourse-side ledger: voluntary migrations, migration-driven bin
+    /// closures, and epochs offered. All-zero (the `Default`) whenever the
+    /// run used [`RecourseBudget::None`].
+    pub recourse: RecourseReport,
 }
 
 impl PackingResult {
@@ -156,6 +163,28 @@ impl PartialOrd for PendingReadmit {
     fn partial_cmp(&self, other: &PendingReadmit) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// One pending re-admission as exposed to external serializers (the serve
+/// daemon's snapshot): everything
+/// [`InteractiveSim::restore_pending_readmission`] needs to rebuild the
+/// queue entry — and its dead parent row — in a fresh engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingReadmission {
+    /// The displaced parent row this retry continues.
+    pub parent: ItemId,
+    /// The parent row's arrival.
+    pub arrival: Time,
+    /// When the parent was displaced (its truncated departure column).
+    pub displaced_at: Time,
+    /// When the retry re-enters.
+    pub at: Time,
+    /// Displacement count of the logical request.
+    pub attempt: u32,
+    /// The original departure the retry still targets.
+    pub departure: Time,
+    /// Item size.
+    pub size: Size,
 }
 
 /// The failure layer of one simulation: the plan, the retry policy, the
@@ -288,6 +317,7 @@ pub struct InteractiveSim<A: OnlineAlgorithm, S: EventSink = NoopSink> {
     sink: S,
     metrics: RunMetrics,
     failures: FailureCtl,
+    recourse: RecourseCtl,
 }
 
 impl<A: OnlineAlgorithm> InteractiveSim<A> {
@@ -360,7 +390,33 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             sink,
             metrics: RunMetrics::default(),
             failures: FailureCtl::new(plan, retry),
+            recourse: RecourseCtl::new(RecourseBudget::None),
         }
+    }
+
+    /// Arms a recourse budget (builder form): at every arrival/departure
+    /// epoch the algorithm's `propose_migration` hook may move resident
+    /// items within the budget (see [`crate::recourse`]). The default is
+    /// [`RecourseBudget::None`], under which the hook is never consulted
+    /// and the engine's output is bit-identical to a recourse-free build.
+    pub fn with_recourse(mut self, budget: RecourseBudget) -> InteractiveSim<A, S> {
+        self.set_recourse(budget);
+        self
+    }
+
+    /// Swaps the recourse budget mid-run (the serve daemon re-arms after a
+    /// muted snapshot replay). Amortized credit restarts from zero —
+    /// conservative: a restored session can never out-spend an
+    /// uninterrupted one — while the ledger is preserved.
+    pub fn set_recourse(&mut self, budget: RecourseBudget) {
+        self.recourse.set_budget(budget);
+    }
+
+    /// The recourse ledger accumulated so far (finalized copies land on
+    /// [`PackingResult::recourse`]).
+    #[inline]
+    pub fn recourse(&self) -> &RecourseReport {
+        &self.recourse.report
     }
 
     /// The current simulation clock.
@@ -452,6 +508,75 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     #[inline]
     pub fn pending_readmissions(&self) -> usize {
         self.failures.readmits.len()
+    }
+
+    /// The pending re-admissions, sorted in drain order `(at, parent)`.
+    /// Each entry carries exactly the fields
+    /// [`InteractiveSim::restore_pending_readmission`] takes, so
+    /// serializers can round-trip the retry queue across a restart.
+    pub fn pending_readmit_entries(&self) -> Vec<PendingReadmission> {
+        let mut entries: Vec<PendingReadmission> = self
+            .failures
+            .readmits
+            .iter()
+            .map(|Reverse(p)| {
+                let idx = p.parent as usize;
+                PendingReadmission {
+                    parent: ItemId(p.parent),
+                    arrival: self.items.arrivals[idx],
+                    displaced_at: self.items.departures[idx],
+                    at: p.at,
+                    attempt: p.attempt,
+                    departure: p.departure,
+                    size: p.size,
+                }
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.at, e.parent.0));
+        entries
+    }
+
+    /// Re-injects a pending re-admission recorded by an external
+    /// serializer: creates a dead *parent* row for the displaced item —
+    /// arrival and size as recorded, departure truncated at `displaced_at`
+    /// exactly as the crash left it — and queues the retry at `at`, so the
+    /// forthcoming [`EngineEvent::ItemReadmitted`] names a real row and
+    /// the shared relocation drain replays it like the original engine
+    /// would have. Returns the parent row's id.
+    ///
+    /// The parent row is not resident anywhere; its assignment slot holds
+    /// a placeholder that is never dereferenced (dead rows have no heap
+    /// entry and no bin membership).
+    ///
+    /// # Panics
+    /// Panics unless `arrival < displaced_at ≤ now ≤ at < departure` — any
+    /// other shape could not have come out of a real crash.
+    pub fn restore_pending_readmission(
+        &mut self,
+        arrival: Time,
+        displaced_at: Time,
+        at: Time,
+        attempt: u32,
+        departure: Time,
+        size: Size,
+    ) -> ItemId {
+        assert!(
+            arrival < displaced_at && displaced_at <= self.now && self.now <= at && at < departure,
+            "restored re-admission violates arrival < displaced ≤ now ≤ retry < departure"
+        );
+        let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
+        self.items.push(Item::new(id, arrival, displaced_at, size));
+        self.assignment.push(BinId(u32::MAX));
+        // The pending entry itself carries `attempt`; the dead parent row's
+        // own counter is never read again (it cannot be crashed twice).
+        self.failures.readmits.push(Reverse(PendingReadmit {
+            at,
+            parent: id.0,
+            attempt,
+            departure,
+            size,
+        }));
+        id
     }
 
     /// The live items: `(id, item, bin)` for every resident row, in id
@@ -650,6 +775,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         self.items.push(item);
         self.assignment.push(bin);
         self.undated += 1;
+        self.recourse_epoch(RecourseEpoch::Arrival)?;
         // No departure queued yet: set_departure will queue it.
         Ok((id, bin))
     }
@@ -716,6 +842,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         self.assignment.push(bin);
         self.departures.push(Reverse((item.departure, id.0)));
         self.metrics.heap_pushes += 1;
+        self.recourse_epoch(RecourseEpoch::Arrival)?;
         Ok(bin)
     }
 
@@ -843,6 +970,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             timeline: self.timeline,
             metrics: self.metrics,
             resilience: self.failures.report,
+            recourse: self.recourse.report,
         };
         (instance, result)
     }
@@ -868,7 +996,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
                 break;
             }
             if dep_t == Some(next) {
-                self.pop_departure();
+                self.pop_departure()?;
             } else if crash_t == Some(next) {
                 self.pop_crash();
             } else {
@@ -879,8 +1007,9 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     }
 
     /// Processes the earliest pending departure (stale entries for items
-    /// displaced after queuing are skipped).
-    fn pop_departure(&mut self) {
+    /// displaced after queuing are skipped). A real departure opens a
+    /// recourse epoch, which can fail on an illegal migration proposal.
+    fn pop_departure(&mut self) -> Result<(), EngineError> {
         let Reverse((dep, idx)) = self.departures.pop().expect("peeked before pop");
         self.metrics.heap_pops += 1;
         if self.items.departures[idx as usize] != dep {
@@ -888,13 +1017,12 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             // column after this entry was queued, marking it stale. One
             // column load decides — the full record is never touched; the
             // re-admission (if any) carries its own entry.
-            return;
+            return Ok(());
         }
         let item = self.items.get(idx);
         self.now = self.now.max(dep);
         let bin = self.assignment[idx as usize];
-        self.resident -= 1;
-        let closed = self.bins.remove(bin, item.id, item.size, dep);
+        let closed = self.detach(bin, item.id, item.size, dep);
         self.emit(EngineEvent::Departure {
             item: item.id,
             at: dep,
@@ -902,17 +1030,30 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             size: item.size,
         });
         if closed {
-            let rec = self.bins.record(bin).expect("bin exists");
-            let opened_at = rec.opened_at;
-            self.cost += Area::from_bin_ticks(dep.since(opened_at));
-            self.record_open_count_at(dep);
-            self.emit(EngineEvent::BinClosed {
-                bin,
-                at: dep,
-                opened_at,
-            });
+            self.settle_close(bin, dep);
         }
         self.algo.on_departure(&item, bin, closed);
+        self.recourse_epoch(RecourseEpoch::Departure)
+    }
+
+    /// Detaches a resident item from its bin — the shared first half of
+    /// every relocation, whether the item is leaving for good (departure),
+    /// being displaced by a crash, or being voluntarily migrated. Returns
+    /// whether the removal emptied (closed) the bin.
+    fn detach(&mut self, bin: BinId, item: ItemId, size: Size, at: Time) -> bool {
+        self.resident -= 1;
+        self.bins.remove(bin, item, size, at)
+    }
+
+    /// Settles a bin that just emptied cleanly: bills its interval,
+    /// records the open-count breakpoint, and emits `BinClosed`. Shared by
+    /// the departure and migration paths (a crash bills the same interval
+    /// but announces itself as `BinFailed`).
+    fn settle_close(&mut self, bin: BinId, at: Time) {
+        let opened_at = self.bins.record(bin).expect("bin exists").opened_at;
+        self.cost += Area::from_bin_ticks(at.since(opened_at));
+        self.record_open_count_at(at);
+        self.emit(EngineEvent::BinClosed { bin, at, opened_at });
     }
 
     /// Fires the earliest scheduled bin crash: displaces every resident
@@ -958,8 +1099,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
                 "cannot displace undated item {} (date it before injecting failures)",
                 item.id
             );
-            self.resident -= 1;
-            let closed = self.bins.remove(bin, item.id, item.size, at);
+            let closed = self.detach(bin, item.id, item.size, at);
             self.emit(EngineEvent::ItemDisplaced {
                 item: item.id,
                 at,
@@ -1026,6 +1166,124 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         self.failures.set_attempts(id.0, p.attempt);
         self.departures.push(Reverse((p.departure, id.0)));
         self.metrics.heap_pushes += 1;
+        // A re-admission is an arrival for recourse purposes: the shared
+        // relocation drain treats the involuntary move's completion as a
+        // chance to consolidate voluntarily.
+        self.recourse_epoch(RecourseEpoch::Arrival)
+    }
+
+    /// Runs one migration epoch: offers the algorithm up to the budget's
+    /// allowance of moves, validating and applying each through the shared
+    /// relocation drain. With [`RecourseBudget::None`] (the default) this
+    /// is a single branch — no view is built, no counters move, no epoch
+    /// is ledgered — so recourse-free runs stay bit-identical by
+    /// construction.
+    fn recourse_epoch(&mut self, epoch: RecourseEpoch) -> Result<(), EngineError> {
+        if self.recourse.budget.is_none() {
+            return Ok(());
+        }
+        let mut left = self.recourse.begin_epoch();
+        while left > 0 {
+            // Same delta-snapshot discipline as `place`: store queries the
+            // algorithm issues while deciding are engine-attributed.
+            let (tree_before, linear_before) = self.bins.query_counters();
+            let proposal = {
+                let view = RecourseView::new(
+                    SimView::new(self.now, &self.bins),
+                    &self.items.sizes,
+                    &self.items.departures,
+                );
+                self.algo.propose_migration(&view, epoch, left)
+            };
+            let (tree_after, linear_after) = self.bins.query_counters();
+            self.metrics.tree_queries += tree_after - tree_before;
+            self.metrics.linear_scans += linear_after - linear_before;
+            let Some(m) = proposal else {
+                break;
+            };
+            self.apply_migration(m)?;
+            self.recourse.spend();
+            left -= 1;
+        }
+        Ok(())
+    }
+
+    /// Validates and executes one migration: detach from the source bin,
+    /// re-book into the target, emit `ItemMigrated` (followed by
+    /// `BinClosed` if the move emptied the source). Validation runs
+    /// entirely before any mutation, so an illegal request leaves no
+    /// half-applied state behind.
+    fn apply_migration(&mut self, m: Migration) -> Result<(), EngineError> {
+        let at = self.now;
+        let idx = m.item.index();
+        // The item must be physically resident in its assigned bin, and
+        // the move must actually move it.
+        let from = match self.assignment.get(idx) {
+            Some(&b) => b,
+            None => {
+                return Err(EngineError::IllegalMigration {
+                    item: m.item,
+                    to: m.to,
+                    at,
+                })
+            }
+        };
+        let resident = self
+            .bins
+            .record(from)
+            .is_some_and(|r| r.is_open() && r.items.contains(&m.item));
+        if !resident || m.to == from {
+            return Err(EngineError::IllegalMigration {
+                item: m.item,
+                to: m.to,
+                at,
+            });
+        }
+        // Target checks mirror placement validation.
+        let size = self.items.sizes[idx];
+        match self.bins.record(m.to) {
+            None => {
+                return Err(EngineError::BinNotOpen {
+                    item: m.item,
+                    bin: m.to,
+                    at,
+                })
+            }
+            Some(r) if !r.is_open() => {
+                return Err(EngineError::BinNotOpen {
+                    item: m.item,
+                    bin: m.to,
+                    at,
+                })
+            }
+            Some(r) if !r.fits(size) => {
+                return Err(EngineError::CapacityExceeded {
+                    item: m.item,
+                    bin: m.to,
+                    at,
+                })
+            }
+            Some(_) => {}
+        }
+        // The shared relocation: detach from the source, re-book into the
+        // target. Engine-level residency is unchanged.
+        let closed = self.detach(from, m.item, size, at);
+        self.bins.add(m.to, m.item, size);
+        self.resident += 1;
+        self.assignment[idx] = m.to;
+        let load_after = self.bins.record(m.to).expect("target validated open").load;
+        self.emit(EngineEvent::ItemMigrated {
+            item: m.item,
+            at,
+            from,
+            to: m.to,
+            size,
+            load_after,
+        });
+        if closed {
+            self.recourse.report.migration_closures += 1;
+            self.settle_close(from, at);
+        }
         Ok(())
     }
 
@@ -1131,8 +1389,46 @@ pub fn run_with_failures<A: OnlineAlgorithm, S: EventSink>(
     retry: RetryPolicy,
     sink: S,
 ) -> Result<PackingResult, EngineError> {
+    run_with_failures_recourse(instance, algo, plan, retry, RecourseBudget::None, sink)
+}
+
+/// [`run_with_sink`] with a recourse budget: at every arrival/departure
+/// epoch the algorithm's `propose_migration` hook may move resident items,
+/// billed against `budget` (see [`crate::recourse`]). With
+/// [`RecourseBudget::None`] the output — cost, assignment, event stream,
+/// metrics — is bit-identical to [`run_with_sink`].
+pub fn run_with_recourse<A: OnlineAlgorithm, S: EventSink>(
+    instance: &Instance,
+    algo: A,
+    budget: RecourseBudget,
+    sink: S,
+) -> Result<PackingResult, EngineError> {
+    run_with_failures_recourse(
+        instance,
+        algo,
+        FailurePlan::None,
+        RetryPolicy::Immediate,
+        budget,
+        sink,
+    )
+}
+
+/// The fully-general batch entry: fault injection and recourse together.
+/// Crashes displace items through the shared relocation drain (pending
+/// re-admissions), while the budget lets the algorithm relocate
+/// voluntarily at every epoch; both kinds of moves flow through the same
+/// engine paths and the same event stream.
+pub fn run_with_failures_recourse<A: OnlineAlgorithm, S: EventSink>(
+    instance: &Instance,
+    algo: A,
+    plan: FailurePlan,
+    retry: RetryPolicy,
+    budget: RecourseBudget,
+    sink: S,
+) -> Result<PackingResult, EngineError> {
     let mut sim =
-        InteractiveSim::with_capacity_failures_and_sink(algo, instance.len(), plan, retry, sink);
+        InteractiveSim::with_capacity_failures_and_sink(algo, instance.len(), plan, retry, sink)
+            .with_recourse(budget);
     for it in instance.items() {
         sim.arrive_at(it.arrival, it.duration(), it.size)?;
     }
@@ -1743,5 +2039,263 @@ mod tests {
         let (inst, res) = sim.finish();
         assert_eq!(inst.len(), 2);
         assert_eq!(res.cost.as_bin_ticks(), 20.0);
+    }
+
+    /// First-Fit that, at every departure epoch, evacuates the
+    /// lowest-loaded open bin into the others one resident at a time — a
+    /// miniature of the dbp-algos consolidator, small enough to reason
+    /// about exactly in these tests.
+    struct Consolidator;
+    impl OnlineAlgorithm for Consolidator {
+        fn name(&self) -> &str {
+            "consolidator-test"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn propose_migration(
+            &mut self,
+            view: &RecourseView<'_>,
+            epoch: RecourseEpoch,
+            _moves_left: u32,
+        ) -> Option<Migration> {
+            if !matches!(epoch, RecourseEpoch::Departure) {
+                return None;
+            }
+            let sim = view.sim();
+            let source = sim
+                .open_bins()
+                .min_by_key(|r| (r.load, r.id.0))
+                .map(|r| r.id)?;
+            let (item, size, _) = view.residents(source).into_iter().next()?;
+            let to = sim
+                .open_bins()
+                .find(|r| r.id != source && r.fits(size))
+                .map(|r| r.id)?;
+            Some(Migration { item, to })
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn migration_consolidates_and_bills_the_closed_bin() {
+        use crate::trace::VecSink;
+        // r0 [0,4) and r1 [0,10) share bin 0; r2 (3/4) pins bin 1 to t=20.
+        // When r0 departs, the consolidator moves r1 into bin 1: bin 0
+        // closes at 4 instead of 10.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(20), sz(3, 4)),
+        ])
+        .unwrap();
+        let mut sink = VecSink::new();
+        let res =
+            run_with_recourse(&inst, Consolidator, RecourseBudget::Unlimited, &mut sink).unwrap();
+        assert_eq!(res.cost.as_bin_ticks(), 4.0 + 20.0);
+        assert_eq!(res.recourse.migrations, 1);
+        assert_eq!(res.recourse.migration_closures, 1);
+        assert_eq!(res.assignment[1], BinId(1), "r1 ends up in bin 1");
+        assert_eq!(res.cost, res.cost_from_timeline());
+        // ItemMigrated precedes the BinClosed it caused.
+        let mig = sink
+            .events
+            .iter()
+            .position(|e| matches!(e, EngineEvent::ItemMigrated { .. }))
+            .expect("one migration");
+        assert!(matches!(
+            sink.events[mig],
+            EngineEvent::ItemMigrated {
+                item: ItemId(1),
+                at: Time(4),
+                from: BinId(0),
+                to: BinId(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            sink.events[mig + 1],
+            EngineEvent::BinClosed {
+                bin: BinId(0),
+                at: Time(4),
+                ..
+            }
+        ));
+        // Without recourse the same instance costs 10 + 20.
+        let base = run(&inst, Consolidator).unwrap();
+        assert_eq!(base.cost.as_bin_ticks(), 30.0);
+    }
+
+    #[test]
+    fn none_budget_never_consults_the_algorithm() {
+        use crate::trace::VecSink;
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(20), sz(3, 4)),
+        ])
+        .unwrap();
+        let mut plain_sink = VecSink::new();
+        let plain = run_with_sink(&inst, Ff, &mut plain_sink).unwrap();
+        let mut rec_sink = VecSink::new();
+        let gated =
+            run_with_recourse(&inst, Consolidator, RecourseBudget::None, &mut rec_sink).unwrap();
+        assert_eq!(plain.cost, gated.cost);
+        assert_eq!(plain.assignment, gated.assignment);
+        assert_eq!(plain.timeline, gated.timeline);
+        assert_eq!(plain.metrics, gated.metrics);
+        assert_eq!(plain_sink.events, rec_sink.events);
+        assert!(!gated.recourse.any(), "no epoch was ever opened");
+    }
+
+    #[test]
+    fn per_epoch_budget_caps_moves_and_cost_shrinks_with_budget() {
+        // After r0 departs at t=4, bin 0 still holds two quarters that
+        // both fit into bin 1. Unlimited moves them in one epoch (bin 0
+        // closes at 4); epoch=1 moves one per departure epoch (bin 0
+        // closes at 10); none leaves bin 0 open to t=12.
+        let inst = Instance::from_triples([
+            (Time(0), Dur(4), sz(1, 4)),
+            (Time(0), Dur(10), sz(1, 4)),
+            (Time(0), Dur(12), sz(1, 4)),
+            (Time(0), Dur(20), sz(1, 2)),
+        ])
+        .unwrap();
+        let unlimited =
+            run_with_recourse(&inst, Consolidator, RecourseBudget::Unlimited, NoopSink).unwrap();
+        let one =
+            run_with_recourse(&inst, Consolidator, RecourseBudget::per_epoch(1), NoopSink).unwrap();
+        let none = run(&inst, Consolidator).unwrap();
+        assert_eq!(unlimited.cost.as_bin_ticks(), 4.0 + 20.0);
+        assert_eq!(unlimited.recourse.migrations, 2);
+        assert_eq!(one.cost.as_bin_ticks(), 10.0 + 20.0);
+        assert_eq!(one.recourse.migrations, 2, "second move waits an epoch");
+        assert_eq!(none.cost.as_bin_ticks(), 12.0 + 20.0);
+        assert!(unlimited.cost < one.cost && one.cost < none.cost);
+    }
+
+    /// Proposes one fixed migration at every arrival epoch with two open
+    /// bins (so tests can aim a specific illegal request at the engine).
+    struct BadMover(Migration);
+    impl OnlineAlgorithm for BadMover {
+        fn name(&self) -> &str {
+            "bad-mover"
+        }
+        fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
+            match view.first_fit(item.size) {
+                Some(b) => Placement::Existing(b),
+                None => Placement::OpenNew,
+            }
+        }
+        fn propose_migration(
+            &mut self,
+            view: &RecourseView<'_>,
+            epoch: RecourseEpoch,
+            _moves_left: u32,
+        ) -> Option<Migration> {
+            (matches!(epoch, RecourseEpoch::Arrival) && view.sim().open_count() == 2)
+                .then_some(self.0)
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn illegal_migrations_are_rejected_with_typed_errors() {
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), Size::FULL),
+            (Time(0), Dur(10), Size::FULL),
+        ])
+        .unwrap();
+        let cases = [
+            (
+                Migration {
+                    item: ItemId(0),
+                    to: BinId(0),
+                },
+                "own bin",
+            ),
+            (
+                Migration {
+                    item: ItemId(99),
+                    to: BinId(1),
+                },
+                "unknown item",
+            ),
+        ];
+        for (m, what) in cases {
+            let err = run_with_recourse(&inst, BadMover(m), RecourseBudget::per_epoch(1), NoopSink)
+                .unwrap_err();
+            assert!(
+                matches!(err, EngineError::IllegalMigration { .. }),
+                "{what}: {err}"
+            );
+        }
+        let err = run_with_recourse(
+            &inst,
+            BadMover(Migration {
+                item: ItemId(0),
+                to: BinId(9),
+            }),
+            RecourseBudget::per_epoch(1),
+            NoopSink,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::BinNotOpen { .. }));
+        let err = run_with_recourse(
+            &inst,
+            BadMover(Migration {
+                item: ItemId(0),
+                to: BinId(1),
+            }),
+            RecourseBudget::per_epoch(1),
+            NoopSink,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn restored_pending_readmission_drains_like_the_original() {
+        use crate::trace::VecSink;
+        let mut sink = VecSink::new();
+        let mut sim = InteractiveSim::with_sink(Ff, &mut sink);
+        sim.try_advance_to(Time(5)).unwrap();
+        let parent =
+            sim.restore_pending_readmission(Time(0), Time(4), Time(6), 1, Time(12), sz(1, 2));
+        assert_eq!(sim.pending_readmissions(), 1);
+        assert_eq!(
+            sim.pending_readmit_entries(),
+            vec![PendingReadmission {
+                parent,
+                arrival: Time(0),
+                displaced_at: Time(4),
+                at: Time(6),
+                attempt: 1,
+                departure: Time(12),
+                size: sz(1, 2),
+            }]
+        );
+        let (inst, res) = sim.finish();
+        assert_eq!(inst.len(), 2, "dead parent row + live clone");
+        assert_eq!(res.resilience.readmissions, 1);
+        assert_eq!(res.cost.as_bin_ticks(), 6.0, "clone serves [6, 12)");
+        let readmit = sink
+            .events
+            .iter()
+            .find(|e| matches!(e, EngineEvent::ItemReadmitted { .. }))
+            .expect("retry replayed");
+        assert!(matches!(
+            *readmit,
+            EngineEvent::ItemReadmitted {
+                original,
+                at: Time(6),
+                attempt: 1,
+                departure: Time(12),
+                ..
+            } if original == parent
+        ));
     }
 }

@@ -96,6 +96,18 @@ pub enum EngineError {
         /// The first item without a prediction.
         item: ItemId,
     },
+    /// A recourse migration named an item that is not resident in any open
+    /// bin, or asked to "move" it into the bin it already occupies.
+    /// (Targets that are closed or too full raise [`EngineError::BinNotOpen`]
+    /// / [`EngineError::CapacityExceeded`], same as placements.)
+    IllegalMigration {
+        /// The item the algorithm asked to move.
+        item: ItemId,
+        /// The requested target bin.
+        to: BinId,
+        /// Simulation time of the request.
+        at: Time,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -130,6 +142,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::MissingPrediction { item } => {
                 write!(f, "no predicted departure for item {item}")
+            }
+            EngineError::IllegalMigration { item, to, at } => {
+                write!(f, "at {at}: illegal migration of item {item} to bin {to}")
             }
         }
     }

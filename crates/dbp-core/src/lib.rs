@@ -23,6 +23,9 @@
 //!   ([`audit`]) that cross-checks every run event-by-event;
 //! * fault injection ([`failure`]): crash schedules, re-admission backoff
 //!   policies, and the per-run [`failure::ResilienceReport`];
+//! * budgeted recourse ([`recourse`]): bounded voluntary item migration at
+//!   arrival/departure epochs, billed per-epoch or amortized, with the
+//!   per-run [`recourse::RecourseReport`];
 //! * the σ→σ′ departure-rounding reduction ([`reduction`]) and certified
 //!   OPT brackets ([`bounds`]) used by every experiment.
 //!
@@ -46,6 +49,7 @@ pub mod instance;
 pub mod item;
 pub mod metrics;
 pub mod profile;
+pub mod recourse;
 pub mod reduction;
 pub mod size;
 pub mod time;
@@ -58,7 +62,8 @@ pub use bin_state::{BinId, BinRecord, BinStore};
 pub use bounds::{BracketRung, BracketSource, CertifiedBracket, LowerBounds, OptBracket};
 pub use cost::Area;
 pub use engine::{
-    run, run_with_failures, run_with_sink, InteractiveSim, PackingResult, RunMetrics,
+    run, run_with_failures, run_with_failures_recourse, run_with_recourse, run_with_sink,
+    InteractiveSim, PackingResult, PendingReadmission, RunMetrics,
 };
 pub use error::{EngineError, InstanceError, VerifyError};
 pub use failure::{FailurePlan, ResilienceReport, RetryPolicy};
@@ -70,6 +75,7 @@ pub use metrics::{
     GoalComparison, UtilisationStats, WasteBreakdown,
 };
 pub use profile::StepProfile;
+pub use recourse::{Migration, RecourseBudget, RecourseEpoch, RecourseReport, RecourseView};
 pub use reduction::{reduce, reduced_departure};
 pub use size::{Load, Size, SIZE_SCALE};
 pub use time::{Dur, Time};

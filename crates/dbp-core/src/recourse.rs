@@ -1,0 +1,398 @@
+//! Recourse budgets: bounded voluntary item migration (ROADMAP item 3).
+//!
+//! The classic MinUsageTime model is irrevocable: once placed, an item
+//! stays in its bin until it departs (or a crash displaces it — see
+//! [`crate::failure`]). The *limited-repacking* literature (Gupta,
+//! Krishnaswamy, Kumar & Sandeep; Feldkord et al.) sits between that and
+//! offline full repacking: at each arrival/departure epoch the algorithm
+//! may additionally *move* a bounded number of resident items between open
+//! bins. This module supplies the vocabulary the engine speaks:
+//!
+//! * [`RecourseBudget`] — how many moves an epoch may spend: a hard
+//!   per-epoch cap, an amortized earn-per-event credit with a burst cap,
+//!   unlimited, or (the default) none at all. With [`RecourseBudget::None`]
+//!   the engine never consults the algorithm and its output is
+//!   bit-identical to a recourse-free build — the same safety-net shape as
+//!   the empty [`crate::failure::FailurePlan`].
+//! * [`Migration`] — one requested move (resident item → open bin).
+//! * [`RecourseEpoch`] — whether an arrival or a departure opened the
+//!   epoch. Crashes are involuntary and never open one.
+//! * [`RecourseView`] — the read-only view handed to
+//!   [`crate::algorithm::OnlineAlgorithm::propose_migration`]: the plain
+//!   [`SimView`] plus per-item sizes and (clairvoyant) departures, so
+//!   repacking algorithms need not mirror the item table themselves.
+//! * [`RecourseReport`] — the per-run ledger landing on
+//!   [`crate::engine::PackingResult::recourse`].
+//!
+//! Every executed migration is emitted as an
+//! [`crate::trace::EngineEvent::ItemMigrated`] and cross-checked by the
+//! [`crate::audit::InvariantAuditor`] (load conservation across the move,
+//! budget replay, closure billing).
+
+use crate::algorithm::SimView;
+use crate::bin_state::BinId;
+use crate::item::ItemId;
+use crate::size::Size;
+use crate::time::Time;
+
+/// Credit units per whole move in the amortized budget: credits are
+/// tracked in milli-moves so sub-unity earn rates (e.g. one move per four
+/// events = 250) stay integral and replayable.
+pub const MOVE_MILLI: u64 = 1000;
+
+/// Burst cap used when `amortized=<earn>` is parsed without an explicit
+/// cap: eight epochs of earning, floored at one whole move.
+const DEFAULT_BURST_EPOCHS: u32 = 8;
+
+/// How many voluntary item moves a run may spend (see the module docs).
+///
+/// Degenerate forms collapse to [`RecourseBudget::None`] in the
+/// constructors (`epoch=0`, a zero earn rate, a burst below one move), so
+/// "no budget" is structurally `None` and the engine's bit-identity
+/// short-circuit applies by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecourseBudget {
+    /// No recourse: the migration hook is never consulted (the default).
+    #[default]
+    None,
+    /// Up to this many moves at every arrival/departure epoch.
+    PerEpoch(u32),
+    /// Amortized pacing: every epoch earns `earn_milli` milli-moves
+    /// (capped at `burst_milli`), and each executed move costs
+    /// [`MOVE_MILLI`]. `earn_milli = 250` is "one move per four events" —
+    /// the Gupta-et-al-style amortized-Θ(1) regime.
+    Amortized {
+        /// Milli-moves earned at each epoch.
+        earn_milli: u32,
+        /// Credit cap in milli-moves (the burst allowance).
+        burst_milli: u32,
+    },
+    /// No cap: every proposal the algorithm makes is executed.
+    Unlimited,
+}
+
+impl RecourseBudget {
+    /// A per-epoch cap; `0` collapses to [`RecourseBudget::None`].
+    pub fn per_epoch(moves: u32) -> RecourseBudget {
+        if moves == 0 {
+            RecourseBudget::None
+        } else {
+            RecourseBudget::PerEpoch(moves)
+        }
+    }
+
+    /// An amortized budget; a zero earn rate or a burst below one whole
+    /// move collapses to [`RecourseBudget::None`].
+    pub fn amortized(earn_milli: u32, burst_milli: u32) -> RecourseBudget {
+        if earn_milli == 0 || (burst_milli as u64) < MOVE_MILLI {
+            RecourseBudget::None
+        } else {
+            RecourseBudget::Amortized {
+                earn_milli,
+                burst_milli,
+            }
+        }
+    }
+
+    /// Whether this is the inert [`RecourseBudget::None`] budget.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, RecourseBudget::None)
+    }
+
+    /// Parses the CLI spelling: `none` (or `off`), `epoch=<moves>`,
+    /// `amortized=<earn_milli>[/<burst_milli>]`, `unlimited`. Inverse of
+    /// [`RecourseBudget`]'s `Display` (degenerate forms collapse to
+    /// `none`, exactly as the constructors do).
+    pub fn parse(s: &str) -> Option<RecourseBudget> {
+        match s {
+            "none" | "off" => Some(RecourseBudget::None),
+            "unlimited" => Some(RecourseBudget::Unlimited),
+            _ => {
+                if let Some(v) = s.strip_prefix("epoch=") {
+                    return v.parse().ok().map(RecourseBudget::per_epoch);
+                }
+                let v = s.strip_prefix("amortized=")?;
+                let (earn, burst): (u32, u32) = match v.split_once('/') {
+                    Some((e, b)) => (e.parse().ok()?, b.parse().ok()?),
+                    None => {
+                        let e: u32 = v.parse().ok()?;
+                        let burst = e
+                            .saturating_mul(DEFAULT_BURST_EPOCHS)
+                            .max(u32::try_from(MOVE_MILLI).expect("const fits"));
+                        (e, burst)
+                    }
+                };
+                Some(RecourseBudget::amortized(earn, burst))
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for RecourseBudget {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecourseBudget::None => write!(f, "none"),
+            RecourseBudget::PerEpoch(moves) => write!(f, "epoch={moves}"),
+            RecourseBudget::Amortized {
+                earn_milli,
+                burst_milli,
+            } => write!(f, "amortized={earn_milli}/{burst_milli}"),
+            RecourseBudget::Unlimited => write!(f, "unlimited"),
+        }
+    }
+}
+
+/// One requested move: take the (currently resident) `item` out of its
+/// bin and re-book it into the open bin `to`. The engine validates the
+/// request (residency, target open, capacity, `to` differs from the
+/// source) and rejects illegal ones with a typed
+/// [`crate::error::EngineError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The resident item to move (it keeps its id across the move).
+    pub item: ItemId,
+    /// The open bin to move it into.
+    pub to: BinId,
+}
+
+/// Which kind of event opened a migration epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecourseEpoch {
+    /// An item was just placed (fresh arrival or re-admission).
+    Arrival,
+    /// An item just departed (and its bin possibly closed).
+    Departure,
+}
+
+/// Per-run recourse ledger (all-zero unless a budget was active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecourseReport {
+    /// Voluntary migrations executed.
+    pub migrations: u64,
+    /// Bins that closed because a migration emptied them.
+    pub migration_closures: u64,
+    /// Migration epochs opened (arrival/departure events offered to the
+    /// algorithm while a non-`None` budget was active).
+    pub epochs: u64,
+}
+
+impl RecourseReport {
+    /// Whether any recourse machinery engaged during the run.
+    pub fn any(&self) -> bool {
+        self.migrations != 0 || self.epochs != 0
+    }
+}
+
+/// The read-only view handed to
+/// [`crate::algorithm::OnlineAlgorithm::propose_migration`]: everything a
+/// [`SimView`] offers, plus the engine's per-item size and departure
+/// columns so repacking decisions (which bin can be emptied, where its
+/// residents fit, who outlives whom) need no algorithm-side mirror.
+#[derive(Debug, Clone, Copy)]
+pub struct RecourseView<'a> {
+    sim: SimView<'a>,
+    sizes: &'a [Size],
+    departures: &'a [Time],
+}
+
+impl<'a> RecourseView<'a> {
+    pub(crate) fn new(
+        sim: SimView<'a>,
+        sizes: &'a [Size],
+        departures: &'a [Time],
+    ) -> RecourseView<'a> {
+        RecourseView {
+            sim,
+            sizes,
+            departures,
+        }
+    }
+
+    /// The plain simulation view (open bins, First-Fit queries, the clock).
+    #[inline]
+    pub fn sim(&self) -> &SimView<'a> {
+        &self.sim
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// The size of any item the engine has ever admitted.
+    #[inline]
+    pub fn item_size(&self, item: ItemId) -> Option<Size> {
+        self.sizes.get(item.index()).copied()
+    }
+
+    /// The engine's recorded departure for an item: the clairvoyant
+    /// departure for live items, `Time(u64::MAX)` for undated ones, and
+    /// the truncated displacement time for rows a crash evicted.
+    #[inline]
+    pub fn item_departure(&self, item: ItemId) -> Option<Time> {
+        self.departures.get(item.index()).copied()
+    }
+
+    /// The resident items of `bin` as `(id, size, departure)`, sorted by
+    /// ascending id. The underlying resident list is swap-shuffled by
+    /// removals; sorting keeps migration proposals deterministic.
+    pub fn residents(&self, bin: BinId) -> Vec<(ItemId, Size, Time)> {
+        let mut out: Vec<(ItemId, Size, Time)> = match self.sim.bin(bin) {
+            Some(rec) if rec.is_open() => rec
+                .items
+                .iter()
+                .map(|&id| (id, self.sizes[id.index()], self.departures[id.index()]))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+}
+
+/// The recourse layer of one simulation: the budget, the amortized credit
+/// balance, the open epoch's remaining allowance, and the ledger. With
+/// [`RecourseBudget::None`] the layer is inert and the engine's output is
+/// bit-identical to a recourse-free build. The
+/// [`crate::audit::InvariantAuditor`] embeds a second copy to replay the
+/// budget from the event stream alone.
+#[derive(Debug, Clone)]
+pub(crate) struct RecourseCtl {
+    pub(crate) budget: RecourseBudget,
+    credit_milli: u64,
+    epoch_left: u32,
+    pub(crate) report: RecourseReport,
+}
+
+impl RecourseCtl {
+    pub(crate) fn new(budget: RecourseBudget) -> RecourseCtl {
+        RecourseCtl {
+            budget,
+            credit_milli: 0,
+            epoch_left: 0,
+            report: RecourseReport::default(),
+        }
+    }
+
+    /// Swaps the budget mid-run (the serve daemon's snapshot restore keeps
+    /// migrations gated during its muted replay, then re-arms). Amortized
+    /// credit restarts from zero — conservative: a restored session can
+    /// never exceed what an uninterrupted one could have spent.
+    pub(crate) fn set_budget(&mut self, budget: RecourseBudget) {
+        self.budget = budget;
+        self.credit_milli = 0;
+        self.epoch_left = 0;
+    }
+
+    /// Opens a new epoch: accrues amortized credit, resets the allowance,
+    /// and returns how many whole moves may be spent right now.
+    pub(crate) fn begin_epoch(&mut self) -> u32 {
+        self.report.epochs += 1;
+        self.epoch_left = match self.budget {
+            RecourseBudget::None => 0,
+            RecourseBudget::PerEpoch(moves) => moves,
+            RecourseBudget::Amortized {
+                earn_milli,
+                burst_milli,
+            } => {
+                self.credit_milli = (self.credit_milli + earn_milli as u64).min(burst_milli as u64);
+                u32::try_from(self.credit_milli / MOVE_MILLI).unwrap_or(u32::MAX)
+            }
+            RecourseBudget::Unlimited => u32::MAX,
+        };
+        self.epoch_left
+    }
+
+    /// Whole moves still spendable in the open epoch.
+    #[inline]
+    pub(crate) fn allowance(&self) -> u32 {
+        self.epoch_left
+    }
+
+    /// Bills one executed move against the open epoch.
+    pub(crate) fn spend(&mut self) {
+        debug_assert!(self.epoch_left > 0, "spend() without allowance");
+        self.epoch_left -= 1;
+        if matches!(self.budget, RecourseBudget::Amortized { .. }) {
+            self.credit_milli -= MOVE_MILLI;
+        }
+        self.report.migrations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for spec in [
+            "none",
+            "epoch=1",
+            "epoch=16",
+            "amortized=250/2000",
+            "unlimited",
+        ] {
+            let b = RecourseBudget::parse(spec).unwrap();
+            assert_eq!(b.to_string(), spec);
+            assert_eq!(RecourseBudget::parse(&b.to_string()), Some(b));
+        }
+        assert_eq!(RecourseBudget::parse("off"), Some(RecourseBudget::None));
+        // Bare amortized spellings get the default burst and still
+        // round-trip through Display.
+        let b = RecourseBudget::parse("amortized=500").unwrap();
+        assert_eq!(
+            b,
+            RecourseBudget::Amortized {
+                earn_milli: 500,
+                burst_milli: 4000
+            }
+        );
+        assert_eq!(RecourseBudget::parse(&b.to_string()), Some(b));
+    }
+
+    #[test]
+    fn degenerate_budgets_collapse_to_none() {
+        assert_eq!(RecourseBudget::parse("epoch=0"), Some(RecourseBudget::None));
+        assert_eq!(
+            RecourseBudget::parse("amortized=0"),
+            Some(RecourseBudget::None)
+        );
+        assert_eq!(
+            RecourseBudget::parse("amortized=500/999"),
+            Some(RecourseBudget::None)
+        );
+        assert!(RecourseBudget::parse("epoch=").is_none());
+        assert!(RecourseBudget::parse("amortized=x/2").is_none());
+        assert!(RecourseBudget::parse("sometimes").is_none());
+    }
+
+    #[test]
+    fn per_epoch_allowance_resets_each_epoch() {
+        let mut ctl = RecourseCtl::new(RecourseBudget::per_epoch(2));
+        assert_eq!(ctl.begin_epoch(), 2);
+        ctl.spend();
+        ctl.spend();
+        assert_eq!(ctl.begin_epoch(), 2, "allowance is per-epoch");
+        assert_eq!(ctl.report.migrations, 2);
+        assert_eq!(ctl.report.epochs, 2);
+    }
+
+    #[test]
+    fn amortized_credit_accrues_and_caps() {
+        // Earn 1/4 move per epoch, burst two whole moves.
+        let mut ctl = RecourseCtl::new(RecourseBudget::amortized(250, 2000));
+        assert_eq!(ctl.begin_epoch(), 0);
+        assert_eq!(ctl.begin_epoch(), 0);
+        assert_eq!(ctl.begin_epoch(), 0);
+        assert_eq!(ctl.begin_epoch(), 1, "four epochs buy one move");
+        ctl.spend();
+        assert_eq!(ctl.begin_epoch(), 0, "credit was spent");
+        for _ in 0..100 {
+            ctl.begin_epoch();
+        }
+        assert_eq!(ctl.begin_epoch(), 2, "burst caps the hoard at two moves");
+    }
+}

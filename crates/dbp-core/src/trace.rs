@@ -142,6 +142,25 @@ pub enum EngineEvent {
         /// How many times this logical request has been displaced so far.
         attempt: u32,
     },
+    /// A resident item was voluntarily moved between open bins by a
+    /// recourse-budgeted algorithm (see [`crate::recourse`]). Load-wise
+    /// this is a departure from `from` plus a placement into `to` at one
+    /// instant; if the move emptied `from`, the matching
+    /// [`EngineEvent::BinClosed`] follows immediately.
+    ItemMigrated {
+        /// The moved item (it keeps its id across the move).
+        item: ItemId,
+        /// Migration time.
+        at: Time,
+        /// The bin it left.
+        from: BinId,
+        /// The open bin it moved into.
+        to: BinId,
+        /// Item size (for load reconstruction).
+        size: Size,
+        /// The *target* bin's total load after the move.
+        load_after: Load,
+    },
     /// The simulation clock moved forward.
     ClockAdvanced {
         /// Previous clock value.
@@ -164,7 +183,8 @@ impl EngineEvent {
             | EngineEvent::BinClosed { at, .. }
             | EngineEvent::BinFailed { at, .. }
             | EngineEvent::ItemDisplaced { at, .. }
-            | EngineEvent::ItemReadmitted { at, .. } => at,
+            | EngineEvent::ItemReadmitted { at, .. }
+            | EngineEvent::ItemMigrated { at, .. } => at,
             EngineEvent::ClockAdvanced { to, .. } => to,
         }
     }
@@ -180,6 +200,7 @@ impl EngineEvent {
             EngineEvent::BinFailed { .. } => "bin_failed",
             EngineEvent::ItemDisplaced { .. } => "displaced",
             EngineEvent::ItemReadmitted { .. } => "readmitted",
+            EngineEvent::ItemMigrated { .. } => "migrated",
             EngineEvent::ClockAdvanced { .. } => "clock",
         }
     }
@@ -464,6 +485,23 @@ pub fn write_event_json(out: &mut String, event: &EngineEvent) {
             departure.0,
             attempt
         ),
+        EngineEvent::ItemMigrated {
+            item,
+            at,
+            from,
+            to,
+            size,
+            load_after,
+        } => write!(
+            out,
+            "{{\"e\":\"migrated\",\"t\":{},\"item\":{},\"from\":{},\"to\":{},\"size\":{},\"load\":{}}}",
+            at.0,
+            item.0,
+            from.0,
+            to.0,
+            size.raw(),
+            load_after.raw()
+        ),
         EngineEvent::ClockAdvanced { from, to } => {
             write!(out, "{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
         }
@@ -631,6 +669,14 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
             departure: Time(num(&pairs, "dep")?),
             attempt: num_u32(&pairs, "attempt")?,
         }),
+        "\"migrated\"" => Ok(EngineEvent::ItemMigrated {
+            item: ItemId(num_u32(&pairs, "item")?),
+            at: Time(num(&pairs, "t")?),
+            from: BinId(num_u32(&pairs, "from")?),
+            to: BinId(num_u32(&pairs, "to")?),
+            size: size_field(&pairs, "size")?,
+            load_after: Load::from_raw(num(&pairs, "load")?),
+        }),
         "\"clock\"" => Ok(EngineEvent::ClockAdvanced {
             from: Time(num(&pairs, "from")?),
             to: Time(num(&pairs, "to")?),
@@ -788,6 +834,15 @@ impl<A: OnlineAlgorithm> OnlineAlgorithm for TraceRecorder<A> {
         self.inner.on_compact(retained, old_len);
     }
 
+    fn propose_migration(
+        &mut self,
+        view: &crate::recourse::RecourseView<'_>,
+        epoch: crate::recourse::RecourseEpoch,
+        moves_left: u32,
+    ) -> Option<crate::recourse::Migration> {
+        self.inner.propose_migration(view, epoch, moves_left)
+    }
+
     fn reset(&mut self) {
         self.events.clear();
         self.inner.reset();
@@ -930,6 +985,14 @@ mod tests {
                 size: sz(1, 4),
                 departure: Time(30),
                 attempt: 2,
+            },
+            EngineEvent::ItemMigrated {
+                item: ItemId(6),
+                at: Time(16),
+                from: BinId(3),
+                to: BinId(2),
+                size: sz(1, 4),
+                load_after: Load::from_raw(sz(1, 2).raw()),
             },
         ];
         let text: String = events.iter().map(|e| event_to_json(e) + "\n").collect();

@@ -25,8 +25,14 @@
 //!   never contend on one lock.
 //! - **Snapshot / restore** ([`snapshot`]): a session serializes to a few
 //!   JSONL lines (open bins with their original opening times, live
-//!   items, accumulated counters) and restores into a warm engine whose
-//!   *reported* cost and metrics continue seamlessly.
+//!   items, pending re-admissions, accumulated counters) and restores
+//!   into a warm engine whose *reported* cost and metrics continue
+//!   seamlessly.
+//! - **Budgeted recourse** ([`session`]): a `--recourse` budget arms the
+//!   engine's migration epochs; voluntary `ItemMigrated` events stream
+//!   out like any other engine event, the ledger rides the telemetry and
+//!   the snapshot, and a restore re-arms the budget only after its muted
+//!   replay.
 //! - **Backpressure** ([`session`]): a bounded live-item window; arrivals
 //!   beyond it are rejected with a typed `overloaded` response instead of
 //!   being queued without bound.

@@ -15,15 +15,16 @@
 //! Flags: `--algo NAME` (default `first-fit`), `--max-live N`
 //! (backpressure window), `--compact-slack N`, `--metrics-every N`,
 //! `--fail-rate F --fail-seed N --fail-mtbf T` and
-//! `--retry immediate|fixed=<t>|exp=<t>` (chaos), `--restore FILE`
-//! (warm-start from a snapshot), `--snapshot-exit FILE` (write every
-//! session's snapshot on clean EOF).
+//! `--retry immediate|fixed=<t>|exp=<t>` (chaos), `--recourse SPEC`
+//! (budgeted repacking: migrations stream out as `ItemMigrated` events),
+//! `--restore FILE` (warm-start from a snapshot), `--snapshot-exit FILE`
+//! (write every session's snapshot on clean EOF).
 
 use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dbp_core::{Dur, FailurePlan, RetryPolicy};
+use dbp_core::{Dur, FailurePlan, RecourseBudget, RetryPolicy};
 use dbp_serve::{parse_request, snapshot, Request, ServeConfig, SessionMap};
 
 fn usage() -> ! {
@@ -31,6 +32,7 @@ fn usage() -> ! {
         "usage: dbp-serve (--stdin | --socket PATH) [--algo NAME] [--max-live N]\n\
          \u{20}      [--compact-slack N] [--metrics-every N] [--fail-rate F] [--fail-seed N]\n\
          \u{20}      [--fail-mtbf T] [--retry immediate|fixed=<t>|exp=<t>]\n\
+         \u{20}      [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]\n\
          \u{20}      [--restore FILE] [--snapshot-exit FILE]\n\
          algorithms: {:?}",
         dbp_algos::registry_names()
@@ -76,6 +78,15 @@ fn parse_flags(args: &[String]) -> Flags {
                 let raw = next(&mut it);
                 cfg.retry = RetryPolicy::parse(&raw).unwrap_or_else(|| {
                     eprintln!("bad retry policy '{raw}' (immediate|fixed=<ticks>|exp=<ticks>)");
+                    std::process::exit(2);
+                });
+            }
+            "--recourse" => {
+                let raw = next(&mut it);
+                cfg.recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                    );
                     std::process::exit(2);
                 });
             }

@@ -21,7 +21,8 @@ use std::fmt::Write as _;
 use dbp_core::trace::write_event_json;
 use dbp_core::{
     Area, BinStore, EngineError, EngineEvent, EventSink, FailurePlan, InteractiveSim, Item, ItemId,
-    OnlineAlgorithm, Placement, ResilienceReport, RetryPolicy, RunMetrics, SimView,
+    Migration, OnlineAlgorithm, Placement, RecourseBudget, RecourseEpoch, RecourseReport,
+    RecourseView, ResilienceReport, RetryPolicy, RunMetrics, SimView,
 };
 
 use crate::protocol::{Op, Request};
@@ -41,6 +42,10 @@ pub struct ServeConfig {
     pub plan: FailurePlan,
     /// Re-admission policy for displaced items.
     pub retry: RetryPolicy,
+    /// Recourse budget armed on every session: a non-`None` budget lets
+    /// the algorithm's `propose_migration` hook move resident items at
+    /// arrival/departure epochs, streamed out as `ItemMigrated` events.
+    pub recourse: RecourseBudget,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +57,7 @@ impl Default for ServeConfig {
             metrics_every: 0,
             plan: FailurePlan::None,
             retry: RetryPolicy::Immediate,
+            recourse: RecourseBudget::None,
         }
     }
 }
@@ -80,6 +86,16 @@ impl OnlineAlgorithm for ServeAlgo {
     }
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         self.inner.on_compact(retained, old_len);
+    }
+    // A snapshot replay runs with the budget disarmed (`restore` re-arms
+    // it after), so forwarding unconditionally never migrates mid-script.
+    fn propose_migration(
+        &mut self,
+        view: &RecourseView<'_>,
+        epoch: RecourseEpoch,
+        moves_left: u32,
+    ) -> Option<Migration> {
+        self.inner.propose_migration(view, epoch, moves_left)
     }
     fn reset(&mut self) {
         self.inner.reset();
@@ -168,6 +184,16 @@ impl SessionSink {
         ItemId(ext)
     }
 
+    /// Registers an external id for a row created *without* an admitting
+    /// event — the dead parent rows `restore` re-injects for pending
+    /// re-admissions — keeping the row/ext tables aligned so the
+    /// forthcoming `ItemReadmitted { original }` still translates.
+    pub(crate) fn register_ext(&mut self, row: ItemId, ext: u32) {
+        debug_assert_eq!(row.index(), self.ext_of_row.len(), "rows register in order");
+        self.ext_of_row.push(ext);
+        self.row_of_ext.insert(ext, row.0);
+    }
+
     fn translate(&self, row: ItemId) -> ItemId {
         ItemId(self.ext_of_row[row.index()])
     }
@@ -242,6 +268,21 @@ impl EventSink for SessionSink {
                 bin,
                 size,
             },
+            EngineEvent::ItemMigrated {
+                item,
+                at,
+                from,
+                to,
+                size,
+                load_after,
+            } => EngineEvent::ItemMigrated {
+                item: self.translate(item),
+                at,
+                from,
+                to,
+                size,
+                load_after,
+            },
             other => other,
         };
         if self.muted {
@@ -274,10 +315,14 @@ pub struct Session {
     pub(crate) events_in: u64,
     pub(crate) rejected: u64,
     pub(crate) compactions: u64,
+    /// The armed recourse budget (telemetry names it; `None` mutes the
+    /// `recourse` response line entirely).
+    pub(crate) recourse_budget: RecourseBudget,
     /// Totals carried over from a snapshot (zero for fresh sessions)…
     pub(crate) cost_offset: Area,
     pub(crate) metrics_offset: RunMetrics,
     pub(crate) resilience_offset: ResilienceReport,
+    pub(crate) recourse_offset: RecourseReport,
     pub(crate) bins_opened_offset: u64,
     pub(crate) max_open_offset: usize,
     /// …and the engine counters at the end of the snapshot replay, so
@@ -299,17 +344,15 @@ impl Session {
             script: VecDeque::new(),
             inner,
         };
-        Ok(Session::from_engine(
-            InteractiveSim::with_capacity_failures_and_sink(
-                algo,
-                0,
-                cfg.plan.clone(),
-                cfg.retry,
-                SessionSink::new(),
-            ),
-            tenant,
-            cfg,
-        ))
+        let mut engine = InteractiveSim::with_capacity_failures_and_sink(
+            algo,
+            0,
+            cfg.plan.clone(),
+            cfg.retry,
+            SessionSink::new(),
+        );
+        engine.set_recourse(cfg.recourse);
+        Ok(Session::from_engine(engine, tenant, cfg))
     }
 
     pub(crate) fn from_engine(
@@ -327,9 +370,11 @@ impl Session {
             events_in: 0,
             rejected: 0,
             compactions: 0,
+            recourse_budget: cfg.recourse,
             cost_offset: Area::ZERO,
             metrics_offset: RunMetrics::default(),
             resilience_offset: ResilienceReport::default(),
+            recourse_offset: RecourseReport::default(),
             bins_opened_offset: 0,
             max_open_offset: 0,
             metrics_base: RunMetrics::default(),
@@ -356,6 +401,12 @@ impl Session {
     /// Items currently resident in bins.
     pub fn live_items(&self) -> usize {
         self.engine.resident_items()
+    }
+
+    /// Displaced items still waiting out a re-admission backoff (carried
+    /// across snapshot/restore since format `dbp2`).
+    pub fn pending_readmissions(&self) -> usize {
+        self.engine.pending_readmissions()
     }
 
     fn push_response(&mut self, s: &str) {
@@ -525,6 +576,19 @@ impl Session {
         }
     }
 
+    /// Recourse ledger including the restored past (additive; a snapshot
+    /// replay runs with the budget disarmed, so the live engine's counters
+    /// cover only post-restore epochs).
+    pub fn effective_recourse(&self) -> RecourseReport {
+        let cur = *self.engine.recourse();
+        let o = &self.recourse_offset;
+        RecourseReport {
+            migrations: o.migrations + cur.migrations,
+            migration_closures: o.migration_closures + cur.migration_closures,
+            epochs: o.epochs + cur.epochs,
+        }
+    }
+
     /// Bins opened over the session's whole history, restored past
     /// included (replay reopens are not double-counted).
     pub fn effective_bins_opened(&self) -> u64 {
@@ -581,6 +645,15 @@ impl Session {
             r.degraded_area.raw(),
             r.max_attempts,
         );
+        if !self.recourse_budget.is_none() {
+            let rc = self.effective_recourse();
+            let _ = writeln!(
+                s,
+                "{{\"r\":\"recourse\",\"tenant\":\"{}\",\"budget\":\"{}\",\"migrations\":{},\
+                 \"closures\":{},\"epochs\":{}}}",
+                self.tenant, self.recourse_budget, rc.migrations, rc.migration_closures, rc.epochs,
+            );
+        }
         self.push_response(&s);
     }
 

@@ -18,28 +18,39 @@
 //! observed), so the *final* cost after any number of snapshot/restore
 //! cycles equals the uninterrupted run's.
 //!
-//! Known loss: displaced items still waiting out a re-admission backoff
-//! are not carried (the header records how many were dropped that way),
-//! and a seeded failure plan re-draws crash fates for reopened bins —
-//! under chaos a restored run is a legal trajectory, not a bit-identical
-//! one.
+//! Pending re-admissions (displaced items waiting out a backoff) are
+//! carried as `snap_readmit` lines: restore re-injects each one as a dead
+//! parent row plus a queued retry, so the forthcoming `ItemReadmitted`
+//! names the item's historical external id and the retry fires exactly
+//! when it would have. The recourse ledger (migrations, closures, epochs)
+//! travels in the header; the restore replay itself runs with the budget
+//! disarmed, so replayed placements never open migration epochs.
+//!
+//! Known loss: a seeded failure plan re-draws crash fates for reopened
+//! bins — under chaos a restored run is a legal trajectory, not a
+//! bit-identical one.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
 use dbp_core::trace::json_pairs;
-use dbp_core::{Area, BinId, InteractiveSim, Placement, ResilienceReport, RunMetrics, Size, Time};
+use dbp_core::{
+    Area, BinId, InteractiveSim, Placement, RecourseReport, ResilienceReport, RunMetrics, Size,
+    Time,
+};
 
 use crate::session::{ServeAlgo, ServeConfig, Session, SessionSink};
 
-/// Format tag in the header line; bump on schema changes.
-const MAGIC: &str = "dbp1";
+/// Format tag in the header line; bump on schema changes. `dbp2` added
+/// the recourse ledger to the header and the `snap_readmit` lines.
+const MAGIC: &str = "dbp2";
 
 /// Serializes a session. The text round-trips through [`restore`].
 pub fn write_snapshot(session: &Session) -> String {
     let engine = &session.engine;
     let m = session.effective_metrics();
     let r = session.effective_resilience();
+    let rc = session.effective_recourse();
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -48,7 +59,8 @@ pub fn write_snapshot(session: &Session) -> String {
          \"compactions\":{},\"pending_readmits\":{},\"arrivals\":{},\"fast\":{},\"scan\":{},\
          \"tree_queries\":{},\"linear_scans\":{},\"tree_compactions\":{},\"heap_pushes\":{},\
          \"heap_pops\":{},\"events\":{},\"bin_failures\":{},\"displacements\":{},\
-         \"readmissions\":{},\"dropped\":{},\"degraded_area\":{},\"max_attempts\":{}}}",
+         \"readmissions\":{},\"dropped\":{},\"degraded_area\":{},\"max_attempts\":{},\
+         \"migrations\":{},\"migration_closures\":{},\"epochs\":{}}}",
         session.tenant,
         session.algo_name,
         engine.now().0,
@@ -75,6 +87,9 @@ pub fn write_snapshot(session: &Session) -> String {
         r.dropped,
         r.degraded_area.raw(),
         r.max_attempts,
+        rc.migrations,
+        rc.migration_closures,
+        rc.epochs,
     );
     let mut bins = 0usize;
     for rec in engine.bins().all().iter().filter(|r| r.is_open()) {
@@ -125,7 +140,29 @@ pub fn write_snapshot(session: &Session) -> String {
             items += 1;
         }
     }
-    let _ = writeln!(s, "{{\"snap_end\":true,\"bins\":{bins},\"items\":{items}}}");
+    // Pending re-admissions, in drain order: each line carries exactly
+    // what `restore_pending_readmission` needs, keyed by the displaced
+    // item's historical external id.
+    let readmits = engine.pending_readmit_entries();
+    for e in &readmits {
+        let ext = engine.sink().ext_of(e.parent);
+        let _ = writeln!(
+            s,
+            "{{\"snap_readmit\":{ext},\"arrival\":{},\"displaced_at\":{},\"at\":{},\
+             \"attempt\":{},\"departure\":{},\"size\":{}}}",
+            e.arrival.0,
+            e.displaced_at.0,
+            e.at.0,
+            e.attempt,
+            e.departure.0,
+            e.size.raw(),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{{\"snap_end\":true,\"bins\":{bins},\"items\":{items},\"readmits\":{}}}",
+        readmits.len()
+    );
     s
 }
 
@@ -162,6 +199,9 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
     let mut header: Option<Vec<(&str, &str)>> = None;
     let mut bin_lines: Vec<(u32, Time, Time)> = Vec::new(); // (old id, opened, orig)
     let mut item_lines: Vec<(u32, Option<Time>, u64, u32)> = Vec::new(); // (ext, dep, size, old bin)
+
+    // readmit tuple: (ext, arrival, displaced_at, at, attempt, departure, size)
+    let mut readmit_lines: Vec<(u32, Time, Time, Time, u32, Time, u64)> = Vec::new();
     let mut sealed = false;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -194,9 +234,20 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
                 num(&pairs, "size")?,
                 u32::try_from(num(&pairs, "bin")?).map_err(|_| "bin id overflow")?,
             ));
+        } else if get(&pairs, "snap_readmit").is_some() {
+            readmit_lines.push((
+                u32::try_from(num(&pairs, "snap_readmit")?).map_err(|_| "item id overflow")?,
+                Time(num(&pairs, "arrival")?),
+                Time(num(&pairs, "displaced_at")?),
+                Time(num(&pairs, "at")?),
+                u32::try_from(num(&pairs, "attempt")?).map_err(|_| "attempt overflow")?,
+                Time(num(&pairs, "departure")?),
+                num(&pairs, "size")?,
+            ));
         } else if get(&pairs, "snap_end").is_some() {
             if num(&pairs, "bins")? as usize != bin_lines.len()
                 || num(&pairs, "items")? as usize != item_lines.len()
+                || num(&pairs, "readmits")? as usize != readmit_lines.len()
             {
                 return Err("snapshot: footer counts disagree with body".to_string());
             }
@@ -280,6 +331,24 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
         Area::ZERO,
         "no bin closes during a replay of live items"
     );
+    // Re-inject pending re-admissions after the live rows, registering
+    // each dead parent row's historical external id with the sink so the
+    // forthcoming `ItemReadmitted { original }` still translates.
+    for &(ext, arrival, displaced_at, at, attempt, departure, size_raw) in &readmit_lines {
+        let size = Size::try_from_raw(size_raw)
+            .ok_or_else(|| format!("snapshot: readmit {ext} size {size_raw} exceeds capacity"))?;
+        if !(arrival < displaced_at && displaced_at <= now && now <= at && at < departure) {
+            return Err(format!(
+                "snapshot: readmit {ext} times are not arrival < displaced ≤ now ≤ retry < departure"
+            ));
+        }
+        let row =
+            engine.restore_pending_readmission(arrival, displaced_at, at, attempt, departure, size);
+        engine.sink_mut().register_ext(row, ext);
+    }
+    // The replay above ran with the budget disarmed (migration epochs
+    // would corrupt the scripted reconstruction); arm it only now.
+    engine.set_recourse(cfg.recourse);
     engine.sink_mut().unmute();
     engine.sink_mut().out.clear();
 
@@ -317,6 +386,14 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
         degraded_area: Area::from_raw(num128(&header, "degraded_area")?),
         max_attempts: num(&header, "max_attempts")? as u32,
     };
+    session.recourse_offset = RecourseReport {
+        migrations: num(&header, "migrations")?,
+        migration_closures: num(&header, "migration_closures")?,
+        epochs: num(&header, "epochs")?,
+    };
+    if num(&header, "pending_readmits")? as usize != readmit_lines.len() {
+        return Err("snapshot: header pending_readmits disagrees with body".to_string());
+    }
     session.orig_opened = orig_opened;
     Ok(session)
 }

@@ -5,8 +5,10 @@
 //! keeps the item table bounded, backpressure sheds load with a typed
 //! rejection, and a snapshot/restore cycle is cost- and count-continuous.
 
-use dbp_core::engine::run_with_failures;
-use dbp_core::{Area, Dur, EngineEvent, FailurePlan, ItemId, JsonlSink, RetryPolicy, Size, Time};
+use dbp_core::engine::{run_with_failures, run_with_failures_recourse};
+use dbp_core::{
+    Area, Dur, EngineEvent, FailurePlan, ItemId, JsonlSink, RecourseBudget, RetryPolicy, Size, Time,
+};
 use dbp_serve::protocol::{Op, Request};
 use dbp_serve::{parse_request, snapshot, ServeConfig, Session, SessionMap};
 use dbp_workloads::{random_general, DurationDist, GeneralConfig};
@@ -398,6 +400,177 @@ fn tenants_are_isolated_in_the_session_map() {
     }
     assert_eq!(event_lines(&outs["a"]), solo_a);
     assert_eq!(event_lines(&outs["b"]), solo_b);
+}
+
+#[test]
+fn recourse_stream_replay_matches_batch_recording() {
+    // The byte-equivalence contract extends to a recourse algorithm: the
+    // daemon regenerates the batch engine's `ItemMigrated` events itself
+    // (migrated input lines are engine outputs and are ignored on the way
+    // in, like placements), and the ledger lands on the telemetry.
+    let inst = random_general(&GeneralConfig::new(6, 800), 11);
+    let budget = RecourseBudget::per_epoch(1);
+    let mut sink = JsonlSink::new(Vec::new());
+    let batch = run_with_failures_recourse(
+        &inst,
+        dbp_algos::by_name("rod:first-fit").expect("known algorithm"),
+        FailurePlan::None,
+        RetryPolicy::Immediate,
+        budget,
+        &mut sink,
+    )
+    .expect("batch run succeeds");
+    let recording = String::from_utf8(sink.finish().expect("in-memory sink")).expect("utf-8");
+    assert!(
+        batch.recourse.migrations > 0,
+        "budget should engage on this trace"
+    );
+    assert!(recording.contains("\"e\":\"migrated\""));
+
+    let cfg = ServeConfig {
+        algo: "rod:first-fit".to_string(),
+        recourse: budget,
+        ..ServeConfig::default()
+    };
+    let mut session = Session::new("t", &cfg).unwrap();
+    let stream = replay(&mut session, &recording);
+
+    assert_eq!(event_lines(&stream), recording, "recourse echo diverged");
+    assert_eq!(session.effective_cost(), batch.cost);
+    assert_eq!(session.effective_recourse(), batch.recourse);
+    assert_eq!(session.effective_metrics(), batch.metrics);
+    assert!(
+        stream.contains("{\"r\":\"recourse\""),
+        "armed budget should add the recourse telemetry line"
+    );
+}
+
+#[test]
+fn snapshot_restore_is_continuous_under_recourse() {
+    // A restart mid-run must not change what budgeted repacking achieves:
+    // the restored engine re-arms the budget after its muted replay (no
+    // migration fires against the reconstruction script) and keeps making
+    // the same consolidation moves the uninterrupted control makes.
+    let inst = random_general(&GeneralConfig::new(6, 600), 42);
+    let cfg = ServeConfig {
+        algo: "rod:first-fit".to_string(),
+        recourse: RecourseBudget::per_epoch(1),
+        ..ServeConfig::default()
+    };
+
+    let feed = |sess: &mut Session, items: &[dbp_core::Item]| {
+        for it in items {
+            sess.handle(&Request::Event {
+                tenant: None,
+                event: EngineEvent::Arrival {
+                    item: ItemId(0),
+                    at: it.arrival,
+                    size: it.size,
+                    departure: Some(it.departure),
+                },
+            });
+            sess.take_output();
+        }
+    };
+    let drain = |sess: &mut Session| {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        sess.take_output();
+    };
+
+    let mut control = Session::new("t", &cfg).unwrap();
+    feed(&mut control, inst.items());
+    drain(&mut control);
+    assert!(
+        control.effective_recourse().migrations > 0,
+        "budget should engage on this trace"
+    );
+
+    let mut first = Session::new("t", &cfg).unwrap();
+    feed(&mut first, &inst.items()[..300]);
+    let snap = snapshot::write_snapshot(&first);
+    let at_snapshot = first.effective_recourse();
+    let mut restored = snapshot::restore(&snap, &cfg).expect("snapshot restores");
+    feed(&mut restored, &inst.items()[300..]);
+    drain(&mut restored);
+
+    assert_eq!(restored.effective_cost(), control.effective_cost());
+    assert_eq!(restored.effective_recourse(), control.effective_recourse());
+    assert_eq!(
+        restored.effective_bins_opened(),
+        control.effective_bins_opened()
+    );
+    assert!(
+        restored.effective_recourse().migrations > at_snapshot.migrations,
+        "migrations should continue after the restore"
+    );
+}
+
+#[test]
+fn snapshot_restore_carries_pending_readmissions() {
+    // A restart used to drop displaced items still waiting out their
+    // re-admission backoff; they now travel as `snap_readmit` lines and
+    // the carried retries fire on their own in the restored engine.
+    let inst = random_general(&GeneralConfig::new(6, 600), 23);
+    let chaos = ServeConfig {
+        plan: FailurePlan::seeded(0.25, 7, Dur(64)),
+        retry: RetryPolicy::parse("fixed=40").expect("valid policy"),
+        ..ServeConfig::default()
+    };
+    let mut first = Session::new("t", &chaos).unwrap();
+    for it in inst.items() {
+        first.handle(&Request::Event {
+            tenant: None,
+            event: EngineEvent::Arrival {
+                item: ItemId(0),
+                at: it.arrival,
+                size: it.size,
+                departure: Some(it.departure),
+            },
+        });
+        first.take_output();
+        if first.pending_readmissions() > 0 {
+            break;
+        }
+    }
+    let pending = first.pending_readmissions();
+    assert!(pending > 0, "chaos plan never left a re-admission pending");
+    let snap = snapshot::write_snapshot(&first);
+    assert!(
+        snap.contains("\"snap_readmit\":"),
+        "snapshot should carry the retry queue"
+    );
+
+    // Restore into a calm config (no further crashes), so every carried
+    // retry re-enters exactly once during the drain.
+    let calm = ServeConfig {
+        retry: chaos.retry,
+        ..ServeConfig::default()
+    };
+    let mut restored = snapshot::restore(&snap, &calm).expect("snapshot restores");
+    assert_eq!(
+        restored.pending_readmissions(),
+        pending,
+        "retry queue carried"
+    );
+    let before = restored.effective_resilience();
+    restored.handle(&Request::Control {
+        tenant: None,
+        op: Op::Drain,
+    });
+    let out = restored.take_output();
+    assert_eq!(
+        out.matches("\"e\":\"readmitted\"").count(),
+        pending,
+        "every carried retry re-enters during the drain"
+    );
+    let after = restored.effective_resilience();
+    assert_eq!(after.readmissions, before.readmissions + pending as u64);
+    assert_eq!(after.dropped, before.dropped, "no carried retry is lost");
+    assert_eq!(restored.pending_readmissions(), 0);
+    assert_eq!(restored.live_items(), 0, "drain settles everything");
 }
 
 #[test]
