@@ -4,10 +4,18 @@
 //! ```text
 //! dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]
 //!          [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]
-//!          [--threads N]
+//!          [--threads N] [--dims D]
 //!          [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]
 //!          [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]
 //! ```
+//!
+//! `--dims D` lifts the (scalar) CSV trace onto the diagonal of a
+//! D-dimensional vector instance — every item demands its scalar size in
+//! all D dimensions. Diagonal vectors pack exactly like their scalars, so
+//! the table must be identical at any D; the flag drives the engine's
+//! per-dimension planes and the auditor's per-dimension conservation
+//! checks end-to-end on otherwise-scalar inputs. `--dims 1` (the default)
+//! is the scalar path itself.
 //!
 //! A nonzero `--fail-rate` runs every algorithm under a seeded crash plan
 //! (each opened bin is doomed with probability F): displaced items re-enter
@@ -29,8 +37,9 @@ use dbp_analysis::figures::packing_gantt;
 use dbp_analysis::table::{f3, Table};
 use dbp_bench::{bracket, sweep};
 use dbp_core::audit::InvariantAuditor;
+use dbp_core::size::{SizeVec, MAX_DIMS};
 use dbp_core::time::Dur;
-use dbp_core::{compare_goals, engine, FailurePlan, RecourseBudget, RetryPolicy};
+use dbp_core::{compare_goals, engine, FailurePlan, Instance, RecourseBudget, RetryPolicy};
 use dbp_workloads::parse_trace;
 
 fn main() {
@@ -43,6 +52,7 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut fail_rate = 0.0f64;
     let mut fail_seed = 4242u64;
+    let mut dims = 1usize;
     let mut retry = RetryPolicy::default();
     let mut recourse = RecourseBudget::None;
     let mut argv = std::env::args().skip(1);
@@ -88,6 +98,20 @@ fn main() {
                     });
                 sweep::set_threads(n);
             }
+            "--dims" => {
+                let raw = argv.next().unwrap_or_else(|| {
+                    eprintln!("--dims requires a dimension count (1..={MAX_DIMS})");
+                    std::process::exit(2);
+                });
+                dims = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|d| (1..=MAX_DIMS).contains(d))
+                    .unwrap_or_else(|| {
+                        eprintln!("bad dimension count '{raw}' (expected 1..={MAX_DIMS})");
+                        std::process::exit(2);
+                    });
+            }
             "--fail-rate" => {
                 let raw = argv.next().unwrap_or_else(|| {
                     eprintln!("--fail-rate requires a probability in [0, 1]");
@@ -129,9 +153,9 @@ fn main() {
                     );
                     std::process::exit(2);
                 });
-                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|e| {
                     eprintln!(
-                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                        "bad recourse budget '{raw}': {e} (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
                     );
                     std::process::exit(2);
                 });
@@ -140,7 +164,7 @@ fn main() {
                 println!(
                     "usage: dbp-pack <trace.csv> [--algo NAME]... [--gantt] [--momentary]\n\
                      \x20              [--bracket-effort analytic|cached|budget=<ms>] [--bracket-cache DIR|off]\n\
-                     \x20              [--threads N]\n\
+                     \x20              [--threads N] [--dims D]\n\
                      \x20              [--fail-rate F] [--fail-seed N] [--retry immediate|fixed=<t>|exp=<t>]\n\
                      \x20              [--recourse none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited]\n\
                      algorithms: {:?}",
@@ -167,18 +191,38 @@ fn main() {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let inst = parse_trace(&text).unwrap_or_else(|e| {
+    let mut inst = parse_trace(&text).unwrap_or_else(|e| {
         eprintln!("bad trace: {e}");
         std::process::exit(1);
     });
+    if dims > 1 {
+        // Diagonal lift: the scalar demand replicated into every dimension.
+        inst = Instance::from_triples(inst.items().iter().map(|it| {
+            let lifted = vec![it.size.primary(); dims];
+            (
+                it.arrival,
+                it.duration(),
+                SizeVec::from_sizes(&lifted).expect("scalar trace sizes are nonzero"),
+            )
+        }))
+        .expect("diagonal lift preserves item validity");
+    }
 
+    // The dims note only appears for lifted runs so D = 1 output stays
+    // byte-identical to the scalar goldens.
+    let dims_note = if inst.dims() > 1 {
+        format!(", dims = {}", inst.dims())
+    } else {
+        String::new()
+    };
     println!(
-        "{}: {} items, μ = {:.1}, span = {} ticks, aligned = {}",
+        "{}: {} items, μ = {:.1}, span = {} ticks, aligned = {}{}",
         path,
         inst.len(),
         inst.mu().unwrap_or(1.0),
         inst.span_dur().ticks(),
-        inst.is_aligned()
+        inst.is_aligned(),
+        dims_note
     );
     let certified = svc.opt_r(&inst);
     let br = certified.bracket;

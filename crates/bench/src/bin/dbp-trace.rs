@@ -20,7 +20,8 @@ use std::process::ExitCode;
 
 use dbp_core::trace::{parse_jsonl, EngineEvent, EventSink, JsonlSink};
 use dbp_core::{
-    engine, BinStore, Dur, FailurePlan, InvariantAuditor, ItemId, RecourseBudget, RetryPolicy, Size,
+    engine, BinStore, Dur, FailurePlan, InvariantAuditor, ItemId, RecourseBudget, RetryPolicy,
+    SizeVec,
 };
 use dbp_workloads::parse_trace;
 
@@ -72,9 +73,9 @@ fn record(args: &[String]) -> ExitCode {
             "--fail-mtbf" => fail_mtbf = next(&mut it).parse().unwrap_or_else(|_| usage()),
             "--recourse" => {
                 let raw = next(&mut it);
-                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                recourse = RecourseBudget::parse(&raw).unwrap_or_else(|e| {
                     eprintln!(
-                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                        "bad recourse budget '{raw}': {e} (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
                     );
                     std::process::exit(2);
                 });
@@ -167,7 +168,7 @@ fn replay(path: &str) -> ExitCode {
     let mut auditor = InvariantAuditor::new();
     // Size of the arrival awaiting placement (the stream interleaves
     // exactly one Placed after each Arrival).
-    let mut pending: Option<(ItemId, Size)> = None;
+    let mut pending: Option<(ItemId, SizeVec)> = None;
     for (i, ev) in events.iter().enumerate() {
         match *ev {
             EngineEvent::Arrival { item, size, .. } => {

@@ -21,6 +21,7 @@ use std::time::Instant;
 use dbp_bench::experiments::{registry, resilience, run_by_id};
 use dbp_bench::{bracket, sweep, throughput};
 use dbp_core::failure::RetryPolicy;
+use dbp_core::size::MAX_DIMS;
 
 fn main() {
     dbp_bench::pipe::install();
@@ -107,6 +108,21 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--dims" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--dims requires a dimension count (1..={})", MAX_DIMS);
+                    std::process::exit(2);
+                });
+                let d = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|d| (1..=MAX_DIMS).contains(d))
+                    .unwrap_or_else(|| {
+                        eprintln!("bad dimension count '{raw}' (expected 1..={})", MAX_DIMS);
+                        std::process::exit(2);
+                    });
+                dbp_bench::experiments::vector::configure(d);
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -182,13 +198,15 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
-         [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] <id>... | all\n\
+         [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] \
+         [--dims D] <id>... | all\n\
        experiments throughput [--items N] [--samples K] [--label L] \
          [--configs a,b,..] [--bench-out FILE]\n\
        experiments bench-validate FILE\n\
        experiments serve-soak [--items N] [--slack N] [--algo NAME] [--seed S]\n\n\
          --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
          `resilience` experiment's crash stream and re-admission backoff.\n\
+         --dims configures the `vector` experiment's dimension count (default 2).\n\
          --threads pins the sweep worker count; reports are byte-identical across\n\
          thread counts (single-flight bracket cache + seeded chunking).\n\
          `throughput` runs the engine-throughput harness (items/sec through the\n\

@@ -36,7 +36,11 @@ pub fn fig1() -> ExperimentReport {
                 .iter()
                 .enumerate()
                 .map(|(j, &b)| {
-                    let load = sim.bins().record(b).map(|r| r.load.as_f64()).unwrap_or(0.0);
+                    let load = sim
+                        .bins()
+                        .record(b)
+                        .map(|r| dbp_core::Load::from_raw(r.load.max_raw()).as_f64())
+                        .unwrap_or(0.0);
                     SnapshotBin {
                         label: format!("b_{row_idx}^{}", j + 1),
                         load,

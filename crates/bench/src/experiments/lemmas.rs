@@ -350,7 +350,7 @@ pub fn lemma512() -> ExperimentReport {
                     .enumerate()
                     .filter(|(i, _)| item_row[*i] == row_key)
                     .filter(|(i, _)| reduced.items()[*i].active_at(*t))
-                    .map(|(_, it)| it.size.as_f64())
+                    .map(|(_, it)| it.size.max_size().as_f64())
                     .sum();
                 let required = (k as f64 - 1.0) / 2.0;
                 checks += 1;

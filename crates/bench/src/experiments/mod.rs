@@ -11,6 +11,7 @@ pub mod resilience;
 pub mod summary;
 pub mod svgs;
 pub mod table1;
+pub mod vector;
 
 use dbp_analysis::table::Table;
 
@@ -78,6 +79,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("shape-test", extensions::shape_test),
         ("migration-value", extensions::migration_value),
         ("resilience", resilience::resilience),
+        ("vector", vector::vector),
         ("recourse", recourse::recourse),
         ("waste", extensions::waste),
         ("boot-overhead", extensions::boot_overhead),

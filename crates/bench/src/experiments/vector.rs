@@ -1,0 +1,199 @@
+//! The `vector` experiment: scalar vs. vector competitive envelopes on
+//! VM-shaped multi-dimensional workloads.
+//!
+//! Each VM fleet is packed twice by every algorithm: once on the true
+//! vector sizes (the engine's per-dimension fit test), and once on the
+//! *max-component scalarization* — what a scalar-only system would do
+//! with the same fleet (treat every VM as its largest resource demand).
+//! The scalarized packing is always feasible for the vectors, so its
+//! cost is the price of ignoring dimensions; the overhead column is
+//! `scalar-max cost / vector cost`.
+//!
+//! Ratios are certified against the vector-aware bracket of
+//! [`dbp_core::OptBracket`]: per-dimension Lemma 3.1 lower bounds (max
+//! over dimensions) under the max-component `2∫⌈S_t⌉` upper bound,
+//! tightened through the usual refinement ladder (exact search stays
+//! scalar-only and simply doesn't fire here).
+//!
+//! Expected shape: on the **correlated** fleet the demand vectors sit on
+//! the diagonal, so scalarization loses nothing (overhead 1.000); on the
+//! **anti-correlated** fleet complementary shapes share bins and the
+//! scalar-max view over-opens (overhead > 1); the **skewed** fleet sits
+//! in between, bottlenecked on its dominant dimension.
+
+use std::sync::Mutex;
+
+use dbp_analysis::table::{f3, Table};
+use dbp_core::engine;
+use dbp_core::instance::Instance;
+use dbp_core::size::MAX_DIMS;
+use dbp_workloads::{vm_anti_correlated, vm_correlated, vm_skewed, VmConfig};
+
+use crate::bracket;
+use crate::sweep::parallel_map_seeded;
+
+use super::ExperimentReport;
+
+/// Dimension count the CLI may override (`--dims`).
+static DIMS: Mutex<usize> = Mutex::new(2);
+
+/// Replaces the experiment's dimension count (1..=[`MAX_DIMS`]).
+pub fn configure(dims: usize) {
+    assert!(
+        (1..=MAX_DIMS).contains(&dims),
+        "dims must be 1..={MAX_DIMS}"
+    );
+    *DIMS.lock().expect("vector config poisoned") = dims;
+}
+
+/// The active dimension count.
+pub fn dims() -> usize {
+    *DIMS.lock().expect("vector config poisoned")
+}
+
+/// Correlation regimes swept by the experiment.
+const FLEETS: &[&str] = &["correlated", "anti-correlated", "skew-4"];
+
+/// Algorithms compared (a spread across the Any-Fit / classification
+/// families; the full registry would only repeat the pattern).
+const ALGOS: &[&str] = &["first-fit", "best-fit", "hybrid", "cdff"];
+
+fn fleet(kind: &str, dims: usize) -> Instance {
+    let cfg = VmConfig::new(400, 1_200).dims(dims);
+    match kind {
+        "correlated" => vm_correlated(&cfg, 23),
+        "anti-correlated" => vm_anti_correlated(&cfg, 23),
+        "skew-4" => vm_skewed(&cfg, 4, 23),
+        other => unreachable!("unknown fleet {other}"),
+    }
+}
+
+/// The max-component scalarization of a vector instance: same sessions,
+/// each size collapsed to its largest component.
+fn scalarized(inst: &Instance) -> Instance {
+    Instance::from_triples(
+        inst.items()
+            .iter()
+            .map(|it| (it.arrival, it.duration(), it.size.max_size())),
+    )
+    .expect("scalarization preserves item validity")
+}
+
+/// Scalar vs. vector envelopes on the VM fleets.
+pub fn vector() -> ExperimentReport {
+    let d = dims();
+    let svc = bracket::service();
+    let rows = parallel_map_seeded(FLEETS, 0x7EC7_0001, |&kind| {
+        let vec_inst = fleet(kind, d);
+        let max_inst = scalarized(&vec_inst);
+        let cb = svc.opt_r(&vec_inst);
+        ALGOS
+            .iter()
+            .map(|&name| {
+                let algo = dbp_algos::by_name(name).expect("registry name");
+                let vec_run = engine::run(&vec_inst, algo).expect("legal vector run");
+                let max_run =
+                    engine::run(&max_inst, dbp_algos::by_name(name).expect("registry name"))
+                        .expect("legal scalar run");
+                let (lo, hi) = cb.ratio_bracket(vec_run.cost);
+                (
+                    kind,
+                    name,
+                    vec_run.cost.as_bin_ticks(),
+                    max_run.cost.as_bin_ticks(),
+                    lo,
+                    hi,
+                    cb.rung,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut table = Table::new([
+        "fleet",
+        "algorithm",
+        "vector cost",
+        "scalar-max cost",
+        "overhead",
+        "ratio ≥",
+        "ratio ≤",
+        "rung",
+    ]);
+    let mut worst_overhead: (f64, &str, &str) = (0.0, "", "");
+    for row in rows.iter().flatten() {
+        let &(kind, name, vec_cost, max_cost, lo, hi, rung) = row;
+        let overhead = max_cost / vec_cost.max(f64::MIN_POSITIVE);
+        if overhead > worst_overhead.0 {
+            worst_overhead = (overhead, kind, name);
+        }
+        table.row([
+            kind.to_string(),
+            name.to_string(),
+            format!("{vec_cost:.1}"),
+            format!("{max_cost:.1}"),
+            f3(overhead),
+            f3(lo),
+            f3(hi),
+            rung.as_str().to_string(),
+        ]);
+    }
+    let text = format!(
+        "D = {d} VM fleets, 400 sessions each; ratios are certified against the\n\
+         vector-aware bracket (per-dimension Lemma 3.1 lower bounds, max over\n\
+         dimensions, under the max-component 2∫⌈S_t⌉ upper bound).\n\
+         Expected: the correlated fleet's overhead column is exactly 1.000 (diagonal\n\
+         vectors make scalarization lossless), the anti-correlated fleet pays the\n\
+         most for ignoring dimensions, and the skewed fleet sits in between.\n\
+         Worst scalarization overhead: {} ({} / {}).\n",
+        f3(worst_overhead.0),
+        worst_overhead.1,
+        worst_overhead.2,
+    );
+    ExperimentReport {
+        id: "vector",
+        title: format!("Vector packing: scalar-max vs vector-aware envelopes (D = {d})"),
+        table,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlated_fleet_scalarizes_losslessly() {
+        let inst = fleet("correlated", 2);
+        let max = scalarized(&inst);
+        for name in ALGOS {
+            let algo = dbp_algos::by_name(name).expect("registry name");
+            let v = engine::run(&inst, algo).expect("legal");
+            let s =
+                engine::run(&max, dbp_algos::by_name(name).expect("registry name")).expect("legal");
+            assert_eq!(v.cost, s.cost, "{name}: diagonal fleet must cost the same");
+            assert_eq!(v.assignment, s.assignment, "{name}: placements must agree");
+        }
+    }
+
+    #[test]
+    fn anti_correlated_fleet_rewards_vector_awareness() {
+        let inst = fleet("anti-correlated", 2);
+        let max = scalarized(&inst);
+        let v = engine::run(&inst, dbp_algos::FirstFit::new()).expect("legal");
+        let s = engine::run(&max, dbp_algos::FirstFit::new()).expect("legal");
+        assert!(
+            s.cost > v.cost,
+            "scalar-max ({}) should over-open vs vector ({})",
+            s.cost,
+            v.cost
+        );
+    }
+
+    #[test]
+    fn dims_knob_round_trips_and_rejects_zero() {
+        assert_eq!(dims(), 2);
+        configure(3);
+        assert_eq!(dims(), 3);
+        configure(2);
+    }
+}

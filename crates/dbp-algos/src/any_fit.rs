@@ -10,7 +10,7 @@
 use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::item::Item;
-use dbp_core::size::{Load, Size};
+use dbp_core::size::{LoadVec, SizeVec};
 
 /// How an Any-Fit algorithm chooses among the open bins that fit.
 pub trait FitRule {
@@ -20,13 +20,13 @@ pub trait FitRule {
     /// Chooses among `(bin, load)` candidates that all fit the item.
     /// Candidates are supplied in opening order; returning `None` opens a
     /// new bin (only Next-Fit ever does this when candidates exist).
-    fn choose(candidates: &[(BinId, Load)], size: Size) -> Option<BinId>;
+    fn choose(candidates: &[(BinId, LoadVec)], size: SizeVec) -> Option<BinId>;
 
     /// Sub-linear placement shortcut. `Some(placement)` skips the O(B)
     /// candidate scan entirely; `None` (the default) falls back to it.
     /// A rule's fast path MUST pick the same bin the scan + `choose`
     /// combination would (checked by the differential test below).
-    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+    fn fast_path(view: &SimView<'_>, size: SizeVec) -> Option<Placement> {
         let _ = (view, size);
         None
     }
@@ -38,13 +38,13 @@ pub struct FirstFitRule;
 
 impl FitRule for FirstFitRule {
     const NAME: &'static str = "first-fit";
-    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+    fn choose(candidates: &[(BinId, LoadVec)], _size: SizeVec) -> Option<BinId> {
         candidates.first().map(|&(b, _)| b)
     }
 
     /// First-Fit is answered directly by the store's capacity tournament
     /// tree in O(log B); the tree selects the identical bin as the scan.
-    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+    fn fast_path(view: &SimView<'_>, size: SizeVec) -> Option<Placement> {
         Some(match view.first_fit(size) {
             Some(b) => Placement::Existing(b),
             None => Placement::OpenNew,
@@ -58,10 +58,10 @@ pub struct BestFitRule;
 
 impl FitRule for BestFitRule {
     const NAME: &'static str = "best-fit";
-    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+    fn choose(candidates: &[(BinId, LoadVec)], _size: SizeVec) -> Option<BinId> {
         candidates
             .iter()
-            .max_by_key(|&&(b, l)| (l, std::cmp::Reverse(b)))
+            .max_by_key(|&&(b, l)| (l.max_raw(), l, std::cmp::Reverse(b)))
             .map(|&(b, _)| b)
     }
 }
@@ -72,10 +72,10 @@ pub struct WorstFitRule;
 
 impl FitRule for WorstFitRule {
     const NAME: &'static str = "worst-fit";
-    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+    fn choose(candidates: &[(BinId, LoadVec)], _size: SizeVec) -> Option<BinId> {
         candidates
             .iter()
-            .min_by_key(|&&(b, l)| (l, b))
+            .min_by_key(|&&(b, l)| (l.max_raw(), l, b))
             .map(|&(b, _)| b)
     }
 }
@@ -86,7 +86,7 @@ pub struct NextFitRule;
 
 impl FitRule for NextFitRule {
     const NAME: &'static str = "next-fit";
-    fn choose(candidates: &[(BinId, Load)], _size: Size) -> Option<BinId> {
+    fn choose(candidates: &[(BinId, LoadVec)], _size: SizeVec) -> Option<BinId> {
         // Candidates arrive in opening order; Next-Fit looks only at the
         // newest open bin and opens a fresh one if the item does not fit
         // there. The newest open bin is the last candidate only when it
@@ -96,7 +96,7 @@ impl FitRule for NextFitRule {
 
     /// Next-Fit only ever considers the most recently opened bin, which the
     /// store tracks in O(1): use it when the item fits, else open fresh.
-    fn fast_path(view: &SimView<'_>, size: Size) -> Option<Placement> {
+    fn fast_path(view: &SimView<'_>, size: SizeVec) -> Option<Placement> {
         Some(match view.newest_open() {
             Some(b) if view.fits(b, size) => Placement::Existing(b),
             _ => Placement::OpenNew,
@@ -130,7 +130,7 @@ impl<R: FitRule> OnlineAlgorithm for AnyFit<R> {
         }
         // Generic path (Best/Worst need every candidate's load anyway).
         let newest = view.open_bins().map(|r| r.id).max();
-        let candidates: Vec<(BinId, Load)> = view
+        let candidates: Vec<(BinId, LoadVec)> = view
             .open_bins()
             .filter(|r| r.fits(item.size))
             .map(|r| (r.id, r.load))
@@ -169,6 +169,7 @@ mod tests {
     use super::*;
     use dbp_core::engine;
     use dbp_core::instance::Instance;
+    use dbp_core::size::Size;
     use dbp_core::time::{Dur, Time};
 
     fn sz(n: u64, d: u64) -> Size {
@@ -243,7 +244,7 @@ mod tests {
     struct SlowFirstFitRule;
     impl FitRule for SlowFirstFitRule {
         const NAME: &'static str = "first-fit";
-        fn choose(candidates: &[(BinId, Load)], s: Size) -> Option<BinId> {
+        fn choose(candidates: &[(BinId, LoadVec)], s: SizeVec) -> Option<BinId> {
             FirstFitRule::choose(candidates, s)
         }
     }
@@ -252,7 +253,7 @@ mod tests {
     struct SlowNextFitRule;
     impl FitRule for SlowNextFitRule {
         const NAME: &'static str = "next-fit";
-        fn choose(candidates: &[(BinId, Load)], s: Size) -> Option<BinId> {
+        fn choose(candidates: &[(BinId, LoadVec)], s: SizeVec) -> Option<BinId> {
             NextFitRule::choose(candidates, s)
         }
     }

@@ -40,7 +40,6 @@ use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::fit_tree::SubsetFitTree;
 use dbp_core::item::Item;
-use dbp_core::size::SIZE_SCALE;
 use dbp_core::time::Time;
 
 /// The CDFF algorithm with inline aligned-input segmentation.
@@ -183,7 +182,7 @@ impl OnlineAlgorithm for Cdff {
             return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        row.insert(fresh, SIZE_SCALE - item.size.raw());
+        row.insert_fresh(fresh, item.size);
         self.bin_row.insert(fresh, key);
         self.open_bins += 1;
         Placement::OpenNew

@@ -18,7 +18,6 @@ use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::fit_tree::SubsetFitTree;
 use dbp_core::item::Item;
-use dbp_core::size::SIZE_SCALE;
 
 /// Classify-by-duration with configurable band width (in binary duration
 /// classes per band).
@@ -75,7 +74,7 @@ impl OnlineAlgorithm for ClassifyByDuration {
             return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        bins.insert(fresh, SIZE_SCALE - item.size.raw());
+        bins.insert_fresh(fresh, item.size);
         self.bin_band.insert(fresh, band);
         Placement::OpenNew
     }

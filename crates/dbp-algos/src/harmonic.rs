@@ -42,7 +42,7 @@ impl Harmonic {
     /// The size class of an item: the largest `c` with
     /// `size ≤ 1/(c+1)`, clamped to `K−1`.
     fn class(&self, item: &Item) -> u32 {
-        let raw = item.size.raw().max(1);
+        let raw = item.size.max_raw().max(1);
         // c+1 = floor(1 / size) ⇒ c = floor(SCALE / raw) − 1 (≥ 0 since
         // raw ≤ SCALE).
         let inv = (SIZE_SCALE / raw).max(1);

@@ -119,8 +119,9 @@ impl InnerFit {
         self,
         view: &SimView<'_>,
         bins: &SubsetFitTree,
-        s: dbp_core::size::Size,
+        s: dbp_core::size::SizeVec,
     ) -> Option<BinId> {
+        let load_of = |b: BinId| view.bin(b).map(|r| r.load).unwrap_or_default();
         match self {
             InnerFit::First => bins.first_fit(s),
             InnerFit::Best => bins
@@ -128,16 +129,17 @@ impl InnerFit {
                 .map(|(b, _)| b)
                 .filter(|&b| view.fits(b, s))
                 .max_by_key(|&b| {
-                    (
-                        view.bin(b).map(|r| r.load).unwrap_or_default(),
-                        std::cmp::Reverse(b),
-                    )
+                    let l = load_of(b);
+                    (l.max_raw(), l, std::cmp::Reverse(b))
                 }),
             InnerFit::Worst => bins
                 .iter()
                 .map(|(b, _)| b)
                 .filter(|&b| view.fits(b, s))
-                .min_by_key(|&b| (view.bin(b).map(|r| r.load).unwrap_or_default(), b)),
+                .min_by_key(|&b| {
+                    let l = load_of(b);
+                    (l.max_raw(), l, b)
+                }),
         }
     }
 
@@ -153,8 +155,8 @@ impl InnerFit {
 /// Per-type bookkeeping.
 #[derive(Debug, Default, Clone)]
 struct TypeState {
-    /// Total fixed-point load of currently active items of this type
-    /// (whether they sit in GN or CD bins).
+    /// Total fixed-point load (max-dimension norm) of currently active
+    /// items of this type (whether they sit in GN or CD bins).
     active_load_raw: u64,
     /// Open CD bins dedicated to this type, mirrored (with remaining
     /// capacity) in insertion = opening order.
@@ -298,7 +300,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
     fn on_arrival(&mut self, view: &SimView<'_>, item: &Item) -> Placement {
         let ty = Self::item_type(item);
         let state = self.types.entry(ty).or_default();
-        state.active_load_raw += item.size.raw();
+        state.active_load_raw += item.size.max_raw();
         state.active_items += 1;
 
         // Rule 1: an open CD bin for this type exists → First-Fit over the
@@ -309,7 +311,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
                 return Placement::Existing(b);
             }
             let fresh = view.next_bin_id();
-            state.cd_bins.insert(fresh, SIZE_SCALE - item.size.raw());
+            state.cd_bins.insert_fresh(fresh, item.size);
             self.bin_info.insert(fresh, (BinKind::Cd, Some(ty)));
             self.cd_open += 1;
             return Placement::OpenNew;
@@ -319,7 +321,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
         // CD bin for this type.
         if self.threshold.exceeded(state.active_load_raw, ty.i) {
             let fresh = view.next_bin_id();
-            state.cd_bins.insert(fresh, SIZE_SCALE - item.size.raw());
+            state.cd_bins.insert_fresh(fresh, item.size);
             self.bin_info.insert(fresh, (BinKind::Cd, Some(ty)));
             self.cd_open += 1;
             return Placement::OpenNew;
@@ -331,7 +333,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
             return Placement::Existing(b);
         }
         let fresh = view.next_bin_id();
-        self.gn_bins.insert(fresh, SIZE_SCALE - item.size.raw());
+        self.gn_bins.insert_fresh(fresh, item.size);
         self.bin_info.insert(fresh, (BinKind::Gn, None));
         self.gn_open += 1;
         self.gn_peak = self.gn_peak.max(self.gn_open);
@@ -341,7 +343,7 @@ impl OnlineAlgorithm for HybridAlgorithm {
     fn on_departure(&mut self, item: &Item, bin: BinId, bin_closed: bool) {
         let ty = Self::item_type(item);
         if let Some(state) = self.types.get_mut(&ty) {
-            state.active_load_raw -= item.size.raw();
+            state.active_load_raw -= item.size.max_raw();
             state.active_items -= 1;
         }
         // Keep the capacity mirrors in sync: a surviving bin regains the

@@ -22,7 +22,7 @@
 use dbp_core::bounds::OptBracket;
 use dbp_core::cost::Area;
 use dbp_core::instance::Instance;
-use dbp_core::size::SIZE_SCALE;
+use dbp_core::size::{MAX_DIMS, SIZE_SCALE};
 use dbp_core::time::Time;
 
 use super::budget::RefineBudget;
@@ -79,11 +79,16 @@ pub fn refine_opt_r(
 
     // Active multiset with O(1) swap-removal: parallel size/id vectors
     // plus an id → slot map, and incremental load / big-item counters.
+    // `active_sizes` holds the max component of each active item — the
+    // scalarization fed to FFD/exact (identical to the size at D = 1);
+    // per-dimension loads and big-item counts drive the analytic sides.
     let mut active_sizes: Vec<u64> = Vec::new();
     let mut active_ids: Vec<u32> = Vec::new();
     let mut slot_of: Vec<usize> = vec![usize::MAX; items.len()];
-    let mut load: u128 = 0;
-    let mut bigs: u64 = 0;
+    let mut load: u128 = 0; // Σ max components: the scalar-relaxation load
+    let mut dim_load = [0u128; MAX_DIMS];
+    let mut dim_bigs = [0u64; MAX_DIMS];
+    let mut nonscalar_active: u64 = 0;
     let half = SIZE_SCALE / 2;
 
     let (mut next_arrival, mut next_departure) = (0usize, 0usize);
@@ -108,28 +113,51 @@ pub fn refine_opt_r(
             }
             slot_of[id] = usize::MAX;
             load -= size as u128;
-            if size > half {
-                bigs -= 1;
+            for (d, &c) in items[id].size.raws().iter().enumerate() {
+                dim_load[d] -= c as u128;
+                if c > half {
+                    dim_bigs[d] -= 1;
+                }
+            }
+            if !items[id].size.is_scalar() {
+                nonscalar_active -= 1;
             }
             next_departure += 1;
         }
         while next_arrival < items.len() && items[next_arrival].arrival == t {
-            let size = items[next_arrival].size.raw();
+            let size = items[next_arrival].size.max_raw();
             slot_of[next_arrival] = active_sizes.len();
             active_sizes.push(size);
             active_ids.push(next_arrival as u32);
             load += size as u128;
-            if size > half {
-                bigs += 1;
+            for (d, &c) in items[next_arrival].size.raws().iter().enumerate() {
+                dim_load[d] += c as u128;
+                if c > half {
+                    dim_bigs[d] += 1;
+                }
+            }
+            if !items[next_arrival].size.is_scalar() {
+                nonscalar_active += 1;
             }
             next_arrival += 1;
         }
 
         stats.segments += 1;
         let len = next.since(t);
-        let ceil = load.div_ceil(SIZE_SCALE as u128) as u64;
-        let mut lower_bins = ceil.max(bigs);
-        let mut upper_bins = 2 * ceil;
+        // Lower: per-dimension Lemma 3.1, max over dimensions — each
+        // `⌈load_d⌉` and each big-item count `bigs_d` lower-bounds the
+        // vector bin count. Upper: Lemma 3.1 on the max-component
+        // scalarization (whose feasible packings are vector-feasible).
+        // Both collapse to the scalar bracket at D = 1.
+        let ceil_lower = dim_load
+            .iter()
+            .map(|l| l.div_ceil(SIZE_SCALE as u128) as u64)
+            .max()
+            .unwrap_or(0);
+        let bigs = dim_bigs.iter().copied().max().unwrap_or(0);
+        let ceil_upper = load.div_ceil(SIZE_SCALE as u128) as u64;
+        let mut lower_bins = ceil_lower.max(bigs);
+        let mut upper_bins = 2 * ceil_upper;
         let a = active_sizes.len();
         // FFD is sort + first-fit scan: ~a·bins ≈ a²/2 comparisons. The
         // charge must track that real cost or a large-concurrency segment
@@ -141,7 +169,12 @@ pub fn refine_opt_r(
             scratch.extend_from_slice(&active_sizes);
             let ffd = ffd_bin_count(&mut scratch);
             upper_bins = upper_bins.min(ffd);
-            if enable_exact && a <= MAX_EXACT_ITEMS && !budget.exhausted() {
+            // The branch-and-bound counts scalar bins; its completed
+            // optimum is only a valid *lower* bound when every active
+            // item is scalar, so vector segments keep the FFD upper and
+            // the analytic lower.
+            if enable_exact && nonscalar_active == 0 && a <= MAX_EXACT_ITEMS && !budget.exhausted()
+            {
                 let out = exact_bin_count_budgeted(&scratch, budget);
                 upper_bins = upper_bins.min(out.bins);
                 if out.complete {

@@ -10,7 +10,7 @@
 use dbp_core::cost::Area;
 use dbp_core::instance::Instance;
 use dbp_core::item::Item;
-use dbp_core::size::SIZE_SCALE;
+use dbp_core::size::{MAX_DIMS, SIZE_SCALE};
 use dbp_core::time::Time;
 
 use super::budget::RefineBudget;
@@ -50,14 +50,15 @@ impl BinSketch {
                 checkpoints.push(r.arrival);
             }
         }
+        let want = item.size.raws();
         for &t in &checkpoints {
-            let load: u64 = self
-                .items
-                .iter()
-                .filter(|r| r.active_at(t))
-                .map(|r| r.size.raw())
-                .sum();
-            if load + item.size.raw() > SIZE_SCALE {
+            let mut load = [0u64; MAX_DIMS];
+            for r in self.items.iter().filter(|r| r.active_at(t)) {
+                for (l, c) in load.iter_mut().zip(r.size.raws()) {
+                    *l += c;
+                }
+            }
+            if load.iter().zip(want).any(|(&l, c)| l + c > SIZE_SCALE) {
                 return false;
             }
         }

@@ -202,8 +202,16 @@ pub fn exact_bin_count_dp(sizes: &[u64]) -> u64 {
 /// Exact `OPT_R(σ)`, or `None` when some moment has more than
 /// `max_active` concurrent items (to keep the search bounded). Pass at
 /// most [`MAX_EXACT_ITEMS`].
+///
+/// Also `None` for vector (multi-dimensional) instances: the
+/// branch-and-bound counts scalar bins, and scalarizing vector sizes
+/// yields a bound, not the exact optimum — callers fall back to the
+/// per-dimension analytic bracket instead.
 pub fn exact_opt_r(instance: &Instance, max_active: usize) -> Option<Area> {
     assert!(max_active <= MAX_EXACT_ITEMS);
+    if instance.items().iter().any(|it| !it.size.is_scalar()) {
+        return None;
+    }
     let mut events: Vec<Time> = Vec::with_capacity(instance.len() * 2);
     for it in instance.items() {
         events.push(it.arrival);
@@ -222,7 +230,7 @@ pub fn exact_opt_r(instance: &Instance, max_active: usize) -> Option<Area> {
                 .items()
                 .iter()
                 .filter(|it| it.active_at(t))
-                .map(|it| it.size.raw()),
+                .map(|it| it.size.primary().raw()),
         );
         if active.len() > max_active {
             return None;

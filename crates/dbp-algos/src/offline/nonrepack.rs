@@ -15,7 +15,7 @@ use dbp_core::engine;
 use dbp_core::fit_tree::FitTree;
 use dbp_core::instance::Instance;
 use dbp_core::item::Item;
-use dbp_core::size::SIZE_SCALE;
+use dbp_core::size::{MAX_DIMS, SIZE_SCALE};
 use dbp_core::time::{Dur, Time};
 
 use crate::any_fit::{BestFit, FirstFit, NextFit, WorstFit};
@@ -82,14 +82,15 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
                     checkpoints.push(r.arrival);
                 }
             }
+            let want = item.size.raws();
             checkpoints.iter().all(|&t| {
-                let load: u64 = self
-                    .items
-                    .iter()
-                    .filter(|r| r.active_at(t))
-                    .map(|r| r.size.raw())
-                    .sum();
-                load + item.size.raw() <= SIZE_SCALE
+                let mut load = [0u64; MAX_DIMS];
+                for r in self.items.iter().filter(|r| r.active_at(t)) {
+                    for (l, c) in load.iter_mut().zip(r.size.raws()) {
+                        *l += c;
+                    }
+                }
+                load.iter().zip(want).all(|(&l, c)| l + c <= SIZE_SCALE)
             })
         }
         fn accept(&mut self, item: Item) {
@@ -97,23 +98,26 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
             self.close_at = self.close_at.max(item.departure);
             self.items.push(item);
         }
-        /// True maximum of the bin's load step-function over time, by an
-        /// event sweep (departures before arrivals at equal times, matching
-        /// the engine's `t⁻`/`t⁺` convention).
-        fn peak_load(&self) -> u64 {
-            let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * self.items.len());
+        /// True per-dimension maxima of the bin's load step-function over
+        /// time, by an event sweep (departures before arrivals at equal
+        /// times, matching the engine's `t⁻`/`t⁺` convention).
+        fn peak_load(&self) -> [u64; MAX_DIMS] {
+            let mut events: Vec<(Time, i64, [u64; MAX_DIMS])> =
+                Vec::with_capacity(2 * self.items.len());
             for r in &self.items {
-                events.push((r.arrival, r.size.raw() as i64));
-                events.push((r.departure, -(r.size.raw() as i64)));
+                events.push((r.arrival, 1, r.size.raws()));
+                events.push((r.departure, -1, r.size.raws()));
             }
-            events.sort_unstable_by_key(|&(t, d)| (t, d));
-            let mut load = 0i64;
-            let mut peak = 0i64;
-            for (_, d) in events {
-                load += d;
-                peak = peak.max(load);
+            events.sort_unstable_by_key(|&(t, sgn, _)| (t, sgn));
+            let mut load = [0i64; MAX_DIMS];
+            let mut peak = [0i64; MAX_DIMS];
+            for (_, sgn, raws) in events {
+                for d in 0..MAX_DIMS {
+                    load[d] += sgn * raws[d] as i64;
+                    peak[d] = peak[d].max(load[d]);
+                }
             }
-            peak as u64
+            peak.map(|p| p as u64)
         }
     }
 
@@ -124,16 +128,24 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
     // Slot k mirrors bins[k]; key = free floor (capacity minus window peak).
     let mut floors = FitTree::new();
     let mut assignment = vec![0u32; instance.len()];
+    floors.ensure_dims(
+        instance
+            .items()
+            .iter()
+            .map(|it| it.size.dims_used())
+            .max()
+            .unwrap_or(1),
+    );
     for it in order {
-        let size = it.size.raw();
+        let size = it.size;
         // First bin whose floor admits the item AND whose window overlaps:
         // guaranteed acceptable, no checkpoint scan needed.
-        let mut guaranteed = floors.first_fit(size);
+        let mut guaranteed = floors.first_fit_vec(size);
         while let Some(idx) = guaranteed {
             if bins[idx].window_overlaps(it) {
                 break;
             }
-            guaranteed = floors.first_fit_from(idx + 1, size);
+            guaranteed = floors.first_fit_vec_from(idx + 1, size);
         }
         // Bins before it all have floor < size (or a disjoint window); only
         // the window-overlapping ones can still accept — via a peak that
@@ -148,7 +160,8 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
                 debug_assert!(bins[idx].can_accept(it), "floor jump overshot");
                 bins[idx].accept(*it);
                 assignment[it.id.index()] = idx as u32;
-                floors.set_remaining(idx, SIZE_SCALE - bins[idx].peak_load());
+                let free = bins[idx].peak_load().map(|p| SIZE_SCALE - p);
+                floors.set_remaining_vec(idx, &free);
             }
             None => {
                 assignment[it.id.index()] = bins.len() as u32;
@@ -157,7 +170,9 @@ pub fn duration_layered_first_fit(instance: &Instance) -> (Area, Vec<u32>) {
                     open_from: it.arrival,
                     close_at: it.departure,
                 });
-                let s = floors.push(SIZE_SCALE - size);
+                let s = floors.push(SIZE_SCALE - size.primary().raw());
+                let free = size.raws().map(|c| SIZE_SCALE - c);
+                floors.set_remaining_vec(s, &free);
                 debug_assert_eq!(s, bins.len() - 1);
             }
         }
@@ -328,9 +343,9 @@ mod tests {
                     .items
                     .iter()
                     .filter(|r| r.active_at(t))
-                    .map(|r| r.size.raw())
+                    .map(|r| r.size.primary().raw())
                     .sum();
-                load + it.size.raw() <= dbp_core::size::SIZE_SCALE
+                load + it.size.primary().raw() <= dbp_core::size::SIZE_SCALE
             })
         };
         let mut order: Vec<&dbp_core::item::Item> = instance.items().iter().collect();

@@ -28,7 +28,7 @@ use dbp_core::algorithm::{OnlineAlgorithm, Placement, SimView};
 use dbp_core::bin_state::BinId;
 use dbp_core::item::{Item, ItemId};
 use dbp_core::recourse::{Migration, RecourseEpoch, RecourseView};
-use dbp_core::size::SIZE_SCALE;
+use dbp_core::size::{MAX_DIMS, SIZE_SCALE};
 use dbp_core::time::Time;
 
 /// One step of an evacuation plan, with enough context to re-check it.
@@ -46,9 +46,10 @@ fn plan_evacuation(view: &RecourseView<'_>, source: BinId) -> Option<Vec<Planned
     if residents.is_empty() {
         return None;
     }
-    // Snapshot the candidate targets once: (id, simulated load, latest
-    // departure among residents). Opening order is the scan order.
-    let mut targets: Vec<(BinId, u64, Time)> = view
+    // Snapshot the candidate targets once: (id, simulated per-dimension
+    // load, latest departure among residents). Opening order is the scan
+    // order.
+    let mut targets: Vec<(BinId, [u64; MAX_DIMS], Time)> = view
         .sim()
         .open_bins()
         .filter(|r| r.id != source)
@@ -59,19 +60,29 @@ fn plan_evacuation(view: &RecourseView<'_>, source: BinId) -> Option<Vec<Planned
                 .map(|&(_, _, dep)| dep)
                 .max()
                 .unwrap_or(Time(0));
-            (r.id, r.load.raw(), latest)
+            (r.id, r.load.raws(), latest)
         })
         .collect();
     let mut plan = Vec::with_capacity(residents.len());
     // Rehouse the largest items first: if the big ones fit, the small ones
-    // will squeeze into whatever headroom remains.
+    // will squeeze into whatever headroom remains. Vector items rank by
+    // max component (== the size at D = 1), lexicographic as tiebreak.
     let mut by_size = residents;
-    by_size.sort_by_key(|&(id, size, _)| (core::cmp::Reverse(size), id));
+    by_size.sort_by_key(|&(id, size, _)| {
+        (
+            core::cmp::Reverse(size.max_raw()),
+            core::cmp::Reverse(size),
+            id,
+        )
+    });
     for (item, size, dep) in by_size {
-        let slot = targets
-            .iter_mut()
-            .find(|(_, used, latest)| *used + size.raw() <= SIZE_SCALE && *latest >= dep)?;
-        slot.1 += size.raw();
+        let want = size.raws();
+        let slot = targets.iter_mut().find(|(_, used, latest)| {
+            *latest >= dep && used.iter().zip(want).all(|(&u, c)| u + c <= SIZE_SCALE)
+        })?;
+        for (u, c) in slot.1.iter_mut().zip(want) {
+            *u += c;
+        }
         plan.push(PlannedMove { item, to: slot.0 });
     }
     Some(plan)

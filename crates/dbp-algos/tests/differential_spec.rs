@@ -68,10 +68,10 @@ impl OnlineAlgorithm for NaiveHa {
 
         // Rule 2: total active load of this type, recomputed from scratch
         // (paper: "including r"). Active = arrival ≤ now < departure.
-        let mut load: u128 = item.size.raw() as u128;
+        let mut load: u128 = item.size.max_raw() as u128;
         for (other, _) in &self.placed {
             if eff_type(other) == ty && other.active_at(now) {
-                load += other.size.raw() as u128;
+                load += other.size.max_raw() as u128;
             }
         }
         // d > 1/(2√i) ⇔ 4·i·d² > 1 (scaled).

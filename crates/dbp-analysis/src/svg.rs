@@ -119,7 +119,7 @@ pub fn svg_packing(instance: &Instance, result: &PackingResult, title: &str) -> 
         for it in members {
             let ix0 = x(it.arrival.ticks());
             let iw = (x(it.departure.ticks()) - ix0).max(1.0);
-            let ih = ((lane_h - 8) as f64 * it.size.as_f64()).max(2.0);
+            let ih = ((lane_h - 8) as f64 * it.size.max_size().as_f64()).max(2.0);
             let colour = PALETTE[it.class_index() as usize % PALETTE.len()];
             let _ = writeln!(
                 out,

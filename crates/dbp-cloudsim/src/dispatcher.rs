@@ -208,7 +208,7 @@ impl DispatchReport {
                 for (it, &t) in self.instance.items().iter().zip(&self.tiers) {
                     if t == tier {
                         count += 1;
-                        demand += it.size.as_f64() * it.duration().ticks() as f64;
+                        demand += it.size.max_size().as_f64() * it.duration().ticks() as f64;
                     }
                 }
                 (tier, count, demand / total)

@@ -14,7 +14,7 @@
 use crate::bin_state::{BinId, BinRecord, BinStore};
 use crate::item::{Item, ItemId};
 use crate::recourse::{Migration, RecourseEpoch, RecourseView};
-use crate::size::Size;
+use crate::size::SizeVec;
 use crate::time::Time;
 
 /// An algorithm's decision for an arriving item.
@@ -67,9 +67,9 @@ impl<'a> SimView<'a> {
         self.bins.record(id)
     }
 
-    /// Whether `id` is open and has room for `s`.
+    /// Whether `id` is open and has room for `s` (in every dimension).
     #[inline]
-    pub fn fits(&self, id: BinId, s: Size) -> bool {
+    pub fn fits(&self, id: BinId, s: impl Into<SizeVec>) -> bool {
         self.bins
             .record(id)
             .is_some_and(|r| r.is_open() && r.fits(s))
@@ -79,14 +79,14 @@ impl<'a> SimView<'a> {
     /// Answered by the capacity tournament tree in O(log B); selects the
     /// identical bin as the linear scan ([`SimView::first_fit_linear`]).
     #[inline]
-    pub fn first_fit(&self, s: Size) -> Option<BinId> {
+    pub fn first_fit(&self, s: impl Into<SizeVec>) -> Option<BinId> {
         self.bins.first_fit(s)
     }
 
     /// The seed's naive O(B) First-Fit scan, retained as a differential
     /// oracle for [`SimView::first_fit`] (and for before/after benchmarks).
     #[inline]
-    pub fn first_fit_linear(&self, s: Size) -> Option<BinId> {
+    pub fn first_fit_linear(&self, s: impl Into<SizeVec>) -> Option<BinId> {
         self.bins.first_fit_linear(s)
     }
 
@@ -99,7 +99,8 @@ impl<'a> SimView<'a> {
     /// *large* candidate sets should mirror them in a
     /// [`crate::fit_tree::SubsetFitTree`] instead, which answers the same
     /// query in O(log candidates).
-    pub fn first_fit_among(&self, candidates: &[BinId], s: Size) -> Option<BinId> {
+    pub fn first_fit_among(&self, candidates: &[BinId], s: impl Into<SizeVec>) -> Option<BinId> {
+        let s = s.into();
         candidates.iter().copied().find(|&b| self.fits(b, s))
     }
 
@@ -229,6 +230,7 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
 mod tests {
     use super::*;
     use crate::item::ItemId;
+    use crate::size::Size;
 
     #[test]
     fn sim_view_first_fit_and_fits() {

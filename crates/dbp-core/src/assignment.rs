@@ -14,7 +14,7 @@ use crate::cost::Area;
 use crate::error::VerifyError;
 use crate::instance::Instance;
 use crate::item::ItemId;
-use crate::size::SIZE_SCALE;
+use crate::size::{MAX_DIMS, SIZE_SCALE};
 use crate::time::Time;
 
 /// The audited measurements of an assignment.
@@ -47,41 +47,46 @@ pub fn audit(instance: &Instance, assignment: &[BinId]) -> Result<AuditReport, V
     for (&bin, ids) in &per_bin {
         // Event sweep inside one bin: departures free capacity before
         // arrivals at the same tick (half-open intervals).
-        let mut events: Vec<(Time, bool, u64)> = Vec::with_capacity(ids.len() * 2);
+        let mut events: Vec<(Time, bool, [u64; MAX_DIMS])> = Vec::with_capacity(ids.len() * 2);
         let mut open_from = Time(u64::MAX);
         let mut close_at = Time::ZERO;
         for &id in ids {
             let it = instance.item(id);
-            events.push((it.arrival, true, it.size.raw()));
-            events.push((it.departure, false, it.size.raw()));
+            events.push((it.arrival, true, it.size.raws()));
+            events.push((it.departure, false, it.size.raws()));
             open_from = open_from.min(it.arrival);
             close_at = close_at.max(it.departure);
         }
         events.sort_by_key(|&(t, is_arr, _)| (t, is_arr));
 
-        let mut load: u64 = 0;
+        // Per-dimension load sweep; a bin is empty iff every dimension is.
+        let mut load = [0u64; MAX_DIMS];
         let mut ever_emptied_at: Option<Time> = None;
-        for &(t, is_arr, raw) in &events {
+        for &(t, is_arr, raws) in &events {
             if is_arr {
                 // Non-repacking discipline: once a bin empties it is closed
                 // forever; a later arrival into the same BinId is a reuse.
                 if let Some(closed) = ever_emptied_at {
-                    if t >= closed && load == 0 && closed < close_at {
+                    if t >= closed && load == [0; MAX_DIMS] && closed < close_at {
                         return Err(VerifyError::BinReusedAfterClose { bin, at: t });
                     }
                 }
-                load += raw;
-                if load > SIZE_SCALE {
-                    return Err(VerifyError::CapacityViolated { bin, at: t });
+                for (l, raw) in load.iter_mut().zip(raws) {
+                    *l += raw;
+                    if *l > SIZE_SCALE {
+                        return Err(VerifyError::CapacityViolated { bin, at: t });
+                    }
                 }
             } else {
-                load -= raw;
-                if load == 0 {
+                for (l, raw) in load.iter_mut().zip(raws) {
+                    *l -= raw;
+                }
+                if load == [0; MAX_DIMS] {
                     ever_emptied_at = Some(t);
                 }
             }
         }
-        debug_assert_eq!(load, 0);
+        debug_assert_eq!(load, [0; MAX_DIMS]);
         cost += Area::from_bin_ticks(close_at.since(open_from));
         spans.push((open_from, close_at));
     }

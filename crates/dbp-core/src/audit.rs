@@ -52,7 +52,7 @@ use crate::error::EngineError;
 use crate::instance::Instance;
 use crate::item::ItemId;
 use crate::recourse::{RecourseBudget, RecourseCtl};
-use crate::size::{Size, SIZE_SCALE};
+use crate::size::{SizeVec, MAX_DIMS, SIZE_SCALE};
 use crate::time::Time;
 use crate::trace::{EngineEvent, EventSink};
 
@@ -87,7 +87,7 @@ impl std::error::Error for AuditViolation {}
 #[derive(Debug, Clone)]
 struct MirrorBin {
     opened_at: Time,
-    load: u64,
+    load: [u64; MAX_DIMS],
     residents: u32,
     open: bool,
 }
@@ -106,9 +106,9 @@ pub struct InvariantAuditor {
     /// `Σ (closed_at − opened_at)` over closed bins, exact.
     interval_cost: Area,
     /// Arrival awaiting its `Placed` event: `(item, at, size)`.
-    pending_arrival: Option<(ItemId, Time, Size)>,
-    /// Sum of all mirrored bin loads (raw units) right now.
-    total_load: u64,
+    pending_arrival: Option<(ItemId, Time, SizeVec)>,
+    /// Sum of all mirrored bin loads (raw units), per dimension.
+    total_load: [u64; MAX_DIMS],
     /// `∫ (mirrored total load) dt` — the served-demand area, which may
     /// never exceed `integral_cost` (utilisation ≤ 1).
     load_area: Area,
@@ -196,7 +196,12 @@ impl InvariantAuditor {
         if t > self.cur {
             let dt = t.since(self.cur);
             self.integral_cost += Area::from_bins_ticks(self.open_count as u64, dt);
-            self.load_area += Area::from_load_ticks(self.total_load, dt);
+            // The bottleneck dimension binds: every open bin serves at most
+            // one unit of each dimension, so `max_d ΣL_d ≤ open bins` is the
+            // tightest served-demand bound (and equals the scalar load at
+            // D = 1).
+            let bottleneck = self.total_load.iter().copied().max().unwrap_or(0);
+            self.load_area += Area::from_load_ticks(bottleneck, dt);
             self.cur = t;
         }
     }
@@ -336,8 +341,8 @@ impl EventSink for InvariantAuditor {
                     self.fail(
                         event,
                         format!(
-                            "First-Fit divergence for {item} (size {}): tree says {:?}, linear scan says {:?}",
-                            size.raw(),
+                            "First-Fit divergence for {item} (size {:?}): tree says {:?}, linear scan says {:?}",
+                            size.raws(),
                             tree,
                             linear
                         ),
@@ -356,7 +361,7 @@ impl EventSink for InvariantAuditor {
                 }
                 self.bins.push(MirrorBin {
                     opened_at: at,
-                    load: 0,
+                    load: [0; MAX_DIMS],
                     residents: 0,
                     open: true,
                 });
@@ -412,28 +417,33 @@ impl EventSink for InvariantAuditor {
                     );
                     return;
                 }
-                m.load += p_size.raw();
+                let raws = p_size.raws();
+                for (l, r) in m.load.iter_mut().zip(raws) {
+                    *l += r;
+                }
                 m.residents += 1;
-                if m.load > SIZE_SCALE {
+                if m.load.iter().any(|&l| l > SIZE_SCALE) {
                     let load = m.load;
                     self.fail(
                         event,
-                        format!("{bin} over capacity: mirrored load {load} > {SIZE_SCALE}"),
+                        format!("{bin} over capacity: mirrored load {load:?} > {SIZE_SCALE}"),
                     );
                     return;
                 }
-                if m.load != load_after.raw() {
+                if m.load != load_after.raws() {
                     let load = m.load;
                     self.fail(
                         event,
                         format!(
-                            "load conservation broken in {bin}: mirror says {load}, engine reports {}",
-                            load_after.raw()
+                            "load conservation broken in {bin}: mirror says {load:?}, engine reports {:?}",
+                            load_after.raws()
                         ),
                     );
                     return;
                 }
-                self.total_load += p_size.raw();
+                for (l, r) in self.total_load.iter_mut().zip(raws) {
+                    *l += r;
+                }
                 // The engine opens an arrival recourse epoch right after a
                 // placement settles (fresh arrival or re-admission alike).
                 if let Some(ctl) = &mut self.budget_replay {
@@ -453,20 +463,25 @@ impl EventSink for InvariantAuditor {
                     self.fail(event, format!("{item} departs closed {bin}"));
                     return;
                 }
-                if m.residents == 0 || m.load < size.raw() {
+                let raws = size.raws();
+                if m.residents == 0 || m.load.iter().zip(raws).any(|(&l, r)| l < r) {
                     let (load, residents) = (m.load, m.residents);
                     self.fail(
                         event,
                         format!(
-                            "{item} (size {}) departs {bin} holding load {load} with {residents} resident(s)",
-                            size.raw()
+                            "{item} (size {:?}) departs {bin} holding load {load:?} with {residents} resident(s)",
+                            raws
                         ),
                     );
                     return;
                 }
-                m.load -= size.raw();
+                for (l, r) in m.load.iter_mut().zip(raws) {
+                    *l -= r;
+                }
                 m.residents -= 1;
-                self.total_load -= size.raw();
+                for (l, r) in self.total_load.iter_mut().zip(raws) {
+                    *l -= r;
+                }
                 // A (non-stale) departure opens a departure recourse epoch;
                 // any closure event for the emptied bin follows *before*
                 // migrations, but closures never touch the allowance.
@@ -491,20 +506,25 @@ impl EventSink for InvariantAuditor {
                     self.fail(event, format!("{item} displaced from closed {bin}"));
                     return;
                 }
-                if m.residents == 0 || m.load < size.raw() {
+                let raws = size.raws();
+                if m.residents == 0 || m.load.iter().zip(raws).any(|(&l, r)| l < r) {
                     let (load, residents) = (m.load, m.residents);
                     self.fail(
                         event,
                         format!(
-                            "{item} (size {}) displaced from {bin} holding load {load} with {residents} resident(s)",
-                            size.raw()
+                            "{item} (size {:?}) displaced from {bin} holding load {load:?} with {residents} resident(s)",
+                            raws
                         ),
                     );
                     return;
                 }
-                m.load -= size.raw();
+                for (l, r) in m.load.iter_mut().zip(raws) {
+                    *l -= r;
+                }
                 m.residents -= 1;
-                self.total_load -= size.raw();
+                for (l, r) in self.total_load.iter_mut().zip(raws) {
+                    *l -= r;
+                }
                 self.displacements_seen += 1;
                 if !self.displaced_outstanding.insert(item.0) {
                     self.fail(event, format!("{item} displaced twice"));
@@ -538,8 +558,8 @@ impl EventSink for InvariantAuditor {
                     self.fail(
                         event,
                         format!(
-                            "First-Fit divergence for re-admitted {item} (size {}): tree says {:?}, linear scan says {:?}",
-                            size.raw(),
+                            "First-Fit divergence for re-admitted {item} (size {:?}): tree says {:?}, linear scan says {:?}",
+                            size.raws(),
                             tree,
                             linear
                         ),
@@ -581,12 +601,13 @@ impl EventSink for InvariantAuditor {
                     self.fail(event, format!("{item} migrated out of closed {from}"));
                     return;
                 }
-                if src_residents == 0 || src_load < size.raw() {
+                let raws = size.raws();
+                if src_residents == 0 || src_load.iter().zip(raws).any(|(&l, r)| l < r) {
                     self.fail(
                         event,
                         format!(
-                            "{item} (size {}) migrated out of {from} holding load {src_load} with {src_residents} resident(s)",
-                            size.raw()
+                            "{item} (size {:?}) migrated out of {from} holding load {src_load:?} with {src_residents} resident(s)",
+                            raws
                         ),
                     );
                     return;
@@ -603,28 +624,32 @@ impl EventSink for InvariantAuditor {
                     return;
                 }
                 let src = &mut self.bins[from.index()];
-                src.load -= size.raw();
+                for (l, r) in src.load.iter_mut().zip(raws) {
+                    *l -= r;
+                }
                 src.residents -= 1;
                 let emptied = src.residents == 0;
                 let dst = &mut self.bins[to.index()];
-                dst.load += size.raw();
+                for (l, r) in dst.load.iter_mut().zip(raws) {
+                    *l += r;
+                }
                 dst.residents += 1;
                 let dst_load = dst.load;
-                if dst_load > SIZE_SCALE {
+                if dst_load.iter().any(|&l| l > SIZE_SCALE) {
                     self.fail(
                         event,
                         format!(
-                            "{to} over capacity after migration: mirrored load {dst_load} > {SIZE_SCALE}"
+                            "{to} over capacity after migration: mirrored load {dst_load:?} > {SIZE_SCALE}"
                         ),
                     );
                     return;
                 }
-                if dst_load != load_after.raw() {
+                if dst_load != load_after.raws() {
                     self.fail(
                         event,
                         format!(
-                            "load conservation broken by migration into {to}: mirror says {dst_load}, engine reports {}",
-                            load_after.raw()
+                            "load conservation broken by migration into {to}: mirror says {dst_load:?}, engine reports {:?}",
+                            load_after.raws()
                         ),
                     );
                     return;
@@ -666,12 +691,12 @@ impl EventSink for InvariantAuditor {
                     self.fail(event, format!("{bin} failed after closing"));
                     return;
                 }
-                if m.residents != 0 || m.load != 0 {
+                if m.residents != 0 || m.load != [0; MAX_DIMS] {
                     let (load, residents) = (m.load, m.residents);
                     self.fail(
                         event,
                         format!(
-                            "{bin} failed while still holding load {load} ({residents} resident(s) not displaced)"
+                            "{bin} failed while still holding load {load:?} ({residents} resident(s) not displaced)"
                         ),
                     );
                     return;
@@ -700,11 +725,13 @@ impl EventSink for InvariantAuditor {
                     self.fail(event, format!("{bin} closed twice"));
                     return;
                 }
-                if m.residents != 0 || m.load != 0 {
+                if m.residents != 0 || m.load != [0; MAX_DIMS] {
                     let (load, residents) = (m.load, m.residents);
                     self.fail(
                         event,
-                        format!("{bin} closed while holding load {load} ({residents} resident(s))"),
+                        format!(
+                            "{bin} closed while holding load {load:?} ({residents} resident(s))"
+                        ),
                     );
                     return;
                 }
@@ -754,7 +781,7 @@ mod tests {
     use super::*;
     use crate::algorithm::{Placement, SimView};
     use crate::item::Item;
-    use crate::size::Load;
+    use crate::size::Size;
     use crate::time::Dur;
 
     struct Ff;
@@ -840,7 +867,9 @@ mod tests {
                     // Corrupt r1's reported post-placement load by one raw
                     // unit.
                     if item.index() == 1 {
-                        *load_after = Load::from_raw(load_after.raw() + 1);
+                        let mut raws = load_after.raws();
+                        raws[0] += 1;
+                        *load_after = crate::size::LoadVec::from_raws(raws);
                         corrupted_at = Some(idx);
                     }
                 }
@@ -938,7 +967,6 @@ mod tests {
     fn auditor_flags_a_forged_migration() {
         use crate::bin_state::BinId;
         use crate::engine::run_with_sink;
-        use crate::size::Load;
 
         /// Forwards the truthful stream and injects one forged event right
         /// after the first `Departure`.
@@ -973,8 +1001,8 @@ mod tests {
             at: Time(4),
             from: BinId(0),
             to: BinId(1),
-            size: sz(1, 4),
-            load_after: Load::from_raw(sz(3, 4).raw() + sz(1, 4).raw()),
+            size: sz(1, 4).into(),
+            load_after: crate::size::LoadVec::from_raws([sz(3, 4).raw() + sz(1, 4).raw(), 0, 0]),
         };
         let sink = InjectSink {
             inner: &mut auditor,

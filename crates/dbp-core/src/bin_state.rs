@@ -22,7 +22,7 @@ use core::fmt;
 
 use crate::fit_tree::FitTree;
 use crate::item::ItemId;
-use crate::size::{Load, Size, SIZE_SCALE};
+use crate::size::{LoadVec, SizeVec, SIZE_SCALE};
 use crate::time::Time;
 
 /// Identifier of a bin, assigned in opening order (bin 0 opened first).
@@ -62,8 +62,9 @@ pub struct BinRecord {
     pub opened_at: Time,
     /// When the bin closed (its last item's departure), if it has.
     pub closed_at: Option<Time>,
-    /// Current total load of resident items.
-    pub load: Load,
+    /// Current total load of resident items, one component per dimension
+    /// (scalar runs only ever touch dimension 0).
+    pub load: LoadVec,
     /// Number of currently resident items.
     pub resident: u32,
     /// Ids of currently resident items (kept for diagnostics & figures).
@@ -78,10 +79,10 @@ impl BinRecord {
         self.closed_at.is_none()
     }
 
-    /// Whether `s` fits in the remaining capacity.
+    /// Whether `s` fits in the remaining capacity of every dimension.
     #[inline]
-    pub fn fits(&self, s: Size) -> bool {
-        self.load.fits(s)
+    pub fn fits(&self, s: impl Into<SizeVec>) -> bool {
+        self.load.fits(s.into())
     }
 }
 
@@ -155,7 +156,7 @@ impl BinStore {
             id,
             opened_at: t,
             closed_at: None,
-            load: Load::ZERO,
+            load: LoadVec::ZERO,
             resident: 0,
             items: self.spare_lists.pop().unwrap_or_default(),
         });
@@ -168,7 +169,9 @@ impl BinStore {
 
     /// Adds an item to a bin (capacity is the caller's responsibility; the
     /// engine validates before calling).
-    pub fn add(&mut self, bin: BinId, item: ItemId, size: Size) {
+    pub fn add(&mut self, bin: BinId, item: ItemId, size: impl Into<SizeVec>) {
+        let size = size.into();
+        self.tree.ensure_dims(size.dims_used());
         let rec = &mut self.bins[bin.index()];
         debug_assert!(rec.is_open());
         debug_assert!(rec.fits(size));
@@ -181,12 +184,13 @@ impl BinStore {
         self.item_pos[idx] = rec.items.len() as u32;
         rec.items.push(item);
         self.tree
-            .set_remaining(bin.index(), SIZE_SCALE - rec.load.raw());
+            .set_remaining_vec(bin.index(), &rec.load.remaining());
     }
 
     /// Removes an item from a bin; closes the bin (recording `t`) when it
     /// empties. Returns `true` if the bin closed.
-    pub fn remove(&mut self, bin: BinId, item: ItemId, size: Size, t: Time) -> bool {
+    pub fn remove(&mut self, bin: BinId, item: ItemId, size: impl Into<SizeVec>, t: Time) -> bool {
+        let size = size.into();
         let rec = &mut self.bins[bin.index()];
         debug_assert!(rec.is_open());
         rec.load -= size;
@@ -229,7 +233,7 @@ impl BinStore {
             true
         } else {
             self.tree
-                .set_remaining(bin.index(), SIZE_SCALE - rec.load.raw());
+                .set_remaining_vec(bin.index(), &rec.load.remaining());
             false
         }
     }
@@ -288,9 +292,10 @@ impl BinStore {
     /// O(log B). Selects the identical bin as [`BinStore::first_fit_linear`]
     /// (the key encoding makes the predicates equal; see
     /// [`crate::fit_tree`]).
-    pub fn first_fit(&self, s: Size) -> Option<BinId> {
+    pub fn first_fit(&self, s: impl Into<SizeVec>) -> Option<BinId> {
+        let s = s.into();
         self.tree_queries.set(self.tree_queries.get() + 1);
-        let slot = self.tree.first_fit(s.raw())?;
+        let slot = self.tree.first_fit_vec(s)?;
         let id = self.bins[slot].id;
         debug_assert!(self.bins[slot].is_open() && self.bins[slot].fits(s));
         Some(id)
@@ -298,7 +303,8 @@ impl BinStore {
 
     /// The seed's naive O(B) First-Fit scan, retained verbatim as the
     /// differential-testing oracle for [`BinStore::first_fit`].
-    pub fn first_fit_linear(&self, s: Size) -> Option<BinId> {
+    pub fn first_fit_linear(&self, s: impl Into<SizeVec>) -> Option<BinId> {
+        let s = s.into();
         self.note_linear_scan();
         self.open_ids().find(|&b| self.bins[b.index()].fits(s))
     }
@@ -351,6 +357,7 @@ impl BinStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::size::Size;
 
     fn half() -> Size {
         Size::from_ratio(1, 2)
@@ -438,6 +445,55 @@ mod tests {
             store.add(bin, item, s);
             resident.push((bin, item, s));
             // Randomly depart ~half the arrivals to churn closes.
+            while rand() % 2 == 0 && !resident.is_empty() {
+                let k = (rand() % resident.len() as u64) as usize;
+                let (b, i, sz) = resident.swap_remove(k);
+                store.remove(b, i, sz, Time(step));
+            }
+        }
+        assert!(store.open_count() <= store.total_opened());
+    }
+
+    #[test]
+    fn vector_tree_and_linear_first_fit_agree_through_churn() {
+        // Same differential harness as the scalar test, but with 2-D sizes
+        // (the second dimension anti-correlated) so the tree's extra planes
+        // and the linear scan's per-dimension fit test must agree.
+        let mut store = BinStore::new();
+        let sizes: Vec<SizeVec> = [
+            (SIZE_SCALE / 3, SIZE_SCALE / 2),
+            (2 * SIZE_SCALE / 3, SIZE_SCALE / 7),
+            (SIZE_SCALE / 7, 2 * SIZE_SCALE / 3),
+            (0, SIZE_SCALE / 2),
+            (SIZE_SCALE, SIZE_SCALE / 5),
+        ]
+        .iter()
+        .map(|&(a, b)| SizeVec::try_from_raws(&[a, b]).unwrap())
+        .collect();
+        let mut resident: Vec<(BinId, ItemId, SizeVec)> = Vec::new();
+        let mut state = 0xbeef_deadu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..2_000 {
+            let s = sizes[(rand() % sizes.len() as u64) as usize];
+            for &probe in &sizes {
+                assert_eq!(
+                    store.first_fit(probe),
+                    store.first_fit_linear(probe),
+                    "divergence at step {step}"
+                );
+            }
+            let item = ItemId(step as u32);
+            let bin = match store.first_fit(s) {
+                Some(b) => b,
+                None => store.open(Time(step)),
+            };
+            store.add(bin, item, s);
+            resident.push((bin, item, s));
             while rand() % 2 == 0 && !resident.is_empty() {
                 let k = (rand() % resident.len() as u64) as usize;
                 let (b, i, sz) = resident.swap_remove(k);

@@ -17,6 +17,7 @@
 
 use crate::cost::Area;
 use crate::instance::Instance;
+use crate::profile::StepProfile;
 
 /// A two-sided certified estimate of an optimal cost.
 ///
@@ -55,12 +56,21 @@ pub struct LowerBounds {
 
 impl LowerBounds {
     /// Computes all three lower bounds for an instance.
+    ///
+    /// For vector instances each bound is applied *per dimension* and the
+    /// max is taken: any packing must serve every dimension, so the binding
+    /// dimension's `d(σ)` and `∫⌈S_t⌉` are valid lower bounds on the whole
+    /// vector optimum. At D = 1 this is byte-identical to the scalar
+    /// bounds.
     pub fn of(instance: &Instance) -> LowerBounds {
-        let profile = instance.load_profile();
+        let ceil_integral = (0..instance.dims())
+            .map(|d| StepProfile::from_items_dim(instance.items(), d).ceil_integral())
+            .max()
+            .unwrap_or(Area::ZERO);
         LowerBounds {
             span: instance.span(),
-            demand: profile.integral(),
-            ceil_integral: profile.ceil_integral(),
+            demand: instance.demand(),
+            ceil_integral,
         }
     }
 
@@ -77,10 +87,20 @@ impl OptBracket {
     /// `OPT_R ≤ OPT_NR`, the lower side is valid for both optima while the
     /// upper side is an upper bound on `OPT_R` only (tighten with a concrete
     /// non-repacking packing for `OPT_NR`).
+    ///
+    /// For vector instances the upper side uses the *max-component*
+    /// scalarized profile: a scalar packing that is feasible on
+    /// `max_d s_d(r)` sizes is feasible on the vectors themselves (every
+    /// per-dimension bin load is ≤ the max-component load), so Lemma 3.1's
+    /// `2∫⌈S_t⌉ dt` applied to that profile certifies the vector optimum.
+    /// The lower side is the per-dimension max from [`LowerBounds::of`];
+    /// at D = 1 both sides collapse to the scalar bracket.
     pub fn of(instance: &Instance) -> OptBracket {
         let lb = LowerBounds::of(instance);
         let lower = lb.best();
-        let upper = lb.ceil_integral.scale(2);
+        let upper = StepProfile::from_items_max(instance.items())
+            .ceil_integral()
+            .scale(2);
         debug_assert!(lower <= upper);
         OptBracket { lower, upper }
     }
@@ -353,6 +373,37 @@ mod tests {
         assert!(BracketRung::Analytic < BracketRung::Exact);
         assert!(BracketSource::WarmDisk.is_warm());
         assert!(!BracketSource::Computed.is_warm());
+    }
+
+    #[test]
+    fn vector_bracket_reflects_the_binding_dimension() {
+        use crate::size::SizeVec;
+        // Three items tiny in dim 0 but half-sized in dim 1: a dim-0-only
+        // bracket would certify almost nothing.
+        let s = SizeVec::from_sizes(&[sz(1, 100), sz(1, 2)]).unwrap();
+        let inst = Instance::from_triples([
+            (Time(0), Dur(10), s),
+            (Time(0), Dur(10), s),
+            (Time(0), Dur(10), s),
+        ])
+        .unwrap();
+        let lb = LowerBounds::of(&inst);
+        // Dimension 1 binds: S_t = 1.5 there → ⌈S_t⌉ = 2 over 10 ticks.
+        assert_eq!(lb.ceil_integral.as_bin_ticks(), 20.0);
+        assert_eq!(lb.demand.as_bin_ticks(), 15.0);
+        let b = OptBracket::of(&inst);
+        assert_eq!(b.lower.as_bin_ticks(), 20.0);
+        // Max-component profile equals the dim-1 profile here.
+        assert_eq!(b.upper.as_bin_ticks(), 40.0);
+        // Matching scalar instance on the max component gives the same
+        // bracket (D = 1 contract seen from the other side).
+        let scalar = Instance::from_triples([
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+            (Time(0), Dur(10), sz(1, 2)),
+        ])
+        .unwrap();
+        assert_eq!(OptBracket::of(&scalar), b);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::item::{Item, ItemId};
 use crate::recourse::{
     Migration, RecourseBudget, RecourseCtl, RecourseEpoch, RecourseReport, RecourseView,
 };
-use crate::size::Size;
+use crate::size::SizeVec;
 use crate::time::{Dur, Time};
 use crate::trace::{EngineEvent, EventSink, NoopSink, PlacementPath};
 
@@ -150,7 +150,7 @@ struct PendingReadmit {
     /// The original departure the retry still targets.
     departure: Time,
     /// Item size.
-    size: Size,
+    size: SizeVec,
 }
 
 impl Ord for PendingReadmit {
@@ -184,7 +184,7 @@ pub struct PendingReadmission {
     /// The original departure the retry still targets.
     pub departure: Time,
     /// Item size.
-    pub size: Size,
+    pub size: SizeVec,
 }
 
 /// The failure layer of one simulation: the plan, the retry policy, the
@@ -206,6 +206,11 @@ struct FailureCtl {
     /// Reusable buffer for the residents of a crashing bin, so repeated
     /// crashes drain through one warm allocation.
     crash_scratch: Vec<u32>,
+    /// Seeded fate draws for a freshly-opened bin use
+    /// `BinId(bin + fate_offset)` — zero except in restored sessions,
+    /// where it re-aligns the renumbered bins with the fate sequence of
+    /// the uninterrupted run (see [`InteractiveSim::set_fate_offset`]).
+    fate_offset: u32,
     report: ResilienceReport,
 }
 
@@ -224,6 +229,7 @@ impl FailureCtl {
             readmits: BinaryHeap::new(),
             attempts: Vec::new(),
             crash_scratch: Vec::new(),
+            fate_offset: 0,
             report: ResilienceReport::default(),
         }
     }
@@ -252,7 +258,15 @@ impl FailureCtl {
 struct ItemTable {
     arrivals: Vec<Time>,
     departures: Vec<Time>,
-    sizes: Vec<Size>,
+    sizes: Vec<SizeVec>,
+}
+
+/// Checked `usize → u32` for item-table row indices. Rows, heap entries
+/// and compaction remaps are keyed by `u32`; a table past `u32::MAX` rows
+/// must fail loudly here rather than silently truncate an id.
+#[inline]
+fn row_id(i: usize) -> u32 {
+    u32::try_from(i).expect("item table exceeds u32::MAX rows")
 }
 
 impl ItemTable {
@@ -558,8 +572,9 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         at: Time,
         attempt: u32,
         departure: Time,
-        size: Size,
+        size: impl Into<SizeVec>,
     ) -> ItemId {
+        let size = size.into();
         assert!(
             arrival < displaced_at && displaced_at <= self.now && self.now <= at && at < departure,
             "restored re-admission violates arrival < displaced ≤ now ≤ retry < departure"
@@ -579,10 +594,53 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         id
     }
 
+    /// Pending scheduled crashes as `(bin, crash time)`, in firing order.
+    /// Snapshotting drivers serialize these so seeded dooms survive a
+    /// restart instead of being re-drawn under the restored numbering.
+    pub fn pending_dooms(&self) -> Vec<(BinId, Time)> {
+        let mut out: Vec<(BinId, Time)> = self
+            .failures
+            .crashes
+            .iter()
+            .map(|&Reverse((at, bin))| (BinId(bin), at))
+            .collect();
+        out.sort_unstable_by_key(|&(bin, at)| (at, bin.0));
+        out
+    }
+
+    /// Drops every scheduled crash. Restore-support: a muted snapshot
+    /// replay re-draws fates for reopened bins under their *new* ids; the
+    /// driver clears those draws and re-arms the recorded dooms through
+    /// [`InteractiveSim::schedule_crash`].
+    pub fn clear_crash_schedule(&mut self) {
+        self.failures.crashes.clear();
+    }
+
+    /// Schedules `bin` to crash at `at` (the re-arming counterpart of
+    /// [`InteractiveSim::clear_crash_schedule`]).
+    pub fn schedule_crash(&mut self, bin: BinId, at: Time) {
+        self.failures.crashes.push(Reverse((at, bin.0)));
+    }
+
+    /// Offsets seeded fate draws: a freshly-opened bin `b` draws the fate
+    /// of `BinId(b.0 + offset)`. Restore sets this to (bins the session
+    /// chain had ever opened) − (bins reopened by the replay), so fresh
+    /// bins after a restart draw exactly the fates their counterparts in
+    /// the uninterrupted run would have drawn.
+    pub fn set_fate_offset(&mut self, offset: u32) {
+        self.failures.fate_offset = offset;
+    }
+
+    /// The current seeded-fate id offset (see
+    /// [`InteractiveSim::set_fate_offset`]).
+    pub fn fate_offset(&self) -> u32 {
+        self.failures.fate_offset
+    }
+
     /// The live items: `(id, item, bin)` for every resident row, in id
     /// order. Undated items report the `Time(u64::MAX)` placeholder.
     pub fn live_items(&self) -> impl Iterator<Item = (ItemId, Item, BinId)> + '_ {
-        (0..self.items.len() as u32).filter_map(move |i| {
+        (0..row_id(self.items.len())).filter_map(move |i| {
             let dep = self.items.departures[i as usize];
             (dep > self.now).then(|| (ItemId(i), self.items.get(i), self.assignment[i as usize]))
         })
@@ -630,8 +688,8 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         let mut retained = Vec::new();
         for (i, &k) in keep.iter().enumerate() {
             if k {
-                old_to_new[i] = retained.len() as u32;
-                retained.push(ItemId(i as u32));
+                old_to_new[i] = row_id(retained.len());
+                retained.push(ItemId(row_id(i)));
             }
         }
         if retained.len() == old_len {
@@ -701,6 +759,73 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         retained
     }
 
+    /// Renumbers every item row by the given permutation without dropping
+    /// any: `order[new]` is the old id of the row now at index `new`.
+    ///
+    /// Same-tick departures drain in row-id order (the heap key is
+    /// `(departure, row)`), so a caller that admitted rows out of their
+    /// logical order — snapshot restore replays items grouped by bin to
+    /// reproduce bin ids — uses this to put the table back into the order
+    /// the uninterrupted run would have, making subsequent tie-breaks
+    /// bit-identical. All engine state is rewritten consistently and the
+    /// mapping is pushed to the algorithm and sink via `on_compact`, with
+    /// the same caveats as [`InteractiveSim::compact`]: outstanding
+    /// [`ItemId`]s are invalidated, and whole-run mirrors are
+    /// incompatible. The re-admission queue's same-tick drain order is
+    /// keyed by parent row, so call this before enqueuing re-admissions
+    /// whose relative order matters.
+    pub fn permute_rows(&mut self, order: &[ItemId]) {
+        let old_len = self.items.len();
+        assert_eq!(order.len(), old_len, "order must cover every row");
+        let mut old_to_new = vec![u32::MAX; old_len];
+        for (new, &ItemId(old)) in order.iter().enumerate() {
+            let slot = &mut old_to_new[old as usize];
+            assert_eq!(*slot, u32::MAX, "duplicate row in permutation");
+            *slot = row_id(new);
+        }
+        let pick = |col: &[Time]| order.iter().map(|&ItemId(o)| col[o as usize]).collect();
+        self.items.arrivals = pick(&self.items.arrivals);
+        self.items.departures = pick(&self.items.departures);
+        self.items.sizes = order
+            .iter()
+            .map(|&ItemId(o)| self.items.sizes[o as usize])
+            .collect();
+        self.assignment = order
+            .iter()
+            .map(|&ItemId(o)| self.assignment[o as usize])
+            .collect();
+        let old_heap = std::mem::take(&mut self.departures);
+        let mut rebuilt = BinaryHeap::with_capacity(old_heap.len());
+        for Reverse((dep, idx)) in old_heap.into_iter() {
+            let new = old_to_new[idx as usize];
+            if self.items.departures[new as usize] == dep {
+                rebuilt.push(Reverse((dep, new)));
+            } else {
+                // Stale entry (column truncated by displacement): popped
+                // now instead of lazily later, exactly like `compact`.
+                self.metrics.heap_pops += 1;
+            }
+        }
+        self.departures = rebuilt;
+        let old_readmits = std::mem::take(&mut self.failures.readmits);
+        let mut readmits = BinaryHeap::with_capacity(old_readmits.len());
+        for Reverse(mut p) in old_readmits.into_iter() {
+            p.parent = old_to_new[p.parent as usize];
+            readmits.push(Reverse(p));
+        }
+        self.failures.readmits = readmits;
+        if !self.failures.attempts.is_empty() {
+            let old_attempts = std::mem::take(&mut self.failures.attempts);
+            self.failures.attempts = order
+                .iter()
+                .map(|&ItemId(o)| old_attempts.get(o as usize).copied().unwrap_or(0))
+                .collect();
+        }
+        self.bins.remap_items(&old_to_new, old_len);
+        self.algo.on_compact(order, old_len);
+        self.sink.on_compact(order, old_len);
+    }
+
     /// Emits an engine event to the attached sink.
     fn emit(&mut self, event: EngineEvent) {
         self.metrics.events += 1;
@@ -742,7 +867,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     }
 
     /// Submits an item arriving *now* and returns the bin it was placed in.
-    pub fn arrive(&mut self, dur: Dur, size: Size) -> Result<BinId, EngineError> {
+    pub fn arrive(&mut self, dur: Dur, size: impl Into<SizeVec>) -> Result<BinId, EngineError> {
         let arrival = self.now;
         self.arrive_at(arrival, dur, size)
     }
@@ -758,7 +883,11 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     /// family); a clairvoyant algorithm would be reacting to the
     /// placeholder. Every undated item must be dated before
     /// [`InteractiveSim::finish`].
-    pub fn arrive_undated(&mut self, size: Size) -> Result<(ItemId, BinId), EngineError> {
+    pub fn arrive_undated(
+        &mut self,
+        size: impl Into<SizeVec>,
+    ) -> Result<(ItemId, BinId), EngineError> {
+        let size = size.into();
         let arrival = self.now;
         self.try_advance_to(arrival)?;
         // Allocated after the drain: re-admission clones take slots too.
@@ -817,7 +946,13 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
 
     /// Submits an item arriving at `arrival ≥ now` (advancing the clock),
     /// active for `dur`.
-    pub fn arrive_at(&mut self, arrival: Time, dur: Dur, size: Size) -> Result<BinId, EngineError> {
+    pub fn arrive_at(
+        &mut self,
+        arrival: Time,
+        dur: Dur,
+        size: impl Into<SizeVec>,
+    ) -> Result<BinId, EngineError> {
+        let size = size.into();
         if self.started && arrival < self.now {
             return Err(EngineError::TimeRegression {
                 item: ItemId(u32::try_from(self.items.len()).expect("too many items")),
@@ -899,8 +1034,14 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
             Placement::OpenNew => {
                 let b = self.bins.open(self.now);
                 // Seeded fault injection: a freshly-opened bin draws its
-                // fate here (a no-op match for the empty plan).
-                if let Some(crash) = self.failures.plan.crash_time(b, self.now) {
+                // fate here (a no-op match for the empty plan). The draw
+                // is keyed by the offset id so restored sessions continue
+                // the uninterrupted run's fate sequence.
+                let fate_bin = BinId(
+                    b.0.checked_add(self.failures.fate_offset)
+                        .expect("bin id plus fate offset overflows u32"),
+                );
+                if let Some(crash) = self.failures.plan.crash_time(fate_bin, self.now) {
                     self.failures.crashes.push(Reverse((crash, b.0)));
                 }
                 self.record_open_count();
@@ -1040,7 +1181,7 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
     /// every relocation, whether the item is leaving for good (departure),
     /// being displaced by a crash, or being voluntarily migrated. Returns
     /// whether the removal emptied (closed) the bin.
-    fn detach(&mut self, bin: BinId, item: ItemId, size: Size, at: Time) -> bool {
+    fn detach(&mut self, bin: BinId, item: ItemId, size: SizeVec, at: Time) -> bool {
         self.resident -= 1;
         self.bins.remove(bin, item, size, at)
     }
@@ -1120,10 +1261,10 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
                 // area is lost.
                 self.failures.report.dropped += 1;
                 self.failures.report.degraded_area +=
-                    Area::from_load_ticks(item.size.raw(), item.departure.since(at));
+                    Area::from_load_ticks(item.size.max_raw(), item.departure.since(at));
             } else {
                 self.failures.report.degraded_area +=
-                    Area::from_load_ticks(item.size.raw(), readmit_at.since(at));
+                    Area::from_load_ticks(item.size.max_raw(), readmit_at.since(at));
                 self.failures.readmits.push(Reverse(PendingReadmit {
                     at: readmit_at,
                     parent: i,
@@ -1439,6 +1580,7 @@ pub fn run_with_failures_recourse<A: OnlineAlgorithm, S: EventSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::size::Size;
 
     /// Plain First-Fit over all open bins (the canonical smoke-test
     /// algorithm; the production version lives in `dbp-algos`).
@@ -1981,7 +2123,7 @@ mod tests {
         /// at arrival, following compaction remaps.
         #[derive(Default)]
         struct Tracking {
-            sizes: HashMap<u32, Size>,
+            sizes: HashMap<u32, SizeVec>,
             compactions: usize,
         }
         impl OnlineAlgorithm for Tracking {
@@ -2275,7 +2417,7 @@ mod tests {
                 at: Time(6),
                 attempt: 1,
                 departure: Time(12),
-                size: sz(1, 2),
+                size: sz(1, 2).into(),
             }]
         );
         let (inst, res) = sim.finish();

@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 
 use crate::bin_state::BinId;
-use crate::size::Size;
+use crate::size::{SizeVec, MAX_DIMS, SIZE_SCALE};
 
 /// Max-tournament tree over capacity keys, indexed by slot (leaf) number.
 ///
@@ -46,6 +46,15 @@ pub struct FitTree {
     /// `2i` and `2i+1`, leaves are `keys[cap..cap + cap]`. Key = remaining
     /// capacity + 1 for open slots, 0 for closed/unused slots.
     keys: Vec<u64>,
+    /// Per-dimension key planes for dimensions 1.. of a vector-packing
+    /// run, same heap shape and key encoding as `keys` (which remains the
+    /// dimension-0 plane). Empty for scalar runs — the D = 1 fast path
+    /// never allocates or consults them. An internal node's key is the max
+    /// over its subtree *per plane*, so a node qualifying in every plane
+    /// is a necessary (not sufficient) condition for a qualifying leaf;
+    /// [`FitTree::first_fit_vec`] descends with backtracking and decides
+    /// exactly at leaves, where plane keys are the actual remainders.
+    planes: Vec<Vec<u64>>,
     /// Number of leaves (a power of two, or 0 before the first push).
     cap: usize,
     /// Number of slots ever allocated.
@@ -81,7 +90,9 @@ impl FitTree {
     }
 
     /// Allocates the next slot with `remaining` capacity and returns it.
-    /// Slots are numbered sequentially from 0 — opening order.
+    /// Slots are numbered sequentially from 0 — opening order. Extra
+    /// dimension planes (if any) start at full capacity; use
+    /// [`FitTree::set_remaining_vec`] to set them.
     pub fn push(&mut self, remaining: u64) -> usize {
         if self.len == self.cap {
             self.grow();
@@ -89,6 +100,9 @@ impl FitTree {
         let slot = self.len;
         self.len += 1;
         self.set_key(slot, remaining + 1);
+        for d in 0..self.planes.len() {
+            self.set_plane_key(d, slot, SIZE_SCALE + 1);
+        }
         slot
     }
 
@@ -98,10 +112,53 @@ impl FitTree {
         self.set_key(slot, remaining + 1);
     }
 
+    /// Sets a slot's per-dimension remaining capacities. Dimensions beyond
+    /// the materialized planes are ignored (they are only materialized
+    /// once [`FitTree::ensure_dims`] grows the tree).
+    pub fn set_remaining_vec(&mut self, slot: usize, remaining: &[u64; MAX_DIMS]) {
+        self.set_key(slot, remaining[0] + 1);
+        for d in 0..self.planes.len() {
+            self.set_plane_key(d, slot, remaining[d + 1] + 1);
+        }
+    }
+
     /// Closes a slot: it will never qualify for any query again.
     #[inline]
     pub fn close(&mut self, slot: usize) {
         self.set_key(slot, 0);
+        for d in 0..self.planes.len() {
+            self.set_plane_key(d, slot, 0);
+        }
+    }
+
+    /// Number of key planes currently materialized: the dimensionality
+    /// queries can discriminate on (scalar trees report 1).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.planes.len() + 1
+    }
+
+    /// Materializes key planes so the tree discriminates on `nd`
+    /// dimensions. New planes backfill every *open* slot at full remaining
+    /// capacity: a plane is only materialized lazily, when the first item
+    /// with a nonzero component in that dimension shows up, at which point
+    /// every previously placed item provably had a zero component there —
+    /// so full capacity is the exact remainder, not an approximation.
+    /// Scalar runs never call this, keeping the D = 1 layout untouched.
+    pub fn ensure_dims(&mut self, nd: usize) {
+        assert!(nd <= MAX_DIMS, "dimension count {nd} exceeds {MAX_DIMS}");
+        while self.planes.len() + 1 < nd {
+            let mut plane = vec![0u64; 2 * self.cap];
+            for slot in 0..self.len {
+                if self.keys[self.cap + slot] > 0 {
+                    plane[self.cap + slot] = SIZE_SCALE + 1;
+                }
+            }
+            for i in (1..self.cap).rev() {
+                plane[i] = plane[2 * i].max(plane[2 * i + 1]);
+            }
+            self.planes.push(plane);
+        }
     }
 
     /// The remaining capacity of an open slot, or `None` if closed/unused.
@@ -110,6 +167,21 @@ impl FitTree {
         assert!(slot < self.len, "slot {slot} out of range {}", self.len);
         let k = self.keys[self.cap + slot];
         k.checked_sub(1)
+    }
+
+    /// Per-dimension remaining capacities of an open slot (`None` if
+    /// closed/unused). Dimensions beyond the materialized planes report
+    /// full capacity — exact, by the lazy-materialization invariant of
+    /// [`FitTree::ensure_dims`].
+    pub fn remaining_vec(&self, slot: usize) -> Option<[u64; MAX_DIMS]> {
+        let r0 = self.remaining(slot)?;
+        let mut out = [SIZE_SCALE; MAX_DIMS];
+        out[0] = r0;
+        for (d, plane) in self.planes.iter().enumerate() {
+            // Open in dimension 0 ⇒ every plane key is ≥ 1.
+            out[d + 1] = plane[self.cap + slot] - 1;
+        }
+        Some(out)
     }
 
     /// The lowest-numbered open slot with remaining capacity ≥ `size`, in
@@ -163,6 +235,110 @@ impl FitTree {
         Some(slot)
     }
 
+    /// The lowest-numbered open slot whose remaining capacity covers `size`
+    /// in *every* dimension — the vector First-Fit choice.
+    ///
+    /// Dimensions beyond the materialized planes are ignored, which is
+    /// exact (every open slot has full remaining capacity there, see
+    /// [`FitTree::ensure_dims`]); with no planes this delegates to the
+    /// scalar [`FitTree::first_fit`] descent, so D = 1 queries take the
+    /// identical code path and return identical answers.
+    ///
+    /// Internal nodes hold per-plane maxima taken over possibly *different*
+    /// leaves, so a node qualifying in every plane is necessary but not
+    /// sufficient; the search is a left-first DFS that prunes on that test
+    /// and decides exactly at leaves, where plane keys are the actual
+    /// remainders. Worst case O(len), but pruning keeps typical queries
+    /// near O(log len).
+    pub fn first_fit_vec(&self, size: SizeVec) -> Option<usize> {
+        let nd = size.dims_used().min(self.planes.len() + 1);
+        if nd <= 1 {
+            return self.first_fit(size.primary().raw());
+        }
+        if self.cap == 0 {
+            return None;
+        }
+        let raws = size.raws();
+        let needed = raws.map(|r| r + 1);
+        let qualifies = |i: usize| {
+            self.keys[i] >= needed[0]
+                && self.planes[..nd - 1]
+                    .iter()
+                    .enumerate()
+                    .all(|(d, plane)| plane[i] >= needed[d + 1])
+        };
+        // Explicit DFS stack: ≤ one deferred right sibling per level, so
+        // depth + 1 entries suffice (cap ≤ 2^63 ⇒ depth ≤ 63).
+        let mut stack = [0usize; 65];
+        let mut sp = 0;
+        stack[sp] = 1;
+        sp += 1;
+        while sp > 0 {
+            sp -= 1;
+            let i = stack[sp];
+            if !qualifies(i) {
+                continue;
+            }
+            if i >= self.cap {
+                let slot = i - self.cap;
+                debug_assert!(slot < self.len);
+                return Some(slot);
+            }
+            stack[sp] = 2 * i + 1; // right sibling, visited after...
+            stack[sp + 1] = 2 * i; // ...the left child (popped first).
+            sp += 2;
+        }
+        None
+    }
+
+    /// The lowest-numbered open slot `≥ start` fitting `size` in every
+    /// dimension. `first_fit_vec(s) == first_fit_vec_from(0, s)`; delegates
+    /// to the scalar [`FitTree::first_fit_from`] when no extra plane is in
+    /// play, so D = 1 queries stay on the identical code path.
+    pub fn first_fit_vec_from(&self, start: usize, size: SizeVec) -> Option<usize> {
+        let nd = size.dims_used().min(self.planes.len() + 1);
+        if nd <= 1 {
+            return self.first_fit_from(start, size.primary().raw());
+        }
+        if self.cap == 0 || start >= self.len {
+            return None;
+        }
+        let raws = size.raws();
+        let needed = raws.map(|r| r + 1);
+        let qualifies = |i: usize| {
+            self.keys[i] >= needed[0]
+                && self.planes[..nd - 1]
+                    .iter()
+                    .enumerate()
+                    .all(|(d, plane)| plane[i] >= needed[d + 1])
+        };
+        let log_cap = self.cap.ilog2();
+        let mut stack = [0usize; 65];
+        let mut sp = 0;
+        stack[sp] = 1;
+        sp += 1;
+        while sp > 0 {
+            sp -= 1;
+            let i = stack[sp];
+            // Node i covers leaves [i·2^s, (i+1)·2^s); prune subtrees
+            // that end strictly before `start`.
+            let s = log_cap - i.ilog2();
+            let last_slot = (((i + 1) << s) - 1) - self.cap;
+            if last_slot < start || !qualifies(i) {
+                continue;
+            }
+            if i >= self.cap {
+                let slot = i - self.cap;
+                debug_assert!(slot >= start && slot < self.len);
+                return Some(slot);
+            }
+            stack[sp] = 2 * i + 1;
+            stack[sp + 1] = 2 * i;
+            sp += 2;
+        }
+        None
+    }
+
     fn set_key(&mut self, slot: usize, key: u64) {
         assert!(slot < self.len, "slot {slot} out of range {}", self.len);
         let mut i = self.cap + slot;
@@ -177,16 +353,39 @@ impl FitTree {
         }
     }
 
+    fn set_plane_key(&mut self, d: usize, slot: usize, key: u64) {
+        let cap = self.cap;
+        let keys = &mut self.planes[d];
+        let mut i = cap + slot;
+        keys[i] = key;
+        while i > 1 {
+            i >>= 1;
+            let m = keys[2 * i].max(keys[2 * i + 1]);
+            if keys[i] == m {
+                break;
+            }
+            keys[i] = m;
+        }
+    }
+
     fn grow(&mut self) {
-        let new_cap = if self.cap == 0 { 1 } else { self.cap * 2 };
-        let mut keys = vec![0u64; 2 * new_cap];
-        keys[new_cap..new_cap + self.len]
-            .copy_from_slice(&self.keys[self.cap..self.cap + self.len]);
-        for i in (1..new_cap).rev() {
-            keys[i] = keys[2 * i].max(keys[2 * i + 1]);
+        let old_cap = self.cap;
+        let new_cap = if old_cap == 0 { 1 } else { old_cap * 2 };
+        let len = self.len;
+        let regrow = |old: &[u64]| {
+            let mut keys = vec![0u64; 2 * new_cap];
+            keys[new_cap..new_cap + len].copy_from_slice(&old[old_cap..old_cap + len]);
+            for i in (1..new_cap).rev() {
+                keys[i] = keys[2 * i].max(keys[2 * i + 1]);
+            }
+            keys
+        };
+        self.keys = regrow(&self.keys);
+        for plane in &mut self.planes {
+            let grown = regrow(plane);
+            *plane = grown;
         }
         self.cap = new_cap;
-        self.keys = keys;
     }
 }
 
@@ -237,7 +436,8 @@ impl SubsetFitTree {
         self.slot_of.contains_key(&bin)
     }
 
-    /// Adds a bin with `remaining` raw capacity. Bins must be inserted in
+    /// Adds a bin with `remaining` raw capacity in dimension 0 (full
+    /// capacity in any extra dimensions). Bins must be inserted in
     /// ascending id order (the order the engine allocates them), which is
     /// what makes tree queries agree with an opening-order linear scan.
     pub fn insert(&mut self, bin: BinId, remaining: u64) {
@@ -253,28 +453,48 @@ impl SubsetFitTree {
         self.slot_of.insert(bin, slot);
     }
 
+    /// Adds a freshly opened bin holding exactly its `first` item — the
+    /// form every algorithm's open-new path takes. The per-dimension
+    /// remainder is `capacity − first`, so vector components are mirrored
+    /// without the caller touching raw plane arithmetic.
+    pub fn insert_fresh(&mut self, bin: BinId, first: impl Into<SizeVec>) {
+        let s = first.into();
+        self.tree.ensure_dims(s.dims_used());
+        self.insert(bin, SIZE_SCALE);
+        let slot = self.slot_of[&bin];
+        self.tree.set_remaining_vec(slot, &s.remaining());
+    }
+
     /// Records an item of `size` placed into `bin`.
     ///
     /// # Panics
     /// Panics if `bin` is not in the subset or `size` exceeds its tracked
-    /// remaining capacity (the mirror would have diverged from the engine).
-    pub fn place(&mut self, bin: BinId, size: Size) {
+    /// remaining capacity in any dimension (the mirror would have diverged
+    /// from the engine).
+    pub fn place(&mut self, bin: BinId, size: impl Into<SizeVec>) {
+        let s = size.into();
+        self.tree.ensure_dims(s.dims_used());
         let slot = self.slot_of[&bin];
-        let rem = self.tree.remaining(slot).expect("live slot");
-        let rem = rem
-            .checked_sub(size.raw())
-            .expect("subset mirror overfilled a bin");
-        self.tree.set_remaining(slot, rem);
+        let mut rem = self.tree.remaining_vec(slot).expect("live slot");
+        for (r, raw) in rem.iter_mut().zip(s.raws()) {
+            *r = r.checked_sub(raw).expect("subset mirror overfilled a bin");
+        }
+        self.tree.set_remaining_vec(slot, &rem);
     }
 
     /// Records an item of `size` departing from `bin` (which stays open).
     ///
     /// # Panics
     /// Panics if `bin` is not in the subset.
-    pub fn free(&mut self, bin: BinId, size: Size) {
+    pub fn free(&mut self, bin: BinId, size: impl Into<SizeVec>) {
+        let s = size.into();
+        self.tree.ensure_dims(s.dims_used());
         let slot = self.slot_of[&bin];
-        let rem = self.tree.remaining(slot).expect("live slot");
-        self.tree.set_remaining(slot, rem + size.raw());
+        let mut rem = self.tree.remaining_vec(slot).expect("live slot");
+        for (r, raw) in rem.iter_mut().zip(s.raws()) {
+            *r += raw;
+        }
+        self.tree.set_remaining_vec(slot, &rem);
     }
 
     /// Removes a bin (closed, or reclassified by the algorithm). Unknown
@@ -291,10 +511,13 @@ impl SubsetFitTree {
         }
     }
 
-    /// Earliest-inserted live bin with remaining capacity ≥ `size`.
+    /// Earliest-inserted live bin with remaining capacity ≥ `size` in
+    /// every dimension.
     #[inline]
-    pub fn first_fit(&self, size: Size) -> Option<BinId> {
-        self.tree.first_fit(size.raw()).map(|slot| self.bins[slot])
+    pub fn first_fit(&self, size: impl Into<SizeVec>) -> Option<BinId> {
+        self.tree
+            .first_fit_vec(size.into())
+            .map(|slot| self.bins[slot])
     }
 
     /// Live bins in insertion (= opening) order, with remaining capacity.
@@ -311,12 +534,21 @@ impl SubsetFitTree {
     }
 
     fn compact(&mut self) {
-        let live: Vec<(BinId, u64)> = self.iter().collect();
+        let nd = self.tree.dims();
+        let live: Vec<(BinId, [u64; MAX_DIMS])> = (0..self.tree.len())
+            .filter_map(|slot| {
+                self.tree
+                    .remaining_vec(slot)
+                    .map(|rem| (self.bins[slot], rem))
+            })
+            .collect();
         let mut tree = FitTree::with_capacity(live.len());
+        tree.ensure_dims(nd);
         let mut bins = Vec::with_capacity(live.len());
         self.slot_of.clear();
         for (bin, rem) in live {
-            let slot = tree.push(rem);
+            let slot = tree.push(rem[0]);
+            tree.set_remaining_vec(slot, &rem);
             bins.push(bin);
             self.slot_of.insert(bin, slot);
         }
@@ -328,7 +560,7 @@ impl SubsetFitTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::size::SIZE_SCALE;
+    use crate::size::{Size, SIZE_SCALE};
 
     #[test]
     fn empty_tree_answers_none() {
@@ -477,5 +709,126 @@ mod tests {
         let mut s = SubsetFitTree::new();
         s.insert(BinId(0), 10);
         s.place(BinId(0), Size::from_raw(11));
+    }
+
+    fn vec2(a: u64, b: u64) -> SizeVec {
+        SizeVec::try_from_raws(&[a, b]).unwrap()
+    }
+
+    #[test]
+    fn vector_query_needs_every_dimension_to_fit() {
+        let mut t = FitTree::new();
+        t.push(SIZE_SCALE); // slot 0
+        t.push(SIZE_SCALE); // slot 1
+        t.ensure_dims(2);
+        // Both slots have ample dim-0; dim-1 is nearly exhausted in slot 0
+        // and merely tight in slot 1.
+        t.set_remaining_vec(0, &[SIZE_SCALE, 10, SIZE_SCALE]);
+        t.set_remaining_vec(1, &[SIZE_SCALE, 500, SIZE_SCALE]);
+        assert_eq!(t.first_fit(100), Some(0), "scalar sees only dimension 0");
+        assert_eq!(t.first_fit_vec(vec2(100, 100)), Some(1));
+        assert_eq!(t.first_fit_vec(vec2(100, 5)), Some(0));
+        assert_eq!(t.first_fit_vec(vec2(100, 11)), Some(1));
+        assert_eq!(t.first_fit_vec(vec2(100, 501)), None);
+        // D=1 queries delegate to the scalar descent.
+        assert_eq!(
+            t.first_fit_vec(SizeVec::scalar(Size::from_raw(100))),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn ensure_dims_backfills_open_slots_at_full_capacity() {
+        let mut t = FitTree::new();
+        t.push(42);
+        t.push(7);
+        t.close(1);
+        t.ensure_dims(3);
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.remaining_vec(0), Some([42, SIZE_SCALE, SIZE_SCALE]));
+        assert_eq!(
+            t.remaining_vec(1),
+            None,
+            "closed slots stay closed per plane"
+        );
+        // A later push starts fully open in every plane.
+        let slot = t.push(5);
+        assert_eq!(t.remaining_vec(slot), Some([5, SIZE_SCALE, SIZE_SCALE]));
+    }
+
+    #[test]
+    fn vector_matches_linear_oracle_on_random_ops() {
+        let mut state = 0xfeed_face_cafe_beefu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = FitTree::new();
+        t.ensure_dims(3);
+        let mut oracle: Vec<Option<[u64; MAX_DIMS]>> = Vec::new();
+        for _ in 0..4_000 {
+            match rand() % 4 {
+                0 => {
+                    let rem = [
+                        rand() % SIZE_SCALE,
+                        rand() % SIZE_SCALE,
+                        rand() % SIZE_SCALE,
+                    ];
+                    let slot = t.push(rem[0]);
+                    t.set_remaining_vec(slot, &rem);
+                    oracle.push(Some(rem));
+                }
+                1 if !oracle.is_empty() => {
+                    let slot = (rand() % oracle.len() as u64) as usize;
+                    if oracle[slot].is_some() {
+                        let rem = [
+                            rand() % SIZE_SCALE,
+                            rand() % SIZE_SCALE,
+                            rand() % SIZE_SCALE,
+                        ];
+                        t.set_remaining_vec(slot, &rem);
+                        oracle[slot] = Some(rem);
+                    }
+                }
+                2 if !oracle.is_empty() => {
+                    let slot = (rand() % oracle.len() as u64) as usize;
+                    t.close(slot);
+                    oracle[slot] = None;
+                }
+                _ => {
+                    // Bias sizes small so queries hit mid-tree, not just root.
+                    let s = [
+                        rand() % (SIZE_SCALE / 2) + 1,
+                        rand() % (SIZE_SCALE / 2) + 1,
+                        rand() % (SIZE_SCALE / 2) + 1,
+                    ];
+                    let size = SizeVec::try_from_raws(&s).unwrap();
+                    let want = oracle
+                        .iter()
+                        .position(|r| r.is_some_and(|rem| (0..MAX_DIMS).all(|d| rem[d] >= s[d])));
+                    assert_eq!(t.first_fit_vec(size), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_insert_fresh_tracks_vector_remainders_through_compaction() {
+        let mut s = SubsetFitTree::new();
+        for i in 0..200u32 {
+            s.insert_fresh(BinId(i), vec2(SIZE_SCALE - u64::from(i), SIZE_SCALE / 2));
+        }
+        for i in 0..180u32 {
+            s.remove(BinId(i));
+        }
+        // Remainders: dim0 = i, dim1 = SIZE_SCALE/2, surviving compaction.
+        assert_eq!(s.first_fit(vec2(185, SIZE_SCALE / 2)), Some(BinId(185)));
+        assert_eq!(s.first_fit(vec2(185, SIZE_SCALE / 2 + 1)), None);
+        s.free(BinId(185), vec2(0, SIZE_SCALE / 4));
+        assert_eq!(s.first_fit(vec2(185, SIZE_SCALE / 2 + 1)), Some(BinId(185)));
+        s.place(BinId(185), vec2(0, SIZE_SCALE / 4));
+        assert_eq!(s.first_fit(vec2(185, SIZE_SCALE / 2 + 1)), None);
     }
 }

@@ -6,7 +6,7 @@ use crate::cost::Area;
 use crate::error::InstanceError;
 use crate::item::{Item, ItemId};
 use crate::profile::StepProfile;
-use crate::size::Size;
+use crate::size::{SizeVec, MAX_DIMS};
 use crate::time::{Dur, Time};
 
 /// A validated input `σ`: items ordered by `(arrival, id)`, which is the
@@ -38,14 +38,19 @@ impl InstanceBuilder {
     }
 
     /// Adds an item active on `[arrival, arrival + dur)`, returning its id.
-    pub fn push(&mut self, arrival: Time, dur: Dur, size: Size) -> ItemId {
+    pub fn push(&mut self, arrival: Time, dur: Dur, size: impl Into<SizeVec>) -> ItemId {
         let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         self.items.push(Item::new(id, arrival, arrival + dur, size));
         id
     }
 
     /// Adds an item by explicit departure time.
-    pub fn push_interval(&mut self, arrival: Time, departure: Time, size: Size) -> ItemId {
+    pub fn push_interval(
+        &mut self,
+        arrival: Time,
+        departure: Time,
+        size: impl Into<SizeVec>,
+    ) -> ItemId {
         let id = ItemId(u32::try_from(self.items.len()).expect("too many items"));
         self.items.push(Item::new(id, arrival, departure, size));
         id
@@ -89,8 +94,8 @@ impl InstanceBuilder {
 
 impl Instance {
     /// Builds an instance directly from `(arrival, duration, size)` triples.
-    pub fn from_triples(
-        triples: impl IntoIterator<Item = (Time, Dur, Size)>,
+    pub fn from_triples<S: Into<SizeVec>>(
+        triples: impl IntoIterator<Item = (Time, Dur, S)>,
     ) -> Result<Instance, InstanceError> {
         let mut b = InstanceBuilder::new();
         for (a, d, s) in triples {
@@ -171,12 +176,30 @@ impl Instance {
             .unwrap_or(Dur::ZERO)
     }
 
-    /// Total space-time demand `d(σ) = Σ_r s(r)·l(I(r))` (exact).
+    /// Total space-time demand `d(σ) = Σ_r s(r)·l(I(r))` (exact). For
+    /// vector instances this is the *bottleneck* demand `max_d Σ_r
+    /// s_d(r)·l(I(r))`: a valid space-time lower bound whichever dimension
+    /// binds, and identical to the scalar sum at D = 1.
     pub fn demand(&self) -> Area {
+        (0..self.dims())
+            .map(|d| {
+                self.items
+                    .iter()
+                    .map(|it| Area::from_load_ticks(it.size.get(d).raw(), it.duration()))
+                    .sum()
+            })
+            .max()
+            .unwrap_or(Area::ZERO)
+    }
+
+    /// Number of dimensions any item actually uses (1 for scalar
+    /// instances, up to [`MAX_DIMS`]).
+    pub fn dims(&self) -> usize {
         self.items
             .iter()
-            .map(|it| Area::from_load_ticks(it.size.raw(), it.duration()))
-            .sum()
+            .map(|it| it.size.dims_used())
+            .max()
+            .unwrap_or(1)
     }
 
     /// `span(σ)`: the measure of times at which ≥ 1 item is active, as an
@@ -279,10 +302,11 @@ impl Instance {
     /// OPT brackets depend only on the triple multiset, never on
     /// presentation order.
     pub fn digest(&self) -> InstanceDigest {
-        let mut triples: Vec<(u64, u64, u64)> = self
+        let dims = self.dims();
+        let mut triples: Vec<(u64, u64, [u64; MAX_DIMS])> = self
             .items
             .iter()
-            .map(|it| (it.arrival.ticks(), it.departure.ticks(), it.size.raw()))
+            .map(|it| (it.arrival.ticks(), it.departure.ticks(), it.size.raws()))
             .collect();
         triples.sort_unstable();
 
@@ -300,7 +324,13 @@ impl Instance {
         for (a, d, s) in triples {
             absorb(a);
             absorb(d);
-            absorb(s);
+            absorb(s[0]);
+            // Extra dimensions are absorbed only when the instance has any,
+            // keeping every scalar instance's digest (and its cached
+            // brackets) byte-identical to the pre-vector encoding.
+            for &extra in &s[1..dims] {
+                absorb(extra);
+            }
         }
         InstanceDigest(h)
     }
@@ -359,6 +389,7 @@ impl fmt::Display for Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::size::Size;
 
     fn sz(num: u64, den: u64) -> Size {
         Size::from_ratio(num, den)

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::size::Size;
+use crate::size::SizeVec;
 use crate::time::{Dur, Time};
 
 /// Dense identifier of an item within an [`crate::instance::Instance`].
@@ -39,20 +39,23 @@ pub struct Item {
     pub arrival: Time,
     /// Departure time `f_r`, strictly greater than `arrival`.
     pub departure: Time,
-    /// Resource demand `s(r) ∈ (0, 1]`.
-    pub size: Size,
+    /// Resource demand, one component per dimension, each in `(0, 1]`.
+    /// Scalar instances carry a [`SizeVec`] whose dimensions 1.. are zero;
+    /// [`crate::size::Size`] converts via `Into`, so scalar call sites
+    /// construct items unchanged.
+    pub size: SizeVec,
 }
 
 impl Item {
     /// Constructs an item; invariants are validated by
     /// [`crate::instance::InstanceBuilder`], not here.
     #[inline]
-    pub fn new(id: ItemId, arrival: Time, departure: Time, size: Size) -> Item {
+    pub fn new(id: ItemId, arrival: Time, departure: Time, size: impl Into<SizeVec>) -> Item {
         Item {
             id,
             arrival,
             departure,
-            size,
+            size: size.into(),
         }
     }
 

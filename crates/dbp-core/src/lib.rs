@@ -75,9 +75,11 @@ pub use metrics::{
     GoalComparison, UtilisationStats, WasteBreakdown,
 };
 pub use profile::StepProfile;
-pub use recourse::{Migration, RecourseBudget, RecourseEpoch, RecourseReport, RecourseView};
+pub use recourse::{
+    Migration, RecourseBudget, RecourseEpoch, RecourseParseError, RecourseReport, RecourseView,
+};
 pub use reduction::{reduce, reduced_departure};
-pub use size::{Load, Size, SIZE_SCALE};
+pub use size::{Load, LoadVec, Size, SizeVec, MAX_DIMS, SIZE_SCALE};
 pub use time::{Dur, Time};
 pub use trace::{
     event_from_json, event_to_json, json_pairs, parse_jsonl, write_event_json, EngineEvent,

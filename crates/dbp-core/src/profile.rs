@@ -20,15 +20,37 @@ pub struct StepProfile {
 }
 
 impl StepProfile {
-    /// Builds the profile `S_t` from a set of items.
+    /// Builds the profile `S_t` from a set of items (dimension 0 of vector
+    /// items — the scalar profile; see [`StepProfile::from_items_dim`]).
     pub fn from_items(items: &[Item]) -> StepProfile {
+        StepProfile::from_items_dim(items, 0)
+    }
+
+    /// Builds the profile of the *max-component* scalarization,
+    /// `S_t^∨ = Σ_active max_d size_d`. Scalarizing every item to its max
+    /// component gives a scalar instance whose feasible packings are
+    /// feasible for the vector instance (each component is ≤ the max), so
+    /// Lemma 3.1's upper side on this profile upper-bounds the vector
+    /// `OPT_R`. At D = 1 this is exactly the scalar profile.
+    pub fn from_items_max(items: &[Item]) -> StepProfile {
+        StepProfile::from_raws(items, |it| it.size.max_raw())
+    }
+
+    /// Builds the profile of dimension `d`'s total load, `S_t^{(d)}`. The
+    /// per-dimension Lemma-3.1 brackets integrate one of these per
+    /// dimension and take the binding maximum.
+    pub fn from_items_dim(items: &[Item], d: usize) -> StepProfile {
+        StepProfile::from_raws(items, |it| it.size.get(d).raw())
+    }
+
+    fn from_raws(items: &[Item], raw_of: impl Fn(&Item) -> u64) -> StepProfile {
         // Event deltas: +size at arrival, −size at departure. Departures are
         // processed before arrivals at equal times (half-open intervals), so
         // we sort (time, is_arrival).
         let mut events: Vec<(Time, bool, u64)> = Vec::with_capacity(items.len() * 2);
         for it in items {
-            events.push((it.arrival, true, it.size.raw()));
-            events.push((it.departure, false, it.size.raw()));
+            events.push((it.arrival, true, raw_of(it)));
+            events.push((it.departure, false, raw_of(it)));
         }
         events.sort_by_key(|&(t, is_arr, _)| (t, is_arr));
 

@@ -32,7 +32,7 @@
 use crate::algorithm::SimView;
 use crate::bin_state::BinId;
 use crate::item::ItemId;
-use crate::size::Size;
+use crate::size::SizeVec;
 use crate::time::Time;
 
 /// Credit units per whole move in the amortized budget: credits are
@@ -104,30 +104,103 @@ impl RecourseBudget {
     /// `amortized=<earn_milli>[/<burst_milli>]`, `unlimited`. Inverse of
     /// [`RecourseBudget`]'s `Display` (degenerate forms collapse to
     /// `none`, exactly as the constructors do).
-    pub fn parse(s: &str) -> Option<RecourseBudget> {
+    ///
+    /// Every failure is a typed [`RecourseParseError`]; in particular a
+    /// numeric field that would overflow the `u32` milli-move ledger —
+    /// including the derived default burst of a bare `amortized=<earn>`
+    /// spec — is [`RecourseParseError::Overflow`], never a silent
+    /// saturation.
+    pub fn parse(s: &str) -> Result<RecourseBudget, RecourseParseError> {
+        fn field(name: &'static str, v: &str) -> Result<u32, RecourseParseError> {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(RecourseParseError::BadNumber {
+                    field: name,
+                    value: v.to_string(),
+                });
+            }
+            v.parse::<u128>()
+                .ok()
+                .and_then(|wide| u32::try_from(wide).ok())
+                .ok_or(RecourseParseError::Overflow {
+                    field: name,
+                    value: v.to_string(),
+                })
+        }
         match s {
-            "none" | "off" => Some(RecourseBudget::None),
-            "unlimited" => Some(RecourseBudget::Unlimited),
+            "none" | "off" => Ok(RecourseBudget::None),
+            "unlimited" => Ok(RecourseBudget::Unlimited),
             _ => {
                 if let Some(v) = s.strip_prefix("epoch=") {
-                    return v.parse().ok().map(RecourseBudget::per_epoch);
+                    return field("epoch", v).map(RecourseBudget::per_epoch);
                 }
-                let v = s.strip_prefix("amortized=")?;
+                let Some(v) = s.strip_prefix("amortized=") else {
+                    return Err(RecourseParseError::UnknownForm(s.to_string()));
+                };
                 let (earn, burst): (u32, u32) = match v.split_once('/') {
-                    Some((e, b)) => (e.parse().ok()?, b.parse().ok()?),
+                    Some((e, b)) => (field("earn", e)?, field("burst", b)?),
                     None => {
-                        let e: u32 = v.parse().ok()?;
-                        let burst = e
-                            .saturating_mul(DEFAULT_BURST_EPOCHS)
-                            .max(u32::try_from(MOVE_MILLI).expect("const fits"));
+                        let e = field("earn", v)?;
+                        let implied = u64::from(e)
+                            .checked_mul(u64::from(DEFAULT_BURST_EPOCHS))
+                            .expect("u64 product of two u32 factors")
+                            .max(MOVE_MILLI);
+                        let burst =
+                            u32::try_from(implied).map_err(|_| RecourseParseError::Overflow {
+                                field: "burst",
+                                value: implied.to_string(),
+                            })?;
                         (e, burst)
                     }
                 };
-                Some(RecourseBudget::amortized(earn, burst))
+                Ok(RecourseBudget::amortized(earn, burst))
             }
         }
     }
 }
+
+/// Why a [`RecourseBudget`] spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecourseParseError {
+    /// The spec matched none of the known spellings.
+    UnknownForm(String),
+    /// A numeric field was empty or not a base-10 integer.
+    BadNumber {
+        /// Which field was malformed (`epoch`, `earn`, or `burst`).
+        field: &'static str,
+        /// The offending text.
+        value: String,
+    },
+    /// A numeric field — or the default burst derived from a bare
+    /// `amortized=<earn>` spec — exceeds the `u32` milli-move ledger.
+    Overflow {
+        /// Which field overflowed (`epoch`, `earn`, or `burst`).
+        field: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for RecourseParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecourseParseError::UnknownForm(s) => write!(
+                f,
+                "unrecognised budget spec {s:?} (expected none, off, epoch=<moves>, \
+                 amortized=<earn>[/<burst>], or unlimited)"
+            ),
+            RecourseParseError::BadNumber { field, value } => {
+                write!(f, "budget field `{field}` is not a number: {value:?}")
+            }
+            RecourseParseError::Overflow { field, value } => write!(
+                f,
+                "budget field `{field}` overflows the milli-move ledger (max {}): {value}",
+                u32::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecourseParseError {}
 
 impl core::fmt::Display for RecourseBudget {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -192,14 +265,14 @@ impl RecourseReport {
 #[derive(Debug, Clone, Copy)]
 pub struct RecourseView<'a> {
     sim: SimView<'a>,
-    sizes: &'a [Size],
+    sizes: &'a [SizeVec],
     departures: &'a [Time],
 }
 
 impl<'a> RecourseView<'a> {
     pub(crate) fn new(
         sim: SimView<'a>,
-        sizes: &'a [Size],
+        sizes: &'a [SizeVec],
         departures: &'a [Time],
     ) -> RecourseView<'a> {
         RecourseView {
@@ -223,7 +296,7 @@ impl<'a> RecourseView<'a> {
 
     /// The size of any item the engine has ever admitted.
     #[inline]
-    pub fn item_size(&self, item: ItemId) -> Option<Size> {
+    pub fn item_size(&self, item: ItemId) -> Option<SizeVec> {
         self.sizes.get(item.index()).copied()
     }
 
@@ -238,8 +311,8 @@ impl<'a> RecourseView<'a> {
     /// The resident items of `bin` as `(id, size, departure)`, sorted by
     /// ascending id. The underlying resident list is swap-shuffled by
     /// removals; sorting keeps migration proposals deterministic.
-    pub fn residents(&self, bin: BinId) -> Vec<(ItemId, Size, Time)> {
-        let mut out: Vec<(ItemId, Size, Time)> = match self.sim.bin(bin) {
+    pub fn residents(&self, bin: BinId) -> Vec<(ItemId, SizeVec, Time)> {
+        let mut out: Vec<(ItemId, SizeVec, Time)> = match self.sim.bin(bin) {
             Some(rec) if rec.is_open() => rec
                 .items
                 .iter()
@@ -337,9 +410,9 @@ mod tests {
         ] {
             let b = RecourseBudget::parse(spec).unwrap();
             assert_eq!(b.to_string(), spec);
-            assert_eq!(RecourseBudget::parse(&b.to_string()), Some(b));
+            assert_eq!(RecourseBudget::parse(&b.to_string()), Ok(b));
         }
-        assert_eq!(RecourseBudget::parse("off"), Some(RecourseBudget::None));
+        assert_eq!(RecourseBudget::parse("off"), Ok(RecourseBudget::None));
         // Bare amortized spellings get the default burst and still
         // round-trip through Display.
         let b = RecourseBudget::parse("amortized=500").unwrap();
@@ -350,23 +423,100 @@ mod tests {
                 burst_milli: 4000
             }
         );
-        assert_eq!(RecourseBudget::parse(&b.to_string()), Some(b));
+        assert_eq!(RecourseBudget::parse(&b.to_string()), Ok(b));
     }
 
     #[test]
     fn degenerate_budgets_collapse_to_none() {
-        assert_eq!(RecourseBudget::parse("epoch=0"), Some(RecourseBudget::None));
+        assert_eq!(RecourseBudget::parse("epoch=0"), Ok(RecourseBudget::None));
         assert_eq!(
             RecourseBudget::parse("amortized=0"),
-            Some(RecourseBudget::None)
+            Ok(RecourseBudget::None)
         );
         assert_eq!(
             RecourseBudget::parse("amortized=500/999"),
-            Some(RecourseBudget::None)
+            Ok(RecourseBudget::None)
         );
-        assert!(RecourseBudget::parse("epoch=").is_none());
-        assert!(RecourseBudget::parse("amortized=x/2").is_none());
-        assert!(RecourseBudget::parse("sometimes").is_none());
+        assert!(matches!(
+            RecourseBudget::parse("epoch="),
+            Err(RecourseParseError::BadNumber { field: "epoch", .. })
+        ));
+        assert!(matches!(
+            RecourseBudget::parse("amortized=x/2"),
+            Err(RecourseParseError::BadNumber { field: "earn", .. })
+        ));
+        assert!(matches!(
+            RecourseBudget::parse("sometimes"),
+            Err(RecourseParseError::UnknownForm(_))
+        ));
+    }
+
+    #[test]
+    fn overflowing_specs_are_typed_errors_not_saturations() {
+        // Direct field overflow: one past u32::MAX, and absurdly beyond.
+        assert!(matches!(
+            RecourseBudget::parse("epoch=4294967296"),
+            Err(RecourseParseError::Overflow { field: "epoch", .. })
+        ));
+        assert!(matches!(
+            RecourseBudget::parse("amortized=99999999999999999999999999999999999999999"),
+            Err(RecourseParseError::Overflow { field: "earn", .. })
+        ));
+        assert!(matches!(
+            RecourseBudget::parse("amortized=250/4294967296"),
+            Err(RecourseParseError::Overflow { field: "burst", .. })
+        ));
+        // The derived default burst (earn × 8) overflowing the ledger is
+        // the historical silent-saturation bug: it must now be typed.
+        assert!(matches!(
+            RecourseBudget::parse("amortized=4000000000"),
+            Err(RecourseParseError::Overflow { field: "burst", .. })
+        ));
+        // The largest bare earn whose derived burst still fits is accepted.
+        let max_ok = u32::MAX / 8;
+        let b = RecourseBudget::parse(&format!("amortized={max_ok}")).unwrap();
+        assert_eq!(
+            b,
+            RecourseBudget::Amortized {
+                earn_milli: max_ok,
+                burst_milli: max_ok * 8,
+            }
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Satellite contract: `parse ∘ Display` is the identity on every
+        /// budget any spec can produce (degenerate forms collapse before
+        /// Display ever sees them, so the composite is a true round-trip).
+        #[test]
+        fn display_round_trips_every_accepted_budget(
+            epoch in 0u32..=u32::MAX,
+            earn in 0u32..=u32::MAX,
+            burst in 0u32..=u32::MAX,
+        ) {
+            for b in [
+                RecourseBudget::None,
+                RecourseBudget::Unlimited,
+                RecourseBudget::per_epoch(epoch),
+                RecourseBudget::amortized(earn, burst),
+            ] {
+                proptest::prop_assert_eq!(RecourseBudget::parse(&b.to_string()), Ok(b));
+            }
+        }
+
+        /// Arbitrary input never panics; accepted specs re-parse to the
+        /// same budget through Display.
+        #[test]
+        fn parse_total_on_arbitrary_input(
+            bytes in proptest::collection::vec(0x20u8..0x7f, 0..40),
+        ) {
+            let s = String::from_utf8(bytes).expect("printable ascii");
+            if let Ok(b) = RecourseBudget::parse(&s) {
+                proptest::prop_assert_eq!(RecourseBudget::parse(&b.to_string()), Ok(b));
+            }
+        }
     }
 
     #[test]

@@ -200,6 +200,306 @@ impl From<Size> for Load {
     }
 }
 
+/// Maximum number of resource dimensions a [`SizeVec`] can carry.
+///
+/// Three covers the cloud workloads the DVBP literature evaluates
+/// (CPU/memory/network or CPU/HBM/KV-cache); keeping the bound a small
+/// compile-time constant lets items stay `Copy` and keeps the scalar
+/// (D = 1) path free of any indirection.
+pub const MAX_DIMS: usize = 3;
+
+/// A multi-dimensional item size: one [`Size`] per resource dimension.
+///
+/// Unused trailing dimensions are exactly zero, so a scalar instance is a
+/// `SizeVec` whose dimensions 1.. are all zero — the derived lexicographic
+/// ordering, equality, and hashing then coincide bit-for-bit with the
+/// scalar [`Size`] they wrap (the D = 1 bit-identity contract, DESIGN.md
+/// §16). An item *fits* a bin iff it fits in **every** dimension; size
+/// classification (Harmonic classes, duration-band thresholds, analytic
+/// brackets) uses the max-dimension norm [`SizeVec::max_raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizeVec([Size; MAX_DIMS]);
+
+impl SizeVec {
+    /// The all-zero size vector.
+    pub const ZERO: SizeVec = SizeVec([Size(0); MAX_DIMS]);
+
+    /// A scalar (one-dimensional) size.
+    #[inline]
+    pub const fn scalar(s: Size) -> SizeVec {
+        SizeVec([s, Size(0), Size(0)])
+    }
+
+    /// A size vector from up to [`MAX_DIMS`] per-dimension sizes. `None`
+    /// when the slice is empty or longer than [`MAX_DIMS`].
+    pub fn from_sizes(sizes: &[Size]) -> Option<SizeVec> {
+        if sizes.is_empty() || sizes.len() > MAX_DIMS {
+            return None;
+        }
+        let mut dims = [Size(0); MAX_DIMS];
+        dims[..sizes.len()].copy_from_slice(sizes);
+        Some(SizeVec(dims))
+    }
+
+    /// A size vector from raw fixed-point units per dimension (wire
+    /// decoder form). `None` when the slice is empty, longer than
+    /// [`MAX_DIMS`], or any component exceeds bin capacity.
+    pub fn try_from_raws(raws: &[u64]) -> Option<SizeVec> {
+        if raws.is_empty() || raws.len() > MAX_DIMS {
+            return None;
+        }
+        let mut dims = [Size(0); MAX_DIMS];
+        for (d, &raw) in raws.iter().enumerate() {
+            dims[d] = Size::try_from_raw(raw)?;
+        }
+        Some(SizeVec(dims))
+    }
+
+    /// The size in dimension `d` (zero for unused dimensions).
+    #[inline]
+    pub const fn get(self, d: usize) -> Size {
+        self.0[d]
+    }
+
+    /// The first (primary) dimension — the whole size for scalar items.
+    #[inline]
+    pub const fn primary(self) -> Size {
+        self.0[0]
+    }
+
+    /// Raw fixed-point units per dimension.
+    #[inline]
+    pub const fn raws(self) -> [u64; MAX_DIMS] {
+        [self.0[0].0, self.0[1].0, self.0[2].0]
+    }
+
+    /// The max-dimension norm `max_d s_d` in raw units — the scalar by
+    /// which vector items are classified (Harmonic classes, thresholds,
+    /// demand accounting). Equals [`Size::raw`] of the primary dimension
+    /// for scalar sizes.
+    #[inline]
+    pub fn max_raw(self) -> u64 {
+        self.0[0].0.max(self.0[1].0).max(self.0[2].0)
+    }
+
+    /// The max-dimension norm as a [`Size`].
+    #[inline]
+    pub fn max_size(self) -> Size {
+        Size(self.max_raw())
+    }
+
+    /// Whether every dimension past the first is zero (the scalar shape).
+    #[inline]
+    pub const fn is_scalar(self) -> bool {
+        self.0[1].0 == 0 && self.0[2].0 == 0
+    }
+
+    /// Number of dimensions up to the last non-zero one (min 1): the
+    /// canonical width of this size on the wire.
+    #[inline]
+    pub const fn dims_used(self) -> usize {
+        if self.0[2].0 != 0 {
+            3
+        } else if self.0[1].0 != 0 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Whether every dimension is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0[0].0 == 0 && self.is_scalar()
+    }
+
+    /// Per-dimension remaining capacity of a fresh bin after placing this
+    /// size: `SIZE_SCALE − s_d` in every dimension.
+    #[inline]
+    pub fn remaining(self) -> [u64; MAX_DIMS] {
+        [
+            SIZE_SCALE - self.0[0].0,
+            SIZE_SCALE - self.0[1].0,
+            SIZE_SCALE - self.0[2].0,
+        ]
+    }
+}
+
+impl From<Size> for SizeVec {
+    #[inline]
+    fn from(s: Size) -> SizeVec {
+        SizeVec::scalar(s)
+    }
+}
+
+impl From<SizeVec> for LoadVec {
+    #[inline]
+    fn from(s: SizeVec) -> LoadVec {
+        LoadVec([Load(s.0[0].0), Load(s.0[1].0), Load(s.0[2].0)])
+    }
+}
+
+/// A multi-dimensional bin load: one [`Load`] per resource dimension.
+/// The vector twin of [`Load`], with the same exactness guarantees
+/// per dimension; ordering is lexicographic, which coincides with the
+/// scalar ordering when dimensions 1.. are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LoadVec([Load; MAX_DIMS]);
+
+impl LoadVec {
+    /// The empty load vector.
+    pub const ZERO: LoadVec = LoadVec([Load(0); MAX_DIMS]);
+
+    /// The load in dimension `d`.
+    #[inline]
+    pub const fn get(self, d: usize) -> Load {
+        self.0[d]
+    }
+
+    /// The first (primary) dimension.
+    #[inline]
+    pub const fn primary(self) -> Load {
+        self.0[0]
+    }
+
+    /// Raw fixed-point units per dimension.
+    #[inline]
+    pub const fn raws(self) -> [u64; MAX_DIMS] {
+        [self.0[0].0, self.0[1].0, self.0[2].0]
+    }
+
+    /// A load vector from raw per-dimension units.
+    #[inline]
+    pub const fn from_raws(raws: [u64; MAX_DIMS]) -> LoadVec {
+        LoadVec([Load(raws[0]), Load(raws[1]), Load(raws[2])])
+    }
+
+    /// The bottleneck dimension's load in raw units (`max_d L_d`).
+    #[inline]
+    pub fn max_raw(self) -> u64 {
+        self.0[0].0.max(self.0[1].0).max(self.0[2].0)
+    }
+
+    /// Whether adding `s` stays within capacity in **every** dimension —
+    /// the vector fit test. Identical to [`Load::fits`] for scalar shapes.
+    #[inline]
+    pub fn fits(self, s: SizeVec) -> bool {
+        self.0[0].0 + s.0[0].0 <= SIZE_SCALE
+            && self.0[1].0 + s.0[1].0 <= SIZE_SCALE
+            && self.0[2].0 + s.0[2].0 <= SIZE_SCALE
+    }
+
+    /// Whether every dimension is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0[0].0 == 0 && self.0[1].0 == 0 && self.0[2].0 == 0
+    }
+
+    /// Per-dimension remaining capacity `SIZE_SCALE − L_d` in raw units —
+    /// the tournament-tree key source.
+    #[inline]
+    pub fn remaining(self) -> [u64; MAX_DIMS] {
+        [
+            SIZE_SCALE - self.0[0].0,
+            SIZE_SCALE - self.0[1].0,
+            SIZE_SCALE - self.0[2].0,
+        ]
+    }
+
+    /// `max_d ⌈L_d⌉` in whole-bin units: no feasible packing of this load
+    /// uses fewer unit bins, whichever dimension binds.
+    #[inline]
+    pub fn ceil_bins(self) -> u64 {
+        self.0[0]
+            .ceil_bins()
+            .max(self.0[1].ceil_bins())
+            .max(self.0[2].ceil_bins())
+    }
+}
+
+impl Add<SizeVec> for LoadVec {
+    type Output = LoadVec;
+    #[inline]
+    fn add(self, s: SizeVec) -> LoadVec {
+        LoadVec([self.0[0] + s.0[0], self.0[1] + s.0[1], self.0[2] + s.0[2]])
+    }
+}
+
+impl AddAssign<SizeVec> for LoadVec {
+    #[inline]
+    fn add_assign(&mut self, s: SizeVec) {
+        *self = *self + s;
+    }
+}
+
+impl Sub<SizeVec> for LoadVec {
+    type Output = LoadVec;
+    #[inline]
+    fn sub(self, s: SizeVec) -> LoadVec {
+        LoadVec([self.0[0] - s.0[0], self.0[1] - s.0[1], self.0[2] - s.0[2]])
+    }
+}
+
+impl SubAssign<SizeVec> for LoadVec {
+    #[inline]
+    fn sub_assign(&mut self, s: SizeVec) {
+        *self = *self - s;
+    }
+}
+
+impl Add for LoadVec {
+    type Output = LoadVec;
+    #[inline]
+    fn add(self, other: LoadVec) -> LoadVec {
+        LoadVec([
+            self.0[0] + other.0[0],
+            self.0[1] + other.0[1],
+            self.0[2] + other.0[2],
+        ])
+    }
+}
+
+impl AddAssign for LoadVec {
+    #[inline]
+    fn add_assign(&mut self, other: LoadVec) {
+        *self = *self + other;
+    }
+}
+
+impl From<Load> for LoadVec {
+    #[inline]
+    fn from(l: Load) -> LoadVec {
+        LoadVec([l, Load(0), Load(0)])
+    }
+}
+
+impl fmt::Display for SizeVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_scalar() {
+            write!(f, "{}", self.0[0])
+        } else {
+            write!(f, "[")?;
+            for d in 0..self.dims_used() {
+                if d > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.0[d])?;
+            }
+            write!(f, "]")
+        }
+    }
+}
+
+impl fmt::Display for LoadVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0[1].0 == 0 && self.0[2].0 == 0 {
+            write!(f, "{}", self.0[0])
+        } else {
+            write!(f, "[{},{},{}]", self.0[0], self.0[1], self.0[2])
+        }
+    }
+}
+
 impl fmt::Display for Size {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}", self.as_f64())

@@ -24,7 +24,7 @@ use std::io::{self, Write};
 use crate::algorithm::{OnlineAlgorithm, Placement, SimView};
 use crate::bin_state::{BinId, BinStore};
 use crate::item::{Item, ItemId};
-use crate::size::{Load, Size};
+use crate::size::{LoadVec, SizeVec, MAX_DIMS, SIZE_SCALE};
 use crate::time::Time;
 
 /// How the engine classified a placement's search cost.
@@ -52,7 +52,7 @@ pub enum EngineEvent {
         /// Arrival time (the current clock).
         at: Time,
         /// Item size.
-        size: Size,
+        size: SizeVec,
         /// Known departure, or `None` for a not-yet-dated interactive
         /// arrival.
         departure: Option<Time>,
@@ -70,7 +70,7 @@ pub enum EngineEvent {
         /// Search-path classification of the decision.
         via: PlacementPath,
         /// The bin's total load after the placement.
-        load_after: Load,
+        load_after: LoadVec,
     },
     /// A fresh bin opened.
     BinOpened {
@@ -88,7 +88,7 @@ pub enum EngineEvent {
         /// The bin it left.
         bin: BinId,
         /// Item size (for load reconstruction).
-        size: Size,
+        size: SizeVec,
     },
     /// A bin emptied and closed forever.
     BinClosed {
@@ -123,7 +123,7 @@ pub enum EngineEvent {
         /// The bin that failed under it.
         bin: BinId,
         /// Item size (for load reconstruction).
-        size: Size,
+        size: SizeVec,
     },
     /// A displaced item re-entered the system as a fresh arrival (a new
     /// item id) and is about to be placed — the failure-side twin of
@@ -136,7 +136,7 @@ pub enum EngineEvent {
         /// Re-admission time.
         at: Time,
         /// Item size (unchanged by displacement).
-        size: Size,
+        size: SizeVec,
         /// The original departure the re-admission still targets.
         departure: Time,
         /// How many times this logical request has been displaced so far.
@@ -157,9 +157,9 @@ pub enum EngineEvent {
         /// The open bin it moved into.
         to: BinId,
         /// Item size (for load reconstruction).
-        size: Size,
+        size: SizeVec,
         /// The *target* bin's total load after the move.
-        load_after: Load,
+        load_after: LoadVec,
     },
     /// The simulation clock moved forward.
     ClockAdvanced {
@@ -391,34 +391,53 @@ pub fn event_to_json(event: &EngineEvent) -> String {
     out
 }
 
+/// Appends a raw fixed-point vector in its wire form: the bare scalar when
+/// dimensions 1.. are zero (so every D = 1 line stays byte-identical to the
+/// pre-vector codec) and `[r0,r1(,r2)]` trimmed of trailing zero
+/// dimensions otherwise.
+///
+/// Public so external serializers of engine state (the serve daemon's
+/// snapshot format) encode sizes and loads with the same convention.
+pub fn write_raws_json(out: &mut String, raws: [u64; MAX_DIMS]) {
+    use std::fmt::Write as _;
+    // Writing to a String is infallible; the results are discarded.
+    if raws[1..] == [0; MAX_DIMS - 1] {
+        let _ = write!(out, "{}", raws[0]);
+        return;
+    }
+    let used = MAX_DIMS - raws.iter().rev().take_while(|&&r| r == 0).count();
+    let _ = write!(out, "[{}", raws[0]);
+    for &r in &raws[1..used.max(2)] {
+        let _ = write!(out, ",{r}");
+    }
+    out.push(']');
+}
+
 /// Appends one event's flat JSON object (no trailing newline) to `out` —
 /// the allocation-free form of [`event_to_json`].
 pub fn write_event_json(out: &mut String, event: &EngineEvent) {
     use std::fmt::Write as _;
     // Writing to a String is infallible; the results are discarded.
-    let _ = match *event {
+    match *event {
         EngineEvent::Arrival {
             item,
             at,
             size,
             departure,
-        } => match departure {
-            Some(dep) => write!(
+        } => {
+            let _ = write!(
                 out,
-                "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{},\"dep\":{}}}",
-                at.0,
-                item.0,
-                size.raw(),
-                dep.0
-            ),
-            None => write!(
-                out,
-                "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":{}}}",
-                at.0,
-                item.0,
-                size.raw()
-            ),
-        },
+                "{{\"e\":\"arrival\",\"t\":{},\"item\":{},\"size\":",
+                at.0, item.0
+            );
+            write_raws_json(out, size.raws());
+            match departure {
+                Some(dep) => {
+                    let _ = write!(out, ",\"dep\":{}}}", dep.0);
+                }
+                None => out.push('}'),
+            }
+        }
         EngineEvent::Placed {
             item,
             at,
@@ -426,48 +445,71 @@ pub fn write_event_json(out: &mut String, event: &EngineEvent) {
             opened,
             via,
             load_after,
-        } => write!(
-            out,
-            "{{\"e\":\"placed\",\"t\":{},\"item\":{},\"bin\":{},\"opened\":{},\"via\":\"{}\",\"load\":{}}}",
-            at.0,
-            item.0,
-            bin.0,
-            opened,
-            match via {
-                PlacementPath::FastPath => "fast",
-                PlacementPath::Scan => "scan",
-            },
-            load_after.raw()
-        ),
-        EngineEvent::BinOpened { bin, at } => {
-            write!(out, "{{\"e\":\"bin_opened\",\"t\":{},\"bin\":{}}}", at.0, bin.0)
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"placed\",\"t\":{},\"item\":{},\"bin\":{},\"opened\":{},\"via\":\"{}\",\"load\":",
+                at.0,
+                item.0,
+                bin.0,
+                opened,
+                match via {
+                    PlacementPath::FastPath => "fast",
+                    PlacementPath::Scan => "scan",
+                },
+            );
+            write_raws_json(out, load_after.raws());
+            out.push('}');
         }
-        EngineEvent::Departure { item, at, bin, size } => write!(
-            out,
-            "{{\"e\":\"departure\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
-            at.0,
-            item.0,
-            bin.0,
-            size.raw()
-        ),
-        EngineEvent::BinClosed { bin, at, opened_at } => write!(
-            out,
-            "{{\"e\":\"bin_closed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
-            at.0, bin.0, opened_at.0
-        ),
-        EngineEvent::BinFailed { bin, at, opened_at } => write!(
-            out,
-            "{{\"e\":\"bin_failed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
-            at.0, bin.0, opened_at.0
-        ),
-        EngineEvent::ItemDisplaced { item, at, bin, size } => write!(
-            out,
-            "{{\"e\":\"displaced\",\"t\":{},\"item\":{},\"bin\":{},\"size\":{}}}",
-            at.0,
-            item.0,
-            bin.0,
-            size.raw()
-        ),
+        EngineEvent::BinOpened { bin, at } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"bin_opened\",\"t\":{},\"bin\":{}}}",
+                at.0, bin.0
+            );
+        }
+        EngineEvent::Departure {
+            item,
+            at,
+            bin,
+            size,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"departure\",\"t\":{},\"item\":{},\"bin\":{},\"size\":",
+                at.0, item.0, bin.0
+            );
+            write_raws_json(out, size.raws());
+            out.push('}');
+        }
+        EngineEvent::BinClosed { bin, at, opened_at } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"bin_closed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
+                at.0, bin.0, opened_at.0
+            );
+        }
+        EngineEvent::BinFailed { bin, at, opened_at } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"bin_failed\",\"t\":{},\"bin\":{},\"opened_at\":{}}}",
+                at.0, bin.0, opened_at.0
+            );
+        }
+        EngineEvent::ItemDisplaced {
+            item,
+            at,
+            bin,
+            size,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"displaced\",\"t\":{},\"item\":{},\"bin\":{},\"size\":",
+                at.0, item.0, bin.0
+            );
+            write_raws_json(out, size.raws());
+            out.push('}');
+        }
         EngineEvent::ItemReadmitted {
             item,
             original,
@@ -475,16 +517,15 @@ pub fn write_event_json(out: &mut String, event: &EngineEvent) {
             size,
             departure,
             attempt,
-        } => write!(
-            out,
-            "{{\"e\":\"readmitted\",\"t\":{},\"item\":{},\"orig\":{},\"size\":{},\"dep\":{},\"attempt\":{}}}",
-            at.0,
-            item.0,
-            original.0,
-            size.raw(),
-            departure.0,
-            attempt
-        ),
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"readmitted\",\"t\":{},\"item\":{},\"orig\":{},\"size\":",
+                at.0, item.0, original.0
+            );
+            write_raws_json(out, size.raws());
+            let _ = write!(out, ",\"dep\":{},\"attempt\":{}}}", departure.0, attempt);
+        }
         EngineEvent::ItemMigrated {
             item,
             at,
@@ -492,20 +533,25 @@ pub fn write_event_json(out: &mut String, event: &EngineEvent) {
             to,
             size,
             load_after,
-        } => write!(
-            out,
-            "{{\"e\":\"migrated\",\"t\":{},\"item\":{},\"from\":{},\"to\":{},\"size\":{},\"load\":{}}}",
-            at.0,
-            item.0,
-            from.0,
-            to.0,
-            size.raw(),
-            load_after.raw()
-        ),
-        EngineEvent::ClockAdvanced { from, to } => {
-            write!(out, "{{\"e\":\"clock\",\"from\":{},\"to\":{}}}", from.0, to.0)
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"migrated\",\"t\":{},\"item\":{},\"from\":{},\"to\":{},\"size\":",
+                at.0, item.0, from.0, to.0
+            );
+            write_raws_json(out, size.raws());
+            out.push_str(",\"load\":");
+            write_raws_json(out, load_after.raws());
+            out.push('}');
         }
-    };
+        EngineEvent::ClockAdvanced { from, to } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"clock\",\"from\":{},\"to\":{}}}",
+                from.0, to.0
+            );
+        }
+    }
 }
 
 /// A malformed trace line.
@@ -554,7 +600,27 @@ pub fn json_pairs(s: &str) -> Result<Vec<(&str, &str)>, TraceParseError> {
         .and_then(|s| s.strip_suffix('}'))
         .ok_or_else(|| bad("expected a {...} object"))?;
     let mut pairs: Vec<(&str, &str)> = Vec::new();
-    for part in inner.split(',') {
+    // Split on commas at bracket depth 0 only, so array values
+    // (`"size":[1,2]`) stay one token. Deeper nesting is out of grammar.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut parts: Vec<&str> = Vec::new();
+    for (i, b) in inner.bytes().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => depth = depth.checked_sub(1).ok_or_else(|| bad("unbalanced `]`"))?,
+            b',' if depth == 0 => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(bad("unbalanced `[`"));
+    }
+    parts.push(&inner[start..]);
+    for part in parts {
         let part = part.trim();
         if part.is_empty() {
             continue;
@@ -597,11 +663,62 @@ fn num_u32(pairs: &[(&str, &str)], key: &str) -> Result<u32, TraceParseError> {
     u32::try_from(v).map_err(|_| bad(format!("field `{key}`: `{v}` exceeds u32 range")))
 }
 
-/// A `size` field in raw fixed-point units, bounded by bin capacity.
-fn size_field(pairs: &[(&str, &str)], key: &str) -> Result<Size, TraceParseError> {
-    let raw = num(pairs, key)?;
-    Size::try_from_raw(raw)
-        .ok_or_else(|| bad(format!("field `{key}`: `{raw}` exceeds bin capacity")))
+/// Parses a scalar-or-array wire value (`7` or `[7,3]`) into its raw
+/// components. Public for the serve daemon's snapshot codec, which encodes
+/// sizes with the same convention (see [`write_raws_json`]).
+pub fn parse_raws_json(v: &str, key: &str) -> Result<Vec<u64>, TraceParseError> {
+    let components: Vec<&str> = match v.strip_prefix('[') {
+        Some(body) => {
+            let body = body
+                .strip_suffix(']')
+                .ok_or_else(|| bad(format!("field `{key}`: unterminated array `{v}`")))?;
+            body.split(',').collect()
+        }
+        None => vec![v],
+    };
+    components
+        .iter()
+        .map(|c| {
+            let c = c.trim();
+            c.parse::<u64>()
+                .map_err(|_| bad(format!("field `{key}`: `{c}` is not an unsigned integer")))
+        })
+        .collect()
+}
+
+/// A `size` field: raw fixed-point units bounded by bin capacity, either a
+/// bare scalar (dimension 0) or a `[..]` array of up to [`MAX_DIMS`]
+/// per-dimension components.
+fn size_field(pairs: &[(&str, &str)], key: &str) -> Result<SizeVec, TraceParseError> {
+    let v = field(pairs, key)?;
+    let raws = parse_raws_json(v, key)?;
+    if raws.is_empty() || raws.len() > MAX_DIMS {
+        return Err(bad(format!(
+            "field `{key}`: `{v}` is not a size vector of 1..={MAX_DIMS} components"
+        )));
+    }
+    if let Some(&r) = raws.iter().find(|&&r| r > SIZE_SCALE) {
+        return Err(bad(format!(
+            "field `{key}`: component {r} exceeds bin capacity ({SIZE_SCALE})"
+        )));
+    }
+    Ok(SizeVec::try_from_raws(&raws).expect("arity and range validated above"))
+}
+
+/// A `load` field: like `size` but unbounded per component (loads are
+/// engine-reported sums, validated by the auditor rather than the codec —
+/// matching the scalar codec's behaviour).
+fn load_field(pairs: &[(&str, &str)], key: &str) -> Result<LoadVec, TraceParseError> {
+    let v = field(pairs, key)?;
+    let raws = parse_raws_json(v, key)?;
+    if raws.is_empty() || raws.len() > MAX_DIMS {
+        return Err(bad(format!(
+            "field `{key}`: `{v}` is not a load vector of 1..={MAX_DIMS} components"
+        )));
+    }
+    let mut arr = [0u64; MAX_DIMS];
+    arr[..raws.len()].copy_from_slice(&raws);
+    Ok(LoadVec::from_raws(arr))
 }
 
 /// Parses one JSON line back into an [`EngineEvent`] (inverse of
@@ -633,7 +750,7 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
                 "\"scan\"" => PlacementPath::Scan,
                 other => return Err(bad(format!("field `via`: unknown path `{other}`"))),
             },
-            load_after: Load::from_raw(num(&pairs, "load")?),
+            load_after: load_field(&pairs, "load")?,
         }),
         "\"bin_opened\"" => Ok(EngineEvent::BinOpened {
             bin: BinId(num_u32(&pairs, "bin")?),
@@ -675,7 +792,7 @@ pub fn event_from_json(line: &str) -> Result<EngineEvent, TraceParseError> {
             from: BinId(num_u32(&pairs, "from")?),
             to: BinId(num_u32(&pairs, "to")?),
             size: size_field(&pairs, "size")?,
-            load_after: Load::from_raw(num(&pairs, "load")?),
+            load_after: load_field(&pairs, "load")?,
         }),
         "\"clock\"" => Ok(EngineEvent::ClockAdvanced {
             from: Time(num(&pairs, "from")?),
@@ -716,7 +833,7 @@ pub enum TraceEvent {
         /// Whether the placement opened the bin.
         opened: bool,
         /// Item size, for load reconstruction.
-        size: Size,
+        size: SizeVec,
     },
     /// An item departed.
     Departed {
@@ -854,6 +971,7 @@ mod tests {
     use super::*;
     use crate::engine;
     use crate::instance::Instance;
+    use crate::size::{Load, Size};
     use crate::time::Dur;
 
     struct Ff;
@@ -931,13 +1049,13 @@ mod tests {
             EngineEvent::Arrival {
                 item: ItemId(3),
                 at: Time(7),
-                size: sz(1, 2),
+                size: sz(1, 2).into(),
                 departure: Some(Time(12)),
             },
             EngineEvent::Arrival {
                 item: ItemId(4),
                 at: Time(7),
-                size: sz(1, 3),
+                size: sz(1, 3).into(),
                 departure: None,
             },
             EngineEvent::Placed {
@@ -946,7 +1064,7 @@ mod tests {
                 bin: BinId(1),
                 opened: true,
                 via: PlacementPath::FastPath,
-                load_after: Load::from_raw(sz(1, 2).raw()),
+                load_after: Load::from_raw(sz(1, 2).raw()).into(),
             },
             EngineEvent::BinOpened {
                 bin: BinId(1),
@@ -956,7 +1074,7 @@ mod tests {
                 item: ItemId(3),
                 at: Time(12),
                 bin: BinId(1),
-                size: sz(1, 2),
+                size: sz(1, 2).into(),
             },
             EngineEvent::BinClosed {
                 bin: BinId(1),
@@ -971,7 +1089,7 @@ mod tests {
                 item: ItemId(5),
                 at: Time(13),
                 bin: BinId(2),
-                size: sz(1, 4),
+                size: sz(1, 4).into(),
             },
             EngineEvent::BinFailed {
                 bin: BinId(2),
@@ -982,7 +1100,7 @@ mod tests {
                 item: ItemId(6),
                 original: ItemId(5),
                 at: Time(15),
-                size: sz(1, 4),
+                size: sz(1, 4).into(),
                 departure: Time(30),
                 attempt: 2,
             },
@@ -991,8 +1109,8 @@ mod tests {
                 at: Time(16),
                 from: BinId(3),
                 to: BinId(2),
-                size: sz(1, 4),
-                load_after: Load::from_raw(sz(1, 2).raw()),
+                size: sz(1, 4).into(),
+                load_after: Load::from_raw(sz(1, 2).raw()).into(),
             },
         ];
         let text: String = events.iter().map(|e| event_to_json(e) + "\n").collect();

@@ -5,15 +5,32 @@
 //! render-then-parse back to the identical event.
 
 use dbp_core::trace::{event_from_json, event_to_json, parse_jsonl, EngineEvent, PlacementPath};
-use dbp_core::{BinId, ItemId, Load, Size, Time, SIZE_SCALE};
+use dbp_core::{BinId, ItemId, LoadVec, SizeVec, Time, SIZE_SCALE};
 use proptest::prelude::*;
 
 /// Builds one of the nine event kinds from raw integers. Sizes are kept
-/// in range (`≤ SIZE_SCALE`) so the event is renderable.
+/// in range (`≤ SIZE_SCALE`) so the event is renderable; `e` steers how
+/// many dimensions the size (and any load) carries, so the vector wire
+/// shape is fuzzed alongside the scalar one.
 fn event_from_raw(kind: u64, a: u64, b: u64, c: u64, d: u64, e: u64) -> EngineEvent {
     let item = ItemId((a % u32::MAX as u64) as u32);
     let bin = BinId((b % u32::MAX as u64) as u32);
-    let size = Size::from_raw(c % (SIZE_SCALE + 1));
+    let mut size_raws = [c % (SIZE_SCALE + 1), 0, 0];
+    if e % 3 > 0 {
+        size_raws[1] = b % (SIZE_SCALE + 1);
+    }
+    if e % 3 > 1 {
+        size_raws[2] = d % (SIZE_SCALE + 1);
+    }
+    let size = SizeVec::try_from_raws(&size_raws).expect("components in range");
+    let mut load_raws = [c, 0, 0];
+    if e % 3 > 0 {
+        load_raws[1] = a;
+    }
+    if e % 3 > 1 {
+        load_raws[2] = d;
+    }
+    let load_after = LoadVec::from_raws(load_raws);
     match kind % 9 {
         0 => EngineEvent::Arrival {
             item,
@@ -31,7 +48,7 @@ fn event_from_raw(kind: u64, a: u64, b: u64, c: u64, d: u64, e: u64) -> EngineEv
             } else {
                 PlacementPath::Scan
             },
-            load_after: Load::from_raw(c),
+            load_after,
         },
         2 => EngineEvent::BinOpened { bin, at: Time(d) },
         3 => EngineEvent::Departure {

@@ -83,9 +83,9 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--recourse" => {
                 let raw = next(&mut it);
-                cfg.recourse = RecourseBudget::parse(&raw).unwrap_or_else(|| {
+                cfg.recourse = RecourseBudget::parse(&raw).unwrap_or_else(|e| {
                     eprintln!(
-                        "bad recourse budget '{raw}' (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
+                        "bad recourse budget '{raw}': {e} (none|epoch=<k>|amortized=<earn>[/<burst>]|unlimited)"
                     );
                     std::process::exit(2);
                 });

@@ -140,7 +140,7 @@ mod tests {
                 event: EngineEvent::Arrival {
                     item: ItemId(0),
                     at: Time(3),
-                    size: Size::from_raw(7),
+                    size: Size::from_raw(7).into(),
                     departure: Some(Time(9)),
                 },
             }

@@ -116,6 +116,20 @@ pub(crate) struct SessionSink {
     next_ext: u32,
     /// Pre-assigned external ids consumed during a snapshot replay.
     preassigned: VecDeque<u32>,
+    /// Historical external ids of the bins a snapshot replay reopened,
+    /// indexed by this engine's bin id. Bins past the prefix mint
+    /// sequential ids from `bin_next` — a fresh session's empty prefix
+    /// with `bin_next` 0 makes the translation the identity, and a
+    /// restored session's response stream keeps the chain's bin
+    /// numbering instead of restarting at 0.
+    bin_names: Vec<u32>,
+    /// Original (pre-restart) open times of the reopened bins, parallel
+    /// to `bin_names`: the engine reopened them at the snapshot clock,
+    /// but `bin_closed`/`bin_failed` lines must report the opening the
+    /// chain's uninterrupted stream announced.
+    bin_origs: Vec<dbp_core::Time>,
+    /// External id of the next freshly opened bin.
+    bin_next: u32,
     /// Suppresses rendering (snapshot replay): ids are still allocated,
     /// bytes are not produced.
     muted: bool,
@@ -130,6 +144,9 @@ impl SessionSink {
             row_of_ext: HashMap::new(),
             next_ext: 0,
             preassigned: VecDeque::new(),
+            bin_names: Vec::new(),
+            bin_origs: Vec::new(),
+            bin_next: 0,
             muted: false,
             out: String::new(),
         }
@@ -197,6 +214,42 @@ impl SessionSink {
     fn translate(&self, row: ItemId) -> ItemId {
         ItemId(self.ext_of_row[row.index()])
     }
+
+    /// Installs the external bin numbering after a snapshot replay:
+    /// `names[new_id]` is the reopened bin's historical id,
+    /// `origs[new_id]` its original (pre-restart) open time, and fresh
+    /// bins continue from `next` (the chain's total bins opened).
+    pub(crate) fn set_bin_names(&mut self, names: Vec<u32>, origs: Vec<dbp_core::Time>, next: u32) {
+        debug_assert_eq!(names.len(), origs.len());
+        self.bin_names = names;
+        self.bin_origs = origs;
+        self.bin_next = next;
+    }
+
+    /// The external id of an engine bin (identity in fresh sessions).
+    pub(crate) fn bin_ext(&self, bin: dbp_core::BinId) -> u32 {
+        match self.bin_names.get(bin.0 as usize) {
+            Some(&ext) => ext,
+            None => self.bin_next + (bin.0 - self.bin_names.len() as u32),
+        }
+    }
+
+    fn translate_bin(&self, bin: dbp_core::BinId) -> dbp_core::BinId {
+        dbp_core::BinId(self.bin_ext(bin))
+    }
+
+    /// The open time a close/fail event should report: the original one
+    /// for a bin a snapshot replay reopened, the engine's otherwise.
+    fn translate_opened_at(
+        &self,
+        bin: dbp_core::BinId,
+        opened_at: dbp_core::Time,
+    ) -> dbp_core::Time {
+        self.bin_origs
+            .get(bin.0 as usize)
+            .copied()
+            .unwrap_or(opened_at)
+    }
 }
 
 impl EventSink for SessionSink {
@@ -241,7 +294,7 @@ impl EventSink for SessionSink {
             } => EngineEvent::Placed {
                 item: self.translate(item),
                 at,
-                bin,
+                bin: self.translate_bin(bin),
                 opened,
                 via,
                 load_after,
@@ -254,7 +307,7 @@ impl EventSink for SessionSink {
             } => EngineEvent::Departure {
                 item: self.translate(item),
                 at,
-                bin,
+                bin: self.translate_bin(bin),
                 size,
             },
             EngineEvent::ItemDisplaced {
@@ -265,7 +318,7 @@ impl EventSink for SessionSink {
             } => EngineEvent::ItemDisplaced {
                 item: self.translate(item),
                 at,
-                bin,
+                bin: self.translate_bin(bin),
                 size,
             },
             EngineEvent::ItemMigrated {
@@ -278,10 +331,24 @@ impl EventSink for SessionSink {
             } => EngineEvent::ItemMigrated {
                 item: self.translate(item),
                 at,
-                from,
-                to,
+                from: self.translate_bin(from),
+                to: self.translate_bin(to),
                 size,
                 load_after,
+            },
+            EngineEvent::BinOpened { bin, at } => EngineEvent::BinOpened {
+                bin: self.translate_bin(bin),
+                at,
+            },
+            EngineEvent::BinClosed { bin, at, opened_at } => EngineEvent::BinClosed {
+                bin: self.translate_bin(bin),
+                at,
+                opened_at: self.translate_opened_at(bin, opened_at),
+            },
+            EngineEvent::BinFailed { bin, at, opened_at } => EngineEvent::BinFailed {
+                bin: self.translate_bin(bin),
+                at,
+                opened_at: self.translate_opened_at(bin, opened_at),
             },
             other => other,
         };

@@ -26,24 +26,38 @@
 //! travels in the header; the restore replay itself runs with the budget
 //! disarmed, so replayed placements never open migration epochs.
 //!
-//! Known loss: a seeded failure plan re-draws crash fates for reopened
-//! bins — under chaos a restored run is a legal trajectory, not a
-//! bit-identical one.
+//! Chaos continuity: each open bin's pending crash (if any) travels as a
+//! `doom` field on its `snap_bin` line and is re-armed — translated to
+//! the restored numbering — after the muted replay, whose own fate draws
+//! are discarded. The engine's seeded-fate offset is then set to (bins
+//! the chain ever opened) − (bins reopened), so bins opened after the
+//! restart draw exactly the fates their counterparts in the uninterrupted
+//! run would have: a seeded-chaos run resumes bit-identically. Scripted
+//! schedules keep only their recorded pending entries, which name
+//! *original* bin ids — under renumbering a scripted restore remains a
+//! legal trajectory rather than a bit-identical one.
+//!
+//! Bin ids in snapshots (and in the response stream generally) are the
+//! sink's *external* bin ids: reopened bins keep their historical
+//! numbers and fresh bins continue the chain's count, so the stream a
+//! client sees across any number of restarts is byte-identical to the
+//! uninterrupted run's.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
-use dbp_core::trace::json_pairs;
+use dbp_core::trace::{json_pairs, parse_raws_json, write_raws_json};
 use dbp_core::{
-    Area, BinId, InteractiveSim, Placement, RecourseReport, ResilienceReport, RunMetrics, Size,
-    Time,
+    Area, BinId, InteractiveSim, ItemId, Placement, RecourseReport, ResilienceReport, RunMetrics,
+    SizeVec, Time,
 };
 
 use crate::session::{ServeAlgo, ServeConfig, Session, SessionSink};
 
 /// Format tag in the header line; bump on schema changes. `dbp2` added
-/// the recourse ledger to the header and the `snap_readmit` lines.
-const MAGIC: &str = "dbp2";
+/// the recourse ledger to the header and the `snap_readmit` lines; `dbp3`
+/// added vector (multi-dimensional) sizes and per-bin `doom` carriage.
+const MAGIC: &str = "dbp3";
 
 /// Serializes a session. The text round-trips through [`restore`].
 pub fn write_snapshot(session: &Session) -> String {
@@ -91,6 +105,14 @@ pub fn write_snapshot(session: &Session) -> String {
         rc.migration_closures,
         rc.epochs,
     );
+    let dooms: HashMap<u32, Time> = engine
+        .pending_dooms()
+        .into_iter()
+        .map(|(b, t)| (b.0, t))
+        .collect();
+    // Bins are recorded under their *external* ids (the chain's stable
+    // numbering the response stream uses), so snapshots compose across
+    // restarts: session 2's snapshot names the same bins session 1's did.
     let mut bins = 0usize;
     for rec in engine.bins().all().iter().filter(|r| r.is_open()) {
         let orig = session
@@ -98,11 +120,23 @@ pub fn write_snapshot(session: &Session) -> String {
             .get(&rec.id)
             .copied()
             .unwrap_or(rec.opened_at);
-        let _ = writeln!(
-            s,
-            "{{\"snap_bin\":{},\"opened_at\":{},\"orig_opened\":{}}}",
-            rec.id.0, rec.opened_at.0, orig.0
-        );
+        let ext = engine.sink().bin_ext(rec.id);
+        match dooms.get(&rec.id.0) {
+            Some(doom) => {
+                let _ = writeln!(
+                    s,
+                    "{{\"snap_bin\":{ext},\"opened_at\":{},\"orig_opened\":{},\"doom\":{}}}",
+                    rec.opened_at.0, orig.0, doom.0
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "{{\"snap_bin\":{ext},\"opened_at\":{},\"orig_opened\":{}}}",
+                    rec.opened_at.0, orig.0
+                );
+            }
+        }
         bins += 1;
     }
     // Items are grouped by bin, bins in id (= opening) order: restore
@@ -121,20 +155,19 @@ pub fn write_snapshot(session: &Session) -> String {
                 .get(&row.0)
                 .expect("every resident of an open bin is live");
             let ext = engine.sink().ext_of(row);
+            let ext_bin = engine.sink().bin_ext(rec.id);
+            let mut size = String::new();
+            write_raws_json(&mut size, item.size.raws());
             if item.departure == Time(u64::MAX) {
                 let _ = writeln!(
                     s,
-                    "{{\"snap_item\":{ext},\"size\":{},\"bin\":{}}}",
-                    item.size.raw(),
-                    rec.id.0
+                    "{{\"snap_item\":{ext},\"size\":{size},\"bin\":{ext_bin}}}"
                 );
             } else {
                 let _ = writeln!(
                     s,
-                    "{{\"snap_item\":{ext},\"dep\":{},\"size\":{},\"bin\":{}}}",
+                    "{{\"snap_item\":{ext},\"dep\":{},\"size\":{size},\"bin\":{ext_bin}}}",
                     item.departure.0,
-                    item.size.raw(),
-                    rec.id.0
                 );
             }
             items += 1;
@@ -146,16 +179,13 @@ pub fn write_snapshot(session: &Session) -> String {
     let readmits = engine.pending_readmit_entries();
     for e in &readmits {
         let ext = engine.sink().ext_of(e.parent);
+        let mut size = String::new();
+        write_raws_json(&mut size, e.size.raws());
         let _ = writeln!(
             s,
             "{{\"snap_readmit\":{ext},\"arrival\":{},\"displaced_at\":{},\"at\":{},\
-             \"attempt\":{},\"departure\":{},\"size\":{}}}",
-            e.arrival.0,
-            e.displaced_at.0,
-            e.at.0,
-            e.attempt,
-            e.departure.0,
-            e.size.raw(),
+             \"attempt\":{},\"departure\":{},\"size\":{size}}}",
+            e.arrival.0, e.displaced_at.0, e.at.0, e.attempt, e.departure.0,
         );
     }
     let _ = writeln!(
@@ -184,6 +214,13 @@ fn num128(pairs: &[(&str, &str)], key: &str) -> Result<u128, String> {
         .map_err(|_| format!("snapshot: `{key}` is not a u128"))
 }
 
+fn size_vec(pairs: &[(&str, &str)], key: &str) -> Result<SizeVec, String> {
+    let v = get(pairs, key).ok_or_else(|| format!("snapshot: missing `{key}`"))?;
+    let raws = parse_raws_json(v, key).map_err(|e| format!("snapshot: {e}"))?;
+    SizeVec::try_from_raws(&raws)
+        .ok_or_else(|| format!("snapshot: `{key}` value `{v}` is not a valid size vector"))
+}
+
 fn string(pairs: &[(&str, &str)], key: &str) -> Result<String, String> {
     let raw = get(pairs, key).ok_or_else(|| format!("snapshot: missing `{key}`"))?;
     raw.strip_prefix('"')
@@ -197,11 +234,12 @@ fn string(pairs: &[(&str, &str)], key: &str) -> Result<String, String> {
 /// totals come from the snapshot.
 pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
     let mut header: Option<Vec<(&str, &str)>> = None;
-    let mut bin_lines: Vec<(u32, Time, Time)> = Vec::new(); // (old id, opened, orig)
-    let mut item_lines: Vec<(u32, Option<Time>, u64, u32)> = Vec::new(); // (ext, dep, size, old bin)
+    // (old id, opened, orig, pending doom)
+    let mut bin_lines: Vec<(u32, Time, Time, Option<Time>)> = Vec::new();
+    let mut item_lines: Vec<(u32, Option<Time>, SizeVec, u32)> = Vec::new(); // (ext, dep, size, old bin)
 
     // readmit tuple: (ext, arrival, displaced_at, at, attempt, departure, size)
-    let mut readmit_lines: Vec<(u32, Time, Time, Time, u32, Time, u64)> = Vec::new();
+    let mut readmit_lines: Vec<(u32, Time, Time, Time, u32, Time, SizeVec)> = Vec::new();
     let mut sealed = false;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -218,10 +256,15 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
             }
             header = Some(pairs);
         } else if get(&pairs, "snap_bin").is_some() {
+            let doom = match get(&pairs, "doom") {
+                Some(_) => Some(Time(num(&pairs, "doom")?)),
+                None => None,
+            };
             bin_lines.push((
                 u32::try_from(num(&pairs, "snap_bin")?).map_err(|_| "bin id overflow")?,
                 Time(num(&pairs, "opened_at")?),
                 Time(num(&pairs, "orig_opened")?),
+                doom,
             ));
         } else if get(&pairs, "snap_item").is_some() {
             let dep = match get(&pairs, "dep") {
@@ -231,7 +274,7 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
             item_lines.push((
                 u32::try_from(num(&pairs, "snap_item")?).map_err(|_| "item id overflow")?,
                 dep,
-                num(&pairs, "size")?,
+                size_vec(&pairs, "size")?,
                 u32::try_from(num(&pairs, "bin")?).map_err(|_| "bin id overflow")?,
             ));
         } else if get(&pairs, "snap_readmit").is_some() {
@@ -242,7 +285,7 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
                 Time(num(&pairs, "at")?),
                 u32::try_from(num(&pairs, "attempt")?).map_err(|_| "attempt overflow")?,
                 Time(num(&pairs, "departure")?),
-                num(&pairs, "size")?,
+                size_vec(&pairs, "size")?,
             ));
         } else if get(&pairs, "snap_end").is_some() {
             if num(&pairs, "bins")? as usize != bin_lines.len()
@@ -270,7 +313,7 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
     // order, which is exactly first-appearance order here.
     let opened_of_old: HashMap<u32, (Time, Time)> = bin_lines
         .iter()
-        .map(|&(id, opened, orig)| (id, (opened, orig)))
+        .map(|&(id, opened, orig, _)| (id, (opened, orig)))
         .collect();
     let mut new_of_old: HashMap<u32, u32> = HashMap::new();
     let mut script = VecDeque::with_capacity(item_lines.len());
@@ -317,9 +360,7 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
     engine
         .try_advance_to(now)
         .map_err(|e| format!("snapshot: clock: {e}"))?;
-    for &(ext, dep, size_raw, _) in &item_lines {
-        let size = Size::try_from_raw(size_raw)
-            .ok_or_else(|| format!("snapshot: item {ext} size {size_raw} exceeds capacity"))?;
+    for &(ext, dep, size, _) in &item_lines {
         let res = match dep {
             Some(dep) => engine.arrive_at(now, dep.since(now), size).map(|_| ()),
             None => engine.arrive_undated(size).map(|_| ()),
@@ -331,12 +372,19 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
         Area::ZERO,
         "no bin closes during a replay of live items"
     );
+    // The bin-grouped replay above assigned row ids in bin order, but the
+    // engine drains same-tick departures in row-id order. External ids
+    // ascend with admission across the whole chain, so sorting the rows
+    // back into ext order restores the arrival numbering the
+    // uninterrupted run used — without it, two items departing on the
+    // same tick could leave in the opposite order after a restore.
+    let mut order: Vec<ItemId> = (0..item_lines.len() as u32).map(ItemId).collect();
+    order.sort_by_key(|&ItemId(row)| item_lines[row as usize].0);
+    engine.permute_rows(&order);
     // Re-inject pending re-admissions after the live rows, registering
     // each dead parent row's historical external id with the sink so the
     // forthcoming `ItemReadmitted { original }` still translates.
-    for &(ext, arrival, displaced_at, at, attempt, departure, size_raw) in &readmit_lines {
-        let size = Size::try_from_raw(size_raw)
-            .ok_or_else(|| format!("snapshot: readmit {ext} size {size_raw} exceeds capacity"))?;
+    for &(ext, arrival, displaced_at, at, attempt, departure, size) in &readmit_lines {
         if !(arrival < displaced_at && displaced_at <= now && now <= at && at < departure) {
             return Err(format!(
                 "snapshot: readmit {ext} times are not arrival < displaced ≤ now ≤ retry < departure"
@@ -346,6 +394,40 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
             engine.restore_pending_readmission(arrival, displaced_at, at, attempt, departure, size);
         engine.sink_mut().register_ext(row, ext);
     }
+    // Chaos continuity: the muted replay drew fresh fates for the
+    // reopened bins under their new ids — discard those, re-arm the
+    // recorded dooms (translated old id → new id), and offset future
+    // fate draws past the ids the uninterrupted run has already used.
+    engine.clear_crash_schedule();
+    for &(old_id, _, _, doom) in &bin_lines {
+        if let Some(at) = doom {
+            let new = new_of_old
+                .get(&old_id)
+                .copied()
+                .expect("every snapshot bin was reopened by the replay");
+            engine.schedule_crash(BinId(new), at);
+        }
+    }
+    let total_opened =
+        u32::try_from(num(&header, "bins_opened")?).map_err(|_| "bins_opened overflow")?;
+    let replayed = u32::try_from(bin_lines.len()).map_err(|_| "open bin count overflow")?;
+    let offset = total_opened
+        .checked_sub(replayed)
+        .ok_or("snapshot: bins_opened below the open bin count")?;
+    engine.set_fate_offset(offset);
+    // External bin numbering: reopened bins keep their recorded ids and
+    // fresh bins continue from the chain's total, so the restored
+    // response stream names bins exactly as the uninterrupted run would.
+    let mut bin_names = vec![0u32; new_of_old.len()];
+    for (&ext, &new) in &new_of_old {
+        bin_names[new as usize] = ext;
+    }
+    let bin_origs = (0..new_of_old.len() as u32)
+        .map(|new| orig_opened[&BinId(new)])
+        .collect();
+    engine
+        .sink_mut()
+        .set_bin_names(bin_names, bin_origs, total_opened);
     // The replay above ran with the budget disarmed (migration epochs
     // would corrupt the scripted reconstruction); arm it only now.
     engine.set_recourse(cfg.recourse);

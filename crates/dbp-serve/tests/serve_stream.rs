@@ -226,7 +226,7 @@ fn backpressure_rejects_with_typed_response() {
             event: EngineEvent::Arrival {
                 item: ItemId(0),
                 at: Time(0),
-                size: Size::from_ratio(1, 10),
+                size: Size::from_ratio(1, 10).into(),
                 departure: Some(Time(10)),
             },
         });
@@ -583,7 +583,7 @@ fn departure_lines_date_undated_arrivals() {
         event: EngineEvent::Arrival {
             item: ItemId(0),
             at: Time(0),
-            size: Size::from_ratio(1, 2),
+            size: Size::from_ratio(1, 2).into(),
             departure: None,
         },
     });
@@ -602,7 +602,7 @@ fn departure_lines_date_undated_arrivals() {
             item: ItemId(0),
             at: Time(5),
             bin: dbp_core::BinId(0),
-            size: Size::from_ratio(1, 2),
+            size: Size::from_ratio(1, 2).into(),
         },
     });
     session.handle(&Request::Control {
@@ -617,4 +617,82 @@ fn departure_lines_date_undated_arrivals() {
     // One bin, open exactly [0, 5).
     assert_eq!(session.effective_cost(), Area::from_bin_ticks(Dur(5)));
     assert_eq!(session.live_items(), 0);
+}
+
+#[test]
+fn seeded_chaos_survives_restarts_bit_identically() {
+    // The chaos twin of `snapshot_restore_chains_across_restarts`: under
+    // a seeded crash plan, dooms drawn before a restart must still fire
+    // (they travel in the snapshot), bins opened after it must draw the
+    // fates their uninterrupted-run counterparts would (the fate offset),
+    // and external bin numbering continues across the restart — so the
+    // *entire event stream*, crashes included, matches the control run
+    // byte for byte across two restarts.
+    let inst = random_general(&GeneralConfig::new(4, 800), 99);
+    let plan = FailurePlan::seeded(0.6, 13, Dur(60));
+    let cfg = ServeConfig {
+        plan,
+        retry: RetryPolicy::Fixed(Dur(3)),
+        ..ServeConfig::default()
+    };
+    let mut control = Session::new("t", &cfg).unwrap();
+    let mut live = Session::new("t", &cfg).unwrap();
+    let mut control_echo = String::new();
+    let mut live_echo = String::new();
+    let mut saw_doom_line = false;
+    for (i, it) in inst.items().iter().enumerate() {
+        let ev = EngineEvent::Arrival {
+            item: ItemId(0),
+            at: it.arrival,
+            size: it.size,
+            departure: Some(it.departure),
+        };
+        control.handle(&Request::Event {
+            tenant: None,
+            event: ev,
+        });
+        control_echo.push_str(&control.take_output());
+        live.handle(&Request::Event {
+            tenant: None,
+            event: ev,
+        });
+        live_echo.push_str(&live.take_output());
+        if i == 200 || i == 400 {
+            let snap = snapshot::write_snapshot(&live);
+            saw_doom_line |= snap.contains("\"doom\":");
+            live = snapshot::restore(&snap, &cfg).expect("restart restores");
+            let replay_echo = live.take_output();
+            assert!(
+                event_lines(&replay_echo).is_empty(),
+                "muted replay must not re-emit events: {replay_echo}"
+            );
+        }
+    }
+    for (sess, echo) in [
+        (&mut control, &mut control_echo),
+        (&mut live, &mut live_echo),
+    ] {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        echo.push_str(&sess.take_output());
+    }
+    assert!(
+        saw_doom_line,
+        "at least one snapshot should carry a pending doom"
+    );
+    let r = control.effective_resilience();
+    assert!(r.bin_failures > 0, "the plan should actually crash bins");
+    assert_eq!(
+        event_lines(&live_echo),
+        event_lines(&control_echo),
+        "event streams diverged across restarts"
+    );
+    assert_eq!(live.effective_resilience(), r);
+    assert_eq!(live.effective_cost(), control.effective_cost());
+    assert_eq!(
+        live.effective_bins_opened(),
+        control.effective_bins_opened()
+    );
 }

@@ -136,6 +136,6 @@ mod tests {
         assert!(inst
             .items()
             .iter()
-            .all(|it| it.size == Size::from_ratio(1, 2)));
+            .all(|it| it.size == Size::from_ratio(1, 2).into()));
     }
 }

@@ -111,7 +111,9 @@ mod tests {
         for it in inst.items() {
             let s = it.size;
             assert!(
-                TIERS.iter().any(|&(n, d)| s == Size::from_ratio(n, d)),
+                TIERS
+                    .iter()
+                    .any(|&(n, d)| s == Size::from_ratio(n, d).into()),
                 "unexpected size {s}"
             );
         }

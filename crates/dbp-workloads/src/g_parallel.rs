@@ -86,7 +86,7 @@ mod tests {
         assert!(inst
             .items()
             .iter()
-            .all(|i| i.size == Size::from_ratio(1, 4)));
+            .all(|i| i.size == Size::from_ratio(1, 4).into()));
     }
 
     #[test]

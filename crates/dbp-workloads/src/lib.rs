@@ -19,7 +19,10 @@
 //!   (pairs with [`dbp_core::FailurePlan`] and the `resilience`
 //!   experiment);
 //! * [`g_parallel`] — bounded-parallelism interval scheduling (Shalom et
-//!   al.), the uniform-size special case.
+//!   al.), the uniform-size special case;
+//! * [`vm`] — VM-shaped *vector* (multi-dimensional) workloads in three
+//!   correlation regimes (correlated, anti-correlated, dominant-dimension
+//!   skew), for the vector experiment.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod random_general;
 pub mod semi_aligned;
 pub mod sigma_star;
 pub mod trace_io;
+pub mod vm;
 
 pub use adversary::{run_adversary, AdversaryConfig, AdversaryOutcome};
 pub use aligned::{random_aligned, AlignedConfig};
@@ -50,3 +54,4 @@ pub use random_general::{random_general, DurationDist, GeneralConfig};
 pub use semi_aligned::{measured_slack, semi_aligned, SemiAlignedConfig};
 pub use sigma_star::{ladder_train, sigma_star};
 pub use trace_io::{emit_trace, parse_trace, TraceParseError};
+pub use vm::{vm_anti_correlated, vm_correlated, vm_skewed, VmConfig};

@@ -105,7 +105,9 @@ pub fn parse_trace(text: &str) -> Result<Instance, TraceParseError> {
 }
 
 /// Serialises an instance to the CSV trace format (sizes emitted as raw
-/// fixed-point numerators over `2^32`, which round-trips exactly).
+/// fixed-point numerators over `2^32`, which round-trips exactly). The
+/// CSV dialect is scalar-only: vector instances emit their dimension-0
+/// component (use the JSONL trace codec for lossless vector carriage).
 pub fn emit_trace(instance: &Instance) -> String {
     let mut out = String::from("# arrival,duration,size_num,size_den\n");
     for it in instance.items() {
@@ -114,7 +116,7 @@ pub fn emit_trace(instance: &Instance) -> String {
             "{},{},{},{}",
             it.arrival.ticks(),
             it.duration().ticks(),
-            it.size.raw(),
+            it.size.primary().raw(),
             dbp_core::size::SIZE_SCALE,
         );
     }

@@ -1,0 +1,225 @@
+//! VM-shaped vector (multi-dimensional) workloads.
+//!
+//! Virtual-machine packing is the canonical source of *vector* bin
+//! packing instances: a VM asks for CPU **and** memory (and possibly a
+//! third resource), and a server must fit the per-dimension sums
+//! simultaneously. Three correlation regimes matter for algorithm
+//! behaviour, and each gets a generator here:
+//!
+//! * [`vm_correlated`] — CPU and memory demands move together (a big VM
+//!   is big in every dimension). Vector packing then behaves much like
+//!   scalar packing on the max component, and scalar heuristics stay
+//!   close to their scalar competitive envelopes.
+//! * [`vm_anti_correlated`] — CPU-heavy VMs are memory-light and vice
+//!   versa. Complementary shapes can share a bin (the per-dimension sums
+//!   stay balanced), which is exactly where max-component scalarization
+//!   over-opens bins and genuinely vector-aware placement wins.
+//! * [`vm_skewed`] — one *dominant* dimension carries most of the demand
+//!   (a CPU:mem skew ratio); the other dimensions are a small correlated
+//!   fraction. This models the common fleet where one resource is the
+//!   effective bottleneck.
+//!
+//! All three synthesise clairvoyant sessions the same way as
+//! [`crate::cloud`] (day-flat Poisson-ish arrivals, geometric durations)
+//! so the duration spread `μ` stays controlled, and all are fully
+//! deterministic in `(config, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::size::{Size, SizeVec, MAX_DIMS};
+use dbp_core::time::{Dur, Time};
+
+/// Parameters shared by the VM-shaped vector generators.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Number of VM sessions.
+    pub sessions: usize,
+    /// Horizon in ticks over which arrivals spread.
+    pub horizon: u64,
+    /// Dimensions per size vector (1..=[`MAX_DIMS`]); 1 degenerates to a
+    /// scalar workload.
+    pub dims: usize,
+    /// Mean session duration in ticks (geometric, ≥ 1).
+    pub mean_duration: u64,
+    /// Smallest per-dimension demand, as a fraction denominator: demands
+    /// are drawn from `{1/den, …, cap_num/den}`.
+    pub den: u64,
+    /// Largest per-dimension demand numerator (≤ `den`).
+    pub cap_num: u64,
+}
+
+impl VmConfig {
+    /// Defaults: 2-D, 60-tick sessions, demands in `{1/16, …, 8/16}`.
+    pub fn new(sessions: usize, horizon: u64) -> VmConfig {
+        VmConfig {
+            sessions,
+            horizon,
+            dims: 2,
+            mean_duration: 60,
+            den: 16,
+            cap_num: 8,
+        }
+    }
+
+    /// Sets the dimension count (1..=[`MAX_DIMS`]).
+    pub fn dims(mut self, dims: usize) -> VmConfig {
+        self.dims = dims;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.horizon >= 1, "empty horizon");
+        assert!(
+            (1..=MAX_DIMS).contains(&self.dims),
+            "dims must be 1..={MAX_DIMS}"
+        );
+        assert!(
+            self.cap_num >= 1 && self.cap_num <= self.den,
+            "demand range {}/{} is not within (0, 1]",
+            self.cap_num,
+            self.den
+        );
+    }
+
+    fn arrival_and_duration(&self, rng: &mut StdRng) -> (Time, Dur) {
+        let t = rng.gen_range(0..self.horizon);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dur = ((-(self.mean_duration as f64) * u.ln()).round() as u64).max(1);
+        (Time(t), Dur(dur))
+    }
+
+    fn demand(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(1..=self.cap_num)
+    }
+}
+
+/// Builds a size vector from per-dimension numerators over `config.den`,
+/// zero-padding the unused dimensions.
+fn vec_of(nums: &[u64], den: u64) -> SizeVec {
+    let sizes: Vec<Size> = nums.iter().map(|&n| Size::from_ratio(n, den)).collect();
+    SizeVec::from_sizes(&sizes).expect("1..=MAX_DIMS nonzero components")
+}
+
+/// Correlated VM fleet: every dimension of a VM is the same draw, so
+/// demand vectors lie on the diagonal (big VMs are big everywhere).
+pub fn vm_correlated(config: &VmConfig, seed: u64) -> Instance {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        let (t, dur) = config.arrival_and_duration(&mut rng);
+        let base = config.demand(&mut rng);
+        let nums = vec![base; config.dims];
+        b.push(t, dur, vec_of(&nums, config.den));
+    }
+    b.build().expect("generated items are valid")
+}
+
+/// Anti-correlated VM fleet: each VM is heavy in one uniformly chosen
+/// dimension and light (demand 1) in every other, so complementary
+/// shapes pack together and max-component scalarization over-opens.
+pub fn vm_anti_correlated(config: &VmConfig, seed: u64) -> Instance {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        let (t, dur) = config.arrival_and_duration(&mut rng);
+        let heavy_dim = rng.gen_range(0..config.dims);
+        let heavy = config.demand(&mut rng);
+        let nums: Vec<u64> = (0..config.dims)
+            .map(|d| if d == heavy_dim { heavy } else { 1 })
+            .collect();
+        b.push(t, dur, vec_of(&nums, config.den));
+    }
+    b.build().expect("generated items are valid")
+}
+
+/// Dominant-dimension VM fleet with a CPU:mem style skew: dimension 0
+/// carries a full draw; every other dimension is that draw divided by
+/// `skew` (at least the minimum demand), so the fleet bottlenecks on
+/// dimension 0 while the rest stay proportionally loaded.
+pub fn vm_skewed(config: &VmConfig, skew: u64, seed: u64) -> Instance {
+    config.validate();
+    assert!(skew >= 1, "skew ratio must be ≥ 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::with_capacity(config.sessions);
+    for _ in 0..config.sessions {
+        let (t, dur) = config.arrival_and_duration(&mut rng);
+        let dominant = config.demand(&mut rng);
+        let nums: Vec<u64> = (0..config.dims)
+            .map(|d| {
+                if d == 0 {
+                    dominant
+                } else {
+                    (dominant / skew).max(1)
+                }
+            })
+            .collect();
+        b.push(t, dur, vec_of(&nums, config.den));
+    }
+    b.build().expect("generated items are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let cfg = VmConfig::new(300, 1000);
+        for gen in [vm_correlated, vm_anti_correlated] {
+            let a = gen(&cfg, 7);
+            let b = gen(&cfg, 7);
+            assert_eq!(a.items(), b.items());
+            let c = gen(&cfg, 8);
+            assert_ne!(a.items(), c.items(), "seed must matter");
+        }
+        assert_eq!(vm_skewed(&cfg, 4, 7).items(), vm_skewed(&cfg, 4, 7).items());
+    }
+
+    #[test]
+    fn correlated_vectors_sit_on_the_diagonal() {
+        let inst = vm_correlated(&VmConfig::new(200, 500).dims(3), 11);
+        for it in inst.items() {
+            let raws = it.size.raws();
+            assert_eq!(raws[0], raws[1]);
+            assert_eq!(raws[1], raws[2]);
+        }
+    }
+
+    #[test]
+    fn anti_correlated_vectors_have_one_heavy_dimension() {
+        let inst = vm_anti_correlated(&VmConfig::new(400, 500).dims(2), 3);
+        let min = Size::from_ratio(1, 16).raw();
+        let mut saw_heavy_in = [false; 2];
+        for it in inst.items() {
+            let raws = it.size.raws();
+            let heavies = (0..2).filter(|&d| raws[d] > min).count();
+            assert!(heavies <= 1, "at most one heavy dimension: {raws:?}");
+            for d in 0..2 {
+                if raws[d] > min {
+                    saw_heavy_in[d] = true;
+                }
+            }
+        }
+        assert!(saw_heavy_in[0] && saw_heavy_in[1], "both dimensions drawn");
+    }
+
+    #[test]
+    fn skewed_fleet_bottlenecks_on_dimension_zero() {
+        let inst = vm_skewed(&VmConfig::new(300, 500).dims(2), 4, 9);
+        for it in inst.items() {
+            let raws = it.size.raws();
+            assert!(raws[0] >= raws[1], "dimension 0 dominates: {raws:?}");
+            assert!(raws[1] >= 1, "secondary dimension stays nonzero");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_config_degenerates_to_scalar() {
+        let inst = vm_correlated(&VmConfig::new(100, 200).dims(1), 5);
+        assert!(inst.items().iter().all(|it| it.size.is_scalar()));
+    }
+}

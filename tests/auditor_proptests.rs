@@ -8,7 +8,7 @@ use clairvoyant_dbp::algos;
 use clairvoyant_dbp::core::audit::run_audited;
 use clairvoyant_dbp::core::trace::{EngineEvent, EventSink, VecSink};
 use clairvoyant_dbp::core::{
-    engine, BinStore, Dur, Instance, InstanceBuilder, InvariantAuditor, Load, Size, Time,
+    engine, BinStore, Dur, Instance, InstanceBuilder, InvariantAuditor, Size, Time,
 };
 use proptest::prelude::*;
 
@@ -117,7 +117,11 @@ proptest! {
                                 bin,
                                 opened,
                                 via,
-                                load_after: Load::from_raw(load_after.raw() + 1),
+                                load_after: {
+                                    let mut raws = load_after.raws();
+                                    raws[0] += 1;
+                                    dbp_core::LoadVec::from_raws(raws)
+                                },
                             }
                         } else {
                             ev

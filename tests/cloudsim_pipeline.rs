@@ -16,9 +16,9 @@ fn sessions_from_cloud_trace(seed: u64, n: usize) -> Vec<SessionRequest> {
         .iter()
         .map(|it| {
             // Map trace sizes back onto the nearest tier.
-            let tier = if it.size == Tier::Low.size() {
+            let tier = if it.size == Tier::Low.size().into() {
                 Tier::Low
-            } else if it.size == Tier::Standard.size() {
+            } else if it.size == Tier::Standard.size().into() {
                 Tier::Standard
             } else {
                 Tier::Premium

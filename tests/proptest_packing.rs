@@ -157,7 +157,7 @@ proptest! {
             if mixed {
                 for id in items {
                     prop_assert!(
-                        inst.item(id).size <= half,
+                        inst.item(id).size <= half.into(),
                         "GN bin {:?} holds an item above 1/2",
                         bin
                     );

@@ -123,8 +123,8 @@ proptest! {
                 at: Time(at),
                 from: BinId(from),
                 to: BinId(to),
-                size: Size::from_ratio(s, 100),
-                load_after: Load::from_raw(Size::from_ratio(l.max(1), 100).raw()),
+                size: Size::from_ratio(s, 100).into(),
+                load_after: Load::from_raw(Size::from_ratio(l.max(1), 100).raw()).into(),
             })
             .collect();
         let mut text = String::new();
