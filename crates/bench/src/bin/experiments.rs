@@ -30,6 +30,7 @@ fn main() {
         Some("throughput") => return run_throughput(&args[1..]),
         Some("bench-validate") => return run_bench_validate(&args[1..]),
         Some("serve-soak") => return run_serve_soak(&args[1..]),
+        Some("run") => return run_manifest(&args[1..]),
         _ => {}
     }
     let mut out_dir: Option<PathBuf> = None;
@@ -200,10 +201,18 @@ fn print_usage() {
         "usage: experiments [--out DIR] [--md FILE] [--bracket-effort EFFORT] \
          [--bracket-cache DIR|off] [--threads N] [--fail-seed N] [--retry POLICY] \
          [--dims D] <id>... | all\n\
+       experiments run MANIFEST.toml [--out DIR] [--threads N] \
+         [--bracket-effort EFFORT] [--bracket-cache DIR|off]\n\
        experiments throughput [--items N] [--samples K] [--label L] \
          [--configs a,b,..] [--bench-out FILE]\n\
        experiments bench-validate FILE\n\
        experiments serve-soak [--items N] [--slack N] [--algo NAME] [--seed S]\n\n\
+         `run` executes a manifest-declared experiment fleet (workload ×\n\
+         algorithm × items × μ × dims × failure-rate grid; see DESIGN.md §17\n\
+         for the schema) and renders its comparison table; with --out it also\n\
+         writes <fleet>.txt/.csv, the optional SVG dashboard, and upserts the\n\
+         optional per-cell results file. Reports are byte-identical across\n\
+         --threads and re-runs resume through the bracket cache.\n\
          --fail-seed / --retry (immediate|fixed=<ticks>|exp=<ticks>) configure the\n\
          `resilience` experiment's crash stream and re-admission backoff.\n\
          --dims configures the `vector` experiment's dimension count (default 2).\n\
@@ -217,6 +226,119 @@ fn print_usage() {
     for (id, _) in registry() {
         println!("  {id}");
     }
+}
+
+/// `experiments run MANIFEST.toml`: execute a manifest-declared fleet.
+///
+/// Stdout carries only the rendered report (timings and cache stats go
+/// to stderr), so two runs at different `--threads` can be byte-diffed
+/// directly.
+fn run_manifest(args: &[String]) {
+    let mut path: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut effort = bracket::Effort::Cached;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} requires {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_dir = Some(PathBuf::from(take("a directory"))),
+            "--threads" => {
+                let raw = take("a positive worker count");
+                threads = Some(raw.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(
+                    || {
+                        eprintln!("bad thread count '{raw}' (expected an integer ≥ 1)");
+                        std::process::exit(2);
+                    },
+                ));
+            }
+            "--bracket-effort" => {
+                let raw = take("analytic|cached|budget=<ms>");
+                effort = bracket::Effort::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad bracket effort '{raw}' (analytic|cached|budget=<ms>)");
+                    std::process::exit(2);
+                });
+            }
+            "--bracket-cache" => {
+                let raw = take("a directory (or 'off')");
+                cache_dir = (raw != "off").then(|| PathBuf::from(raw));
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown run flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: experiments run MANIFEST.toml [--out DIR] [--threads N]");
+        std::process::exit(2);
+    };
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let m = dbp_bench::manifest::Manifest::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let threads = threads.or((m.threads > 0).then_some(m.threads));
+
+    let svc = bracket::configure(effort, cache_dir.as_deref());
+    let started = Instant::now();
+    let report = dbp_bench::manifest::run_fleet(&m, threads);
+    let rendered = report.render();
+    print!("{rendered}");
+    eprintln!(
+        "fleet `{}`: {} cells in {:.2?}",
+        report.name,
+        report.cells.len(),
+        started.elapsed()
+    );
+
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+        fs::write(dir.join(format!("{}.txt", report.name)), &rendered).expect("write report");
+        fs::write(
+            dir.join(format!("{}.csv", report.name)),
+            report.table.to_csv(),
+        )
+        .expect("write csv");
+        if let Some(svg) = &m.svg {
+            fs::write(dir.join(svg), dbp_bench::manifest::dashboard_svg(&report))
+                .expect("write svg dashboard");
+        }
+        if let Some(results) = &m.results {
+            let target = dir.join(results);
+            let existing = target.exists().then(|| {
+                fs::read_to_string(&target).expect("read existing results file")
+            });
+            let merged = dbp_bench::manifest::upsert_results(existing.as_deref(), &report)
+                .unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", target.display());
+                    std::process::exit(2);
+                });
+            fs::write(&target, merged).expect("write results file");
+        }
+        eprintln!("fleet artifacts written to {}", dir.display());
+    }
+    let stats = svc.stats();
+    eprintln!(
+        "bracket service: effort {}, {} cold, {} warm ({} mem / {} disk)",
+        effort,
+        stats.computed,
+        stats.warm(),
+        stats.mem_hits,
+        stats.disk_hits
+    );
 }
 
 /// `experiments serve-soak`: a long churn stream through one daemon

@@ -57,8 +57,15 @@ pub const FFD_TIGHTEN_LIMIT: usize = 20_000;
 /// Above this item count, skip the non-repacking portfolio rung.
 pub const PORTFOLIO_LIMIT: usize = 50_000;
 /// Up to this item count the exact non-repacking branch-and-bound rung is
-/// attempted for `OPT_NR` (exponential in `|σ|`).
-pub const EXACT_NR_LIMIT: usize = 12;
+/// attempted for `OPT_NR` (exponential in `|σ|`). The CP-propagated
+/// search (incumbent seeding + interval lower bound + symmetry breaking)
+/// certifies instances the naive enumeration this limit originally
+/// guarded (12 items) could never finish.
+pub const EXACT_NR_LIMIT: usize = 40;
+/// Node cap for one exact-OPT_NR attempt: a worst-case 40-item instance
+/// spends at most this much of the ladder budget before conceding, so the
+/// exponential rung cannot starve everything after it.
+pub const EXACT_NR_NODE_CAP: u64 = 4_000_000;
 /// Deterministic node allowance for [`Effort::Cached`] refinement: enough
 /// to collapse every experiment-scale instance with small concurrency and
 /// to tighten a meaningful prefix of adversary-scale ones.
@@ -660,11 +667,15 @@ fn compute_ladder(instance: &Instance, goal: Goal, effort: Effort) -> (OptBracke
                     }
                 }
             }
-            // Rung 4: exact OPT_NR on tiny instances collapses both sides.
+            // Rung 4: exact OPT_NR on small instances collapses both
+            // sides. Runs under a capped child budget whose spend is
+            // billed back, so one adversarial instance cannot drain the
+            // whole allowance.
             if instance.len() <= EXACT_NR_LIMIT && !budget.exhausted() {
-                if let Some(exact) =
-                    offline::exact_opt_nr_budgeted(instance, EXACT_NR_LIMIT, &mut budget)
-                {
+                let mut sub = budget.child(EXACT_NR_NODE_CAP);
+                let exact = offline::exact_opt_nr_budgeted(instance, EXACT_NR_LIMIT, &mut sub);
+                budget.absorb(&sub);
+                if let Some(exact) = exact {
                     let point = OptBracket {
                         lower: exact.cost,
                         upper: exact.cost,

@@ -69,8 +69,9 @@ fn fleet(kind: &str, dims: usize) -> Instance {
 }
 
 /// The max-component scalarization of a vector instance: same sessions,
-/// each size collapsed to its largest component.
-fn scalarized(inst: &Instance) -> Instance {
+/// each size collapsed to its largest component. Shared with the
+/// manifest fleet runner so `experiments run` reproduces this table.
+pub(crate) fn scalarized(inst: &Instance) -> Instance {
     Instance::from_triples(
         inst.items()
             .iter()

@@ -1,0 +1,186 @@
+//! Acceptance fixtures for the CP-propagated exact rung (PR 10).
+//!
+//! Each fixture is an instance that, before constraint propagation,
+//! terminated below `BracketRung::Exact` under `Effort::Cached`:
+//!
+//! * the OPT_R fixture's peak concurrency (30) exceeded the old
+//!   `MAX_EXACT_ITEMS = 28`, so the ladder stalled at FFD-repack with an
+//!   11-bin upper where the optimum packs 10;
+//! * the OPT_NR fixtures exceed the old `EXACT_NR_LIMIT = 12`, so the
+//!   ladder stopped at the portfolio rung.
+//!
+//! Under the same `CACHED_NODE_BUDGET` they must now certify
+//! `BracketRung::Exact`, and on oracle-sized instances the ladder bracket
+//! must still sandwich the exhaustive reference optimum.
+
+use dbp_algos::offline::{exact_opt_nr_reference_budgeted, RefineBudget};
+use dbp_bench::bracket::{BracketService, Effort, EXACT_NR_LIMIT};
+use dbp_core::bounds::{BracketRung, OptBracket};
+use dbp_core::{Dur, Instance, Size, SizeVec, Time};
+
+/// Thirty concurrent items over `[0, 10)`: 24 full-size anchors (forced
+/// singles) plus the classic FFD-fooled sextet {45, 34, 33, 33, 28, 27}.
+/// FFD needs 27 bins, the optimum packs 26 ({45,28,27} + {34,33,33}) —
+/// the perfect-fit dominance rule walks straight to it.
+fn opt_r_fixture() -> Instance {
+    let mut triples = Vec::new();
+    for _ in 0..24 {
+        triples.push((Time(0), Dur(10), Size::from_ratio(1, 1)));
+    }
+    for s in [45u64, 34, 33, 33, 28, 27] {
+        triples.push((Time(0), Dur(10), Size::from_ratio(s, 100)));
+    }
+    Instance::from_triples(triples).unwrap()
+}
+
+/// Thirty concurrent items the L2 bound alone certifies: 14 × 0.55 (each
+/// needs a private bin) + 16 × 0.50 (pair up, but never with a 0.55).
+/// The volume bound sees only ⌈15.7⌉ = 16 bins; L2 at threshold α = 0.50
+/// proves the true 22, matching FFD — zero search nodes needed.
+fn opt_r_l2_fixture() -> Instance {
+    let mut triples = Vec::new();
+    for _ in 0..14 {
+        triples.push((Time(0), Dur(10), Size::from_ratio(55, 100)));
+    }
+    for _ in 0..16 {
+        triples.push((Time(0), Dur(10), Size::from_ratio(50, 100)));
+    }
+    Instance::from_triples(triples).unwrap()
+}
+
+/// Sixteen items (past the old 12-item exact cutoff): staggered big items
+/// (> 1/2, so they can never share — invisible to the analytic ⌈S⌉ lower
+/// bound) plus seeded small companions that can.
+fn opt_nr_fixture() -> Instance {
+    let mut triples = Vec::new();
+    let mut x = 0xABCDu64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..8u64 {
+        triples.push((
+            Time(i * 2),
+            Dur(5 + i % 3),
+            Size::from_ratio(55 + (i % 3) * 4, 100),
+        ));
+    }
+    for _ in 0..8u64 {
+        let t = next() % 14;
+        let d = 2 + next() % 5;
+        let s = 20 + next() % 25;
+        triples.push((Time(t), Dur(d), Size::from_ratio(s, 100)));
+    }
+    Instance::from_triples(triples).unwrap()
+}
+
+/// A 14-item three-dimensional instance: vector capacity checks and the
+/// per-dimension interval bound both participate in certification.
+fn opt_nr_vector_fixture() -> Instance {
+    let mut triples = Vec::new();
+    for i in 0..14u64 {
+        let size = SizeVec::from_sizes(&[
+            Size::from_ratio(20 + (i * 7) % 40, 100),
+            Size::from_ratio(15 + (i * 11) % 45, 100),
+            Size::from_ratio(10 + (i * 13) % 50, 100),
+        ])
+        .unwrap();
+        triples.push((Time(i % 5), Dur(3 + i % 7), size));
+    }
+    Instance::from_triples(triples).unwrap()
+}
+
+#[test]
+fn opt_r_fixture_reaches_exact_rung() {
+    let inst = opt_r_fixture();
+    assert_eq!(inst.max_concurrency(), 30, "past the old 28-item exact cap");
+    let svc = BracketService::new(Effort::Cached);
+    let cb = svc.opt_r(&inst);
+    assert_eq!(cb.rung, BracketRung::Exact);
+    // 26 bins over ten ticks: the bracket collapses to the true optimum.
+    assert_eq!(cb.bracket.lower.as_bin_ticks(), 260.0);
+    assert_eq!(cb.bracket.upper.as_bin_ticks(), 260.0);
+    // Strictly inside the analytic sandwich (the old stall point).
+    let analytic = OptBracket::of(&inst);
+    assert!(cb.bracket.upper < analytic.upper);
+}
+
+#[test]
+fn opt_r_l2_fixture_reaches_exact_rung() {
+    let inst = opt_r_l2_fixture();
+    assert_eq!(inst.max_concurrency(), 30, "past the old 28-item exact cap");
+    let svc = BracketService::new(Effort::Cached);
+    let cb = svc.opt_r(&inst);
+    assert_eq!(cb.rung, BracketRung::Exact);
+    // 14 private bins + 8 pair bins over ten ticks.
+    assert_eq!(cb.bracket.lower.as_bin_ticks(), 220.0);
+    assert_eq!(cb.bracket.upper.as_bin_ticks(), 220.0);
+    // The plain volume bound sees only 16 bins — L2 closes the gap.
+    let analytic = OptBracket::of(&inst);
+    assert!(cb.bracket.lower > analytic.lower);
+}
+
+#[test]
+fn opt_nr_fixture_reaches_exact_rung() {
+    let inst = opt_nr_fixture();
+    assert!(
+        inst.len() > 12 && inst.len() <= EXACT_NR_LIMIT,
+        "sized between the old and new exact cutoffs"
+    );
+    let svc = BracketService::new(Effort::Cached);
+    let cb = svc.opt_nr(&inst);
+    assert_eq!(cb.rung, BracketRung::Exact);
+    assert_eq!(cb.bracket.lower, cb.bracket.upper, "exact collapses OPT_NR");
+    // OPT_NR ≥ OPT_R on the same instance.
+    assert!(cb.bracket.lower >= svc.opt_r(&inst).bracket.lower);
+}
+
+#[test]
+fn opt_nr_vector_fixture_reaches_exact_rung() {
+    let inst = opt_nr_vector_fixture();
+    assert!(inst.len() > 12, "past the old exact cutoff");
+    let svc = BracketService::new(Effort::Cached);
+    let cb = svc.opt_nr(&inst);
+    assert_eq!(cb.rung, BracketRung::Exact);
+    assert_eq!(cb.bracket.lower, cb.bracket.upper);
+}
+
+/// On oracle-sized instances the ladder's OPT_NR bracket must sandwich
+/// the frozen exhaustive reference — the propagated rung may be faster,
+/// never different.
+#[test]
+fn ladder_brackets_sandwich_the_exhaustive_oracle() {
+    let mut seed = 0x00C0_FFEEu64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for trial in 0..12 {
+        let n = 3 + next() % 7;
+        let mut triples = Vec::new();
+        for _ in 0..n {
+            let t = next() % 24;
+            let d = 1 + next() % 12;
+            let s = 1 + next() % 100;
+            triples.push((Time(t), Dur(d), Size::from_ratio(s, 100)));
+        }
+        let inst = Instance::from_triples(triples).unwrap();
+        let oracle = exact_opt_nr_reference_budgeted(&inst, 10, &mut RefineBudget::unlimited())
+            .expect("unlimited completes");
+        let svc = BracketService::new(Effort::Cached);
+        let nr = svc.opt_nr(&inst).bracket;
+        assert!(
+            nr.lower <= oracle.cost && oracle.cost <= nr.upper,
+            "trial {trial}: bracket [{:?}, {:?}] excludes oracle {:?}",
+            nr.lower,
+            nr.upper,
+            oracle.cost
+        );
+        let r = svc.opt_r(&inst).bracket;
+        assert!(r.lower <= oracle.cost, "OPT_R lower exceeds OPT_NR oracle");
+    }
+}

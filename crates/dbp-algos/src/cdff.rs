@@ -208,6 +208,19 @@ impl OnlineAlgorithm for Cdff {
         }
     }
 
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], _new_len: usize) {
+        // Rows only hold open bins (closed ones are pruned on departure),
+        // so every key survives the renumbering.
+        for row in self.rows.values_mut() {
+            row.remap_bins(old_to_new);
+        }
+        self.bin_row = self
+            .bin_row
+            .drain()
+            .map(|(old, key)| (old_to_new[old.index()], key))
+            .collect();
+    }
+
     fn reset(&mut self) {
         self.origin = None;
         self.top_class = 0;

@@ -98,6 +98,19 @@ impl OnlineAlgorithm for ClassifyByDuration {
         }
     }
 
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], _new_len: usize) {
+        // Bands only hold open bins (closed ones are pruned on departure),
+        // so every key survives the renumbering.
+        for bins in self.band_bins.values_mut() {
+            bins.remap_bins(old_to_new);
+        }
+        self.bin_band = self
+            .bin_band
+            .drain()
+            .map(|(old, band)| (old_to_new[old.index()], band))
+            .collect();
+    }
+
     fn reset(&mut self) {
         self.band_bins.clear();
         self.bin_band.clear();

@@ -93,6 +93,18 @@ impl OnlineAlgorithm for DepartureAwareFit {
         }
     }
 
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        // The dense close vector follows the renumbering; dropped (closed)
+        // bins were already `None`.
+        let mut close = vec![None; new_len];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            if new != BinId(u32::MAX) {
+                close[new.index()] = self.bin_close.get(old).copied().flatten();
+            }
+        }
+        self.bin_close = close;
+    }
+
     fn reset(&mut self) {
         self.bin_close.clear();
     }

@@ -82,6 +82,21 @@ impl OnlineAlgorithm for Harmonic {
         }
     }
 
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], _new_len: usize) {
+        // Class lists only hold open bins; the renumbering is monotone, so
+        // rewriting in place keeps each list in opening order.
+        for bins in self.class_bins.values_mut() {
+            for b in bins.iter_mut() {
+                *b = old_to_new[b.index()];
+            }
+        }
+        self.bin_class = self
+            .bin_class
+            .drain()
+            .map(|(old, class)| (old_to_new[old.index()], class))
+            .collect();
+    }
+
     fn reset(&mut self) {
         self.class_bins.clear();
         self.bin_class.clear();

@@ -381,6 +381,20 @@ impl OnlineAlgorithm for HybridAlgorithm {
         }
     }
 
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], _new_len: usize) {
+        // Every mirror only holds open bins (closed ones are pruned in
+        // `on_departure`), so all keys survive the renumbering.
+        self.gn_bins.remap_bins(old_to_new);
+        for state in self.types.values_mut() {
+            state.cd_bins.remap_bins(old_to_new);
+        }
+        self.bin_info = self
+            .bin_info
+            .drain()
+            .map(|(old, info)| (old_to_new[old.index()], info))
+            .collect();
+    }
+
     fn reset(&mut self) {
         self.types.clear();
         self.gn_bins.clear();

@@ -24,6 +24,7 @@ pub struct RefineBudget {
     nodes_left: u64,
     deadline: Option<Instant>,
     charges: u64,
+    spent: u64,
 }
 
 impl RefineBudget {
@@ -33,6 +34,7 @@ impl RefineBudget {
             nodes_left: n,
             deadline: None,
             charges: 0,
+            spent: 0,
         }
     }
 
@@ -59,6 +61,7 @@ impl RefineBudget {
             return false;
         }
         self.nodes_left -= cost;
+        self.spent = self.spent.saturating_add(cost);
         self.charges += 1;
         if let Some(deadline) = self.deadline {
             if self.charges & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
@@ -73,6 +76,44 @@ impl RefineBudget {
     #[inline]
     pub fn exhausted(&self) -> bool {
         self.nodes_left == 0
+    }
+
+    /// Nodes accepted so far (the sum of all successful charges). Lets
+    /// differential tests assert a pruned search never visits more nodes
+    /// than its reference, and lets ladders meter sub-searches.
+    #[inline]
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Nodes still chargeable (`u64::MAX`-ish for unlimited budgets).
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.nodes_left
+    }
+
+    /// Splits off a child allowance of at most `cap` nodes sharing this
+    /// budget's deadline. The child's spend is *not* automatically billed
+    /// here — callers hand the child to a sub-search and then settle with
+    /// [`RefineBudget::absorb`], so one exponential rung can be capped
+    /// without losing overall node accounting.
+    pub fn child(&self, cap: u64) -> RefineBudget {
+        RefineBudget {
+            nodes_left: self.nodes_left.min(cap),
+            deadline: self.deadline,
+            charges: 0,
+            spent: 0,
+        }
+    }
+
+    /// Bills a child's spend against this budget (all-or-nothing, like
+    /// any other charge). Returns `false` — exhausting this budget — when
+    /// the child spent more than remains here.
+    pub fn absorb(&mut self, child: &RefineBudget) -> bool {
+        if child.spent == 0 {
+            return !self.exhausted();
+        }
+        self.try_charge(child.spent)
     }
 }
 

@@ -1,11 +1,28 @@
 //! Exact non-repacking optimum by branch-and-bound (small instances only).
 //!
 //! Enumerates assignments of items (in arrival order) to bins, respecting
-//! capacity over time and the closed-bins-stay-closed discipline, pruning
-//! branches whose partial cost already meets the incumbent. Exponential in
-//! `|σ|` — intended for instances of ≲ 12 items, where it supplies ground
-//! truth for validating the heuristic bracket (`lower ≤ OPT_NR ≤ best
-//! heuristic`).
+//! capacity over time and the closed-bins-stay-closed discipline. The
+//! search is constraint-propagated:
+//!
+//! * **incumbent seeding** — a first-fit schedule primes the incumbent, so
+//!   pruning bites from the first node instead of after the first full
+//!   dive;
+//! * **interval lower bound** — per profile segment, a completion needs at
+//!   least `max(committed bins covering the segment, analytic segment
+//!   lower bound)` bins; the sum of those maxima (maintained incrementally
+//!   as bins open and extend) prunes whole subtrees the plain
+//!   partial-cost test cannot;
+//! * **symmetry breaking** — identical `(arrival, departure, size)` items
+//!   are forced into non-decreasing bin indices, and new bins get a single
+//!   canonical branch;
+//! * **optimality early-out** — the search stops as soon as the incumbent
+//!   meets the aggregate segment lower bound.
+//!
+//! Still exponential in `|σ|` in the worst case, but certification now
+//! reaches a few dozen items instead of ≲ 12. The pre-propagation search
+//! is kept verbatim as [`exact_opt_nr_reference_budgeted`], the
+//! differential oracle: property tests assert bit-identical costs and
+//! never-higher node counts.
 
 use dbp_core::cost::Area;
 use dbp_core::instance::Instance;
@@ -66,7 +83,194 @@ impl BinSketch {
     }
 }
 
+/// The profile-segment skeleton driving the interval lower bound: event
+/// times, segment lengths, and each segment's analytic bin-count lower
+/// bound over the *full* item set (per-dimension ⌈load⌉ and big-item
+/// counts — every complete non-repacking solution must keep at least that
+/// many bins open across the segment).
+struct Segments {
+    times: Vec<Time>,
+    len: Vec<u64>,
+    lb: Vec<u64>,
+}
+
+impl Segments {
+    fn build(items: &[Item]) -> Segments {
+        let mut times: Vec<Time> = Vec::with_capacity(items.len() * 2);
+        for it in items {
+            times.push(it.arrival);
+            times.push(it.departure);
+        }
+        times.sort_unstable();
+        times.dedup();
+        let m = times.len().saturating_sub(1);
+        let mut len = vec![0u64; m];
+        let mut lb = vec![0u64; m];
+        let half = SIZE_SCALE / 2;
+        for i in 0..m {
+            let t = times[i];
+            len[i] = times[i + 1].since(t).ticks();
+            let mut dim_load = [0u128; MAX_DIMS];
+            let mut dim_bigs = [0u64; MAX_DIMS];
+            for it in items.iter().filter(|it| it.active_at(t)) {
+                for (d, &c) in it.size.raws().iter().enumerate() {
+                    dim_load[d] += c as u128;
+                    if c > half {
+                        dim_bigs[d] += 1;
+                    }
+                }
+            }
+            let ceil = dim_load
+                .iter()
+                .map(|l| l.div_ceil(SIZE_SCALE as u128) as u64)
+                .max()
+                .unwrap_or(0);
+            let bigs = dim_bigs.iter().copied().max().unwrap_or(0);
+            lb[i] = ceil.max(bigs);
+        }
+        Segments { times, len, lb }
+    }
+
+    /// `Σ lb_i · len_i`: a global lower bound on OPT_NR ticks.
+    fn static_lb(&self) -> u64 {
+        self.lb.iter().zip(&self.len).map(|(&b, &l)| b * l).sum()
+    }
+
+    /// Every bin boundary is an event time, so the lookup always hits.
+    fn index_of(&self, t: Time) -> usize {
+        self.times.binary_search(&t).expect("bin boundaries are event times")
+    }
+}
+
+/// First-fit over [`BinSketch`]s in arrival order: a feasible schedule
+/// whose cost seeds the incumbent (and whose assignment seeds the answer,
+/// so a budget-starved caller still holds a meaningful candidate).
+fn first_fit_seed(items: &[Item]) -> (u64, Vec<u32>) {
+    let mut bins: Vec<BinSketch> = Vec::new();
+    let mut assignment = vec![0u32; items.len()];
+    for (i, item) in items.iter().enumerate() {
+        match bins.iter().position(|b| b.can_accept(item)) {
+            Some(b) => {
+                bins[b].items.push(*item);
+                bins[b].close_at = bins[b].close_at.max(item.departure);
+                assignment[i] = b as u32;
+            }
+            None => {
+                bins.push(BinSketch {
+                    items: vec![*item],
+                    open_from: item.arrival,
+                    close_at: item.departure,
+                });
+                assignment[i] = (bins.len() - 1) as u32;
+            }
+        }
+    }
+    (bins.iter().map(BinSketch::span_ticks).sum(), assignment)
+}
+
 struct Search<'a, 'b> {
+    items: &'a [Item],
+    seg: Segments,
+    /// Committed bins covering each segment.
+    cover: Vec<u64>,
+    /// `Σ max(lb_i, cover_i) · len_i` — a lower bound on any completion of
+    /// the current partial assignment (bin spans only grow as the search
+    /// deepens, and unassigned items still force each segment's `lb_i`).
+    /// At a leaf every `cover_i ≥ lb_i`, so this *is* the leaf's cost.
+    bound: u64,
+    static_lb: u64,
+    /// Most recent earlier item with an identical triple (`u32::MAX` when
+    /// none): identical items are forced into non-decreasing bin indices.
+    prev_same: Vec<u32>,
+    best_cost: u64, // in ticks across bins (bin spans sum)
+    best_assignment: Vec<u32>,
+    current: Vec<u32>,
+    budget: &'b mut RefineBudget,
+    aborted: bool,
+    /// The incumbent met the aggregate lower bound — optimality proven.
+    done: bool,
+}
+
+impl Search<'_, '_> {
+    fn add_cover(&mut self, from: Time, to: Time) {
+        let (i0, i1) = (self.seg.index_of(from), self.seg.index_of(to));
+        for i in i0..i1 {
+            if self.cover[i] >= self.seg.lb[i] {
+                self.bound += self.seg.len[i];
+            }
+            self.cover[i] += 1;
+        }
+    }
+
+    fn sub_cover(&mut self, from: Time, to: Time) {
+        let (i0, i1) = (self.seg.index_of(from), self.seg.index_of(to));
+        for i in i0..i1 {
+            self.cover[i] -= 1;
+            if self.cover[i] >= self.seg.lb[i] {
+                self.bound -= self.seg.len[i];
+            }
+        }
+    }
+
+    fn recurse(&mut self, idx: usize, bins: &mut Vec<BinSketch>) {
+        if self.aborted || self.done {
+            return;
+        }
+        if !self.budget.try_charge(1) {
+            self.aborted = true;
+            return;
+        }
+        if self.bound >= self.best_cost {
+            return; // no completion of this subtree can beat the incumbent
+        }
+        if idx == self.items.len() {
+            // At a leaf `bound` equals the schedule's cost (see field doc).
+            self.best_cost = self.bound;
+            self.best_assignment = self.current.clone();
+            if self.best_cost <= self.static_lb {
+                self.done = true;
+            }
+            return;
+        }
+        let item = self.items[idx];
+        let min_bin = match self.prev_same[idx] {
+            u32::MAX => 0,
+            j => self.current[j as usize] as usize,
+        };
+        // Try existing bins (from the identical-item floor up).
+        for b in min_bin..bins.len() {
+            if bins[b].can_accept(&item) {
+                let saved_close = bins[b].close_at;
+                let new_close = saved_close.max(item.departure);
+                bins[b].items.push(item);
+                bins[b].close_at = new_close;
+                if new_close > saved_close {
+                    self.add_cover(saved_close, new_close);
+                }
+                self.current[idx] = b as u32;
+                self.recurse(idx + 1, bins);
+                if new_close > saved_close {
+                    self.sub_cover(saved_close, new_close);
+                }
+                bins[b].items.pop();
+                bins[b].close_at = saved_close;
+            }
+        }
+        // Open a new bin (one canonical branch: bins are symmetric).
+        bins.push(BinSketch {
+            items: vec![item],
+            open_from: item.arrival,
+            close_at: item.departure,
+        });
+        self.add_cover(item.arrival, item.departure);
+        self.current[idx] = (bins.len() - 1) as u32;
+        self.recurse(idx + 1, bins);
+        self.sub_cover(item.arrival, item.departure);
+        bins.pop();
+    }
+}
+
+struct ReferenceSearch<'a, 'b> {
     items: &'a [Item],
     best_cost: u64, // in ticks across bins (bin spans sum)
     best_assignment: Vec<u32>,
@@ -75,7 +279,7 @@ struct Search<'a, 'b> {
     aborted: bool,
 }
 
-impl Search<'_, '_> {
+impl ReferenceSearch<'_, '_> {
     fn partial_cost(bins: &[BinSketch]) -> u64 {
         bins.iter().map(BinSketch::span_ticks).sum()
     }
@@ -158,7 +362,76 @@ pub fn exact_opt_nr_budgeted(
         });
     }
     let items = instance.items();
+    let seg = Segments::build(items);
+    let static_lb = seg.static_lb();
+    let (seed_cost, seed_assignment) = first_fit_seed(items);
+    let mut prev_same = vec![u32::MAX; items.len()];
+    for i in 0..items.len() {
+        for j in (0..i).rev() {
+            if items[j].arrival == items[i].arrival
+                && items[j].departure == items[i].departure
+                && items[j].size.raws() == items[i].size.raws()
+            {
+                prev_same[i] = j as u32;
+                break;
+            }
+        }
+    }
+    let cover = vec![0u64; seg.lb.len()];
+    let done = seed_cost <= static_lb; // first-fit already optimal
     let mut search = Search {
+        items,
+        bound: static_lb,
+        static_lb,
+        seg,
+        cover,
+        prev_same,
+        best_cost: seed_cost,
+        best_assignment: seed_assignment,
+        current: vec![0; items.len()],
+        budget,
+        aborted: false,
+        done,
+    };
+    if !search.done {
+        let mut bins = Vec::new();
+        search.recurse(0, &mut bins);
+    }
+    if search.aborted {
+        return None;
+    }
+    Some(ExactOpt {
+        cost: Area::from_bin_ticks(dbp_core::time::Dur(search.best_cost)),
+        assignment: search.best_assignment,
+    })
+}
+
+/// The pre-propagation branch-and-bound, frozen as a differential oracle:
+/// no incumbent seeding, partial-cost pruning only, no symmetry breaking
+/// beyond the canonical new-bin branch. Property tests assert the
+/// propagated [`exact_opt_nr_budgeted`] returns the same cost while
+/// charging no more nodes.
+///
+/// # Panics
+/// As [`exact_opt_nr`].
+pub fn exact_opt_nr_reference_budgeted(
+    instance: &Instance,
+    max_items: usize,
+    budget: &mut RefineBudget,
+) -> Option<ExactOpt> {
+    assert!(
+        instance.len() <= max_items,
+        "exact search limited to {max_items} items, got {}",
+        instance.len()
+    );
+    if instance.is_empty() {
+        return Some(ExactOpt {
+            cost: Area::ZERO,
+            assignment: Vec::new(),
+        });
+    }
+    let items = instance.items();
+    let mut search = ReferenceSearch {
         items,
         best_cost: u64::MAX,
         best_assignment: vec![0; items.len()],

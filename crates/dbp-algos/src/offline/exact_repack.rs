@@ -35,9 +35,12 @@ pub struct BudgetedCount {
 
 /// Exact minimum number of unit bins for the given raw fixed-point sizes.
 ///
-/// Branch-and-bound with: FFD upper bound, volume + big-item lower
-/// bounds, symmetry breaking (identical residual capacities are tried
-/// once), and first-fit ordering on sorted sizes.
+/// Branch-and-bound with constraint propagation: FFD upper bound, the
+/// Martello–Toth L2 aggregate lower bound, remaining-volume subtree
+/// pruning, perfect-fit dominance (an item exactly filling a bin's
+/// residual takes that single branch), symmetry breaking (identical
+/// residual capacities are tried once), and first-fit ordering on sorted
+/// sizes.
 ///
 /// # Panics
 /// Panics if any size exceeds the bin capacity, or if more than
@@ -93,16 +96,51 @@ pub fn exact_bin_count_budgeted(sizes: &[u64], budget: &mut RefineBudget) -> Bud
     }
 }
 
-/// Hard cap on exact search size.
-pub const MAX_EXACT_ITEMS: usize = 28;
+/// Hard cap on exact search size. The CP-propagated search (L2 bound +
+/// perfect-fit dominance) certifies noticeably larger multisets than the
+/// plain volume-bound search this cap originally guarded (28).
+pub const MAX_EXACT_ITEMS: usize = 40;
 
+/// Martello–Toth L2 aggregate lower bound, maximised over the candidate
+/// thresholds α (every distinct size ≤ C/2, plus α = 0 which recovers the
+/// big-item count bound). For each α: items larger than `C − α` each need
+/// a private bin (J1); items in `(C/2, C − α]` are pairwise incompatible
+/// (J2) but their bins have residuals that can absorb part of the α-or-
+/// larger small items (J3); whatever volume of J3 does not fit in those
+/// residuals needs new bins. Dominates the plain ⌈volume⌉ and big-item
+/// bounds the search used before.
 fn lower_bound(sorted: &[u64]) -> u64 {
+    let cap = SIZE_SCALE;
+    let half = cap / 2;
     let total: u128 = sorted.iter().map(|&s| s as u128).sum();
-    let volume = total.div_ceil(SIZE_SCALE as u128) as u64;
-    // Items strictly larger than half a bin are pairwise incompatible.
-    let half = SIZE_SCALE / 2;
-    let big = sorted.iter().filter(|&&s| s > half).count() as u64;
-    volume.max(big).max(1)
+    let mut best = total.div_ceil(cap as u128) as u64;
+    let mut last_alpha = u64::MAX;
+    for i in 0..=sorted.len() {
+        // Candidates descend with the sort order; α = 0 closes the list.
+        let alpha = if i < sorted.len() { sorted[i] } else { 0 };
+        if alpha > half || alpha == last_alpha {
+            continue;
+        }
+        last_alpha = alpha;
+        let mut j1 = 0u64;
+        let mut j2 = 0u64;
+        let mut sum2: u128 = 0;
+        let mut sum3: u128 = 0;
+        for &s in sorted {
+            if s > cap - alpha {
+                j1 += 1;
+            } else if s > half {
+                j2 += 1;
+                sum2 += s as u128;
+            } else if s >= alpha && s > 0 {
+                sum3 += s as u128;
+            }
+        }
+        let free2 = (j2 as u128) * (cap as u128) - sum2;
+        let overflow = sum3.saturating_sub(free2).div_ceil(cap as u128) as u64;
+        best = best.max(j1 + j2 + overflow);
+    }
+    best.max(1)
 }
 
 struct BpSearch<'b> {
@@ -139,6 +177,15 @@ impl BpSearch<'_> {
         }
 
         let s = self.sizes[idx];
+        // Perfect-fit dominance: `s` is the largest remaining item (sizes
+        // are sorted); if it exactly fills some bin's residual, placing it
+        // there dominates every alternative — a single branch suffices.
+        if let Some(b) = bins.iter().position(|&load| load + s == SIZE_SCALE) {
+            bins[b] += s;
+            self.recurse(idx + 1, bins, lb);
+            bins[b] -= s;
+            return;
+        }
         // Try existing bins, skipping duplicate residual capacities
         // (placing into two bins with equal load is symmetric).
         let mut tried: Vec<u64> = Vec::with_capacity(bins.len());
@@ -153,6 +200,98 @@ impl BpSearch<'_> {
             bins[b] -= s;
         }
         // Open a new bin (canonical single branch).
+        bins.push(s);
+        self.recurse(idx + 1, bins, lb);
+        bins.pop();
+    }
+}
+
+/// The pre-propagation branch-and-bound, frozen as a differential oracle:
+/// plain `max(⌈volume⌉, big-item count)` root bound, no L2, no perfect-fit
+/// dominance. Property tests assert the propagated search returns the same
+/// counts while charging no more nodes.
+pub fn exact_bin_count_reference_budgeted(
+    sizes: &[u64],
+    budget: &mut RefineBudget,
+) -> BudgetedCount {
+    assert!(sizes.len() <= MAX_EXACT_ITEMS);
+    assert!(sizes.iter().all(|&s| s <= SIZE_SCALE), "oversized item");
+    let mut sorted: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0).collect();
+    if sorted.is_empty() {
+        return BudgetedCount {
+            bins: 0,
+            complete: true,
+        };
+    }
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut ffd_scratch = sorted.clone();
+    let ub = super::ffd_repack::ffd_bin_count(&mut ffd_scratch);
+    let total: u128 = sorted.iter().map(|&s| s as u128).sum();
+    let half = SIZE_SCALE / 2;
+    let big = sorted.iter().filter(|&&s| s > half).count() as u64;
+    let lb = (total.div_ceil(SIZE_SCALE as u128) as u64).max(big).max(1);
+    if lb == ub {
+        return BudgetedCount {
+            bins: ub,
+            complete: true,
+        };
+    }
+    let mut search = ReferenceBpSearch {
+        sizes: sorted,
+        best: ub,
+        budget,
+        aborted: false,
+    };
+    let mut bins: Vec<u64> = Vec::new();
+    search.recurse(0, &mut bins, lb);
+    BudgetedCount {
+        bins: search.best,
+        complete: !search.aborted,
+    }
+}
+
+struct ReferenceBpSearch<'b> {
+    sizes: Vec<u64>,
+    best: u64,
+    budget: &'b mut RefineBudget,
+    aborted: bool,
+}
+
+impl ReferenceBpSearch<'_> {
+    fn recurse(&mut self, idx: usize, bins: &mut Vec<u64>, lb: u64) {
+        if self.aborted {
+            return;
+        }
+        if !self.budget.try_charge(1) {
+            self.aborted = true;
+            return;
+        }
+        if bins.len() as u64 >= self.best {
+            return;
+        }
+        if idx == self.sizes.len() {
+            self.best = bins.len() as u64;
+            return;
+        }
+        let remaining: u128 = self.sizes[idx..].iter().map(|&s| s as u128).sum();
+        let free: u128 = bins.iter().map(|&b| (SIZE_SCALE - b) as u128).sum();
+        let overflow = remaining.saturating_sub(free);
+        let needed = bins.len() as u64 + overflow.div_ceil(SIZE_SCALE as u128) as u64;
+        if needed.max(lb) >= self.best {
+            return;
+        }
+        let s = self.sizes[idx];
+        let mut tried: Vec<u64> = Vec::with_capacity(bins.len());
+        for b in 0..bins.len() {
+            let load = bins[b];
+            if load + s > SIZE_SCALE || tried.contains(&load) {
+                continue;
+            }
+            tried.push(load);
+            bins[b] += s;
+            self.recurse(idx + 1, bins, lb);
+            bins[b] -= s;
+        }
         bins.push(s);
         self.recurse(idx + 1, bins, lb);
         bins.pop();

@@ -120,6 +120,9 @@ impl<A: OnlineAlgorithm> OnlineAlgorithm for RepackOnDeparture<A> {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         self.base.on_compact(retained, old_len)
     }
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        self.base.on_bin_compact(old_to_new, new_len)
+    }
     fn propose_migration(
         &mut self,
         view: &RecourseView<'_>,
@@ -197,6 +200,9 @@ impl<A: OnlineAlgorithm> OnlineAlgorithm for AmortizedRepack<A> {
     }
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         self.base.on_compact(retained, old_len)
+    }
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        self.base.on_bin_compact(old_to_new, new_len)
     }
     fn propose_migration(
         &mut self,

@@ -1,0 +1,139 @@
+//! Differential battery for the CP-propagated exact searches (PR 10).
+//!
+//! The propagated branch-and-bounds (`exact_bin_count_budgeted`,
+//! `exact_opt_nr_budgeted`) must be *pure accelerations* of the frozen
+//! pre-propagation references: bit-identical optima on every instance —
+//! scalar and vector, both goals — while never charging more nodes. Plus
+//! budget monotonicity: growing the node allowance never loosens a
+//! refined bracket.
+
+use dbp_algos::offline::{
+    exact_bin_count_budgeted, exact_bin_count_dp, exact_bin_count_reference_budgeted,
+    exact_opt_nr_budgeted, exact_opt_nr_reference_budgeted, refine_opt_r, RefineBudget,
+};
+use dbp_core::{Dur, Instance, Size, SizeVec, Time};
+use proptest::prelude::*;
+
+type Triple = (u64, u64, u64); // (arrival, duration, size as n/100)
+type VecTriple = (u64, u64, (u64, u64, u64)); // per-dimension sizes n/100
+
+fn arb_scalar_triples() -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec((0u64..40, 1u64..=16, 1u64..=100), 1..=10)
+}
+
+fn arb_vector_triples() -> impl Strategy<Value = Vec<VecTriple>> {
+    prop::collection::vec(
+        (0u64..40, 1u64..=16, (1u64..=100, 1u64..=100, 1u64..=100)),
+        1..=8,
+    )
+}
+
+fn build_scalar(triples: &[Triple]) -> Instance {
+    Instance::from_triples(
+        triples
+            .iter()
+            .map(|&(t, d, s)| (Time(t), Dur(d), Size::from_ratio(s, 100))),
+    )
+    .expect("valid instance")
+}
+
+fn build_vector(triples: &[VecTriple]) -> Instance {
+    Instance::from_triples(triples.iter().map(|&(t, d, (a, b, c))| {
+        let size = SizeVec::from_sizes(&[
+            Size::from_ratio(a, 100),
+            Size::from_ratio(b, 100),
+            Size::from_ratio(c, 100),
+        ])
+        .expect("three dims in range");
+        (Time(t), Dur(d), size)
+    }))
+    .expect("valid instance")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-segment bin packing: the propagated search returns the same
+    /// optimum as the frozen reference (and the bitmask DP) while
+    /// charging no more nodes.
+    #[test]
+    fn bp_matches_reference_with_fewer_nodes(
+        sizes in prop::collection::vec(1u64..=100, 1..=12),
+    ) {
+        let raws: Vec<u64> = sizes.iter().map(|&s| Size::from_ratio(s, 100).raw()).collect();
+        let mut cp_budget = RefineBudget::unlimited();
+        let mut ref_budget = RefineBudget::unlimited();
+        let cp = exact_bin_count_budgeted(&raws, &mut cp_budget);
+        let reference = exact_bin_count_reference_budgeted(&raws, &mut ref_budget);
+        prop_assert!(cp.complete && reference.complete);
+        prop_assert_eq!(cp.bins, reference.bins);
+        prop_assert_eq!(cp.bins, exact_bin_count_dp(&raws));
+        prop_assert!(
+            cp_budget.spent() <= ref_budget.spent(),
+            "propagation must not search more: cp={} ref={}",
+            cp_budget.spent(),
+            ref_budget.spent()
+        );
+    }
+
+    /// Scalar OPT_NR: propagated and reference searches agree bit-for-bit
+    /// on cost, and the propagated one never charges more nodes.
+    #[test]
+    fn opt_nr_scalar_matches_reference(triples in arb_scalar_triples()) {
+        let inst = build_scalar(&triples);
+        let mut cp_budget = RefineBudget::unlimited();
+        let mut ref_budget = RefineBudget::unlimited();
+        let cp = exact_opt_nr_budgeted(&inst, 10, &mut cp_budget).expect("unlimited");
+        let reference =
+            exact_opt_nr_reference_budgeted(&inst, 10, &mut ref_budget).expect("unlimited");
+        prop_assert_eq!(cp.cost, reference.cost);
+        prop_assert!(
+            cp_budget.spent() <= ref_budget.spent(),
+            "propagation must not search more: cp={} ref={}",
+            cp_budget.spent(),
+            ref_budget.spent()
+        );
+    }
+
+    /// Vector OPT_NR: same agreement on multi-dimensional instances (the
+    /// sketch capacity check and the interval bound are per-dimension).
+    #[test]
+    fn opt_nr_vector_matches_reference(triples in arb_vector_triples()) {
+        let inst = build_vector(&triples);
+        let mut cp_budget = RefineBudget::unlimited();
+        let mut ref_budget = RefineBudget::unlimited();
+        let cp = exact_opt_nr_budgeted(&inst, 8, &mut cp_budget).expect("unlimited");
+        let reference =
+            exact_opt_nr_reference_budgeted(&inst, 8, &mut ref_budget).expect("unlimited");
+        prop_assert_eq!(cp.cost, reference.cost);
+        prop_assert!(cp_budget.spent() <= ref_budget.spent());
+    }
+
+    /// Budget monotonicity: a larger node allowance never loosens the
+    /// refined OPT_R bracket on either side (the sweep is deterministic,
+    /// so a bigger budget visits a superset of the smaller run's work).
+    #[test]
+    fn refine_budget_is_monotone(triples in arb_scalar_triples(), nodes in 16u64..20_000) {
+        let inst = build_scalar(&triples);
+        let (small, _) = refine_opt_r(&inst, true, &mut RefineBudget::nodes(nodes));
+        let (large, _) = refine_opt_r(&inst, true, &mut RefineBudget::nodes(nodes * 4));
+        let (full, _) = refine_opt_r(&inst, true, &mut RefineBudget::unlimited());
+        prop_assert!(small.lower <= small.upper);
+        prop_assert!(large.lower >= small.lower && large.upper <= small.upper);
+        prop_assert!(full.lower >= large.lower && full.upper <= large.upper);
+    }
+
+    /// Budget monotonicity for exact OPT_NR: whenever two allowances both
+    /// complete, their costs are identical; a prefix allowance never
+    /// "invents" a different optimum.
+    #[test]
+    fn exact_nr_budget_is_monotone(triples in arb_scalar_triples(), nodes in 1u64..5_000) {
+        let inst = build_scalar(&triples);
+        let partial = exact_opt_nr_budgeted(&inst, 10, &mut RefineBudget::nodes(nodes));
+        let full = exact_opt_nr_budgeted(&inst, 10, &mut RefineBudget::unlimited())
+            .expect("unlimited");
+        if let Some(partial) = partial {
+            prop_assert_eq!(partial.cost, full.cost);
+        }
+    }
+}

@@ -115,11 +115,11 @@ impl<'a> SimView<'a> {
     ///
     /// Lets stateful algorithms (HA's CD bins, CDFF's rows) learn the id of
     /// a bin they are about to open by returning [`Placement::OpenNew`]:
-    /// bin ids are allocated sequentially, so the upcoming id is simply the
-    /// number of bins ever opened.
+    /// bin ids are allocated sequentially over the current record table
+    /// (dense again after a bin-store compaction).
     #[inline]
     pub fn next_bin_id(&self) -> BinId {
-        BinId(self.bins.total_opened() as u32)
+        self.bins.next_id()
     }
 }
 
@@ -151,6 +151,20 @@ pub trait OnlineAlgorithm {
     /// rewrite it here; id-oblivious algorithms (the default) ignore it.
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         let _ = (retained, old_len);
+    }
+
+    /// Notification that the engine compacted its *bin store* (see
+    /// [`crate::engine::InteractiveSim::compact_bins`]): closed bins'
+    /// records were reclaimed and the surviving open bins renumbered
+    /// densely, preserving opening order. `old_to_new[old.index()]` is the
+    /// bin's new id, or `BinId(u32::MAX)` for a dropped closed bin;
+    /// `new_len` is the new record-table length. All subsequent callbacks
+    /// use the new numbering, so algorithms keeping [`BinId`]-keyed state
+    /// must rewrite it here. Every stateful algorithm in this workspace
+    /// prunes closed bins in `on_departure`, so only open (surviving) bins
+    /// need translation.
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        let _ = (old_to_new, new_len);
     }
 
     /// Offer to move a resident item at a recourse epoch (see
@@ -187,6 +201,9 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for &mut T {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         (**self).on_compact(retained, old_len)
     }
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        (**self).on_bin_compact(old_to_new, new_len)
+    }
     fn propose_migration(
         &mut self,
         view: &RecourseView<'_>,
@@ -212,6 +229,9 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
     }
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         (**self).on_compact(retained, old_len)
+    }
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], new_len: usize) {
+        (**self).on_bin_compact(old_to_new, new_len)
     }
     fn propose_migration(
         &mut self,

@@ -27,7 +27,10 @@ use crate::time::Time;
 
 /// Identifier of a bin, assigned in opening order (bin 0 opened first).
 /// Closed bins are never reused (the problem's w.l.o.g. assumption), so a
-/// `BinId` names one bin for the whole run.
+/// `BinId` names one bin for the whole run — until a
+/// [`BinStore::compact_bins`] reclaims closed records and renumbers the
+/// survivors densely (still in opening order); holders are notified
+/// through the engine's `on_bin_compact` hooks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BinId(pub u32);
 
@@ -120,6 +123,18 @@ pub struct BinStore {
     /// takes one back, so steady-state bin churn stops allocating once
     /// capacities have warmed up.
     spare_lists: Vec<Vec<ItemId>>,
+    /// Closed-bin records dropped by [`BinStore::compact_bins`]; keeps
+    /// [`BinStore::total_opened`] counting the whole run after records are
+    /// reclaimed.
+    retired: usize,
+}
+
+/// Checked `usize → u32` for the store's position indexes, matching the
+/// engine's `row_id` idiom: an index past `u32::MAX` must fail loudly
+/// here rather than silently truncate.
+#[inline]
+fn pos_id(i: usize) -> u32 {
+    u32::try_from(i).expect("bin store index exceeds u32::MAX")
 }
 
 impl BinStore {
@@ -144,6 +159,7 @@ impl BinStore {
             linear_scans: Cell::new(0),
             compactions: 0,
             spare_lists: Vec::new(),
+            retired: 0,
         }
     }
 
@@ -160,7 +176,7 @@ impl BinStore {
             resident: 0,
             items: self.spare_lists.pop().unwrap_or_default(),
         });
-        self.open_pos.push(self.open.len() as u32);
+        self.open_pos.push(pos_id(self.open.len()));
         self.open.push(id);
         let slot = self.tree.push(SIZE_SCALE);
         debug_assert_eq!(slot, id.index());
@@ -181,7 +197,7 @@ impl BinStore {
         if idx >= self.item_pos.len() {
             self.item_pos.resize(idx + 1, NO_POS);
         }
-        self.item_pos[idx] = rec.items.len() as u32;
+        self.item_pos[idx] = pos_id(rec.items.len());
         rec.items.push(item);
         self.tree
             .set_remaining_vec(bin.index(), &rec.load.remaining());
@@ -207,7 +223,7 @@ impl BinStore {
             rec.items.swap_remove(pos);
             self.item_pos[item.index()] = NO_POS;
             if let Some(&moved) = rec.items.get(pos) {
-                self.item_pos[moved.index()] = pos as u32;
+                self.item_pos[moved.index()] = pos_id(pos);
             }
         }
         if rec.resident == 0 {
@@ -245,7 +261,7 @@ impl BinStore {
         self.open.retain(|&b| b != TOMBSTONE);
         self.dead = 0;
         for (i, &b) in self.open.iter().enumerate() {
-            self.open_pos[b.index()] = i as u32;
+            self.open_pos[b.index()] = pos_id(i);
         }
     }
 
@@ -275,10 +291,62 @@ impl BinStore {
         self.open.last().copied()
     }
 
-    /// Total number of bins ever opened.
+    /// Total number of bins ever opened, including closed records
+    /// reclaimed by [`BinStore::compact_bins`].
     #[inline]
     pub fn total_opened(&self) -> usize {
-        self.bins.len()
+        self.retired + self.bins.len()
+    }
+
+    /// The id the next [`BinStore::open`] call will assign. Ids are dense
+    /// over the *current* record table, so after a [`BinStore::compact_bins`]
+    /// this is smaller than [`BinStore::total_opened`].
+    #[inline]
+    pub fn next_id(&self) -> BinId {
+        BinId(u32::try_from(self.bins.len()).expect("too many bins"))
+    }
+
+    /// Reclaims every closed bin's record and renumbers the surviving open
+    /// bins densely, preserving opening order (`old_to_new[old.index()]`
+    /// is the survivor's new id; [`TOMBSTONE`] marks a dropped record).
+    /// Bounds the record table by the number of *open* bins instead of the
+    /// number ever opened. The open list, position index and tournament
+    /// tree are rebuilt for the new id space; [`BinStore::total_opened`]
+    /// keeps counting retired records. Callers must remap every `BinId`
+    /// they hold — the engine pushes the mapping to the algorithm and sink
+    /// through their `on_bin_compact` hooks.
+    pub(crate) fn compact_bins(&mut self) -> Vec<BinId> {
+        let old_len = self.bins.len();
+        let mut old_to_new = vec![TOMBSTONE; old_len];
+        let mut new_len = 0usize;
+        for rec in &self.bins {
+            if rec.is_open() {
+                old_to_new[rec.id.index()] = BinId(pos_id(new_len));
+                new_len += 1;
+            }
+        }
+        if new_len == old_len {
+            return old_to_new; // nothing closed: identity map, no rebuild
+        }
+        self.retired += old_len - new_len;
+        self.bins.retain(|r| r.is_open());
+        let dims = self.tree.dims();
+        let mut tree = FitTree::with_capacity(new_len);
+        tree.ensure_dims(dims);
+        self.open.clear();
+        self.open_pos.clear();
+        self.dead = 0;
+        for (new, rec) in self.bins.iter_mut().enumerate() {
+            rec.id = old_to_new[rec.id.index()];
+            debug_assert_eq!(rec.id.index(), new);
+            self.open_pos.push(pos_id(new));
+            self.open.push(rec.id);
+            let slot = tree.push(SIZE_SCALE);
+            debug_assert_eq!(slot, new);
+            tree.set_remaining_vec(slot, &rec.load.remaining());
+        }
+        self.tree = tree;
+        old_to_new
     }
 
     /// All bin records, by id.
@@ -348,7 +416,7 @@ impl BinStore {
                 let new = old_to_new[item.index()];
                 debug_assert!(new != u32::MAX, "resident items survive compaction");
                 *item = ItemId(new);
-                self.item_pos[new as usize] = pos as u32;
+                self.item_pos[new as usize] = pos_id(pos);
             }
         }
     }
@@ -521,6 +589,51 @@ mod tests {
         store.remove(b1, ItemId(1), half(), Time(2));
         assert_eq!(store.newest_open(), None);
         assert_eq!(store.open_count(), 0);
+    }
+
+    #[test]
+    fn compact_bins_renumbers_and_keeps_first_fit_semantics() {
+        let mut store = BinStore::new();
+        let mut ids = Vec::new();
+        for i in 0..8u32 {
+            let b = store.open(Time(0));
+            store.add(b, ItemId(i), if i % 2 == 0 { Size::FULL } else { half() });
+            ids.push(b);
+        }
+        // Close the even (full) bins; the odd half-full bins survive.
+        for (k, &b) in ids.iter().enumerate() {
+            if k % 2 == 0 {
+                store.remove(b, ItemId(k as u32), Size::FULL, Time(1));
+            }
+        }
+        let before_ff = store.first_fit(half());
+        let map = store.compact_bins();
+        assert_eq!(store.total_opened(), 8, "retired records still counted");
+        assert_eq!(store.all().len(), 4, "closed records reclaimed");
+        assert_eq!(store.next_id(), BinId(4));
+        for (old, &new) in map.iter().enumerate() {
+            if old % 2 == 0 {
+                assert_eq!(new, TOMBSTONE);
+            } else {
+                assert_eq!(new, BinId(old as u32 / 2), "dense, order-preserving");
+            }
+        }
+        // First-Fit picks the same bin, under its new name.
+        assert_eq!(store.first_fit(half()), Some(map[before_ff.unwrap().index()]));
+        assert_eq!(store.first_fit(half()), store.first_fit_linear(half()));
+        assert_eq!(store.open_ids().collect::<Vec<_>>().len(), 4);
+        // Items still removable through the rebuilt indexes; a fresh open
+        // continues the dense numbering.
+        assert!(store.remove(BinId(0), ItemId(1), half(), Time(2)));
+        assert_eq!(store.open(Time(3)), BinId(4));
+        assert_eq!(store.total_opened(), 9);
+        // A second compaction shifts the survivors again...
+        let map2 = store.compact_bins();
+        assert_eq!(map2[0], TOMBSTONE);
+        assert_eq!(store.total_opened(), 9);
+        // ...and with nothing closed, compaction is the identity.
+        let id_map = store.compact_bins();
+        assert!(id_map.iter().enumerate().all(|(i, b)| b.index() == i));
     }
 
     #[test]

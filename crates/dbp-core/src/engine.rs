@@ -759,6 +759,60 @@ impl<A: OnlineAlgorithm, S: EventSink> InteractiveSim<A, S> {
         retained
     }
 
+    /// Compacts the bin store: reclaims every closed bin's record and
+    /// renumbers the surviving open bins densely (opening order
+    /// preserved), bounding per-bin memory by the number of *open* bins
+    /// instead of the number ever opened. Returns `old_to_new`, where
+    /// `old_to_new[old.index()]` is the survivor's new id and
+    /// `BinId(u32::MAX)` marks a reclaimed record; the same mapping is
+    /// pushed to the algorithm and the sink via their `on_bin_compact`
+    /// hooks before this returns.
+    ///
+    /// All engine state is rewritten consistently: the per-item assignment
+    /// column (rows whose bin was reclaimed — departed or displaced rows —
+    /// keep a placeholder the engine never dereferences), the
+    /// scheduled-crash queue (dooms naming reclaimed bins were already
+    /// no-ops and are discarded), and the seeded-fate offset — it grows by
+    /// the reclaimed count, so fresh bins keep drawing the fates their
+    /// ordinals in the uncompacted run would have and a seeded-chaos run
+    /// stays bit-identical with or without bin compaction.
+    /// [`InteractiveSim::bins_opened`] keeps counting the whole run. Same
+    /// caveats as [`InteractiveSim::compact`]: outstanding [`BinId`]s held
+    /// by the caller are invalidated (translate them through the returned
+    /// map), and whole-run mirrors — the invariant auditor,
+    /// [`InteractiveSim::finish`]'s per-bin interval report — are
+    /// incompatible with compaction.
+    pub fn compact_bins(&mut self) -> Vec<BinId> {
+        let old_to_new = self.bins.compact_bins();
+        let new_len = self.bins.all().len();
+        let dropped = old_to_new.len() - new_len;
+        if dropped > 0 {
+            for slot in &mut self.assignment {
+                *slot = old_to_new
+                    .get(slot.index())
+                    .copied()
+                    .unwrap_or(BinId(u32::MAX));
+            }
+            let old_crashes = std::mem::take(&mut self.failures.crashes);
+            let mut crashes = BinaryHeap::with_capacity(old_crashes.len());
+            for Reverse((at, bin)) in old_crashes.into_iter() {
+                let new = old_to_new[bin as usize];
+                if new != BinId(u32::MAX) {
+                    crashes.push(Reverse((at, new.0)));
+                }
+            }
+            self.failures.crashes = crashes;
+            self.failures.fate_offset = self
+                .failures
+                .fate_offset
+                .checked_add(u32::try_from(dropped).expect("reclaimed bins exceed u32"))
+                .expect("fate offset overflows u32");
+        }
+        self.algo.on_bin_compact(&old_to_new, new_len);
+        self.sink.on_bin_compact(&old_to_new, &self.bins);
+        old_to_new
+    }
+
     /// Renumbers every item row by the given permutation without dropping
     /// any: `order[new]` is the old id of the row now at index `new`.
     ///
@@ -2114,6 +2168,66 @@ mod tests {
         );
         sim.drain_remaining().unwrap();
         assert_eq!(sim.resident_items(), 0);
+    }
+
+    #[test]
+    fn bin_compaction_matches_uncompacted_run_under_seeded_chaos() {
+        // Bin renumbering must disturb neither placement decisions nor
+        // seeded fate draws: the fate offset grows by the reclaimed count,
+        // so every fresh bin still draws its uncompacted-run ordinal.
+        let items: Vec<(Time, Dur, Size)> = (0..200u64)
+            .map(|k| (Time(k / 2), Dur(6 + k % 9), sz(1 + k % 3, 4)))
+            .collect();
+        let plan = || FailurePlan::seeded(0.6, 11, Dur(4));
+        let retry = RetryPolicy::Fixed(Dur(2));
+        let mut plain =
+            InteractiveSim::with_capacity_failures_and_sink(Ff, 0, plan(), retry, NoopSink);
+        for &(t, d, s) in &items {
+            plain.arrive_at(t, d, s).unwrap();
+        }
+        plain.drain_remaining().unwrap();
+        let mut compacted =
+            InteractiveSim::with_capacity_failures_and_sink(Ff, 0, plan(), retry, NoopSink);
+        for (k, &(t, d, s)) in items.iter().enumerate() {
+            compacted.arrive_at(t, d, s).unwrap();
+            if k % 17 == 16 {
+                compacted.compact();
+                compacted.compact_bins();
+            }
+        }
+        compacted.drain_remaining().unwrap();
+        assert!(plain.resilience().bin_failures > 0, "plan fires");
+        assert_eq!(plain.cost_so_far(), compacted.cost_so_far());
+        assert_eq!(plain.metrics(), compacted.metrics());
+        assert_eq!(plain.resilience(), compacted.resilience());
+        assert_eq!(plain.bins_opened(), compacted.bins_opened());
+        assert!(
+            compacted.bins().all().len() < compacted.bins_opened(),
+            "bin compaction reclaimed closed records"
+        );
+    }
+
+    #[test]
+    fn bin_compaction_bounds_the_record_table_under_churn() {
+        // Sequential near-full items: one bin each, never more than ~2
+        // open at once. The compacted record table must stay within a
+        // constant of the open count while `bins_opened` keeps counting.
+        let mut sim = InteractiveSim::new(Ff);
+        for k in 0..2000u64 {
+            sim.arrive_at(Time(k), Dur(2), sz(3, 4)).unwrap();
+            if sim.bins().all().len() >= 2 * sim.bins().open_count() + 16 {
+                sim.compact_bins();
+            }
+        }
+        assert!(
+            sim.bins().all().len() <= 2 * sim.bins().open_count() + 16,
+            "record table {} vs open {}",
+            sim.bins().all().len(),
+            sim.bins().open_count()
+        );
+        sim.drain_remaining().unwrap();
+        assert_eq!(sim.bins_opened(), 2000);
+        assert_eq!(sim.cost_so_far().as_bin_ticks(), 2.0 * 2000.0);
     }
 
     #[test]

@@ -533,6 +533,37 @@ impl SubsetFitTree {
         self.slot_of.clear();
     }
 
+    /// Renames every live bin after an engine bin-store compaction:
+    /// `old_to_new[old.index()]` is the bin's new id (`BinId(u32::MAX)`
+    /// marks a dropped closed bin — a live subset member is never
+    /// dropped, since algorithms only keep open bins). The compaction
+    /// renumbering preserves opening order, so rebuilding in slot order
+    /// keeps insertion order ascending and first-fit answers unchanged.
+    pub fn remap_bins(&mut self, old_to_new: &[BinId]) {
+        let nd = self.tree.dims();
+        let live: Vec<(BinId, [u64; MAX_DIMS])> = (0..self.tree.len())
+            .filter_map(|slot| {
+                self.tree.remaining_vec(slot).map(|rem| {
+                    let new = old_to_new[self.bins[slot].index()];
+                    debug_assert!(new != BinId(u32::MAX), "live bin dropped by compaction");
+                    (new, rem)
+                })
+            })
+            .collect();
+        let mut tree = FitTree::with_capacity(live.len());
+        tree.ensure_dims(nd);
+        let mut bins = Vec::with_capacity(live.len());
+        self.slot_of.clear();
+        for (bin, rem) in live {
+            let slot = tree.push(rem[0]);
+            tree.set_remaining_vec(slot, &rem);
+            bins.push(bin);
+            self.slot_of.insert(bin, slot);
+        }
+        self.tree = tree;
+        self.bins = bins;
+    }
+
     fn compact(&mut self) {
         let nd = self.tree.dims();
         let live: Vec<(BinId, [u64; MAX_DIMS])> = (0..self.tree.len())

@@ -227,6 +227,18 @@ pub trait EventSink {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         let _ = (retained, old_len);
     }
+
+    /// Called when the engine compacts its *bin store* (see
+    /// [`crate::engine::InteractiveSim::compact_bins`]): closed bins'
+    /// records were reclaimed, and `old_to_new[old.index()]` is a
+    /// surviving open bin's new id (`BinId(u32::MAX)` marks a dropped
+    /// closed bin). `bins` is the store *after* renumbering. Bin ids in
+    /// subsequent events use the new numbering; sinks translating bin ids
+    /// for an external consumer must rewrite their maps here. Same
+    /// default-correctness caveat as [`EventSink::on_compact`].
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], bins: &BinStore) {
+        let _ = (old_to_new, bins);
+    }
 }
 
 /// The default sink: listens to nothing, costs nothing.
@@ -247,6 +259,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         (**self).on_compact(retained, old_len)
     }
+    #[inline]
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], bins: &BinStore) {
+        (**self).on_bin_compact(old_to_new, bins)
+    }
 }
 
 /// A tee: every event goes to `.0`, then to `.1`. Compose with nesting
@@ -262,6 +278,11 @@ impl<A: EventSink, B: EventSink> EventSink for (A, B) {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         self.0.on_compact(retained, old_len);
         self.1.on_compact(retained, old_len);
+    }
+    #[inline]
+    fn on_bin_compact(&mut self, old_to_new: &[BinId], bins: &BinStore) {
+        self.0.on_bin_compact(old_to_new, bins);
+        self.1.on_bin_compact(old_to_new, bins);
     }
 }
 

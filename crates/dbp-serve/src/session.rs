@@ -87,6 +87,9 @@ impl OnlineAlgorithm for ServeAlgo {
     fn on_compact(&mut self, retained: &[ItemId], old_len: usize) {
         self.inner.on_compact(retained, old_len);
     }
+    fn on_bin_compact(&mut self, old_to_new: &[dbp_core::BinId], new_len: usize) {
+        self.inner.on_bin_compact(old_to_new, new_len);
+    }
     // A snapshot replay runs with the budget disarmed (`restore` re-arms
     // it after), so forwarding unconditionally never migrates mid-script.
     fn propose_migration(
@@ -238,9 +241,10 @@ impl SessionSink {
         dbp_core::BinId(self.bin_ext(bin))
     }
 
-    /// The open time a close/fail event should report: the original one
-    /// for a bin a snapshot replay reopened, the engine's otherwise.
-    fn translate_opened_at(
+    /// The open time a close/fail event (or a snapshot) should report:
+    /// the original one for a bin a snapshot replay reopened (or a bin
+    /// compaction pinned), the engine's otherwise.
+    pub(crate) fn translate_opened_at(
         &self,
         bin: dbp_core::BinId,
         opened_at: dbp_core::Time,
@@ -369,6 +373,33 @@ impl EventSink for SessionSink {
             .map(|(row, &ext)| (ext, row as u32))
             .collect();
     }
+
+    fn on_bin_compact(&mut self, old_to_new: &[dbp_core::BinId], bins: &BinStore) {
+        // Materialize the external numbering before the internal ids
+        // shift: every surviving bin pins its external name and original
+        // open time into the dense prefix (for fresh bins those are the
+        // identity name and the engine's own open time, so the rendered
+        // stream is unchanged), and `bin_next` advances over all old ids
+        // so bins opened after the compaction keep minting the chain's
+        // sequential names.
+        let minted = self.bin_next + (old_to_new.len() as u32 - self.bin_names.len() as u32);
+        let new_len = bins.all().len();
+        let mut names = vec![0u32; new_len];
+        let mut origs = vec![dbp_core::Time::ZERO; new_len];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            if new == dbp_core::BinId(u32::MAX) {
+                continue;
+            }
+            names[new.index()] = self.bin_ext(dbp_core::BinId(old as u32));
+            origs[new.index()] = match self.bin_origs.get(old) {
+                Some(&t) => t,
+                None => bins.record(new).expect("surviving bin has a record").opened_at,
+            };
+        }
+        self.bin_names = names;
+        self.bin_origs = origs;
+        self.bin_next = minted;
+    }
 }
 
 /// One tenant's live engine plus the daemon bookkeeping around it.
@@ -396,10 +427,6 @@ pub struct Session {
     /// the replay's own arrivals/placements cancel out of the report.
     pub(crate) metrics_base: RunMetrics,
     pub(crate) bins_opened_base: u64,
-    /// Original opening time of each restored bin (the engine reopened
-    /// it at the snapshot clock; billing corrections and re-snapshots
-    /// need the true time).
-    pub(crate) orig_opened: HashMap<dbp_core::BinId, dbp_core::Time>,
 }
 
 impl Session {
@@ -446,7 +473,6 @@ impl Session {
             max_open_offset: 0,
             metrics_base: RunMetrics::default(),
             bins_opened_base: 0,
-            orig_opened: HashMap::new(),
         }
     }
 
@@ -463,6 +489,18 @@ impl Session {
     /// Rows currently in the item table (the compaction-bounded figure).
     pub fn table_len(&self) -> usize {
         self.engine.table_len()
+    }
+
+    /// Bin records currently held (the bin-compaction-bounded figure:
+    /// closed records are reclaimed alongside item compaction, so this
+    /// tracks the open-bin count instead of the bins ever opened).
+    pub fn bin_records(&self) -> usize {
+        self.engine.bins().all().len()
+    }
+
+    /// Bins currently open.
+    pub fn open_bins(&self) -> usize {
+        self.engine.open_count()
     }
 
     /// Items currently resident in bins.
@@ -504,6 +542,7 @@ impl Session {
                     if kept < before {
                         self.compactions += 1;
                     }
+                    self.engine.compact_bins();
                     let line = format!(
                         "{{\"r\":\"compacted\",\"tenant\":\"{}\",\"dropped\":{},\"table\":{kept}}}\n",
                         self.tenant,
@@ -591,6 +630,8 @@ impl Session {
 
     /// Compacts when the table holds more dead rows than live ones
     /// (plus slack) — steady-state memory then tracks the live count.
+    /// The bin store compacts under the same policy (closed records vs
+    /// open bins), so per-bin memory also tracks the live footprint.
     fn maybe_compact(&mut self) {
         let table = self.engine.table_len();
         if table >= 2 * self.engine.resident_items() + self.compact_slack.max(1) {
@@ -598,6 +639,10 @@ impl Session {
             if kept < table {
                 self.compactions += 1;
             }
+        }
+        let records = self.engine.bins().all().len();
+        if records >= 2 * self.engine.bins().open_count() + self.compact_slack.max(1) {
+            self.engine.compact_bins();
         }
     }
 

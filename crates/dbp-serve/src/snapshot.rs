@@ -115,11 +115,7 @@ pub fn write_snapshot(session: &Session) -> String {
     // restarts: session 2's snapshot names the same bins session 1's did.
     let mut bins = 0usize;
     for rec in engine.bins().all().iter().filter(|r| r.is_open()) {
-        let orig = session
-            .orig_opened
-            .get(&rec.id)
-            .copied()
-            .unwrap_or(rec.opened_at);
+        let orig = engine.sink().translate_opened_at(rec.id, rec.opened_at);
         let ext = engine.sink().bin_ext(rec.id);
         match dooms.get(&rec.id.0) {
             Some(doom) => {
@@ -476,6 +472,5 @@ pub fn restore(text: &str, cfg: &ServeConfig) -> Result<Session, String> {
     if num(&header, "pending_readmits")? as usize != readmit_lines.len() {
         return Err("snapshot: header pending_readmits disagrees with body".to_string());
     }
-    session.orig_opened = orig_opened;
     Ok(session)
 }

@@ -158,6 +158,7 @@ fn compaction_bounds_steady_state_memory_without_changing_output() {
     let mut out_u = String::new();
     let mut peak_live = 0usize;
     let mut peak_table = 0usize;
+    let mut peak_bins = 0usize;
     for it in inst.items() {
         let ev = EngineEvent::Arrival {
             item: ItemId(0), // input ids are engine-assigned; ignored
@@ -174,13 +175,22 @@ fn compaction_bounds_steady_state_memory_without_changing_output() {
         }
         peak_live = peak_live.max(compacted.live_items());
         peak_table = peak_table.max(compacted.table_len());
+        peak_bins = peak_bins.max(compacted.bin_records());
         // The compaction policy's invariant, re-established after every
-        // event: the table never holds more dead rows than live + slack.
+        // event: the table never holds more dead rows than live + slack,
+        // and the bin table never holds more closed records than open +
+        // slack.
         assert!(
             compacted.table_len() < 2 * compacted.live_items() + 8,
             "table {} exceeds bound at live {}",
             compacted.table_len(),
             compacted.live_items()
+        );
+        assert!(
+            compacted.bin_records() < 2 * compacted.open_bins() + 8,
+            "bin records {} exceed bound at open {}",
+            compacted.bin_records(),
+            compacted.open_bins()
         );
     }
     for (sess, out) in [(&mut compacted, &mut out_c), (&mut unbounded, &mut out_u)] {
@@ -202,6 +212,14 @@ fn compaction_bounds_steady_state_memory_without_changing_output() {
     assert!(
         unbounded.table_len() == items,
         "loose session should have kept every row"
+    );
+    assert!(
+        peak_bins <= 2 * (peak_live + 1) + 8,
+        "peak bin records {peak_bins} not within constant factor of peak live {peak_live}"
+    );
+    assert!(
+        unbounded.bin_records() == unbounded.effective_bins_opened() as usize,
+        "loose session should have kept every bin record"
     );
     assert_eq!(
         event_lines(&out_c),
@@ -695,4 +713,87 @@ fn seeded_chaos_survives_restarts_bit_identically() {
         live.effective_bins_opened(),
         control.effective_bins_opened()
     );
+}
+
+#[test]
+fn bin_compaction_survives_chaos_and_restarts_bit_identically() {
+    // The hardest composition: a tight-slack session reclaims closed bin
+    // records (renumbering internal ids and shifting the seeded-fate
+    // cursor), crashes keep firing from the seeded plan, and two restarts
+    // force the renumbered state through a snapshot/restore cycle. The
+    // external stream must still match a loose-slack, never-restarted
+    // control byte for byte.
+    let inst = churn_instance(1200, 99);
+    let plan = FailurePlan::seeded(0.5, 13, Dur(30));
+    let tight = ServeConfig {
+        plan: plan.clone(),
+        retry: RetryPolicy::Fixed(Dur(3)),
+        compact_slack: 8,
+        ..ServeConfig::default()
+    };
+    let loose = ServeConfig {
+        plan,
+        retry: RetryPolicy::Fixed(Dur(3)),
+        compact_slack: usize::MAX / 4,
+        ..ServeConfig::default()
+    };
+    let mut control = Session::new("t", &loose).unwrap();
+    let mut live = Session::new("t", &tight).unwrap();
+    let mut control_echo = String::new();
+    let mut live_echo = String::new();
+    let mut peak_bins = 0usize;
+    for (i, it) in inst.items().iter().enumerate() {
+        let ev = EngineEvent::Arrival {
+            item: ItemId(0),
+            at: it.arrival,
+            size: it.size,
+            departure: Some(it.departure),
+        };
+        control.handle(&Request::Event {
+            tenant: None,
+            event: ev,
+        });
+        control_echo.push_str(&control.take_output());
+        live.handle(&Request::Event {
+            tenant: None,
+            event: ev,
+        });
+        live_echo.push_str(&live.take_output());
+        peak_bins = peak_bins.max(live.bin_records());
+        if i == 400 || i == 800 {
+            let snap = snapshot::write_snapshot(&live);
+            live = snapshot::restore(&snap, &tight).expect("restart restores");
+            live.take_output(); // muted replay emits no events
+        }
+    }
+    for (sess, echo) in [
+        (&mut control, &mut control_echo),
+        (&mut live, &mut live_echo),
+    ] {
+        sess.handle(&Request::Control {
+            tenant: None,
+            op: Op::Drain,
+        });
+        echo.push_str(&sess.take_output());
+    }
+    let r = control.effective_resilience();
+    assert!(r.bin_failures > 0, "the plan should actually crash bins");
+    assert!(
+        peak_bins * 4 < control.bin_records(),
+        "tight session should reclaim most bin records \
+         (peak {peak_bins} vs {} kept loose)",
+        control.bin_records()
+    );
+    assert_eq!(
+        event_lines(&live_echo),
+        event_lines(&control_echo),
+        "bin compaction + restarts changed the observable stream"
+    );
+    assert_eq!(live.effective_resilience(), r);
+    assert_eq!(live.effective_cost(), control.effective_cost());
+    assert_eq!(
+        live.effective_bins_opened(),
+        control.effective_bins_opened()
+    );
+    assert_eq!(live.effective_metrics(), control.effective_metrics());
 }
